@@ -1,0 +1,114 @@
+//! Ablation benches for the design choices called out in `DESIGN.md`:
+//!
+//! * `so_exact_vs_hll` — the SMALLESTOUTPUT heuristic with exact union
+//!   counting vs HyperLogLog estimation (scheduling overhead trade-off
+//!   discussed in Section 5.2);
+//! * `bt_parallel_vs_serial` — BALANCETREE merge execution with and
+//!   without per-level thread parallelism (why BT(I) finishes faster than
+//!   SI in Figure 7b);
+//! * `kway_sweep` — the effect of the fan-in `k` on end-to-end cost/time;
+//! * `keyset_union` — the core set-union primitive at different overlap
+//!   levels.
+
+use compaction_bench::{synthetic_instance, ycsb_instance};
+use compaction_core::{schedule_with, KeySet, Strategy};
+use compaction_sim::{run_strategy, run_strategy_parallel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_so_exact_vs_hll(c: &mut Criterion) {
+    let mut group = c.benchmark_group("so_exact_vs_hll");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let sstables = ycsb_instance(80, 20_000, 500, 9);
+    group.bench_function("exact", |b| {
+        b.iter(|| schedule_with(Strategy::SmallestOutput, black_box(&sstables), 2).unwrap())
+    });
+    group.bench_function("hll_p14", |b| {
+        b.iter(|| {
+            schedule_with(
+                Strategy::SmallestOutputHll { precision: 14 },
+                black_box(&sstables),
+                2,
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("hll_p10", |b| {
+        b.iter(|| {
+            schedule_with(
+                Strategy::SmallestOutputHll { precision: 10 },
+                black_box(&sstables),
+                2,
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("hll_p14_cached", |b| {
+        b.iter(|| {
+            schedule_with(
+                Strategy::SmallestOutputCached { precision: 14 },
+                black_box(&sstables),
+                2,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_bt_parallel_vs_serial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bt_parallel_vs_serial");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let sstables = ycsb_instance(20, 40_000, 1_000, 4);
+    group.bench_function("serial", |b| {
+        b.iter(|| run_strategy(Strategy::BalanceTreeInput, black_box(&sstables), 2).unwrap())
+    });
+    group.bench_function("parallel", |b| {
+        b.iter(|| run_strategy_parallel(Strategy::BalanceTreeInput, black_box(&sstables), 2).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_kway_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kway_sweep");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let sstables = ycsb_instance(60, 20_000, 500, 8);
+    for &k in &[2usize, 3, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &sstables, |b, sstables| {
+            b.iter(|| run_strategy(Strategy::SmallestInput, black_box(sstables), k).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_keyset_union(c: &mut Criterion) {
+    let mut group = c.benchmark_group("keyset_union");
+    for &overlap in &[0.0f64, 0.5, 0.9] {
+        let sets = synthetic_instance(2, 50_000, overlap);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("overlap_{overlap}")),
+            &sets,
+            |b, sets| b.iter(|| black_box(&sets[0]).union(black_box(&sets[1]))),
+        );
+    }
+    let sets = synthetic_instance(8, 10_000, 0.5);
+    group.bench_function("union_many_8", |b| {
+        b.iter(|| KeySet::union_many(black_box(&sets).iter()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_so_exact_vs_hll,
+    bench_bt_parallel_vs_serial,
+    bench_kway_sweep,
+    bench_keyset_union
+);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Benchmarks on the paper's adversarial instances (Lemmas 4.2 and 4.5,
+//! the LARGESTMATCH gap): these are the worst-case shapes for the
+//! analyzed heuristics, so they track both scheduling time and (via the
+//! printed costs in the `tables` binary) the approximation behaviour.
+
+use compaction_core::bounds::adversarial;
+use compaction_core::{schedule_with, Strategy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_adversarial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adversarial_instances");
+    for &n in &[32usize, 128] {
+        let bt_tight = adversarial::balance_tree_tight(n);
+        group.bench_with_input(
+            BenchmarkId::new("balance_tree_tight/bt_i", n),
+            &bt_tight,
+            |b, sets| b.iter(|| schedule_with(Strategy::BalanceTreeInput, black_box(sets), 2).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("balance_tree_tight/si", n),
+            &bt_tight,
+            |b, sets| b.iter(|| schedule_with(Strategy::SmallestInput, black_box(sets), 2).unwrap()),
+        );
+
+        let disjoint = adversarial::greedy_lopt_tight(n);
+        group.bench_with_input(
+            BenchmarkId::new("disjoint_singletons/si", n),
+            &disjoint,
+            |b, sets| b.iter(|| schedule_with(Strategy::SmallestInput, black_box(sets), 2).unwrap()),
+        );
+    }
+    let nested = adversarial::largest_match_gap(14);
+    group.bench_function("nested_prefix/largest_match", |b| {
+        b.iter(|| schedule_with(Strategy::LargestMatch, black_box(&nested), 2).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_adversarial);
+criterion_main!(benches);

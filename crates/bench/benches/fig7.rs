@@ -1,0 +1,44 @@
+//! Criterion counterpart of Figure 7: end-to-end compaction (schedule +
+//! merge execution) per strategy at the extremes of the update-percentage
+//! sweep, on a scaled-down YCSB workload. The `fig7` binary produces the
+//! full paper-sized series; this bench tracks regressions in the same
+//! code path.
+
+use compaction_bench::ycsb_instance;
+use compaction_core::Strategy;
+use compaction_sim::{run_strategy, run_strategy_parallel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_cost_and_time");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &update_pct in &[0u32, 60, 100] {
+        let sstables = ycsb_instance(update_pct, 20_000, 500, 3);
+        for strategy in Strategy::paper_lineup(42) {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.name(), format!("{update_pct}pct")),
+                &sstables,
+                |b, sstables| {
+                    b.iter(|| {
+                        let result = if matches!(
+                            strategy,
+                            Strategy::BalanceTreeInput | Strategy::BalanceTreeOutput
+                        ) {
+                            run_strategy_parallel(strategy, black_box(sstables), 2)
+                        } else {
+                            run_strategy(strategy, black_box(sstables), 2)
+                        };
+                        result.unwrap().cost_actual
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion counterpart of Figure 8: BT(I) end-to-end compaction as the
+//! memtable size (and hence the per-sstable size) grows, with the cost
+//! compared against the LOPT lower bound by the `fig8` binary.
+
+use compaction_core::Strategy;
+use compaction_sim::{run_strategy_parallel, SstableGenerator};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use ycsb_gen::{Distribution, WorkloadSpec};
+
+fn instance(memtable_size: usize) -> Vec<compaction_core::KeySet> {
+    let base = WorkloadSpec::builder()
+        .record_count(1_000)
+        .operation_count(0)
+        .update_proportion(0.6)
+        .insert_proportion(0.4)
+        .distribution(Distribution::Latest)
+        .seed(11)
+        .build()
+        .unwrap();
+    SstableGenerator::new(memtable_size).generate_fixed_count(&base, 50)
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_bt_vs_lower_bound");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &memtable_size in &[10usize, 100, 1_000] {
+        let sstables = instance(memtable_size);
+        group.bench_with_input(
+            BenchmarkId::new("bt_i", memtable_size),
+            &sstables,
+            |b, sstables| {
+                b.iter(|| {
+                    run_strategy_parallel(Strategy::BalanceTreeInput, black_box(sstables), 2)
+                        .unwrap()
+                        .cost_actual
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

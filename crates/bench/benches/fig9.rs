@@ -1,0 +1,53 @@
+//! Criterion counterpart of Figure 9: SI end-to-end compaction time as
+//! the cost grows (via update percentage and via operation count). The
+//! paper's claim is a near-linear cost→time relationship; the `fig9`
+//! binary prints the series, this bench tracks the absolute timings.
+
+use compaction_bench::ycsb_instance;
+use compaction_core::Strategy;
+use compaction_sim::run_strategy;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_fig9a_update_percent(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9a_si_by_update_percent");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &update_pct in &[0u32, 40, 80] {
+        let sstables = ycsb_instance(update_pct, 20_000, 500, 5);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(update_pct),
+            &sstables,
+            |b, sstables| {
+                b.iter(|| {
+                    run_strategy(Strategy::SmallestInput, black_box(sstables), 2)
+                        .unwrap()
+                        .cost_actual
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fig9b_operation_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9b_si_by_operation_count");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &ops in &[5_000u64, 20_000, 50_000] {
+        let sstables = ycsb_instance(60, ops, 500, 6);
+        group.bench_with_input(BenchmarkId::from_parameter(ops), &sstables, |b, sstables| {
+            b.iter(|| {
+                run_strategy(Strategy::SmallestInput, black_box(sstables), 2)
+                    .unwrap()
+                    .cost_actual
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9a_update_percent, bench_fig9b_operation_count);
+criterion_main!(benches);

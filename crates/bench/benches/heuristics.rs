@@ -1,0 +1,61 @@
+//! Micro-benchmarks of the scheduling heuristics themselves: how long
+//! each `CHOOSETWOSETS` policy takes to build a full merge schedule as
+//! the number of sstables grows, on synthetic instances with moderate
+//! overlap. This isolates the per-iteration strategy overhead discussed
+//! in Section 5.1 (SI is O(log n) per iteration with a priority queue;
+//! SO pays for cardinality estimation on every candidate pair).
+
+use compaction_bench::synthetic_instance;
+use compaction_core::{schedule_with, Strategy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_scheduling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduling_overhead");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    for &n in &[16usize, 64] {
+        let sets = synthetic_instance(n, 300, 0.3);
+        for strategy in [
+            Strategy::SmallestInput,
+            Strategy::SmallestOutput,
+            Strategy::SmallestOutputHll { precision: 12 },
+            Strategy::BalanceTreeInput,
+            Strategy::BalanceTreeOutput,
+            Strategy::LargestMatch,
+            Strategy::Random { seed: 7 },
+            Strategy::Frequency,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.name(), n),
+                &sets,
+                |b, sets| {
+                    b.iter(|| schedule_with(black_box(strategy), black_box(sets), 2).unwrap());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_cost_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cost_evaluation");
+    group
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    let sets = synthetic_instance(64, 1_000, 0.5);
+    let schedule = schedule_with(Strategy::SmallestInput, &sets, 2).unwrap();
+    group.bench_function("cost_eq_2_1", |b| {
+        b.iter(|| black_box(&schedule).cost(black_box(&sets)))
+    });
+    group.bench_function("cost_actual", |b| {
+        b.iter(|| black_box(&schedule).cost_actual(black_box(&sets)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduling, bench_cost_evaluation);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Regenerates Figure 7: compaction cost (7a) and running time (7b) for
+//! the five strategies as the workload's update percentage sweeps from
+//! insert-heavy to update-heavy, under the `latest` distribution.
+//!
+//! Usage: `cargo run -p compaction-bench --bin fig7 --release [--quick]`
+
+use compaction_sim::report::{fig7_csv, fig7_table};
+use compaction_sim::Fig7Config;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick {
+        Fig7Config::quick()
+    } else {
+        Fig7Config::default_paper()
+    };
+    eprintln!(
+        "figure 7: {} update percentages x {} strategies, {} runs each (operationcount={}, recordcount={}, memtable={})",
+        config.update_percents.len(),
+        config.strategies.len(),
+        config.runs,
+        config.operation_count,
+        config.record_count,
+        config.memtable_size,
+    );
+    let rows = config.run();
+    println!(
+        "# Figure 7a/7b — cost and time vs update percentage ({} distribution)",
+        config.distribution
+    );
+    println!("{}", fig7_table(&rows));
+    println!("# CSV");
+    println!("{}", fig7_csv(&rows));
+}

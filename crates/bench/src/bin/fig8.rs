@@ -1,0 +1,30 @@
+//! Regenerates Figure 8: BT(I)'s compaction cost against the `LOPT`
+//! lower bound on the optimum as the memtable size sweeps 10 → 10 000
+//! (both axes log-scale in the paper), for all three request
+//! distributions.
+//!
+//! Usage: `cargo run -p compaction-bench --bin fig8 --release [--quick]`
+
+use compaction_sim::report::{fig8_csv, fig8_table};
+use compaction_sim::Fig8Config;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick {
+        Fig8Config::quick()
+    } else {
+        Fig8Config::default_paper()
+    };
+    eprintln!(
+        "figure 8: memtable sizes {:?}, {} sstables, {} distributions, {} runs each",
+        config.memtable_sizes,
+        config.num_sstables,
+        config.distributions.len(),
+        config.runs,
+    );
+    let rows = config.run();
+    println!("# Figure 8 — BT(I) cost vs lower-bounded optimal (log-log in the paper)");
+    println!("{}", fig8_table(&rows));
+    println!("# CSV");
+    println!("{}", fig8_csv(&rows));
+}

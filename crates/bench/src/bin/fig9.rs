@@ -1,0 +1,38 @@
+//! Regenerates Figure 9: the relationship between the cost function and
+//! compaction running time for the SI strategy — 9a sweeps the update
+//! percentage, 9b sweeps the operation count, both under all three
+//! request distributions.
+//!
+//! Usage: `cargo run -p compaction-bench --bin fig9 --release [--quick]`
+
+use compaction_sim::report::{fig9_csv, fig9_table};
+use compaction_sim::{Fig9Config, Fig9Sweep};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (config_a, config_b) = if quick {
+        (
+            Fig9Config::quick(Fig9Sweep::UpdatePercent),
+            Fig9Config::quick(Fig9Sweep::OperationCount),
+        )
+    } else {
+        (
+            Fig9Config::default_paper_update_sweep(),
+            Fig9Config::default_paper_operation_sweep(),
+        )
+    };
+
+    eprintln!("figure 9a: update-percentage sweep, SI strategy");
+    let rows_a = config_a.run();
+    println!("# Figure 9a — cost vs time, increasing update percentage (SI)");
+    println!("{}", fig9_table(&rows_a));
+    println!("# CSV");
+    println!("{}", fig9_csv(&rows_a));
+
+    eprintln!("figure 9b: operation-count sweep, SI strategy");
+    let rows_b = config_b.run();
+    println!("# Figure 9b — cost vs time, increasing operationcount (SI)");
+    println!("{}", fig9_table(&rows_b));
+    println!("# CSV");
+    println!("{}", fig9_csv(&rows_b));
+}

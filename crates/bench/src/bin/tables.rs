@@ -1,0 +1,125 @@
+//! Prints the paper's non-figure quantitative results: the working
+//! example of Section 4.3 (Figures 4–6), the adversarial tightness
+//! instances (Lemmas 4.2 and 4.5, the LARGESTMATCH Ω(n) gap), and an
+//! approximation-ratio table comparing every heuristic against the
+//! exhaustive optimum on small instances.
+//!
+//! Usage: `cargo run -p compaction-bench --bin tables --release`
+
+use compaction_core::bounds::{self, adversarial};
+use compaction_core::optimal::{left_to_right_schedule, optimal_schedule};
+use compaction_core::{schedule_with, KeySet, Strategy};
+
+fn working_example() -> Vec<KeySet> {
+    vec![
+        KeySet::from_iter([1u64, 2, 3, 5]),
+        KeySet::from_iter([1u64, 2, 3, 4]),
+        KeySet::from_iter([3u64, 4, 5]),
+        KeySet::from_iter([6u64, 7, 8]),
+        KeySet::from_iter([7u64, 8, 9]),
+    ]
+}
+
+fn all_strategies() -> Vec<Strategy> {
+    vec![
+        Strategy::BalanceTree,
+        Strategy::BalanceTreeInput,
+        Strategy::BalanceTreeOutput,
+        Strategy::SmallestInput,
+        Strategy::SmallestOutput,
+        Strategy::SmallestOutputHll { precision: 14 },
+        Strategy::LargestMatch,
+        Strategy::Random { seed: 42 },
+        Strategy::Frequency,
+    ]
+}
+
+fn main() {
+    println!("# Working example (Section 4.3, Figures 4-6)");
+    let sets = working_example();
+    let opt = optimal_schedule(&sets, 2).expect("small instance");
+    println!("{:>10}  {:>6}  {:>12}  {:>8}", "strategy", "cost", "cost_actual", "vs OPT");
+    for strategy in all_strategies() {
+        let schedule = schedule_with(strategy, &sets, 2).expect("valid instance");
+        println!(
+            "{:>10}  {:>6}  {:>12}  {:>8.3}",
+            strategy.name(),
+            schedule.cost(&sets),
+            schedule.cost_actual(&sets),
+            schedule.cost(&sets) as f64 / opt.cost(&sets) as f64,
+        );
+    }
+    println!(
+        "{:>10}  {:>6}  {:>12}  {:>8.3}\n",
+        "OPT",
+        opt.cost(&sets),
+        opt.cost_actual(&sets),
+        1.0
+    );
+
+    println!("# Lemma 4.2 — BALANCETREE tight instance (n-1 singletons + one n-set)");
+    println!("{:>6}  {:>10}  {:>14}  {:>8}", "n", "BT(I) cost", "left-to-right", "ratio");
+    for n in [8usize, 16, 32, 64] {
+        let sets = adversarial::balance_tree_tight(n);
+        let bt = schedule_with(Strategy::BalanceTreeInput, &sets, 2).expect("valid");
+        let l2r = left_to_right_schedule(n, 2).expect("valid");
+        println!(
+            "{:>6}  {:>10}  {:>14}  {:>8.3}",
+            n,
+            bt.cost(&sets),
+            l2r.cost(&sets),
+            bt.cost(&sets) as f64 / l2r.cost(&sets) as f64
+        );
+    }
+
+    println!("\n# Lemma 4.5 — SI/SO vs LOPT on n disjoint singletons (ratio = log2 n + 1)");
+    println!("{:>6}  {:>10}  {:>8}  {:>8}", "n", "SI cost", "LOPT", "ratio");
+    for n in [8usize, 16, 32, 64, 128] {
+        let sets = adversarial::greedy_lopt_tight(n);
+        let si = schedule_with(Strategy::SmallestInput, &sets, 2).expect("valid");
+        let lopt = bounds::lopt_lower_bound(&sets);
+        println!(
+            "{:>6}  {:>10}  {:>8}  {:>8.3}",
+            n,
+            si.cost(&sets),
+            lopt,
+            bounds::ratio_to_lopt(&si, &sets)
+        );
+    }
+
+    println!("\n# LARGESTMATCH Omega(n) gap (nested prefix sets)");
+    println!("{:>6}  {:>12}  {:>14}  {:>8}", "n", "LM cost", "left-to-right", "ratio");
+    for n in [6usize, 8, 10, 12] {
+        let sets = adversarial::largest_match_gap(n);
+        let lm = schedule_with(Strategy::LargestMatch, &sets, 2).expect("valid");
+        let l2r = left_to_right_schedule(n, 2).expect("valid");
+        println!(
+            "{:>6}  {:>12}  {:>14}  {:>8.3}",
+            n,
+            lm.cost(&sets),
+            l2r.cost(&sets),
+            lm.cost(&sets) as f64 / l2r.cost(&sets) as f64
+        );
+    }
+
+    println!("\n# Heuristics vs exhaustive optimum on random overlapping instances (n = 8)");
+    println!("{:>10}  {:>14}", "strategy", "mean cost/OPT");
+    let mut totals: Vec<(Strategy, f64)> = all_strategies().iter().map(|&s| (s, 0.0)).collect();
+    let trials = 20u64;
+    for seed in 0..trials {
+        let sets: Vec<KeySet> = (0..8u64)
+            .map(|i| {
+                let start = (seed * 131 + i * 17) % 50;
+                KeySet::from_range(start..start + 10 + (i * 3) % 20)
+            })
+            .collect();
+        let opt_cost = optimal_schedule(&sets, 2).expect("small").cost(&sets) as f64;
+        for (strategy, total) in &mut totals {
+            let cost = schedule_with(*strategy, &sets, 2).expect("valid").cost(&sets) as f64;
+            *total += cost / opt_cost;
+        }
+    }
+    for (strategy, total) in totals {
+        println!("{:>10}  {:>14.4}", strategy.name(), total / trials as f64);
+    }
+}

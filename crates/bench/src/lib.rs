@@ -1,0 +1,70 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! The binaries in `src/bin` regenerate the paper's figures (they print
+//! the same rows/series the figures plot); the Criterion benches under
+//! `benches/` measure the scheduling and merge machinery itself plus the
+//! ablations called out in `DESIGN.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use compaction_core::KeySet;
+use compaction_sim::SstableGenerator;
+use ycsb_gen::{Distribution, WorkloadSpec};
+
+/// Builds a YCSB-derived sstable instance with the paper's Figure 7 shape
+/// but scaled by `operation_count`, for use in Criterion benches.
+#[must_use]
+pub fn ycsb_instance(
+    update_percent: u32,
+    operation_count: u64,
+    memtable_size: usize,
+    seed: u64,
+) -> Vec<KeySet> {
+    let spec = WorkloadSpec::builder()
+        .record_count(1_000)
+        .operation_count(operation_count)
+        .update_percent(update_percent)
+        .distribution(Distribution::Latest)
+        .seed(seed)
+        .build()
+        .expect("valid spec");
+    SstableGenerator::new(memtable_size).generate(&spec)
+}
+
+/// A synthetic instance of `n` sstables with `size` keys each and a
+/// controllable pairwise overlap fraction (0.0 = disjoint, 1.0 =
+/// identical), used by the micro benches.
+#[must_use]
+pub fn synthetic_instance(n: usize, size: u64, overlap: f64) -> Vec<KeySet> {
+    let overlap = overlap.clamp(0.0, 1.0);
+    let stride = ((1.0 - overlap) * size as f64).max(1.0) as u64;
+    (0..n as u64)
+        .map(|i| KeySet::from_range(i * stride..i * stride + size))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ycsb_instance_is_nonempty_and_seeded() {
+        let a = ycsb_instance(60, 5_000, 500, 1);
+        let b = ycsb_instance(60, 5_000, 500, 1);
+        assert!(!a.is_empty());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn synthetic_instance_controls_overlap() {
+        let disjoint = synthetic_instance(4, 100, 0.0);
+        for (i, a) in disjoint.iter().enumerate() {
+            for b in disjoint.iter().skip(i + 1) {
+                assert!(a.is_disjoint(b));
+            }
+        }
+        let overlapping = synthetic_instance(4, 100, 0.9);
+        assert!(overlapping[0].intersection_size(&overlapping[1]) > 50);
+    }
+}

@@ -1,0 +1,158 @@
+//! Merge cost models.
+//!
+//! BINARYMERGING charges a merge the *cardinality* of the set it produces.
+//! The paper's SUBMODULARMERGING extension (Section 2) allows any monotone
+//! submodular set function instead: the two motivating examples are a
+//! constant per-merge overhead (sstable initialization cost) and per-key
+//! weights (entry sizes). All three are provided here behind the
+//! [`CostModel`] trait; every scheduling algorithm and cost evaluation in
+//! this crate is generic over it.
+
+use std::collections::HashMap;
+
+use crate::KeySet;
+
+/// A monotone set function used as the cost of materializing a merged
+/// sstable.
+///
+/// Implementations should be monotone (`S ⊆ T ⇒ f(S) ≤ f(T)`) and
+/// submodular for the paper's approximation analysis to apply; the
+/// [`submodular`](crate::submodular) module provides a property checker
+/// used by the test suite.
+pub trait CostModel: std::fmt::Debug {
+    /// The cost `f(S)` of a set `S`.
+    fn cost(&self, set: &KeySet) -> u64;
+}
+
+/// The BINARYMERGING cost: `f(S) = |S|`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Cardinality;
+
+impl CostModel for Cardinality {
+    fn cost(&self, set: &KeySet) -> u64 {
+        set.len() as u64
+    }
+}
+
+/// Weighted-key cost: `f(S) = Σ_{x ∈ S} w(x)`, modelling sstables whose
+/// entries have different sizes. Keys without an explicit weight use
+/// `default_weight`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeightedKeys {
+    weights: HashMap<u64, u64>,
+    default_weight: u64,
+}
+
+impl WeightedKeys {
+    /// Creates a weighted cost model. `default_weight` applies to any key
+    /// absent from `weights`.
+    #[must_use]
+    pub fn new(weights: HashMap<u64, u64>, default_weight: u64) -> Self {
+        Self {
+            weights,
+            default_weight,
+        }
+    }
+
+    /// Creates a model where every key weighs `weight`. Costs then equal
+    /// `weight · |S|`, a scaled version of [`Cardinality`].
+    #[must_use]
+    pub fn uniform(weight: u64) -> Self {
+        Self {
+            weights: HashMap::new(),
+            default_weight: weight,
+        }
+    }
+
+    /// The weight of a single key.
+    #[must_use]
+    pub fn weight_of(&self, key: u64) -> u64 {
+        self.weights.get(&key).copied().unwrap_or(self.default_weight)
+    }
+}
+
+impl CostModel for WeightedKeys {
+    fn cost(&self, set: &KeySet) -> u64 {
+        set.iter().map(|k| self.weight_of(k)).sum()
+    }
+}
+
+/// Adds a constant per-materialized-sstable overhead on top of another
+/// model: `f(S) = overhead + g(S)` for non-empty `S`, and `0` for the
+/// empty set (so the function stays submodular and normalized).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConstantOverhead<M> {
+    inner: M,
+    overhead: u64,
+}
+
+impl<M: CostModel> ConstantOverhead<M> {
+    /// Wraps `inner`, adding `overhead` to the cost of every non-empty
+    /// set.
+    #[must_use]
+    pub fn new(inner: M, overhead: u64) -> Self {
+        Self { inner, overhead }
+    }
+
+    /// The wrapped model.
+    #[must_use]
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+}
+
+impl<M: CostModel> CostModel for ConstantOverhead<M> {
+    fn cost(&self, set: &KeySet) -> u64 {
+        if set.is_empty() {
+            0
+        } else {
+            self.overhead + self.inner.cost(set)
+        }
+    }
+}
+
+impl<M: CostModel + ?Sized> CostModel for &M {
+    fn cost(&self, set: &KeySet) -> u64 {
+        (**self).cost(set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cardinality_is_set_size() {
+        let s = KeySet::from_iter([1u64, 2, 3]);
+        assert_eq!(Cardinality.cost(&s), 3);
+        assert_eq!(Cardinality.cost(&KeySet::new()), 0);
+    }
+
+    #[test]
+    fn weighted_keys_sum_weights() {
+        let mut w = HashMap::new();
+        w.insert(1u64, 10u64);
+        w.insert(2, 20);
+        let model = WeightedKeys::new(w, 1);
+        let s = KeySet::from_iter([1u64, 2, 3]);
+        assert_eq!(model.cost(&s), 31);
+        assert_eq!(model.weight_of(99), 1);
+        assert_eq!(WeightedKeys::uniform(5).cost(&s), 15);
+    }
+
+    #[test]
+    fn constant_overhead_only_on_nonempty() {
+        let model = ConstantOverhead::new(Cardinality, 100);
+        assert_eq!(model.cost(&KeySet::new()), 0);
+        assert_eq!(model.cost(&KeySet::from_iter([7u64])), 101);
+        assert_eq!(model.inner().cost(&KeySet::from_iter([7u64])), 1);
+    }
+
+    #[test]
+    fn reference_forwarding() {
+        let s = KeySet::from_iter([1u64, 2]);
+        let by_ref: &dyn CostModel = &Cardinality;
+        assert_eq!(by_ref.cost(&s), 2);
+        assert_eq!((&Cardinality).cost(&s), 2);
+    }
+}

@@ -1,0 +1,113 @@
+//! Error type for the compaction scheduling library.
+
+use std::fmt;
+
+/// Errors produced while building or validating merge schedules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Scheduling was requested over an empty collection of sets.
+    EmptyInput,
+    /// The per-iteration fan-in `k` must be at least 2.
+    InvalidFanIn {
+        /// The requested fan-in.
+        requested: usize,
+    },
+    /// A merge operation referenced a slot that does not exist or has
+    /// already been consumed by an earlier merge.
+    InvalidSlot {
+        /// Index of the offending operation within the schedule.
+        op_index: usize,
+        /// The offending slot.
+        slot: usize,
+    },
+    /// A merge operation listed fewer than two inputs or more than `k`.
+    InvalidOpArity {
+        /// Index of the offending operation within the schedule.
+        op_index: usize,
+        /// Number of inputs the operation listed.
+        arity: usize,
+        /// The schedule's fan-in bound.
+        fanin: usize,
+    },
+    /// The schedule does not reduce the initial collection to exactly one
+    /// set.
+    IncompleteSchedule {
+        /// Number of live slots remaining after the last operation.
+        remaining: usize,
+    },
+    /// The exhaustive optimal solver was asked to handle an instance
+    /// larger than it can search.
+    InstanceTooLarge {
+        /// Number of sets in the instance.
+        n: usize,
+        /// Largest supported number of sets.
+        max: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::EmptyInput => write!(f, "cannot schedule a merge over zero sets"),
+            Error::InvalidFanIn { requested } => {
+                write!(f, "fan-in k must be at least 2, got {requested}")
+            }
+            Error::InvalidSlot { op_index, slot } => write!(
+                f,
+                "operation {op_index} references slot {slot} which is unknown or already merged"
+            ),
+            Error::InvalidOpArity {
+                op_index,
+                arity,
+                fanin,
+            } => write!(
+                f,
+                "operation {op_index} merges {arity} sets, expected between 2 and {fanin}"
+            ),
+            Error::IncompleteSchedule { remaining } => write!(
+                f,
+                "schedule leaves {remaining} sets, expected exactly 1"
+            ),
+            Error::InstanceTooLarge { n, max } => write!(
+                f,
+                "exact solver supports at most {max} sets, got {n}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_key_facts() {
+        assert!(Error::EmptyInput.to_string().contains("zero sets"));
+        assert!(Error::InvalidFanIn { requested: 1 }.to_string().contains('1'));
+        assert!(Error::InvalidSlot { op_index: 3, slot: 9 }
+            .to_string()
+            .contains("slot 9"));
+        assert!(Error::InvalidOpArity {
+            op_index: 0,
+            arity: 5,
+            fanin: 2
+        }
+        .to_string()
+        .contains("5"));
+        assert!(Error::IncompleteSchedule { remaining: 4 }
+            .to_string()
+            .contains('4'));
+        assert!(Error::InstanceTooLarge { n: 30, max: 12 }
+            .to_string()
+            .contains("30"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

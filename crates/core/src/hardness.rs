@@ -1,0 +1,183 @@
+//! Constructions from the NP-hardness proof (Appendix A), exposed so the
+//! test suite can validate the paper's structural lemmas empirically.
+//!
+//! The reduction shows BINARYMERGING is NP-hard by (a) proving
+//! OPT-TREE-ASSIGN on the complete binary tree is NP-hard (via SIMPLE
+//! DATA ARRANGEMENT) and (b) *forcing* the optimal merge tree to be the
+//! complete binary tree by padding every input set `A_i` with a large
+//! disjoint set `B_i` of size `S > 2mn` (Lemma A.5). The helpers here
+//! build those padded instances and the graph-derived set families used
+//! in step (a).
+
+use crate::{Error, KeySet, MergeTree};
+
+/// Builds the padded instance `A_i ∪ B_i` of Lemma A.5: the `B_i` are
+/// pairwise disjoint, disjoint from every `A_j`, and all of size
+/// `padding_size`. Choosing `padding_size > 2·m·n` (with `m` the number
+/// of distinct keys across the `A_i`) forces any optimal merge tree for
+/// the padded instance to be the complete binary tree.
+///
+/// Padding keys are drawn from a reserved high range so they can never
+/// collide with real keys (which the workload generator keeps below
+/// `2^48`).
+///
+/// # Errors
+///
+/// Returns [`Error::EmptyInput`] if `sets` is empty.
+pub fn pad_with_disjoint_blocks(sets: &[KeySet], padding_size: u64) -> Result<Vec<KeySet>, Error> {
+    if sets.is_empty() {
+        return Err(Error::EmptyInput);
+    }
+    const PAD_BASE: u64 = 1 << 60;
+    Ok(sets
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            let start = PAD_BASE + (i as u64) * padding_size;
+            let pad = KeySet::from_range(start..start + padding_size);
+            a.union(&pad)
+        })
+        .collect())
+}
+
+/// The padding size Lemma A.5 requires: `2·m·n + 1`, where `m` is the
+/// total number of distinct keys across `sets` and `n` the number of
+/// sets.
+#[must_use]
+pub fn required_padding_size(sets: &[KeySet]) -> u64 {
+    let m = KeySet::union_many(sets.iter()).len() as u64;
+    let n = sets.len() as u64;
+    2 * m * n + 1
+}
+
+/// Derives the OPT-TREE-ASSIGN instance of Lemma A.1 from an undirected
+/// graph: vertex `i` becomes the set of edge ids incident to `i`. An
+/// optimal assignment of these sets to the leaves of the complete binary
+/// tree encodes an optimal SIMPLE DATA ARRANGEMENT of the graph.
+///
+/// Edges are given as `(u, v)` pairs over vertices `0..vertex_count`;
+/// edge `e` gets key id `e`.
+#[must_use]
+pub fn sets_from_graph(vertex_count: usize, edges: &[(usize, usize)]) -> Vec<KeySet> {
+    let mut sets = vec![Vec::new(); vertex_count];
+    for (edge_id, &(u, v)) in edges.iter().enumerate() {
+        if u < vertex_count {
+            sets[u].push(edge_id as u64);
+        }
+        if v < vertex_count {
+            sets[v].push(edge_id as u64);
+        }
+    }
+    sets.into_iter().map(KeySet::from_vec).collect()
+}
+
+/// Evaluates the identity of Lemma A.4: for padded sets the
+/// OPT-TREE-ASSIGN cost decomposes as
+/// `cost(T, π, A ∪ B) = cost(T, π, A) + S · η(T)`.
+///
+/// Returns the tuple `(lhs, rhs)` so tests can assert equality; both are
+/// computed under the cardinality model.
+///
+/// # Errors
+///
+/// Propagates assignment-validation errors from
+/// [`MergeTree::assignment_cost`].
+pub fn lemma_a4_decomposition(
+    tree: &MergeTree,
+    assignment: &[usize],
+    original: &[KeySet],
+    padding_size: u64,
+) -> Result<(u64, u64), Error> {
+    let padded = pad_with_disjoint_blocks(original, padding_size)?;
+    let lhs = tree.assignment_cost(&padded, assignment, &crate::Cardinality)?;
+    let base = tree.assignment_cost(original, assignment, &crate::Cardinality)?;
+    let rhs = base + padding_size * tree.eta();
+    Ok((lhs, rhs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{schedule_with, Strategy};
+
+    fn small_instance() -> Vec<KeySet> {
+        vec![
+            KeySet::from_iter([1u64, 2, 3]),
+            KeySet::from_iter([2u64, 4]),
+            KeySet::from_iter([5u64]),
+            KeySet::from_iter([1u64, 5, 6]),
+        ]
+    }
+
+    #[test]
+    fn padding_is_disjoint_and_correctly_sized() {
+        let sets = small_instance();
+        let s = required_padding_size(&sets);
+        assert_eq!(s, 2 * 6 * 4 + 1, "m = 6 distinct keys, n = 4 sets");
+        let padded = pad_with_disjoint_blocks(&sets, s).unwrap();
+        for (i, p) in padded.iter().enumerate() {
+            assert_eq!(p.len() as u64, sets[i].len() as u64 + s);
+            for (j, q) in padded.iter().enumerate() {
+                if i != j {
+                    // The pads never overlap; only original keys may.
+                    let overlap = p.intersection_size(q) as u64;
+                    assert!(overlap <= sets[i].intersection_size(&sets[j]) as u64);
+                }
+            }
+        }
+        assert!(pad_with_disjoint_blocks(&[], 5).is_err());
+    }
+
+    #[test]
+    fn lemma_a4_identity_holds() {
+        let sets = small_instance();
+        let tree = MergeTree::complete_binary(sets.len());
+        let assignment = [0usize, 1, 2, 3];
+        let s = required_padding_size(&sets);
+        let (lhs, rhs) = lemma_a4_decomposition(&tree, &assignment, &sets, s).unwrap();
+        assert_eq!(lhs, rhs);
+        // Also for a permuted assignment.
+        let (lhs, rhs) = lemma_a4_decomposition(&tree, &[3, 1, 0, 2], &sets, s).unwrap();
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn padded_instance_forces_balanced_merge_trees_in_practice() {
+        // Lemma A.5: with padding S > 2mn the optimal tree is the complete
+        // binary tree. The exact solver on the padded 4-set instance must
+        // therefore produce a height-2 tree, and so do the greedy
+        // heuristics (which are exact here because the pads dominate).
+        let sets = small_instance();
+        let s = required_padding_size(&sets);
+        let padded = pad_with_disjoint_blocks(&sets, s).unwrap();
+        let opt = crate::optimal::optimal_schedule(&padded, 2).unwrap();
+        assert_eq!(opt.to_tree().height(), 2, "optimal tree must be balanced");
+        let si = schedule_with(Strategy::SmallestInput, &padded, 2).unwrap();
+        assert_eq!(si.to_tree().height(), 2);
+    }
+
+    #[test]
+    fn graph_to_sets_encodes_incidence() {
+        // A 4-cycle: each vertex is incident to exactly 2 edges and each
+        // edge id appears in exactly 2 sets.
+        let edges = [(0usize, 1usize), (1, 2), (2, 3), (3, 0)];
+        let sets = sets_from_graph(4, &edges);
+        assert_eq!(sets.len(), 4);
+        assert!(sets.iter().all(|s| s.len() == 2));
+        for edge_id in 0..edges.len() as u64 {
+            let appearances = sets.iter().filter(|s| s.contains(edge_id)).count();
+            assert_eq!(appearances, 2);
+        }
+        // The OPT-TREE-ASSIGN cost over the complete tree distinguishes
+        // good from bad leaf placements (adjacent vertices should sit in
+        // the same subtree).
+        let tree = MergeTree::complete_binary(4);
+        let good = tree
+            .assignment_cost(&sets, &[0, 1, 2, 3], &crate::Cardinality)
+            .unwrap();
+        let bad = tree
+            .assignment_cost(&sets, &[0, 2, 1, 3], &crate::Cardinality)
+            .unwrap();
+        assert!(good <= bad);
+    }
+}

@@ -1,0 +1,177 @@
+//! BALANCETREE (Section 4.3.1): keep the merge tree balanced.
+
+use crate::estimator::ExactEstimator;
+use crate::heuristics::{smallest_by_len, smallest_by_union, ChoosePolicy, CollectionItem};
+
+/// Which ordering BALANCETREE uses to pick sets *within* a level.
+///
+/// The paper evaluates both: `BT(I)` orders by set cardinality
+/// (SMALLESTINPUT) and `BT(O)` by union cardinality (SMALLESTOUTPUT).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LevelOrder {
+    /// Pair sets in the arbitrary order they appear at the current level,
+    /// as in the plain BALANCETREE description (Section 4.3.1, Figure 4).
+    Arbitrary,
+    /// Pick the smallest-cardinality sets at the current level (`BT(I)`).
+    SmallestInput,
+    /// Pick the sets whose union is smallest at the current level
+    /// (`BT(O)`).
+    SmallestOutput,
+}
+
+/// BALANCETREE: merge only sets annotated with the minimum level, so the
+/// resulting merge tree has height `⌈log₂ n⌉`.
+///
+/// Every initial set starts at level 1; a merge of level-`ℓ` sets produces
+/// a level-`ℓ + 1` set. If only one set remains at the minimum level its
+/// level is bumped and the choice retried, exactly as described in the
+/// paper. This is the heuristic the evaluation recommends (`BT(I)`)
+/// because all merges within a level are independent and can run in
+/// parallel (the `compaction-sim` crate does so).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BalanceTreePolicy {
+    order: LevelOrder,
+}
+
+impl BalanceTreePolicy {
+    /// Plain BALANCETREE: arbitrary pairing within each level (the
+    /// description of Section 4.3.1 and the schedule of Figure 4).
+    #[must_use]
+    pub fn arbitrary() -> Self {
+        Self {
+            order: LevelOrder::Arbitrary,
+        }
+    }
+
+    /// `BT(I)`: SMALLESTINPUT ordering within each level.
+    #[must_use]
+    pub fn with_smallest_input() -> Self {
+        Self {
+            order: LevelOrder::SmallestInput,
+        }
+    }
+
+    /// `BT(O)`: SMALLESTOUTPUT ordering within each level.
+    #[must_use]
+    pub fn with_smallest_output() -> Self {
+        Self {
+            order: LevelOrder::SmallestOutput,
+        }
+    }
+
+    /// The configured within-level ordering.
+    #[must_use]
+    pub fn order(&self) -> LevelOrder {
+        self.order
+    }
+}
+
+impl ChoosePolicy for BalanceTreePolicy {
+    fn choose(&mut self, items: &mut [CollectionItem], k: usize) -> Vec<usize> {
+        loop {
+            let min_level = items.iter().map(|it| it.level).min().expect("non-empty");
+            let candidates: Vec<usize> = items
+                .iter()
+                .enumerate()
+                .filter(|(_, it)| it.level == min_level)
+                .map(|(i, _)| i)
+                .collect();
+            if candidates.len() >= 2 {
+                let count = k.min(candidates.len());
+                return match self.order {
+                    LevelOrder::Arbitrary => candidates[..count].to_vec(),
+                    LevelOrder::SmallestInput => smallest_by_len(items, &candidates, count),
+                    LevelOrder::SmallestOutput => {
+                        smallest_by_union(&ExactEstimator, items, &candidates, count)
+                    }
+                };
+            }
+            // Only one set at the minimum level: bump it and retry.
+            items[candidates[0]].level += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristics::GreedyMerger;
+    use crate::{KeySet, Strategy};
+
+    fn singleton_sets(n: u64) -> Vec<KeySet> {
+        (0..n).map(|i| KeySet::from_iter([i])).collect()
+    }
+
+    #[test]
+    fn power_of_two_input_yields_perfect_tree() {
+        let sets = singleton_sets(8);
+        let schedule = crate::schedule_with(Strategy::BalanceTree, &sets, 2).unwrap();
+        let tree = schedule.to_tree();
+        assert_eq!(tree.height(), 3);
+        assert_eq!(tree.eta(), 8 * 4, "perfect binary tree over 8 leaves");
+    }
+
+    #[test]
+    fn non_power_of_two_height_is_ceil_log() {
+        for n in [3u64, 5, 6, 7, 9, 13] {
+            let sets = singleton_sets(n);
+            let schedule = crate::schedule_with(Strategy::BalanceTree, &sets, 2).unwrap();
+            let height = schedule.to_tree().height();
+            let expected = (n as f64).log2().ceil() as usize;
+            assert_eq!(height, expected, "n={n}");
+        }
+    }
+
+    #[test]
+    fn bt_levels_merge_before_deeper_nodes() {
+        // With 4 equal sets the first two merges must both involve only
+        // initial sets (level 1), never an intermediate output.
+        let sets = singleton_sets(4);
+        let schedule = GreedyMerger::new(&sets, 2)
+            .unwrap()
+            .run(BalanceTreePolicy::with_smallest_input())
+            .unwrap();
+        let ops = schedule.ops();
+        assert!(ops[0].inputs.iter().all(|&s| s < 4));
+        assert!(ops[1].inputs.iter().all(|&s| s < 4));
+        assert!(ops[2].inputs.iter().all(|&s| s >= 4));
+    }
+
+    #[test]
+    fn bt_output_variant_prefers_overlap_within_level() {
+        let sets = vec![
+            KeySet::from_range(0..10),
+            KeySet::from_range(0..10),
+            KeySet::from_range(100..110),
+            KeySet::from_range(200..210),
+        ];
+        let schedule = GreedyMerger::new(&sets, 2)
+            .unwrap()
+            .run(BalanceTreePolicy::with_smallest_output())
+            .unwrap();
+        let mut first = schedule.ops()[0].inputs.clone();
+        first.sort_unstable();
+        assert_eq!(first, vec![0, 1], "BT(O) pairs the overlapping sets first");
+        assert_eq!(
+            BalanceTreePolicy::with_smallest_output().order(),
+            LevelOrder::SmallestOutput
+        );
+    }
+
+    #[test]
+    fn approximation_bound_holds_on_adversarial_instance() {
+        // Lemma 4.1: BT is a (⌈log n⌉ + 1)-approximation; verify the cost
+        // never exceeds that bound relative to the LOPT lower bound's
+        // optimum-or-better reference (left-to-right merge here).
+        let n = 16u64;
+        let mut sets: Vec<KeySet> = (0..n - 1).map(|_| KeySet::from_iter([1u64])).collect();
+        sets.push((1..=n).collect::<Vec<u64>>().into());
+        let bt = crate::schedule_with(Strategy::BalanceTree, &sets, 2).unwrap();
+        let opt_like = crate::optimal::left_to_right_schedule(sets.len(), 2).unwrap();
+        let bound = ((n as f64).log2().ceil() as u64 + 1) * opt_like.cost(&sets);
+        assert!(bt.cost(&sets) <= bound);
+        // And the adversarial instance really does hurt BT: it costs more
+        // than the caterpillar merge (Lemma 4.2's separation).
+        assert!(bt.cost(&sets) > opt_like.cost(&sets));
+    }
+}

@@ -1,0 +1,207 @@
+//! SMALLESTOUTPUT with cached HyperLogLog sketches.
+//!
+//! The paper's simulator (Section 5.1, strategy 2) notes that recomputing
+//! union estimates for all `C(n, k)` combinations every iteration is
+//! unnecessarily expensive: estimates not involving the sets removed in
+//! the previous iteration can be reused, and only combinations involving
+//! the newly created sstable need fresh estimates (`C(n−k, k−1)` of
+//! them). This policy implements that optimization by caching one
+//! HyperLogLog sketch per *slot*: a pair's union estimate is then a
+//! register-wise merge of two cached sketches (`O(2^p)` work) instead of
+//! re-hashing every key of both sets.
+//!
+//! Because a HyperLogLog register array of a union equals the
+//! register-wise maximum of the operands' arrays, the cached policy makes
+//! *exactly* the same choices as the uncached
+//! [`SmallestOutputPolicy`](crate::heuristics::SmallestOutputPolicy) with
+//! an [`HllEstimator`](crate::HllEstimator) of the same precision — only
+//! the per-iteration strategy overhead changes.
+
+use std::collections::HashMap;
+
+use hll::HyperLogLog;
+
+use crate::heuristics::{ChoosePolicy, CollectionItem};
+use crate::KeySet;
+
+/// SMALLESTOUTPUT with per-sstable sketch caching (the paper's
+/// implementation of the SO strategy).
+#[derive(Debug, Clone)]
+pub struct CachedSmallestOutputPolicy {
+    precision: u8,
+    sketches: HashMap<usize, HyperLogLog>,
+}
+
+impl CachedSmallestOutputPolicy {
+    /// Creates the policy with the given HyperLogLog precision.
+    #[must_use]
+    pub fn new(precision: u8) -> Self {
+        Self {
+            precision,
+            sketches: HashMap::new(),
+        }
+    }
+
+    /// The configured precision.
+    #[must_use]
+    pub fn precision(&self) -> u8 {
+        self.precision
+    }
+
+    /// Number of sketches currently cached (for tests and introspection).
+    #[must_use]
+    pub fn cached_sketch_count(&self) -> usize {
+        self.sketches.len()
+    }
+
+    fn sketch_for(&mut self, slot: usize, set: &KeySet) -> &HyperLogLog {
+        let precision = self.precision;
+        self.sketches.entry(slot).or_insert_with(|| {
+            let mut sketch =
+                HyperLogLog::new(precision).unwrap_or_else(|_| HyperLogLog::with_default_precision());
+            for key in set.iter() {
+                sketch.add_u64(key);
+            }
+            sketch
+        })
+    }
+
+    fn union_estimate(&mut self, a: &CollectionItem, b: &CollectionItem) -> u64 {
+        // Materialize both cache entries first, then merge registers.
+        self.sketch_for(a.slot, &a.set);
+        self.sketch_for(b.slot, &b.set);
+        let sa = &self.sketches[&a.slot];
+        let sb = &self.sketches[&b.slot];
+        sa.union_estimate(sb).expect("equal precision by construction")
+    }
+}
+
+impl ChoosePolicy for CachedSmallestOutputPolicy {
+    fn choose(&mut self, items: &mut [CollectionItem], k: usize) -> Vec<usize> {
+        // Drop cache entries for slots that are no longer live so the
+        // cache stays proportional to the working collection.
+        let live: std::collections::HashSet<usize> = items.iter().map(|it| it.slot).collect();
+        self.sketches.retain(|slot, _| live.contains(slot));
+
+        // Best pair by estimated union size (ties by slot for determinism).
+        let mut best: Option<(u64, usize, usize)> = None;
+        for a in 0..items.len() {
+            for b in (a + 1)..items.len() {
+                let (ia, ib) = (items[a].clone(), items[b].clone());
+                let est = self.union_estimate(&ia, &ib);
+                let candidate = (est, a, b);
+                if best.map_or(true, |cur| candidate < cur) {
+                    best = Some(candidate);
+                }
+            }
+        }
+        let (_, a, b) = best.expect("at least two items");
+        let mut chosen = vec![a, b];
+
+        // Greedy k-way extension: merge the chosen sketches once, then add
+        // the set minimizing the estimated union with the running sketch.
+        while chosen.len() < k.min(items.len()) {
+            let mut running = self.sketches[&items[chosen[0]].slot].clone();
+            for &idx in &chosen[1..] {
+                running
+                    .merge(&self.sketches[&items[idx].slot])
+                    .expect("equal precision");
+            }
+            let mut best_ext: Option<(u64, usize)> = None;
+            for (i, item) in items.iter().enumerate() {
+                if chosen.contains(&i) {
+                    continue;
+                }
+                let item_clone = item.clone();
+                self.sketch_for(item_clone.slot, &item_clone.set);
+                let est = running
+                    .union_estimate(&self.sketches[&item.slot])
+                    .expect("equal precision");
+                if best_ext.map_or(true, |cur| (est, i) < cur) {
+                    best_ext = Some((est, i));
+                }
+            }
+            match best_ext {
+                Some((_, i)) => chosen.push(i),
+                None => break,
+            }
+        }
+        chosen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristics::{GreedyMerger, SmallestOutputPolicy};
+    use crate::{HllEstimator, KeySet};
+
+    fn instance() -> Vec<KeySet> {
+        (0..12u64)
+            .map(|i| KeySet::from_range(i * 400..i * 400 + 900))
+            .collect()
+    }
+
+    #[test]
+    fn cached_policy_matches_uncached_hll_schedule() {
+        let sets = instance();
+        let merger = GreedyMerger::new(&sets, 2).unwrap();
+        let cached = merger.run(CachedSmallestOutputPolicy::new(12)).unwrap();
+        let uncached = merger
+            .run(SmallestOutputPolicy::new(HllEstimator::new(12).unwrap()))
+            .unwrap();
+        // Register-wise max of per-set sketches equals the sketch of the
+        // union, so both policies see identical estimates and build
+        // identical schedules.
+        assert_eq!(cached, uncached);
+    }
+
+    #[test]
+    fn cache_is_pruned_to_live_slots() {
+        let sets = instance();
+        let mut policy = CachedSmallestOutputPolicy::new(10);
+        let merger = GreedyMerger::new(&sets, 2).unwrap();
+        // Run manually through the merger so we can inspect the policy
+        // afterwards: clone it into the run and check the clone's growth
+        // indirectly by running a single choose() on a small collection.
+        let schedule = merger.run(policy.clone()).unwrap();
+        assert_eq!(schedule.len(), sets.len() - 1);
+
+        let mut items: Vec<crate::heuristics::CollectionItem> = sets
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(slot, set)| crate::heuristics::CollectionItem { slot, set, level: 1 })
+            .collect();
+        let _ = policy.choose(&mut items, 2);
+        assert_eq!(policy.cached_sketch_count(), sets.len());
+        assert_eq!(policy.precision(), 10);
+
+        // Shrink the collection: stale slots must be evicted on the next
+        // choose call.
+        items.truncate(3);
+        let _ = policy.choose(&mut items, 2);
+        assert_eq!(policy.cached_sketch_count(), 3);
+    }
+
+    #[test]
+    fn kway_extension_uses_running_sketch() {
+        let sets = vec![
+            KeySet::from_range(0..1_000),
+            KeySet::from_range(0..1_000),
+            KeySet::from_range(100..1_100),
+            KeySet::from_range(50_000..51_000),
+        ];
+        let schedule = GreedyMerger::new(&sets, 3)
+            .unwrap()
+            .run(CachedSmallestOutputPolicy::new(14))
+            .unwrap();
+        let mut first = schedule.ops()[0].inputs.clone();
+        first.sort_unstable();
+        assert_eq!(
+            first,
+            vec![0, 1, 2],
+            "the three overlapping sets minimize the 3-way union"
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! FREQBINARYMERGING (Algorithm 2): the `f`-approximation.
+
+use crate::heuristics::{GreedyMerger, SmallestInputPolicy};
+use crate::{Error, KeySet, MergeSchedule};
+
+/// Algorithm 2 from the paper: build *dummy sets* `A'_i = {(x, i) : x ∈
+/// A_i}` (pairwise disjoint by construction), schedule them optimally
+/// with SMALLESTINPUT (optimal because disjoint sets reduce to Huffman
+/// coding, Lemma 4.3), and replay the same tree and leaf assignment on
+/// the original sets.
+///
+/// Lemma 4.6 proves the resulting cost is at most `f · OPT`, where `f` is
+/// the maximum number of initial sets any single key appears in. When
+/// keys rarely repeat across sstables (low update rates), `f` is small
+/// and this bound is stronger than the `O(log n)` greedy bounds.
+///
+/// # Errors
+///
+/// Returns [`Error::EmptyInput`] for zero sets and
+/// [`Error::InvalidFanIn`] for `k < 2`.
+pub fn frequency_schedule(sets: &[KeySet], k: usize) -> Result<MergeSchedule, Error> {
+    let dummies: Vec<KeySet> = sets
+        .iter()
+        .enumerate()
+        .map(|(i, s)| s.relabel_disjoint(i))
+        .collect();
+    // The schedule is expressed purely over slots, so the schedule built
+    // for the dummy sets applies verbatim to the originals.
+    GreedyMerger::new(&dummies, k)?.run(SmallestInputPolicy)
+}
+
+/// The maximum key frequency `f = max_x |{i : x ∈ A_i}|` of an instance.
+/// The approximation guarantee of [`frequency_schedule`] is `f · OPT`.
+#[must_use]
+pub fn max_key_frequency(sets: &[KeySet]) -> u64 {
+    let mut counts = std::collections::HashMap::new();
+    for set in sets {
+        for key in set.iter() {
+            *counts.entry(key).or_insert(0u64) += 1;
+        }
+    }
+    counts.values().copied().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Strategy;
+
+    #[test]
+    fn disjoint_instance_matches_smallest_input_exactly() {
+        // With already-disjoint sets the relabelling is a no-op in effect,
+        // so FREQ and SI produce equal-cost schedules.
+        let sets: Vec<KeySet> = (0..7u64)
+            .map(|i| KeySet::from_range(i * 50..i * 50 + 5 * (i + 1)))
+            .collect();
+        let freq = frequency_schedule(&sets, 2).unwrap();
+        let si = crate::schedule_with(Strategy::SmallestInput, &sets, 2).unwrap();
+        assert_eq!(freq.cost(&sets), si.cost(&sets));
+        assert_eq!(max_key_frequency(&sets), 1);
+    }
+
+    #[test]
+    fn f_approximation_bound_holds() {
+        // Lemma 4.6: Cost ≤ f · OPT. Verify against the exhaustive optimum
+        // on a small overlapping instance.
+        let sets = vec![
+            KeySet::from_iter([1u64, 2, 3, 5]),
+            KeySet::from_iter([1u64, 2, 3, 4]),
+            KeySet::from_iter([3u64, 4, 5]),
+            KeySet::from_iter([6u64, 7, 8]),
+            KeySet::from_iter([7u64, 8, 9]),
+        ];
+        let f = max_key_frequency(&sets);
+        assert_eq!(f, 3, "key 3 appears in three sets");
+        let freq = frequency_schedule(&sets, 2).unwrap();
+        let opt = crate::optimal::optimal_schedule(&sets, 2).unwrap();
+        assert!(freq.cost(&sets) <= f * opt.cost(&sets));
+    }
+
+    #[test]
+    fn frequency_of_empty_and_identical_sets() {
+        assert_eq!(max_key_frequency(&[]), 0);
+        let sets = vec![KeySet::from_iter([1u64, 2]); 4];
+        assert_eq!(max_key_frequency(&sets), 4);
+        let schedule = frequency_schedule(&sets, 2).unwrap();
+        assert_eq!(schedule.final_set(&sets).len(), 2);
+    }
+
+    #[test]
+    fn relabelled_dummy_sets_are_scheduled_like_huffman() {
+        // Dummy sets are disjoint with the same sizes as the originals, so
+        // the schedule's *shape* on sets of very different sizes defers
+        // the big set to the last merge (Huffman behaviour).
+        let sets = vec![
+            KeySet::from_range(0..100),
+            KeySet::from_iter([0u64]),
+            KeySet::from_iter([1u64]),
+            KeySet::from_iter([2u64]),
+        ];
+        let schedule = frequency_schedule(&sets, 2).unwrap();
+        let last_op = schedule.ops().last().unwrap();
+        assert!(
+            last_op.inputs.contains(&0),
+            "the 100-key set must be merged last, inputs were {:?}",
+            last_op.inputs
+        );
+    }
+}

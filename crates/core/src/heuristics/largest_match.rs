@@ -1,0 +1,129 @@
+//! LARGESTMATCH (Section 4.3.4): merge the pair with the largest
+//! intersection.
+
+use crate::heuristics::{ChoosePolicy, CollectionItem};
+
+/// LARGESTMATCH: in each iteration merge the sets sharing the most keys,
+/// the cardinality-estimation-driven idea discussed for Cassandra.
+///
+/// The paper shows its worst-case approximation ratio is `Ω(n)` (the
+/// nested-prefix-set family), so it is included for completeness and as a
+/// cautionary baseline rather than as a recommended strategy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LargestMatchPolicy;
+
+impl ChoosePolicy for LargestMatchPolicy {
+    fn choose(&mut self, items: &mut [CollectionItem], k: usize) -> Vec<usize> {
+        // Best pair by intersection size (ties: smaller union, then slots,
+        // for determinism).
+        let mut best: Option<(i64, usize, usize, usize)> = None;
+        for a in 0..items.len() {
+            for b in (a + 1)..items.len() {
+                let inter = items[a].set.intersection_size(&items[b].set) as i64;
+                let union = items[a].set.union_size(&items[b].set);
+                let candidate = (-inter, union, a, b);
+                if best.map_or(true, |(bi, bu, ba, bb)| candidate < (bi, bu, ba, bb)) {
+                    best = Some(candidate);
+                }
+            }
+        }
+        let (_, _, a, b) = best.expect("at least two items");
+        let mut chosen = vec![a, b];
+        // k-way extension: keep adding the set with the largest
+        // intersection with the current union.
+        let mut current = items[a].set.union(&items[b].set);
+        while chosen.len() < k.min(items.len()) {
+            let mut best_ext: Option<(i64, usize)> = None;
+            for (i, item) in items.iter().enumerate() {
+                if chosen.contains(&i) {
+                    continue;
+                }
+                let inter = item.set.intersection_size(&current) as i64;
+                if best_ext.map_or(true, |(bi, bidx)| (-inter, i) < (bi, bidx)) {
+                    best_ext = Some((-inter, i));
+                }
+            }
+            match best_ext {
+                Some((_, i)) => {
+                    current = current.union(&items[i].set);
+                    chosen.push(i);
+                }
+                None => break,
+            }
+        }
+        chosen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristics::GreedyMerger;
+    use crate::{KeySet, Strategy};
+
+    #[test]
+    fn picks_the_most_overlapping_pair() {
+        let sets = vec![
+            KeySet::from_range(0..100),
+            KeySet::from_range(90..200),  // overlap 10 with set 0
+            KeySet::from_range(50..160),  // overlap 50 with 0, 70 with 1
+            KeySet::from_range(1000..1010),
+        ];
+        let schedule = GreedyMerger::new(&sets, 2)
+            .unwrap()
+            .run(LargestMatchPolicy)
+            .unwrap();
+        let mut first = schedule.ops()[0].inputs.clone();
+        first.sort_unstable();
+        assert_eq!(first, vec![1, 2], "largest intersection is sets 1 and 2");
+    }
+
+    #[test]
+    fn omega_n_gap_on_nested_prefix_sets() {
+        // Section 4.3.4: A_i = {1, …, 2^{i−1}}. The left-to-right merge
+        // costs 2^{n+1} − 3 (under cost_actual-style counting the paper
+        // uses 1 + 2·(2 + 4 + … + 2^{n−1})); LARGESTMATCH keeps choosing
+        // the huge set every iteration and pays ≈ 2^{n−1}·(n−1).
+        let n = 10usize;
+        let sets: Vec<KeySet> = (1..=n)
+            .map(|i| KeySet::from_range(1..(1u64 << (i - 1)) + 1))
+            .collect();
+        let lm = crate::schedule_with(Strategy::LargestMatch, &sets, 2).unwrap();
+        let l2r = crate::optimal::left_to_right_schedule(n, 2).unwrap();
+        let lm_cost = lm.cost(&sets);
+        let l2r_cost = l2r.cost(&sets);
+        assert!(
+            lm_cost > 2 * l2r_cost,
+            "LARGESTMATCH ({lm_cost}) should be far worse than left-to-right ({l2r_cost}) on the nested family"
+        );
+        // The gap grows with n (Ω(n) behaviour): the dominant term is
+        // 2^{n−1}·(n−1), here with the largest set chosen every iteration.
+        assert!(lm_cost as f64 >= 0.5 * ((1u64 << (n - 1)) as f64) * ((n - 1) as f64));
+        // The asymptotic separation: the gap at n is larger than at n − 4.
+        let small: Vec<KeySet> = (1..=n - 4)
+            .map(|i| KeySet::from_range(1..(1u64 << (i - 1)) + 1))
+            .collect();
+        let lm_small = crate::schedule_with(Strategy::LargestMatch, &small, 2).unwrap();
+        let l2r_small = crate::optimal::left_to_right_schedule(n - 4, 2).unwrap();
+        let gap_small = lm_small.cost(&small) as f64 / l2r_small.cost(&small) as f64;
+        let gap_large = lm_cost as f64 / l2r_cost as f64;
+        assert!(gap_large > gap_small, "gap must grow with n");
+    }
+
+    #[test]
+    fn kway_extension_adds_most_overlapping_sets() {
+        let sets = vec![
+            KeySet::from_range(0..50),
+            KeySet::from_range(0..50),
+            KeySet::from_range(0..40),
+            KeySet::from_range(500..600),
+        ];
+        let schedule = GreedyMerger::new(&sets, 3)
+            .unwrap()
+            .run(LargestMatchPolicy)
+            .unwrap();
+        let mut first = schedule.ops()[0].inputs.clone();
+        first.sort_unstable();
+        assert_eq!(first, vec![0, 1, 2]);
+    }
+}

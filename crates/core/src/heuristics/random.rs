@@ -1,0 +1,88 @@
+//! RANDOM: the evaluation's strawman baseline (Section 5.1, strategy 5).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::heuristics::{ChoosePolicy, CollectionItem};
+
+/// Merges `k` uniformly random sets each iteration.
+///
+/// This models "no compaction strategy at all" and is the baseline the
+/// paper's Figure 7 compares the real heuristics against. Seeded so that
+/// experiment runs are reproducible.
+#[derive(Debug, Clone)]
+pub struct RandomPolicy {
+    rng: StdRng,
+}
+
+impl RandomPolicy {
+    /// Creates the policy with a deterministic seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl ChoosePolicy for RandomPolicy {
+    fn choose(&mut self, items: &mut [CollectionItem], k: usize) -> Vec<usize> {
+        let count = k.min(items.len()).max(2);
+        let mut indices: Vec<usize> = (0..items.len()).collect();
+        indices.shuffle(&mut self.rng);
+        indices.truncate(count);
+        indices
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristics::GreedyMerger;
+    use crate::{KeySet, Strategy};
+
+    fn sets(n: u64) -> Vec<KeySet> {
+        (0..n).map(|i| KeySet::from_range(i * 10..i * 10 + 5)).collect()
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let sets = sets(10);
+        let a = GreedyMerger::new(&sets, 2).unwrap().run(RandomPolicy::new(3)).unwrap();
+        let b = GreedyMerger::new(&sets, 2).unwrap().run(RandomPolicy::new(3)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_is_never_better_than_smallest_input_on_skewed_instances() {
+        // One huge set plus many tiny ones: SI defers the huge set, RANDOM
+        // tends to pick it early, so averaged over seeds RANDOM costs at
+        // least as much as SI.
+        let mut instance: Vec<KeySet> = (0..15u64).map(|i| KeySet::from_iter([i])).collect();
+        instance.push(KeySet::from_range(100..1100));
+        let si_cost = crate::schedule_with(Strategy::SmallestInput, &instance, 2)
+            .unwrap()
+            .cost(&instance);
+        let mut random_total = 0u64;
+        let runs = 20u64;
+        for seed in 0..runs {
+            random_total += crate::schedule_with(Strategy::Random { seed }, &instance, 2)
+                .unwrap()
+                .cost(&instance);
+        }
+        let random_mean = random_total as f64 / runs as f64;
+        assert!(
+            random_mean >= si_cost as f64,
+            "random mean {random_mean} should not beat SI {si_cost}"
+        );
+    }
+
+    #[test]
+    fn respects_fanin() {
+        let sets = sets(9);
+        let schedule = GreedyMerger::new(&sets, 4).unwrap().run(RandomPolicy::new(5)).unwrap();
+        assert!(schedule.ops().iter().all(|op| op.inputs.len() <= 4));
+        assert!(schedule.ops().iter().all(|op| op.inputs.len() >= 2));
+    }
+}

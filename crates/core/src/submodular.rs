@@ -1,0 +1,187 @@
+//! Monotone-submodularity checking.
+//!
+//! The SUBMODULARMERGING extension (Section 2 of the paper) requires the
+//! merge cost to be a monotone submodular function. These helpers verify
+//! both properties empirically over a ground set, and are used by the
+//! test suite to certify that every [`CostModel`](crate::CostModel)
+//! shipped by this crate stays inside the class the paper's analysis
+//! covers.
+
+use crate::{CostModel, KeySet};
+
+/// Checks `f(S) ≤ f(T)` for every sampled pair `S ⊆ T ⊆ ground`.
+///
+/// For small ground sets (≤ ~12 elements) this enumerates every pair of
+/// nested subsets exhaustively; beyond that, prefer
+/// [`is_monotone_sampled`].
+#[must_use]
+pub fn is_monotone_exhaustive<M: CostModel>(model: &M, ground: &[u64]) -> bool {
+    let n = ground.len();
+    assert!(n <= 16, "exhaustive check limited to 16 ground elements");
+    let subsets = 1u32 << n;
+    for s in 0..subsets {
+        let set_s = mask_to_set(ground, s);
+        let cost_s = model.cost(&set_s);
+        // Adding one element at a time is sufficient for monotonicity.
+        for bit in 0..n {
+            if s & (1 << bit) == 0 {
+                let t = s | (1 << bit);
+                let set_t = mask_to_set(ground, t);
+                if model.cost(&set_t) < cost_s {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Checks submodularity via the equivalent diminishing-returns condition:
+/// for every `S ⊆ T` and element `x ∉ T`,
+/// `f(S ∪ {x}) − f(S) ≥ f(T ∪ {x}) − f(T)`.
+///
+/// Exhaustive over all subsets of `ground` (≤ 16 elements).
+#[must_use]
+pub fn is_submodular_exhaustive<M: CostModel>(model: &M, ground: &[u64]) -> bool {
+    let n = ground.len();
+    assert!(n <= 16, "exhaustive check limited to 16 ground elements");
+    let subsets = 1u32 << n;
+    for s in 0..subsets {
+        for t in 0..subsets {
+            // Require S ⊆ T.
+            if s & t != s {
+                continue;
+            }
+            let set_s = mask_to_set(ground, s);
+            let set_t = mask_to_set(ground, t);
+            let f_s = model.cost(&set_s) as i128;
+            let f_t = model.cost(&set_t) as i128;
+            for (bit, &x) in ground.iter().enumerate() {
+                if t & (1 << bit) != 0 {
+                    continue;
+                }
+                let mut s_x = set_s.clone();
+                s_x.insert(x);
+                let mut t_x = set_t.clone();
+                t_x.insert(x);
+                let gain_s = model.cost(&s_x) as i128 - f_s;
+                let gain_t = model.cost(&t_x) as i128 - f_t;
+                if gain_s < gain_t {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Randomized monotonicity check for larger ground sets: samples `trials`
+/// nested pairs using a simple deterministic pseudo-random walk seeded by
+/// `seed`.
+#[must_use]
+pub fn is_monotone_sampled<M: CostModel>(model: &M, ground: &[u64], trials: usize, seed: u64) -> bool {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for _ in 0..trials {
+        let mut small = Vec::new();
+        let mut large = Vec::new();
+        for &x in ground {
+            let r = next();
+            if r % 4 == 0 {
+                small.push(x);
+                large.push(x);
+            } else if r % 4 == 1 {
+                large.push(x);
+            }
+        }
+        let f_small = model.cost(&KeySet::from_vec(small));
+        let f_large = model.cost(&KeySet::from_vec(large));
+        if f_small > f_large {
+            return false;
+        }
+    }
+    true
+}
+
+fn mask_to_set(ground: &[u64], mask: u32) -> KeySet {
+    KeySet::from_vec(
+        ground
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, &x)| x)
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cardinality, ConstantOverhead, WeightedKeys};
+    use std::collections::HashMap;
+
+    const GROUND: [u64; 8] = [1, 2, 3, 5, 8, 13, 21, 34];
+
+    #[test]
+    fn cardinality_is_monotone_submodular() {
+        assert!(is_monotone_exhaustive(&Cardinality, &GROUND));
+        assert!(is_submodular_exhaustive(&Cardinality, &GROUND));
+    }
+
+    #[test]
+    fn weighted_keys_is_monotone_submodular() {
+        let mut w = HashMap::new();
+        for (i, &k) in GROUND.iter().enumerate() {
+            w.insert(k, (i as u64 + 1) * 3);
+        }
+        let model = WeightedKeys::new(w, 1);
+        assert!(is_monotone_exhaustive(&model, &GROUND));
+        assert!(is_submodular_exhaustive(&model, &GROUND));
+    }
+
+    #[test]
+    fn constant_overhead_is_monotone_submodular() {
+        let model = ConstantOverhead::new(Cardinality, 50);
+        assert!(is_monotone_exhaustive(&model, &GROUND));
+        assert!(is_submodular_exhaustive(&model, &GROUND));
+    }
+
+    #[test]
+    fn a_supermodular_function_is_rejected() {
+        /// `f(S) = |S|^2` is monotone but *not* submodular.
+        #[derive(Debug)]
+        struct Quadratic;
+        impl CostModel for Quadratic {
+            fn cost(&self, set: &KeySet) -> u64 {
+                (set.len() * set.len()) as u64
+            }
+        }
+        assert!(is_monotone_exhaustive(&Quadratic, &GROUND));
+        assert!(!is_submodular_exhaustive(&Quadratic, &GROUND));
+    }
+
+    #[test]
+    fn a_non_monotone_function_is_rejected() {
+        /// Charges less for bigger sets: not monotone.
+        #[derive(Debug)]
+        struct Shrinking;
+        impl CostModel for Shrinking {
+            fn cost(&self, set: &KeySet) -> u64 {
+                100u64.saturating_sub(set.len() as u64)
+            }
+        }
+        assert!(!is_monotone_exhaustive(&Shrinking, &GROUND));
+        assert!(!is_monotone_sampled(&Shrinking, &GROUND, 200, 7));
+    }
+
+    #[test]
+    fn sampled_check_accepts_cardinality_on_larger_ground() {
+        let ground: Vec<u64> = (0..200).collect();
+        assert!(is_monotone_sampled(&Cardinality, &ground, 500, 42));
+    }
+}

@@ -1,0 +1,352 @@
+//! Merge trees: the tree view of a merge schedule.
+//!
+//! A binary merge schedule corresponds to a full binary tree with `n`
+//! leaves (Section 2 of the paper): leaves are the initial sstables,
+//! internal nodes are merge outputs, the root is the final sstable. This
+//! module provides that tree structure, the canonical tree shapes used in
+//! the analysis (the perfectly balanced tree and the caterpillar tree of
+//! Figure 3), the `η(T)` quantity from Lemma A.2, and evaluation of the
+//! OPT-TREE-ASSIGN cost for a fixed tree and leaf assignment.
+
+use crate::{CostModel, Error, KeySet};
+
+/// One node of a merge tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeNode {
+    /// A leaf holding the position `leaf_index` (0-based) in the leaf
+    /// ordering; the actual initial set assigned to it is decided by a
+    /// separate assignment permutation.
+    Leaf {
+        /// Position of this leaf in the canonical left-to-right ordering.
+        leaf_index: usize,
+    },
+    /// An internal node merging the subtrees rooted at `children`.
+    Internal {
+        /// Child node ids (at least 2, at most the schedule fan-in).
+        children: Vec<usize>,
+    },
+}
+
+/// A full merge tree with `n` leaves.
+///
+/// Nodes are stored in a flat arena; `root` indexes the final merge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeTree {
+    nodes: Vec<TreeNode>,
+    root: usize,
+    leaf_count: usize,
+}
+
+impl MergeTree {
+    /// Builds a tree from a node arena and root index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is out of range. Intended for internal
+    /// constructors; external users build trees via
+    /// [`MergeSchedule::to_tree`](crate::MergeSchedule::to_tree),
+    /// [`MergeTree::complete_binary`] or [`MergeTree::caterpillar`].
+    #[must_use]
+    pub fn from_parts(nodes: Vec<TreeNode>, root: usize) -> Self {
+        assert!(root < nodes.len(), "root index out of range");
+        let leaf_count = nodes
+            .iter()
+            .filter(|n| matches!(n, TreeNode::Leaf { .. }))
+            .count();
+        Self {
+            nodes,
+            root,
+            leaf_count,
+        }
+    }
+
+    /// The perfectly balanced binary tree over `n` leaves (`n ≥ 1`). When
+    /// `n` is not a power of two the tree is the level-order "complete"
+    /// tree of height `⌈log₂ n⌉`, built exactly like the BALANCETREE
+    /// heuristic builds its schedule.
+    #[must_use]
+    pub fn complete_binary(n: usize) -> Self {
+        assert!(n >= 1, "tree needs at least one leaf");
+        let mut nodes: Vec<TreeNode> = (0..n).map(|leaf_index| TreeNode::Leaf { leaf_index }).collect();
+        // Level-by-level pairing, identical to the BalanceTree heuristic.
+        let mut current: Vec<usize> = (0..n).collect();
+        while current.len() > 1 {
+            let mut next = Vec::with_capacity(current.len().div_ceil(2));
+            for pair in current.chunks(2) {
+                if pair.len() == 2 {
+                    nodes.push(TreeNode::Internal {
+                        children: vec![pair[0], pair[1]],
+                    });
+                    next.push(nodes.len() - 1);
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            current = next;
+        }
+        let root = current[0];
+        Self::from_parts(nodes, root)
+    }
+
+    /// The caterpillar tree `T_n` of Figure 3: a fully left-leaning chain
+    /// of `n − 1` merges (height `n − 1`).
+    #[must_use]
+    pub fn caterpillar(n: usize) -> Self {
+        assert!(n >= 1, "tree needs at least one leaf");
+        let mut nodes: Vec<TreeNode> = (0..n).map(|leaf_index| TreeNode::Leaf { leaf_index }).collect();
+        let mut acc = 0usize;
+        for leaf in 1..n {
+            nodes.push(TreeNode::Internal {
+                children: vec![acc, leaf],
+            });
+            acc = nodes.len() - 1;
+        }
+        let root = acc;
+        Self::from_parts(nodes, root)
+    }
+
+    /// Number of leaves.
+    #[must_use]
+    pub fn leaf_count(&self) -> usize {
+        self.leaf_count
+    }
+
+    /// Number of nodes (leaves + internal).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The node arena.
+    #[must_use]
+    pub fn nodes(&self) -> &[TreeNode] {
+        &self.nodes
+    }
+
+    /// The root node id.
+    #[must_use]
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Height of the tree in edges (a single leaf has height 0).
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.depth_below(self.root)
+    }
+
+    fn depth_below(&self, node: usize) -> usize {
+        match &self.nodes[node] {
+            TreeNode::Leaf { .. } => 0,
+            TreeNode::Internal { children } => {
+                1 + children.iter().map(|&c| self.depth_below(c)).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// `η(T)`: the sum over all leaves of the number of nodes on the path
+    /// from the root to the leaf (Lemma A.2). For any binary tree with
+    /// `n = 2^h` leaves, `η(T) ≥ n · log₂(2n)` with equality exactly for
+    /// the perfect binary tree.
+    #[must_use]
+    pub fn eta(&self) -> u64 {
+        let mut total = 0u64;
+        self.for_each_leaf_depth(self.root, 0, &mut |depth| {
+            total += depth as u64 + 1;
+        });
+        total
+    }
+
+    fn for_each_leaf_depth(&self, node: usize, depth: usize, f: &mut impl FnMut(usize)) {
+        match &self.nodes[node] {
+            TreeNode::Leaf { .. } => f(depth),
+            TreeNode::Internal { children } => {
+                for &c in children {
+                    self.for_each_leaf_depth(c, depth + 1, f);
+                }
+            }
+        }
+    }
+
+    /// Depth (in edges from the root) of every leaf, indexed by the leaf's
+    /// canonical `leaf_index`.
+    #[must_use]
+    pub fn leaf_depths(&self) -> Vec<usize> {
+        let mut depths = vec![0usize; self.leaf_count];
+        self.collect_leaf_depths(self.root, 0, &mut depths);
+        depths
+    }
+
+    fn collect_leaf_depths(&self, node: usize, depth: usize, out: &mut Vec<usize>) {
+        match &self.nodes[node] {
+            TreeNode::Leaf { leaf_index } => out[*leaf_index] = depth,
+            TreeNode::Internal { children } => {
+                for &c in children {
+                    self.collect_leaf_depths(c, depth + 1, out);
+                }
+            }
+        }
+    }
+
+    /// Evaluates the OPT-TREE-ASSIGN cost (eq. 2.1) of assigning initial
+    /// sets to this tree's leaves: `assignment[leaf_index]` names the set
+    /// placed at that leaf. Every node is labelled by the union of the
+    /// sets below it and the cost is the sum of `model.cost` over all
+    /// node labels (leaves, internal nodes and root alike).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyInput`] if `sets` is empty and
+    /// [`Error::InvalidSlot`] if the assignment references a set index out
+    /// of range or has the wrong length.
+    pub fn assignment_cost<M: CostModel>(
+        &self,
+        sets: &[KeySet],
+        assignment: &[usize],
+        model: &M,
+    ) -> Result<u64, Error> {
+        if sets.is_empty() {
+            return Err(Error::EmptyInput);
+        }
+        if assignment.len() != self.leaf_count {
+            return Err(Error::InvalidSlot {
+                op_index: 0,
+                slot: assignment.len(),
+            });
+        }
+        if let Some(&bad) = assignment.iter().find(|&&s| s >= sets.len()) {
+            return Err(Error::InvalidSlot {
+                op_index: 0,
+                slot: bad,
+            });
+        }
+        let mut total = 0u64;
+        self.label_and_sum(self.root, sets, assignment, model, &mut total);
+        Ok(total)
+    }
+
+    fn label_and_sum<M: CostModel>(
+        &self,
+        node: usize,
+        sets: &[KeySet],
+        assignment: &[usize],
+        model: &M,
+        total: &mut u64,
+    ) -> KeySet {
+        let label = match &self.nodes[node] {
+            TreeNode::Leaf { leaf_index } => sets[assignment[*leaf_index]].clone(),
+            TreeNode::Internal { children } => {
+                let mut acc = KeySet::new();
+                for &c in children {
+                    let child_label = self.label_and_sum(c, sets, assignment, model, total);
+                    acc = acc.union(&child_label);
+                }
+                acc
+            }
+        };
+        *total += model.cost(&label);
+        label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cardinality;
+
+    #[test]
+    fn complete_binary_shape() {
+        let t = MergeTree::complete_binary(8);
+        assert_eq!(t.leaf_count(), 8);
+        assert_eq!(t.node_count(), 15);
+        assert_eq!(t.height(), 3);
+        assert_eq!(t.eta(), 8 * 4, "every leaf has 4 nodes on its root path");
+        assert_eq!(t.leaf_depths(), vec![3; 8]);
+    }
+
+    #[test]
+    fn complete_binary_non_power_of_two() {
+        let t = MergeTree::complete_binary(5);
+        assert_eq!(t.leaf_count(), 5);
+        assert_eq!(t.height(), 3, "height ⌈log₂ 5⌉ = 3");
+        // 4 internal merges for 5 leaves.
+        assert_eq!(t.node_count(), 9);
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let t = MergeTree::caterpillar(5);
+        assert_eq!(t.leaf_count(), 5);
+        assert_eq!(t.height(), 4);
+        assert_eq!(t.node_count(), 9);
+        // Leaf 0 is deepest (depth 4); leaf 4 is merged last (depth 1).
+        let depths = t.leaf_depths();
+        assert_eq!(depths[0], 4);
+        assert_eq!(depths[4], 1);
+    }
+
+    #[test]
+    fn eta_lower_bound_lemma_a2() {
+        // For n = 2^h leaves, η(T) ≥ n log₂(2n) with equality only for the
+        // perfect tree; the caterpillar must exceed it for n ≥ 4.
+        for h in 1..=5u32 {
+            let n = 1usize << h;
+            let balanced = MergeTree::complete_binary(n);
+            let caterpillar = MergeTree::caterpillar(n);
+            let bound = (n as u64) * u64::from(h + 1);
+            assert_eq!(balanced.eta(), bound, "perfect tree attains the bound (n={n})");
+            if n >= 4 {
+                assert!(
+                    caterpillar.eta() > bound,
+                    "caterpillar must exceed the bound (n={n})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_leaf_trees() {
+        let t = MergeTree::complete_binary(1);
+        assert_eq!(t.leaf_count(), 1);
+        assert_eq!(t.height(), 0);
+        assert_eq!(t.eta(), 1);
+        let c = MergeTree::caterpillar(1);
+        assert_eq!(c.node_count(), 1);
+    }
+
+    #[test]
+    fn assignment_cost_counts_every_node() {
+        // Two disjoint singletons under a single merge: cost = 1 + 1 + 2.
+        let sets = vec![KeySet::from_iter([1u64]), KeySet::from_iter([2u64])];
+        let t = MergeTree::complete_binary(2);
+        let cost = t.assignment_cost(&sets, &[0, 1], &Cardinality).unwrap();
+        assert_eq!(cost, 4);
+        // Swapping the assignment changes nothing for symmetric sets.
+        assert_eq!(t.assignment_cost(&sets, &[1, 0], &Cardinality).unwrap(), 4);
+    }
+
+    #[test]
+    fn assignment_cost_depends_on_placement_for_caterpillar() {
+        // Caterpillar over 3 leaves: the set placed at the deepest leaves
+        // is counted in more internal nodes.
+        let sets = vec![
+            KeySet::from_range(0..10),
+            KeySet::from_iter([100u64]),
+            KeySet::from_iter([200u64]),
+        ];
+        let t = MergeTree::caterpillar(3);
+        // Big set deepest (leaf 0) vs big set last (leaf 2).
+        let deep = t.assignment_cost(&sets, &[0, 1, 2], &Cardinality).unwrap();
+        let shallow = t.assignment_cost(&sets, &[1, 2, 0], &Cardinality).unwrap();
+        assert!(deep > shallow, "deep={deep} shallow={shallow}");
+    }
+
+    #[test]
+    fn assignment_cost_validates_inputs() {
+        let sets = vec![KeySet::from_iter([1u64])];
+        let t = MergeTree::complete_binary(2);
+        assert!(t.assignment_cost(&[], &[0, 1], &Cardinality).is_err());
+        assert!(t.assignment_cost(&sets, &[0], &Cardinality).is_err());
+        assert!(t.assignment_cost(&sets, &[0, 5], &Cardinality).is_err());
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type for the `hll` crate.
+
+use std::fmt;
+
+/// Errors returned by [`HyperLogLog`](crate::HyperLogLog) operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The requested precision is outside the supported
+    /// [`MIN_PRECISION`](crate::MIN_PRECISION)..=[`MAX_PRECISION`](crate::MAX_PRECISION)
+    /// range.
+    InvalidPrecision {
+        /// The precision that was requested.
+        requested: u8,
+    },
+    /// Two sketches with different precisions were merged or compared.
+    PrecisionMismatch {
+        /// Precision of the left-hand sketch.
+        left: u8,
+        /// Precision of the right-hand sketch.
+        right: u8,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidPrecision { requested } => write!(
+                f,
+                "invalid precision {requested}, expected a value in {}..={}",
+                crate::MIN_PRECISION,
+                crate::MAX_PRECISION
+            ),
+            Error::PrecisionMismatch { left, right } => write!(
+                f,
+                "precision mismatch: left sketch has p={left}, right sketch has p={right}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let e = Error::InvalidPrecision { requested: 99 };
+        let s = e.to_string();
+        assert!(s.contains("99"));
+        assert!(s.starts_with("invalid"));
+
+        let e = Error::PrecisionMismatch { left: 4, right: 12 };
+        assert!(e.to_string().contains("p=4"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

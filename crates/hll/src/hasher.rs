@@ -1,0 +1,100 @@
+//! 64-bit non-cryptographic hashing used by the HyperLogLog sketch.
+//!
+//! HyperLogLog only needs a hash function whose output bits are
+//! approximately uniform and independent. We use the SplitMix64 finalizer
+//! (Stafford's Mix13 variant) for integers and an FNV-1a/SplitMix64 hybrid
+//! for byte strings. Both are deterministic across runs, which keeps
+//! simulator experiments reproducible.
+
+/// Hashes a 64-bit integer to a 64-bit value with good bit dispersion.
+///
+/// This is the SplitMix64 output-mixing function; it is a bijection, so
+/// distinct keys can never collide, and its avalanche behaviour is strong
+/// enough for HyperLogLog register selection.
+///
+/// # Examples
+///
+/// ```
+/// let h1 = hll::hash_u64(1);
+/// let h2 = hll::hash_u64(2);
+/// assert_ne!(h1, h2);
+/// ```
+#[inline]
+#[must_use]
+pub fn hash_u64(key: u64) -> u64 {
+    let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hashes a byte slice to a 64-bit value.
+///
+/// Bytes are folded with FNV-1a and the accumulator is then passed through
+/// [`hash_u64`] to improve avalanche on the high bits (FNV alone has weak
+/// high-bit dispersion, and HyperLogLog uses the high bits to pick the
+/// register index).
+///
+/// # Examples
+///
+/// ```
+/// assert_ne!(hll::hash_bytes(b"alpha"), hll::hash_bytes(b"beta"));
+/// ```
+#[inline]
+#[must_use]
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut acc = FNV_OFFSET;
+    for &b in bytes {
+        acc ^= u64::from(b);
+        acc = acc.wrapping_mul(FNV_PRIME);
+    }
+    hash_u64(acc ^ (bytes.len() as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn hash_u64_is_deterministic() {
+        assert_eq!(hash_u64(42), hash_u64(42));
+    }
+
+    #[test]
+    fn hash_u64_is_injective_on_small_range() {
+        let hashes: HashSet<u64> = (0u64..100_000).map(hash_u64).collect();
+        assert_eq!(hashes.len(), 100_000);
+    }
+
+    #[test]
+    fn hash_bytes_distinguishes_length() {
+        assert_ne!(hash_bytes(b""), hash_bytes(b"\0"));
+        assert_ne!(hash_bytes(b"a"), hash_bytes(b"aa"));
+    }
+
+    #[test]
+    fn hash_u64_bits_are_roughly_balanced() {
+        // Over many hashed values, each bit position should be set roughly
+        // half of the time. This is a coarse avalanche sanity check.
+        let n = 10_000u64;
+        let mut ones = [0u32; 64];
+        for x in 0..n {
+            let h = hash_u64(x);
+            for (bit, count) in ones.iter_mut().enumerate() {
+                if h & (1 << bit) != 0 {
+                    *count += 1;
+                }
+            }
+        }
+        for &count in &ones {
+            let frac = f64::from(count) / n as f64;
+            assert!(
+                (0.45..=0.55).contains(&frac),
+                "bit bias out of range: {frac}"
+            );
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests for the HyperLogLog sketch.
+
+use hll::HyperLogLog;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The estimate tracks the true distinct count within a generous bound
+    /// for arbitrary (possibly duplicated) inputs.
+    #[test]
+    fn estimate_tracks_truth(keys in proptest::collection::vec(0u64..50_000, 0..4_000)) {
+        let truth = keys.iter().copied().collect::<HashSet<_>>().len() as f64;
+        let mut sketch = HyperLogLog::new(14).unwrap();
+        for k in &keys {
+            sketch.add_u64(*k);
+        }
+        let est = sketch.count() as f64;
+        if truth == 0.0 {
+            prop_assert_eq!(est, 0.0);
+        } else {
+            let rel_err = (est - truth).abs() / truth;
+            // p=14 has ~0.8% RSE; allow a wide 10% band to keep the test
+            // deterministic-failure-free across proptest seeds.
+            prop_assert!(rel_err < 0.10, "rel_err={rel_err} truth={truth} est={est}");
+        }
+    }
+
+    /// Merging two sketches gives the same registers as building one sketch
+    /// over the concatenation of inputs.
+    #[test]
+    fn merge_equals_union_build(
+        a in proptest::collection::vec(any::<u64>(), 0..2_000),
+        b in proptest::collection::vec(any::<u64>(), 0..2_000),
+    ) {
+        let mut sa = HyperLogLog::new(12).unwrap();
+        let mut sb = HyperLogLog::new(12).unwrap();
+        let mut sab = HyperLogLog::new(12).unwrap();
+        for k in &a {
+            sa.add_u64(*k);
+            sab.add_u64(*k);
+        }
+        for k in &b {
+            sb.add_u64(*k);
+            sab.add_u64(*k);
+        }
+        sa.merge(&sb).unwrap();
+        prop_assert_eq!(sa, sab);
+    }
+
+    /// Estimates are monotone under adding more elements: merging can never
+    /// reduce any register, so the harmonic-sum based raw estimate cannot
+    /// shrink by more than the linear-counting switch-over wiggle.
+    #[test]
+    fn adding_elements_never_reduces_count_substantially(
+        a in proptest::collection::vec(any::<u64>(), 1..1_000),
+        b in proptest::collection::vec(any::<u64>(), 1..1_000),
+    ) {
+        let mut sketch = HyperLogLog::new(12).unwrap();
+        for k in &a {
+            sketch.add_u64(*k);
+        }
+        let before = sketch.count() as f64;
+        for k in &b {
+            sketch.add_u64(*k);
+        }
+        let after = sketch.count() as f64;
+        // Allow a tiny slack for the estimator switching between regimes.
+        prop_assert!(after >= before * 0.9 - 2.0, "before={before} after={after}");
+    }
+
+    /// union_estimate is symmetric.
+    #[test]
+    fn union_estimate_symmetric(
+        a in proptest::collection::vec(any::<u64>(), 0..1_000),
+        b in proptest::collection::vec(any::<u64>(), 0..1_000),
+    ) {
+        let sa: HyperLogLog = a.into_iter().collect();
+        let sb: HyperLogLog = b.into_iter().collect();
+        prop_assert_eq!(sa.union_estimate(&sb).unwrap(), sb.union_estimate(&sa).unwrap());
+    }
+}

@@ -1,0 +1,370 @@
+//! Physical execution of a compaction merge schedule.
+//!
+//! The scheduling problem (which sstables to merge in which order) is
+//! solved by the `compaction-core` crate; this module is the machinery
+//! that carries a chosen schedule out against real sstables: read the `k`
+//! input runs, merge-sort them with newest-wins semantics, write one
+//! output run, and retire the inputs. The outcome reports the disk I/O the
+//! schedule actually incurred, which is the quantity the paper's cost
+//! function (`cost_actual`, Section 2) models.
+
+use std::sync::Arc;
+
+use crate::iter::MergingIter;
+use crate::manifest::{Manifest, ManifestEdit, TableMeta};
+use crate::options::LsmOptions;
+use crate::sstable::{Sstable, SstableBuilder};
+use crate::storage::Storage;
+use crate::types::Entry;
+use crate::Error;
+
+/// One merge operation of a schedule, expressed over *slots*.
+///
+/// Slots number the sstables participating in a major compaction: slots
+/// `0..n` are the initial live tables (in the order the caller lists
+/// them), and each executed step appends one new slot for its output.
+/// This mirrors how `compaction-core` merge schedules reference sets, so
+/// a schedule can be replayed physically without translation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactionStep {
+    /// Slot indices of the tables this step reads.
+    pub inputs: Vec<usize>,
+}
+
+impl CompactionStep {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(inputs: Vec<usize>) -> Self {
+        Self { inputs }
+    }
+}
+
+/// Aggregate result of executing a schedule.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompactionOutcome {
+    /// Number of merge operations executed.
+    pub merge_ops: usize,
+    /// Total entries read from input tables across all merges.
+    pub entries_read: u64,
+    /// Total entries written to output tables across all merges.
+    pub entries_written: u64,
+    /// Total bytes read from storage for input tables.
+    pub bytes_read: u64,
+    /// Total bytes written to storage for output tables.
+    pub bytes_written: u64,
+    /// Table id of the final output table, if at least one merge ran.
+    pub final_table_id: Option<u64>,
+}
+
+impl CompactionOutcome {
+    /// The paper's `cost_actual` in *entries*: every input entry is read
+    /// once and every output entry is written once, summed over all merge
+    /// operations.
+    #[must_use]
+    pub fn entry_cost(&self) -> u64 {
+        self.entries_read + self.entries_written
+    }
+
+    /// `cost_actual` in bytes of storage traffic.
+    #[must_use]
+    pub fn byte_cost(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+}
+
+/// Executes compaction steps against a storage backend and manifest.
+#[derive(Debug)]
+pub struct CompactionExecutor {
+    storage: Arc<dyn Storage>,
+    options: LsmOptions,
+}
+
+impl CompactionExecutor {
+    /// Creates an executor that reads and writes through `storage`.
+    #[must_use]
+    pub fn new(storage: Arc<dyn Storage>, options: LsmOptions) -> Self {
+        Self { storage, options }
+    }
+
+    /// Executes `steps` over the tables listed in `initial_table_ids`
+    /// (slot `i` = `initial_table_ids[i]`), updating `manifest` as tables
+    /// are created and retired.
+    ///
+    /// Tombstones are dropped only on the last step and only if the
+    /// options request it, because earlier intermediate outputs may still
+    /// shadow older versions living in tables outside this compaction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidCompaction`] if a step references an
+    /// unknown or already-consumed slot or has fewer than two inputs, and
+    /// propagates storage/corruption errors.
+    pub fn execute(
+        &self,
+        manifest: &mut Manifest,
+        initial_table_ids: &[u64],
+        steps: &[CompactionStep],
+    ) -> Result<CompactionOutcome, Error> {
+        let mut outcome = CompactionOutcome::default();
+        // slot -> Some(table_id) while the table is still mergeable.
+        let mut slots: Vec<Option<u64>> = initial_table_ids.iter().copied().map(Some).collect();
+
+        for (step_idx, step) in steps.iter().enumerate() {
+            if step.inputs.len() < 2 {
+                return Err(Error::invalid_compaction(format!(
+                    "step {step_idx} has {} inputs, need at least 2",
+                    step.inputs.len()
+                )));
+            }
+            if step.inputs.len() > self.options.fanin() {
+                return Err(Error::invalid_compaction(format!(
+                    "step {step_idx} reads {} tables but fan-in k = {}",
+                    step.inputs.len(),
+                    self.options.fanin()
+                )));
+            }
+
+            let mut input_ids = Vec::with_capacity(step.inputs.len());
+            for &slot in &step.inputs {
+                let id = slots
+                    .get(slot)
+                    .copied()
+                    .flatten()
+                    .ok_or_else(|| {
+                        Error::invalid_compaction(format!(
+                            "step {step_idx} references slot {slot} which is unknown or consumed"
+                        ))
+                    })?;
+                input_ids.push(id);
+            }
+            // Mark inputs consumed.
+            for &slot in &step.inputs {
+                slots[slot] = None;
+            }
+
+            let is_last = step_idx + 1 == steps.len();
+            let drop_tombstones = is_last && self.options.drops_tombstones();
+            let output_id = self.merge_tables(manifest, &input_ids, drop_tombstones, &mut outcome)?;
+            slots.push(Some(output_id));
+            outcome.merge_ops += 1;
+            outcome.final_table_id = Some(output_id);
+        }
+        Ok(outcome)
+    }
+
+    /// Merges the given tables into one new table, retiring the inputs.
+    fn merge_tables(
+        &self,
+        manifest: &mut Manifest,
+        input_ids: &[u64],
+        drop_tombstones: bool,
+        outcome: &mut CompactionOutcome,
+    ) -> Result<u64, Error> {
+        // Read every input run.
+        let mut sources: Vec<Vec<Entry>> = Vec::with_capacity(input_ids.len());
+        for &id in input_ids {
+            let table = Sstable::load(self.storage.as_ref(), id)?;
+            outcome.bytes_read += table.encoded_len();
+            outcome.entries_read += table.entry_count();
+            let entries: Result<Vec<Entry>, Error> = table.iter().collect();
+            sources.push(entries?);
+        }
+
+        // Merge-sort with newest-wins de-duplication. Sources are listed
+        // oldest table first, matching manifest order; newer tables carry
+        // larger seqnos so ordering is decided by seqno in practice.
+        let merged = MergingIter::new(sources, drop_tombstones);
+
+        let output_id = manifest.allocate_table_id();
+        let mut builder = SstableBuilder::new(
+            output_id,
+            self.options.block_size_bytes(),
+            self.options.bloom_bits(),
+        );
+        for entry in merged {
+            builder.add(&entry);
+        }
+        let (data, meta) = builder.finish();
+        self.storage
+            .write_blob(&Sstable::blob_name(output_id), &data)?;
+        outcome.bytes_written += meta.encoded_len;
+        outcome.entries_written += meta.entry_count;
+
+        for &id in input_ids {
+            manifest.apply(ManifestEdit::RemoveTable { table_id: id })?;
+            self.storage.delete_blob(&Sstable::blob_name(id))?;
+        }
+        manifest.apply(ManifestEdit::AddTable(TableMeta {
+            table_id: output_id,
+            entry_count: meta.entry_count,
+            encoded_len: meta.encoded_len,
+        }))?;
+        Ok(output_id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemoryStorage;
+    use crate::types::key_from_u64;
+    use bytes::Bytes;
+
+    /// Builds an sstable holding `keys` and registers it in the manifest.
+    fn make_table(
+        storage: &dyn Storage,
+        manifest: &mut Manifest,
+        keys: &[u64],
+        seq_base: u64,
+    ) -> u64 {
+        let id = manifest.allocate_table_id();
+        let mut builder = SstableBuilder::new(id, 4096, 10);
+        let mut sorted = keys.to_vec();
+        sorted.sort_unstable();
+        for &k in &sorted {
+            builder.add(&Entry::put(
+                key_from_u64(k),
+                Bytes::from(format!("v{k}-s{seq_base}")),
+                seq_base,
+            ));
+        }
+        let (data, meta) = builder.finish();
+        storage.write_blob(&Sstable::blob_name(id), &data).unwrap();
+        manifest
+            .apply(ManifestEdit::AddTable(TableMeta {
+                table_id: id,
+                entry_count: meta.entry_count,
+                encoded_len: meta.encoded_len,
+            }))
+            .unwrap();
+        id
+    }
+
+    fn setup() -> (Arc<MemoryStorage>, Manifest, CompactionExecutor) {
+        let storage = Arc::new(MemoryStorage::new());
+        let manifest = Manifest::new();
+        let exec = CompactionExecutor::new(storage.clone(), LsmOptions::default());
+        (storage, manifest, exec)
+    }
+
+    #[test]
+    fn binary_merge_schedule_produces_single_table() {
+        let (storage, mut manifest, exec) = setup();
+        let t0 = make_table(storage.as_ref() as &dyn Storage, &mut manifest, &[1, 2, 3, 5], 1);
+        let t1 = make_table(storage.as_ref() as &dyn Storage, &mut manifest, &[1, 2, 3, 4], 2);
+        let t2 = make_table(storage.as_ref() as &dyn Storage, &mut manifest, &[3, 4, 5], 3);
+        assert_eq!(manifest.table_count(), 3);
+
+        // Merge slots (0,1) -> slot 3, then (3,2) -> slot 4.
+        let steps = vec![
+            CompactionStep::new(vec![0, 1]),
+            CompactionStep::new(vec![3, 2]),
+        ];
+        let outcome = exec.execute(&mut manifest, &[t0, t1, t2], &steps).unwrap();
+
+        assert_eq!(outcome.merge_ops, 2);
+        assert_eq!(manifest.table_count(), 1);
+        let final_id = outcome.final_table_id.unwrap();
+        let table = Sstable::load(storage.as_ref(), final_id).unwrap();
+        assert_eq!(table.entry_count(), 5, "keys 1..=5 deduplicated");
+        // Newest version wins: key 3 was written by t2 (seq 3) last.
+        let e = table.get(&key_from_u64(3)).unwrap().unwrap();
+        assert_eq!(e.value.as_ref(), b"v3-s3");
+        // Inputs are gone from storage.
+        assert!(!storage.contains_blob(&Sstable::blob_name(t0)));
+        assert!(!storage.contains_blob(&Sstable::blob_name(t1)));
+        assert!(!storage.contains_blob(&Sstable::blob_name(t2)));
+        // Entry accounting: step1 reads 4+4=8 writes 5; step2 reads 5+3 writes 5.
+        assert_eq!(outcome.entries_read, 16);
+        assert_eq!(outcome.entries_written, 10);
+        assert_eq!(outcome.entry_cost(), 26);
+        assert!(outcome.byte_cost() > 0);
+    }
+
+    #[test]
+    fn tombstones_dropped_only_in_final_merge() {
+        let (storage, mut manifest, exec) = setup();
+        let t0 = make_table(storage.as_ref() as &dyn Storage, &mut manifest, &[1, 2], 1);
+        // Table with a tombstone for key 1 (newer).
+        let id = manifest.allocate_table_id();
+        let mut builder = SstableBuilder::new(id, 4096, 10);
+        builder.add(&Entry::tombstone(key_from_u64(1), 5));
+        let (data, meta) = builder.finish();
+        storage.write_blob(&Sstable::blob_name(id), &data).unwrap();
+        manifest
+            .apply(ManifestEdit::AddTable(TableMeta {
+                table_id: id,
+                entry_count: meta.entry_count,
+                encoded_len: meta.encoded_len,
+            }))
+            .unwrap();
+
+        let steps = vec![CompactionStep::new(vec![0, 1])];
+        let outcome = exec.execute(&mut manifest, &[t0, id], &steps).unwrap();
+        let table = Sstable::load(storage.as_ref(), outcome.final_table_id.unwrap()).unwrap();
+        assert_eq!(table.entry_count(), 1, "key 1 deleted, key 2 survives");
+        assert!(table.get(&key_from_u64(1)).unwrap().is_none());
+    }
+
+    #[test]
+    fn invalid_steps_are_rejected() {
+        let (storage, mut manifest, exec) = setup();
+        let t0 = make_table(storage.as_ref() as &dyn Storage, &mut manifest, &[1], 1);
+        let t1 = make_table(storage.as_ref() as &dyn Storage, &mut manifest, &[2], 2);
+
+        // Single-input step.
+        let err = exec
+            .execute(&mut manifest, &[t0, t1], &[CompactionStep::new(vec![0])])
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidCompaction { .. }));
+
+        // Unknown slot.
+        let err = exec
+            .execute(&mut manifest, &[t0, t1], &[CompactionStep::new(vec![0, 7])])
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidCompaction { .. }));
+
+        // Fan-in larger than k = 2.
+        let err = exec
+            .execute(
+                &mut manifest,
+                &[t0, t1],
+                &[CompactionStep::new(vec![0, 1, 1])],
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidCompaction { .. }));
+    }
+
+    #[test]
+    fn kway_fanin_allows_wider_merges() {
+        let storage = Arc::new(MemoryStorage::new());
+        let mut manifest = Manifest::new();
+        let exec = CompactionExecutor::new(storage.clone(), LsmOptions::default().compaction_fanin(4));
+        let ids: Vec<u64> = (0..4)
+            .map(|i| {
+                make_table(
+                    storage.as_ref() as &dyn Storage,
+                    &mut manifest,
+                    &[i, i + 10, i + 20],
+                    i + 1,
+                )
+            })
+            .collect();
+        let steps = vec![CompactionStep::new(vec![0, 1, 2, 3])];
+        let outcome = exec.execute(&mut manifest, &ids, &steps).unwrap();
+        assert_eq!(outcome.merge_ops, 1);
+        assert_eq!(manifest.table_count(), 1);
+        let table = Sstable::load(storage.as_ref(), outcome.final_table_id.unwrap()).unwrap();
+        assert_eq!(table.entry_count(), 12);
+    }
+
+    #[test]
+    fn empty_schedule_is_a_noop() {
+        let (storage, mut manifest, exec) = setup();
+        let t0 = make_table(storage.as_ref() as &dyn Storage, &mut manifest, &[1], 1);
+        let outcome = exec.execute(&mut manifest, &[t0], &[]).unwrap();
+        assert_eq!(outcome.merge_ops, 0);
+        assert_eq!(outcome.final_table_id, None);
+        assert_eq!(manifest.table_count(), 1);
+    }
+}

@@ -1,0 +1,498 @@
+//! The database facade tying memtable, WAL, sstables and compaction
+//! together.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use crate::compaction::{CompactionExecutor, CompactionOutcome, CompactionStep};
+use crate::manifest::{Manifest, ManifestEdit, TableMeta};
+use crate::memtable::Memtable;
+use crate::options::LsmOptions;
+use crate::sstable::{Sstable, SstableBuilder};
+use crate::storage::{FileStorage, MemoryStorage, Storage};
+use crate::types::{key_from_u64, Entry, Key, Value, ValueKind};
+use crate::wal::{Wal, WalRecord};
+use crate::Error;
+
+const WAL_SEGMENT: &str = "wal-current";
+
+/// A single-node LSM key-value store.
+///
+/// Writes go to the memtable (and WAL); when the memtable reaches its key
+/// capacity it is flushed into a new immutable sstable. Reads consult the
+/// memtable first and then the live sstables newest-first, using each
+/// table's bloom filter to skip runs. [`Lsm::major_compact`] executes a
+/// merge schedule and leaves a single sstable behind.
+///
+/// # Examples
+///
+/// ```
+/// use lsm_engine::{Lsm, LsmOptions};
+///
+/// # fn main() -> Result<(), lsm_engine::Error> {
+/// let mut db = Lsm::open_in_memory(LsmOptions::default().memtable_capacity(10))?;
+/// db.put_u64(1, b"one".to_vec())?;
+/// db.delete_u64(1)?;
+/// assert_eq!(db.get_u64(1)?, None);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Lsm {
+    options: LsmOptions,
+    storage: Arc<dyn Storage>,
+    manifest: Manifest,
+    memtable: Memtable,
+    wal: Option<Wal>,
+    stats: LsmStats,
+}
+
+/// Counters describing the work an [`Lsm`] instance has performed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LsmStats {
+    /// Number of put operations accepted.
+    pub puts: u64,
+    /// Number of delete operations accepted.
+    pub deletes: u64,
+    /// Number of point reads served.
+    pub gets: u64,
+    /// Number of memtable flushes performed.
+    pub flushes: u64,
+    /// Number of sstables consulted across all reads (read amplification
+    /// numerator).
+    pub tables_probed: u64,
+    /// Number of reads answered from the memtable.
+    pub memtable_hits: u64,
+    /// Number of major compaction runs executed.
+    pub compactions: u64,
+}
+
+impl Lsm {
+    /// Opens a store over an arbitrary storage backend, recovering state
+    /// from the manifest and WAL if present.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage and corruption errors encountered during
+    /// recovery.
+    pub fn open(storage: Arc<dyn Storage>, options: LsmOptions) -> Result<Self, Error> {
+        let manifest = Manifest::load(storage.as_ref())?;
+        let mut memtable = Memtable::new(options.memtable_capacity_keys());
+        let wal = if options.wal_enabled() {
+            // Recover any writes that had not been flushed.
+            let records = Wal::replay(storage.as_ref(), WAL_SEGMENT)?;
+            let mut wal = Wal::new(WAL_SEGMENT);
+            for r in &records {
+                match r.kind {
+                    ValueKind::Put => memtable.put(r.key.clone(), r.value.clone(), r.seqno),
+                    ValueKind::Tombstone => memtable.delete(r.key.clone(), r.seqno),
+                }
+                wal.append(storage.as_ref(), r)?;
+            }
+            Some(wal)
+        } else {
+            None
+        };
+        Ok(Self {
+            options,
+            storage,
+            manifest,
+            memtable,
+            wal,
+            stats: LsmStats::default(),
+        })
+    }
+
+    /// Opens a fresh in-memory store (the simulator default).
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; the signature matches [`Lsm::open`].
+    pub fn open_in_memory(options: LsmOptions) -> Result<Self, Error> {
+        Self::open(Arc::new(MemoryStorage::new()), options)
+    }
+
+    /// Opens (or reopens) a file-backed store rooted at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the directory cannot be created or recovery fails.
+    pub fn open_on_disk(path: impl Into<std::path::PathBuf>, options: LsmOptions) -> Result<Self, Error> {
+        Self::open(Arc::new(FileStorage::open(path)?), options)
+    }
+
+    /// The configuration this store was opened with.
+    #[must_use]
+    pub fn options(&self) -> &LsmOptions {
+        &self.options
+    }
+
+    /// The storage backend (shared with compaction executors).
+    #[must_use]
+    pub fn storage(&self) -> Arc<dyn Storage> {
+        Arc::clone(&self.storage)
+    }
+
+    /// Work counters.
+    #[must_use]
+    pub fn stats(&self) -> &LsmStats {
+        &self.stats
+    }
+
+    /// Metadata of the live sstables, oldest first.
+    #[must_use]
+    pub fn live_tables(&self) -> &[TableMeta] {
+        self.manifest.tables()
+    }
+
+    /// Number of distinct keys currently buffered in the memtable.
+    #[must_use]
+    pub fn memtable_len(&self) -> usize {
+        self.memtable.len()
+    }
+
+    /// Inserts or overwrites `key`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates WAL/storage failures; flush failures if the write fills
+    /// the memtable.
+    pub fn put(&mut self, key: Key, value: Value) -> Result<(), Error> {
+        let seqno = self.manifest.allocate_seqno();
+        self.log_write(&key, &value, seqno, ValueKind::Put)?;
+        self.memtable.put(key, value, seqno);
+        self.stats.puts += 1;
+        self.maybe_flush()
+    }
+
+    /// Deletes `key` by writing a tombstone.
+    ///
+    /// # Errors
+    ///
+    /// Propagates WAL/storage failures.
+    pub fn delete(&mut self, key: Key) -> Result<(), Error> {
+        let seqno = self.manifest.allocate_seqno();
+        self.log_write(&key, &Bytes::new(), seqno, ValueKind::Tombstone)?;
+        self.memtable.delete(key, seqno);
+        self.stats.deletes += 1;
+        self.maybe_flush()
+    }
+
+    /// Convenience: [`Lsm::put`] with a big-endian-encoded integer key.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Lsm::put`].
+    pub fn put_u64(&mut self, key: u64, value: impl Into<Vec<u8>>) -> Result<(), Error> {
+        self.put(key_from_u64(key), Bytes::from(value.into()))
+    }
+
+    /// Convenience: [`Lsm::delete`] with an integer key.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Lsm::delete`].
+    pub fn delete_u64(&mut self, key: u64) -> Result<(), Error> {
+        self.delete(key_from_u64(key))
+    }
+
+    /// Point read: newest visible value for `key`, or `None` if the key
+    /// was never written or its newest version is a tombstone.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage and corruption errors.
+    pub fn get(&mut self, key: &[u8]) -> Result<Option<Value>, Error> {
+        self.stats.gets += 1;
+        if let Some(entry) = self.memtable.get(key) {
+            self.stats.memtable_hits += 1;
+            return Ok(visible(entry));
+        }
+        // Newest table first: tables are listed oldest-first in the
+        // manifest, so iterate in reverse.
+        let ids: Vec<u64> = self
+            .manifest
+            .tables()
+            .iter()
+            .rev()
+            .map(|t| t.table_id)
+            .collect();
+        for id in ids {
+            self.stats.tables_probed += 1;
+            let table = Sstable::load(self.storage.as_ref(), id)?;
+            if let Some(entry) = table.get(key)? {
+                return Ok(visible(entry));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Convenience: [`Lsm::get`] with an integer key, returning an owned
+    /// `Vec<u8>`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Lsm::get`].
+    pub fn get_u64(&mut self, key: u64) -> Result<Option<Vec<u8>>, Error> {
+        Ok(self.get(&key_from_u64(key))?.map(|v| v.to_vec()))
+    }
+
+    /// Flushes the memtable to a new sstable even if it is not full.
+    /// A no-op on an empty memtable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage failures.
+    pub fn flush(&mut self) -> Result<Option<u64>, Error> {
+        if self.memtable.is_empty() {
+            return Ok(None);
+        }
+        let table_id = self.manifest.allocate_table_id();
+        let mut builder = SstableBuilder::new(
+            table_id,
+            self.options.block_size_bytes(),
+            self.options.bloom_bits(),
+        );
+        for entry in self.memtable.drain_sorted() {
+            builder.add(&entry);
+        }
+        let (data, meta) = builder.finish();
+        self.storage
+            .write_blob(&Sstable::blob_name(table_id), &data)?;
+        self.manifest.apply(ManifestEdit::AddTable(TableMeta {
+            table_id,
+            entry_count: meta.entry_count,
+            encoded_len: meta.encoded_len,
+        }))?;
+        self.manifest.persist(self.storage.as_ref())?;
+        if let Some(wal) = &mut self.wal {
+            wal.reset(self.storage.as_ref())?;
+        }
+        self.stats.flushes += 1;
+        Ok(Some(table_id))
+    }
+
+    /// Executes a full major-compaction merge schedule over the live
+    /// sstables.
+    ///
+    /// `steps` reference tables by *slot*: slots `0..n` are the current
+    /// live tables in manifest (oldest-first) order, and each step's
+    /// output becomes the next slot, exactly like the merge schedules
+    /// produced by `compaction-core`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidCompaction`] for malformed schedules and
+    /// propagates storage errors.
+    pub fn major_compact(&mut self, steps: &[CompactionStep]) -> Result<CompactionOutcome, Error> {
+        let initial: Vec<u64> = self.manifest.tables().iter().map(|t| t.table_id).collect();
+        let executor = CompactionExecutor::new(Arc::clone(&self.storage), self.options.clone());
+        let outcome = executor.execute(&mut self.manifest, &initial, steps)?;
+        self.manifest.persist(self.storage.as_ref())?;
+        self.stats.compactions += 1;
+        Ok(outcome)
+    }
+
+    /// Returns every live key/value pair, merged across the memtable and
+    /// all sstables with newest-wins semantics and tombstones applied.
+    /// Intended for verification and small scans, not as a streaming API.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage and corruption errors.
+    pub fn scan_all(&self) -> Result<Vec<(Key, Value)>, Error> {
+        let mut sources: Vec<Vec<Entry>> = Vec::new();
+        // Oldest tables first so the merging iterator's newest-wins rule
+        // (by seqno) sees consistent ordering.
+        for meta in self.manifest.tables() {
+            let table = Sstable::load(self.storage.as_ref(), meta.table_id)?;
+            let entries: Result<Vec<Entry>, Error> = table.iter().collect();
+            sources.push(entries?);
+        }
+        sources.push(self.memtable.iter().collect());
+        let merged = crate::iter::MergingIter::new(sources, true);
+        Ok(merged.map(|e| (e.key, e.value)).collect())
+    }
+
+    fn log_write(&mut self, key: &Key, value: &Value, seqno: u64, kind: ValueKind) -> Result<(), Error> {
+        if let Some(wal) = &mut self.wal {
+            wal.append(
+                self.storage.as_ref(),
+                &WalRecord {
+                    key: key.clone(),
+                    value: value.clone(),
+                    seqno,
+                    kind,
+                },
+            )?;
+        }
+        Ok(())
+    }
+
+    fn maybe_flush(&mut self) -> Result<(), Error> {
+        if self.memtable.is_full() {
+            self.flush()?;
+        }
+        Ok(())
+    }
+}
+
+/// Maps a (possibly tombstone) entry to the user-visible value.
+fn visible(entry: Entry) -> Option<Value> {
+    if entry.is_tombstone() {
+        None
+    } else {
+        Some(entry.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_db() -> Lsm {
+        Lsm::open_in_memory(LsmOptions::default().memtable_capacity(10)).unwrap()
+    }
+
+    #[test]
+    fn put_get_delete_in_memtable() {
+        let mut db = small_db();
+        db.put_u64(1, b"one".to_vec()).unwrap();
+        assert_eq!(db.get_u64(1).unwrap(), Some(b"one".to_vec()));
+        db.delete_u64(1).unwrap();
+        assert_eq!(db.get_u64(1).unwrap(), None);
+        assert_eq!(db.get_u64(2).unwrap(), None);
+        assert_eq!(db.stats().puts, 1);
+        assert_eq!(db.stats().deletes, 1);
+        assert_eq!(db.stats().gets, 3);
+    }
+
+    #[test]
+    fn automatic_flush_on_capacity() {
+        let mut db = small_db();
+        for i in 0..25u64 {
+            db.put_u64(i, vec![b'x']).unwrap();
+        }
+        assert!(db.stats().flushes >= 2, "memtable capacity 10 ⇒ ≥2 flushes");
+        assert!(db.live_tables().len() >= 2);
+        // All keys remain readable across memtable + sstables.
+        for i in 0..25u64 {
+            assert_eq!(db.get_u64(i).unwrap(), Some(vec![b'x']), "key {i}");
+        }
+    }
+
+    #[test]
+    fn newest_version_wins_across_tables() {
+        let mut db = small_db();
+        db.put_u64(7, b"v1".to_vec()).unwrap();
+        db.flush().unwrap();
+        db.put_u64(7, b"v2".to_vec()).unwrap();
+        db.flush().unwrap();
+        assert_eq!(db.get_u64(7).unwrap(), Some(b"v2".to_vec()));
+
+        db.delete_u64(7).unwrap();
+        db.flush().unwrap();
+        assert_eq!(db.get_u64(7).unwrap(), None, "tombstone shadows older puts");
+    }
+
+    #[test]
+    fn major_compact_collapses_to_one_table() {
+        let mut db = small_db();
+        for i in 0..40u64 {
+            db.put_u64(i % 20, format!("v{i}").into_bytes()).unwrap();
+        }
+        db.delete_u64(3).unwrap();
+        db.flush().unwrap();
+        let n = db.live_tables().len();
+        assert!(n >= 2);
+
+        // Left-to-right caterpillar schedule over the live tables.
+        let mut steps = Vec::new();
+        let mut acc = 0usize;
+        for next in 1..n {
+            let output_slot = n + steps.len();
+            steps.push(CompactionStep::new(vec![acc, next]));
+            acc = output_slot;
+        }
+        let outcome = db.major_compact(&steps).unwrap();
+        assert_eq!(db.live_tables().len(), 1);
+        assert_eq!(outcome.merge_ops, n - 1);
+        assert!(outcome.entry_cost() > 0);
+
+        // Data integrity after compaction.
+        assert_eq!(db.get_u64(3).unwrap(), None);
+        for i in 0..20u64 {
+            if i == 3 {
+                continue;
+            }
+            assert!(db.get_u64(i).unwrap().is_some(), "key {i} lost by compaction");
+        }
+        assert_eq!(db.stats().compactions, 1);
+    }
+
+    #[test]
+    fn scan_all_merges_memtable_and_tables() {
+        let mut db = small_db();
+        for i in 0..15u64 {
+            db.put_u64(i, vec![i as u8]).unwrap();
+        }
+        db.delete_u64(2).unwrap();
+        // No explicit flush: some keys live in sstables (auto-flushed), the
+        // rest in the memtable.
+        let all = db.scan_all().unwrap();
+        let keys: Vec<u64> = all
+            .iter()
+            .map(|(k, _)| crate::types::key_to_u64(k).unwrap())
+            .collect();
+        assert_eq!(keys.len(), 14);
+        assert!(!keys.contains(&2));
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "scan is sorted");
+    }
+
+    #[test]
+    fn wal_recovery_restores_unflushed_writes() {
+        let storage: Arc<dyn Storage> = Arc::new(MemoryStorage::new());
+        {
+            let mut db = Lsm::open(Arc::clone(&storage), LsmOptions::default().memtable_capacity(100)).unwrap();
+            db.put_u64(1, b"persisted".to_vec()).unwrap();
+            db.put_u64(2, b"also".to_vec()).unwrap();
+            db.delete_u64(2).unwrap();
+            // Dropped without flush: data only in WAL.
+        }
+        let mut reopened = Lsm::open(storage, LsmOptions::default().memtable_capacity(100)).unwrap();
+        assert_eq!(reopened.get_u64(1).unwrap(), Some(b"persisted".to_vec()));
+        assert_eq!(reopened.get_u64(2).unwrap(), None);
+        assert_eq!(reopened.memtable_len(), 2);
+    }
+
+    #[test]
+    fn disk_backed_store_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("lsm-db-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        {
+            let mut db = Lsm::open_on_disk(&dir, LsmOptions::default().memtable_capacity(4)).unwrap();
+            for i in 0..10u64 {
+                db.put_u64(i, format!("d{i}").into_bytes()).unwrap();
+            }
+            db.flush().unwrap();
+        }
+        {
+            let mut db = Lsm::open_on_disk(&dir, LsmOptions::default().memtable_capacity(4)).unwrap();
+            for i in 0..10u64 {
+                assert_eq!(db.get_u64(i).unwrap(), Some(format!("d{i}").into_bytes()));
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wal_disabled_still_works_without_durability() {
+        let mut db =
+            Lsm::open_in_memory(LsmOptions::default().memtable_capacity(5).wal(false)).unwrap();
+        for i in 0..12u64 {
+            db.put_u64(i, b"x".to_vec()).unwrap();
+        }
+        assert_eq!(db.get_u64(11).unwrap(), Some(b"x".to_vec()));
+    }
+}

@@ -1,0 +1,101 @@
+//! Error type for the LSM engine.
+
+use std::fmt;
+
+/// Errors returned by the LSM engine.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// An I/O error from the file-backed storage.
+    Io(std::io::Error),
+    /// A block, sstable footer or WAL record failed its checksum.
+    Corruption {
+        /// Human-readable description of what was corrupt.
+        detail: String,
+    },
+    /// A referenced sstable id is not present in the storage backend or
+    /// manifest.
+    UnknownTable {
+        /// The missing table id.
+        table_id: u64,
+    },
+    /// A compaction merge operation referenced fewer than two inputs or
+    /// otherwise violated schedule invariants.
+    InvalidCompaction {
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+    /// The engine was asked to do something that requires a file-backed
+    /// store (for example reopening from a directory) but is in-memory.
+    UnsupportedOperation {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+            Error::Corruption { detail } => write!(f, "corruption detected: {detail}"),
+            Error::UnknownTable { table_id } => write!(f, "unknown sstable id {table_id}"),
+            Error::InvalidCompaction { detail } => write!(f, "invalid compaction: {detail}"),
+            Error::UnsupportedOperation { detail } => write!(f, "unsupported operation: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl Error {
+    /// Convenience constructor for corruption errors.
+    #[must_use]
+    pub fn corruption(detail: impl Into<String>) -> Self {
+        Error::Corruption {
+            detail: detail.into(),
+        }
+    }
+
+    /// Convenience constructor for invalid-compaction errors.
+    #[must_use]
+    pub fn invalid_compaction(detail: impl Into<String>) -> Self {
+        Error::InvalidCompaction {
+            detail: detail.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        assert!(Error::corruption("bad crc").to_string().contains("bad crc"));
+        assert!(Error::UnknownTable { table_id: 9 }.to_string().contains('9'));
+        assert!(Error::invalid_compaction("empty input")
+            .to_string()
+            .contains("empty input"));
+        let io: Error = std::io::Error::new(std::io::ErrorKind::Other, "boom").into();
+        assert!(io.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,82 @@
+//! An embeddable log-structured merge-tree (LSM) storage engine.
+//!
+//! The paper *Fast Compaction Algorithms for NoSQL Databases* (ICDCS 2015)
+//! studies **major compaction**: the background process that merge-sorts a
+//! server's sstables into a single sstable so reads stop fanning out over
+//! many runs. Its evaluation exercises the standard NoSQL write path
+//! (Figure 1 of the paper):
+//!
+//! 1. writes append to an in-memory **memtable**;
+//! 2. when the memtable reaches a size threshold it is sorted by key and
+//!    flushed to an immutable on-disk run, an **sstable**;
+//! 3. reads consult the memtable and then every live sstable, newest
+//!    first;
+//! 4. **compaction** merge-sorts `k` sstables at a time into one, following
+//!    a merge schedule chosen by a compaction strategy.
+//!
+//! This crate implements that entire substrate from scratch:
+//!
+//! * [`Memtable`] — a sorted, size-bounded in-memory buffer;
+//! * [`SstableBuilder`] / [`Sstable`] — an immutable sorted-run format with
+//!   data blocks, a [`BloomFilter`], an index and a checksummed footer;
+//! * [`Wal`] — a write-ahead log for memtable durability;
+//! * [`Manifest`] — the record of live sstables and compaction edits;
+//! * [`Storage`] — pluggable backing store ([`MemoryStorage`] for
+//!   simulation, [`FileStorage`] for real files);
+//! * [`MergingIter`] — a heap-based k-way merging iterator with
+//!   newest-wins de-duplication and tombstone dropping;
+//! * [`Lsm`] — the database facade: `put`/`get`/`delete`/`flush`, plus
+//!   [`Lsm::major_compact`], which physically executes a merge schedule
+//!   produced by the `compaction-core` crate.
+//!
+//! The engine is deliberately synchronous and single-node: the paper's
+//! problem is per-server merge scheduling, so distribution, replication
+//! and group commit are out of scope. Everything on the compaction path —
+//! reading k runs, merge-sorting them, writing one run — is real.
+//!
+//! # Examples
+//!
+//! ```
+//! use lsm_engine::{Lsm, LsmOptions};
+//!
+//! # fn main() -> Result<(), lsm_engine::Error> {
+//! let mut db = Lsm::open_in_memory(LsmOptions::default().memtable_capacity(128))?;
+//! for i in 0u64..1_000 {
+//!     db.put_u64(i, format!("value-{i}").into_bytes())?;
+//! }
+//! db.flush()?;
+//! assert_eq!(db.get_u64(42)?, Some(b"value-42".to_vec()));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod block;
+mod bloom;
+mod compaction;
+mod db;
+mod error;
+mod iter;
+mod manifest;
+mod memtable;
+mod options;
+mod sstable;
+mod storage;
+mod types;
+mod wal;
+
+pub use block::{Block, BlockBuilder};
+pub use bloom::BloomFilter;
+pub use compaction::{CompactionExecutor, CompactionOutcome, CompactionStep};
+pub use db::{Lsm, LsmStats};
+pub use error::Error;
+pub use iter::MergingIter;
+pub use manifest::{Manifest, ManifestEdit, TableMeta};
+pub use memtable::Memtable;
+pub use options::LsmOptions;
+pub use sstable::{Sstable, SstableBuilder, SstableIter, SstableMeta};
+pub use storage::{FileStorage, MemoryStorage, Storage};
+pub use types::{key_from_u64, key_to_u64, Entry, InternalKey, Key, SeqNo, Value, ValueKind};
+pub use wal::{Wal, WalRecord};

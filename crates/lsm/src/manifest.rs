@@ -1,0 +1,268 @@
+//! The manifest: the authoritative record of which sstables are live.
+//!
+//! Flushes add tables; compaction merges remove their inputs and add the
+//! merged output. The manifest is persisted as a compact binary blob so a
+//! file-backed engine can be reopened.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::block::crc32;
+use crate::storage::Storage;
+use crate::Error;
+
+/// Blob name under which the manifest is persisted.
+pub const MANIFEST_BLOB: &str = "MANIFEST";
+
+/// Metadata the manifest tracks per live sstable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableMeta {
+    /// The table id (also determines its blob name).
+    pub table_id: u64,
+    /// Number of entries in the table.
+    pub entry_count: u64,
+    /// Encoded size in bytes.
+    pub encoded_len: u64,
+}
+
+/// A logical manifest edit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ManifestEdit {
+    /// A new table became live (memtable flush or compaction output).
+    AddTable(TableMeta),
+    /// A table was removed (it was an input to a compaction merge).
+    RemoveTable {
+        /// Id of the removed table.
+        table_id: u64,
+    },
+}
+
+/// The set of live sstables plus the id allocator.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Manifest {
+    tables: Vec<TableMeta>,
+    next_table_id: u64,
+    next_seqno: u64,
+}
+
+impl Manifest {
+    /// Creates an empty manifest.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The live tables, oldest first (flush/creation order).
+    #[must_use]
+    pub fn tables(&self) -> &[TableMeta] {
+        &self.tables
+    }
+
+    /// Number of live tables.
+    #[must_use]
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Looks up a live table by id.
+    #[must_use]
+    pub fn table(&self, table_id: u64) -> Option<&TableMeta> {
+        self.tables.iter().find(|t| t.table_id == table_id)
+    }
+
+    /// Allocates a fresh table id.
+    pub fn allocate_table_id(&mut self) -> u64 {
+        let id = self.next_table_id;
+        self.next_table_id += 1;
+        id
+    }
+
+    /// Allocates a fresh sequence number.
+    pub fn allocate_seqno(&mut self) -> u64 {
+        let seq = self.next_seqno;
+        self.next_seqno += 1;
+        seq
+    }
+
+    /// The next sequence number that will be allocated.
+    #[must_use]
+    pub fn current_seqno(&self) -> u64 {
+        self.next_seqno
+    }
+
+    /// Applies an edit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownTable`] when removing a table that is not
+    /// live, and [`Error::InvalidCompaction`] when adding a duplicate id.
+    pub fn apply(&mut self, edit: ManifestEdit) -> Result<(), Error> {
+        match edit {
+            ManifestEdit::AddTable(meta) => {
+                if self.table(meta.table_id).is_some() {
+                    return Err(Error::invalid_compaction(format!(
+                        "table id {} is already live",
+                        meta.table_id
+                    )));
+                }
+                self.next_table_id = self.next_table_id.max(meta.table_id + 1);
+                self.tables.push(meta);
+                Ok(())
+            }
+            ManifestEdit::RemoveTable { table_id } => {
+                let before = self.tables.len();
+                self.tables.retain(|t| t.table_id != table_id);
+                if self.tables.len() == before {
+                    return Err(Error::UnknownTable { table_id });
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Serializes the manifest.
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(self.next_table_id);
+        buf.put_u64_le(self.next_seqno);
+        buf.put_u32_le(self.tables.len() as u32);
+        for t in &self.tables {
+            buf.put_u64_le(t.table_id);
+            buf.put_u64_le(t.entry_count);
+            buf.put_u64_le(t.encoded_len);
+        }
+        let crc = crc32(&buf);
+        buf.put_u32_le(crc);
+        buf.freeze()
+    }
+
+    /// Deserializes a manifest produced by [`Manifest::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corruption`] on checksum or framing failures.
+    pub fn decode(data: &[u8]) -> Result<Self, Error> {
+        if data.len() < 24 {
+            return Err(Error::corruption("manifest too short"));
+        }
+        let (payload, crc_bytes) = data.split_at(data.len() - 4);
+        let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+        if crc32(payload) != stored {
+            return Err(Error::corruption("manifest checksum mismatch"));
+        }
+        let mut cursor = payload;
+        let next_table_id = cursor.get_u64_le();
+        let next_seqno = cursor.get_u64_le();
+        let count = cursor.get_u32_le();
+        let mut tables = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            if cursor.remaining() < 24 {
+                return Err(Error::corruption("truncated manifest table record"));
+            }
+            tables.push(TableMeta {
+                table_id: cursor.get_u64_le(),
+                entry_count: cursor.get_u64_le(),
+                encoded_len: cursor.get_u64_le(),
+            });
+        }
+        Ok(Self {
+            tables,
+            next_table_id,
+            next_seqno,
+        })
+    }
+
+    /// Persists the manifest to `storage`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage failures.
+    pub fn persist(&self, storage: &dyn Storage) -> Result<(), Error> {
+        storage.write_blob(MANIFEST_BLOB, &self.encode())
+    }
+
+    /// Loads the manifest from `storage`, or returns an empty manifest if
+    /// none has been persisted yet.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage failures and corruption.
+    pub fn load(storage: &dyn Storage) -> Result<Self, Error> {
+        if !storage.contains_blob(MANIFEST_BLOB) {
+            return Ok(Self::new());
+        }
+        Self::decode(&storage.read_blob(MANIFEST_BLOB)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemoryStorage;
+
+    fn meta(id: u64) -> TableMeta {
+        TableMeta {
+            table_id: id,
+            entry_count: 10 * id,
+            encoded_len: 100 * id,
+        }
+    }
+
+    #[test]
+    fn apply_add_and_remove() {
+        let mut m = Manifest::new();
+        m.apply(ManifestEdit::AddTable(meta(1))).unwrap();
+        m.apply(ManifestEdit::AddTable(meta(2))).unwrap();
+        assert_eq!(m.table_count(), 2);
+        assert_eq!(m.table(2).unwrap().entry_count, 20);
+        assert!(m.apply(ManifestEdit::AddTable(meta(1))).is_err());
+        m.apply(ManifestEdit::RemoveTable { table_id: 1 }).unwrap();
+        assert!(m.table(1).is_none());
+        assert!(matches!(
+            m.apply(ManifestEdit::RemoveTable { table_id: 99 }),
+            Err(Error::UnknownTable { table_id: 99 })
+        ));
+    }
+
+    #[test]
+    fn id_and_seqno_allocation_are_monotone() {
+        let mut m = Manifest::new();
+        let a = m.allocate_table_id();
+        let b = m.allocate_table_id();
+        assert!(b > a);
+        let s1 = m.allocate_seqno();
+        let s2 = m.allocate_seqno();
+        assert!(s2 > s1);
+        assert_eq!(m.current_seqno(), s2 + 1);
+        // Adding a table with a large explicit id bumps the allocator.
+        m.apply(ManifestEdit::AddTable(meta(100))).unwrap();
+        assert!(m.allocate_table_id() > 100);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut m = Manifest::new();
+        for id in 1..=5 {
+            m.apply(ManifestEdit::AddTable(meta(id))).unwrap();
+        }
+        m.allocate_seqno();
+        let encoded = m.encode();
+        let decoded = Manifest::decode(&encoded).unwrap();
+        assert_eq!(m, decoded);
+
+        let mut tampered = encoded.to_vec();
+        tampered[0] ^= 0x01;
+        assert!(Manifest::decode(&tampered).is_err());
+        assert!(Manifest::decode(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn persist_and_load() {
+        let storage = MemoryStorage::new();
+        assert_eq!(Manifest::load(&storage).unwrap(), Manifest::new());
+        let mut m = Manifest::new();
+        m.apply(ManifestEdit::AddTable(meta(3))).unwrap();
+        m.persist(&storage).unwrap();
+        assert_eq!(Manifest::load(&storage).unwrap(), m);
+    }
+}

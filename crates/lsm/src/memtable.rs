@@ -1,0 +1,202 @@
+//! The in-memory write buffer.
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+
+use crate::types::{Entry, Key, SeqNo, Value, ValueKind};
+
+/// A sorted in-memory buffer of recent writes.
+//
+/// The memtable keeps exactly one (the newest) version per user key:
+/// repeated updates to the same key overwrite in place, which is why
+/// flushed sstables "may be smaller and vary in size" (paper, Section
+/// 5.1) even though every memtable receives the same number of
+/// operations. Capacity is expressed in distinct keys to match the
+/// paper's "memtable size" parameter.
+///
+/// # Examples
+///
+/// ```
+/// use lsm_engine::Memtable;
+/// use bytes::Bytes;
+///
+/// let mut mt = Memtable::new(2);
+/// mt.put(Bytes::from_static(b"a"), Bytes::from_static(b"1"), 1);
+/// mt.put(Bytes::from_static(b"a"), Bytes::from_static(b"2"), 2);
+/// assert_eq!(mt.len(), 1, "updates to the same key collapse");
+/// assert!(!mt.is_full());
+/// mt.put(Bytes::from_static(b"b"), Bytes::from_static(b"3"), 3);
+/// assert!(mt.is_full());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Memtable {
+    entries: BTreeMap<Key, (Value, SeqNo, ValueKind)>,
+    capacity_keys: usize,
+    approximate_bytes: usize,
+}
+
+impl Memtable {
+    /// Creates an empty memtable that is considered full once it holds
+    /// `capacity_keys` distinct keys.
+    #[must_use]
+    pub fn new(capacity_keys: usize) -> Self {
+        Self {
+            entries: BTreeMap::new(),
+            capacity_keys: capacity_keys.max(1),
+            approximate_bytes: 0,
+        }
+    }
+
+    /// Inserts or overwrites a live value for `key`.
+    pub fn put(&mut self, key: Key, value: Value, seqno: SeqNo) {
+        self.insert(key, value, seqno, ValueKind::Put);
+    }
+
+    /// Records a deletion tombstone for `key`.
+    pub fn delete(&mut self, key: Key, seqno: SeqNo) {
+        self.insert(key, Bytes::new(), seqno, ValueKind::Tombstone);
+    }
+
+    fn insert(&mut self, key: Key, value: Value, seqno: SeqNo, kind: ValueKind) {
+        let added = key.len() + value.len() + 17;
+        if let Some((old_value, _, _)) = self.entries.get(&key) {
+            self.approximate_bytes = self
+                .approximate_bytes
+                .saturating_sub(key.len() + old_value.len() + 17);
+        }
+        self.approximate_bytes += added;
+        self.entries.insert(key, (value, seqno, kind));
+    }
+
+    /// Looks up the newest version of `key`, if present. A tombstone is
+    /// reported as `Some(entry)` with [`Entry::is_tombstone`] true so the
+    /// read path can stop searching older sstables.
+    #[must_use]
+    pub fn get(&self, key: &[u8]) -> Option<Entry> {
+        self.entries.get(key).map(|(value, seqno, kind)| Entry {
+            key: Bytes::copy_from_slice(key),
+            value: value.clone(),
+            seqno: *seqno,
+            kind: *kind,
+        })
+    }
+
+    /// Number of distinct keys currently buffered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no writes are buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns `true` once the memtable has reached its key capacity and
+    /// should be flushed.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity_keys
+    }
+
+    /// The configured key capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity_keys
+    }
+
+    /// Approximate memory footprint of the buffered entries in bytes.
+    #[must_use]
+    pub fn approximate_size(&self) -> usize {
+        self.approximate_bytes
+    }
+
+    /// Iterates the buffered entries in key order (the order they will be
+    /// written to an sstable on flush).
+    pub fn iter(&self) -> impl Iterator<Item = Entry> + '_ {
+        self.entries.iter().map(|(key, (value, seqno, kind))| Entry {
+            key: key.clone(),
+            value: value.clone(),
+            seqno: *seqno,
+            kind: *kind,
+        })
+    }
+
+    /// Drains the memtable, returning its entries in key order and leaving
+    /// it empty (ready to absorb new writes).
+    #[must_use]
+    pub fn drain_sorted(&mut self) -> Vec<Entry> {
+        let entries = self.iter().collect();
+        self.entries.clear();
+        self.approximate_bytes = 0;
+        entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::key_from_u64;
+
+    #[test]
+    fn put_get_overwrite() {
+        let mut mt = Memtable::new(10);
+        mt.put(key_from_u64(1), Bytes::from_static(b"v1"), 1);
+        mt.put(key_from_u64(1), Bytes::from_static(b"v2"), 2);
+        let e = mt.get(&key_from_u64(1)).unwrap();
+        assert_eq!(e.value.as_ref(), b"v2");
+        assert_eq!(e.seqno, 2);
+        assert_eq!(mt.len(), 1);
+        assert!(mt.get(&key_from_u64(9)).is_none());
+    }
+
+    #[test]
+    fn delete_leaves_tombstone() {
+        let mut mt = Memtable::new(10);
+        mt.put(key_from_u64(1), Bytes::from_static(b"v"), 1);
+        mt.delete(key_from_u64(1), 2);
+        let e = mt.get(&key_from_u64(1)).unwrap();
+        assert!(e.is_tombstone());
+        assert_eq!(mt.len(), 1, "tombstone still occupies the key slot");
+    }
+
+    #[test]
+    fn capacity_counts_distinct_keys() {
+        let mut mt = Memtable::new(3);
+        for _ in 0..100 {
+            mt.put(key_from_u64(7), Bytes::from_static(b"x"), 1);
+        }
+        assert!(!mt.is_full(), "duplicates must not fill the memtable");
+        mt.put(key_from_u64(8), Bytes::from_static(b"x"), 2);
+        mt.put(key_from_u64(9), Bytes::from_static(b"x"), 3);
+        assert!(mt.is_full());
+        assert_eq!(mt.capacity(), 3);
+    }
+
+    #[test]
+    fn drain_sorted_returns_key_order_and_clears() {
+        let mut mt = Memtable::new(10);
+        for key in [5u64, 1, 9, 3] {
+            mt.put(key_from_u64(key), Bytes::from_static(b"x"), key);
+        }
+        let drained = mt.drain_sorted();
+        let keys: Vec<u64> = drained
+            .iter()
+            .map(|e| crate::types::key_to_u64(&e.key).unwrap())
+            .collect();
+        assert_eq!(keys, vec![1, 3, 5, 9]);
+        assert!(mt.is_empty());
+        assert_eq!(mt.approximate_size(), 0);
+    }
+
+    #[test]
+    fn approximate_size_tracks_overwrites() {
+        let mut mt = Memtable::new(10);
+        mt.put(key_from_u64(1), Bytes::from(vec![0u8; 100]), 1);
+        let size_big = mt.approximate_size();
+        mt.put(key_from_u64(1), Bytes::from(vec![0u8; 10]), 2);
+        assert!(mt.approximate_size() < size_big);
+    }
+}

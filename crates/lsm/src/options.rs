@@ -1,0 +1,163 @@
+//! Engine configuration.
+
+/// Configuration for an [`Lsm`](crate::Lsm) instance.
+///
+/// The defaults mirror the paper's simulator settings: memtables are
+/// bounded by a *key-count* capacity (the paper's "memtable size" is the
+/// number of keys before a flush), compaction fan-in `k = 2`, and
+/// tombstones are dropped during major compaction.
+///
+/// # Examples
+///
+/// ```
+/// use lsm_engine::LsmOptions;
+///
+/// let opts = LsmOptions::default()
+///     .memtable_capacity(1_000)
+///     .compaction_fanin(2)
+///     .bloom_bits_per_key(10);
+/// assert_eq!(opts.memtable_capacity_keys(), 1_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LsmOptions {
+    memtable_capacity_keys: usize,
+    block_size: usize,
+    bloom_bits_per_key: usize,
+    compaction_fanin: usize,
+    drop_tombstones_on_major_compaction: bool,
+    wal_enabled: bool,
+}
+
+impl Default for LsmOptions {
+    fn default() -> Self {
+        Self {
+            memtable_capacity_keys: 1_000,
+            block_size: 4 * 1024,
+            bloom_bits_per_key: 10,
+            compaction_fanin: 2,
+            drop_tombstones_on_major_compaction: true,
+            wal_enabled: true,
+        }
+    }
+}
+
+impl LsmOptions {
+    /// Creates the default options (equivalent to [`Default::default`]).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets how many distinct keys a memtable holds before it is flushed.
+    /// This is the paper's "memtable size" knob (varied 10–10 000 in
+    /// Figure 8).
+    #[must_use]
+    pub fn memtable_capacity(mut self, keys: usize) -> Self {
+        self.memtable_capacity_keys = keys.max(1);
+        self
+    }
+
+    /// Sets the target uncompressed size of sstable data blocks in bytes.
+    #[must_use]
+    pub fn block_size(mut self, bytes: usize) -> Self {
+        self.block_size = bytes.max(64);
+        self
+    }
+
+    /// Sets the bloom-filter budget in bits per key (0 disables blooms).
+    #[must_use]
+    pub fn bloom_bits_per_key(mut self, bits: usize) -> Self {
+        self.bloom_bits_per_key = bits;
+        self
+    }
+
+    /// Sets the compaction fan-in `k`: how many sstables a single merge
+    /// operation may read (the paper's `k`, default 2).
+    #[must_use]
+    pub fn compaction_fanin(mut self, k: usize) -> Self {
+        self.compaction_fanin = k.max(2);
+        self
+    }
+
+    /// Controls whether tombstones are physically dropped when a major
+    /// compaction produces the final single sstable.
+    #[must_use]
+    pub fn drop_tombstones(mut self, drop: bool) -> Self {
+        self.drop_tombstones_on_major_compaction = drop;
+        self
+    }
+
+    /// Enables or disables the write-ahead log.
+    #[must_use]
+    pub fn wal(mut self, enabled: bool) -> Self {
+        self.wal_enabled = enabled;
+        self
+    }
+
+    /// Memtable capacity in distinct keys.
+    #[must_use]
+    pub fn memtable_capacity_keys(&self) -> usize {
+        self.memtable_capacity_keys
+    }
+
+    /// Data block size in bytes.
+    #[must_use]
+    pub fn block_size_bytes(&self) -> usize {
+        self.block_size
+    }
+
+    /// Bloom filter bits per key.
+    #[must_use]
+    pub fn bloom_bits(&self) -> usize {
+        self.bloom_bits_per_key
+    }
+
+    /// Compaction fan-in `k`.
+    #[must_use]
+    pub fn fanin(&self) -> usize {
+        self.compaction_fanin
+    }
+
+    /// Whether major compaction drops tombstones.
+    #[must_use]
+    pub fn drops_tombstones(&self) -> bool {
+        self.drop_tombstones_on_major_compaction
+    }
+
+    /// Whether the WAL is enabled.
+    #[must_use]
+    pub fn wal_enabled(&self) -> bool {
+        self.wal_enabled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_setters_clamp_and_store() {
+        let opts = LsmOptions::new()
+            .memtable_capacity(0)
+            .block_size(1)
+            .compaction_fanin(1)
+            .bloom_bits_per_key(0)
+            .drop_tombstones(false)
+            .wal(false);
+        assert_eq!(opts.memtable_capacity_keys(), 1, "capacity clamps to 1");
+        assert_eq!(opts.block_size_bytes(), 64, "block size clamps to 64");
+        assert_eq!(opts.fanin(), 2, "fan-in clamps to 2");
+        assert_eq!(opts.bloom_bits(), 0);
+        assert!(!opts.drops_tombstones());
+        assert!(!opts.wal_enabled());
+    }
+
+    #[test]
+    fn defaults_match_paper_simulator() {
+        let opts = LsmOptions::default();
+        assert_eq!(opts.memtable_capacity_keys(), 1_000);
+        assert_eq!(opts.fanin(), 2);
+        assert!(opts.drops_tombstones());
+    }
+}

@@ -1,0 +1,456 @@
+//! The immutable sorted-run (sstable) format.
+//!
+//! Layout of an encoded sstable blob:
+//!
+//! ```text
+//! +-------------------+
+//! | data block 0      |   length-prefixed, CRC-protected (see `block`)
+//! | data block 1      |
+//! | ...               |
+//! | bloom filter      |
+//! | index block       |   (last_key, offset, len) per data block
+//! | footer            |   offsets + counts + magic + CRC
+//! +-------------------+
+//! ```
+//!
+//! Sstables are immutable once built: compaction never edits a table, it
+//! reads whole tables and writes a new one, which is exactly the I/O the
+//! paper's cost function charges for.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::block::{crc32, Block, BlockBuilder};
+use crate::bloom::BloomFilter;
+use crate::storage::Storage;
+use crate::types::{Entry, Key};
+use crate::Error;
+
+const FOOTER_MAGIC: u64 = 0x4C53_4D54_4142_4C45; // "LSMTABLE"
+
+/// Builds an sstable from entries supplied in internal-key order.
+#[derive(Debug)]
+pub struct SstableBuilder {
+    table_id: u64,
+    block_size: usize,
+    bloom_bits_per_key: usize,
+    current: BlockBuilder,
+    finished_blocks: Vec<(Key, Bytes)>,
+    all_keys: Vec<Key>,
+    entry_count: u64,
+    min_key: Option<Key>,
+    max_key: Option<Key>,
+}
+
+impl SstableBuilder {
+    /// Creates a builder for table `table_id`.
+    #[must_use]
+    pub fn new(table_id: u64, block_size: usize, bloom_bits_per_key: usize) -> Self {
+        Self {
+            table_id,
+            block_size: block_size.max(64),
+            bloom_bits_per_key,
+            current: BlockBuilder::new(),
+            finished_blocks: Vec::new(),
+            all_keys: Vec::new(),
+            entry_count: 0,
+            min_key: None,
+            max_key: None,
+        }
+    }
+
+    /// Appends an entry. Entries must arrive sorted by internal key
+    /// (user key ascending, newest version first).
+    pub fn add(&mut self, entry: &Entry) {
+        if self.min_key.is_none() {
+            self.min_key = Some(entry.key.clone());
+        }
+        self.max_key = Some(entry.key.clone());
+        self.all_keys.push(entry.key.clone());
+        self.entry_count += 1;
+        self.current.add(entry);
+        if self.current.size_in_bytes() >= self.block_size {
+            self.rotate_block();
+        }
+    }
+
+    fn rotate_block(&mut self) {
+        if self.current.is_empty() {
+            return;
+        }
+        let last_key = self.current.last_key().expect("non-empty block").clone();
+        let encoded = self.current.finish();
+        self.finished_blocks.push((last_key, encoded));
+    }
+
+    /// Number of entries added so far.
+    #[must_use]
+    pub fn entry_count(&self) -> u64 {
+        self.entry_count
+    }
+
+    /// Serializes the table and returns (encoded bytes, metadata).
+    #[must_use]
+    pub fn finish(mut self) -> (Bytes, SstableMeta) {
+        self.rotate_block();
+
+        let bloom = BloomFilter::build(
+            self.all_keys.iter().map(|k| k.as_ref()),
+            self.bloom_bits_per_key,
+        );
+
+        let mut buf = BytesMut::new();
+        let mut index: Vec<(Key, u64, u64)> = Vec::with_capacity(self.finished_blocks.len());
+        for (last_key, encoded) in &self.finished_blocks {
+            let offset = buf.len() as u64;
+            buf.put_slice(encoded);
+            index.push((last_key.clone(), offset, encoded.len() as u64));
+        }
+
+        let bloom_offset = buf.len() as u64;
+        let bloom_bytes = bloom.encode();
+        buf.put_slice(&bloom_bytes);
+
+        let index_offset = buf.len() as u64;
+        buf.put_u32_le(index.len() as u32);
+        for (last_key, offset, len) in &index {
+            buf.put_u32_le(last_key.len() as u32);
+            buf.put_slice(last_key);
+            buf.put_u64_le(*offset);
+            buf.put_u64_le(*len);
+        }
+
+        // Footer: bloom_offset, bloom_len, index_offset, entry_count, magic, crc
+        let footer_start = buf.len();
+        buf.put_u64_le(bloom_offset);
+        buf.put_u64_le(bloom_bytes.len() as u64);
+        buf.put_u64_le(index_offset);
+        buf.put_u64_le(self.entry_count);
+        buf.put_u64_le(FOOTER_MAGIC);
+        let crc = crc32(&buf[footer_start..]);
+        buf.put_u32_le(crc);
+
+        let meta = SstableMeta {
+            table_id: self.table_id,
+            entry_count: self.entry_count,
+            encoded_len: buf.len() as u64,
+            min_key: self.min_key,
+            max_key: self.max_key,
+        };
+        (buf.freeze(), meta)
+    }
+}
+
+/// Summary metadata returned by [`SstableBuilder::finish`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SstableMeta {
+    /// The table's id.
+    pub table_id: u64,
+    /// Number of entries (distinct user keys, since flushes and
+    /// compactions both emit one version per key).
+    pub entry_count: u64,
+    /// Size of the encoded table in bytes.
+    pub encoded_len: u64,
+    /// Smallest user key in the table.
+    pub min_key: Option<Key>,
+    /// Largest user key in the table.
+    pub max_key: Option<Key>,
+}
+
+/// An immutable, decoded-on-demand sstable.
+#[derive(Debug, Clone)]
+pub struct Sstable {
+    table_id: u64,
+    data: Bytes,
+    bloom: BloomFilter,
+    /// (last_key, offset, len) per data block, in key order.
+    index: Vec<(Key, u64, u64)>,
+    entry_count: u64,
+}
+
+impl Sstable {
+    /// The canonical blob name for a table id.
+    #[must_use]
+    pub fn blob_name(table_id: u64) -> String {
+        format!("sst-{table_id:012}.sst")
+    }
+
+    /// Decodes an sstable from its encoded bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corruption`] if the footer, index or checksums are
+    /// malformed.
+    pub fn decode(table_id: u64, data: Bytes) -> Result<Self, Error> {
+        const FOOTER_LEN: usize = 8 * 5 + 4;
+        if data.len() < FOOTER_LEN {
+            return Err(Error::corruption("sstable shorter than footer"));
+        }
+        let footer = &data[data.len() - FOOTER_LEN..];
+        let crc_stored = u32::from_le_bytes(footer[FOOTER_LEN - 4..].try_into().expect("4 bytes"));
+        if crc32(&footer[..FOOTER_LEN - 4]) != crc_stored {
+            return Err(Error::corruption("sstable footer checksum mismatch"));
+        }
+        let mut cursor = footer;
+        let bloom_offset = cursor.get_u64_le() as usize;
+        let bloom_len = cursor.get_u64_le() as usize;
+        let index_offset = cursor.get_u64_le() as usize;
+        let entry_count = cursor.get_u64_le();
+        let magic = cursor.get_u64_le();
+        if magic != FOOTER_MAGIC {
+            return Err(Error::corruption("bad sstable magic"));
+        }
+        if bloom_offset + bloom_len > data.len() || index_offset > data.len() {
+            return Err(Error::corruption("sstable footer offsets out of range"));
+        }
+
+        let bloom = BloomFilter::decode(&data[bloom_offset..bloom_offset + bloom_len])?;
+
+        let mut index_cursor = &data[index_offset..data.len() - FOOTER_LEN];
+        if index_cursor.remaining() < 4 {
+            return Err(Error::corruption("truncated sstable index"));
+        }
+        let block_count = index_cursor.get_u32_le();
+        let mut index = Vec::with_capacity(block_count as usize);
+        for _ in 0..block_count {
+            if index_cursor.remaining() < 4 {
+                return Err(Error::corruption("truncated index entry"));
+            }
+            let klen = index_cursor.get_u32_le() as usize;
+            if index_cursor.remaining() < klen + 16 {
+                return Err(Error::corruption("truncated index entry body"));
+            }
+            let key = Bytes::copy_from_slice(&index_cursor[..klen]);
+            index_cursor.advance(klen);
+            let offset = index_cursor.get_u64_le();
+            let len = index_cursor.get_u64_le();
+            index.push((key, offset, len));
+        }
+
+        Ok(Self {
+            table_id,
+            data,
+            bloom,
+            index,
+            entry_count,
+        })
+    }
+
+    /// Loads and decodes the sstable blob for `table_id` from `storage`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the blob is missing or corrupt.
+    pub fn load(storage: &dyn Storage, table_id: u64) -> Result<Self, Error> {
+        let data = storage.read_blob(&Self::blob_name(table_id))?;
+        Self::decode(table_id, data)
+    }
+
+    /// The table's id.
+    #[must_use]
+    pub fn table_id(&self) -> u64 {
+        self.table_id
+    }
+
+    /// Number of entries in the table.
+    #[must_use]
+    pub fn entry_count(&self) -> u64 {
+        self.entry_count
+    }
+
+    /// Encoded size of the table in bytes.
+    #[must_use]
+    pub fn encoded_len(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    /// Smallest user key, if the table is non-empty.
+    #[must_use]
+    pub fn min_key(&self) -> Option<Key> {
+        self.index.first().and_then(|_| {
+            self.read_block(0)
+                .ok()
+                .and_then(|b| b.entries().first().map(|e| e.key.clone()))
+        })
+    }
+
+    /// Largest user key, if the table is non-empty.
+    #[must_use]
+    pub fn max_key(&self) -> Option<Key> {
+        self.index.last().map(|(k, _, _)| k.clone())
+    }
+
+    /// Point lookup: returns the newest version of `key` stored in this
+    /// table (which may be a tombstone), or `None`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corruption`] if the containing block fails its
+    /// checksum.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Entry>, Error> {
+        if !self.bloom.may_contain(key) {
+            return Ok(None);
+        }
+        // Binary search the index for the first block whose last key >= key.
+        let block_idx = self.index.partition_point(|(last, _, _)| last.as_ref() < key);
+        if block_idx >= self.index.len() {
+            return Ok(None);
+        }
+        let block = self.read_block(block_idx)?;
+        Ok(block.get(key).cloned())
+    }
+
+    /// Number of data blocks.
+    #[must_use]
+    pub fn block_count(&self) -> usize {
+        self.index.len()
+    }
+
+    fn read_block(&self, idx: usize) -> Result<Block, Error> {
+        let (_, offset, len) = &self.index[idx];
+        let start = *offset as usize;
+        let end = start + *len as usize;
+        Block::decode(&self.data[start..end])
+    }
+
+    /// Iterates every entry in the table in internal-key order.
+    #[must_use]
+    pub fn iter(&self) -> SstableIter<'_> {
+        SstableIter {
+            table: self,
+            block_idx: 0,
+            entries: Vec::new(),
+            entry_idx: 0,
+        }
+    }
+}
+
+/// Iterator over all entries of an [`Sstable`] in key order.
+#[derive(Debug)]
+pub struct SstableIter<'a> {
+    table: &'a Sstable,
+    block_idx: usize,
+    entries: Vec<Entry>,
+    entry_idx: usize,
+}
+
+impl Iterator for SstableIter<'_> {
+    type Item = Result<Entry, Error>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.entry_idx < self.entries.len() {
+                let entry = self.entries[self.entry_idx].clone();
+                self.entry_idx += 1;
+                return Some(Ok(entry));
+            }
+            if self.block_idx >= self.table.index.len() {
+                return None;
+            }
+            match self.table.read_block(self.block_idx) {
+                Ok(block) => {
+                    self.block_idx += 1;
+                    self.entries = block.into_entries();
+                    self.entry_idx = 0;
+                }
+                Err(e) => {
+                    self.block_idx = self.table.index.len();
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemoryStorage;
+    use crate::types::key_from_u64;
+
+    fn build_table(n: u64, block_size: usize) -> (Bytes, SstableMeta) {
+        let mut builder = SstableBuilder::new(7, block_size, 10);
+        for i in 0..n {
+            let entry = if i % 11 == 0 {
+                Entry::tombstone(key_from_u64(i), 1_000 + i)
+            } else {
+                Entry::put(key_from_u64(i), Bytes::from(format!("value-{i}")), 1_000 + i)
+            };
+            builder.add(&entry);
+        }
+        assert_eq!(builder.entry_count(), n);
+        builder.finish()
+    }
+
+    #[test]
+    fn build_decode_and_point_lookup() {
+        let (data, meta) = build_table(1_000, 256);
+        assert_eq!(meta.entry_count, 1_000);
+        assert_eq!(meta.min_key, Some(key_from_u64(0)));
+        assert_eq!(meta.max_key, Some(key_from_u64(999)));
+
+        let table = Sstable::decode(7, data).unwrap();
+        assert_eq!(table.table_id(), 7);
+        assert_eq!(table.entry_count(), 1_000);
+        assert!(table.block_count() > 1, "small block size must yield several blocks");
+        assert_eq!(table.min_key(), Some(key_from_u64(0)));
+        assert_eq!(table.max_key(), Some(key_from_u64(999)));
+
+        let entry = table.get(&key_from_u64(500)).unwrap().unwrap();
+        assert_eq!(entry.value.as_ref(), b"value-500");
+        let tomb = table.get(&key_from_u64(990)).unwrap().unwrap();
+        assert!(tomb.is_tombstone());
+        assert!(table.get(&key_from_u64(5_000)).unwrap().is_none());
+    }
+
+    #[test]
+    fn iter_returns_all_entries_in_order() {
+        let (data, _) = build_table(500, 200);
+        let table = Sstable::decode(1, data).unwrap();
+        let entries: Result<Vec<Entry>, Error> = table.iter().collect();
+        let entries = entries.unwrap();
+        assert_eq!(entries.len(), 500);
+        for (i, e) in entries.iter().enumerate() {
+            assert_eq!(e.key, key_from_u64(i as u64));
+        }
+    }
+
+    #[test]
+    fn empty_table_roundtrips() {
+        let builder = SstableBuilder::new(2, 4096, 10);
+        let (data, meta) = builder.finish();
+        assert_eq!(meta.entry_count, 0);
+        let table = Sstable::decode(2, data).unwrap();
+        assert_eq!(table.entry_count(), 0);
+        assert_eq!(table.block_count(), 0);
+        assert!(table.get(b"x").unwrap().is_none());
+        assert_eq!(table.iter().count(), 0);
+        assert_eq!(table.min_key(), None);
+        assert_eq!(table.max_key(), None);
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let (data, _) = build_table(50, 4096);
+        let mut tampered = data.to_vec();
+        let last = tampered.len() - 1;
+        tampered[last] ^= 0xFF;
+        assert!(Sstable::decode(1, Bytes::from(tampered)).is_err());
+        assert!(Sstable::decode(1, Bytes::from_static(b"tiny")).is_err());
+    }
+
+    #[test]
+    fn load_from_storage() {
+        let storage = MemoryStorage::new();
+        let (data, _) = build_table(100, 512);
+        storage.write_blob(&Sstable::blob_name(42), &data).unwrap();
+        let table = Sstable::load(&storage, 42).unwrap();
+        assert_eq!(table.entry_count(), 100);
+        assert!(Sstable::load(&storage, 43).is_err());
+    }
+
+    #[test]
+    fn blob_names_are_stable_and_sortable() {
+        assert_eq!(Sstable::blob_name(1), "sst-000000000001.sst");
+        assert!(Sstable::blob_name(2) < Sstable::blob_name(10));
+    }
+}

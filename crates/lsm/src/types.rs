@@ -1,0 +1,213 @@
+//! Core value types shared by every module of the engine.
+
+use bytes::Bytes;
+
+/// A user key. Keys are arbitrary byte strings ordered lexicographically;
+/// the helper [`Key::from_u64`] produces big-endian encoded integer keys
+/// whose byte order matches numeric order, which is what the workload
+/// generator and the compaction theory use.
+pub type Key = Bytes;
+
+/// A user value (opaque bytes).
+pub type Value = Bytes;
+
+/// Monotonically increasing sequence number assigned to every write.
+///
+/// Newer writes have larger sequence numbers; during compaction the entry
+/// with the largest sequence number for a key wins.
+pub type SeqNo = u64;
+
+/// Encodes a `u64` key as 8 big-endian bytes so lexicographic order equals
+/// numeric order.
+#[must_use]
+pub fn key_from_u64(key: u64) -> Key {
+    Bytes::copy_from_slice(&key.to_be_bytes())
+}
+
+/// Decodes a key produced by [`key_from_u64`]. Returns `None` if the key
+/// is not exactly 8 bytes.
+#[must_use]
+pub fn key_to_u64(key: &[u8]) -> Option<u64> {
+    let arr: [u8; 8] = key.try_into().ok()?;
+    Some(u64::from_be_bytes(arr))
+}
+
+/// Whether an entry stores a live value or a deletion tombstone.
+///
+/// Deletes in LSM stores are writes: a tombstone is appended and the key
+/// is physically removed only when a major compaction observes the
+/// tombstone as the newest version (Section 5.1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum ValueKind {
+    /// A live key/value pair.
+    Put,
+    /// A deletion tombstone.
+    Tombstone,
+}
+
+impl ValueKind {
+    /// Single-byte wire encoding.
+    #[must_use]
+    pub fn as_u8(self) -> u8 {
+        match self {
+            ValueKind::Put => 0,
+            ValueKind::Tombstone => 1,
+        }
+    }
+
+    /// Decodes the wire byte. Returns `None` for unknown tags.
+    #[must_use]
+    pub fn from_u8(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(ValueKind::Put),
+            1 => Some(ValueKind::Tombstone),
+            _ => None,
+        }
+    }
+}
+
+/// An internal key: the user key plus the metadata that orders versions.
+///
+/// Internal keys sort by user key ascending, then by sequence number
+/// *descending*, so that a forward scan visits the newest version of each
+/// user key first.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct InternalKey {
+    /// The user key.
+    pub user_key: Key,
+    /// The sequence number of the write that produced this version.
+    pub seqno: SeqNo,
+    /// Whether the version is a put or a tombstone.
+    pub kind: ValueKind,
+}
+
+impl InternalKey {
+    /// Creates an internal key.
+    #[must_use]
+    pub fn new(user_key: Key, seqno: SeqNo, kind: ValueKind) -> Self {
+        Self {
+            user_key,
+            seqno,
+            kind,
+        }
+    }
+}
+
+impl Ord for InternalKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.user_key
+            .cmp(&other.user_key)
+            .then_with(|| other.seqno.cmp(&self.seqno))
+            .then_with(|| self.kind.cmp(&other.kind))
+    }
+}
+
+impl PartialOrd for InternalKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A full entry: internal key plus value payload.
+///
+/// This is the unit stored in memtables, written to sstables and fed
+/// through merging iterators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// The user key.
+    pub key: Key,
+    /// The value payload; empty for tombstones.
+    pub value: Value,
+    /// Sequence number of the write.
+    pub seqno: SeqNo,
+    /// Put or tombstone.
+    pub kind: ValueKind,
+}
+
+impl Entry {
+    /// Creates a live (put) entry.
+    #[must_use]
+    pub fn put(key: Key, value: Value, seqno: SeqNo) -> Self {
+        Self {
+            key,
+            value,
+            seqno,
+            kind: ValueKind::Put,
+        }
+    }
+
+    /// Creates a tombstone entry for `key`.
+    #[must_use]
+    pub fn tombstone(key: Key, seqno: SeqNo) -> Self {
+        Self {
+            key,
+            value: Bytes::new(),
+            seqno,
+            kind: ValueKind::Tombstone,
+        }
+    }
+
+    /// Returns `true` if this entry is a deletion tombstone.
+    #[must_use]
+    pub fn is_tombstone(&self) -> bool {
+        self.kind == ValueKind::Tombstone
+    }
+
+    /// The internal key of this entry.
+    #[must_use]
+    pub fn internal_key(&self) -> InternalKey {
+        InternalKey::new(self.key.clone(), self.seqno, self.kind)
+    }
+
+    /// Approximate in-memory / on-disk footprint of the entry in bytes
+    /// (key + value + fixed per-entry metadata). Used for size-based
+    /// memtable thresholds and for disk-I/O accounting.
+    #[must_use]
+    pub fn encoded_size(&self) -> usize {
+        self.key.len() + self.value.len() + 8 + 1 + 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_key_roundtrip_preserves_order() {
+        let a = key_from_u64(5);
+        let b = key_from_u64(1_000_000);
+        assert!(a < b, "byte order must match numeric order");
+        assert_eq!(key_to_u64(&a), Some(5));
+        assert_eq!(key_to_u64(&b), Some(1_000_000));
+        assert_eq!(key_to_u64(b"short"), None);
+    }
+
+    #[test]
+    fn value_kind_wire_roundtrip() {
+        for kind in [ValueKind::Put, ValueKind::Tombstone] {
+            assert_eq!(ValueKind::from_u8(kind.as_u8()), Some(kind));
+        }
+        assert_eq!(ValueKind::from_u8(7), None);
+    }
+
+    #[test]
+    fn internal_keys_order_newest_first_within_user_key() {
+        let old = InternalKey::new(key_from_u64(1), 5, ValueKind::Put);
+        let new = InternalKey::new(key_from_u64(1), 9, ValueKind::Put);
+        let other = InternalKey::new(key_from_u64(2), 1, ValueKind::Put);
+        assert!(new < old, "higher seqno sorts first");
+        assert!(old < other, "user key dominates");
+    }
+
+    #[test]
+    fn entry_constructors() {
+        let e = Entry::put(key_from_u64(3), Bytes::from_static(b"v"), 10);
+        assert!(!e.is_tombstone());
+        assert_eq!(e.internal_key().seqno, 10);
+        let t = Entry::tombstone(key_from_u64(3), 11);
+        assert!(t.is_tombstone());
+        assert!(t.value.is_empty());
+        assert!(t.encoded_size() >= 8 + 17);
+    }
+}

@@ -1,0 +1,188 @@
+//! Phase 1: turning a YCSB workload into sstable key sets.
+
+use compaction_core::KeySet;
+use std::collections::BTreeSet;
+use ycsb_gen::WorkloadSpec;
+
+/// Generates sstables by pushing a workload's write operations through a
+/// fixed-capacity memtable, flushing every time it fills.
+///
+/// Only inserts, updates and deletes reach the memtable (deletes are
+/// tombstone-flag updates and therefore occupy a key slot like any other
+/// write, matching Section 5.1); reads and scans are ignored. Duplicate
+/// writes to a key already buffered collapse in place, which is why the
+/// flushed sstables "may be smaller and vary in size".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SstableGenerator {
+    memtable_capacity: usize,
+    flush_partial_tail: bool,
+}
+
+impl SstableGenerator {
+    /// Creates a generator whose memtable holds `memtable_capacity`
+    /// distinct keys before flushing. The partial memtable left at the end
+    /// of the workload is also flushed.
+    #[must_use]
+    pub fn new(memtable_capacity: usize) -> Self {
+        Self {
+            memtable_capacity: memtable_capacity.max(1),
+            flush_partial_tail: true,
+        }
+    }
+
+    /// Configures whether the final partial memtable becomes an sstable
+    /// (`true`, the default) or is discarded.
+    #[must_use]
+    pub fn flush_partial_tail(mut self, flush: bool) -> Self {
+        self.flush_partial_tail = flush;
+        self
+    }
+
+    /// The configured memtable capacity (the paper's "memtable size").
+    #[must_use]
+    pub fn memtable_capacity(&self) -> usize {
+        self.memtable_capacity
+    }
+
+    /// Runs the workload (load phase then run phase) through the memtable
+    /// and returns the flushed sstables as key sets, in flush order.
+    #[must_use]
+    pub fn generate(&self, spec: &WorkloadSpec) -> Vec<KeySet> {
+        let generator = spec.generator();
+        self.generate_from_keys(generator.write_operations().iter().map(|op| op.key))
+    }
+
+    /// Same as [`SstableGenerator::generate`] but over an explicit stream
+    /// of written keys (useful for tests and synthetic workloads).
+    #[must_use]
+    pub fn generate_from_keys<I: IntoIterator<Item = u64>>(&self, keys: I) -> Vec<KeySet> {
+        let mut sstables = Vec::new();
+        let mut memtable: BTreeSet<u64> = BTreeSet::new();
+        for key in keys {
+            memtable.insert(key);
+            if memtable.len() >= self.memtable_capacity {
+                sstables.push(KeySet::from_vec(memtable.iter().copied().collect()));
+                memtable.clear();
+            }
+        }
+        if self.flush_partial_tail && !memtable.is_empty() {
+            sstables.push(KeySet::from_vec(memtable.into_iter().collect()));
+        }
+        sstables
+    }
+
+    /// Builds the Figure 8 style workload: a target number of sstables of
+    /// a given memtable size, with the paper's `operationcount =
+    /// memtable_size × num_sstables − recordcount` formula.
+    ///
+    /// Returns the generated sstables (the count can differ slightly from
+    /// `num_sstables` because duplicate keys collapse inside memtables).
+    #[must_use]
+    pub fn generate_fixed_count(
+        &self,
+        base_spec: &WorkloadSpec,
+        num_sstables: usize,
+    ) -> Vec<KeySet> {
+        let target_ops = (self.memtable_capacity as u64)
+            .saturating_mul(num_sstables as u64)
+            .saturating_sub(base_spec.record_count());
+        let spec = ycsb_gen::WorkloadSpec::builder()
+            .record_count(base_spec.record_count())
+            .operation_count(target_ops)
+            .insert_proportion(base_spec.insert_proportion())
+            .update_proportion(base_spec.update_proportion())
+            .read_proportion(base_spec.read_proportion())
+            .delete_proportion(base_spec.delete_proportion())
+            .scan_proportion(base_spec.scan_proportion())
+            .distribution(base_spec.distribution())
+            .seed(base_spec.seed())
+            .build()
+            .expect("base spec was already valid");
+        self.generate(&spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ycsb_gen::Distribution;
+
+    fn spec(update_percent: u32, ops: u64, seed: u64) -> WorkloadSpec {
+        WorkloadSpec::builder()
+            .record_count(1_000)
+            .operation_count(ops)
+            .update_percent(update_percent)
+            .distribution(Distribution::Latest)
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn insert_only_workload_fills_memtables_exactly() {
+        // With 0% updates every key is new, so every sstable except
+        // possibly the last has exactly `capacity` keys.
+        let sstables = SstableGenerator::new(100).generate(&spec(0, 4_000, 1));
+        assert_eq!(sstables.len(), 50, "(1000 load + 4000 run) / 100 per table");
+        assert!(sstables.iter().all(|s| s.len() == 100));
+    }
+
+    #[test]
+    fn update_heavy_workload_produces_fewer_larger_overlapping_tables() {
+        let insert_only = SstableGenerator::new(100).generate(&spec(0, 4_000, 1));
+        let update_heavy = SstableGenerator::new(100).generate(&spec(100, 4_000, 1));
+        assert!(
+            update_heavy.len() <= insert_only.len(),
+            "updates collapse in the memtable so fewer tables are flushed"
+        );
+        // Update-heavy sstables overlap: total distinct keys ≪ sum of sizes.
+        let distinct = KeySet::union_many(update_heavy.iter()).len();
+        let total: usize = update_heavy.iter().map(KeySet::len).sum();
+        assert!(distinct < total, "expected overlapping sstables");
+        // Insert-only sstables are pairwise disjoint.
+        for (i, a) in insert_only.iter().enumerate() {
+            for b in insert_only.iter().skip(i + 1) {
+                assert!(a.is_disjoint(b));
+            }
+        }
+    }
+
+    #[test]
+    fn partial_tail_flush_is_configurable() {
+        let keys = 0u64..250;
+        let with_tail = SstableGenerator::new(100).generate_from_keys(keys.clone());
+        assert_eq!(with_tail.len(), 3);
+        assert_eq!(with_tail[2].len(), 50);
+        let without_tail = SstableGenerator::new(100)
+            .flush_partial_tail(false)
+            .generate_from_keys(keys);
+        assert_eq!(without_tail.len(), 2);
+    }
+
+    #[test]
+    fn capacity_clamps_to_one() {
+        let generator = SstableGenerator::new(0);
+        assert_eq!(generator.memtable_capacity(), 1);
+        let tables = generator.generate_from_keys([7u64, 7, 8]);
+        assert_eq!(tables.len(), 3, "every write flushes immediately");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = SstableGenerator::new(64).generate(&spec(60, 5_000, 9));
+        let b = SstableGenerator::new(64).generate(&spec(60, 5_000, 9));
+        assert_eq!(a, b);
+        let c = SstableGenerator::new(64).generate(&spec(60, 5_000, 10));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn fixed_count_generator_targets_sstable_count() {
+        let base = spec(60, 0, 3);
+        let tables = SstableGenerator::new(500).generate_fixed_count(&base, 20);
+        // Updates collapse, so we get at most 20 tables and at least a few.
+        assert!(tables.len() <= 20);
+        assert!(tables.len() >= 10);
+        assert!(tables.iter().all(|s| s.len() <= 500));
+    }
+}

@@ -1,0 +1,177 @@
+//! Plain-text and CSV rendering of experiment series.
+//!
+//! The `fig7`/`fig8`/`fig9` binaries in the `compaction-bench` crate call
+//! these to print the same rows/series the paper's figures plot.
+
+use crate::experiment::{Fig7Row, Fig8Row, Fig9Row, Fig9Sweep};
+
+/// Renders the Figure 7 series (cost and time per strategy per update
+/// percentage) as a fixed-width text table.
+#[must_use]
+pub fn fig7_table(rows: &[Fig7Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>8}  {:>8}  {:>10}  {:>18}  {:>18}\n",
+        "update%", "strategy", "sstables", "cost_actual", "time_ms"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:>8}  {:>8}  {:>10}  {:>18}  {:>18}\n",
+            row.update_percent,
+            row.strategy.name(),
+            row.n_sstables,
+            row.cost.to_string(),
+            row.time_ms.to_string(),
+        ));
+    }
+    out
+}
+
+/// Renders the Figure 7 series as CSV.
+#[must_use]
+pub fn fig7_csv(rows: &[Fig7Row]) -> String {
+    let mut out = String::from("update_percent,strategy,n_sstables,cost_mean,cost_std,time_ms_mean,time_ms_std\n");
+    for row in rows {
+        out.push_str(&format!(
+            "{},{},{},{:.2},{:.2},{:.4},{:.4}\n",
+            row.update_percent,
+            row.strategy.name(),
+            row.n_sstables,
+            row.cost.mean,
+            row.cost.std_dev,
+            row.time_ms.mean,
+            row.time_ms.std_dev,
+        ));
+    }
+    out
+}
+
+/// Renders the Figure 8 series (BT(I) cost vs the LOPT lower bound) as a
+/// fixed-width text table.
+#[must_use]
+pub fn fig8_table(rows: &[Fig8Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>10}  {:>14}  {:>10}  {:>18}  {:>18}  {:>7}\n",
+        "dist", "memtable_size", "sstables", "bt_cost", "lopt_bound", "ratio"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:>10}  {:>14}  {:>10}  {:>18}  {:>18}  {:>7.3}\n",
+            row.distribution.name(),
+            row.memtable_size,
+            row.n_sstables,
+            row.cost.to_string(),
+            row.lopt.to_string(),
+            row.ratio(),
+        ));
+    }
+    out
+}
+
+/// Renders the Figure 8 series as CSV.
+#[must_use]
+pub fn fig8_csv(rows: &[Fig8Row]) -> String {
+    let mut out =
+        String::from("distribution,memtable_size,n_sstables,cost_mean,cost_std,lopt_mean,lopt_std,ratio\n");
+    for row in rows {
+        out.push_str(&format!(
+            "{},{},{},{:.2},{:.2},{:.2},{:.2},{:.4}\n",
+            row.distribution.name(),
+            row.memtable_size,
+            row.n_sstables,
+            row.cost.mean,
+            row.cost.std_dev,
+            row.lopt.mean,
+            row.lopt.std_dev,
+            row.ratio(),
+        ));
+    }
+    out
+}
+
+/// Renders a Figure 9 series (cost vs time) as a fixed-width text table.
+#[must_use]
+pub fn fig9_table(rows: &[Fig9Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>10}  {:>16}  {:>18}  {:>18}\n",
+        "dist", "x", "cost_actual", "time_ms"
+    ));
+    for row in rows {
+        let x_label = match row.sweep {
+            Fig9Sweep::UpdatePercent => format!("{}% updates", row.x),
+            Fig9Sweep::OperationCount => format!("{} ops", row.x),
+        };
+        out.push_str(&format!(
+            "{:>10}  {:>16}  {:>18}  {:>18}\n",
+            row.distribution.name(),
+            x_label,
+            row.cost.to_string(),
+            row.time_ms.to_string(),
+        ));
+    }
+    out
+}
+
+/// Renders a Figure 9 series as CSV.
+#[must_use]
+pub fn fig9_csv(rows: &[Fig9Row]) -> String {
+    let mut out = String::from("distribution,sweep,x,cost_mean,cost_std,time_ms_mean,time_ms_std\n");
+    for row in rows {
+        let sweep = match row.sweep {
+            Fig9Sweep::UpdatePercent => "update_percent",
+            Fig9Sweep::OperationCount => "operation_count",
+        };
+        out.push_str(&format!(
+            "{},{},{},{:.2},{:.2},{:.4},{:.4}\n",
+            row.distribution.name(),
+            sweep,
+            row.x,
+            row.cost.mean,
+            row.cost.std_dev,
+            row.time_ms.mean,
+            row.time_ms.std_dev,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{Fig7Config, Fig8Config, Fig9Config};
+    use crate::Fig9Sweep;
+
+    #[test]
+    fn fig7_rendering_contains_all_strategies() {
+        let rows = Fig7Config::quick().run();
+        let table = fig7_table(&rows);
+        for name in ["SI", "SO(HLL)", "BT(I)", "BT(O)", "RANDOM"] {
+            assert!(table.contains(name), "missing {name} in:\n{table}");
+        }
+        let csv = fig7_csv(&rows);
+        assert_eq!(csv.lines().count(), rows.len() + 1);
+        assert!(csv.starts_with("update_percent,"));
+    }
+
+    #[test]
+    fn fig8_rendering_includes_ratio_column() {
+        let rows = Fig8Config::quick().run();
+        let table = fig8_table(&rows);
+        assert!(table.contains("ratio"));
+        assert!(table.contains("latest"));
+        let csv = fig8_csv(&rows);
+        assert_eq!(csv.lines().count(), rows.len() + 1);
+    }
+
+    #[test]
+    fn fig9_rendering_labels_both_sweeps() {
+        let a = Fig9Config::quick(Fig9Sweep::UpdatePercent).run();
+        assert!(fig9_table(&a).contains("% updates"));
+        assert!(fig9_csv(&a).contains("update_percent"));
+        let b = Fig9Config::quick(Fig9Sweep::OperationCount).run();
+        assert!(fig9_table(&b).contains(" ops"));
+        assert!(fig9_csv(&b).contains("operation_count"));
+    }
+}

@@ -1,0 +1,237 @@
+//! Phase 2: run a compaction strategy and measure cost and time.
+
+use std::time::{Duration, Instant};
+
+use compaction_core::bounds::lopt_lower_bound;
+use compaction_core::{schedule_with, Error, KeySet, MergeSchedule, Strategy};
+
+/// The measurements of one compaction run, mirroring what the paper's
+/// simulator records per strategy (Section 5.1): the I/O cost
+/// (`cost_actual`) and the wall-clock running time, split into the
+/// strategy's scheduling overhead and the time spent actually merging.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// The strategy that produced the schedule.
+    pub strategy: Strategy,
+    /// Number of initial sstables.
+    pub n_sstables: usize,
+    /// Simplified cost (eq. 2.1).
+    pub cost: u64,
+    /// Disk-I/O cost `cost_actual` (eq. in Section 2) — the quantity
+    /// plotted in Figures 7a, 8 and 9.
+    pub cost_actual: u64,
+    /// The `LOPT = Σ|Aᵢ|` lower bound for this instance.
+    pub lopt: u64,
+    /// Time spent inside the strategy choosing what to merge.
+    pub scheduling_time: Duration,
+    /// Time spent executing the merges (materializing unions).
+    pub merge_time: Duration,
+    /// Number of merge operations executed.
+    pub merge_ops: usize,
+    /// Height of the merge tree.
+    pub tree_height: usize,
+}
+
+impl RunResult {
+    /// Total running time (scheduling overhead + merge execution), the
+    /// quantity plotted in Figures 7b and 9.
+    #[must_use]
+    pub fn total_time(&self) -> Duration {
+        self.scheduling_time + self.merge_time
+    }
+}
+
+/// Runs `strategy` over `sstables` with fan-in `k`, executing the merges
+/// sequentially.
+///
+/// # Errors
+///
+/// Propagates scheduling errors (empty input, invalid fan-in).
+pub fn run_strategy(strategy: Strategy, sstables: &[KeySet], k: usize) -> Result<RunResult, Error> {
+    let schedule_start = Instant::now();
+    let schedule = schedule_with(strategy, sstables, k)?;
+    let scheduling_time = schedule_start.elapsed();
+
+    let merge_start = Instant::now();
+    let outputs = schedule.outputs(sstables);
+    let merge_time = merge_start.elapsed();
+    drop(outputs);
+
+    Ok(build_result(
+        strategy,
+        sstables,
+        &schedule,
+        scheduling_time,
+        merge_time,
+    ))
+}
+
+/// Runs `strategy` over `sstables`, executing independent merges of the
+/// schedule in parallel with threads (one wave per dependency level), as
+/// the paper does for the BALANCETREE strategies.
+///
+/// The schedule (and therefore the cost) is identical to the sequential
+/// run; only the measured merge time changes.
+///
+/// # Errors
+///
+/// Propagates scheduling errors (empty input, invalid fan-in).
+pub fn run_strategy_parallel(
+    strategy: Strategy,
+    sstables: &[KeySet],
+    k: usize,
+) -> Result<RunResult, Error> {
+    let schedule_start = Instant::now();
+    let schedule = schedule_with(strategy, sstables, k)?;
+    let scheduling_time = schedule_start.elapsed();
+
+    let merge_start = Instant::now();
+    execute_parallel(&schedule, sstables);
+    let merge_time = merge_start.elapsed();
+
+    Ok(build_result(
+        strategy,
+        sstables,
+        &schedule,
+        scheduling_time,
+        merge_time,
+    ))
+}
+
+fn build_result(
+    strategy: Strategy,
+    sstables: &[KeySet],
+    schedule: &MergeSchedule,
+    scheduling_time: Duration,
+    merge_time: Duration,
+) -> RunResult {
+    RunResult {
+        strategy,
+        n_sstables: sstables.len(),
+        cost: schedule.cost(sstables),
+        cost_actual: schedule.cost_actual(sstables),
+        lopt: lopt_lower_bound(sstables),
+        scheduling_time,
+        merge_time,
+        merge_ops: schedule.len(),
+        tree_height: schedule.to_tree().height(),
+    }
+}
+
+/// Groups the schedule's operations into dependency waves: an operation
+/// is in wave `w` if all of its inputs are initial sets or outputs of
+/// waves `< w`. Operations within a wave are independent and are merged
+/// on separate threads.
+fn execute_parallel(schedule: &MergeSchedule, sstables: &[KeySet]) -> Vec<KeySet> {
+    let n = schedule.n_initial();
+    // Wave of each slot: initial sets are wave 0.
+    let mut slot_wave = vec![0usize; n + schedule.len()];
+    let mut op_wave = vec![0usize; schedule.len()];
+    for (i, op) in schedule.ops().iter().enumerate() {
+        let wave = op.inputs.iter().map(|&s| slot_wave[s]).max().unwrap_or(0) + 1;
+        op_wave[i] = wave;
+        slot_wave[n + i] = wave;
+    }
+    let max_wave = op_wave.iter().copied().max().unwrap_or(0);
+
+    let mut slots: Vec<Option<KeySet>> = sstables.iter().cloned().map(Some).collect();
+    slots.resize(n + schedule.len(), None);
+    let mut outputs = Vec::with_capacity(schedule.len());
+
+    for wave in 1..=max_wave {
+        let wave_ops: Vec<usize> = (0..schedule.len()).filter(|&i| op_wave[i] == wave).collect();
+        // Merge every operation of this wave in parallel.
+        let results: Vec<(usize, KeySet)> = crossbeam::thread::scope(|scope| {
+            let slots_ref = &slots;
+            let handles: Vec<_> = wave_ops
+                .iter()
+                .map(|&op_idx| {
+                    let inputs = &schedule.ops()[op_idx].inputs;
+                    scope.spawn(move |_| {
+                        let merged = KeySet::union_many(
+                            inputs
+                                .iter()
+                                .map(|&s| slots_ref[s].as_ref().expect("input slot materialized")),
+                        );
+                        (op_idx, merged)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("merge thread")).collect()
+        })
+        .expect("thread scope");
+        for (op_idx, merged) in results {
+            slots[n + op_idx] = Some(merged);
+        }
+    }
+    for i in 0..schedule.len() {
+        outputs.push(slots[n + i].clone().unwrap_or_default());
+    }
+    outputs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn overlapping_sets(n: u64, size: u64) -> Vec<KeySet> {
+        (0..n)
+            .map(|i| KeySet::from_range(i * size / 2..i * size / 2 + size))
+            .collect()
+    }
+
+    #[test]
+    fn sequential_run_reports_consistent_numbers() {
+        let sets = overlapping_sets(12, 100);
+        let result = run_strategy(Strategy::SmallestInput, &sets, 2).unwrap();
+        assert_eq!(result.n_sstables, 12);
+        assert_eq!(result.merge_ops, 11);
+        assert!(result.cost >= result.lopt);
+        assert!(result.cost_actual > 0);
+        assert!(result.tree_height >= 4, "SI over equal sizes is near-balanced");
+        assert!(result.total_time() >= result.merge_time);
+    }
+
+    #[test]
+    fn parallel_run_has_identical_cost_to_sequential() {
+        let sets = overlapping_sets(16, 200);
+        let seq = run_strategy(Strategy::BalanceTreeInput, &sets, 2).unwrap();
+        let par = run_strategy_parallel(Strategy::BalanceTreeInput, &sets, 2).unwrap();
+        assert_eq!(seq.cost, par.cost);
+        assert_eq!(seq.cost_actual, par.cost_actual);
+        assert_eq!(seq.merge_ops, par.merge_ops);
+        assert_eq!(seq.tree_height, par.tree_height);
+    }
+
+    #[test]
+    fn parallel_execution_handles_caterpillar_dependencies() {
+        // A fully sequential schedule (SI on nested sizes) still executes
+        // correctly wave-by-wave even though no two merges are parallel.
+        let sets: Vec<KeySet> = (1..=8u64).map(|i| KeySet::from_range(0..i * 10)).collect();
+        let seq = run_strategy(Strategy::SmallestInput, &sets, 2).unwrap();
+        let par = run_strategy_parallel(Strategy::SmallestInput, &sets, 2).unwrap();
+        assert_eq!(seq.cost_actual, par.cost_actual);
+    }
+
+    #[test]
+    fn random_strawman_is_not_cheaper_than_smallest_input_on_disjoint_tables() {
+        let sets: Vec<KeySet> = (0..20u64)
+            .map(|i| KeySet::from_range(i * 100..i * 100 + 50 + i))
+            .collect();
+        let si = run_strategy(Strategy::SmallestInput, &sets, 2).unwrap();
+        let mut random_total = 0u64;
+        for seed in 0..5 {
+            random_total += run_strategy(Strategy::Random { seed }, &sets, 2)
+                .unwrap()
+                .cost_actual;
+        }
+        assert!(random_total / 5 >= si.cost_actual);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        assert!(run_strategy(Strategy::SmallestInput, &[], 2).is_err());
+        let sets = overlapping_sets(3, 10);
+        assert!(run_strategy_parallel(Strategy::SmallestInput, &sets, 1).is_err());
+    }
+}

@@ -1,0 +1,88 @@
+//! Mean / standard-deviation summaries over repeated runs.
+//!
+//! The paper reports the average and standard deviation of 3 independent
+//! runs for every data point; [`Summary`] is that aggregation.
+
+/// Mean and standard deviation of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    /// Arithmetic mean of the sample.
+    pub mean: f64,
+    /// Population standard deviation of the sample.
+    pub std_dev: f64,
+    /// Number of observations.
+    pub count: usize,
+}
+
+impl Summary {
+    /// Summarizes an iterator of observations. An empty sample yields all
+    /// zeros.
+    #[must_use]
+    pub fn of<I: IntoIterator<Item = f64>>(values: I) -> Self {
+        let values: Vec<f64> = values.into_iter().collect();
+        if values.is_empty() {
+            return Self::default();
+        }
+        let count = values.len();
+        let mean = values.iter().sum::<f64>() / count as f64;
+        let variance = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / count as f64;
+        Self {
+            mean,
+            std_dev: variance.sqrt(),
+            count,
+        }
+    }
+
+    /// Summarizes integer observations (convenience for costs).
+    #[must_use]
+    pub fn of_u64<I: IntoIterator<Item = u64>>(values: I) -> Self {
+        Self::of(values.into_iter().map(|v| v as f64))
+    }
+
+    /// Relative standard deviation (`std_dev / mean`), or 0 for a zero
+    /// mean.
+    #[must_use]
+    pub fn relative_std_dev(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std_dev / self.mean
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2} ± {:.2}", self.mean, self.std_dev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_is_zero() {
+        let s = Summary::of(std::iter::empty());
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.relative_std_dev(), 0.0);
+    }
+
+    #[test]
+    fn constant_sample_has_zero_deviation() {
+        let s = Summary::of_u64([5, 5, 5]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.count, 3);
+    }
+
+    #[test]
+    fn known_sample() {
+        let s = Summary::of([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.0).abs() < 1e-12);
+        assert!((s.relative_std_dev() - 0.4).abs() < 1e-12);
+        assert_eq!(s.to_string(), "5.00 ± 2.00");
+    }
+}

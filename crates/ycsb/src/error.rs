@@ -1,0 +1,71 @@
+//! Error type for workload specification validation.
+
+use std::fmt;
+
+/// Errors produced while building or validating a
+/// [`WorkloadSpec`](crate::WorkloadSpec).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The operation-kind proportions do not sum to 1 (within tolerance).
+    ProportionsDoNotSumToOne {
+        /// The actual sum of the configured proportions.
+        sum: f64,
+    },
+    /// A proportion was negative.
+    NegativeProportion {
+        /// Name of the offending proportion field.
+        field: &'static str,
+        /// The configured value.
+        value: f64,
+    },
+    /// `record_count` must be at least 1 so the run phase has keys to
+    /// reference.
+    EmptyRecordCount,
+    /// The zipfian constant must lie strictly between 0 and 1.
+    InvalidZipfianConstant {
+        /// The configured value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ProportionsDoNotSumToOne { sum } => {
+                write!(f, "operation proportions sum to {sum}, expected 1.0")
+            }
+            Error::NegativeProportion { field, value } => {
+                write!(f, "proportion `{field}` is negative ({value})")
+            }
+            Error::EmptyRecordCount => write!(f, "record count must be at least 1"),
+            Error::InvalidZipfianConstant { value } => {
+                write!(f, "zipfian constant must be in (0, 1), got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(Error::EmptyRecordCount.to_string().contains("record count"));
+        assert!(Error::ProportionsDoNotSumToOne { sum: 0.5 }
+            .to_string()
+            .contains("0.5"));
+        assert!(Error::NegativeProportion {
+            field: "update",
+            value: -0.1
+        }
+        .to_string()
+        .contains("update"));
+        assert!(Error::InvalidZipfianConstant { value: 1.5 }
+            .to_string()
+            .contains("1.5"));
+    }
+}

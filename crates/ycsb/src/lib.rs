@@ -1,0 +1,66 @@
+//! YCSB-style workload generation.
+//!
+//! The evaluation of *Fast Compaction Algorithms for NoSQL Databases*
+//! (ICDCS 2015, Section 5.1) generates its datasets with the Yahoo! Cloud
+//! Serving Benchmark (YCSB). This crate is a from-scratch Rust
+//! re-implementation of the parts of YCSB's core workload model that the
+//! paper relies on:
+//!
+//! * a **load phase** that inserts `recordcount` fresh keys into an empty
+//!   database, and
+//! * a **run phase** that issues `operationcount` CRUD operations whose
+//!   kinds follow configurable proportions (insert / update / read /
+//!   delete / scan), and whose *keys* are drawn from one of three request
+//!   distributions:
+//!   * [`Distribution::Uniform`] — every existing key equally likely,
+//!   * [`Distribution::Zipfian`] — a scrambled power-law over the key
+//!     space (some keys are persistently hot),
+//!   * [`Distribution::Latest`] — a power-law over *recency*, so recently
+//!     inserted keys are the hottest.
+//!
+//! Only inserts and updates modify memtables/sstables, so the compaction
+//! simulator feeds the operation stream produced here straight into its
+//! memtable-flush pipeline; reads and deletes are still generated (deletes
+//! become tombstone updates) so the stream composition matches YCSB.
+//!
+//! Everything is deterministic under a caller-provided seed, which is what
+//! makes the paper's figures reproducible run-to-run.
+//!
+//! # Examples
+//!
+//! ```
+//! use ycsb_gen::{Distribution, OperationKind, WorkloadSpec};
+//!
+//! let spec = WorkloadSpec::builder()
+//!     .record_count(1_000)
+//!     .operation_count(10_000)
+//!     .update_proportion(0.6)
+//!     .insert_proportion(0.4)
+//!     .distribution(Distribution::Latest)
+//!     .seed(42)
+//!     .build()
+//!     .unwrap();
+//!
+//! let ops: Vec<_> = spec.generator().run_phase().collect();
+//! assert_eq!(ops.len(), 10_000);
+//! assert!(ops.iter().any(|op| op.kind == OperationKind::Update));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod distribution;
+mod error;
+mod generator;
+mod operation;
+mod spec;
+
+pub use distribution::{Distribution, KeyChooser, LatestChooser, UniformChooser, ZipfianChooser};
+pub use error::Error;
+pub use generator::WorkloadGenerator;
+pub use operation::{Operation, OperationKind};
+pub use spec::{WorkloadSpec, WorkloadSpecBuilder};
+
+/// The Zipfian constant (`theta`) used by YCSB's default zipfian request
+/// distribution.
+pub const DEFAULT_ZIPFIAN_CONSTANT: f64 = 0.99;

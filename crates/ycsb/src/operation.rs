@@ -1,0 +1,93 @@
+//! CRUD operations emitted by the workload generator.
+
+/// The kind of a CRUD operation, mirroring YCSB's core operation mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum OperationKind {
+    /// Insert a brand-new key.
+    Insert,
+    /// Update (overwrite) an existing key.
+    Update,
+    /// Point read of an existing key.
+    Read,
+    /// Delete an existing key (stored as a tombstone update in LSM terms).
+    Delete,
+    /// Short range scan starting at an existing key.
+    Scan,
+}
+
+impl OperationKind {
+    /// Returns `true` if this operation writes to the memtable (and hence
+    /// eventually to sstables). In the paper's simulator, reads and scans
+    /// are ignored when constructing sstables; deletes are handled as
+    /// tombstone-flag updates.
+    #[must_use]
+    pub fn is_write(self) -> bool {
+        matches!(
+            self,
+            OperationKind::Insert | OperationKind::Update | OperationKind::Delete
+        )
+    }
+}
+
+impl std::fmt::Display for OperationKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            OperationKind::Insert => "insert",
+            OperationKind::Update => "update",
+            OperationKind::Read => "read",
+            OperationKind::Delete => "delete",
+            OperationKind::Scan => "scan",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One operation of a YCSB-style workload: a kind plus the key it targets.
+///
+/// Keys are dense integers (`0..record_count + inserts so far`), matching
+/// how YCSB numbers records before hashing them into string keys; the
+/// compaction theory only cares about key identity, so the integer form is
+/// used directly throughout the reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Operation {
+    /// What the operation does.
+    pub kind: OperationKind,
+    /// The key the operation targets.
+    pub key: u64,
+}
+
+impl Operation {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(kind: OperationKind, key: u64) -> Self {
+        Self { kind, key }
+    }
+}
+
+impl std::fmt::Display for Operation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}({})", self.kind, self.key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_classification() {
+        assert!(OperationKind::Insert.is_write());
+        assert!(OperationKind::Update.is_write());
+        assert!(OperationKind::Delete.is_write());
+        assert!(!OperationKind::Read.is_write());
+        assert!(!OperationKind::Scan.is_write());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Operation::new(OperationKind::Update, 7).to_string(), "update(7)");
+        assert_eq!(OperationKind::Scan.to_string(), "scan");
+    }
+}

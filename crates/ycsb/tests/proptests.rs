@@ -1,0 +1,86 @@
+//! Property-based tests for the workload generator.
+
+use proptest::prelude::*;
+use ycsb_gen::{Distribution, OperationKind, WorkloadSpec};
+
+fn arb_distribution() -> impl Strategy<Value = Distribution> {
+    prop_oneof![
+        Just(Distribution::Uniform),
+        (0.1f64..0.99).prop_map(|theta| Distribution::Zipfian { theta }),
+        Just(Distribution::Latest),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Generated streams are deterministic per seed and have the requested
+    /// length, and every referenced key is within the live key space.
+    #[test]
+    fn stream_is_well_formed(
+        record_count in 1u64..2_000,
+        operation_count in 0u64..5_000,
+        update_pct in 0u32..=100,
+        dist in arb_distribution(),
+        seed in any::<u64>(),
+    ) {
+        let spec = WorkloadSpec::builder()
+            .record_count(record_count)
+            .operation_count(operation_count)
+            .update_percent(update_pct)
+            .distribution(dist)
+            .seed(seed)
+            .build()
+            .unwrap();
+
+        let a: Vec<_> = spec.generator().run_phase().collect();
+        let b: Vec<_> = spec.generator().run_phase().collect();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len() as u64, operation_count);
+
+        let mut max_key = record_count.saturating_sub(1);
+        for op in &a {
+            match op.kind {
+                OperationKind::Insert => {
+                    prop_assert_eq!(op.key, max_key + 1);
+                    max_key = op.key;
+                }
+                _ => prop_assert!(op.key <= max_key),
+            }
+        }
+    }
+
+    /// The observed update fraction converges on the configured proportion.
+    #[test]
+    fn update_fraction_matches(update_pct in 0u32..=100, seed in any::<u64>()) {
+        let spec = WorkloadSpec::builder()
+            .record_count(100)
+            .operation_count(20_000)
+            .update_percent(update_pct)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let ops: Vec<_> = spec.generator().run_phase().collect();
+        let updates = ops.iter().filter(|o| o.kind == OperationKind::Update).count();
+        let observed = updates as f64 / ops.len() as f64;
+        let expected = f64::from(update_pct) / 100.0;
+        prop_assert!((observed - expected).abs() < 0.03,
+            "observed {observed} vs expected {expected}");
+    }
+
+    /// The load phase always emits exactly record_count sequential inserts.
+    #[test]
+    fn load_phase_shape(record_count in 1u64..5_000) {
+        let spec = WorkloadSpec::builder()
+            .record_count(record_count)
+            .operation_count(0)
+            .build()
+            .unwrap();
+        let ops: Vec<_> = spec.generator().load_phase().collect();
+        prop_assert_eq!(ops.len() as u64, record_count);
+        for (i, op) in ops.iter().enumerate() {
+            prop_assert_eq!(op.kind, OperationKind::Insert);
+            prop_assert_eq!(op.key, i as u64);
+        }
+    }
+}

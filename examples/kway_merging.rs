@@ -1,0 +1,50 @@
+//! K-WAYMERGING: the effect of the per-iteration fan-in `k` on compaction
+//! cost and on the number of merge iterations (Section 2's
+//! generalization of BINARYMERGING).
+//!
+//! Run with: `cargo run --release --example kway_merging`
+
+use nosql_compaction::core::bounds::lopt_lower_bound;
+use nosql_compaction::core::{schedule_with, Strategy};
+use nosql_compaction::sim::SstableGenerator;
+use nosql_compaction::ycsb::{Distribution, WorkloadSpec};
+
+fn main() {
+    let spec = WorkloadSpec::builder()
+        .record_count(1_000)
+        .operation_count(20_000)
+        .update_percent(40)
+        .distribution(Distribution::Latest)
+        .seed(11)
+        .build()
+        .expect("valid workload");
+    let sstables = SstableGenerator::new(400).generate(&spec);
+    let lopt = lopt_lower_bound(&sstables);
+    println!(
+        "{} sstables, LOPT = {lopt}\n",
+        sstables.len()
+    );
+
+    println!(
+        "{:>4}  {:>10}  {:>12}  {:>12}  {:>11}  {:>8}",
+        "k", "strategy", "iterations", "cost_actual", "cost/LOPT", "height"
+    );
+    for k in [2usize, 3, 4, 8] {
+        for strategy in [Strategy::SmallestInput, Strategy::BalanceTreeInput] {
+            let schedule = schedule_with(strategy, &sstables, k).expect("valid instance");
+            println!(
+                "{:>4}  {:>10}  {:>12}  {:>12}  {:>11.3}  {:>8}",
+                k,
+                strategy.name(),
+                schedule.len(),
+                schedule.cost_actual(&sstables),
+                schedule.cost_actual(&sstables) as f64 / lopt as f64,
+                schedule.to_tree().height(),
+            );
+        }
+    }
+    println!();
+    println!("A larger fan-in means fewer, wider iterations: intermediate sstables are");
+    println!("rewritten fewer times, so the total disk I/O falls, at the price of more");
+    println!("sstables being read simultaneously during each merge.");
+}

@@ -1,0 +1,59 @@
+//! Quickstart: schedule the paper's working example (Section 4.3) with
+//! the three analyzed heuristics and print the resulting merge trees and
+//! costs.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use nosql_compaction::core::bounds::lopt_lower_bound;
+use nosql_compaction::core::optimal::optimal_schedule;
+use nosql_compaction::core::{schedule_with, KeySet, MergeSchedule, Strategy};
+
+fn describe(label: &str, schedule: &MergeSchedule, sets: &[KeySet]) {
+    println!("== {label} ==");
+    println!("  merge operations (slots 0..{} are the input sstables):", sets.len() - 1);
+    for (i, op) in schedule.ops().iter().enumerate() {
+        let output = schedule.outputs(sets)[i].len();
+        println!(
+            "    iteration {}: merge slots {:?} -> slot {} ({} keys)",
+            i + 1,
+            op.inputs,
+            sets.len() + i,
+            output
+        );
+    }
+    println!("  simplified cost (eq. 2.1): {}", schedule.cost(sets));
+    println!("  disk I/O cost (cost_actual): {}", schedule.cost_actual(sets));
+    println!("  merge tree height: {}", schedule.to_tree().height());
+    println!();
+}
+
+fn main() {
+    // The working example of Section 4.3: five sstables over keys 1..=9.
+    let sstables = vec![
+        KeySet::from_iter([1u64, 2, 3, 5]),
+        KeySet::from_iter([1u64, 2, 3, 4]),
+        KeySet::from_iter([3u64, 4, 5]),
+        KeySet::from_iter([6u64, 7, 8]),
+        KeySet::from_iter([7u64, 8, 9]),
+    ];
+    println!(
+        "5 sstables, {} distinct keys, LOPT lower bound = {}\n",
+        KeySet::union_many(sstables.iter()).len(),
+        lopt_lower_bound(&sstables)
+    );
+
+    let bt = schedule_with(Strategy::BalanceTree, &sstables, 2).expect("valid instance");
+    let si = schedule_with(Strategy::SmallestInput, &sstables, 2).expect("valid instance");
+    let so = schedule_with(Strategy::SmallestOutput, &sstables, 2).expect("valid instance");
+    describe("BALANCETREE (Figure 4, cost 45)", &bt, &sstables);
+    describe("SMALLESTINPUT (Figure 5, cost 47)", &si, &sstables);
+    describe("SMALLESTOUTPUT (Figure 6, cost 40)", &so, &sstables);
+
+    let opt = optimal_schedule(&sstables, 2).expect("small instance");
+    describe("Exhaustive optimum", &opt, &sstables);
+
+    assert_eq!(bt.cost(&sstables), 45);
+    assert_eq!(si.cost(&sstables), 47);
+    assert_eq!(so.cost(&sstables), 40);
+    println!("All three costs match the paper's Figures 4-6.");
+}

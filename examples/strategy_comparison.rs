@@ -1,0 +1,100 @@
+//! Compares every heuristic against the exhaustive optimum on small
+//! random instances (the comparison the paper can only do against the
+//! LOPT lower bound at scale, Section 5.3), and shows the adversarial
+//! instances where each heuristic's analysis is tight.
+//!
+//! Run with: `cargo run --release --example strategy_comparison`
+
+use nosql_compaction::core::bounds::{adversarial, lopt_lower_bound, ratio_to_lopt};
+use nosql_compaction::core::optimal::optimal_schedule;
+use nosql_compaction::core::{schedule_with, KeySet, Strategy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn all_strategies() -> Vec<Strategy> {
+    vec![
+        Strategy::BalanceTree,
+        Strategy::BalanceTreeInput,
+        Strategy::BalanceTreeOutput,
+        Strategy::SmallestInput,
+        Strategy::SmallestOutput,
+        Strategy::LargestMatch,
+        Strategy::Random { seed: 1 },
+        Strategy::Frequency,
+    ]
+}
+
+fn random_instance(rng: &mut StdRng, n: usize) -> Vec<KeySet> {
+    (0..n)
+        .map(|_| {
+            let size = rng.gen_range(3..25);
+            KeySet::from_vec((0..size).map(|_| rng.gen_range(0..60u64)).collect())
+        })
+        .collect()
+}
+
+fn main() {
+    // Part 1: mean cost relative to the exhaustive optimum over random
+    // 8-set instances.
+    let trials = 25;
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut totals: Vec<(Strategy, f64, f64)> =
+        all_strategies().iter().map(|&s| (s, 0.0, 0.0f64)).collect();
+    for _ in 0..trials {
+        let sets = random_instance(&mut rng, 8);
+        let opt = optimal_schedule(&sets, 2).expect("small instance").cost(&sets) as f64;
+        for (strategy, total, worst) in &mut totals {
+            let cost = schedule_with(*strategy, &sets, 2).expect("valid").cost(&sets) as f64;
+            *total += cost / opt;
+            *worst = worst.max(cost / opt);
+        }
+    }
+    println!("# Heuristic vs exhaustive optimum ({} random 8-set instances)", trials);
+    println!("{:>10}  {:>10}  {:>10}", "strategy", "mean/OPT", "worst/OPT");
+    for (strategy, total, worst) in &totals {
+        println!("{:>10}  {:>10.4}  {:>10.4}", strategy.name(), total / trials as f64, worst);
+    }
+
+    // Part 2: the adversarial instances from the analysis.
+    println!("\n# Lemma 4.5: SI on n disjoint singletons costs log2(n)+1 times LOPT");
+    for n in [16usize, 64, 256] {
+        let sets = adversarial::greedy_lopt_tight(n);
+        let si = schedule_with(Strategy::SmallestInput, &sets, 2).expect("valid");
+        println!(
+            "  n = {:>4}: cost = {:>6}, LOPT = {:>4}, ratio = {:.2} (log2 n + 1 = {:.2})",
+            n,
+            si.cost(&sets),
+            lopt_lower_bound(&sets),
+            ratio_to_lopt(&si, &sets),
+            (n as f64).log2() + 1.0
+        );
+    }
+
+    println!("\n# Lemma 4.2: BT on (n-1) singletons + one n-set vs the left-to-right merge");
+    for n in [16usize, 64, 256] {
+        let sets = adversarial::balance_tree_tight(n);
+        let bt = schedule_with(Strategy::BalanceTreeInput, &sets, 2).expect("valid");
+        let l2r = nosql_compaction::core::optimal::left_to_right_schedule(n, 2).expect("valid");
+        println!(
+            "  n = {:>4}: BT(I) = {:>8}, left-to-right = {:>6}, ratio = {:.2}",
+            n,
+            bt.cost(&sets),
+            l2r.cost(&sets),
+            bt.cost(&sets) as f64 / l2r.cost(&sets) as f64
+        );
+    }
+
+    println!("\n# LARGESTMATCH Omega(n) gap on nested prefix sets");
+    for n in [8usize, 12, 16] {
+        let sets = adversarial::largest_match_gap(n);
+        let lm = schedule_with(Strategy::LargestMatch, &sets, 2).expect("valid");
+        let l2r = nosql_compaction::core::optimal::left_to_right_schedule(n, 2).expect("valid");
+        println!(
+            "  n = {:>3}: LM = {:>9}, left-to-right = {:>7}, ratio = {:.2}",
+            n,
+            lm.cost(&sets),
+            l2r.cost(&sets),
+            lm.cost(&sets) as f64 / l2r.cost(&sets) as f64
+        );
+    }
+}

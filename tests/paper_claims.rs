@@ -1,0 +1,153 @@
+//! Integration tests asserting the paper's qualitative claims end-to-end
+//! on scaled-down versions of the evaluation's experiments. These are the
+//! automated counterparts of EXPERIMENTS.md.
+
+use nosql_compaction::core::Strategy;
+use nosql_compaction::sim::{Fig7Config, Fig8Config, Fig9Config, Fig9Sweep};
+
+/// Section 5.2 / Figure 7a: compaction cost decreases with the update
+/// percentage for every strategy, and RANDOM is the worst strategy at low
+/// update percentages while converging toward the others at 100%.
+#[test]
+fn figure7_cost_trends() {
+    let config = Fig7Config::quick();
+    let rows = config.run();
+
+    for &strategy in &config.strategies {
+        let series: Vec<f64> = config
+            .update_percents
+            .iter()
+            .map(|&pct| {
+                rows.iter()
+                    .find(|r| r.update_percent == pct && r.strategy == strategy)
+                    .unwrap()
+                    .cost
+                    .mean
+            })
+            .collect();
+        assert!(
+            series.first().unwrap() > series.last().unwrap(),
+            "{strategy}: cost should decrease from insert-heavy to update-heavy ({series:?})"
+        );
+    }
+
+    let cost_of = |pct: u32, pred: &dyn Fn(Strategy) -> bool| {
+        rows.iter()
+            .find(|r| r.update_percent == pct && pred(r.strategy))
+            .unwrap()
+            .cost
+            .mean
+    };
+    let random_low = cost_of(0, &|s| matches!(s, Strategy::Random { .. }));
+    let si_low = cost_of(0, &|s| s == Strategy::SmallestInput);
+    let bt_low = cost_of(0, &|s| s == Strategy::BalanceTreeInput);
+    assert!(
+        random_low >= si_low && random_low >= bt_low,
+        "RANDOM ({random_low}) must be worst at 0% updates (SI {si_low}, BT(I) {bt_low})"
+    );
+
+    // At 100% updates all strategies are within a modest factor of each
+    // other (the merge cost becomes shape-independent, Section 5.2).
+    let at_100: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.update_percent == 100)
+        .map(|r| r.cost.mean)
+        .collect();
+    let min = at_100.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = at_100.iter().copied().fold(0.0f64, f64::max);
+    assert!(
+        max / min < 1.6,
+        "strategies should converge at 100% updates (spread {min}..{max})"
+    );
+}
+
+/// Figure 7b: the parallel BT(I) implementation completes compaction at
+/// least as fast as single-threaded SI on insert-heavy workloads (where
+/// there is real merge work to parallelize), while producing a comparable
+/// cost.
+#[test]
+fn figure7_time_bt_parallel_is_competitive() {
+    let mut config = Fig7Config::quick();
+    config.update_percents = vec![0];
+    config.operation_count = 20_000;
+    let rows = config.run();
+    let si = rows
+        .iter()
+        .find(|r| r.strategy == Strategy::SmallestInput)
+        .unwrap();
+    let bt = rows
+        .iter()
+        .find(|r| r.strategy == Strategy::BalanceTreeInput)
+        .unwrap();
+    // Cost parity (the paper observes SI and BT(I) nearly coincide).
+    assert!(
+        (bt.cost.mean - si.cost.mean).abs() / si.cost.mean < 0.25,
+        "BT(I) cost {} too far from SI cost {}",
+        bt.cost.mean,
+        si.cost.mean
+    );
+    // Time: allow generous slack (2x) because machine scheduling noise at
+    // this scale dwarfs the parallel win, but BT(I) must not be wildly
+    // slower than SI.
+    assert!(
+        bt.time_ms.mean <= si.time_ms.mean * 2.0,
+        "parallel BT(I) ({} ms) should be competitive with SI ({} ms)",
+        bt.time_ms.mean,
+        si.time_ms.mean
+    );
+}
+
+/// Figure 8: BT(I)'s cost tracks the lower-bounded optimum within a
+/// constant factor across memtable sizes, i.e. the two curves have the
+/// same slope in log-log space.
+#[test]
+fn figure8_constant_factor_from_lower_bound() {
+    let rows = Fig8Config::quick().run();
+    assert!(rows.len() >= 3);
+    let ratios: Vec<f64> = rows.iter().map(|r| r.ratio()).collect();
+    let min = ratios.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = ratios.iter().copied().fold(0.0f64, f64::max);
+    assert!(min >= 1.0, "cost cannot beat the lower bound");
+    assert!(
+        max / min < 3.0,
+        "the cost/LOPT ratio should stay roughly constant across the sweep: {ratios:?}"
+    );
+
+    // Log-log slope similarity: cost and LOPT grow by similar factors
+    // between the smallest and largest memtable size.
+    let first = rows.first().unwrap();
+    let last = rows.last().unwrap();
+    let cost_growth = last.cost.mean / first.cost.mean;
+    let lopt_growth = last.lopt.mean / first.lopt.mean;
+    assert!(
+        (cost_growth / lopt_growth) < 3.0 && (lopt_growth / cost_growth) < 3.0,
+        "cost growth {cost_growth} and LOPT growth {lopt_growth} should be similar"
+    );
+}
+
+/// Figure 9: running time increases monotonically (modulo noise) with the
+/// cost for the SI strategy, validating the cost function as a proxy for
+/// compaction time.
+#[test]
+fn figure9_cost_predicts_time() {
+    for sweep in [Fig9Sweep::UpdatePercent, Fig9Sweep::OperationCount] {
+        let mut config = Fig9Config::quick(sweep);
+        config.operation_counts = vec![2_000, 20_000];
+        config.update_percents = vec![0, 100];
+        let rows = config.run();
+        assert_eq!(rows.len(), 2);
+        let (small, large) = if rows[0].cost.mean <= rows[1].cost.mean {
+            (&rows[0], &rows[1])
+        } else {
+            (&rows[1], &rows[0])
+        };
+        // The higher-cost point must not be faster by more than noise.
+        assert!(
+            large.time_ms.mean * 1.5 >= small.time_ms.mean,
+            "{sweep:?}: higher cost ({}) should not take materially less time ({} ms vs {} ms)",
+            large.cost.mean,
+            large.time_ms.mean,
+            small.time_ms.mean
+        );
+    }
+}

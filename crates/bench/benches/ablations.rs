@@ -68,7 +68,9 @@ fn bench_bt_parallel_vs_serial(c: &mut Criterion) {
         b.iter(|| run_strategy(Strategy::BalanceTreeInput, black_box(&sstables), 2).unwrap())
     });
     group.bench_function("parallel", |b| {
-        b.iter(|| run_strategy_parallel(Strategy::BalanceTreeInput, black_box(&sstables), 2).unwrap())
+        b.iter(|| {
+            run_strategy_parallel(Strategy::BalanceTreeInput, black_box(&sstables), 2).unwrap()
+        })
     });
     group.finish();
 }

@@ -15,19 +15,25 @@ fn bench_adversarial(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("balance_tree_tight/bt_i", n),
             &bt_tight,
-            |b, sets| b.iter(|| schedule_with(Strategy::BalanceTreeInput, black_box(sets), 2).unwrap()),
+            |b, sets| {
+                b.iter(|| schedule_with(Strategy::BalanceTreeInput, black_box(sets), 2).unwrap())
+            },
         );
         group.bench_with_input(
             BenchmarkId::new("balance_tree_tight/si", n),
             &bt_tight,
-            |b, sets| b.iter(|| schedule_with(Strategy::SmallestInput, black_box(sets), 2).unwrap()),
+            |b, sets| {
+                b.iter(|| schedule_with(Strategy::SmallestInput, black_box(sets), 2).unwrap())
+            },
         );
 
         let disjoint = adversarial::greedy_lopt_tight(n);
         group.bench_with_input(
             BenchmarkId::new("disjoint_singletons/si", n),
             &disjoint,
-            |b, sets| b.iter(|| schedule_with(Strategy::SmallestInput, black_box(sets), 2).unwrap()),
+            |b, sets| {
+                b.iter(|| schedule_with(Strategy::SmallestInput, black_box(sets), 2).unwrap())
+            },
         );
     }
     let nested = adversarial::largest_match_gap(14);

@@ -38,16 +38,24 @@ fn bench_fig9b_operation_count(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     for &ops in &[5_000u64, 20_000, 50_000] {
         let sstables = ycsb_instance(60, ops, 500, 6);
-        group.bench_with_input(BenchmarkId::from_parameter(ops), &sstables, |b, sstables| {
-            b.iter(|| {
-                run_strategy(Strategy::SmallestInput, black_box(sstables), 2)
-                    .unwrap()
-                    .cost_actual
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(ops),
+            &sstables,
+            |b, sstables| {
+                b.iter(|| {
+                    run_strategy(Strategy::SmallestInput, black_box(sstables), 2)
+                        .unwrap()
+                        .cost_actual
+                });
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_fig9a_update_percent, bench_fig9b_operation_count);
+criterion_group!(
+    benches,
+    bench_fig9a_update_percent,
+    bench_fig9b_operation_count
+);
 criterion_main!(benches);

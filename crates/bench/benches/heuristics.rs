@@ -28,13 +28,9 @@ fn bench_scheduling(c: &mut Criterion) {
             Strategy::Random { seed: 7 },
             Strategy::Frequency,
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(strategy.name(), n),
-                &sets,
-                |b, sets| {
-                    b.iter(|| schedule_with(black_box(strategy), black_box(sets), 2).unwrap());
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(strategy.name(), n), &sets, |b, sets| {
+                b.iter(|| schedule_with(black_box(strategy), black_box(sets), 2).unwrap());
+            });
         }
     }
     group.finish();

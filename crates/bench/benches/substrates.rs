@@ -34,7 +34,11 @@ fn bench_hll(c: &mut Criterion) {
 
 fn bench_ycsb(c: &mut Criterion) {
     let mut group = c.benchmark_group("ycsb_generation");
-    for dist in [Distribution::Uniform, Distribution::zipfian_default(), Distribution::Latest] {
+    for dist in [
+        Distribution::Uniform,
+        Distribution::zipfian_default(),
+        Distribution::Latest,
+    ] {
         let spec = WorkloadSpec::builder()
             .record_count(1_000)
             .operation_count(100_000)
@@ -71,8 +75,9 @@ fn bench_lsm(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     group.bench_function("put_flush_10k", |b| {
         b.iter(|| {
-            let mut db = Lsm::open_in_memory(LsmOptions::default().memtable_capacity(1_000).wal(false))
-                .unwrap();
+            let mut db =
+                Lsm::open_in_memory(LsmOptions::default().memtable_capacity(1_000).wal(false))
+                    .unwrap();
             for i in 0u64..10_000 {
                 db.put_u64(black_box(i % 4_000), b"value".to_vec()).unwrap();
             }
@@ -100,7 +105,8 @@ fn bench_lsm(c: &mut Criterion) {
         )
     });
     group.bench_function("point_reads_after_compaction", |b| {
-        let mut db = Lsm::open_in_memory(LsmOptions::default().memtable_capacity(500).wal(false)).unwrap();
+        let mut db =
+            Lsm::open_in_memory(LsmOptions::default().memtable_capacity(500).wal(false)).unwrap();
         for i in 0u64..5_000 {
             db.put_u64(i, b"value".to_vec()).unwrap();
         }
@@ -152,5 +158,11 @@ fn bench_schedule_to_physical(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_hll, bench_ycsb, bench_lsm, bench_schedule_to_physical);
+criterion_group!(
+    benches,
+    bench_hll,
+    bench_ycsb,
+    bench_lsm,
+    bench_schedule_to_physical
+);
 criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Regenerates the live-engine validation table: the paper's Figure 7
+//! comparison, but measured on the real self-compacting LSM engine
+//! instead of the simulator, with the planner's prediction and the
+//! one-shot simulator cost alongside.
+//!
+//! Run with: `cargo run --release --bin live_engine [--quick] [--csv]`
+
+use compaction_sim::report::{live_engine_csv, live_engine_table};
+use compaction_sim::LiveEngineConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv = args.iter().any(|a| a == "--csv");
+
+    let config = if quick {
+        LiveEngineConfig::quick()
+    } else {
+        LiveEngineConfig::default_paper()
+    };
+    eprintln!(
+        "live-engine: {} ops ({}% updates), memtable {}, trigger {} tables, fan-in {}, {} threads",
+        config.operation_count,
+        config.update_percent,
+        config.memtable_capacity,
+        config.trigger_tables,
+        config.fanin,
+        config.threads,
+    );
+    let rows = config.run();
+    if csv {
+        print!("{}", live_engine_csv(&rows));
+    } else {
+        print!("{}", live_engine_table(&rows));
+    }
+}

@@ -38,7 +38,10 @@ fn main() {
     println!("# Working example (Section 4.3, Figures 4-6)");
     let sets = working_example();
     let opt = optimal_schedule(&sets, 2).expect("small instance");
-    println!("{:>10}  {:>6}  {:>12}  {:>8}", "strategy", "cost", "cost_actual", "vs OPT");
+    println!(
+        "{:>10}  {:>6}  {:>12}  {:>8}",
+        "strategy", "cost", "cost_actual", "vs OPT"
+    );
     for strategy in all_strategies() {
         let schedule = schedule_with(strategy, &sets, 2).expect("valid instance");
         println!(
@@ -58,7 +61,10 @@ fn main() {
     );
 
     println!("# Lemma 4.2 — BALANCETREE tight instance (n-1 singletons + one n-set)");
-    println!("{:>6}  {:>10}  {:>14}  {:>8}", "n", "BT(I) cost", "left-to-right", "ratio");
+    println!(
+        "{:>6}  {:>10}  {:>14}  {:>8}",
+        "n", "BT(I) cost", "left-to-right", "ratio"
+    );
     for n in [8usize, 16, 32, 64] {
         let sets = adversarial::balance_tree_tight(n);
         let bt = schedule_with(Strategy::BalanceTreeInput, &sets, 2).expect("valid");
@@ -73,7 +79,10 @@ fn main() {
     }
 
     println!("\n# Lemma 4.5 — SI/SO vs LOPT on n disjoint singletons (ratio = log2 n + 1)");
-    println!("{:>6}  {:>10}  {:>8}  {:>8}", "n", "SI cost", "LOPT", "ratio");
+    println!(
+        "{:>6}  {:>10}  {:>8}  {:>8}",
+        "n", "SI cost", "LOPT", "ratio"
+    );
     for n in [8usize, 16, 32, 64, 128] {
         let sets = adversarial::greedy_lopt_tight(n);
         let si = schedule_with(Strategy::SmallestInput, &sets, 2).expect("valid");
@@ -88,7 +97,10 @@ fn main() {
     }
 
     println!("\n# LARGESTMATCH Omega(n) gap (nested prefix sets)");
-    println!("{:>6}  {:>12}  {:>14}  {:>8}", "n", "LM cost", "left-to-right", "ratio");
+    println!(
+        "{:>6}  {:>12}  {:>14}  {:>8}",
+        "n", "LM cost", "left-to-right", "ratio"
+    );
     for n in [6usize, 8, 10, 12] {
         let sets = adversarial::largest_match_gap(n);
         let lm = schedule_with(Strategy::LargestMatch, &sets, 2).expect("valid");
@@ -115,7 +127,9 @@ fn main() {
             .collect();
         let opt_cost = optimal_schedule(&sets, 2).expect("small").cost(&sets) as f64;
         for (strategy, total) in &mut totals {
-            let cost = schedule_with(*strategy, &sets, 2).expect("valid").cost(&sets) as f64;
+            let cost = schedule_with(*strategy, &sets, 2)
+                .expect("valid")
+                .cost(&sets) as f64;
             *total += cost / opt_cost;
         }
     }

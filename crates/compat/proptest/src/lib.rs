@@ -1,0 +1,575 @@
+//! Minimal stand-in for the subset of the `proptest` crate this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a small property-testing harness with a proptest-compatible
+//! surface: the [`proptest!`] macro, `prop_assert*` macros,
+//! [`prop_oneof!`], [`strategy::Strategy`] with `prop_map`,
+//! [`collection::vec`], [`arbitrary::any`] and [`strategy::Just`].
+//!
+//! Differences from the real crate: failing cases are **not shrunk**
+//! (the failing input is printed as-is), and value distributions are
+//! plain uniform draws from a deterministic per-case RNG rather than
+//! proptest's bias-aware generators. Every property in this workspace
+//! only requires deterministic coverage, not shrinking.
+
+#![forbid(unsafe_code)]
+
+/// Runner configuration and the deterministic per-case RNG.
+pub mod test_runner {
+    use rand::{RngCore, SeedableRng};
+
+    /// How many cases each property runs.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 32 }
+        }
+    }
+
+    /// Deterministic RNG handed to strategies, one per test case.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        inner: rand::rngs::StdRng,
+    }
+
+    impl TestRng {
+        /// The RNG for the `case`-th iteration of a property. Fixed
+        /// global seed: property runs are reproducible build-to-build.
+        #[must_use]
+        pub fn for_case(case: u32) -> Self {
+            Self {
+                inner: rand::rngs::StdRng::seed_from_u64(
+                    0x5EED_CAFE_0000_0000u64 ^ u64::from(case),
+                ),
+            }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+
+        /// Uniform draw from `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+}
+
+/// Strategies: composable value generators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of values of type `Value`.
+    ///
+    /// Mirrors `proptest::strategy::Strategy`, minus shrinking: a
+    /// strategy only needs to produce one value per case.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Discards generated values failing `f`, retrying (bounded).
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            whence: &'static str,
+            f: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                inner: self,
+                whence,
+                f,
+            }
+        }
+
+        /// Type-erases the strategy (used by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Debug, Clone)]
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: &'static str,
+        f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1_000 {
+                let candidate = self.inner.generate(rng);
+                if (self.f)(&candidate) {
+                    return candidate;
+                }
+            }
+            panic!("prop_filter `{}` rejected 1000 candidates", self.whence);
+        }
+    }
+
+    /// Weighted choice between type-erased strategies (the
+    /// `prop_oneof!` backend).
+    pub struct Union<V> {
+        arms: Vec<(u32, BoxedStrategy<V>)>,
+        total_weight: u64,
+    }
+
+    impl<V> Union<V> {
+        /// Builds a union; weights must not all be zero.
+        #[must_use]
+        pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+            let total_weight = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total_weight > 0, "prop_oneof needs positive total weight");
+            Self { arms, total_weight }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let mut roll = rng.below(self.total_weight);
+            for (weight, strategy) in &self.arms {
+                let weight = u64::from(*weight);
+                if roll < weight {
+                    return strategy.generate(rng);
+                }
+                roll -= weight;
+            }
+            unreachable!("weighted roll exceeded total weight")
+        }
+    }
+
+    /// Integers samplable by range strategies and [`crate::arbitrary::any`].
+    pub trait SampleableInt: Copy {
+        /// Widens to `u64` (order-preserving within the sampled range).
+        fn to_u64(self) -> u64;
+        /// Narrows back from `u64`.
+        fn from_u64(v: u64) -> Self;
+    }
+
+    macro_rules! impl_sampleable_int {
+        ($($t:ty),*) => {$(
+            impl SampleableInt for $t {
+                fn to_u64(self) -> u64 {
+                    self as u64
+                }
+
+                fn from_u64(v: u64) -> Self {
+                    v as $t
+                }
+            }
+        )*};
+    }
+
+    impl_sampleable_int!(u8, u16, u32, u64, usize);
+
+    impl<T: SampleableInt> Strategy for Range<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let (lo, hi) = (self.start.to_u64(), self.end.to_u64());
+            assert!(lo < hi, "empty range strategy");
+            T::from_u64(lo + rng.below(hi - lo))
+        }
+    }
+
+    impl<T: SampleableInt> Strategy for RangeInclusive<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let (lo, hi) = (self.start().to_u64(), self.end().to_u64());
+            assert!(lo <= hi, "empty range strategy");
+            // `hi - lo + 1` wraps to 0 exactly when the range covers the
+            // full u64 domain.
+            let span = (hi - lo).wrapping_add(1);
+            T::from_u64(if span == 0 {
+                rng.next_u64()
+            } else {
+                lo + rng.below(span)
+            })
+        }
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+
+    /// Strategy for [`crate::arbitrary::any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T> {
+        _marker: PhantomData<fn() -> T>,
+    }
+
+    impl<T> Default for Any<T> {
+        fn default() -> Self {
+            Self {
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    impl<T: SampleableInt> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            // Masking to the type's width keeps the draw uniform.
+            let bits = 8 * std::mem::size_of::<T>() as u32;
+            let raw = rng.next_u64();
+            T::from_u64(if bits >= 64 { raw } else { raw >> (64 - bits) })
+        }
+    }
+}
+
+/// `any::<T>()`: uniform over the whole domain of `T`.
+pub mod arbitrary {
+    use crate::strategy::Any;
+
+    /// A strategy producing arbitrary values of `T`.
+    #[must_use]
+    pub fn any<T>() -> Any<T>
+    where
+        Any<T>: crate::strategy::Strategy<Value = T>,
+    {
+        Any::default()
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Accepted size specifications for [`vec()`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            Self {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            Self {
+                lo: exact,
+                hi_inclusive: exact,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s whose elements come from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy over `element` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_inclusive - self.size.lo + 1) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the current case unless the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                left,
+                right
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                left,
+                right,
+                ::std::format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// Fails the current case if the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                left,
+                right
+            ));
+        }
+    }};
+}
+
+/// Silently skips the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Weighted (`w => strategy`) or uniform choice among strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` becomes
+/// a `#[test]` running the body over `config.cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($arg:pat in $strategy:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::TestRng::for_case(case);
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                let outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(message) = outcome {
+                    panic!("property `{}` failed at case {case}: {message}", stringify!($name));
+                }
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_and_vecs(
+            x in 3u64..10,
+            y in 0u32..=4,
+            v in crate::collection::vec(any::<u8>(), 2..5),
+            z in (1usize..4).prop_map(|n| n * 2),
+        ) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y <= 4);
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert_eq!(z % 2, 0);
+        }
+
+        #[test]
+        fn oneof_and_tuples(choice in prop_oneof![3 => Just(1u8), 1 => Just(2u8)], pair in (0u64..5, 0u64..5)) {
+            prop_assert!(choice == 1 || choice == 2);
+            prop_assert!(pair.0 < 5 && pair.1 < 5);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        use crate::strategy::Strategy as _;
+        let strat = crate::collection::vec(0u64..100, 1..10);
+        let a = strat.generate(&mut crate::test_runner::TestRng::for_case(3));
+        let b = strat.generate(&mut crate::test_runner::TestRng::for_case(3));
+        assert_eq!(a, b);
+    }
+}

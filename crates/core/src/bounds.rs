@@ -83,7 +83,7 @@ pub mod adversarial {
     /// in `cost_actual` terms.
     #[must_use]
     pub fn largest_match_gap(n: usize) -> Vec<KeySet> {
-        assert!(n >= 1 && n <= 32, "sets grow as 2^n; keep n small");
+        assert!((1..=32).contains(&n), "sets grow as 2^n; keep n small");
         (1..=n)
             .map(|i| KeySet::from_range(1..(1u64 << (i - 1)) + 1))
             .collect()

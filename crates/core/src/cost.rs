@@ -67,7 +67,10 @@ impl WeightedKeys {
     /// The weight of a single key.
     #[must_use]
     pub fn weight_of(&self, key: u64) -> u64 {
-        self.weights.get(&key).copied().unwrap_or(self.default_weight)
+        self.weights
+            .get(&key)
+            .copied()
+            .unwrap_or(self.default_weight)
     }
 }
 
@@ -153,6 +156,6 @@ mod tests {
         let s = KeySet::from_iter([1u64, 2]);
         let by_ref: &dyn CostModel = &Cardinality;
         assert_eq!(by_ref.cost(&s), 2);
-        assert_eq!((&Cardinality).cost(&s), 2);
+        assert_eq!(Cardinality.cost(&s), 2);
     }
 }

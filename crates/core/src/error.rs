@@ -65,14 +65,12 @@ impl fmt::Display for Error {
                 f,
                 "operation {op_index} merges {arity} sets, expected between 2 and {fanin}"
             ),
-            Error::IncompleteSchedule { remaining } => write!(
-                f,
-                "schedule leaves {remaining} sets, expected exactly 1"
-            ),
-            Error::InstanceTooLarge { n, max } => write!(
-                f,
-                "exact solver supports at most {max} sets, got {n}"
-            ),
+            Error::IncompleteSchedule { remaining } => {
+                write!(f, "schedule leaves {remaining} sets, expected exactly 1")
+            }
+            Error::InstanceTooLarge { n, max } => {
+                write!(f, "exact solver supports at most {max} sets, got {n}")
+            }
         }
     }
 }
@@ -86,10 +84,15 @@ mod tests {
     #[test]
     fn display_messages_mention_key_facts() {
         assert!(Error::EmptyInput.to_string().contains("zero sets"));
-        assert!(Error::InvalidFanIn { requested: 1 }.to_string().contains('1'));
-        assert!(Error::InvalidSlot { op_index: 3, slot: 9 }
+        assert!(Error::InvalidFanIn { requested: 1 }
             .to_string()
-            .contains("slot 9"));
+            .contains('1'));
+        assert!(Error::InvalidSlot {
+            op_index: 3,
+            slot: 9
+        }
+        .to_string()
+        .contains("slot 9"));
         assert!(Error::InvalidOpArity {
             op_index: 0,
             arity: 5,

@@ -57,8 +57,8 @@ impl CachedSmallestOutputPolicy {
     fn sketch_for(&mut self, slot: usize, set: &KeySet) -> &HyperLogLog {
         let precision = self.precision;
         self.sketches.entry(slot).or_insert_with(|| {
-            let mut sketch =
-                HyperLogLog::new(precision).unwrap_or_else(|_| HyperLogLog::with_default_precision());
+            let mut sketch = HyperLogLog::new(precision)
+                .unwrap_or_else(|_| HyperLogLog::with_default_precision());
             for key in set.iter() {
                 sketch.add_u64(key);
             }
@@ -72,7 +72,8 @@ impl CachedSmallestOutputPolicy {
         self.sketch_for(b.slot, &b.set);
         let sa = &self.sketches[&a.slot];
         let sb = &self.sketches[&b.slot];
-        sa.union_estimate(sb).expect("equal precision by construction")
+        sa.union_estimate(sb)
+            .expect("equal precision by construction")
     }
 }
 
@@ -90,7 +91,7 @@ impl ChoosePolicy for CachedSmallestOutputPolicy {
                 let (ia, ib) = (items[a].clone(), items[b].clone());
                 let est = self.union_estimate(&ia, &ib);
                 let candidate = (est, a, b);
-                if best.map_or(true, |cur| candidate < cur) {
+                if best.is_none_or(|cur| candidate < cur) {
                     best = Some(candidate);
                 }
             }
@@ -117,7 +118,7 @@ impl ChoosePolicy for CachedSmallestOutputPolicy {
                 let est = running
                     .union_estimate(&self.sketches[&item.slot])
                     .expect("equal precision");
-                if best_ext.map_or(true, |cur| (est, i) < cur) {
+                if best_ext.is_none_or(|cur| (est, i) < cur) {
                     best_ext = Some((est, i));
                 }
             }
@@ -171,7 +172,11 @@ mod tests {
             .iter()
             .cloned()
             .enumerate()
-            .map(|(slot, set)| crate::heuristics::CollectionItem { slot, set, level: 1 })
+            .map(|(slot, set)| crate::heuristics::CollectionItem {
+                slot,
+                set,
+                level: 1,
+            })
             .collect();
         let _ = policy.choose(&mut items, 2);
         assert_eq!(policy.cached_sketch_count(), sets.len());

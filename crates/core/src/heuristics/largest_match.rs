@@ -22,7 +22,7 @@ impl ChoosePolicy for LargestMatchPolicy {
                 let inter = items[a].set.intersection_size(&items[b].set) as i64;
                 let union = items[a].set.union_size(&items[b].set);
                 let candidate = (-inter, union, a, b);
-                if best.map_or(true, |(bi, bu, ba, bb)| candidate < (bi, bu, ba, bb)) {
+                if best.is_none_or(|(bi, bu, ba, bb)| candidate < (bi, bu, ba, bb)) {
                     best = Some(candidate);
                 }
             }
@@ -39,7 +39,7 @@ impl ChoosePolicy for LargestMatchPolicy {
                     continue;
                 }
                 let inter = item.set.intersection_size(&current) as i64;
-                if best_ext.map_or(true, |(bi, bidx)| (-inter, i) < (bi, bidx)) {
+                if best_ext.is_none_or(|(bi, bidx)| (-inter, i) < (bi, bidx)) {
                     best_ext = Some((-inter, i));
                 }
             }
@@ -65,8 +65,8 @@ mod tests {
     fn picks_the_most_overlapping_pair() {
         let sets = vec![
             KeySet::from_range(0..100),
-            KeySet::from_range(90..200),  // overlap 10 with set 0
-            KeySet::from_range(50..160),  // overlap 50 with 0, 70 with 1
+            KeySet::from_range(90..200), // overlap 10 with set 0
+            KeySet::from_range(50..160), // overlap 50 with 0, 70 with 1
             KeySet::from_range(1000..1010),
         ];
         let schedule = GreedyMerger::new(&sets, 2)

@@ -245,7 +245,11 @@ impl std::fmt::Display for Strategy {
 /// assert_eq!(schedule.final_set(&sets).len(), 5);
 /// # Ok::<(), compaction_core::Error>(())
 /// ```
-pub fn schedule_with(strategy: Strategy, sets: &[KeySet], k: usize) -> Result<MergeSchedule, Error> {
+pub fn schedule_with(
+    strategy: Strategy,
+    sets: &[KeySet],
+    k: usize,
+) -> Result<MergeSchedule, Error> {
     let merger = GreedyMerger::new(sets, k)?;
     match strategy {
         Strategy::BalanceTree => merger.run(BalanceTreePolicy::arbitrary()),
@@ -268,7 +272,11 @@ pub fn schedule_with(strategy: Strategy, sets: &[KeySet], k: usize) -> Result<Me
 /// Picks, among `items`, the `count` indices whose sets have the smallest
 /// cardinality (ties broken by slot for determinism). Shared by SI and by
 /// BALANCETREE's within-level ordering.
-pub(crate) fn smallest_by_len(items: &[CollectionItem], candidates: &[usize], count: usize) -> Vec<usize> {
+pub(crate) fn smallest_by_len(
+    items: &[CollectionItem],
+    candidates: &[usize],
+    count: usize,
+) -> Vec<usize> {
     let mut sorted: Vec<usize> = candidates.to_vec();
     sorted.sort_by_key(|&i| (items[i].set.len(), items[i].slot));
     sorted.truncate(count);
@@ -291,7 +299,7 @@ pub(crate) fn smallest_by_union<E: CardinalityEstimator>(
         for &b in &candidates[a_pos + 1..] {
             let est = estimator.union_estimate(&[&items[a].set, &items[b].set]);
             let candidate = (est, a, b);
-            if best.map_or(true, |cur| candidate < cur) {
+            if best.is_none_or(|cur| candidate < cur) {
                 best = Some(candidate);
             }
         }
@@ -308,7 +316,7 @@ pub(crate) fn smallest_by_union<E: CardinalityEstimator>(
             let mut refs: Vec<&KeySet> = chosen.iter().map(|&i| &items[i].set).collect();
             refs.push(&items[c].set);
             let est = estimator.union_estimate(&refs);
-            if best_ext.map_or(true, |cur| (est, c) < cur) {
+            if best_ext.is_none_or(|cur| (est, c) < cur) {
                 best_ext = Some((est, c));
             }
         }

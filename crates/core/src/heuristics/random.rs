@@ -43,14 +43,22 @@ mod tests {
     use crate::{KeySet, Strategy};
 
     fn sets(n: u64) -> Vec<KeySet> {
-        (0..n).map(|i| KeySet::from_range(i * 10..i * 10 + 5)).collect()
+        (0..n)
+            .map(|i| KeySet::from_range(i * 10..i * 10 + 5))
+            .collect()
     }
 
     #[test]
     fn same_seed_same_schedule() {
         let sets = sets(10);
-        let a = GreedyMerger::new(&sets, 2).unwrap().run(RandomPolicy::new(3)).unwrap();
-        let b = GreedyMerger::new(&sets, 2).unwrap().run(RandomPolicy::new(3)).unwrap();
+        let a = GreedyMerger::new(&sets, 2)
+            .unwrap()
+            .run(RandomPolicy::new(3))
+            .unwrap();
+        let b = GreedyMerger::new(&sets, 2)
+            .unwrap()
+            .run(RandomPolicy::new(3))
+            .unwrap();
         assert_eq!(a, b);
     }
 
@@ -81,7 +89,10 @@ mod tests {
     #[test]
     fn respects_fanin() {
         let sets = sets(9);
-        let schedule = GreedyMerger::new(&sets, 4).unwrap().run(RandomPolicy::new(5)).unwrap();
+        let schedule = GreedyMerger::new(&sets, 4)
+            .unwrap()
+            .run(RandomPolicy::new(5))
+            .unwrap();
         assert!(schedule.ops().iter().all(|op| op.inputs.len() <= 4));
         assert!(schedule.ops().iter().all(|op| op.inputs.len() >= 2));
     }

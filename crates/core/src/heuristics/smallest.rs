@@ -83,8 +83,8 @@ mod tests {
         // Two heavily-overlapping sets have a smaller union than two small
         // disjoint ones here, so SO and SI disagree.
         let sets = vec![
-            KeySet::from_range(0..50),   // overlaps with 1
-            KeySet::from_range(0..52),   // union with 0 has size 52
+            KeySet::from_range(0..50),    // overlaps with 1
+            KeySet::from_range(0..52),    // union with 0 has size 52
             KeySet::from_range(100..130), // 30 keys
             KeySet::from_range(200..230), // 30 keys; union with 2 = 60
         ];

@@ -69,6 +69,7 @@ pub mod estimator;
 pub mod hardness;
 pub mod heuristics;
 pub mod optimal;
+pub mod planner;
 mod schedule;
 mod set;
 pub mod submodular;
@@ -78,6 +79,7 @@ pub use cost::{Cardinality, ConstantOverhead, CostModel, WeightedKeys};
 pub use error::Error;
 pub use estimator::{CardinalityEstimator, ExactEstimator, HllEstimator};
 pub use heuristics::{schedule_with, GreedyMerger, Strategy};
+pub use planner::{MergePlan, Planner, SizeEstimator, StrategyPlanner, TableObservation};
 pub use schedule::{MergeOp, MergeSchedule};
 pub use set::KeySet;
 pub use tree::MergeTree;

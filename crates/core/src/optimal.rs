@@ -107,29 +107,35 @@ pub fn optimal_schedule_with<M: CostModel>(
         // Enumerate subsets of positions of size 2..=k to merge next.
         let positions: Vec<usize> = (0..state.len()).collect();
         let mut chosen = Vec::new();
-        enumerate_subsets(&positions, 2, k.min(state.len()), &mut chosen, &mut |subset| {
-            let merged_mask = subset.iter().fold(0u32, |acc, &p| acc | state[p]);
-            let step_cost = union_cost(merged_mask);
-            if step_cost >= best_cost {
-                return; // cannot improve (costs are non-negative)
-            }
-            let mut next: Vec<u32> = state
-                .iter()
-                .enumerate()
-                .filter(|(p, _)| !subset.contains(p))
-                .map(|(_, &m)| m)
-                .collect();
-            next.push(merged_mask);
-            next.sort_unstable();
-            let (rest_cost, rest_plan) = solve(&next, k, full_mask, union_cost, memo);
-            let total = step_cost.saturating_add(rest_cost);
-            if total < best_cost {
-                let mut plan = vec![subset.iter().map(|&p| state[p]).collect::<Vec<u32>>()];
-                plan.extend(rest_plan);
-                best_cost = total;
-                best_plan = plan;
-            }
-        });
+        enumerate_subsets(
+            &positions,
+            2,
+            k.min(state.len()),
+            &mut chosen,
+            &mut |subset| {
+                let merged_mask = subset.iter().fold(0u32, |acc, &p| acc | state[p]);
+                let step_cost = union_cost(merged_mask);
+                if step_cost >= best_cost {
+                    return; // cannot improve (costs are non-negative)
+                }
+                let mut next: Vec<u32> = state
+                    .iter()
+                    .enumerate()
+                    .filter(|(p, _)| !subset.contains(p))
+                    .map(|(_, &m)| m)
+                    .collect();
+                next.push(merged_mask);
+                next.sort_unstable();
+                let (rest_cost, rest_plan) = solve(&next, k, full_mask, union_cost, memo);
+                let total = step_cost.saturating_add(rest_cost);
+                if total < best_cost {
+                    let mut plan = vec![subset.iter().map(|&p| state[p]).collect::<Vec<u32>>()];
+                    plan.extend(rest_plan);
+                    best_cost = total;
+                    best_plan = plan;
+                }
+            },
+        );
         memo.insert(state.to_vec(), (best_cost, best_plan.clone()));
         (best_cost, best_plan)
     }
@@ -185,8 +191,7 @@ fn enumerate_subsets(
 /// Returns [`Error::EmptyInput`] for zero sets and
 /// [`Error::InvalidFanIn`] for `k < 2`.
 pub fn huffman_schedule(sets: &[KeySet], k: usize) -> Result<MergeSchedule, Error> {
-    crate::heuristics::GreedyMerger::new(sets, k)?
-        .run(crate::heuristics::SmallestInputPolicy)
+    crate::heuristics::GreedyMerger::new(sets, k)?.run(crate::heuristics::SmallestInputPolicy)
 }
 
 /// The left-to-right caterpillar merge (`((A_1 ∪ A_2) ∪ A_3) ∪ …`), the
@@ -235,7 +240,10 @@ mod tests {
         let sets = working_example();
         let opt = optimal_schedule(&sets, 2).unwrap();
         let opt_cost = opt.cost(&sets);
-        assert!(opt_cost <= 40, "SO achieves 40, the optimum cannot exceed it");
+        assert!(
+            opt_cost <= 40,
+            "SO achieves 40, the optimum cannot exceed it"
+        );
         for strategy in [
             Strategy::BalanceTree,
             Strategy::BalanceTreeOutput,
@@ -246,7 +254,10 @@ mod tests {
             Strategy::Frequency,
         ] {
             let cost = schedule_with(strategy, &sets, 2).unwrap().cost(&sets);
-            assert!(opt_cost <= cost, "{strategy}: opt {opt_cost} > heuristic {cost}");
+            assert!(
+                opt_cost <= cost,
+                "{strategy}: opt {opt_cost} > heuristic {cost}"
+            );
         }
     }
 
@@ -324,7 +335,10 @@ mod tests {
             Err(Error::InstanceTooLarge { n: 13, .. })
         ));
         assert_eq!(MAX_EXACT_SETS, 10);
-        assert!(matches!(left_to_right_schedule(0, 2), Err(Error::EmptyInput)));
+        assert!(matches!(
+            left_to_right_schedule(0, 2),
+            Err(Error::EmptyInput)
+        ));
         assert!(matches!(
             left_to_right_schedule(3, 0),
             Err(Error::InvalidFanIn { .. })

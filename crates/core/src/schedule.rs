@@ -242,6 +242,44 @@ impl MergeSchedule {
         total
     }
 
+    /// Lowers the schedule to raw *slot steps*: one `Vec<usize>` of input
+    /// slots per merge operation, in execution order.
+    ///
+    /// This is the physical-replay contract shared with the `lsm-engine`
+    /// crate: slots `0..n_initial` are the live sstables in manifest
+    /// order and step `i`'s output is slot `n_initial + i`, so the steps
+    /// can be executed directly against real tables without translation.
+    #[must_use]
+    pub fn slot_steps(&self) -> Vec<Vec<usize>> {
+        self.ops.iter().map(|op| op.inputs.clone()).collect()
+    }
+
+    /// Groups the operations into *dependency waves*: operation `i` is in
+    /// wave `w` (1-based) if every input is an initial set or the output
+    /// of an operation in a wave `< w`. Operations within one wave touch
+    /// disjoint slots and can therefore execute concurrently; waves must
+    /// run in order. Returns the op indices of each wave, ascending.
+    ///
+    /// BALANCETREE schedules produce `⌈log_k n⌉` waves of independent
+    /// merges (the parallelism the paper exploits in Section 5);
+    /// caterpillar schedules degenerate to one op per wave.
+    #[must_use]
+    pub fn dependency_waves(&self) -> Vec<Vec<usize>> {
+        let n = self.n_initial;
+        // Wave of each slot: initial sets are wave 0.
+        let mut slot_wave = vec![0usize; n + self.ops.len()];
+        let mut waves: Vec<Vec<usize>> = Vec::new();
+        for (i, op) in self.ops.iter().enumerate() {
+            let wave = op.inputs.iter().map(|&s| slot_wave[s]).max().unwrap_or(0) + 1;
+            slot_wave[n + i] = wave;
+            if waves.len() < wave {
+                waves.resize(wave, Vec::new());
+            }
+            waves[wave - 1].push(i);
+        }
+        waves
+    }
+
     /// The tree view of this schedule (Section 2): leaves in slot order,
     /// one internal node per merge operation.
     #[must_use]
@@ -254,7 +292,7 @@ impl MergeSchedule {
                 children: op.inputs.clone(),
             });
         }
-        let root = nodes.len().saturating_sub(1).max(0);
+        let root = nodes.len().saturating_sub(1);
         let root = if self.ops.is_empty() { 0 } else { root };
         MergeTree::from_parts(nodes, root)
     }
@@ -305,7 +343,10 @@ mod tests {
                 2,
                 vec![MergeOp::new(vec![0, 1]), MergeOp::new(vec![0, 2])]
             ),
-            Err(Error::InvalidSlot { op_index: 1, slot: 0 })
+            Err(Error::InvalidSlot {
+                op_index: 1,
+                slot: 0
+            })
         ));
         // Referencing its own output or a future slot.
         assert!(matches!(
@@ -449,16 +490,14 @@ mod tests {
         // High-overlap analogue (identical sets): cost_actual = 3·(n−1)·s
         // exactly, for any schedule, as the footnote states.
         let identical: Vec<KeySet> = vec![KeySet::from_range(0..s); n];
-        for ops in [
-            // caterpillar
-            (1..n)
+        {
+            let ops = (1..n)
                 .scan(0usize, |acc, next| {
                     let op = MergeOp::new(vec![*acc, next]);
                     *acc = n + next - 1;
                     Some(op)
                 })
-                .collect::<Vec<_>>(),
-        ] {
+                .collect::<Vec<_>>();
             let schedule = MergeSchedule::new(n, 2, ops).unwrap();
             assert_eq!(
                 schedule.cost_actual(&identical),
@@ -481,6 +520,55 @@ mod tests {
     }
 
     #[test]
+    fn slot_steps_mirror_ops() {
+        let schedule = MergeSchedule::new(
+            3,
+            2,
+            vec![MergeOp::new(vec![0, 1]), MergeOp::new(vec![3, 2])],
+        )
+        .unwrap();
+        assert_eq!(schedule.slot_steps(), vec![vec![0, 1], vec![3, 2]]);
+    }
+
+    #[test]
+    fn dependency_waves_expose_parallelism() {
+        // Balanced: ops 0 and 1 are independent (wave 1), op 2 joins them.
+        let balanced = MergeSchedule::new(
+            4,
+            2,
+            vec![
+                MergeOp::new(vec![0, 1]),
+                MergeOp::new(vec![2, 3]),
+                MergeOp::new(vec![4, 5]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(balanced.dependency_waves(), vec![vec![0, 1], vec![2]]);
+
+        // Caterpillar: fully sequential, one op per wave.
+        let caterpillar = MergeSchedule::new(
+            4,
+            2,
+            vec![
+                MergeOp::new(vec![0, 1]),
+                MergeOp::new(vec![4, 2]),
+                MergeOp::new(vec![5, 3]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(
+            caterpillar.dependency_waves(),
+            vec![vec![0], vec![1], vec![2]]
+        );
+
+        // Empty schedule: no waves.
+        assert!(MergeSchedule::new(1, 2, vec![])
+            .unwrap()
+            .dependency_waves()
+            .is_empty());
+    }
+
+    #[test]
     fn outputs_are_cumulative_unions() {
         let sets = working_example();
         let schedule = MergeSchedule::new(
@@ -496,7 +584,10 @@ mod tests {
         .unwrap();
         let outputs = schedule.outputs(&sets);
         assert_eq!(outputs.len(), 4);
-        assert_eq!(outputs[0], KeySet::from_range(1..6).union(&KeySet::new()).clone());
+        assert_eq!(
+            outputs[0],
+            KeySet::from_range(1..6).union(&KeySet::new()).clone()
+        );
         assert_eq!(outputs[3], KeySet::from_range(1..10));
     }
 }

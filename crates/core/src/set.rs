@@ -175,7 +175,11 @@ impl KeySet {
     pub fn relabel_disjoint(&self, set_index: usize) -> Self {
         let tag = (set_index as u64) << 48;
         Self {
-            keys: self.keys.iter().map(|k| (k & 0x0000_FFFF_FFFF_FFFF) | tag).collect(),
+            keys: self
+                .keys
+                .iter()
+                .map(|k| (k & 0x0000_FFFF_FFFF_FFFF) | tag)
+                .collect(),
         }
     }
 }

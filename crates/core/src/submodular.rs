@@ -3,7 +3,7 @@
 //! The SUBMODULARMERGING extension (Section 2 of the paper) requires the
 //! merge cost to be a monotone submodular function. These helpers verify
 //! both properties empirically over a ground set, and are used by the
-//! test suite to certify that every [`CostModel`](crate::CostModel)
+//! test suite to certify that every [`CostModel`]
 //! shipped by this crate stays inside the class the paper's analysis
 //! covers.
 
@@ -79,7 +79,12 @@ pub fn is_submodular_exhaustive<M: CostModel>(model: &M, ground: &[u64]) -> bool
 /// nested pairs using a simple deterministic pseudo-random walk seeded by
 /// `seed`.
 #[must_use]
-pub fn is_monotone_sampled<M: CostModel>(model: &M, ground: &[u64], trials: usize, seed: u64) -> bool {
+pub fn is_monotone_sampled<M: CostModel>(
+    model: &M,
+    ground: &[u64],
+    trials: usize,
+    seed: u64,
+) -> bool {
     let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
     let mut next = || {
         state ^= state << 13;

@@ -67,7 +67,9 @@ impl MergeTree {
     #[must_use]
     pub fn complete_binary(n: usize) -> Self {
         assert!(n >= 1, "tree needs at least one leaf");
-        let mut nodes: Vec<TreeNode> = (0..n).map(|leaf_index| TreeNode::Leaf { leaf_index }).collect();
+        let mut nodes: Vec<TreeNode> = (0..n)
+            .map(|leaf_index| TreeNode::Leaf { leaf_index })
+            .collect();
         // Level-by-level pairing, identical to the BalanceTree heuristic.
         let mut current: Vec<usize> = (0..n).collect();
         while current.len() > 1 {
@@ -93,7 +95,9 @@ impl MergeTree {
     #[must_use]
     pub fn caterpillar(n: usize) -> Self {
         assert!(n >= 1, "tree needs at least one leaf");
-        let mut nodes: Vec<TreeNode> = (0..n).map(|leaf_index| TreeNode::Leaf { leaf_index }).collect();
+        let mut nodes: Vec<TreeNode> = (0..n)
+            .map(|leaf_index| TreeNode::Leaf { leaf_index })
+            .collect();
         let mut acc = 0usize;
         for leaf in 1..n {
             nodes.push(TreeNode::Internal {
@@ -139,7 +143,11 @@ impl MergeTree {
         match &self.nodes[node] {
             TreeNode::Leaf { .. } => 0,
             TreeNode::Internal { children } => {
-                1 + children.iter().map(|&c| self.depth_below(c)).max().unwrap_or(0)
+                1 + children
+                    .iter()
+                    .map(|&c| self.depth_below(c))
+                    .max()
+                    .unwrap_or(0)
             }
         }
     }
@@ -294,7 +302,11 @@ mod tests {
             let balanced = MergeTree::complete_binary(n);
             let caterpillar = MergeTree::caterpillar(n);
             let bound = (n as u64) * u64::from(h + 1);
-            assert_eq!(balanced.eta(), bound, "perfect tree attains the bound (n={n})");
+            assert_eq!(
+                balanced.eta(),
+                bound,
+                "perfect tree attains the bound (n={n})"
+            );
             if n >= 4 {
                 assert!(
                     caterpillar.eta() > bound,

@@ -3,7 +3,9 @@
 use compaction_core::bounds::{lopt_lower_bound, ratio_to_lopt};
 use compaction_core::heuristics::max_key_frequency;
 use compaction_core::optimal::optimal_schedule;
-use compaction_core::{schedule_with, Cardinality, ConstantOverhead, KeySet, Strategy, WeightedKeys};
+use compaction_core::{
+    schedule_with, Cardinality, ConstantOverhead, KeySet, Strategy, WeightedKeys,
+};
 use proptest::prelude::*;
 // The explicit `Strategy` enum import above shadows proptest's `Strategy`
 // trait name; re-import the trait anonymously so its methods stay usable.

@@ -118,10 +118,7 @@ impl Registers {
     /// the raw HyperLogLog estimate).
     #[must_use]
     pub fn harmonic_sum(&self) -> f64 {
-        self.slots
-            .iter()
-            .map(|&r| 2f64.powi(-i32::from(r)))
-            .sum()
+        self.slots.iter().map(|&r| 2f64.powi(-i32::from(r))).sum()
     }
 
     /// Iterates over the raw register values.

@@ -268,7 +268,11 @@ mod tests {
             sketch.add_u64(x);
         }
         // 5x the relative standard error as a generous deterministic bound.
-        assert_close(sketch.count(), truth, 5.0 * crate::relative_standard_error(14));
+        assert_close(
+            sketch.count(),
+            truth,
+            5.0 * crate::relative_standard_error(14),
+        );
     }
 
     #[test]

@@ -256,7 +256,10 @@ mod tests {
         let encoded = builder.finish();
         let mut tampered = encoded.to_vec();
         tampered[3] ^= 0xFF;
-        assert!(matches!(Block::decode(&tampered), Err(Error::Corruption { .. })));
+        assert!(matches!(
+            Block::decode(&tampered),
+            Err(Error::Corruption { .. })
+        ));
         assert!(Block::decode(&encoded[..4]).is_err());
         assert!(Block::decode(&[]).is_err());
     }

@@ -125,7 +125,10 @@ mod tests {
         let keys = keys(10_000);
         let filter = BloomFilter::build(keys.iter().map(Vec::as_slice), 10);
         for k in &keys {
-            assert!(filter.may_contain(k), "bloom filter returned a false negative");
+            assert!(
+                filter.may_contain(k),
+                "bloom filter returned a false negative"
+            );
         }
     }
 

@@ -10,12 +10,9 @@
 
 use std::sync::Arc;
 
-use crate::iter::MergingIter;
-use crate::manifest::{Manifest, ManifestEdit, TableMeta};
+use crate::manifest::Manifest;
 use crate::options::LsmOptions;
-use crate::sstable::{Sstable, SstableBuilder};
 use crate::storage::Storage;
-use crate::types::Entry;
 use crate::Error;
 
 /// One merge operation of a schedule, expressed over *slots*.
@@ -72,18 +69,25 @@ impl CompactionOutcome {
     }
 }
 
-/// Executes compaction steps against a storage backend and manifest.
+/// Executes compaction steps against a storage backend and manifest,
+/// one step at a time.
+///
+/// Since the introduction of [`ParallelExecutor`](crate::ParallelExecutor)
+/// this type is a thin sequential façade over it (one merge at a time,
+/// same validation, same atomic manifest flip), kept so callers that
+/// want explicitly sequential execution have a named entry point.
 #[derive(Debug)]
 pub struct CompactionExecutor {
-    storage: Arc<dyn Storage>,
-    options: LsmOptions,
+    inner: crate::parallel::ParallelExecutor,
 }
 
 impl CompactionExecutor {
     /// Creates an executor that reads and writes through `storage`.
     #[must_use]
     pub fn new(storage: Arc<dyn Storage>, options: LsmOptions) -> Self {
-        Self { storage, options }
+        Self {
+            inner: crate::parallel::ParallelExecutor::new(storage, options.compaction_threads(1)),
+        }
     }
 
     /// Executes `steps` over the tables listed in `initial_table_ids`
@@ -105,109 +109,17 @@ impl CompactionExecutor {
         initial_table_ids: &[u64],
         steps: &[CompactionStep],
     ) -> Result<CompactionOutcome, Error> {
-        let mut outcome = CompactionOutcome::default();
-        // slot -> Some(table_id) while the table is still mergeable.
-        let mut slots: Vec<Option<u64>> = initial_table_ids.iter().copied().map(Some).collect();
-
-        for (step_idx, step) in steps.iter().enumerate() {
-            if step.inputs.len() < 2 {
-                return Err(Error::invalid_compaction(format!(
-                    "step {step_idx} has {} inputs, need at least 2",
-                    step.inputs.len()
-                )));
-            }
-            if step.inputs.len() > self.options.fanin() {
-                return Err(Error::invalid_compaction(format!(
-                    "step {step_idx} reads {} tables but fan-in k = {}",
-                    step.inputs.len(),
-                    self.options.fanin()
-                )));
-            }
-
-            let mut input_ids = Vec::with_capacity(step.inputs.len());
-            for &slot in &step.inputs {
-                let id = slots
-                    .get(slot)
-                    .copied()
-                    .flatten()
-                    .ok_or_else(|| {
-                        Error::invalid_compaction(format!(
-                            "step {step_idx} references slot {slot} which is unknown or consumed"
-                        ))
-                    })?;
-                input_ids.push(id);
-            }
-            // Mark inputs consumed.
-            for &slot in &step.inputs {
-                slots[slot] = None;
-            }
-
-            let is_last = step_idx + 1 == steps.len();
-            let drop_tombstones = is_last && self.options.drops_tombstones();
-            let output_id = self.merge_tables(manifest, &input_ids, drop_tombstones, &mut outcome)?;
-            slots.push(Some(output_id));
-            outcome.merge_ops += 1;
-            outcome.final_table_id = Some(output_id);
-        }
-        Ok(outcome)
-    }
-
-    /// Merges the given tables into one new table, retiring the inputs.
-    fn merge_tables(
-        &self,
-        manifest: &mut Manifest,
-        input_ids: &[u64],
-        drop_tombstones: bool,
-        outcome: &mut CompactionOutcome,
-    ) -> Result<u64, Error> {
-        // Read every input run.
-        let mut sources: Vec<Vec<Entry>> = Vec::with_capacity(input_ids.len());
-        for &id in input_ids {
-            let table = Sstable::load(self.storage.as_ref(), id)?;
-            outcome.bytes_read += table.encoded_len();
-            outcome.entries_read += table.entry_count();
-            let entries: Result<Vec<Entry>, Error> = table.iter().collect();
-            sources.push(entries?);
-        }
-
-        // Merge-sort with newest-wins de-duplication. Sources are listed
-        // oldest table first, matching manifest order; newer tables carry
-        // larger seqnos so ordering is decided by seqno in practice.
-        let merged = MergingIter::new(sources, drop_tombstones);
-
-        let output_id = manifest.allocate_table_id();
-        let mut builder = SstableBuilder::new(
-            output_id,
-            self.options.block_size_bytes(),
-            self.options.bloom_bits(),
-        );
-        for entry in merged {
-            builder.add(&entry);
-        }
-        let (data, meta) = builder.finish();
-        self.storage
-            .write_blob(&Sstable::blob_name(output_id), &data)?;
-        outcome.bytes_written += meta.encoded_len;
-        outcome.entries_written += meta.entry_count;
-
-        for &id in input_ids {
-            manifest.apply(ManifestEdit::RemoveTable { table_id: id })?;
-            self.storage.delete_blob(&Sstable::blob_name(id))?;
-        }
-        manifest.apply(ManifestEdit::AddTable(TableMeta {
-            table_id: output_id,
-            entry_count: meta.entry_count,
-            encoded_len: meta.encoded_len,
-        }))?;
-        Ok(output_id)
+        self.inner.execute(manifest, initial_table_ids, steps)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::manifest::{ManifestEdit, TableMeta};
+    use crate::sstable::{Sstable, SstableBuilder};
     use crate::storage::MemoryStorage;
-    use crate::types::key_from_u64;
+    use crate::types::{key_from_u64, Entry};
     use bytes::Bytes;
 
     /// Builds an sstable holding `keys` and registers it in the manifest.
@@ -250,9 +162,24 @@ mod tests {
     #[test]
     fn binary_merge_schedule_produces_single_table() {
         let (storage, mut manifest, exec) = setup();
-        let t0 = make_table(storage.as_ref() as &dyn Storage, &mut manifest, &[1, 2, 3, 5], 1);
-        let t1 = make_table(storage.as_ref() as &dyn Storage, &mut manifest, &[1, 2, 3, 4], 2);
-        let t2 = make_table(storage.as_ref() as &dyn Storage, &mut manifest, &[3, 4, 5], 3);
+        let t0 = make_table(
+            storage.as_ref() as &dyn Storage,
+            &mut manifest,
+            &[1, 2, 3, 5],
+            1,
+        );
+        let t1 = make_table(
+            storage.as_ref() as &dyn Storage,
+            &mut manifest,
+            &[1, 2, 3, 4],
+            2,
+        );
+        let t2 = make_table(
+            storage.as_ref() as &dyn Storage,
+            &mut manifest,
+            &[3, 4, 5],
+            3,
+        );
         assert_eq!(manifest.table_count(), 3);
 
         // Merge slots (0,1) -> slot 3, then (3,2) -> slot 4.
@@ -339,7 +266,8 @@ mod tests {
     fn kway_fanin_allows_wider_merges() {
         let storage = Arc::new(MemoryStorage::new());
         let mut manifest = Manifest::new();
-        let exec = CompactionExecutor::new(storage.clone(), LsmOptions::default().compaction_fanin(4));
+        let exec =
+            CompactionExecutor::new(storage.clone(), LsmOptions::default().compaction_fanin(4));
         let ids: Vec<u64> = (0..4)
             .map(|i| {
                 make_table(

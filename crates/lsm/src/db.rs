@@ -2,13 +2,17 @@
 //! together.
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
+use compaction_core::MergePlan;
 
-use crate::compaction::{CompactionExecutor, CompactionOutcome, CompactionStep};
+use crate::compaction::{CompactionOutcome, CompactionStep};
 use crate::manifest::{Manifest, ManifestEdit, TableMeta};
 use crate::memtable::Memtable;
-use crate::options::LsmOptions;
+use crate::options::{CompactionPolicy, LsmOptions};
+use crate::parallel::ParallelExecutor;
+use crate::planner::plan_compaction;
 use crate::sstable::{Sstable, SstableBuilder};
 use crate::storage::{FileStorage, MemoryStorage, Storage};
 use crate::types::{key_from_u64, Entry, Key, Value, ValueKind};
@@ -46,6 +50,7 @@ pub struct Lsm {
     memtable: Memtable,
     wal: Option<Wal>,
     stats: LsmStats,
+    flushes_since_compaction: u64,
 }
 
 /// Counters describing the work an [`Lsm`] instance has performed.
@@ -64,8 +69,60 @@ pub struct LsmStats {
     pub tables_probed: u64,
     /// Number of reads answered from the memtable.
     pub memtable_hits: u64,
-    /// Number of major compaction runs executed.
+    /// Number of major compaction runs executed (manual and automatic).
     pub compactions: u64,
+    /// Number of compactions fired by the configured
+    /// [`CompactionPolicy`] (a subset of [`LsmStats::compactions`]).
+    pub auto_compactions: u64,
+    /// Entries read from input tables across all compaction merges.
+    pub compaction_entries_read: u64,
+    /// Entries written to output tables across all compaction merges.
+    pub compaction_entries_written: u64,
+    /// Bytes read from storage by compaction merges.
+    pub compaction_bytes_read: u64,
+    /// Bytes written to storage by compaction merges.
+    pub compaction_bytes_written: u64,
+    /// Wall-clock time writes were stalled behind compaction work.
+    pub compaction_stall: Duration,
+    /// Sum of the planner's predicted `cost_actual` (in keys) over all
+    /// policy-driven compactions, for planned-vs-measured comparison.
+    pub compaction_predicted_cost: u64,
+}
+
+impl LsmStats {
+    /// The paper's `cost_actual` in entries, measured over every
+    /// compaction this store has executed: entries read + written.
+    #[must_use]
+    pub fn compaction_entry_cost(&self) -> u64 {
+        self.compaction_entries_read + self.compaction_entries_written
+    }
+
+    /// Measured `cost_actual` in bytes of compaction storage traffic.
+    #[must_use]
+    pub fn compaction_byte_cost(&self) -> u64 {
+        self.compaction_bytes_read + self.compaction_bytes_written
+    }
+
+    fn record_compaction(&mut self, outcome: &CompactionOutcome, stall: Duration) {
+        self.compactions += 1;
+        self.compaction_entries_read += outcome.entries_read;
+        self.compaction_entries_written += outcome.entries_written;
+        self.compaction_bytes_read += outcome.bytes_read;
+        self.compaction_bytes_written += outcome.bytes_written;
+        self.compaction_stall += stall;
+    }
+}
+
+/// The result of one policy-driven compaction: what the planner chose
+/// and what executing it physically cost.
+#[derive(Debug, Clone)]
+pub struct AutoCompaction {
+    /// The plan (strategy, schedule, waves, predicted costs).
+    pub plan: MergePlan,
+    /// The physical outcome (entries/bytes read and written).
+    pub outcome: CompactionOutcome,
+    /// Wall-clock time the compaction took (planning + merging).
+    pub stall: Duration,
 }
 
 impl Lsm {
@@ -78,6 +135,17 @@ impl Lsm {
     /// recovery.
     pub fn open(storage: Arc<dyn Storage>, options: LsmOptions) -> Result<Self, Error> {
         let manifest = Manifest::load(storage.as_ref())?;
+        // Sweep orphan sstable blobs: a crash between writing compaction
+        // outputs and persisting the manifest (or between persisting and
+        // deleting consumed inputs) leaves blobs the manifest does not
+        // reference. They are invisible to reads and safe to delete.
+        for blob in storage.list_blobs() {
+            if let Some(orphan_id) = Sstable::id_from_blob_name(&blob) {
+                if manifest.table(orphan_id).is_none() {
+                    storage.delete_blob(&blob)?;
+                }
+            }
+        }
         let mut memtable = Memtable::new(options.memtable_capacity_keys());
         let wal = if options.wal_enabled() {
             // Recover any writes that had not been flushed.
@@ -101,6 +169,7 @@ impl Lsm {
             memtable,
             wal,
             stats: LsmStats::default(),
+            flushes_since_compaction: 0,
         })
     }
 
@@ -118,7 +187,10 @@ impl Lsm {
     /// # Errors
     ///
     /// Fails if the directory cannot be created or recovery fails.
-    pub fn open_on_disk(path: impl Into<std::path::PathBuf>, options: LsmOptions) -> Result<Self, Error> {
+    pub fn open_on_disk(
+        path: impl Into<std::path::PathBuf>,
+        options: LsmOptions,
+    ) -> Result<Self, Error> {
         Self::open(Arc::new(FileStorage::open(path)?), options)
     }
 
@@ -241,9 +313,15 @@ impl Lsm {
     /// Flushes the memtable to a new sstable even if it is not full.
     /// A no-op on an empty memtable.
     ///
+    /// After a successful flush the configured [`CompactionPolicy`] is
+    /// consulted ([`Lsm::maybe_compact`]); under an automatic policy the
+    /// returned table may therefore already have been merged away by the
+    /// time this returns.
+    ///
     /// # Errors
     ///
-    /// Propagates storage failures.
+    /// Propagates storage failures (from the flush itself or from a
+    /// policy-triggered compaction).
     pub fn flush(&mut self) -> Result<Option<u64>, Error> {
         if self.memtable.is_empty() {
             return Ok(None);
@@ -270,7 +348,76 @@ impl Lsm {
             wal.reset(self.storage.as_ref())?;
         }
         self.stats.flushes += 1;
+        self.flushes_since_compaction += 1;
+        self.maybe_compact()?;
         Ok(Some(table_id))
+    }
+
+    /// Consults the configured [`CompactionPolicy`] and, if it fires,
+    /// plans and executes a full compaction of the live tables. Called
+    /// automatically after every flush; callable directly to re-check
+    /// the policy at any time.
+    ///
+    /// Returns `Ok(None)` when the policy does not fire (or is not
+    /// automatic).
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning and storage failures.
+    pub fn maybe_compact(&mut self) -> Result<Option<AutoCompaction>, Error> {
+        let fire = match self.options.policy() {
+            CompactionPolicy::Disabled | CompactionPolicy::Manual => false,
+            CompactionPolicy::Threshold { live_tables } => {
+                self.manifest.table_count() >= live_tables
+            }
+            CompactionPolicy::EveryNFlushes { flushes } => self.flushes_since_compaction >= flushes,
+        };
+        if !fire {
+            return Ok(None);
+        }
+        self.run_planned_compaction()
+    }
+
+    /// Plans a compaction of the live tables with the configured
+    /// strategy and estimator and executes it (parallel across
+    /// independent steps when [`LsmOptions::threads`] > 1), regardless
+    /// of whether the policy would fire. Returns `Ok(None)` when the
+    /// policy is [`CompactionPolicy::Disabled`] or there are fewer than
+    /// two live tables.
+    ///
+    /// This is the "compact now, your way" entry point: no manual
+    /// [`CompactionStep`] construction involved.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning and storage failures.
+    pub fn auto_compact(&mut self) -> Result<Option<AutoCompaction>, Error> {
+        if self.options.policy() == CompactionPolicy::Disabled {
+            return Ok(None);
+        }
+        self.run_planned_compaction()
+    }
+
+    fn run_planned_compaction(&mut self) -> Result<Option<AutoCompaction>, Error> {
+        let start = Instant::now();
+        let Some(plan) =
+            plan_compaction(self.storage.as_ref(), self.manifest.tables(), &self.options)?
+        else {
+            return Ok(None);
+        };
+        let initial: Vec<u64> = self.manifest.tables().iter().map(|t| t.table_id).collect();
+        let executor = ParallelExecutor::new(Arc::clone(&self.storage), self.options.clone());
+        let outcome = executor.execute_plan(&mut self.manifest, &initial, &plan)?;
+        let stall = start.elapsed();
+        self.stats.record_compaction(&outcome, stall);
+        self.stats.auto_compactions += 1;
+        self.stats.compaction_predicted_cost += plan.predicted_cost_actual();
+        self.flushes_since_compaction = 0;
+        Ok(Some(AutoCompaction {
+            plan,
+            outcome,
+            stall,
+        }))
     }
 
     /// Executes a full major-compaction merge schedule over the live
@@ -279,18 +426,23 @@ impl Lsm {
     /// `steps` reference tables by *slot*: slots `0..n` are the current
     /// live tables in manifest (oldest-first) order, and each step's
     /// output becomes the next slot, exactly like the merge schedules
-    /// produced by `compaction-core`.
+    /// produced by `compaction-core` (see
+    /// [`MergeSchedule::slot_steps`](compaction_core::MergeSchedule::slot_steps)).
+    /// Independent steps execute concurrently when
+    /// [`LsmOptions::threads`] > 1, and manifest edits are applied
+    /// atomically after every step succeeds.
     ///
     /// # Errors
     ///
     /// Returns [`Error::InvalidCompaction`] for malformed schedules and
     /// propagates storage errors.
     pub fn major_compact(&mut self, steps: &[CompactionStep]) -> Result<CompactionOutcome, Error> {
+        let start = Instant::now();
         let initial: Vec<u64> = self.manifest.tables().iter().map(|t| t.table_id).collect();
-        let executor = CompactionExecutor::new(Arc::clone(&self.storage), self.options.clone());
+        let executor = ParallelExecutor::new(Arc::clone(&self.storage), self.options.clone());
         let outcome = executor.execute(&mut self.manifest, &initial, steps)?;
-        self.manifest.persist(self.storage.as_ref())?;
-        self.stats.compactions += 1;
+        self.stats.record_compaction(&outcome, start.elapsed());
+        self.flushes_since_compaction = 0;
         Ok(outcome)
     }
 
@@ -315,7 +467,13 @@ impl Lsm {
         Ok(merged.map(|e| (e.key, e.value)).collect())
     }
 
-    fn log_write(&mut self, key: &Key, value: &Value, seqno: u64, kind: ValueKind) -> Result<(), Error> {
+    fn log_write(
+        &mut self,
+        key: &Key,
+        value: &Value,
+        seqno: u64,
+        kind: ValueKind,
+    ) -> Result<(), Error> {
         if let Some(wal) = &mut self.wal {
             wal.append(
                 self.storage.as_ref(),
@@ -426,7 +584,10 @@ mod tests {
             if i == 3 {
                 continue;
             }
-            assert!(db.get_u64(i).unwrap().is_some(), "key {i} lost by compaction");
+            assert!(
+                db.get_u64(i).unwrap().is_some(),
+                "key {i} lost by compaction"
+            );
         }
         assert_eq!(db.stats().compactions, 1);
     }
@@ -454,13 +615,18 @@ mod tests {
     fn wal_recovery_restores_unflushed_writes() {
         let storage: Arc<dyn Storage> = Arc::new(MemoryStorage::new());
         {
-            let mut db = Lsm::open(Arc::clone(&storage), LsmOptions::default().memtable_capacity(100)).unwrap();
+            let mut db = Lsm::open(
+                Arc::clone(&storage),
+                LsmOptions::default().memtable_capacity(100),
+            )
+            .unwrap();
             db.put_u64(1, b"persisted".to_vec()).unwrap();
             db.put_u64(2, b"also".to_vec()).unwrap();
             db.delete_u64(2).unwrap();
             // Dropped without flush: data only in WAL.
         }
-        let mut reopened = Lsm::open(storage, LsmOptions::default().memtable_capacity(100)).unwrap();
+        let mut reopened =
+            Lsm::open(storage, LsmOptions::default().memtable_capacity(100)).unwrap();
         assert_eq!(reopened.get_u64(1).unwrap(), Some(b"persisted".to_vec()));
         assert_eq!(reopened.get_u64(2).unwrap(), None);
         assert_eq!(reopened.memtable_len(), 2);
@@ -471,19 +637,165 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("lsm-db-test-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         {
-            let mut db = Lsm::open_on_disk(&dir, LsmOptions::default().memtable_capacity(4)).unwrap();
+            let mut db =
+                Lsm::open_on_disk(&dir, LsmOptions::default().memtable_capacity(4)).unwrap();
             for i in 0..10u64 {
                 db.put_u64(i, format!("d{i}").into_bytes()).unwrap();
             }
             db.flush().unwrap();
         }
         {
-            let mut db = Lsm::open_on_disk(&dir, LsmOptions::default().memtable_capacity(4)).unwrap();
+            let mut db =
+                Lsm::open_on_disk(&dir, LsmOptions::default().memtable_capacity(4)).unwrap();
             for i in 0..10u64 {
                 assert_eq!(db.get_u64(i).unwrap(), Some(format!("d{i}").into_bytes()));
             }
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn threshold_policy_compacts_without_manual_steps() {
+        let mut db = Lsm::open_in_memory(
+            LsmOptions::default()
+                .memtable_capacity(10)
+                .compaction_policy(CompactionPolicy::Threshold { live_tables: 4 })
+                .wal(false),
+        )
+        .unwrap();
+        for i in 0..200u64 {
+            db.put_u64(i % 60, vec![i as u8]).unwrap();
+        }
+        db.flush().unwrap();
+        assert!(
+            db.live_tables().len() < 4,
+            "policy keeps the live-table count below the threshold"
+        );
+        assert!(db.stats().auto_compactions >= 1);
+        assert!(db.stats().compaction_entry_cost() > 0);
+        assert!(db.stats().compaction_stall > Duration::ZERO);
+        // Data integrity under policy-driven compaction.
+        for i in 0..60u64 {
+            assert!(db.get_u64(i).unwrap().is_some(), "key {i}");
+        }
+    }
+
+    #[test]
+    fn every_n_flushes_policy_fires_on_schedule() {
+        let mut db = Lsm::open_in_memory(
+            LsmOptions::default()
+                .memtable_capacity(5)
+                .compaction_policy(CompactionPolicy::EveryNFlushes { flushes: 3 })
+                .wal(false),
+        )
+        .unwrap();
+        for i in 0..70u64 {
+            db.put_u64(i, b"x".to_vec()).unwrap();
+        }
+        db.flush().unwrap();
+        assert!(db.stats().flushes >= 14);
+        assert!(
+            db.stats().auto_compactions >= 4,
+            "one compaction per 3 flushes, got {}",
+            db.stats().auto_compactions
+        );
+    }
+
+    #[test]
+    fn auto_compact_honors_disabled_and_manual_policies() {
+        let mut disabled = Lsm::open_in_memory(
+            LsmOptions::default()
+                .memtable_capacity(5)
+                .compaction_policy(CompactionPolicy::Disabled)
+                .wal(false),
+        )
+        .unwrap();
+        for i in 0..30u64 {
+            disabled.put_u64(i, b"x".to_vec()).unwrap();
+        }
+        disabled.flush().unwrap();
+        let tables = disabled.live_tables().len();
+        assert!(tables >= 4, "no automatic compaction under Disabled");
+        assert!(disabled.auto_compact().unwrap().is_none());
+        assert_eq!(disabled.live_tables().len(), tables);
+
+        // Manual: nothing fires automatically, but auto_compact works on
+        // demand with zero manual CompactionStep construction.
+        let mut manual =
+            Lsm::open_in_memory(LsmOptions::default().memtable_capacity(5).wal(false)).unwrap();
+        for i in 0..30u64 {
+            manual.put_u64(i, b"x".to_vec()).unwrap();
+        }
+        manual.flush().unwrap();
+        assert!(manual.live_tables().len() >= 4);
+        let run = manual.auto_compact().unwrap().expect("tables to merge");
+        assert_eq!(manual.live_tables().len(), 1);
+        assert_eq!(run.outcome.merge_ops, run.plan.steps().len());
+        assert_eq!(
+            run.outcome.entry_cost(),
+            run.plan.predicted_cost_actual(),
+            "exact observations over u64 keys predict the physical cost exactly"
+        );
+        assert_eq!(manual.stats().auto_compactions, 1);
+        assert_eq!(
+            manual.stats().compaction_predicted_cost,
+            run.plan.predicted_cost_actual()
+        );
+    }
+
+    #[test]
+    fn parallel_threads_preserve_contents_under_policy() {
+        let run = |threads: usize| {
+            let mut db = Lsm::open_in_memory(
+                LsmOptions::default()
+                    .memtable_capacity(8)
+                    .compaction_policy(CompactionPolicy::Threshold { live_tables: 6 })
+                    .compaction_strategy(compaction_core::Strategy::BalanceTreeInput)
+                    .compaction_threads(threads)
+                    .wal(false),
+            )
+            .unwrap();
+            for i in 0..300u64 {
+                db.put_u64(i % 100, format!("v{i}").into_bytes()).unwrap();
+            }
+            db.flush().unwrap();
+            db.scan_all().unwrap()
+        };
+        assert_eq!(run(1), run(4), "contents are thread-count independent");
+    }
+
+    #[test]
+    fn orphan_blobs_are_swept_on_open() {
+        let storage: Arc<dyn Storage> = Arc::new(MemoryStorage::new());
+        {
+            let mut db = Lsm::open(
+                Arc::clone(&storage),
+                LsmOptions::default().memtable_capacity(5),
+            )
+            .unwrap();
+            for i in 0..20u64 {
+                db.put_u64(i, b"x".to_vec()).unwrap();
+            }
+            db.flush().unwrap();
+        }
+        // Simulate a crash that left a compaction output blob behind
+        // without a manifest entry.
+        storage
+            .write_blob(&Sstable::blob_name(9_999), b"garbage-orphan")
+            .unwrap();
+        assert!(storage.contains_blob(&Sstable::blob_name(9_999)));
+        let mut db = Lsm::open(
+            Arc::clone(&storage),
+            LsmOptions::default().memtable_capacity(5),
+        )
+        .unwrap();
+        assert!(
+            !storage.contains_blob(&Sstable::blob_name(9_999)),
+            "orphan swept on open"
+        );
+        for i in 0..20u64 {
+            assert_eq!(db.get_u64(i).unwrap(), Some(b"x".to_vec()));
+        }
     }
 
     #[test]

@@ -85,11 +85,13 @@ mod tests {
     #[test]
     fn display_covers_variants() {
         assert!(Error::corruption("bad crc").to_string().contains("bad crc"));
-        assert!(Error::UnknownTable { table_id: 9 }.to_string().contains('9'));
+        assert!(Error::UnknownTable { table_id: 9 }
+            .to_string()
+            .contains('9'));
         assert!(Error::invalid_compaction("empty input")
             .to_string()
             .contains("empty input"));
-        let io: Error = std::io::Error::new(std::io::ErrorKind::Other, "boom").into();
+        let io: Error = std::io::Error::other("boom").into();
         assert!(io.to_string().contains("boom"));
     }
 

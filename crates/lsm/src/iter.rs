@@ -199,9 +199,7 @@ mod tests {
         // largest seqnos; result must be sorted and contain each key once.
         let mut sources = Vec::new();
         for s in 0..16u64 {
-            let entries: Vec<Entry> = (0..100)
-                .map(|k| put(k, &format!("s{s}"), s + 1))
-                .collect();
+            let entries: Vec<Entry> = (0..100).map(|k| put(k, &format!("s{s}"), s + 1)).collect();
             sources.push(entries);
         }
         let merged: Vec<Entry> = MergingIter::new(sources, false).collect();

@@ -29,6 +29,21 @@
 //!   [`Lsm::major_compact`], which physically executes a merge schedule
 //!   produced by the `compaction-core` crate.
 //!
+//! On top of the substrate, the engine **compacts itself** with the
+//! paper's heuristics:
+//!
+//! * [`CompactionPolicy`] decides *when* — after every flush,
+//!   [`Lsm::maybe_compact`] checks the policy (live-table threshold or
+//!   flush cadence) and fires planner-driven compaction;
+//! * the configured [`Strategy`] and [`SizeEstimator`] decide *what
+//!   merges in which order* — [`plan_compaction`] observes the live
+//!   tables and asks `compaction-core`'s planner for an executable
+//!   schedule (no manual [`CompactionStep`] construction);
+//! * [`ParallelExecutor`] decides *how* — independent steps of a
+//!   dependency wave (e.g. one BALANCETREE level) run on scoped threads,
+//!   and manifest edits are applied atomically after the whole plan
+//!   succeeds.
+//!
 //! The engine is deliberately synchronous and single-node: the paper's
 //! problem is per-server merge scheduling, so distribution, replication
 //! and group commit are out of scope. Everything on the compaction path —
@@ -36,16 +51,26 @@
 //!
 //! # Examples
 //!
+//! A store that keeps itself compacted with the paper's recommended
+//! strategy:
+//!
 //! ```
-//! use lsm_engine::{Lsm, LsmOptions};
+//! use lsm_engine::{CompactionPolicy, Lsm, LsmOptions, Strategy};
 //!
 //! # fn main() -> Result<(), lsm_engine::Error> {
-//! let mut db = Lsm::open_in_memory(LsmOptions::default().memtable_capacity(128))?;
+//! let mut db = Lsm::open_in_memory(
+//!     LsmOptions::default()
+//!         .memtable_capacity(128)
+//!         .compaction_policy(CompactionPolicy::Threshold { live_tables: 4 })
+//!         .compaction_strategy(Strategy::BalanceTreeInput),
+//! )?;
 //! for i in 0u64..1_000 {
 //!     db.put_u64(i, format!("value-{i}").into_bytes())?;
 //! }
 //! db.flush()?;
 //! assert_eq!(db.get_u64(42)?, Some(b"value-42".to_vec()));
+//! assert!(db.live_tables().len() < 4, "the engine compacted itself");
+//! assert!(db.stats().auto_compactions >= 1);
 //! # Ok(())
 //! # }
 //! ```
@@ -62,6 +87,8 @@ mod iter;
 mod manifest;
 mod memtable;
 mod options;
+mod parallel;
+mod planner;
 mod sstable;
 mod storage;
 mod types;
@@ -70,13 +97,19 @@ mod wal;
 pub use block::{Block, BlockBuilder};
 pub use bloom::BloomFilter;
 pub use compaction::{CompactionExecutor, CompactionOutcome, CompactionStep};
-pub use db::{Lsm, LsmStats};
+pub use db::{AutoCompaction, Lsm, LsmStats};
 pub use error::Error;
 pub use iter::MergingIter;
 pub use manifest::{Manifest, ManifestEdit, TableMeta};
 pub use memtable::Memtable;
-pub use options::LsmOptions;
+pub use options::{CompactionPolicy, LsmOptions};
+pub use parallel::ParallelExecutor;
+pub use planner::{observe_tables, observed_key, plan_compaction};
 pub use sstable::{Sstable, SstableBuilder, SstableIter, SstableMeta};
 pub use storage::{FileStorage, MemoryStorage, Storage};
 pub use types::{key_from_u64, key_to_u64, Entry, InternalKey, Key, SeqNo, Value, ValueKind};
 pub use wal::{Wal, WalRecord};
+
+// Re-exported so engine users can configure policies without adding a
+// direct `compaction-core` dependency.
+pub use compaction_core::{MergePlan, SizeEstimator, Strategy};

@@ -116,12 +116,14 @@ impl Memtable {
     /// Iterates the buffered entries in key order (the order they will be
     /// written to an sstable on flush).
     pub fn iter(&self) -> impl Iterator<Item = Entry> + '_ {
-        self.entries.iter().map(|(key, (value, seqno, kind))| Entry {
-            key: key.clone(),
-            value: value.clone(),
-            seqno: *seqno,
-            kind: *kind,
-        })
+        self.entries
+            .iter()
+            .map(|(key, (value, seqno, kind))| Entry {
+                key: key.clone(),
+                value: value.clone(),
+                seqno: *seqno,
+                kind: *kind,
+            })
     }
 
     /// Drains the memtable, returning its entries in key order and leaving

@@ -1,25 +1,73 @@
 //! Engine configuration.
 
+use compaction_core::{SizeEstimator, Strategy};
+
+/// When the engine compacts on its own.
+///
+/// Checked by [`Lsm::maybe_compact`](crate::Lsm::maybe_compact) after
+/// every memtable flush. This is the knob that turns the paper's
+/// scheduling heuristics from a library the caller must drive into a
+/// self-compacting engine: the policy decides *when* to compact, the
+/// configured [`Strategy`] decides *what to merge in which order*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CompactionPolicy {
+    /// Never compact, not even via
+    /// [`Lsm::auto_compact`](crate::Lsm::auto_compact) (manually
+    /// constructed [`Lsm::major_compact`](crate::Lsm::major_compact)
+    /// schedules still execute).
+    Disabled,
+    /// No automatic triggering; planner-driven compaction runs only when
+    /// the caller invokes [`Lsm::auto_compact`](crate::Lsm::auto_compact).
+    /// The default, matching the seed engine's behavior.
+    #[default]
+    Manual,
+    /// Compact automatically whenever a flush leaves at least
+    /// `live_tables` sstables live (the analogue of RocksDB's
+    /// `level0_file_num_compaction_trigger`).
+    Threshold {
+        /// Live-table count that triggers a compaction (≥ 2).
+        live_tables: usize,
+    },
+    /// Compact automatically after every `flushes` memtable flushes.
+    EveryNFlushes {
+        /// Flush count between automatic compactions (≥ 1).
+        flushes: u64,
+    },
+}
+
+impl CompactionPolicy {
+    /// `true` if this policy ever fires automatically after a flush.
+    #[must_use]
+    pub fn is_automatic(&self) -> bool {
+        matches!(self, Self::Threshold { .. } | Self::EveryNFlushes { .. })
+    }
+}
+
 /// Configuration for an [`Lsm`](crate::Lsm) instance.
 ///
 /// The defaults mirror the paper's simulator settings: memtables are
 /// bounded by a *key-count* capacity (the paper's "memtable size" is the
 /// number of keys before a flush), compaction fan-in `k = 2`, and
-/// tombstones are dropped during major compaction.
+/// tombstones are dropped during major compaction. Compaction planning
+/// defaults to the paper's recommended `BT(I)` strategy with exact size
+/// observations, triggered manually.
 ///
 /// # Examples
 ///
 /// ```
-/// use lsm_engine::LsmOptions;
+/// use lsm_engine::{CompactionPolicy, LsmOptions};
+/// use compaction_core::Strategy;
 ///
 /// let opts = LsmOptions::default()
 ///     .memtable_capacity(1_000)
 ///     .compaction_fanin(2)
+///     .compaction_policy(CompactionPolicy::Threshold { live_tables: 8 })
+///     .compaction_strategy(Strategy::SmallestOutput)
 ///     .bloom_bits_per_key(10);
 /// assert_eq!(opts.memtable_capacity_keys(), 1_000);
+/// assert!(opts.policy().is_automatic());
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LsmOptions {
     memtable_capacity_keys: usize,
     block_size: usize,
@@ -27,6 +75,10 @@ pub struct LsmOptions {
     compaction_fanin: usize,
     drop_tombstones_on_major_compaction: bool,
     wal_enabled: bool,
+    compaction_policy: CompactionPolicy,
+    compaction_strategy: Strategy,
+    planning_estimator: SizeEstimator,
+    compaction_threads: usize,
 }
 
 impl Default for LsmOptions {
@@ -38,6 +90,10 @@ impl Default for LsmOptions {
             compaction_fanin: 2,
             drop_tombstones_on_major_compaction: true,
             wal_enabled: true,
+            compaction_policy: CompactionPolicy::Manual,
+            compaction_strategy: Strategy::BalanceTreeInput,
+            planning_estimator: SizeEstimator::Exact,
+            compaction_threads: 1,
         }
     }
 }
@@ -95,6 +151,49 @@ impl LsmOptions {
         self
     }
 
+    /// Sets when the engine compacts on its own (default
+    /// [`CompactionPolicy::Manual`]).
+    #[must_use]
+    pub fn compaction_policy(mut self, policy: CompactionPolicy) -> Self {
+        self.compaction_policy = match policy {
+            CompactionPolicy::Threshold { live_tables } => CompactionPolicy::Threshold {
+                live_tables: live_tables.max(2),
+            },
+            CompactionPolicy::EveryNFlushes { flushes } => CompactionPolicy::EveryNFlushes {
+                flushes: flushes.max(1),
+            },
+            other => other,
+        };
+        self
+    }
+
+    /// Sets the merge-scheduling strategy used by policy-driven
+    /// compaction (default [`Strategy::BalanceTreeInput`], the paper's
+    /// recommendation).
+    #[must_use]
+    pub fn compaction_strategy(mut self, strategy: Strategy) -> Self {
+        self.compaction_strategy = strategy;
+        self
+    }
+
+    /// Sets how the planner estimates union sizes: exact counting or
+    /// HyperLogLog sketches (the paper's `SO(E)` variant).
+    #[must_use]
+    pub fn planning_estimator(mut self, estimator: SizeEstimator) -> Self {
+        self.planning_estimator = estimator;
+        self
+    }
+
+    /// Sets the maximum number of merge steps executed concurrently
+    /// within one dependency wave of a compaction (default 1 =
+    /// sequential; BALANCETREE schedules benefit most, as in the paper's
+    /// parallel evaluation).
+    #[must_use]
+    pub fn compaction_threads(mut self, threads: usize) -> Self {
+        self.compaction_threads = threads.max(1);
+        self
+    }
+
     /// Memtable capacity in distinct keys.
     #[must_use]
     pub fn memtable_capacity_keys(&self) -> usize {
@@ -130,6 +229,30 @@ impl LsmOptions {
     pub fn wal_enabled(&self) -> bool {
         self.wal_enabled
     }
+
+    /// The configured compaction policy.
+    #[must_use]
+    pub fn policy(&self) -> CompactionPolicy {
+        self.compaction_policy
+    }
+
+    /// The configured planning strategy.
+    #[must_use]
+    pub fn strategy(&self) -> Strategy {
+        self.compaction_strategy
+    }
+
+    /// The configured planning estimator.
+    #[must_use]
+    pub fn estimator(&self) -> SizeEstimator {
+        self.planning_estimator
+    }
+
+    /// The configured per-wave merge concurrency.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.compaction_threads
+    }
 }
 
 #[cfg(test)]
@@ -144,10 +267,12 @@ mod tests {
             .compaction_fanin(1)
             .bloom_bits_per_key(0)
             .drop_tombstones(false)
+            .compaction_threads(0)
             .wal(false);
         assert_eq!(opts.memtable_capacity_keys(), 1, "capacity clamps to 1");
         assert_eq!(opts.block_size_bytes(), 64, "block size clamps to 64");
         assert_eq!(opts.fanin(), 2, "fan-in clamps to 2");
+        assert_eq!(opts.threads(), 1, "threads clamp to 1");
         assert_eq!(opts.bloom_bits(), 0);
         assert!(!opts.drops_tombstones());
         assert!(!opts.wal_enabled());
@@ -159,5 +284,31 @@ mod tests {
         assert_eq!(opts.memtable_capacity_keys(), 1_000);
         assert_eq!(opts.fanin(), 2);
         assert!(opts.drops_tombstones());
+        assert_eq!(opts.policy(), CompactionPolicy::Manual);
+        assert_eq!(opts.strategy(), Strategy::BalanceTreeInput);
+        assert_eq!(opts.estimator(), SizeEstimator::Exact);
+        assert_eq!(opts.threads(), 1);
+    }
+
+    #[test]
+    fn policy_clamps_and_classifies() {
+        let opts =
+            LsmOptions::default().compaction_policy(CompactionPolicy::Threshold { live_tables: 0 });
+        assert_eq!(
+            opts.policy(),
+            CompactionPolicy::Threshold { live_tables: 2 }
+        );
+        assert!(opts.policy().is_automatic());
+
+        let opts =
+            LsmOptions::default().compaction_policy(CompactionPolicy::EveryNFlushes { flushes: 0 });
+        assert_eq!(
+            opts.policy(),
+            CompactionPolicy::EveryNFlushes { flushes: 1 }
+        );
+        assert!(opts.policy().is_automatic());
+
+        assert!(!CompactionPolicy::Manual.is_automatic());
+        assert!(!CompactionPolicy::Disabled.is_automatic());
     }
 }

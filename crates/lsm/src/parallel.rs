@@ -1,0 +1,472 @@
+//! Parallel, atomic execution of compaction plans.
+//!
+//! The sequential [`CompactionExecutor`](crate::CompactionExecutor)
+//! applies manifest edits step by step. This executor is what
+//! policy-driven compaction uses instead:
+//!
+//! * **parallel** — steps are grouped into dependency waves (see
+//!   [`MergeSchedule::dependency_waves`](compaction_core::MergeSchedule::dependency_waves));
+//!   independent steps of one wave (e.g. the merges inside one
+//!   BALANCETREE level) run concurrently on scoped threads, bounded by
+//!   [`LsmOptions::threads`];
+//! * **atomic** — the manifest is only edited after *every* step has
+//!   succeeded: all output runs are written first, then the manifest
+//!   flips from the old table set to the new one in a single persisted
+//!   update, and only then are the consumed input blobs deleted. A crash
+//!   mid-compaction therefore leaves either the old state plus orphan
+//!   blobs (cleaned on reopen) or the new state plus stale inputs
+//!   (likewise cleaned) — never a manifest referencing missing tables.
+
+use std::sync::Arc;
+
+use crate::compaction::{CompactionOutcome, CompactionStep};
+use crate::iter::MergingIter;
+use crate::manifest::{Manifest, ManifestEdit, TableMeta};
+use crate::options::LsmOptions;
+use crate::sstable::{Sstable, SstableBuilder};
+use crate::storage::Storage;
+use crate::types::Entry;
+use crate::Error;
+
+/// What one merge step produced, reported back from a worker.
+#[derive(Debug)]
+struct StepResult {
+    output_id: u64,
+    entry_count: u64,
+    encoded_len: u64,
+    entries_read: u64,
+    bytes_read: u64,
+}
+
+/// Executes compaction steps wave-parallel with atomic manifest edits.
+#[derive(Debug)]
+pub struct ParallelExecutor {
+    storage: Arc<dyn Storage>,
+    options: LsmOptions,
+}
+
+impl ParallelExecutor {
+    /// Creates an executor reading and writing through `storage`.
+    #[must_use]
+    pub fn new(storage: Arc<dyn Storage>, options: LsmOptions) -> Self {
+        Self { storage, options }
+    }
+
+    /// Groups `steps` into dependency waves over `n_initial` input
+    /// slots: a step is in wave `w` when every input is an initial slot
+    /// or the output of a step in a wave `< w`. Steps within a wave are
+    /// independent and may run concurrently.
+    #[must_use]
+    pub fn waves_for_steps(n_initial: usize, steps: &[CompactionStep]) -> Vec<Vec<usize>> {
+        let mut slot_wave = vec![0usize; n_initial + steps.len()];
+        let mut waves: Vec<Vec<usize>> = Vec::new();
+        for (i, step) in steps.iter().enumerate() {
+            let wave = step
+                .inputs
+                .iter()
+                .map(|&s| slot_wave.get(s).copied().unwrap_or(0))
+                .max()
+                .unwrap_or(0)
+                + 1;
+            slot_wave[n_initial + i] = wave;
+            if waves.len() < wave {
+                waves.resize(wave, Vec::new());
+            }
+            waves[wave - 1].push(i);
+        }
+        waves
+    }
+
+    /// Executes `steps` over the tables listed in `initial_table_ids`
+    /// (slot `i` = `initial_table_ids[i]`).
+    ///
+    /// On success the manifest reflects the post-compaction table set
+    /// and has been persisted. On error the manifest is untouched and
+    /// any partially written output blobs have been removed.
+    ///
+    /// Tombstones are dropped only by the final step, and only when the
+    /// options request it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidCompaction`] for malformed schedules
+    /// (validated up front, before any I/O) and propagates
+    /// storage/corruption errors.
+    pub fn execute(
+        &self,
+        manifest: &mut Manifest,
+        initial_table_ids: &[u64],
+        steps: &[CompactionStep],
+    ) -> Result<CompactionOutcome, Error> {
+        self.execute_inner(manifest, initial_table_ids, steps, None)
+    }
+
+    /// Executes a planner-produced [`MergePlan`](compaction_core::MergePlan)
+    /// directly, reusing the plan's precomputed dependency waves so the
+    /// engine's parallelism is exactly what the plan describes.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ParallelExecutor::execute`].
+    pub fn execute_plan(
+        &self,
+        manifest: &mut Manifest,
+        initial_table_ids: &[u64],
+        plan: &compaction_core::MergePlan,
+    ) -> Result<CompactionOutcome, Error> {
+        let steps: Vec<CompactionStep> = plan
+            .steps()
+            .iter()
+            .map(|inputs| CompactionStep::new(inputs.clone()))
+            .collect();
+        self.execute_inner(manifest, initial_table_ids, &steps, Some(plan.waves()))
+    }
+
+    fn execute_inner(
+        &self,
+        manifest: &mut Manifest,
+        initial_table_ids: &[u64],
+        steps: &[CompactionStep],
+        precomputed_waves: Option<&[Vec<usize>]>,
+    ) -> Result<CompactionOutcome, Error> {
+        if steps.is_empty() {
+            return Ok(CompactionOutcome::default());
+        }
+
+        let n = initial_table_ids.len();
+        // Pre-allocate one output id per step so workers can build tables
+        // without touching the manifest.
+        let output_ids: Vec<u64> = steps.iter().map(|_| manifest.allocate_table_id()).collect();
+
+        // Validate every step and resolve its input table ids up front:
+        // nothing is read or written for a malformed schedule.
+        let mut slots: Vec<Option<u64>> = initial_table_ids.iter().copied().map(Some).collect();
+        let mut step_inputs: Vec<Vec<u64>> = Vec::with_capacity(steps.len());
+        for (step_idx, step) in steps.iter().enumerate() {
+            if step.inputs.len() < 2 {
+                return Err(Error::invalid_compaction(format!(
+                    "step {step_idx} has {} inputs, need at least 2",
+                    step.inputs.len()
+                )));
+            }
+            if step.inputs.len() > self.options.fanin() {
+                return Err(Error::invalid_compaction(format!(
+                    "step {step_idx} reads {} tables but fan-in k = {}",
+                    step.inputs.len(),
+                    self.options.fanin()
+                )));
+            }
+            let mut ids = Vec::with_capacity(step.inputs.len());
+            for &slot in &step.inputs {
+                let id = slots.get(slot).copied().flatten().ok_or_else(|| {
+                    Error::invalid_compaction(format!(
+                        "step {step_idx} references slot {slot} which is unknown or consumed"
+                    ))
+                })?;
+                // Mark consumed immediately: catches duplicate inputs
+                // within one step as well as reuse across steps.
+                slots[slot] = None;
+                ids.push(id);
+            }
+            step_inputs.push(ids);
+            slots.push(Some(output_ids[step_idx]));
+        }
+        // Which output slots survive the whole schedule (for a complete
+        // schedule: exactly the final output).
+        let surviving_outputs: Vec<usize> = (0..steps.len())
+            .filter(|&i| slots[n + i].is_some())
+            .collect();
+        let consumed_initial: Vec<u64> = (0..n)
+            .filter(|&s| slots[s].is_none())
+            .map(|s| initial_table_ids[s])
+            .collect();
+
+        let waves = match precomputed_waves {
+            Some(waves) => waves.to_vec(),
+            None => Self::waves_for_steps(n, steps),
+        };
+        let mut results: Vec<Option<StepResult>> = (0..steps.len()).map(|_| None).collect();
+        let mut written_blobs: Vec<String> = Vec::new();
+
+        for wave in &waves {
+            for chunk in wave.chunks(self.options.threads().max(1)) {
+                let chunk_results: Vec<(usize, Result<StepResult, Error>)> =
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = chunk
+                            .iter()
+                            .map(|&step_idx| {
+                                let input_ids = &step_inputs[step_idx];
+                                let output_id = output_ids[step_idx];
+                                let drop_tombstones =
+                                    step_idx + 1 == steps.len() && self.options.drops_tombstones();
+                                scope.spawn(move || {
+                                    (
+                                        step_idx,
+                                        self.merge_step(input_ids, output_id, drop_tombstones),
+                                    )
+                                })
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().expect("compaction worker panicked"))
+                            .collect()
+                    });
+                // Record every success first: a concurrently-run step may
+                // have written its blob even if a sibling failed, and the
+                // rollback below must see all of them.
+                let mut first_error = None;
+                for (step_idx, result) in chunk_results {
+                    match result {
+                        Ok(step_result) => {
+                            written_blobs.push(Sstable::blob_name(step_result.output_id));
+                            results[step_idx] = Some(step_result);
+                        }
+                        Err(e) => {
+                            // Best-effort: a step can fail after its
+                            // output blob hit storage.
+                            let _ = self
+                                .storage
+                                .delete_blob(&Sstable::blob_name(output_ids[step_idx]));
+                            first_error = first_error.or(Some(e));
+                        }
+                    }
+                }
+                if let Some(e) = first_error {
+                    // Roll back: remove everything written so far; the
+                    // manifest was never touched.
+                    for blob in &written_blobs {
+                        let _ = self.storage.delete_blob(blob);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+
+        // All steps succeeded: flip the manifest in one atomic update.
+        let mut outcome = CompactionOutcome::default();
+        for result in results.iter().flatten() {
+            outcome.merge_ops += 1;
+            outcome.entries_read += result.entries_read;
+            outcome.bytes_read += result.bytes_read;
+            outcome.entries_written += result.entry_count;
+            outcome.bytes_written += result.encoded_len;
+        }
+        outcome.final_table_id = results.last().and_then(|r| r.as_ref()).map(|r| r.output_id);
+
+        for &table_id in &consumed_initial {
+            manifest.apply(ManifestEdit::RemoveTable { table_id })?;
+        }
+        for &step_idx in &surviving_outputs {
+            let result = results[step_idx].as_ref().expect("step executed");
+            manifest.apply(ManifestEdit::AddTable(TableMeta {
+                table_id: result.output_id,
+                entry_count: result.entry_count,
+                encoded_len: result.encoded_len,
+            }))?;
+        }
+        manifest.persist(self.storage.as_ref())?;
+
+        // Only now is it safe to delete consumed inputs and intermediates.
+        for &table_id in &consumed_initial {
+            self.storage.delete_blob(&Sstable::blob_name(table_id))?;
+        }
+        for (step_idx, result) in results.iter().enumerate() {
+            let result = result.as_ref().expect("step executed");
+            if !surviving_outputs.contains(&step_idx) {
+                self.storage
+                    .delete_blob(&Sstable::blob_name(result.output_id))?;
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// One worker merge: read the input runs, merge-sort them with
+    /// newest-wins semantics, write the output run under `output_id`.
+    fn merge_step(
+        &self,
+        input_ids: &[u64],
+        output_id: u64,
+        drop_tombstones: bool,
+    ) -> Result<StepResult, Error> {
+        let mut sources: Vec<Vec<Entry>> = Vec::with_capacity(input_ids.len());
+        let mut entries_read = 0u64;
+        let mut bytes_read = 0u64;
+        for &id in input_ids {
+            let table = Sstable::load(self.storage.as_ref(), id)?;
+            bytes_read += table.encoded_len();
+            entries_read += table.entry_count();
+            let entries: Result<Vec<Entry>, Error> = table.iter().collect();
+            sources.push(entries?);
+        }
+        let merged = MergingIter::new(sources, drop_tombstones);
+        let mut builder = SstableBuilder::new(
+            output_id,
+            self.options.block_size_bytes(),
+            self.options.bloom_bits(),
+        );
+        for entry in merged {
+            builder.add(&entry);
+        }
+        let (data, meta) = builder.finish();
+        self.storage
+            .write_blob(&Sstable::blob_name(output_id), &data)?;
+        Ok(StepResult {
+            output_id,
+            entry_count: meta.entry_count,
+            encoded_len: meta.encoded_len,
+            entries_read,
+            bytes_read,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemoryStorage;
+    use crate::types::key_from_u64;
+    use bytes::Bytes;
+
+    fn make_table(storage: &dyn Storage, manifest: &mut Manifest, keys: &[u64], seq: u64) -> u64 {
+        let id = manifest.allocate_table_id();
+        let mut builder = SstableBuilder::new(id, 4096, 10);
+        let mut sorted = keys.to_vec();
+        sorted.sort_unstable();
+        for &k in &sorted {
+            builder.add(&Entry::put(
+                key_from_u64(k),
+                Bytes::from(format!("v{k}-s{seq}")),
+                seq,
+            ));
+        }
+        let (data, meta) = builder.finish();
+        storage.write_blob(&Sstable::blob_name(id), &data).unwrap();
+        manifest
+            .apply(ManifestEdit::AddTable(TableMeta {
+                table_id: id,
+                entry_count: meta.entry_count,
+                encoded_len: meta.encoded_len,
+            }))
+            .unwrap();
+        id
+    }
+
+    fn setup(threads: usize) -> (Arc<MemoryStorage>, Manifest, ParallelExecutor) {
+        let storage = Arc::new(MemoryStorage::new());
+        let manifest = Manifest::new();
+        let exec = ParallelExecutor::new(
+            storage.clone(),
+            LsmOptions::default().compaction_threads(threads),
+        );
+        (storage, manifest, exec)
+    }
+
+    #[test]
+    fn waves_group_independent_steps() {
+        let balanced = vec![
+            CompactionStep::new(vec![0, 1]),
+            CompactionStep::new(vec![2, 3]),
+            CompactionStep::new(vec![4, 5]),
+        ];
+        assert_eq!(
+            ParallelExecutor::waves_for_steps(4, &balanced),
+            vec![vec![0, 1], vec![2]]
+        );
+        let caterpillar = vec![
+            CompactionStep::new(vec![0, 1]),
+            CompactionStep::new(vec![3, 2]),
+        ];
+        assert_eq!(
+            ParallelExecutor::waves_for_steps(3, &caterpillar),
+            vec![vec![0], vec![1]]
+        );
+        assert!(ParallelExecutor::waves_for_steps(3, &[]).is_empty());
+    }
+
+    #[test]
+    fn parallel_execution_matches_sequential_contents() {
+        for threads in [1, 4] {
+            let (storage, mut manifest, exec) = setup(threads);
+            let ids = vec![
+                make_table(storage.as_ref(), &mut manifest, &[1, 2, 3, 5], 1),
+                make_table(storage.as_ref(), &mut manifest, &[1, 2, 3, 4], 2),
+                make_table(storage.as_ref(), &mut manifest, &[3, 4, 5], 3),
+                make_table(storage.as_ref(), &mut manifest, &[6, 7], 4),
+            ];
+            // Balanced schedule: wave 1 = {(0,1), (2,3)}, wave 2 = {(4,5)}.
+            let steps = vec![
+                CompactionStep::new(vec![0, 1]),
+                CompactionStep::new(vec![2, 3]),
+                CompactionStep::new(vec![4, 5]),
+            ];
+            let outcome = exec.execute(&mut manifest, &ids, &steps).unwrap();
+            assert_eq!(outcome.merge_ops, 3, "threads={threads}");
+            assert_eq!(manifest.table_count(), 1);
+            let final_id = outcome.final_table_id.unwrap();
+            let table = Sstable::load(storage.as_ref(), final_id).unwrap();
+            assert_eq!(table.entry_count(), 7, "keys 1..=7 deduplicated");
+            // Newest version of key 3 came from seq 3.
+            let e = table.get(&key_from_u64(3)).unwrap().unwrap();
+            assert_eq!(e.value.as_ref(), b"v3-s3");
+            // All inputs and intermediates are gone from storage.
+            for id in &ids {
+                assert!(!storage.contains_blob(&Sstable::blob_name(*id)));
+            }
+            let blobs = storage.list_blobs();
+            let sst_blobs: Vec<_> = blobs.iter().filter(|b| b.starts_with("sst-")).collect();
+            assert_eq!(sst_blobs.len(), 1, "only the final table remains");
+            // Accounting: reads 4+4, 3+2, 5+5 = 23; writes 5+5+7 = 17.
+            assert_eq!(outcome.entries_read, 23);
+            assert_eq!(outcome.entries_written, 17);
+        }
+    }
+
+    #[test]
+    fn malformed_schedules_fail_before_any_io() {
+        let (storage, mut manifest, exec) = setup(2);
+        let ids = vec![
+            make_table(storage.as_ref(), &mut manifest, &[1], 1),
+            make_table(storage.as_ref(), &mut manifest, &[2], 2),
+        ];
+        let bytes_before = storage.bytes_written();
+        for steps in [
+            vec![CompactionStep::new(vec![0])],
+            vec![CompactionStep::new(vec![0, 9])],
+            vec![CompactionStep::new(vec![0, 0])],
+            vec![
+                CompactionStep::new(vec![0, 1]),
+                CompactionStep::new(vec![0, 2]),
+            ],
+        ] {
+            let err = exec.execute(&mut manifest, &ids, &steps).unwrap_err();
+            assert!(matches!(err, Error::InvalidCompaction { .. }));
+        }
+        assert_eq!(manifest.table_count(), 2, "manifest untouched on error");
+        assert_eq!(storage.bytes_written(), bytes_before, "no I/O on error");
+    }
+
+    #[test]
+    fn empty_schedule_is_a_noop() {
+        let (storage, mut manifest, exec) = setup(2);
+        make_table(storage.as_ref(), &mut manifest, &[1], 1);
+        let ids: Vec<u64> = manifest.tables().iter().map(|t| t.table_id).collect();
+        let outcome = exec.execute(&mut manifest, &ids, &[]).unwrap();
+        assert_eq!(outcome, CompactionOutcome::default());
+        assert_eq!(manifest.table_count(), 1);
+    }
+
+    #[test]
+    fn manifest_persisted_atomically() {
+        let (storage, mut manifest, exec) = setup(2);
+        let ids = vec![
+            make_table(storage.as_ref(), &mut manifest, &[1, 2], 1),
+            make_table(storage.as_ref(), &mut manifest, &[2, 3], 2),
+        ];
+        let steps = vec![CompactionStep::new(vec![0, 1])];
+        exec.execute(&mut manifest, &ids, &steps).unwrap();
+        // The persisted manifest equals the in-memory one.
+        let reloaded = Manifest::load(storage.as_ref()).unwrap();
+        assert_eq!(reloaded, manifest);
+    }
+}

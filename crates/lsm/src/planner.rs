@@ -1,0 +1,178 @@
+//! Observing live sstables and planning their compaction.
+//!
+//! This is the bridge between the engine's physical world (sstables on
+//! storage, identified by table id) and `compaction-core`'s logical one
+//! (key sets in slots). [`observe_tables`] reads each live table and
+//! reduces it to a [`TableObservation`] — 8-byte big-endian keys are
+//! decoded directly, anything else is hashed, which preserves the sizes
+//! and overlap structure the strategies consume. [`plan_compaction`]
+//! then asks a [`StrategyPlanner`] configured from [`LsmOptions`] for an
+//! executable [`MergePlan`].
+
+use compaction_core::{KeySet, MergePlan, Planner, StrategyPlanner, TableObservation};
+
+use crate::manifest::TableMeta;
+use crate::options::LsmOptions;
+use crate::sstable::Sstable;
+use crate::storage::Storage;
+use crate::types::key_to_u64;
+use crate::Error;
+
+/// Reads every listed table and builds one observation per table, in the
+/// given (manifest) order — observation index `i` becomes plan slot `i`.
+///
+/// Tombstones count as keys: they occupy space and must be read and
+/// rewritten by merges, exactly as the paper's model assumes.
+///
+/// # Errors
+///
+/// Propagates storage and corruption errors.
+pub fn observe_tables(
+    storage: &dyn Storage,
+    tables: &[TableMeta],
+) -> Result<Vec<TableObservation>, Error> {
+    let mut observations = Vec::with_capacity(tables.len());
+    for meta in tables {
+        let table = Sstable::load(storage, meta.table_id)?;
+        let mut keys = Vec::with_capacity(table.entry_count() as usize);
+        for entry in table.iter() {
+            let entry = entry?;
+            keys.push(observed_key(&entry.key));
+        }
+        observations.push(TableObservation::new(meta.table_id, KeySet::from_vec(keys)));
+    }
+    Ok(observations)
+}
+
+/// Maps a user key to the logical 64-bit key space the planner models.
+#[must_use]
+pub fn observed_key(user_key: &[u8]) -> u64 {
+    key_to_u64(user_key).unwrap_or_else(|| hll::hash_bytes(user_key))
+}
+
+/// Plans a full compaction of `tables` using the strategy, estimator and
+/// fan-in configured in `options`.
+///
+/// Returns `Ok(None)` when there are fewer than two tables (nothing to
+/// merge). The returned plan references tables by slot in `tables`
+/// order, ready for physical execution via
+/// [`ParallelExecutor::execute_plan`](crate::ParallelExecutor::execute_plan)
+/// (or lower it yourself with
+/// [`MergePlan::steps`](compaction_core::MergePlan::steps)).
+///
+/// # Errors
+///
+/// Propagates storage errors from observation and planning errors from
+/// `compaction-core`.
+pub fn plan_compaction(
+    storage: &dyn Storage,
+    tables: &[TableMeta],
+    options: &LsmOptions,
+) -> Result<Option<MergePlan>, Error> {
+    if tables.len() < 2 {
+        return Ok(None);
+    }
+    let observations = observe_tables(storage, tables)?;
+    let planner = StrategyPlanner::new(options.strategy()).with_estimator(options.estimator());
+    let plan = planner
+        .plan(&observations, options.fanin())
+        .map_err(|e| Error::invalid_compaction(format!("planning failed: {e}")))?;
+    Ok(Some(plan))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::{Manifest, ManifestEdit};
+    use crate::sstable::SstableBuilder;
+    use crate::storage::MemoryStorage;
+    use crate::types::{key_from_u64, Entry};
+    use bytes::Bytes;
+    use compaction_core::Strategy;
+
+    fn make_table(
+        storage: &dyn Storage,
+        manifest: &mut Manifest,
+        keys: &[u64],
+        seq: u64,
+    ) -> TableMeta {
+        let id = manifest.allocate_table_id();
+        let mut builder = SstableBuilder::new(id, 4096, 10);
+        let mut sorted = keys.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        for &k in &sorted {
+            builder.add(&Entry::put(key_from_u64(k), Bytes::from_static(b"v"), seq));
+        }
+        let (data, built) = builder.finish();
+        storage.write_blob(&Sstable::blob_name(id), &data).unwrap();
+        let meta = TableMeta {
+            table_id: id,
+            entry_count: built.entry_count,
+            encoded_len: built.encoded_len,
+        };
+        manifest
+            .apply(ManifestEdit::AddTable(meta.clone()))
+            .unwrap();
+        meta
+    }
+
+    #[test]
+    fn observations_reflect_table_contents() {
+        let storage = MemoryStorage::new();
+        let mut manifest = Manifest::new();
+        let t0 = make_table(&storage, &mut manifest, &[1, 2, 3, 5], 1);
+        let t1 = make_table(&storage, &mut manifest, &[3, 4, 5], 2);
+        let obs = observe_tables(&storage, manifest.tables()).unwrap();
+        assert_eq!(obs.len(), 2);
+        assert_eq!(obs[0].table_id, t0.table_id);
+        assert_eq!(obs[0].keys, KeySet::from_iter([1u64, 2, 3, 5]));
+        assert_eq!(obs[1].table_id, t1.table_id);
+        assert_eq!(obs[1].keys.intersection_size(&obs[0].keys), 2);
+    }
+
+    #[test]
+    fn non_integer_keys_hash_consistently() {
+        let a = observed_key(b"customer/1234");
+        let b = observed_key(b"customer/1234");
+        let c = observed_key(b"customer/1235");
+        assert_eq!(a, b, "hashing is deterministic");
+        assert_ne!(a, c);
+        assert_eq!(
+            observed_key(&key_from_u64(7)),
+            7,
+            "8-byte keys decode exactly"
+        );
+    }
+
+    #[test]
+    fn plan_compaction_lowers_to_steps() {
+        let storage = MemoryStorage::new();
+        let mut manifest = Manifest::new();
+        make_table(&storage, &mut manifest, &[1, 2, 3, 5], 1);
+        make_table(&storage, &mut manifest, &[1, 2, 3, 4], 2);
+        make_table(&storage, &mut manifest, &[3, 4, 5], 3);
+        let options = LsmOptions::default().compaction_strategy(Strategy::SmallestInput);
+        let plan = plan_compaction(&storage, manifest.tables(), &options)
+            .unwrap()
+            .unwrap();
+        assert_eq!(plan.steps().len(), 2, "3 tables, binary fan-in");
+        assert!(plan.steps().iter().all(|inputs| inputs.len() == 2));
+        assert_eq!(plan.waves().iter().map(Vec::len).sum::<usize>(), 2);
+        assert!(plan.predicted_cost_actual() > 0);
+    }
+
+    #[test]
+    fn fewer_than_two_tables_is_a_noop_plan() {
+        let storage = MemoryStorage::new();
+        let mut manifest = Manifest::new();
+        let options = LsmOptions::default();
+        assert!(plan_compaction(&storage, manifest.tables(), &options)
+            .unwrap()
+            .is_none());
+        make_table(&storage, &mut manifest, &[1], 1);
+        assert!(plan_compaction(&storage, manifest.tables(), &options)
+            .unwrap()
+            .is_none());
+    }
+}

@@ -174,6 +174,17 @@ impl Sstable {
         format!("sst-{table_id:012}.sst")
     }
 
+    /// Parses a table id back out of a blob name produced by
+    /// [`Sstable::blob_name`]; `None` for any other blob (manifest, WAL
+    /// segments, temporaries).
+    #[must_use]
+    pub fn id_from_blob_name(name: &str) -> Option<u64> {
+        name.strip_prefix("sst-")?
+            .strip_suffix(".sst")?
+            .parse()
+            .ok()
+    }
+
     /// Decodes an sstable from its encoded bytes.
     ///
     /// # Errors
@@ -291,7 +302,9 @@ impl Sstable {
             return Ok(None);
         }
         // Binary search the index for the first block whose last key >= key.
-        let block_idx = self.index.partition_point(|(last, _, _)| last.as_ref() < key);
+        let block_idx = self
+            .index
+            .partition_point(|(last, _, _)| last.as_ref() < key);
         if block_idx >= self.index.len() {
             return Ok(None);
         }
@@ -373,7 +386,11 @@ mod tests {
             let entry = if i % 11 == 0 {
                 Entry::tombstone(key_from_u64(i), 1_000 + i)
             } else {
-                Entry::put(key_from_u64(i), Bytes::from(format!("value-{i}")), 1_000 + i)
+                Entry::put(
+                    key_from_u64(i),
+                    Bytes::from(format!("value-{i}")),
+                    1_000 + i,
+                )
             };
             builder.add(&entry);
         }
@@ -391,7 +408,10 @@ mod tests {
         let table = Sstable::decode(7, data).unwrap();
         assert_eq!(table.table_id(), 7);
         assert_eq!(table.entry_count(), 1_000);
-        assert!(table.block_count() > 1, "small block size must yield several blocks");
+        assert!(
+            table.block_count() > 1,
+            "small block size must yield several blocks"
+        );
         assert_eq!(table.min_key(), Some(key_from_u64(0)));
         assert_eq!(table.max_key(), Some(key_from_u64(999)));
 

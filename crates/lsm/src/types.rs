@@ -3,7 +3,7 @@
 use bytes::Bytes;
 
 /// A user key. Keys are arbitrary byte strings ordered lexicographically;
-/// the helper [`Key::from_u64`] produces big-endian encoded integer keys
+/// the helper [`key_from_u64`] produces big-endian encoded integer keys
 /// whose byte order matches numeric order, which is what the workload
 /// generator and the compaction theory use.
 pub type Key = Bytes;

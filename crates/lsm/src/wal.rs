@@ -168,7 +168,7 @@ mod tests {
             key: key_from_u64(i),
             value: Bytes::from(format!("v{i}")),
             seqno: i,
-            kind: if i % 5 == 0 {
+            kind: if i.is_multiple_of(5) {
                 ValueKind::Tombstone
             } else {
                 ValueKind::Put
@@ -230,7 +230,9 @@ mod tests {
             wal.append(&storage, &record(i)).unwrap();
         }
         let blob = storage.read_blob("wal-3").unwrap();
-        storage.write_blob("wal-3", &blob[..blob.len() - 5]).unwrap();
+        storage
+            .write_blob("wal-3", &blob[..blob.len() - 5])
+            .unwrap();
         let replayed = Wal::replay(&storage, "wal-3").unwrap();
         assert_eq!(replayed.len(), 4);
     }

@@ -382,7 +382,9 @@ impl Fig9Config {
     #[must_use]
     pub fn run(&self) -> Vec<Fig9Row> {
         let xs: Vec<u64> = match self.sweep {
-            Fig9Sweep::UpdatePercent => self.update_percents.iter().map(|&p| u64::from(p)).collect(),
+            Fig9Sweep::UpdatePercent => {
+                self.update_percents.iter().map(|&p| u64::from(p)).collect()
+            }
             Fig9Sweep::OperationCount => self.operation_counts.clone(),
         };
         let mut rows = Vec::new();
@@ -447,7 +449,10 @@ mod tests {
     fn fig7_quick_run_shape_and_trends() {
         let rows = Fig7Config::quick().run();
         let config = Fig7Config::quick();
-        assert_eq!(rows.len(), config.update_percents.len() * config.strategies.len());
+        assert_eq!(
+            rows.len(),
+            config.update_percents.len() * config.strategies.len()
+        );
 
         // Cost decreases as the update percentage grows (paper, Section 5.2).
         for &strategy in &config.strategies {
@@ -488,7 +493,10 @@ mod tests {
         let rows = Fig8Config::quick().run();
         assert!(!rows.is_empty());
         for row in &rows {
-            assert!(row.cost.mean >= row.lopt.mean, "cost can never beat the lower bound");
+            assert!(
+                row.cost.mean >= row.lopt.mean,
+                "cost can never beat the lower bound"
+            );
             // The worst case against LOPT is the 2·(⌈log₂ n⌉ + 1) factor of
             // cost_actual over disjoint sstables (Lemma 4.5 regime); the
             // measured ratio must stay below that analytic ceiling.

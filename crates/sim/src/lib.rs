@@ -20,6 +20,11 @@
 //! size grows) and Figure 9 (cost vs time for SI), and [`report`] renders
 //! the resulting series as text tables or CSV.
 //!
+//! The [`live_engine`] module goes one step beyond the paper: the same
+//! YCSB stream is driven through the real, policy-driven `lsm-engine`
+//! store under each strategy, validating the simulator's predicted
+//! `cost_actual` against entries a physical engine actually moved.
+//!
 //! # Examples
 //!
 //! ```
@@ -46,12 +51,14 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod experiment;
+pub mod live_engine;
 pub mod phase1;
 pub mod report;
 pub mod runner;
 pub mod stats;
 
 pub use experiment::{Fig7Config, Fig7Row, Fig8Config, Fig8Row, Fig9Config, Fig9Row, Fig9Sweep};
+pub use live_engine::{LiveEngineConfig, LiveEngineRow};
 pub use phase1::SstableGenerator;
 pub use runner::{run_strategy, run_strategy_parallel, RunResult};
 pub use stats::Summary;

@@ -4,6 +4,61 @@
 //! these to print the same rows/series the paper's figures plot.
 
 use crate::experiment::{Fig7Row, Fig8Row, Fig9Row, Fig9Sweep};
+use crate::live_engine::LiveEngineRow;
+
+/// Renders the live-engine rows (measured vs predicted vs simulated
+/// compaction cost per strategy) as a fixed-width text table.
+#[must_use]
+pub fn live_engine_table(rows: &[LiveEngineRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>10}  {:>8}  {:>6}  {:>14}  {:>14}  {:>14}  {:>10}  {:>7}\n",
+        "strategy",
+        "flushes",
+        "autoc",
+        "cost_actual",
+        "predicted",
+        "sim_one_shot",
+        "stall_ms",
+        "ratio"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:>10}  {:>8}  {:>6}  {:>14}  {:>14}  {:>14}  {:>10.2}  {:>7.3}\n",
+            row.strategy.name(),
+            row.flushes,
+            row.auto_compactions,
+            row.cost_actual,
+            row.predicted_cost,
+            row.sim_cost_actual,
+            row.stall.as_secs_f64() * 1e3,
+            row.prediction_ratio(),
+        ));
+    }
+    out
+}
+
+/// Renders the live-engine rows as CSV.
+#[must_use]
+pub fn live_engine_csv(rows: &[LiveEngineRow]) -> String {
+    let mut out = String::from(
+        "strategy,flushes,auto_compactions,cost_actual,predicted_cost,sim_cost_actual,stall_ms,final_tables\n",
+    );
+    for row in rows {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{:.4},{}\n",
+            row.strategy.name(),
+            row.flushes,
+            row.auto_compactions,
+            row.cost_actual,
+            row.predicted_cost,
+            row.sim_cost_actual,
+            row.stall.as_secs_f64() * 1e3,
+            row.final_tables,
+        ));
+    }
+    out
+}
 
 /// Renders the Figure 7 series (cost and time per strategy per update
 /// percentage) as a fixed-width text table.
@@ -30,7 +85,9 @@ pub fn fig7_table(rows: &[Fig7Row]) -> String {
 /// Renders the Figure 7 series as CSV.
 #[must_use]
 pub fn fig7_csv(rows: &[Fig7Row]) -> String {
-    let mut out = String::from("update_percent,strategy,n_sstables,cost_mean,cost_std,time_ms_mean,time_ms_std\n");
+    let mut out = String::from(
+        "update_percent,strategy,n_sstables,cost_mean,cost_std,time_ms_mean,time_ms_std\n",
+    );
     for row in rows {
         out.push_str(&format!(
             "{},{},{},{:.2},{:.2},{:.4},{:.4}\n",
@@ -72,8 +129,9 @@ pub fn fig8_table(rows: &[Fig8Row]) -> String {
 /// Renders the Figure 8 series as CSV.
 #[must_use]
 pub fn fig8_csv(rows: &[Fig8Row]) -> String {
-    let mut out =
-        String::from("distribution,memtable_size,n_sstables,cost_mean,cost_std,lopt_mean,lopt_std,ratio\n");
+    let mut out = String::from(
+        "distribution,memtable_size,n_sstables,cost_mean,cost_std,lopt_mean,lopt_std,ratio\n",
+    );
     for row in rows {
         out.push_str(&format!(
             "{},{},{},{:.2},{:.2},{:.2},{:.2},{:.4}\n",
@@ -117,7 +175,8 @@ pub fn fig9_table(rows: &[Fig9Row]) -> String {
 /// Renders a Figure 9 series as CSV.
 #[must_use]
 pub fn fig9_csv(rows: &[Fig9Row]) -> String {
-    let mut out = String::from("distribution,sweep,x,cost_mean,cost_std,time_ms_mean,time_ms_std\n");
+    let mut out =
+        String::from("distribution,sweep,x,cost_mean,cost_std,time_ms_mean,time_ms_std\n");
     for row in rows {
         let sweep = match row.sweep {
             Fig9Sweep::UpdatePercent => "update_percent",

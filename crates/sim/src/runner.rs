@@ -118,36 +118,24 @@ fn build_result(
     }
 }
 
-/// Groups the schedule's operations into dependency waves: an operation
-/// is in wave `w` if all of its inputs are initial sets or outputs of
-/// waves `< w`. Operations within a wave are independent and are merged
-/// on separate threads.
+/// Executes the schedule wave-by-wave using
+/// [`MergeSchedule::dependency_waves`]: operations within a wave are
+/// independent and are merged on separate threads, exactly as the
+/// paper's simulator parallelizes BALANCETREE levels.
 fn execute_parallel(schedule: &MergeSchedule, sstables: &[KeySet]) -> Vec<KeySet> {
     let n = schedule.n_initial();
-    // Wave of each slot: initial sets are wave 0.
-    let mut slot_wave = vec![0usize; n + schedule.len()];
-    let mut op_wave = vec![0usize; schedule.len()];
-    for (i, op) in schedule.ops().iter().enumerate() {
-        let wave = op.inputs.iter().map(|&s| slot_wave[s]).max().unwrap_or(0) + 1;
-        op_wave[i] = wave;
-        slot_wave[n + i] = wave;
-    }
-    let max_wave = op_wave.iter().copied().max().unwrap_or(0);
-
     let mut slots: Vec<Option<KeySet>> = sstables.iter().cloned().map(Some).collect();
     slots.resize(n + schedule.len(), None);
-    let mut outputs = Vec::with_capacity(schedule.len());
 
-    for wave in 1..=max_wave {
-        let wave_ops: Vec<usize> = (0..schedule.len()).filter(|&i| op_wave[i] == wave).collect();
+    for wave_ops in schedule.dependency_waves() {
         // Merge every operation of this wave in parallel.
-        let results: Vec<(usize, KeySet)> = crossbeam::thread::scope(|scope| {
+        let results: Vec<(usize, KeySet)> = std::thread::scope(|scope| {
             let slots_ref = &slots;
             let handles: Vec<_> = wave_ops
                 .iter()
                 .map(|&op_idx| {
                     let inputs = &schedule.ops()[op_idx].inputs;
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let merged = KeySet::union_many(
                             inputs
                                 .iter()
@@ -157,17 +145,18 @@ fn execute_parallel(schedule: &MergeSchedule, sstables: &[KeySet]) -> Vec<KeySet
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("merge thread")).collect()
-        })
-        .expect("thread scope");
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("merge thread"))
+                .collect()
+        });
         for (op_idx, merged) in results {
             slots[n + op_idx] = Some(merged);
         }
     }
-    for i in 0..schedule.len() {
-        outputs.push(slots[n + i].clone().unwrap_or_default());
-    }
-    outputs
+    (0..schedule.len())
+        .map(|i| slots[n + i].clone().unwrap_or_default())
+        .collect()
 }
 
 #[cfg(test)]
@@ -188,7 +177,10 @@ mod tests {
         assert_eq!(result.merge_ops, 11);
         assert!(result.cost >= result.lopt);
         assert!(result.cost_actual > 0);
-        assert!(result.tree_height >= 4, "SI over equal sizes is near-balanced");
+        assert!(
+            result.tree_height >= 4,
+            "SI over equal sizes is near-balanced"
+        );
         assert!(result.total_time() >= result.merge_time);
     }
 

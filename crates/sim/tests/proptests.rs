@@ -86,7 +86,7 @@ proptest! {
             prop_assert!(result.cost >= result.lopt);
             prop_assert!(result.cost_actual + result.lopt >= result.cost);
             prop_assert!(result.tree_height >= 1);
-            prop_assert!(result.tree_height <= sstables.len() - 1);
+            prop_assert!(result.tree_height < sstables.len());
         }
     }
 }

@@ -12,8 +12,10 @@ use crate::DEFAULT_ZIPFIAN_CONSTANT;
 /// Which request distribution the run phase draws keys from.
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Default)]
 pub enum Distribution {
     /// Every existing key is equally likely to be chosen.
+    #[default]
     Uniform,
     /// A scrambled power-law over the key space: a few keys are hot
     /// regardless of when they were inserted. `theta` is the zipfian
@@ -45,12 +47,6 @@ impl Distribution {
             Distribution::Zipfian { .. } => "zipfian",
             Distribution::Latest => "latest",
         }
-    }
-}
-
-impl Default for Distribution {
-    fn default() -> Self {
-        Distribution::Uniform
     }
 }
 
@@ -142,7 +138,8 @@ impl ZipfianChooser {
             self.zeta_n = zeta_static(n, self.theta);
         }
         self.count_for_zeta = n;
-        self.eta = (1.0 - (2.0 / n as f64).powf(1.0 - self.theta)) / (1.0 - self.zeta2 / self.zeta_n);
+        self.eta =
+            (1.0 - (2.0 / n as f64).powf(1.0 - self.theta)) / (1.0 - self.zeta2 / self.zeta_n);
     }
 
     /// Draws a zipfian rank in `0..n` (0 = hottest).
@@ -311,7 +308,9 @@ mod tests {
         let mut c = LatestChooser::new();
         let n = 1_000;
         let hist = histogram(&mut c, n, 50_000);
-        let recent: usize = (n - 50..n).map(|k| hist.get(&k).copied().unwrap_or(0)).sum();
+        let recent: usize = (n - 50..n)
+            .map(|k| hist.get(&k).copied().unwrap_or(0))
+            .sum();
         let old: usize = (0..50).map(|k| hist.get(&k).copied().unwrap_or(0)).sum();
         assert!(
             recent > old * 5,

@@ -173,9 +173,10 @@ mod tests {
         let gen = s.generator();
         let ops: Vec<_> = gen.load_phase().collect();
         assert_eq!(ops.len(), 1_000);
-        assert!(ops.iter().enumerate().all(|(i, op)| {
-            op.kind == OperationKind::Insert && op.key == i as u64
-        }));
+        assert!(ops
+            .iter()
+            .enumerate()
+            .all(|(i, op)| { op.kind == OperationKind::Insert && op.key == i as u64 }));
     }
 
     #[test]
@@ -210,8 +211,14 @@ mod tests {
     fn proportions_are_respected_approximately() {
         let s = spec(60, Distribution::Uniform);
         let ops: Vec<_> = s.generator().run_phase().collect();
-        let updates = ops.iter().filter(|o| o.kind == OperationKind::Update).count();
-        let inserts = ops.iter().filter(|o| o.kind == OperationKind::Insert).count();
+        let updates = ops
+            .iter()
+            .filter(|o| o.kind == OperationKind::Update)
+            .count();
+        let inserts = ops
+            .iter()
+            .filter(|o| o.kind == OperationKind::Insert)
+            .count();
         let frac = updates as f64 / ops.len() as f64;
         assert!((frac - 0.6).abs() < 0.02, "update fraction {frac}");
         assert_eq!(updates + inserts, ops.len());
@@ -293,6 +300,9 @@ mod tests {
         let ops: Vec<_> = s.generator().run_phase().collect();
         let high = ops.iter().filter(|o| o.key >= 9_000).count();
         let low = ops.iter().filter(|o| o.key < 1_000).count();
-        assert!(high > low * 3, "latest should hit recent keys: high={high} low={low}");
+        assert!(
+            high > low * 3,
+            "latest should hit recent keys: high={high} low={low}"
+        );
     }
 }

@@ -87,7 +87,10 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        assert_eq!(Operation::new(OperationKind::Update, 7).to_string(), "update(7)");
+        assert_eq!(
+            Operation::new(OperationKind::Update, 7).to_string(),
+            "update(7)"
+        );
         assert_eq!(OperationKind::Scan.to_string(), "scan");
     }
 }

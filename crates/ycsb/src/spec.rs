@@ -288,7 +288,10 @@ mod tests {
                 .update_proportion(-0.5)
                 .insert_proportion(1.5)
                 .build(),
-            Err(Error::NegativeProportion { field: "update", .. })
+            Err(Error::NegativeProportion {
+                field: "update",
+                ..
+            })
         ));
     }
 

@@ -20,10 +20,7 @@ fn main() {
         .expect("valid workload");
     let sstables = SstableGenerator::new(400).generate(&spec);
     let lopt = lopt_lower_bound(&sstables);
-    println!(
-        "{} sstables, LOPT = {lopt}\n",
-        sstables.len()
-    );
+    println!("{} sstables, LOPT = {lopt}\n", sstables.len());
 
     println!(
         "{:>4}  {:>10}  {:>12}  {:>12}  {:>11}  {:>8}",

@@ -1,16 +1,24 @@
 //! End-to-end use of the LSM storage engine substrate: load a workload,
-//! flush runs, pick a compaction strategy from the scheduling library,
-//! physically execute the resulting merge schedule, and verify reads.
+//! flush runs, then let the engine plan and execute its own major
+//! compaction with a strategy from the scheduling library — no manual
+//! `CompactionStep` construction.
 //!
 //! Run with: `cargo run --release --example lsm_store`
 
-use nosql_compaction::core::{schedule_with, KeySet, Strategy};
-use nosql_compaction::lsm::{CompactionStep, Lsm, LsmOptions};
+use nosql_compaction::core::Strategy;
+use nosql_compaction::lsm::{Lsm, LsmOptions};
 use nosql_compaction::ycsb::{Distribution, OperationKind, WorkloadSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. An LSM store whose memtable flushes every 500 distinct keys.
-    let mut db = Lsm::open_in_memory(LsmOptions::default().memtable_capacity(500).wal(false))?;
+    //    The default policy is Manual: nothing compacts until we ask.
+    let mut db = Lsm::open_in_memory(
+        LsmOptions::default()
+            .memtable_capacity(500)
+            .compaction_strategy(Strategy::BalanceTreeInput)
+            .compaction_threads(2)
+            .wal(false),
+    )?;
 
     // 2. Feed it a YCSB-style update-heavy workload.
     let spec = WorkloadSpec::builder()
@@ -34,32 +42,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         db.stats().puts
     );
 
-    // 3. Choose a merge schedule with the paper's recommended strategy,
-    //    using each live table's key count as the set model.
-    let sets: Vec<KeySet> = db
-        .live_tables()
-        .iter()
-        .map(|t| KeySet::from_range(t.table_id * 1_000_000..t.table_id * 1_000_000 + t.entry_count))
-        .collect();
-    let schedule = schedule_with(Strategy::BalanceTreeInput, &sets, 2)?;
-    let steps: Vec<CompactionStep> = schedule
-        .ops()
-        .iter()
-        .map(|op| CompactionStep::new(op.inputs.clone()))
-        .collect();
-
-    // 4. Execute the schedule physically.
-    let outcome = db.major_compact(&steps)?;
+    // 3. One call: the engine observes its live tables, plans a merge
+    //    schedule with the paper's recommended BT(I) strategy, and
+    //    executes it (independent merges of each level in parallel).
+    let run = db.auto_compact()?.expect("several tables to compact");
     println!(
-        "major compaction: {} merges, {} entries read, {} entries written, {} bytes of I/O",
-        outcome.merge_ops,
-        outcome.entries_read,
-        outcome.entries_written,
-        outcome.byte_cost()
+        "planned {} merges with {} ({} waves), predicted cost_actual = {} entries",
+        run.plan.steps().len(),
+        run.plan.strategy(),
+        run.plan.waves().len(),
+        run.plan.predicted_cost_actual(),
+    );
+    println!(
+        "executed: {} entries read, {} written, {} bytes of I/O, {:.2} ms",
+        run.outcome.entries_read,
+        run.outcome.entries_written,
+        run.outcome.byte_cost(),
+        run.stall.as_secs_f64() * 1e3,
     );
     println!("live sstables after compaction: {}", db.live_tables().len());
 
-    // 5. Verify: every key written and not deleted is still readable.
+    // 4. Verify: every key written and not deleted is still readable.
     let mut verified = 0u64;
     for key in 0u64..2_000 {
         if db.get_u64(key)?.is_some() {
@@ -67,6 +70,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     println!("{verified} of the 2000 loaded keys are readable after compaction");
-    assert_eq!(db.live_tables().len(), 1, "major compaction leaves one sstable");
+    assert_eq!(
+        db.live_tables().len(),
+        1,
+        "major compaction leaves one sstable"
+    );
+    assert_eq!(
+        run.outcome.entry_cost(),
+        run.plan.predicted_cost_actual(),
+        "the planner's model matches the physical engine exactly"
+    );
     Ok(())
 }

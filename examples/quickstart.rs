@@ -10,7 +10,10 @@ use nosql_compaction::core::{schedule_with, KeySet, MergeSchedule, Strategy};
 
 fn describe(label: &str, schedule: &MergeSchedule, sets: &[KeySet]) {
     println!("== {label} ==");
-    println!("  merge operations (slots 0..{} are the input sstables):", sets.len() - 1);
+    println!(
+        "  merge operations (slots 0..{} are the input sstables):",
+        sets.len() - 1
+    );
     for (i, op) in schedule.ops().iter().enumerate() {
         let output = schedule.outputs(sets)[i].len();
         println!(
@@ -22,7 +25,10 @@ fn describe(label: &str, schedule: &MergeSchedule, sets: &[KeySet]) {
         );
     }
     println!("  simplified cost (eq. 2.1): {}", schedule.cost(sets));
-    println!("  disk I/O cost (cost_actual): {}", schedule.cost_actual(sets));
+    println!(
+        "  disk I/O cost (cost_actual): {}",
+        schedule.cost_actual(sets)
+    );
     println!("  merge tree height: {}", schedule.to_tree().height());
     println!();
 }

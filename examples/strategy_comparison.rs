@@ -42,17 +42,32 @@ fn main() {
         all_strategies().iter().map(|&s| (s, 0.0, 0.0f64)).collect();
     for _ in 0..trials {
         let sets = random_instance(&mut rng, 8);
-        let opt = optimal_schedule(&sets, 2).expect("small instance").cost(&sets) as f64;
+        let opt = optimal_schedule(&sets, 2)
+            .expect("small instance")
+            .cost(&sets) as f64;
         for (strategy, total, worst) in &mut totals {
-            let cost = schedule_with(*strategy, &sets, 2).expect("valid").cost(&sets) as f64;
+            let cost = schedule_with(*strategy, &sets, 2)
+                .expect("valid")
+                .cost(&sets) as f64;
             *total += cost / opt;
             *worst = worst.max(cost / opt);
         }
     }
-    println!("# Heuristic vs exhaustive optimum ({} random 8-set instances)", trials);
-    println!("{:>10}  {:>10}  {:>10}", "strategy", "mean/OPT", "worst/OPT");
+    println!(
+        "# Heuristic vs exhaustive optimum ({} random 8-set instances)",
+        trials
+    );
+    println!(
+        "{:>10}  {:>10}  {:>10}",
+        "strategy", "mean/OPT", "worst/OPT"
+    );
     for (strategy, total, worst) in &totals {
-        println!("{:>10}  {:>10.4}  {:>10.4}", strategy.name(), total / trials as f64, worst);
+        println!(
+            "{:>10}  {:>10.4}  {:>10.4}",
+            strategy.name(),
+            total / trials as f64,
+            worst
+        );
     }
 
     // Part 2: the adversarial instances from the analysis.

@@ -14,7 +14,9 @@
 //!   Random, FreqBinaryMerging), exact reference solvers and lower bounds.
 //! * [`lsm`] (`lsm-engine`) — an embeddable LSM storage engine
 //!   (memtable, sstables, bloom filters, WAL, manifest, merge iterators)
-//!   that physically executes merge schedules.
+//!   that physically executes merge schedules — and, configured with a
+//!   `CompactionPolicy`, plans and runs its own compactions with the
+//!   paper's strategies (parallel across independent merge steps).
 //! * [`ycsb`] (`ycsb-gen`) — a YCSB-style workload generator (uniform /
 //!   zipfian / latest request distributions, load and run phases).
 //! * [`hll`] — HyperLogLog cardinality estimation, used by the

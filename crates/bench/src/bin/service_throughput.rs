@@ -1,0 +1,51 @@
+//! Regenerates the service throughput report: closed-loop YCSB clients
+//! against the live sharded KV server over TCP, swept per shard count
+//! and per compaction strategy — the end-to-end "serving while
+//! compacting" experiment.
+//!
+//! Run with:
+//! `cargo run --release --bin service_throughput [--quick] [--csv] [--json PATH]`
+
+use compaction_sim::report::{
+    service_throughput_csv, service_throughput_json, service_throughput_table,
+};
+use compaction_sim::ServiceThroughputConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv = args.iter().any(|a| a == "--csv");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let config = if quick {
+        ServiceThroughputConfig::quick()
+    } else {
+        ServiceThroughputConfig::default_paper()
+    };
+    eprintln!(
+        "service-throughput: {} ops ({}% updates), {} clients, shards {:?}, {} strategies, \
+         memtable {}, trigger {} tables",
+        config.operation_count,
+        config.update_percent,
+        config.clients,
+        config.shard_counts,
+        config.strategies.len(),
+        config.memtable_capacity,
+        config.trigger_tables,
+    );
+    let rows = config.run();
+    if csv {
+        print!("{}", service_throughput_csv(&rows));
+    } else {
+        print!("{}", service_throughput_table(&rows));
+    }
+    if let Some(path) = json_path {
+        std::fs::write(&path, service_throughput_json(&rows))
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+}

@@ -7,12 +7,14 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use compaction_core::MergePlan;
 
+use crate::batch::WriteBatch;
 use crate::compaction::{CompactionOutcome, CompactionStep};
 use crate::manifest::{Manifest, ManifestEdit, TableMeta};
 use crate::memtable::Memtable;
+use crate::observation::TableKeyObservation;
 use crate::options::{CompactionPolicy, LsmOptions};
 use crate::parallel::ParallelExecutor;
-use crate::planner::plan_compaction;
+use crate::planner::{observed_key, plan_compaction};
 use crate::sstable::{Sstable, SstableBuilder};
 use crate::storage::{FileStorage, MemoryStorage, Storage};
 use crate::types::{key_from_u64, Entry, Key, Value, ValueKind};
@@ -60,6 +62,9 @@ pub struct LsmStats {
     pub puts: u64,
     /// Number of delete operations accepted.
     pub deletes: u64,
+    /// Number of [`WriteBatch`] applications accepted (their individual
+    /// operations also count into [`LsmStats::puts`] / [`LsmStats::deletes`]).
+    pub write_batches: u64,
     /// Number of point reads served.
     pub gets: u64,
     /// Number of memtable flushes performed.
@@ -103,6 +108,27 @@ impl LsmStats {
         self.compaction_bytes_read + self.compaction_bytes_written
     }
 
+    /// Adds every counter of `other` into `self`. This is how a sharded
+    /// deployment aggregates statistics across shards: each shard keeps
+    /// its own `LsmStats` and the service folds them together on demand.
+    pub fn absorb(&mut self, other: &LsmStats) {
+        self.puts += other.puts;
+        self.deletes += other.deletes;
+        self.write_batches += other.write_batches;
+        self.gets += other.gets;
+        self.flushes += other.flushes;
+        self.tables_probed += other.tables_probed;
+        self.memtable_hits += other.memtable_hits;
+        self.compactions += other.compactions;
+        self.auto_compactions += other.auto_compactions;
+        self.compaction_entries_read += other.compaction_entries_read;
+        self.compaction_entries_written += other.compaction_entries_written;
+        self.compaction_bytes_read += other.compaction_bytes_read;
+        self.compaction_bytes_written += other.compaction_bytes_written;
+        self.compaction_stall += other.compaction_stall;
+        self.compaction_predicted_cost += other.compaction_predicted_cost;
+    }
+
     fn record_compaction(&mut self, outcome: &CompactionOutcome, stall: Duration) {
         self.compactions += 1;
         self.compaction_entries_read += outcome.entries_read;
@@ -135,12 +161,15 @@ impl Lsm {
     /// recovery.
     pub fn open(storage: Arc<dyn Storage>, options: LsmOptions) -> Result<Self, Error> {
         let manifest = Manifest::load(storage.as_ref())?;
-        // Sweep orphan sstable blobs: a crash between writing compaction
-        // outputs and persisting the manifest (or between persisting and
-        // deleting consumed inputs) leaves blobs the manifest does not
-        // reference. They are invisible to reads and safe to delete.
+        // Sweep orphan sstable blobs and their key-observation sidecars:
+        // a crash between writing compaction outputs and persisting the
+        // manifest (or between persisting and deleting consumed inputs)
+        // leaves blobs the manifest does not reference. They are
+        // invisible to reads and safe to delete.
         for blob in storage.list_blobs() {
-            if let Some(orphan_id) = Sstable::id_from_blob_name(&blob) {
+            let orphan_id = Sstable::id_from_blob_name(&blob)
+                .or_else(|| TableKeyObservation::id_from_blob_name(&blob));
+            if let Some(orphan_id) = orphan_id {
                 if manifest.table(orphan_id).is_none() {
                     storage.delete_blob(&blob)?;
                 }
@@ -148,7 +177,10 @@ impl Lsm {
         }
         let mut memtable = Memtable::new(options.memtable_capacity_keys());
         let wal = if options.wal_enabled() {
-            // Recover any writes that had not been flushed.
+            // Recover any writes that had not been flushed. Re-persist
+            // them as one frame: a single segment write instead of one
+            // full-segment rewrite per record (and a quiet upgrade of
+            // legacy segments to the count-framed format).
             let records = Wal::replay(storage.as_ref(), WAL_SEGMENT)?;
             let mut wal = Wal::new(WAL_SEGMENT);
             for r in &records {
@@ -156,8 +188,8 @@ impl Lsm {
                     ValueKind::Put => memtable.put(r.key.clone(), r.value.clone(), r.seqno),
                     ValueKind::Tombstone => memtable.delete(r.key.clone(), r.seqno),
                 }
-                wal.append(storage.as_ref(), r)?;
             }
+            wal.append_batch(storage.as_ref(), &records)?;
             Some(wal)
         } else {
             None
@@ -251,6 +283,59 @@ impl Lsm {
         self.maybe_flush()
     }
 
+    /// Applies a [`WriteBatch`]: every operation is appended to the WAL
+    /// as **one frame** and applied to the memtable in **one pass**, with
+    /// at most one flush at the end — instead of one WAL write (and
+    /// possible flush) per key as the single-op path pays.
+    ///
+    /// Crash atomicity: the WAL frame is the unit of checksum
+    /// protection, so recovery replays either the whole batch or none of
+    /// it ([`Wal::append_batch`]). Once this method returns `Ok`, every
+    /// operation of the batch is durable (WAL-persisted) and visible.
+    ///
+    /// An empty batch is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Propagates WAL/storage failures; flush failures if the batch
+    /// fills the memtable. If the WAL append itself fails the memtable
+    /// is untouched (nothing was applied, and a torn frame replays
+    /// all-or-nothing); if a subsequent flush fails the batch has
+    /// already been applied and logged — it is durable and visible
+    /// despite the error.
+    pub fn write_batch(&mut self, batch: WriteBatch) -> Result<(), Error> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let records: Vec<WalRecord> = batch
+            .into_ops()
+            .into_iter()
+            .map(|op| WalRecord {
+                seqno: self.manifest.allocate_seqno(),
+                key: op.key,
+                value: op.value,
+                kind: op.kind,
+            })
+            .collect();
+        if let Some(wal) = &mut self.wal {
+            wal.append_batch(self.storage.as_ref(), &records)?;
+        }
+        for record in records {
+            match record.kind {
+                ValueKind::Put => {
+                    self.memtable.put(record.key, record.value, record.seqno);
+                    self.stats.puts += 1;
+                }
+                ValueKind::Tombstone => {
+                    self.memtable.delete(record.key, record.seqno);
+                    self.stats.deletes += 1;
+                }
+            }
+        }
+        self.stats.write_batches += 1;
+        self.maybe_flush()
+    }
+
     /// Convenience: [`Lsm::put`] with a big-endian-encoded integer key.
     ///
     /// # Errors
@@ -332,12 +417,21 @@ impl Lsm {
             self.options.block_size_bytes(),
             self.options.bloom_bits(),
         );
+        let mut observed = Vec::with_capacity(self.memtable.len());
         for entry in self.memtable.drain_sorted() {
+            observed.push(observed_key(&entry.key));
             builder.add(&entry);
         }
         let (data, meta) = builder.finish();
         self.storage
             .write_blob(&Sstable::blob_name(table_id), &data)?;
+        // Persist the key observation before the manifest references the
+        // table: a crash in between leaves only orphans (swept on open),
+        // never a live table without its sidecar. Best-effort — the
+        // memtable is already drained, so failing the flush over
+        // derivable cache data (the planner falls back to reading the
+        // table) would strand the drained entries.
+        let _ = TableKeyObservation::new(table_id, observed).persist(self.storage.as_ref());
         self.manifest.apply(ManifestEdit::AddTable(TableMeta {
             table_id,
             entry_count: meta.entry_count,
@@ -495,6 +589,11 @@ impl Lsm {
         Ok(())
     }
 }
+
+// The KV service moves `Lsm` shards across threads (each behind its own
+// lock); keep the engine `Send`, checked at compile time.
+const fn assert_send<T: Send>() {}
+const _: () = assert_send::<Lsm>();
 
 /// Maps a (possibly tombstone) entry to the user-visible value.
 fn visible(entry: Entry) -> Option<Value> {
@@ -795,6 +894,154 @@ mod tests {
         );
         for i in 0..20u64 {
             assert_eq!(db.get_u64(i).unwrap(), Some(b"x".to_vec()));
+        }
+    }
+
+    #[test]
+    fn write_batch_applies_in_order_with_one_flush() {
+        let mut db = small_db();
+        let mut batch = WriteBatch::with_capacity(25);
+        for i in 0..25u64 {
+            batch.put_u64(i, format!("b{i}").into_bytes());
+        }
+        batch.delete_u64(3).put_u64(4, b"rewritten".to_vec());
+        db.write_batch(batch).unwrap();
+        // 27 ops against a capacity-10 memtable: one pass, one flush.
+        assert_eq!(db.stats().flushes, 1, "single flush at the end");
+        assert_eq!(db.stats().write_batches, 1);
+        assert_eq!(db.stats().puts, 26);
+        assert_eq!(db.stats().deletes, 1);
+        assert_eq!(db.get_u64(3).unwrap(), None, "in-batch order respected");
+        assert_eq!(db.get_u64(4).unwrap(), Some(b"rewritten".to_vec()));
+        for i in 5..25u64 {
+            assert_eq!(db.get_u64(i).unwrap(), Some(format!("b{i}").into_bytes()));
+        }
+        // Empty batch is a no-op.
+        db.write_batch(WriteBatch::new()).unwrap();
+        assert_eq!(db.stats().write_batches, 1);
+    }
+
+    #[test]
+    fn write_batch_survives_crash_recovery() {
+        let storage: Arc<dyn Storage> = Arc::new(MemoryStorage::new());
+        {
+            let mut db = Lsm::open(
+                Arc::clone(&storage),
+                LsmOptions::default().memtable_capacity(100),
+            )
+            .unwrap();
+            let mut batch = WriteBatch::new();
+            batch
+                .put_u64(1, b"one".to_vec())
+                .put_u64(2, b"two".to_vec())
+                .delete_u64(1);
+            db.write_batch(batch).unwrap();
+            // Dropped without flush: the batch lives only in the WAL.
+        }
+        let mut reopened =
+            Lsm::open(storage, LsmOptions::default().memtable_capacity(100)).unwrap();
+        assert_eq!(reopened.get_u64(1).unwrap(), None);
+        assert_eq!(reopened.get_u64(2).unwrap(), Some(b"two".to_vec()));
+    }
+
+    #[test]
+    fn stats_absorb_sums_counters() {
+        let mut a = LsmStats {
+            puts: 1,
+            gets: 2,
+            flushes: 3,
+            compaction_stall: Duration::from_millis(5),
+            ..LsmStats::default()
+        };
+        let b = LsmStats {
+            puts: 10,
+            deletes: 4,
+            write_batches: 2,
+            compaction_stall: Duration::from_millis(7),
+            ..LsmStats::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.puts, 11);
+        assert_eq!(a.deletes, 4);
+        assert_eq!(a.gets, 2);
+        assert_eq!(a.flushes, 3);
+        assert_eq!(a.write_batches, 2);
+        assert_eq!(a.compaction_stall, Duration::from_millis(12));
+    }
+
+    #[test]
+    fn flush_persists_key_observation_sidecars() {
+        let storage: Arc<dyn Storage> = Arc::new(MemoryStorage::new());
+        let mut db = Lsm::open(
+            Arc::clone(&storage),
+            LsmOptions::default().memtable_capacity(10).wal(false),
+        )
+        .unwrap();
+        for i in 0..5u64 {
+            db.put_u64(i, b"x".to_vec()).unwrap();
+        }
+        let table_id = db.flush().unwrap().expect("flush produced a table");
+        let obs = TableKeyObservation::load(storage.as_ref(), table_id)
+            .unwrap()
+            .expect("sidecar written at flush");
+        assert_eq!(obs.keys, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn orphan_observation_sidecars_are_swept_on_open() {
+        let storage: Arc<dyn Storage> = Arc::new(MemoryStorage::new());
+        {
+            let mut db = Lsm::open(
+                Arc::clone(&storage),
+                LsmOptions::default().memtable_capacity(5),
+            )
+            .unwrap();
+            for i in 0..5u64 {
+                db.put_u64(i, b"x".to_vec()).unwrap();
+            }
+            db.flush().unwrap();
+        }
+        TableKeyObservation::new(8_888, vec![1, 2])
+            .persist(storage.as_ref())
+            .unwrap();
+        let _db = Lsm::open(
+            Arc::clone(&storage),
+            LsmOptions::default().memtable_capacity(5),
+        )
+        .unwrap();
+        assert!(
+            !storage.contains_blob(&TableKeyObservation::blob_name(8_888)),
+            "orphan sidecar swept on open"
+        );
+    }
+
+    #[test]
+    fn compaction_retires_input_observation_sidecars() {
+        let mut db = Lsm::open_in_memory(
+            LsmOptions::default()
+                .memtable_capacity(5)
+                .compaction_policy(CompactionPolicy::Threshold { live_tables: 4 })
+                .wal(false),
+        )
+        .unwrap();
+        for i in 0..60u64 {
+            db.put_u64(i % 20, vec![i as u8]).unwrap();
+        }
+        db.flush().unwrap();
+        assert!(db.stats().auto_compactions >= 1);
+        let storage = db.storage();
+        let live: Vec<u64> = db.live_tables().iter().map(|t| t.table_id).collect();
+        for blob in storage.list_blobs() {
+            if let Some(id) = TableKeyObservation::id_from_blob_name(&blob) {
+                assert!(live.contains(&id), "sidecar {blob} outlived its table");
+            }
+        }
+        // Every live table still has its sidecar.
+        for id in live {
+            assert!(
+                storage.contains_blob(&TableKeyObservation::blob_name(id)),
+                "live table {id} lost its sidecar"
+            );
         }
     }
 

@@ -78,6 +78,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod batch;
 mod block;
 mod bloom;
 mod compaction;
@@ -86,6 +87,7 @@ mod error;
 mod iter;
 mod manifest;
 mod memtable;
+mod observation;
 mod options;
 mod parallel;
 mod planner;
@@ -94,6 +96,7 @@ mod storage;
 mod types;
 mod wal;
 
+pub use batch::{BatchOp, WriteBatch};
 pub use block::{Block, BlockBuilder};
 pub use bloom::BloomFilter;
 pub use compaction::{CompactionExecutor, CompactionOutcome, CompactionStep};
@@ -102,6 +105,7 @@ pub use error::Error;
 pub use iter::MergingIter;
 pub use manifest::{Manifest, ManifestEdit, TableMeta};
 pub use memtable::Memtable;
+pub use observation::TableKeyObservation;
 pub use options::{CompactionPolicy, LsmOptions};
 pub use parallel::ParallelExecutor;
 pub use planner::{observe_tables, observed_key, plan_compaction};

@@ -22,7 +22,9 @@ use std::sync::Arc;
 use crate::compaction::{CompactionOutcome, CompactionStep};
 use crate::iter::MergingIter;
 use crate::manifest::{Manifest, ManifestEdit, TableMeta};
+use crate::observation::TableKeyObservation;
 use crate::options::LsmOptions;
+use crate::planner::observed_key;
 use crate::sstable::{Sstable, SstableBuilder};
 use crate::storage::Storage;
 use crate::types::Entry;
@@ -220,14 +222,20 @@ impl ParallelExecutor {
                     match result {
                         Ok(step_result) => {
                             written_blobs.push(Sstable::blob_name(step_result.output_id));
+                            written_blobs
+                                .push(TableKeyObservation::blob_name(step_result.output_id));
                             results[step_idx] = Some(step_result);
                         }
                         Err(e) => {
                             // Best-effort: a step can fail after its
-                            // output blob hit storage.
+                            // output blob (and sidecar) hit storage.
                             let _ = self
                                 .storage
                                 .delete_blob(&Sstable::blob_name(output_ids[step_idx]));
+                            let _ = TableKeyObservation::delete(
+                                self.storage.as_ref(),
+                                output_ids[step_idx],
+                            );
                             first_error = first_error.or(Some(e));
                         }
                     }
@@ -267,15 +275,18 @@ impl ParallelExecutor {
         }
         manifest.persist(self.storage.as_ref())?;
 
-        // Only now is it safe to delete consumed inputs and intermediates.
+        // Only now is it safe to delete consumed inputs and intermediates
+        // (tables and their key-observation sidecars alike).
         for &table_id in &consumed_initial {
             self.storage.delete_blob(&Sstable::blob_name(table_id))?;
+            TableKeyObservation::delete(self.storage.as_ref(), table_id)?;
         }
         for (step_idx, result) in results.iter().enumerate() {
             let result = result.as_ref().expect("step executed");
             if !surviving_outputs.contains(&step_idx) {
                 self.storage
                     .delete_blob(&Sstable::blob_name(result.output_id))?;
+                TableKeyObservation::delete(self.storage.as_ref(), result.output_id)?;
             }
         }
         Ok(outcome)
@@ -305,12 +316,17 @@ impl ParallelExecutor {
             self.options.block_size_bytes(),
             self.options.bloom_bits(),
         );
+        let mut observed = Vec::new();
         for entry in merged {
+            observed.push(observed_key(&entry.key));
             builder.add(&entry);
         }
         let (data, meta) = builder.finish();
         self.storage
             .write_blob(&Sstable::blob_name(output_id), &data)?;
+        // Sidecar written with the output: future plans over this table
+        // read the observation, not the table.
+        TableKeyObservation::new(output_id, observed).persist(self.storage.as_ref())?;
         Ok(StepResult {
             output_id,
             entry_count: meta.entry_count,

@@ -12,14 +12,22 @@
 use compaction_core::{KeySet, MergePlan, Planner, StrategyPlanner, TableObservation};
 
 use crate::manifest::TableMeta;
+use crate::observation::TableKeyObservation;
 use crate::options::LsmOptions;
 use crate::sstable::Sstable;
 use crate::storage::Storage;
 use crate::types::key_to_u64;
 use crate::Error;
 
-/// Reads every listed table and builds one observation per table, in the
-/// given (manifest) order — observation index `i` becomes plan slot `i`.
+/// Builds one observation per listed table, in the given (manifest)
+/// order — observation index `i` becomes plan slot `i`.
+///
+/// Observations are loaded from the key-observation sidecars the engine
+/// persists whenever it creates a table
+/// ([`TableKeyObservation`](crate::TableKeyObservation)), so planning no
+/// longer reads the full tables that the executor is about to read again
+/// for the merge. Tables without a sidecar (written before the sidecar
+/// format existed) fall back to a full read.
 ///
 /// Tombstones count as keys: they occupy space and must be read and
 /// rewritten by merges, exactly as the paper's model assumes.
@@ -33,6 +41,21 @@ pub fn observe_tables(
 ) -> Result<Vec<TableObservation>, Error> {
     let mut observations = Vec::with_capacity(tables.len());
     for meta in tables {
+        // A corrupt sidecar is treated like a missing one: it is purely
+        // derivable cache data, and wedging every future compaction on
+        // it would turn a flipped bit into a read-only store.
+        let sidecar = match TableKeyObservation::load(storage, meta.table_id) {
+            Ok(obs) => obs,
+            Err(Error::Corruption { .. }) => None,
+            Err(e) => return Err(e),
+        };
+        if let Some(obs) = sidecar {
+            observations.push(TableObservation::new(
+                meta.table_id,
+                KeySet::from_vec(obs.keys),
+            ));
+            continue;
+        }
         let table = Sstable::load(storage, meta.table_id)?;
         let mut keys = Vec::with_capacity(table.entry_count() as usize);
         for entry in table.iter() {
@@ -129,6 +152,60 @@ mod tests {
         assert_eq!(obs[0].keys, KeySet::from_iter([1u64, 2, 3, 5]));
         assert_eq!(obs[1].table_id, t1.table_id);
         assert_eq!(obs[1].keys.intersection_size(&obs[0].keys), 2);
+    }
+
+    #[test]
+    fn sidecar_observations_preempt_table_reads() {
+        let storage = MemoryStorage::new();
+        let mut manifest = Manifest::new();
+        let t0 = make_table(&storage, &mut manifest, &[1, 2, 3], 1);
+        // A sidecar that deliberately disagrees with the table contents:
+        // if the planner still read the table, the observation would be
+        // {1,2,3}, not this.
+        TableKeyObservation::new(t0.table_id, vec![7, 8])
+            .persist(&storage)
+            .unwrap();
+        let read_before = storage.bytes_read();
+        let obs = observe_tables(&storage, manifest.tables()).unwrap();
+        assert_eq!(obs[0].keys, KeySet::from_iter([7u64, 8]));
+        let sidecar_len = storage
+            .read_blob(&TableKeyObservation::blob_name(t0.table_id))
+            .unwrap()
+            .len() as u64;
+        assert!(
+            storage.bytes_read() - read_before <= 2 * sidecar_len,
+            "planning read more than the sidecar"
+        );
+    }
+
+    #[test]
+    fn corrupt_sidecars_fall_back_instead_of_wedging_planning() {
+        let storage = MemoryStorage::new();
+        let mut manifest = Manifest::new();
+        let t0 = make_table(&storage, &mut manifest, &[1, 2, 3], 1);
+        // A sidecar that fails its checksum must be ignored, not fatal.
+        storage
+            .write_blob(
+                &TableKeyObservation::blob_name(t0.table_id),
+                b"not a valid observation",
+            )
+            .unwrap();
+        let obs = observe_tables(&storage, manifest.tables()).unwrap();
+        assert_eq!(
+            obs[0].keys,
+            KeySet::from_iter([1u64, 2, 3]),
+            "fell back to reading the table"
+        );
+    }
+
+    #[test]
+    fn tables_without_sidecars_fall_back_to_a_full_read() {
+        let storage = MemoryStorage::new();
+        let mut manifest = Manifest::new();
+        let t0 = make_table(&storage, &mut manifest, &[4, 5, 6], 1);
+        assert!(!storage.contains_blob(&TableKeyObservation::blob_name(t0.table_id)));
+        let obs = observe_tables(&storage, manifest.tables()).unwrap();
+        assert_eq!(obs[0].keys, KeySet::from_iter([4u64, 5, 6]));
     }
 
     #[test]

@@ -2,9 +2,13 @@
 //!
 //! Every write is appended to the WAL before it is applied to the
 //! memtable, so an engine restart can rebuild the memtable that had not
-//! yet been flushed to an sstable. Records are length-prefixed and
-//! CRC-protected; replay stops cleanly at the first torn or corrupt
-//! record, which models the standard crash-recovery contract.
+//! yet been flushed to an sstable. Records are grouped into
+//! length-prefixed, CRC-protected *frames*; a frame holds one record for
+//! a plain put/delete or every record of a
+//! [`WriteBatch`](crate::WriteBatch). Replay stops cleanly at the first
+//! torn or corrupt frame, so a batch whose frame was torn mid-write
+//! replays all-or-nothing — the crash-atomicity contract batched writes
+//! rely on.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -12,6 +16,11 @@ use crate::block::crc32;
 use crate::storage::Storage;
 use crate::types::{Key, SeqNo, Value, ValueKind};
 use crate::Error;
+
+/// Magic prefix of a count-framed (v2) WAL segment. Segments without it
+/// are replayed with the original one-record-per-frame decoding, so a
+/// store written before batched WALs existed still recovers its tail.
+const WAL_V2_MAGIC: &[u8; 8] = b"LSMWAL02";
 
 /// One logical WAL record.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,18 +81,45 @@ impl Wal {
     ///
     /// Propagates storage failures.
     pub fn append(&mut self, storage: &dyn Storage, record: &WalRecord) -> Result<(), Error> {
+        self.append_batch(storage, std::slice::from_ref(record))
+    }
+
+    /// Appends every record in `records` as a **single frame** and
+    /// persists the segment. Because a frame is the unit of CRC
+    /// protection, replay recovers either all of the records or (after a
+    /// torn write) none of them — the crash-atomic contract behind
+    /// [`Lsm::write_batch`](crate::Lsm::write_batch). An empty slice is a
+    /// no-op.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage failures.
+    pub fn append_batch(
+        &mut self,
+        storage: &dyn Storage,
+        records: &[WalRecord],
+    ) -> Result<(), Error> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        if self.buffer.is_empty() {
+            self.buffer.put_slice(WAL_V2_MAGIC);
+        }
         let mut payload = BytesMut::new();
-        payload.put_u32_le(record.key.len() as u32);
-        payload.put_slice(&record.key);
-        payload.put_u32_le(record.value.len() as u32);
-        payload.put_slice(&record.value);
-        payload.put_u64_le(record.seqno);
-        payload.put_u8(record.kind.as_u8());
+        payload.put_u32_le(records.len() as u32);
+        for record in records {
+            payload.put_u32_le(record.key.len() as u32);
+            payload.put_slice(&record.key);
+            payload.put_u32_le(record.value.len() as u32);
+            payload.put_slice(&record.value);
+            payload.put_u64_le(record.seqno);
+            payload.put_u8(record.kind.as_u8());
+        }
 
         self.buffer.put_u32_le(payload.len() as u32);
         self.buffer.put_u32_le(crc32(&payload));
         self.buffer.put_slice(&payload);
-        self.record_count += 1;
+        self.record_count += records.len() as u64;
 
         storage.write_blob(&self.segment_name, &self.buffer)
     }
@@ -99,9 +135,11 @@ impl Wal {
         storage.write_blob(&self.segment_name, &[])
     }
 
-    /// Replays a WAL segment from `storage`, returning every intact record
-    /// in append order. A missing segment replays as empty; replay stops
-    /// silently at the first torn/corrupt record.
+    /// Replays a WAL segment from `storage`, returning every record of
+    /// every intact frame in append order. A missing segment replays as
+    /// empty; replay stops silently at the first torn/corrupt frame, and
+    /// a frame is recovered only in full — a torn batch contributes no
+    /// records at all.
     ///
     /// # Errors
     ///
@@ -114,6 +152,12 @@ impl Wal {
         };
         let mut records = Vec::new();
         let mut cursor = data.as_ref();
+        // Segments written before count framing carry no magic header;
+        // their frames hold exactly one record with no count prefix.
+        let legacy = !cursor.starts_with(WAL_V2_MAGIC);
+        if !legacy {
+            cursor.advance(WAL_V2_MAGIC.len());
+        }
         while cursor.remaining() >= 8 {
             let len = cursor.get_u32_le() as usize;
             let stored_crc = cursor.get_u32_le();
@@ -126,35 +170,71 @@ impl Wal {
             }
             cursor.advance(len);
 
-            let mut p = payload;
-            if p.remaining() < 4 {
-                break;
-            }
-            let klen = p.get_u32_le() as usize;
-            if p.remaining() < klen + 4 {
-                break;
-            }
-            let key = Bytes::copy_from_slice(&p[..klen]);
-            p.advance(klen);
-            let vlen = p.get_u32_le() as usize;
-            if p.remaining() < vlen + 9 {
-                break;
-            }
-            let value = Bytes::copy_from_slice(&p[..vlen]);
-            p.advance(vlen);
-            let seqno = p.get_u64_le();
-            let Some(kind) = ValueKind::from_u8(p.get_u8()) else {
-                break;
+            let decoded = if legacy {
+                decode_legacy_record(payload).map(|r| vec![r])
+            } else {
+                decode_frame(payload)
             };
-            records.push(WalRecord {
-                key,
-                value,
-                seqno,
-                kind,
-            });
+            let Some(frame) = decoded else {
+                break; // malformed frame body: stop, dropping it whole
+            };
+            records.extend(frame);
         }
         Ok(records)
     }
+}
+
+/// Decodes the records of one count-framed payload, or `None` if the
+/// payload is malformed (in which case the whole frame must be
+/// discarded).
+fn decode_frame(payload: &[u8]) -> Option<Vec<WalRecord>> {
+    let mut p = payload;
+    if p.remaining() < 4 {
+        return None;
+    }
+    let count = p.get_u32_le() as usize;
+    // Cap the pre-allocation by what the payload could physically hold
+    // (17 bytes is the smallest encodable record): the count is
+    // frame-internal data and must not size an allocation unchecked.
+    let mut records = Vec::with_capacity(count.min(p.remaining() / 17 + 1));
+    for _ in 0..count {
+        records.push(decode_record(&mut p)?);
+    }
+    Some(records)
+}
+
+/// Decodes a pre-count-framing payload: exactly one record, no prefix.
+fn decode_legacy_record(payload: &[u8]) -> Option<WalRecord> {
+    let mut p = payload;
+    let record = decode_record(&mut p)?;
+    p.is_empty().then_some(record)
+}
+
+/// Decodes one record (key, value, seqno, kind) off the cursor.
+fn decode_record(p: &mut &[u8]) -> Option<WalRecord> {
+    if p.remaining() < 4 {
+        return None;
+    }
+    let klen = p.get_u32_le() as usize;
+    if p.remaining() < klen + 4 {
+        return None;
+    }
+    let key = Bytes::copy_from_slice(&p[..klen]);
+    p.advance(klen);
+    let vlen = p.get_u32_le() as usize;
+    if p.remaining() < vlen + 9 {
+        return None;
+    }
+    let value = Bytes::copy_from_slice(&p[..vlen]);
+    p.advance(vlen);
+    let seqno = p.get_u64_le();
+    let kind = ValueKind::from_u8(p.get_u8())?;
+    Some(WalRecord {
+        key,
+        value,
+        seqno,
+        kind,
+    })
 }
 
 #[cfg(test)]
@@ -220,6 +300,69 @@ mod tests {
         let replayed = Wal::replay(&storage, "wal-2").unwrap();
         assert_eq!(replayed.len(), 9, "only the torn final record is dropped");
         assert_eq!(replayed[..], (0..9).map(record).collect::<Vec<_>>()[..]);
+    }
+
+    #[test]
+    fn batch_frames_replay_in_order_with_singles() {
+        let storage = MemoryStorage::new();
+        let mut wal = Wal::new("wal-b0");
+        wal.append(&storage, &record(0)).unwrap();
+        let batch: Vec<WalRecord> = (1..5).map(record).collect();
+        wal.append_batch(&storage, &batch).unwrap();
+        wal.append(&storage, &record(5)).unwrap();
+        assert_eq!(wal.record_count(), 6);
+        let replayed = Wal::replay(&storage, "wal-b0").unwrap();
+        assert_eq!(replayed, (0..6).map(record).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn torn_batch_replays_all_or_nothing() {
+        let storage = MemoryStorage::new();
+        let mut wal = Wal::new("wal-b1");
+        wal.append(&storage, &record(0)).unwrap();
+        let intact_len = storage.read_blob("wal-b1").unwrap().len();
+        let batch: Vec<WalRecord> = (1..20).map(record).collect();
+        wal.append_batch(&storage, &batch).unwrap();
+        // Tear the segment in the middle of the batch frame: several of
+        // its records are still byte-complete, but none may replay.
+        let blob = storage.read_blob("wal-b1").unwrap();
+        let torn = intact_len + (blob.len() - intact_len) / 2;
+        storage.write_blob("wal-b1", &blob[..torn]).unwrap();
+        let replayed = Wal::replay(&storage, "wal-b1").unwrap();
+        assert_eq!(replayed, vec![record(0)], "torn batch contributes nothing");
+    }
+
+    #[test]
+    fn legacy_segments_without_magic_still_replay() {
+        // Hand-build a segment in the pre-count-framing format: frames
+        // of exactly one record, no magic header, no count prefix.
+        let storage = MemoryStorage::new();
+        let records: Vec<WalRecord> = (0..6).map(record).collect();
+        let mut blob = BytesMut::new();
+        for r in &records {
+            let mut payload = BytesMut::new();
+            payload.put_u32_le(r.key.len() as u32);
+            payload.put_slice(&r.key);
+            payload.put_u32_le(r.value.len() as u32);
+            payload.put_slice(&r.value);
+            payload.put_u64_le(r.seqno);
+            payload.put_u8(r.kind.as_u8());
+            blob.put_u32_le(payload.len() as u32);
+            blob.put_u32_le(crc32(&payload));
+            blob.put_slice(&payload);
+        }
+        storage.write_blob("wal-legacy", &blob).unwrap();
+        let replayed = Wal::replay(&storage, "wal-legacy").unwrap();
+        assert_eq!(replayed, records, "pre-magic segments must not be lost");
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let storage = MemoryStorage::new();
+        let mut wal = Wal::new("wal-b2");
+        wal.append_batch(&storage, &[]).unwrap();
+        assert_eq!(wal.record_count(), 0);
+        assert!(Wal::replay(&storage, "wal-b2").unwrap().is_empty());
     }
 
     #[test]

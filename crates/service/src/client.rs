@@ -1,0 +1,133 @@
+//! A blocking TCP client for the KV service.
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{
+    read_frame, write_frame, FrameRead, Request, Response, StatsSummary, WireOp,
+};
+use crate::Error;
+
+/// A blocking client over one TCP connection.
+///
+/// One request is in flight at a time (closed-loop); the load harness
+/// runs many clients on separate threads to generate concurrency.
+#[derive(Debug)]
+pub struct KvClient {
+    stream: TcpStream,
+}
+
+impl KvClient {
+    /// Connects to a [`KvServer`](crate::KvServer).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, Error> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    fn roundtrip(&mut self, request: &Request) -> Result<Response, Error> {
+        write_frame(&mut self.stream, &request.encode())?;
+        match read_frame(&mut self.stream)? {
+            FrameRead::Frame(payload) => Response::decode(&payload),
+            FrameRead::Eof | FrameRead::Idle => {
+                Err(Error::protocol("server closed the connection"))
+            }
+        }
+    }
+
+    fn expect_ok(&mut self, request: &Request) -> Result<(), Error> {
+        match self.roundtrip(request)? {
+            Response::Ok => Ok(()),
+            Response::Err(detail) => Err(Error::remote(detail)),
+            other => Err(Error::protocol(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Point read.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport, protocol and server errors.
+    pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, Error> {
+        match self.roundtrip(&Request::Get { key: key.to_vec() })? {
+            Response::Value(value) => Ok(Some(value)),
+            Response::NotFound => Ok(None),
+            Response::Err(detail) => Err(Error::remote(detail)),
+            other => Err(Error::protocol(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Insert/overwrite; durable on the server once this returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport, protocol and server errors.
+    pub fn put(&mut self, key: Vec<u8>, value: Vec<u8>) -> Result<(), Error> {
+        self.expect_ok(&Request::Put { key, value })
+    }
+
+    /// Delete.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport, protocol and server errors.
+    pub fn delete(&mut self, key: Vec<u8>) -> Result<(), Error> {
+        self.expect_ok(&Request::Delete { key })
+    }
+
+    /// Applies `ops` as one wire batch (grouped per shard server-side,
+    /// one WAL frame per touched shard).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport, protocol and server errors.
+    pub fn batch(&mut self, ops: Vec<WireOp>) -> Result<(), Error> {
+        if ops.is_empty() {
+            return Ok(());
+        }
+        self.expect_ok(&Request::Batch { ops })
+    }
+
+    /// Convenience: [`KvClient::get`] with an integer key.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`KvClient::get`].
+    pub fn get_u64(&mut self, key: u64) -> Result<Option<Vec<u8>>, Error> {
+        self.get(&key.to_be_bytes())
+    }
+
+    /// Convenience: [`KvClient::put`] with an integer key.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`KvClient::put`].
+    pub fn put_u64(&mut self, key: u64, value: impl Into<Vec<u8>>) -> Result<(), Error> {
+        self.put(key.to_be_bytes().to_vec(), value.into())
+    }
+
+    /// Convenience: [`KvClient::delete`] with an integer key.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`KvClient::delete`].
+    pub fn delete_u64(&mut self, key: u64) -> Result<(), Error> {
+        self.delete(key.to_be_bytes().to_vec())
+    }
+
+    /// Fetches the service statistics snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport, protocol and server errors.
+    pub fn stats(&mut self) -> Result<StatsSummary, Error> {
+        match self.roundtrip(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            Response::Err(detail) => Err(Error::remote(detail)),
+            other => Err(Error::protocol(format!("unexpected response {other:?}"))),
+        }
+    }
+}

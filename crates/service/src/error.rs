@@ -1,0 +1,111 @@
+//! Error type for the KV service.
+
+use std::fmt;
+
+/// Errors returned by the KV service (store, server and client sides).
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// An error surfaced by the underlying LSM engine.
+    Engine(lsm_engine::Error),
+    /// A socket / transport error.
+    Io(std::io::Error),
+    /// A malformed frame or payload on the wire.
+    Protocol {
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+    /// The server reported an error executing a request.
+    Remote {
+        /// The server-side error message.
+        detail: String,
+    },
+    /// A store directory was opened with a shard count different from
+    /// the one it was created with (keys would misroute).
+    ShardMismatch {
+        /// Shard count persisted in the store directory.
+        expected: usize,
+        /// Shard count requested by the caller.
+        requested: usize,
+    },
+}
+
+impl Error {
+    /// Convenience constructor for protocol violations.
+    #[must_use]
+    pub fn protocol(detail: impl Into<String>) -> Self {
+        Error::Protocol {
+            detail: detail.into(),
+        }
+    }
+
+    /// Convenience constructor for server-reported failures.
+    #[must_use]
+    pub fn remote(detail: impl Into<String>) -> Self {
+        Error::Remote {
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Engine(e) => write!(f, "engine error: {e}"),
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+            Error::Protocol { detail } => write!(f, "protocol error: {detail}"),
+            Error::Remote { detail } => write!(f, "server error: {detail}"),
+            Error::ShardMismatch {
+                expected,
+                requested,
+            } => write!(
+                f,
+                "store was created with {expected} shards, reopened with {requested}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Engine(e) => Some(e),
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<lsm_engine::Error> for Error {
+    fn from(e: lsm_engine::Error) -> Self {
+        Error::Engine(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let e = Error::protocol("bad tag");
+        assert!(e.to_string().contains("bad tag"));
+        let e = Error::remote("boom");
+        assert!(e.to_string().contains("boom"));
+        let e = Error::ShardMismatch {
+            expected: 4,
+            requested: 2,
+        };
+        assert!(e.to_string().contains('4') && e.to_string().contains('2'));
+        let e: Error = lsm_engine::Error::corruption("x").into();
+        assert!(matches!(e, Error::Engine(_)));
+        let e: Error = std::io::Error::other("io").into();
+        assert!(matches!(e, Error::Io(_)));
+    }
+}

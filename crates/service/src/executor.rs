@@ -1,0 +1,117 @@
+//! A small fixed-size thread pool.
+//!
+//! The server leases one pool worker per client connection for the
+//! lifetime of the session (connections queue when every worker is
+//! busy). Workers are plain OS threads — the engine underneath is
+//! synchronous, and with per-shard locks K workers give K-way
+//! parallelism across shards: a worker reading shard 0 runs while
+//! another worker's write is stalled behind shard 3's compaction.
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed pool of worker threads executing queued jobs.
+///
+/// Dropping the pool closes the queue and joins every worker (jobs
+/// already queued still run to completion).
+#[derive(Debug)]
+pub struct ThreadPool {
+    workers: Vec<JoinHandle<()>>,
+    sender: Option<mpsc::Sender<Job>>,
+}
+
+impl ThreadPool {
+    /// Creates a pool of `size` workers (clamped to ≥ 1).
+    #[must_use]
+    pub fn new(size: usize) -> Self {
+        let size = size.max(1);
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..size)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("kv-worker-{i}"))
+                    .spawn(move || loop {
+                        // Poisoning cannot happen: the guard is dropped
+                        // before the job runs, so a panicking job never
+                        // poisons the lock.
+                        let job = {
+                            let guard = receiver.lock().unwrap_or_else(|e| e.into_inner());
+                            guard.recv()
+                        };
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => break, // queue closed: shut down
+                        }
+                    })
+                    .expect("spawning a pool worker")
+            })
+            .collect();
+        Self {
+            workers,
+            sender: Some(sender),
+        }
+    }
+
+    /// Number of workers.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Queues `job` for execution on the next free worker.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        if let Some(sender) = &self.sender {
+            // Send fails only if every worker exited, which only happens
+            // on drop; new jobs are silently discarded then.
+            let _ = sender.send(Box::new(job));
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.sender.take(); // close the queue
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn executes_queued_jobs_on_all_workers() {
+        let pool = ThreadPool::new(4);
+        assert_eq!(pool.size(), 4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool); // joins workers, draining the queue
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn zero_size_clamps_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.size(), 1);
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = Arc::clone(&done);
+        pool.execute(move || {
+            d.store(7, Ordering::SeqCst);
+        });
+        drop(pool);
+        assert_eq!(done.load(Ordering::SeqCst), 7);
+    }
+}

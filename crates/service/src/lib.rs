@@ -1,0 +1,74 @@
+//! A sharded, concurrent key-value **service** over the
+//! [`lsm-engine`](lsm_engine) store.
+//!
+//! The paper behind this repository (*Fast Compaction Algorithms for
+//! NoSQL Databases*, ICDCS 2015) motivates its compaction strategies
+//! with a live NoSQL server that must keep answering reads and writes
+//! *while* compaction runs. The engine crate provides the single-node,
+//! single-threaded substrate; this crate turns it into something that
+//! can actually serve that scenario:
+//!
+//! * [`ShardRouter`] — hashes keys across `N` shards, so load spreads
+//!   and shards operate independently;
+//! * [`ShardedKv`] — one [`Lsm`](lsm_engine::Lsm) per shard, each behind
+//!   its own lock with its own
+//!   [`CompactionPolicy`](lsm_engine::CompactionPolicy): a read on one
+//!   shard proceeds while another shard compacts;
+//! * batched writes — [`ShardedKv::apply_batch`] re-groups a
+//!   [`WriteBatch`](lsm_engine::WriteBatch) per shard; each shard pays
+//!   one WAL frame + one memtable pass
+//!   ([`Lsm::write_batch`](lsm_engine::Lsm::write_batch));
+//! * [`KvServer`] / [`KvClient`] — a minimal length-prefixed TCP wire
+//!   protocol (`GET` / `PUT` / `DEL` / `BATCH` / `STATS`, `std::net`
+//!   only) served by a fixed [`ThreadPool`];
+//! * acknowledged durability — a write is `OK`-ed only after the owning
+//!   shard's WAL append returned, so acknowledged writes survive
+//!   crash-and-reopen of every shard.
+//!
+//! The closed-loop YCSB throughput harness over this service lives in
+//! `compaction-sim` (`service_throughput`), with a CLI in
+//! `compaction-bench` (`--bin service_throughput`).
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use kv_service::{KvClient, KvServer, ShardedKv};
+//! use lsm_engine::{CompactionPolicy, LsmOptions};
+//!
+//! # fn main() -> Result<(), kv_service::Error> {
+//! let store = Arc::new(ShardedKv::open_in_memory(
+//!     4,
+//!     LsmOptions::default()
+//!         .memtable_capacity(256)
+//!         .compaction_policy(CompactionPolicy::Threshold { live_tables: 4 }),
+//! )?);
+//! let handle = KvServer::bind(Arc::clone(&store), "127.0.0.1:0", 4)?.spawn();
+//!
+//! let mut client = KvClient::connect(handle.addr())?;
+//! client.put_u64(1, b"one".to_vec())?;
+//! assert_eq!(client.get_u64(1)?, Some(b"one".to_vec()));
+//!
+//! handle.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod client;
+mod error;
+mod executor;
+pub mod protocol;
+mod router;
+mod server;
+mod store;
+
+pub use client::KvClient;
+pub use error::Error;
+pub use executor::ThreadPool;
+pub use protocol::{Request, Response, StatsSummary, WireOp};
+pub use router::ShardRouter;
+pub use server::{KvServer, ServerHandle};
+pub use store::{ServiceStats, ShardStats, ShardedKv};

@@ -1,0 +1,555 @@
+//! The length-prefixed wire protocol.
+//!
+//! Every message — request or response — is one *frame*: a little-endian
+//! `u32` payload length followed by the payload. Request payloads start
+//! with an opcode byte (`GET` / `PUT` / `DEL` / `BATCH` / `STATS`),
+//! response payloads with a status byte. All integers are little-endian;
+//! keys and values are length-prefixed byte strings. The protocol is
+//! deliberately minimal — `std::net` only, no external wire formats —
+//! but framed so requests and responses survive TCP segmentation.
+//!
+//! | opcode | request              | response                      |
+//! |--------|----------------------|-------------------------------|
+//! | `GET`  | key                  | `VALUE(v)` or `NOT_FOUND`     |
+//! | `PUT`  | key, value           | `OK` (durable once received)  |
+//! | `DEL`  | key                  | `OK`                          |
+//! | `BATCH`| n × (kind,key[,val]) | `OK` (applied per-shard batch)|
+//! | `STATS`| —                    | `STATS(summary)`              |
+
+use std::io::{Read, Write};
+
+use bytes::{Buf, BufMut, BytesMut};
+
+use crate::Error;
+
+/// Largest accepted frame payload (64 MiB); anything larger is treated
+/// as a protocol violation rather than an allocation request.
+pub const MAX_FRAME_LEN: usize = 64 * 1024 * 1024;
+
+const OP_GET: u8 = 1;
+const OP_PUT: u8 = 2;
+const OP_DEL: u8 = 3;
+const OP_BATCH: u8 = 4;
+const OP_STATS: u8 = 5;
+
+const ST_OK: u8 = 0;
+const ST_VALUE: u8 = 1;
+const ST_NOT_FOUND: u8 = 2;
+const ST_STATS: u8 = 3;
+const ST_ERR: u8 = 4;
+
+/// One operation of a wire-level batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireOp {
+    /// The user key.
+    pub key: Vec<u8>,
+    /// The value (ignored for deletes).
+    pub value: Vec<u8>,
+    /// `true` for a delete, `false` for a put.
+    pub is_delete: bool,
+}
+
+impl WireOp {
+    /// A put operation.
+    #[must_use]
+    pub fn put(key: Vec<u8>, value: Vec<u8>) -> Self {
+        Self {
+            key,
+            value,
+            is_delete: false,
+        }
+    }
+
+    /// A delete operation.
+    #[must_use]
+    pub fn delete(key: Vec<u8>) -> Self {
+        Self {
+            key,
+            value: Vec::new(),
+            is_delete: true,
+        }
+    }
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Point read.
+    Get {
+        /// The key to read.
+        key: Vec<u8>,
+    },
+    /// Insert/overwrite.
+    Put {
+        /// The key to write.
+        key: Vec<u8>,
+        /// The value to store.
+        value: Vec<u8>,
+    },
+    /// Delete (tombstone write).
+    Delete {
+        /// The key to delete.
+        key: Vec<u8>,
+    },
+    /// Batched puts/deletes, applied as one per-shard [`WriteBatch`](lsm_engine::WriteBatch).
+    Batch {
+        /// The operations, in application order.
+        ops: Vec<WireOp>,
+    },
+    /// Service statistics snapshot.
+    Stats,
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// The request was applied (and, for writes, is durable).
+    Ok,
+    /// A `GET` hit.
+    Value(
+        /// The stored value.
+        Vec<u8>,
+    ),
+    /// A `GET` miss (never written, or deleted).
+    NotFound,
+    /// A `STATS` snapshot.
+    Stats(StatsSummary),
+    /// The server failed to execute the request.
+    Err(
+        /// The server-side error message.
+        String,
+    ),
+}
+
+/// Aggregated service statistics carried over the wire.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSummary {
+    /// Number of shards serving.
+    pub shards: u64,
+    /// Put operations accepted (across shards).
+    pub puts: u64,
+    /// Delete operations accepted.
+    pub deletes: u64,
+    /// Write batches applied.
+    pub write_batches: u64,
+    /// Point reads served.
+    pub gets: u64,
+    /// Memtable flushes performed.
+    pub flushes: u64,
+    /// Compactions executed (all kinds).
+    pub compactions: u64,
+    /// Policy-triggered compactions.
+    pub auto_compactions: u64,
+    /// Compaction cost in entries (read + written).
+    pub compaction_entry_cost: u64,
+    /// Wall-clock microseconds writes stalled behind compaction.
+    pub compaction_stall_micros: u64,
+    /// Live sstables across shards.
+    pub live_tables: u64,
+}
+
+impl StatsSummary {
+    fn encode_into(self, buf: &mut BytesMut) {
+        for field in [
+            self.shards,
+            self.puts,
+            self.deletes,
+            self.write_batches,
+            self.gets,
+            self.flushes,
+            self.compactions,
+            self.auto_compactions,
+            self.compaction_entry_cost,
+            self.compaction_stall_micros,
+            self.live_tables,
+        ] {
+            buf.put_u64_le(field);
+        }
+    }
+
+    fn decode_from(cursor: &mut &[u8]) -> Result<Self, Error> {
+        if cursor.remaining() < 11 * 8 {
+            return Err(Error::protocol("truncated stats summary"));
+        }
+        Ok(Self {
+            shards: cursor.get_u64_le(),
+            puts: cursor.get_u64_le(),
+            deletes: cursor.get_u64_le(),
+            write_batches: cursor.get_u64_le(),
+            gets: cursor.get_u64_le(),
+            flushes: cursor.get_u64_le(),
+            compactions: cursor.get_u64_le(),
+            auto_compactions: cursor.get_u64_le(),
+            compaction_entry_cost: cursor.get_u64_le(),
+            compaction_stall_micros: cursor.get_u64_le(),
+            live_tables: cursor.get_u64_le(),
+        })
+    }
+}
+
+fn put_bytes(buf: &mut BytesMut, data: &[u8]) {
+    buf.put_u32_le(data.len() as u32);
+    buf.put_slice(data);
+}
+
+fn get_bytes(cursor: &mut &[u8]) -> Result<Vec<u8>, Error> {
+    if cursor.remaining() < 4 {
+        return Err(Error::protocol("truncated length prefix"));
+    }
+    let len = cursor.get_u32_le() as usize;
+    if cursor.remaining() < len {
+        return Err(Error::protocol("truncated byte string"));
+    }
+    let out = cursor[..len].to_vec();
+    cursor.advance(len);
+    Ok(out)
+}
+
+impl Request {
+    /// Serializes the request payload (without the frame header).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        match self {
+            Request::Get { key } => {
+                buf.put_u8(OP_GET);
+                put_bytes(&mut buf, key);
+            }
+            Request::Put { key, value } => {
+                buf.put_u8(OP_PUT);
+                put_bytes(&mut buf, key);
+                put_bytes(&mut buf, value);
+            }
+            Request::Delete { key } => {
+                buf.put_u8(OP_DEL);
+                put_bytes(&mut buf, key);
+            }
+            Request::Batch { ops } => {
+                buf.put_u8(OP_BATCH);
+                buf.put_u32_le(ops.len() as u32);
+                for op in ops {
+                    buf.put_u8(u8::from(op.is_delete));
+                    put_bytes(&mut buf, &op.key);
+                    if !op.is_delete {
+                        put_bytes(&mut buf, &op.value);
+                    }
+                }
+            }
+            Request::Stats => buf.put_u8(OP_STATS),
+        }
+        buf.to_vec()
+    }
+
+    /// Deserializes a request payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Protocol`] for unknown opcodes or truncation.
+    pub fn decode(payload: &[u8]) -> Result<Self, Error> {
+        let mut cursor = payload;
+        if cursor.is_empty() {
+            return Err(Error::protocol("empty request payload"));
+        }
+        let opcode = cursor.get_u8();
+        let request = match opcode {
+            OP_GET => Request::Get {
+                key: get_bytes(&mut cursor)?,
+            },
+            OP_PUT => Request::Put {
+                key: get_bytes(&mut cursor)?,
+                value: get_bytes(&mut cursor)?,
+            },
+            OP_DEL => Request::Delete {
+                key: get_bytes(&mut cursor)?,
+            },
+            OP_BATCH => {
+                if cursor.remaining() < 4 {
+                    return Err(Error::protocol("truncated batch count"));
+                }
+                let count = cursor.get_u32_le() as usize;
+                let mut ops = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    if cursor.is_empty() {
+                        return Err(Error::protocol("truncated batch op"));
+                    }
+                    let is_delete = cursor.get_u8() != 0;
+                    let key = get_bytes(&mut cursor)?;
+                    let value = if is_delete {
+                        Vec::new()
+                    } else {
+                        get_bytes(&mut cursor)?
+                    };
+                    ops.push(WireOp {
+                        key,
+                        value,
+                        is_delete,
+                    });
+                }
+                Request::Batch { ops }
+            }
+            OP_STATS => Request::Stats,
+            other => return Err(Error::protocol(format!("unknown opcode {other}"))),
+        };
+        if !cursor.is_empty() {
+            return Err(Error::protocol("trailing bytes after request"));
+        }
+        Ok(request)
+    }
+}
+
+impl Response {
+    /// Serializes the response payload (without the frame header).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        match self {
+            Response::Ok => buf.put_u8(ST_OK),
+            Response::Value(value) => {
+                buf.put_u8(ST_VALUE);
+                put_bytes(&mut buf, value);
+            }
+            Response::NotFound => buf.put_u8(ST_NOT_FOUND),
+            Response::Stats(stats) => {
+                buf.put_u8(ST_STATS);
+                stats.encode_into(&mut buf);
+            }
+            Response::Err(message) => {
+                buf.put_u8(ST_ERR);
+                put_bytes(&mut buf, message.as_bytes());
+            }
+        }
+        buf.to_vec()
+    }
+
+    /// Deserializes a response payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Protocol`] for unknown status bytes or truncation.
+    pub fn decode(payload: &[u8]) -> Result<Self, Error> {
+        let mut cursor = payload;
+        if cursor.is_empty() {
+            return Err(Error::protocol("empty response payload"));
+        }
+        let status = cursor.get_u8();
+        let response = match status {
+            ST_OK => Response::Ok,
+            ST_VALUE => Response::Value(get_bytes(&mut cursor)?),
+            ST_NOT_FOUND => Response::NotFound,
+            ST_STATS => Response::Stats(StatsSummary::decode_from(&mut cursor)?),
+            ST_ERR => Response::Err(
+                String::from_utf8(get_bytes(&mut cursor)?)
+                    .map_err(|_| Error::protocol("non-utf8 error message"))?,
+            ),
+            other => return Err(Error::protocol(format!("unknown status {other}"))),
+        };
+        if !cursor.is_empty() {
+            return Err(Error::protocol("trailing bytes after response"));
+        }
+        Ok(response)
+    }
+}
+
+/// Outcome of reading one frame from a stream.
+#[derive(Debug)]
+pub enum FrameRead {
+    /// A complete frame payload.
+    Frame(Vec<u8>),
+    /// The peer closed the connection cleanly (EOF before any byte).
+    Eof,
+    /// A read timeout fired before any byte of a new frame arrived
+    /// (only possible when the stream has a read timeout configured;
+    /// the server uses this to poll its shutdown flag).
+    Idle,
+}
+
+/// How many consecutive zero-progress timed-out reads are tolerated
+/// mid-frame before the connection is declared dead. With the server's
+/// 50 ms poll timeout this is ~5 s of total silence inside one frame;
+/// it bounds both a half-frame denial-of-service (a stalled sender
+/// cannot pin a pool worker forever) and the worst-case shutdown join.
+const MAX_IDLE_READS_MID_FRAME: u32 = 100;
+
+/// Reads exactly `buf.len()` bytes, retrying interrupted and timed-out
+/// reads: once the first byte of a frame has arrived we are committed to
+/// it — but only for a bounded stall (see [`MAX_IDLE_READS_MID_FRAME`]).
+fn read_full(reader: &mut impl Read, buf: &mut [u8]) -> Result<(), Error> {
+    let mut filled = 0;
+    let mut idle_reads = 0u32;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => return Err(Error::protocol("connection closed mid-frame")),
+            Ok(n) => {
+                filled += n;
+                idle_reads = 0;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                idle_reads += 1;
+                if idle_reads >= MAX_IDLE_READS_MID_FRAME {
+                    return Err(Error::protocol("peer stalled mid-frame"));
+                }
+            }
+            Err(e) => return Err(Error::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one frame.
+///
+/// # Errors
+///
+/// Returns [`Error::Protocol`] for oversized or torn frames and
+/// propagates I/O failures.
+pub fn read_frame(reader: &mut impl Read) -> Result<FrameRead, Error> {
+    // The first byte decides between Frame / Eof / Idle; after it we are
+    // committed to the frame.
+    let mut first = [0u8; 1];
+    loop {
+        match reader.read(&mut first) {
+            Ok(0) => return Ok(FrameRead::Eof),
+            Ok(_) => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Ok(FrameRead::Idle)
+            }
+            Err(e) => return Err(Error::Io(e)),
+        }
+    }
+    let mut rest = [0u8; 3];
+    read_full(reader, &mut rest)?;
+    let len = u32::from_le_bytes([first[0], rest[0], rest[1], rest[2]]) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(Error::protocol(format!("frame of {len} bytes rejected")));
+    }
+    let mut payload = vec![0u8; len];
+    read_full(reader, &mut payload)?;
+    Ok(FrameRead::Frame(payload))
+}
+
+/// Writes one frame.
+///
+/// # Errors
+///
+/// Returns [`Error::Protocol`] for oversized payloads and propagates
+/// I/O failures.
+pub fn write_frame(writer: &mut impl Write, payload: &[u8]) -> Result<(), Error> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(Error::protocol("refusing to send oversized frame"));
+    }
+    writer.write_all(&(payload.len() as u32).to_le_bytes())?;
+    writer.write_all(payload)?;
+    writer.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrips() {
+        let requests = vec![
+            Request::Get { key: b"k".to_vec() },
+            Request::Put {
+                key: b"key".to_vec(),
+                value: b"value".to_vec(),
+            },
+            Request::Delete {
+                key: b"gone".to_vec(),
+            },
+            Request::Batch {
+                ops: vec![
+                    WireOp::put(b"a".to_vec(), b"1".to_vec()),
+                    WireOp::delete(b"b".to_vec()),
+                    WireOp::put(Vec::new(), Vec::new()),
+                ],
+            },
+            Request::Stats,
+        ];
+        for request in requests {
+            let decoded = Request::decode(&request.encode()).unwrap();
+            assert_eq!(decoded, request);
+        }
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        let responses = vec![
+            Response::Ok,
+            Response::Value(b"payload".to_vec()),
+            Response::NotFound,
+            Response::Stats(StatsSummary {
+                shards: 4,
+                puts: 10,
+                compaction_stall_micros: 99,
+                ..StatsSummary::default()
+            }),
+            Response::Err("went wrong".to_owned()),
+        ];
+        for response in responses {
+            let decoded = Response::decode(&response.encode()).unwrap();
+            assert_eq!(decoded, response);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&[99]).is_err());
+        assert!(Response::decode(&[77]).is_err());
+        // Truncated PUT: opcode + half a key length.
+        assert!(Request::decode(&[OP_PUT, 5, 0]).is_err());
+        // Trailing junk.
+        let mut ok = Request::Stats.encode();
+        ok.push(0);
+        assert!(Request::decode(&ok).is_err());
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_buffer() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut reader = wire.as_slice();
+        match read_frame(&mut reader).unwrap() {
+            FrameRead::Frame(p) => assert_eq!(p, b"hello"),
+            other => panic!("expected frame, got {other:?}"),
+        }
+        match read_frame(&mut reader).unwrap() {
+            FrameRead::Frame(p) => assert!(p.is_empty()),
+            other => panic!("expected frame, got {other:?}"),
+        }
+        assert!(matches!(read_frame(&mut reader).unwrap(), FrameRead::Eof));
+    }
+
+    #[test]
+    fn torn_frame_is_a_protocol_error() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello world").unwrap();
+        wire.truncate(wire.len() - 4);
+        let mut reader = wire.as_slice();
+        assert!(read_frame(&mut reader).is_err());
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut reader = wire.as_slice();
+        assert!(read_frame(&mut reader).is_err());
+        let huge = vec![0u8; MAX_FRAME_LEN + 1];
+        assert!(write_frame(&mut Vec::new(), &huge).is_err());
+    }
+}

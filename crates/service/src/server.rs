@@ -1,0 +1,245 @@
+//! The TCP front-end.
+//!
+//! [`KvServer`] binds a listener, accepts connections on a dedicated
+//! accept thread, and leases each connection to a [`ThreadPool`] worker
+//! that speaks the [`protocol`](crate::protocol) until the client hangs
+//! up. A write is acknowledged (`OK` frame sent) only after the owning
+//! shard's WAL append returned, so every acknowledged write survives a
+//! crash of the whole process — the property the crash-recovery tests
+//! assert.
+//!
+//! Shutdown is cooperative: workers poll a shared flag between frames
+//! (connections carry a short read timeout), the accept thread polls it
+//! between accepts, and [`ServerHandle::shutdown`] joins everything.
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bytes::Bytes;
+use lsm_engine::WriteBatch;
+
+use crate::protocol::{read_frame, write_frame, FrameRead, Request, Response, StatsSummary};
+use crate::{Error, ShardedKv, ThreadPool};
+
+/// How long a worker blocks on a quiet connection before re-checking
+/// the shutdown flag.
+const POLL_READ_TIMEOUT: Duration = Duration::from_millis(50);
+
+/// How long the accept thread sleeps when no connection is pending.
+const ACCEPT_IDLE: Duration = Duration::from_millis(2);
+
+/// A sharded KV server bound to a TCP address.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use kv_service::{KvClient, KvServer, ShardedKv};
+/// use lsm_engine::LsmOptions;
+///
+/// # fn main() -> Result<(), kv_service::Error> {
+/// let store = Arc::new(ShardedKv::open_in_memory(2, LsmOptions::default())?);
+/// let handle = KvServer::bind(store, "127.0.0.1:0", 2)?.spawn();
+/// let mut client = KvClient::connect(handle.addr())?;
+/// client.put(b"k".to_vec(), b"v".to_vec())?;
+/// assert_eq!(client.get(b"k")?, Some(b"v".to_vec()));
+/// handle.shutdown();
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct KvServer {
+    store: Arc<ShardedKv>,
+    listener: TcpListener,
+    workers: usize,
+}
+
+impl KvServer {
+    /// Binds a server for `store` on `addr` (use port 0 for an
+    /// ephemeral port) with `workers` pool workers — the number of
+    /// client sessions served concurrently.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(
+        store: Arc<ShardedKv>,
+        addr: impl ToSocketAddrs,
+        workers: usize,
+    ) -> Result<Self, Error> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Self {
+            store,
+            listener,
+            workers,
+        })
+    }
+
+    /// The bound address (resolve the ephemeral port here).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures.
+    pub fn local_addr(&self) -> Result<SocketAddr, Error> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// Starts the accept loop on its own thread and returns a handle
+    /// for shutdown.
+    #[must_use]
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self
+            .listener
+            .local_addr()
+            .expect("freshly bound listener has an address");
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept = std::thread::Builder::new()
+            .name("kv-accept".to_owned())
+            .spawn(move || {
+                let pool = ThreadPool::new(self.workers);
+                while !accept_shutdown.load(Ordering::SeqCst) {
+                    match self.listener.accept() {
+                        Ok((stream, _peer)) => {
+                            let store = Arc::clone(&self.store);
+                            let shutdown = Arc::clone(&accept_shutdown);
+                            pool.execute(move || serve_connection(&store, stream, &shutdown));
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(ACCEPT_IDLE);
+                        }
+                        Err(_) => break,
+                    }
+                }
+                // Dropping the pool joins the workers; they observe the
+                // shutdown flag at their next poll tick.
+            })
+            .expect("spawning the accept thread");
+        ServerHandle {
+            addr,
+            shutdown,
+            accept: Some(accept),
+        }
+    }
+}
+
+/// A running server: its address and the means to stop it.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address clients connect to.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals shutdown and joins the accept thread and every worker.
+    /// In-flight requests complete; idle connections close at their
+    /// next poll tick.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// One client session: frames in, frames out, until EOF / error /
+/// shutdown.
+fn serve_connection(store: &ShardedKv, mut stream: TcpStream, shutdown: &AtomicBool) {
+    // One small response frame per request: without NODELAY every
+    // closed-loop round-trip pays Nagle + delayed-ACK (~40 ms).
+    if stream.set_nodelay(true).is_err()
+        || stream.set_read_timeout(Some(POLL_READ_TIMEOUT)).is_err()
+    {
+        return;
+    }
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            let _ = stream.flush();
+            return;
+        }
+        let payload = match read_frame(&mut stream) {
+            Ok(FrameRead::Frame(payload)) => payload,
+            Ok(FrameRead::Idle) => continue,
+            Ok(FrameRead::Eof) | Err(_) => return,
+        };
+        let response = match Request::decode(&payload) {
+            Ok(request) => execute(store, request),
+            Err(e) => Response::Err(e.to_string()),
+        };
+        if write_frame(&mut stream, &response.encode()).is_err() {
+            return;
+        }
+    }
+}
+
+/// Applies one request to the store.
+fn execute(store: &ShardedKv, request: Request) -> Response {
+    match request {
+        Request::Get { key } => match store.get(&key) {
+            Ok(Some(value)) => Response::Value(value.to_vec()),
+            Ok(None) => Response::NotFound,
+            Err(e) => Response::Err(e.to_string()),
+        },
+        Request::Put { key, value } => match store.put(Bytes::from(key), Bytes::from(value)) {
+            Ok(()) => Response::Ok,
+            Err(e) => Response::Err(e.to_string()),
+        },
+        Request::Delete { key } => match store.delete(Bytes::from(key)) {
+            Ok(()) => Response::Ok,
+            Err(e) => Response::Err(e.to_string()),
+        },
+        Request::Batch { ops } => {
+            let mut batch = WriteBatch::with_capacity(ops.len());
+            for op in ops {
+                if op.is_delete {
+                    batch.delete(Bytes::from(op.key));
+                } else {
+                    batch.put(Bytes::from(op.key), Bytes::from(op.value));
+                }
+            }
+            match store.apply_batch(batch) {
+                Ok(()) => Response::Ok,
+                Err(e) => Response::Err(e.to_string()),
+            }
+        }
+        Request::Stats => {
+            let stats = store.stats();
+            let aggregate = stats.aggregate();
+            Response::Stats(StatsSummary {
+                shards: store.shard_count() as u64,
+                puts: aggregate.puts,
+                deletes: aggregate.deletes,
+                write_batches: aggregate.write_batches,
+                gets: aggregate.gets,
+                flushes: aggregate.flushes,
+                compactions: aggregate.compactions,
+                auto_compactions: aggregate.auto_compactions,
+                compaction_entry_cost: aggregate.compaction_entry_cost(),
+                compaction_stall_micros: aggregate.compaction_stall.as_micros() as u64,
+                live_tables: stats.live_tables() as u64,
+            })
+        }
+    }
+}

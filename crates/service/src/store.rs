@@ -1,0 +1,417 @@
+//! The sharded store: N independent LSM shards behind per-shard locks.
+//!
+//! Each shard is a complete [`Lsm`] instance — its own memtable, WAL,
+//! manifest and [`CompactionPolicy`](lsm_engine::CompactionPolicy) —
+//! guarded by its own mutex. Operations lock only the shard that owns
+//! the key, so a `GET` on shard 0 proceeds while shard 3 is inside a
+//! policy-triggered compaction: the "read/write availability while
+//! compaction runs" scenario the paper motivates, realized by sharding.
+//!
+//! Batches are re-grouped per shard ([`ShardedKv::apply_batch`]): each
+//! shard receives one [`WriteBatch`] and pays one WAL frame + one
+//! memtable pass, whatever the batch size. Atomicity is per shard — a
+//! crash can surface shard A's half of a cross-shard batch without shard
+//! B's; each shard's half is itself all-or-nothing.
+
+use std::path::PathBuf;
+
+use parking_lot::Mutex;
+
+use lsm_engine::{Key, Lsm, LsmOptions, LsmStats, Value, WriteBatch};
+
+use crate::{Error, ShardRouter};
+
+/// Blob-free marker file recording the shard count of a disk-backed
+/// store (written into the store's root directory).
+const SHARD_COUNT_FILE: &str = "SHARDS";
+
+/// A sharded key-value store over [`Lsm`] shards.
+///
+/// Shared freely across threads (`&self` API; every method locks only
+/// the shards it touches).
+///
+/// # Examples
+///
+/// ```
+/// use kv_service::ShardedKv;
+/// use lsm_engine::LsmOptions;
+///
+/// # fn main() -> Result<(), kv_service::Error> {
+/// let store = ShardedKv::open_in_memory(4, LsmOptions::default())?;
+/// store.put_u64(1, b"one".to_vec())?;
+/// assert_eq!(store.get_u64(1)?, Some(b"one".to_vec()));
+/// assert_eq!(store.shard_count(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ShardedKv {
+    router: ShardRouter,
+    shards: Vec<Mutex<Lsm>>,
+}
+
+impl ShardedKv {
+    /// Opens a store of `shards` in-memory shards (tests, experiments).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine open failures.
+    pub fn open_in_memory(shards: usize, options: LsmOptions) -> Result<Self, Error> {
+        let router = ShardRouter::new(shards);
+        let shards = (0..router.shards())
+            .map(|_| Ok(Mutex::new(Lsm::open_in_memory(options.clone())?)))
+            .collect::<Result<Vec<_>, Error>>()?;
+        Ok(Self { router, shards })
+    }
+
+    /// Opens (or reopens) a disk-backed store rooted at `root`, shard
+    /// `i` living under `root/shard-<i>`. The shard count is persisted
+    /// on first open; reopening with a different count fails with
+    /// [`Error::ShardMismatch`] instead of silently misrouting keys.
+    ///
+    /// # Errors
+    ///
+    /// Fails on shard-count mismatch and propagates engine/file errors.
+    pub fn open_on_disk(
+        root: impl Into<PathBuf>,
+        shards: usize,
+        options: LsmOptions,
+    ) -> Result<Self, Error> {
+        let root = root.into();
+        std::fs::create_dir_all(&root).map_err(Error::Io)?;
+        let router = ShardRouter::new(shards);
+        let marker = root.join(SHARD_COUNT_FILE);
+        match std::fs::read_to_string(&marker) {
+            Ok(contents) => {
+                let expected: usize = contents.trim().parse().map_err(|_| {
+                    Error::Engine(lsm_engine::Error::corruption(
+                        "unreadable shard-count marker (SHARDS file)",
+                    ))
+                })?;
+                if expected != router.shards() {
+                    return Err(Error::ShardMismatch {
+                        expected,
+                        requested: router.shards(),
+                    });
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                std::fs::write(&marker, format!("{}\n", router.shards())).map_err(Error::Io)?;
+            }
+            Err(e) => return Err(Error::Io(e)),
+        }
+        let shards = (0..router.shards())
+            .map(|i| {
+                let dir = root.join(format!("shard-{i}"));
+                Ok(Mutex::new(Lsm::open_on_disk(dir, options.clone())?))
+            })
+            .collect::<Result<Vec<_>, Error>>()?;
+        Ok(Self { router, shards })
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The router mapping keys to shards.
+    #[must_use]
+    pub fn router(&self) -> ShardRouter {
+        self.router
+    }
+
+    fn shard(&self, key: &[u8]) -> &Mutex<Lsm> {
+        &self.shards[self.router.shard_for(key)]
+    }
+
+    /// Point read of `key` from its owning shard.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Value>, Error> {
+        Ok(self.shard(key).lock().get(key)?)
+    }
+
+    /// Inserts or overwrites `key` on its owning shard. Durable (WAL)
+    /// by the time this returns, under a WAL-enabled configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn put(&self, key: Key, value: Value) -> Result<(), Error> {
+        Ok(self.shard(&key).lock().put(key, value)?)
+    }
+
+    /// Deletes `key` on its owning shard.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn delete(&self, key: Key) -> Result<(), Error> {
+        Ok(self.shard(&key).lock().delete(key)?)
+    }
+
+    /// Convenience: [`ShardedKv::get`] with an integer key.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShardedKv::get`].
+    pub fn get_u64(&self, key: u64) -> Result<Option<Vec<u8>>, Error> {
+        Ok(self.get(&key.to_be_bytes())?.map(|v| v.to_vec()))
+    }
+
+    /// Convenience: [`ShardedKv::put`] with an integer key.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShardedKv::put`].
+    pub fn put_u64(&self, key: u64, value: impl Into<Vec<u8>>) -> Result<(), Error> {
+        self.put(
+            lsm_engine::key_from_u64(key),
+            bytes::Bytes::from(value.into()),
+        )
+    }
+
+    /// Convenience: [`ShardedKv::delete`] with an integer key.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShardedKv::delete`].
+    pub fn delete_u64(&self, key: u64) -> Result<(), Error> {
+        self.delete(lsm_engine::key_from_u64(key))
+    }
+
+    /// Applies a batch: operations are re-grouped by owning shard and
+    /// each shard's sub-batch is applied under that shard's lock with
+    /// one WAL frame and one memtable pass
+    /// ([`Lsm::write_batch`]). Sub-batches preserve the batch's
+    /// operation order. Atomicity is per shard (see module docs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors; earlier shards' sub-batches may already
+    /// be applied when a later shard fails.
+    pub fn apply_batch(&self, batch: WriteBatch) -> Result<(), Error> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let mut per_shard: Vec<WriteBatch> = vec![WriteBatch::new(); self.shards.len()];
+        for op in batch.into_ops() {
+            per_shard[self.router.shard_for(&op.key)].push(op);
+        }
+        for (shard, sub) in self.shards.iter().zip(per_shard) {
+            if !sub.is_empty() {
+                shard.lock().write_batch(sub)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes every shard's memtable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn flush_all(&self) -> Result<(), Error> {
+        for shard in &self.shards {
+            shard.lock().flush()?;
+        }
+        Ok(())
+    }
+
+    /// Runs planner-driven compaction on every shard (respecting each
+    /// shard's policy; see [`Lsm::auto_compact`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn compact_all(&self) -> Result<(), Error> {
+        for shard in &self.shards {
+            shard.lock().auto_compact()?;
+        }
+        Ok(())
+    }
+
+    /// Per-shard and aggregated statistics.
+    #[must_use]
+    pub fn stats(&self) -> ServiceStats {
+        let per_shard: Vec<ShardStats> = self
+            .shards
+            .iter()
+            .map(|s| {
+                let guard = s.lock();
+                ShardStats {
+                    stats: guard.stats().clone(),
+                    live_tables: guard.live_tables().len(),
+                    memtable_len: guard.memtable_len(),
+                }
+            })
+            .collect();
+        ServiceStats { per_shard }
+    }
+
+    /// Every live key/value pair across all shards (verification /
+    /// small stores only).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn scan_all(&self) -> Result<Vec<(Key, Value)>, Error> {
+        let mut all = Vec::new();
+        for shard in &self.shards {
+            all.extend(shard.lock().scan_all()?);
+        }
+        all.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(all)
+    }
+}
+
+/// A single shard's statistics snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStats {
+    /// The shard's engine counters.
+    pub stats: LsmStats,
+    /// Live sstables on the shard.
+    pub live_tables: usize,
+    /// Distinct keys buffered in the shard's memtable.
+    pub memtable_len: usize,
+}
+
+/// Statistics for the whole sharded store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// One snapshot per shard, in shard order.
+    pub per_shard: Vec<ShardStats>,
+}
+
+impl ServiceStats {
+    /// Folds every shard's counters into one [`LsmStats`]
+    /// ([`LsmStats::absorb`]).
+    #[must_use]
+    pub fn aggregate(&self) -> LsmStats {
+        let mut total = LsmStats::default();
+        for shard in &self.per_shard {
+            total.absorb(&shard.stats);
+        }
+        total
+    }
+
+    /// Total live sstables across shards.
+    #[must_use]
+    pub fn live_tables(&self) -> usize {
+        self.per_shard.iter().map(|s| s.live_tables).sum()
+    }
+}
+
+// The server shares the store across worker threads.
+const fn assert_sync<T: Send + Sync>() {}
+const _: () = assert_sync::<ShardedKv>();
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsm_engine::CompactionPolicy;
+
+    fn store(shards: usize) -> ShardedKv {
+        ShardedKv::open_in_memory(
+            shards,
+            LsmOptions::default().memtable_capacity(16).wal(false),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn put_get_delete_route_consistently() {
+        let kv = store(4);
+        for i in 0..200u64 {
+            kv.put_u64(i, format!("v{i}").into_bytes()).unwrap();
+        }
+        for i in 0..200u64 {
+            assert_eq!(kv.get_u64(i).unwrap(), Some(format!("v{i}").into_bytes()));
+        }
+        kv.delete_u64(7).unwrap();
+        assert_eq!(kv.get_u64(7).unwrap(), None);
+        let agg = kv.stats().aggregate();
+        assert_eq!(agg.puts, 200);
+        assert_eq!(agg.deletes, 1);
+        assert_eq!(agg.gets, 201);
+    }
+
+    #[test]
+    fn batch_groups_per_shard() {
+        let kv = store(3);
+        let mut batch = WriteBatch::new();
+        for i in 0..60u64 {
+            batch.put_u64(i, vec![i as u8]);
+        }
+        batch.delete_u64(5);
+        kv.apply_batch(batch).unwrap();
+        assert_eq!(kv.get_u64(5).unwrap(), None);
+        for i in 6..60u64 {
+            assert_eq!(kv.get_u64(i).unwrap(), Some(vec![i as u8]));
+        }
+        let stats = kv.stats();
+        // Each shard applied exactly one sub-batch.
+        for shard in &stats.per_shard {
+            assert_eq!(shard.stats.write_batches, 1);
+        }
+        assert_eq!(stats.aggregate().puts, 60);
+    }
+
+    #[test]
+    fn shards_compact_independently() {
+        let kv = ShardedKv::open_in_memory(
+            2,
+            LsmOptions::default()
+                .memtable_capacity(8)
+                .compaction_policy(CompactionPolicy::Threshold { live_tables: 3 })
+                .wal(false),
+        )
+        .unwrap();
+        for i in 0..400u64 {
+            kv.put_u64(i % 120, vec![i as u8]).unwrap();
+        }
+        kv.flush_all().unwrap();
+        let stats = kv.stats();
+        let agg = stats.aggregate();
+        assert!(agg.auto_compactions >= 2, "both shards compacted");
+        for i in 0..120u64 {
+            assert!(kv.get_u64(i).unwrap().is_some(), "key {i}");
+        }
+    }
+
+    #[test]
+    fn disk_store_enforces_shard_count() {
+        let dir = std::env::temp_dir().join(format!("kv-shards-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        {
+            let kv = ShardedKv::open_on_disk(&dir, 3, LsmOptions::default()).unwrap();
+            kv.put_u64(1, b"one".to_vec()).unwrap();
+            kv.flush_all().unwrap();
+        }
+        let err = ShardedKv::open_on_disk(&dir, 5, LsmOptions::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            Error::ShardMismatch {
+                expected: 3,
+                requested: 5
+            }
+        ));
+        let kv = ShardedKv::open_on_disk(&dir, 3, LsmOptions::default()).unwrap();
+        assert_eq!(kv.get_u64(1).unwrap(), Some(b"one".to_vec()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scan_all_merges_shards_sorted() {
+        let kv = store(4);
+        for i in 0..50u64 {
+            kv.put_u64(i, vec![1]).unwrap();
+        }
+        let all = kv.scan_all().unwrap();
+        assert_eq!(all.len(), 50);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+}

@@ -55,10 +55,12 @@ pub mod live_engine;
 pub mod phase1;
 pub mod report;
 pub mod runner;
+pub mod service_throughput;
 pub mod stats;
 
 pub use experiment::{Fig7Config, Fig7Row, Fig8Config, Fig8Row, Fig9Config, Fig9Row, Fig9Sweep};
 pub use live_engine::{LiveEngineConfig, LiveEngineRow};
 pub use phase1::SstableGenerator;
 pub use runner::{run_strategy, run_strategy_parallel, RunResult};
+pub use service_throughput::{ServiceThroughputConfig, ServiceThroughputRow};
 pub use stats::Summary;

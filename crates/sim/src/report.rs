@@ -5,6 +5,105 @@
 
 use crate::experiment::{Fig7Row, Fig8Row, Fig9Row, Fig9Sweep};
 use crate::live_engine::LiveEngineRow;
+use crate::service_throughput::ServiceThroughputRow;
+
+/// Renders the service throughput sweep (per shard count, per strategy)
+/// as a fixed-width text table.
+#[must_use]
+pub fn service_throughput_table(rows: &[ServiceThroughputRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>6}  {:>10}  {:>7}  {:>8}  {:>10}  {:>8}  {:>8}  {:>8}  {:>7}  {:>6}  {:>10}\n",
+        "shards",
+        "strategy",
+        "clients",
+        "ops",
+        "ops/s",
+        "p50_us",
+        "p95_us",
+        "p99_us",
+        "flushes",
+        "autoc",
+        "stall_ms"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:>6}  {:>10}  {:>7}  {:>8}  {:>10.0}  {:>8}  {:>8}  {:>8}  {:>7}  {:>6}  {:>10.2}\n",
+            row.shards,
+            row.strategy.name(),
+            row.clients,
+            row.operations,
+            row.throughput_ops_per_sec,
+            row.p50_micros,
+            row.p95_micros,
+            row.p99_micros,
+            row.flushes,
+            row.auto_compactions,
+            row.compaction_stall.as_secs_f64() * 1e3,
+        ));
+    }
+    out
+}
+
+/// Renders the service throughput sweep as CSV.
+#[must_use]
+pub fn service_throughput_csv(rows: &[ServiceThroughputRow]) -> String {
+    let mut out = String::from(
+        "shards,strategy,clients,operations,elapsed_ms,ops_per_sec,p50_us,p95_us,p99_us,\
+         flushes,auto_compactions,compaction_entry_cost,stall_ms\n",
+    );
+    for row in rows {
+        out.push_str(&format!(
+            "{},{},{},{},{:.2},{:.1},{},{},{},{},{},{},{:.4}\n",
+            row.shards,
+            row.strategy.name(),
+            row.clients,
+            row.operations,
+            row.elapsed.as_secs_f64() * 1e3,
+            row.throughput_ops_per_sec,
+            row.p50_micros,
+            row.p95_micros,
+            row.p99_micros,
+            row.flushes,
+            row.auto_compactions,
+            row.compaction_entry_cost,
+            row.compaction_stall.as_secs_f64() * 1e3,
+        ));
+    }
+    out
+}
+
+/// Renders the service throughput sweep as a JSON array (hand-rolled:
+/// the workspace is offline, no serde), the format CI archives as a
+/// build artifact (`BENCH_*.json`).
+#[must_use]
+pub fn service_throughput_json(rows: &[ServiceThroughputRow]) -> String {
+    let mut out = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"shards\": {}, \"strategy\": \"{}\", \"clients\": {}, \"operations\": {}, \
+             \"elapsed_ms\": {:.2}, \"ops_per_sec\": {:.1}, \"p50_us\": {}, \"p95_us\": {}, \
+             \"p99_us\": {}, \"flushes\": {}, \"auto_compactions\": {}, \
+             \"compaction_entry_cost\": {}, \"stall_ms\": {:.4}}}{}\n",
+            row.shards,
+            row.strategy.name(),
+            row.clients,
+            row.operations,
+            row.elapsed.as_secs_f64() * 1e3,
+            row.throughput_ops_per_sec,
+            row.p50_micros,
+            row.p95_micros,
+            row.p99_micros,
+            row.flushes,
+            row.auto_compactions,
+            row.compaction_entry_cost,
+            row.compaction_stall.as_secs_f64() * 1e3,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
 
 /// Renders the live-engine rows (measured vs predicted vs simulated
 /// compaction cost per strategy) as a fixed-width text table.

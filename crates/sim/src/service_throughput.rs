@@ -1,0 +1,308 @@
+//! Closed-loop YCSB throughput over the live KV service.
+//!
+//! The paper motivates its compaction strategies with a serving
+//! scenario: a NoSQL server must keep answering reads and writes
+//! *while* compaction runs. This experiment measures exactly that — a
+//! real [`KvServer`] over TCP, `K` concurrent closed-loop client
+//! threads driving a YCSB mix (each client issues its next operation
+//! when the previous response arrives), `Threshold` auto-compaction
+//! firing on every shard as the run progresses — and reports throughput
+//! and latency percentiles **per shard count and per compaction
+//! strategy**: the first end-to-end "serving while compacting" numbers
+//! in this reproduction.
+//!
+//! Reads ride the same wire as writes, so a shard stalled in a long
+//! compaction shows up directly in the tail latencies; more shards (and
+//! a cheaper strategy) shorten the stalls each key can get caught
+//! behind.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use compaction_core::Strategy;
+use kv_service::{KvClient, KvServer, ShardedKv, WireOp};
+use lsm_engine::{CompactionPolicy, LsmOptions};
+use ycsb_gen::{Distribution, OperationKind, WorkloadSpec};
+
+/// Configuration of the service throughput experiment.
+#[derive(Debug, Clone)]
+pub struct ServiceThroughputConfig {
+    /// YCSB `recordcount` (loaded via BATCH frames before measuring).
+    pub record_count: u64,
+    /// YCSB `operationcount` (measured, split across clients).
+    pub operation_count: u64,
+    /// Percentage of run-phase operations that are updates; the
+    /// remainder follows YCSB write-heavy composition (inserts).
+    pub update_percent: u32,
+    /// Request distribution for non-insert keys.
+    pub distribution: Distribution,
+    /// Memtable capacity per shard, in distinct keys.
+    pub memtable_capacity: usize,
+    /// Live-table count per shard that triggers auto-compaction.
+    pub trigger_tables: usize,
+    /// Merge fan-in `k`.
+    pub fanin: usize,
+    /// Shard counts to sweep (one server run each, per strategy).
+    pub shard_counts: Vec<usize>,
+    /// Strategies to sweep.
+    pub strategies: Vec<Strategy>,
+    /// Concurrent closed-loop client threads.
+    pub clients: usize,
+    /// Server worker threads (≥ clients to avoid queueing sessions).
+    pub workers: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl ServiceThroughputConfig {
+    /// A write-heavy sweep at a size that runs in tens of seconds.
+    #[must_use]
+    pub fn default_paper() -> Self {
+        Self {
+            record_count: 2_000,
+            operation_count: 20_000,
+            update_percent: 60,
+            distribution: Distribution::Latest,
+            memtable_capacity: 250,
+            trigger_tables: 6,
+            fanin: 2,
+            shard_counts: vec![1, 2, 4],
+            strategies: vec![
+                Strategy::BalanceTreeInput,
+                Strategy::SmallestOutput,
+                Strategy::Random { seed: 3 },
+            ],
+            clients: 4,
+            workers: 4,
+            seed: 7,
+        }
+    }
+
+    /// A smaller configuration for tests and CI smoke runs.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            record_count: 400,
+            operation_count: 3_000,
+            update_percent: 60,
+            distribution: Distribution::Latest,
+            memtable_capacity: 100,
+            trigger_tables: 4,
+            fanin: 2,
+            shard_counts: vec![1, 2],
+            strategies: vec![Strategy::BalanceTreeInput, Strategy::Random { seed: 3 }],
+            clients: 4,
+            workers: 4,
+            seed: 7,
+        }
+    }
+
+    fn spec(&self) -> WorkloadSpec {
+        WorkloadSpec::builder()
+            .record_count(self.record_count)
+            .operation_count(self.operation_count)
+            .update_percent(self.update_percent)
+            .distribution(self.distribution)
+            .seed(self.seed)
+            .build()
+            .expect("service-throughput config produces a valid workload spec")
+    }
+
+    fn options(&self, strategy: Strategy) -> LsmOptions {
+        LsmOptions::default()
+            .memtable_capacity(self.memtable_capacity)
+            .compaction_policy(CompactionPolicy::Threshold {
+                live_tables: self.trigger_tables,
+            })
+            .compaction_strategy(strategy)
+            .compaction_fanin(self.fanin)
+            // In-memory shards: WAL durability is exercised by the
+            // crash-recovery tests; here it would only serialize every
+            // write behind segment rewrites.
+            .wal(false)
+    }
+
+    /// Runs the sweep: one live server per (shard count, strategy) cell.
+    #[must_use]
+    pub fn run(&self) -> Vec<ServiceThroughputRow> {
+        let spec = self.spec();
+        let partitions = spec.generator().client_partitions(self.clients);
+        let load_ops: Vec<u64> = spec.generator().load_phase().map(|op| op.key).collect();
+
+        let mut rows = Vec::new();
+        for &shards in &self.shard_counts {
+            for &strategy in &self.strategies {
+                rows.push(self.run_cell(shards, strategy, &load_ops, &partitions));
+            }
+        }
+        rows
+    }
+
+    fn run_cell(
+        &self,
+        shards: usize,
+        strategy: Strategy,
+        load_keys: &[u64],
+        partitions: &[Vec<ycsb_gen::Operation>],
+    ) -> ServiceThroughputRow {
+        let store = Arc::new(
+            ShardedKv::open_in_memory(shards, self.options(strategy))
+                .expect("in-memory open cannot fail"),
+        );
+        let handle = KvServer::bind(Arc::clone(&store), "127.0.0.1:0", self.workers)
+            .expect("bind ephemeral port")
+            .spawn();
+        let addr = handle.addr();
+
+        // Load phase, batched (not measured).
+        {
+            let mut client = KvClient::connect(addr).expect("load client connect");
+            for chunk in load_keys.chunks(256) {
+                let ops: Vec<WireOp> = chunk
+                    .iter()
+                    .map(|&k| WireOp::put(k.to_be_bytes().to_vec(), value_for(k)))
+                    .collect();
+                client.batch(ops).expect("load batch");
+            }
+        }
+
+        // Measured run phase: closed loop, one thread per client.
+        let started = Instant::now();
+        let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = partitions
+                .iter()
+                .map(|ops| {
+                    scope.spawn(move || {
+                        let mut client = KvClient::connect(addr).expect("client connect");
+                        let mut lat = Vec::with_capacity(ops.len());
+                        for op in ops {
+                            let t = Instant::now();
+                            match op.kind {
+                                OperationKind::Insert | OperationKind::Update => {
+                                    client.put_u64(op.key, value_for(op.key)).expect("put")
+                                }
+                                OperationKind::Delete => {
+                                    client.delete_u64(op.key).expect("delete");
+                                }
+                                OperationKind::Read | OperationKind::Scan => {
+                                    let _ = client.get_u64(op.key).expect("get");
+                                }
+                            }
+                            lat.push(t.elapsed().as_micros() as u64);
+                        }
+                        lat
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("client thread"))
+                .collect()
+        });
+        let elapsed = started.elapsed();
+
+        let stats = store.stats().aggregate();
+        handle.shutdown();
+
+        latencies.sort_unstable();
+        let ops = latencies.len() as u64;
+        ServiceThroughputRow {
+            shards,
+            strategy,
+            clients: self.clients,
+            operations: ops,
+            elapsed,
+            throughput_ops_per_sec: ops as f64 / elapsed.as_secs_f64().max(1e-9),
+            p50_micros: percentile(&latencies, 50),
+            p95_micros: percentile(&latencies, 95),
+            p99_micros: percentile(&latencies, 99),
+            flushes: stats.flushes,
+            auto_compactions: stats.auto_compactions,
+            compaction_entry_cost: stats.compaction_entry_cost(),
+            compaction_stall: stats.compaction_stall,
+        }
+    }
+}
+
+/// The value every key stores (fixed small payload).
+fn value_for(key: u64) -> Vec<u8> {
+    key.to_le_bytes().to_vec()
+}
+
+/// The `p`-th percentile of sorted micros (nearest-rank).
+fn percentile(sorted: &[u64], p: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p as usize * sorted.len()).div_ceil(100)).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// One (shard count, strategy) cell of the throughput sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceThroughputRow {
+    /// Shards the server ran with.
+    pub shards: usize,
+    /// Compaction strategy every shard used.
+    pub strategy: Strategy,
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Operations measured (the run phase).
+    pub operations: u64,
+    /// Wall-clock time of the measured run phase.
+    pub elapsed: Duration,
+    /// Aggregate throughput in operations per second.
+    pub throughput_ops_per_sec: f64,
+    /// Median request latency in microseconds.
+    pub p50_micros: u64,
+    /// 95th-percentile request latency in microseconds.
+    pub p95_micros: u64,
+    /// 99th-percentile request latency in microseconds.
+    pub p99_micros: u64,
+    /// Memtable flushes across shards during the whole cell run.
+    pub flushes: u64,
+    /// Policy-triggered compactions across shards.
+    pub auto_compactions: u64,
+    /// Compaction cost in entries (read + written) across shards.
+    pub compaction_entry_cost: u64,
+    /// Wall-clock time writes stalled behind compaction, across shards.
+    pub compaction_stall: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 50), 50);
+        assert_eq!(percentile(&sorted, 95), 95);
+        assert_eq!(percentile(&sorted, 99), 99);
+        assert_eq!(percentile(&[7], 99), 7);
+        assert_eq!(percentile(&[], 50), 0);
+    }
+
+    #[test]
+    fn quick_sweep_produces_comparable_rows() {
+        let config = ServiceThroughputConfig::quick();
+        let rows = config.run();
+        assert_eq!(
+            rows.len(),
+            config.shard_counts.len() * config.strategies.len()
+        );
+        for row in &rows {
+            assert_eq!(row.operations, config.operation_count);
+            assert!(row.throughput_ops_per_sec > 0.0, "{row:?}");
+            assert!(
+                row.p50_micros <= row.p95_micros && row.p95_micros <= row.p99_micros,
+                "percentiles must be monotone: {row:?}"
+            );
+            assert!(
+                row.auto_compactions >= 1,
+                "compaction never fired while serving: {row:?}"
+            );
+            assert!(row.flushes >= 1);
+        }
+    }
+}

@@ -81,6 +81,31 @@ impl WorkloadGenerator {
             .filter(|op| op.kind.is_write())
             .collect()
     }
+
+    /// **Closed-loop driver mode**: deals the run phase round-robin
+    /// across `clients` independent client streams, preserving relative
+    /// order inside each stream. This is how the service throughput
+    /// harness drives one logical workload from K concurrent client
+    /// threads: the union of the partitions is exactly
+    /// [`WorkloadGenerator::run_phase`], so aggregate mix and skew match
+    /// the single-client workload while each client runs its slice as a
+    /// closed loop (next operation issued when the previous response
+    /// arrives).
+    ///
+    /// `clients` is clamped to ≥ 1. With fewer operations than clients,
+    /// trailing partitions are empty.
+    #[must_use]
+    pub fn client_partitions(&self, clients: usize) -> Vec<Vec<Operation>> {
+        let clients = clients.max(1);
+        let total = self.spec.operation_count() as usize;
+        let mut partitions: Vec<Vec<Operation>> = (0..clients)
+            .map(|_| Vec::with_capacity(total / clients + 1))
+            .collect();
+        for (i, op) in self.run_phase().enumerate() {
+            partitions[i % clients].push(op);
+        }
+        partitions
+    }
 }
 
 /// Iterator over the run phase of a workload.
@@ -285,6 +310,36 @@ mod tests {
         assert!(writes.len() >= 100);
         let all = s.generator().all_operations();
         assert_eq!(all.len(), 1_100);
+    }
+
+    #[test]
+    fn client_partitions_cover_the_run_phase_exactly() {
+        let s = spec(50, Distribution::zipfian_default());
+        let gen = s.generator();
+        let partitions = gen.client_partitions(4);
+        assert_eq!(partitions.len(), 4);
+        // Re-interleave round-robin: must equal the single stream.
+        let mut rebuilt = Vec::new();
+        let mut cursors = [0usize; 4];
+        'outer: loop {
+            for (c, cursor) in cursors.iter_mut().enumerate() {
+                match partitions[c].get(*cursor) {
+                    Some(&op) => {
+                        rebuilt.push(op);
+                        *cursor += 1;
+                    }
+                    None => break 'outer,
+                }
+            }
+        }
+        let direct: Vec<_> = gen.run_phase().collect();
+        assert_eq!(rebuilt, direct);
+        // Balanced to within one operation.
+        let sizes: Vec<usize> = partitions.iter().map(Vec::len).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+        // Degenerate client counts.
+        assert_eq!(gen.client_partitions(0).len(), 1);
+        assert_eq!(gen.client_partitions(1)[0], direct);
     }
 
     #[test]

@@ -21,8 +21,14 @@
 //!   zipfian / latest request distributions, load and run phases).
 //! * [`hll`] — HyperLogLog cardinality estimation, used by the
 //!   SmallestOutput heuristic exactly as in the paper's evaluation.
-//! * [`sim`] (`compaction-sim`) — the two-phase simulator and the
-//!   experiment harness regenerating Figures 7, 8 and 9.
+//! * [`sim`] (`compaction-sim`) — the two-phase simulator, the
+//!   experiment harness regenerating Figures 7, 8 and 9, and the
+//!   service throughput experiment (closed-loop YCSB clients against
+//!   the live server, per shard count and strategy).
+//! * [`service`] (`kv-service`) — the sharded concurrent KV service:
+//!   shard router, batched per-shard writes, TCP front-end
+//!   (`GET`/`PUT`/`DEL`/`BATCH`/`STATS`) and a worker-pool server, so
+//!   reads on one shard proceed while another shard compacts.
 //!
 //! # Quick start
 //!
@@ -44,5 +50,6 @@
 pub use compaction_core as core;
 pub use compaction_sim as sim;
 pub use hll;
+pub use kv_service as service;
 pub use lsm_engine as lsm;
 pub use ycsb_gen as ycsb;

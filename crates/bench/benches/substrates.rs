@@ -75,9 +75,8 @@ fn bench_lsm(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     group.bench_function("put_flush_10k", |b| {
         b.iter(|| {
-            let mut db =
-                Lsm::open_in_memory(LsmOptions::default().memtable_capacity(1_000).wal(false))
-                    .unwrap();
+            let db = Lsm::open_in_memory(LsmOptions::default().memtable_capacity(1_000).wal(false))
+                .unwrap();
             for i in 0u64..10_000 {
                 db.put_u64(black_box(i % 4_000), b"value".to_vec()).unwrap();
             }
@@ -88,7 +87,7 @@ fn bench_lsm(c: &mut Criterion) {
     group.bench_function("major_compact_10_tables", |b| {
         b.iter_batched(
             || {
-                let mut db =
+                let db =
                     Lsm::open_in_memory(LsmOptions::default().memtable_capacity(500).wal(false))
                         .unwrap();
                 for i in 0u64..5_000 {
@@ -97,7 +96,7 @@ fn bench_lsm(c: &mut Criterion) {
                 db.flush().unwrap();
                 db
             },
-            |mut db| {
+            |db| {
                 let n = db.live_tables().len();
                 db.major_compact(&caterpillar(n)).unwrap().entry_cost()
             },
@@ -105,7 +104,7 @@ fn bench_lsm(c: &mut Criterion) {
         )
     });
     group.bench_function("point_reads_after_compaction", |b| {
-        let mut db =
+        let db =
             Lsm::open_in_memory(LsmOptions::default().memtable_capacity(500).wal(false)).unwrap();
         for i in 0u64..5_000 {
             db.put_u64(i, b"value".to_vec()).unwrap();
@@ -128,7 +127,7 @@ fn bench_schedule_to_physical(c: &mut Criterion) {
     group.bench_function("si_schedule_plus_lsm_execute", |b| {
         b.iter_batched(
             || {
-                let mut db =
+                let db =
                     Lsm::open_in_memory(LsmOptions::default().memtable_capacity(400).wal(false))
                         .unwrap();
                 for i in 0u64..4_000 {
@@ -137,7 +136,7 @@ fn bench_schedule_to_physical(c: &mut Criterion) {
                 db.flush().unwrap();
                 db
             },
-            |mut db| {
+            |db| {
                 let sets: Vec<compaction_core::KeySet> = db
                     .live_tables()
                     .iter()

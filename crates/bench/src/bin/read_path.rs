@@ -1,0 +1,302 @@
+//! Regenerates the read-path report: point-read throughput and
+//! bytes-read-per-get for three readers over the same multi-table store —
+//!
+//! * **legacy** — the pre-overhaul read path, reproduced faithfully:
+//!   every probed table is loaded *in full* (`Sstable::load`) before its
+//!   bloom filter is even consulted;
+//! * **cold** — the lazy reader with empty caches: footer + tail per
+//!   table open, at most one data block per probe;
+//! * **warm** — the same keys again: served from the table and block
+//!   caches, zero storage reads.
+//!
+//! Run with:
+//! `cargo run --release --bin read_path [--quick] [--check] [--csv] [--json PATH]`
+//!
+//! `--check` exits non-zero unless the cold path reads ≥ 10× fewer bytes
+//! per get than the legacy path (the PR's acceptance bar).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use lsm_engine::{Lsm, LsmOptions, MemoryStorage, Sstable, Storage};
+
+struct Config {
+    records: u64,
+    memtable_capacity: usize,
+    block_size: usize,
+    value_len: usize,
+    sample_gets: u64,
+}
+
+impl Config {
+    fn default_paper() -> Self {
+        Self {
+            records: 20_000,
+            memtable_capacity: 1_000,
+            block_size: 4 * 1024,
+            value_len: 100,
+            sample_gets: 2_000,
+        }
+    }
+
+    fn quick() -> Self {
+        Self {
+            records: 4_000,
+            memtable_capacity: 400,
+            block_size: 1024,
+            value_len: 64,
+            sample_gets: 500,
+        }
+    }
+}
+
+struct PhaseResult {
+    name: &'static str,
+    bytes_per_get: f64,
+    ops_per_sec: f64,
+    tables_probed: u64,
+}
+
+fn value_for(key: u64, len: usize) -> Vec<u8> {
+    let mut v = key.to_le_bytes().to_vec();
+    v.resize(len, b'v');
+    v
+}
+
+/// Deterministic pseudo-uniform key sample (no RNG dependency).
+fn sample_keys(records: u64, n: u64) -> Vec<u64> {
+    (0..n)
+        .map(|i| (i.wrapping_mul(7919) + 13) % records)
+        .collect()
+}
+
+fn build_store(config: &Config) -> (Arc<MemoryStorage>, Lsm) {
+    let storage = Arc::new(MemoryStorage::new());
+    let db = Lsm::open(
+        storage.clone() as Arc<dyn Storage>,
+        LsmOptions::default()
+            .memtable_capacity(config.memtable_capacity)
+            .block_size(config.block_size)
+            .wal(false),
+    )
+    .expect("in-memory open cannot fail");
+    for key in 0..config.records {
+        db.put_u64(key, value_for(key, config.value_len))
+            .expect("put");
+    }
+    db.flush().expect("flush");
+    assert_eq!(db.memtable_len(), 0, "reads must hit sstables only");
+    (storage, db)
+}
+
+/// The pre-overhaul read path, byte-for-byte: probe tables newest-first,
+/// fully loading each probed table blob, then asking its bloom + blocks.
+fn legacy_get(
+    storage: &MemoryStorage,
+    tables_newest_first: &[u64],
+    key: &[u8],
+    probes: &mut u64,
+) -> Option<Vec<u8>> {
+    for &table_id in tables_newest_first {
+        *probes += 1;
+        let table = Sstable::load(storage, table_id).expect("load");
+        if let Some(entry) = table.get(key).expect("get") {
+            if entry.is_tombstone() {
+                return None;
+            }
+            return Some(entry.value.to_vec());
+        }
+    }
+    None
+}
+
+fn run_legacy(config: &Config) -> (PhaseResult, u64, usize) {
+    let (storage, db) = build_store(config);
+    let table_ids: Vec<u64> = db.live_tables().iter().rev().map(|t| t.table_id).collect();
+    let total_table_bytes: u64 = db.live_tables().iter().map(|t| t.encoded_len).sum();
+    let n_tables = table_ids.len();
+    let keys = sample_keys(config.records, config.sample_gets);
+    let bytes_before = storage.bytes_read();
+    let mut probes = 0u64;
+    let started = Instant::now();
+    for &key in &keys {
+        let got = legacy_get(&storage, &table_ids, &key.to_be_bytes(), &mut probes);
+        assert!(got.is_some(), "key {key} missing");
+    }
+    let elapsed = started.elapsed();
+    let bytes = storage.bytes_read() - bytes_before;
+    (
+        PhaseResult {
+            name: "legacy",
+            bytes_per_get: bytes as f64 / keys.len() as f64,
+            ops_per_sec: keys.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+            tables_probed: probes,
+        },
+        total_table_bytes,
+        n_tables,
+    )
+}
+
+fn run_lazy(config: &Config) -> (PhaseResult, PhaseResult, Lsm) {
+    let (storage, db) = build_store(config);
+    let keys = sample_keys(config.records, config.sample_gets);
+
+    let cold = {
+        let bytes_before = storage.bytes_read();
+        let stats_before = db.stats();
+        let started = Instant::now();
+        for &key in &keys {
+            assert!(db.get_u64(key).expect("get").is_some(), "key {key}");
+        }
+        let elapsed = started.elapsed();
+        PhaseResult {
+            name: "cold",
+            bytes_per_get: (storage.bytes_read() - bytes_before) as f64 / keys.len() as f64,
+            ops_per_sec: keys.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+            tables_probed: db.stats().tables_probed - stats_before.tables_probed,
+        }
+    };
+
+    let warm = {
+        let bytes_before = storage.bytes_read();
+        let stats_before = db.stats();
+        let started = Instant::now();
+        for &key in &keys {
+            assert!(db.get_u64(key).expect("get").is_some(), "key {key}");
+        }
+        let elapsed = started.elapsed();
+        PhaseResult {
+            name: "warm",
+            bytes_per_get: (storage.bytes_read() - bytes_before) as f64 / keys.len() as f64,
+            ops_per_sec: keys.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+            tables_probed: db.stats().tables_probed - stats_before.tables_probed,
+        }
+    };
+    (cold, warm, db)
+}
+
+fn reduction(legacy: f64, other: f64) -> f64 {
+    if other <= 0.0 {
+        f64::INFINITY
+    } else {
+        legacy / other
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+    let csv = args.iter().any(|a| a == "--csv");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let config = if quick {
+        Config::quick()
+    } else {
+        Config::default_paper()
+    };
+    eprintln!(
+        "read-path: {} records, memtable {}, block {} B, {} sampled gets per phase",
+        config.records, config.memtable_capacity, config.block_size, config.sample_gets
+    );
+
+    let (legacy, total_table_bytes, n_tables) = run_legacy(&config);
+    let (cold, warm, db) = run_lazy(&config);
+    let stats = db.stats();
+    let block_lookups = stats.block_cache_hits + stats.block_cache_misses;
+    let hit_rate = if block_lookups == 0 {
+        0.0
+    } else {
+        stats.block_cache_hits as f64 / block_lookups as f64
+    };
+
+    let cold_reduction = reduction(legacy.bytes_per_get, cold.bytes_per_get);
+    let warm_reduction = reduction(legacy.bytes_per_get, warm.bytes_per_get);
+
+    if csv {
+        println!("phase,bytes_per_get,ops_per_sec,tables_probed");
+        for phase in [&legacy, &cold, &warm] {
+            println!(
+                "{},{:.1},{:.0},{}",
+                phase.name, phase.bytes_per_get, phase.ops_per_sec, phase.tables_probed
+            );
+        }
+    } else {
+        println!(
+            "store: {} tables, {} total table bytes\n",
+            n_tables, total_table_bytes
+        );
+        println!(
+            "{:>8}  {:>14}  {:>12}  {:>13}  {:>10}",
+            "phase", "bytes/get", "ops/s", "tables_probed", "vs legacy"
+        );
+        for (phase, red) in [
+            (&legacy, 1.0),
+            (&cold, cold_reduction),
+            (&warm, warm_reduction),
+        ] {
+            println!(
+                "{:>8}  {:>14.1}  {:>12.0}  {:>13}  {:>9.0}x",
+                phase.name, phase.bytes_per_get, phase.ops_per_sec, phase.tables_probed, red
+            );
+        }
+        println!(
+            "\nblock cache: {:.1}% hit rate ({} hits / {} lookups); \
+             bloom-negative probes: {}; data blocks fetched: {}",
+            hit_rate * 100.0,
+            stats.block_cache_hits,
+            block_lookups,
+            stats.bloom_negative_probes,
+            stats.data_block_reads,
+        );
+    }
+
+    if let Some(path) = json_path {
+        let warm_json = if warm_reduction.is_finite() {
+            format!("{warm_reduction:.1}")
+        } else {
+            "null".to_owned()
+        };
+        let json = format!(
+            "{{\n  \"records\": {},\n  \"tables\": {},\n  \"total_table_bytes\": {},\n  \
+             \"gets_per_phase\": {},\n  \"legacy_bytes_per_get\": {:.1},\n  \
+             \"cold_bytes_per_get\": {:.1},\n  \"warm_bytes_per_get\": {:.1},\n  \
+             \"legacy_ops_per_sec\": {:.0},\n  \"cold_ops_per_sec\": {:.0},\n  \
+             \"warm_ops_per_sec\": {:.0},\n  \"reduction_cold_x\": {:.1},\n  \
+             \"reduction_warm_x\": {},\n  \"block_cache_hit_rate\": {:.4},\n  \
+             \"bloom_negative_probes\": {},\n  \"data_block_reads\": {}\n}}\n",
+            config.records,
+            n_tables,
+            total_table_bytes,
+            config.sample_gets,
+            legacy.bytes_per_get,
+            cold.bytes_per_get,
+            warm.bytes_per_get,
+            legacy.ops_per_sec,
+            cold.ops_per_sec,
+            warm.ops_per_sec,
+            cold_reduction,
+            warm_json,
+            hit_rate,
+            stats.bloom_negative_probes,
+            stats.data_block_reads,
+        );
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+
+    if check {
+        assert!(
+            cold_reduction >= 10.0,
+            "acceptance: cold bytes-per-get reduction {cold_reduction:.1}x < 10x \
+             (legacy {:.1} vs cold {:.1})",
+            legacy.bytes_per_get,
+            cold.bytes_per_get
+        );
+        eprintln!("check passed: cold read path reads {cold_reduction:.1}x fewer bytes per get");
+    }
+}

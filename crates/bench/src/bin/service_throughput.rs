@@ -1,10 +1,12 @@
 //! Regenerates the service throughput report: closed-loop YCSB clients
 //! against the live sharded KV server over TCP, swept per shard count
 //! and per compaction strategy — the end-to-end "serving while
-//! compacting" experiment.
+//! compacting" experiment. `--read-heavy` switches to the YCSB-B-style
+//! 95 %-GET mix that exercises the lock-free read path and reports GET
+//! p50/p99 separately.
 //!
 //! Run with:
-//! `cargo run --release --bin service_throughput [--quick] [--csv] [--json PATH]`
+//! `cargo run --release --bin service_throughput [--quick] [--read-heavy] [--csv] [--json PATH]`
 
 use compaction_sim::report::{
     service_throughput_csv, service_throughput_json, service_throughput_table,
@@ -14,6 +16,7 @@ use compaction_sim::ServiceThroughputConfig;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let read_heavy = args.iter().any(|a| a == "--read-heavy");
     let csv = args.iter().any(|a| a == "--csv");
     let json_path = args
         .iter()
@@ -21,15 +24,17 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned();
 
-    let config = if quick {
-        ServiceThroughputConfig::quick()
-    } else {
-        ServiceThroughputConfig::default_paper()
+    let config = match (quick, read_heavy) {
+        (true, true) => ServiceThroughputConfig::quick_read_heavy(),
+        (true, false) => ServiceThroughputConfig::quick(),
+        (false, true) => ServiceThroughputConfig::read_heavy(),
+        (false, false) => ServiceThroughputConfig::default_paper(),
     };
     eprintln!(
-        "service-throughput: {} ops ({}% updates), {} clients, shards {:?}, {} strategies, \
-         memtable {}, trigger {} tables",
+        "service-throughput: {} ops ({}% reads, {}% of the rest updates), {} clients, \
+         shards {:?}, {} strategies, memtable {}, trigger {} tables",
         config.operation_count,
+        config.read_percent,
         config.update_percent,
         config.clients,
         config.shard_counts,

@@ -1,0 +1,117 @@
+//! Minimal stand-in for the subset of the `arc-swap` crate this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors an [`ArcSwap`]: a shared slot holding an `Arc<T>` that
+//! readers snapshot ([`ArcSwap::load_full`]) and writers replace
+//! ([`ArcSwap::store`] / [`ArcSwap::swap`]) atomically.
+//!
+//! The real crate swaps a raw pointer with lock-free atomics; this
+//! vendored version (the workspace forbids `unsafe`) guards the slot
+//! with an `RwLock` that is held only for the duration of one
+//! `Arc::clone` or pointer swap — a few nanoseconds, never across I/O —
+//! so the *usage pattern* (readers never block behind writers doing
+//! real work, writers publish a complete new snapshot in one step) is
+//! identical, which is what the LSM read path relies on.
+
+#![forbid(unsafe_code)]
+
+use std::sync::{Arc, RwLock};
+
+/// A slot holding an `Arc<T>` that can be read and replaced atomically.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use arc_swap::ArcSwap;
+///
+/// let slot = ArcSwap::from_pointee(1);
+/// assert_eq!(*slot.load_full(), 1);
+/// slot.store(Arc::new(2));
+/// assert_eq!(*slot.load_full(), 2);
+/// ```
+#[derive(Debug)]
+pub struct ArcSwap<T> {
+    slot: RwLock<Arc<T>>,
+}
+
+impl<T> ArcSwap<T> {
+    /// Creates a slot holding `value`.
+    pub fn new(value: Arc<T>) -> Self {
+        Self {
+            slot: RwLock::new(value),
+        }
+    }
+
+    /// Creates a slot from a bare value (wrapped in a fresh `Arc`).
+    pub fn from_pointee(value: T) -> Self {
+        Self::new(Arc::new(value))
+    }
+
+    /// Returns a snapshot of the current value. The returned `Arc` keeps
+    /// that snapshot alive however long the caller needs it; concurrent
+    /// [`ArcSwap::store`] calls replace the slot without affecting it.
+    pub fn load_full(&self) -> Arc<T> {
+        Arc::clone(&self.slot.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Replaces the current value.
+    pub fn store(&self, value: Arc<T>) {
+        *self.slot.write().unwrap_or_else(|e| e.into_inner()) = value;
+    }
+
+    /// Replaces the current value, returning the previous one.
+    pub fn swap(&self, value: Arc<T>) -> Arc<T> {
+        std::mem::replace(
+            &mut self.slot.write().unwrap_or_else(|e| e.into_inner()),
+            value,
+        )
+    }
+}
+
+impl<T: Default> Default for ArcSwap<T> {
+    fn default() -> Self {
+        Self::from_pointee(T::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_store_swap() {
+        let slot = ArcSwap::from_pointee(vec![1, 2]);
+        let snapshot = slot.load_full();
+        let old = slot.swap(Arc::new(vec![3]));
+        assert_eq!(*old, vec![1, 2]);
+        assert_eq!(*snapshot, vec![1, 2], "snapshot survives the swap");
+        assert_eq!(*slot.load_full(), vec![3]);
+        slot.store(Arc::new(vec![4]));
+        assert_eq!(*slot.load_full(), vec![4]);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer() {
+        let slot = Arc::new(ArcSwap::from_pointee(0u64));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let slot = Arc::clone(&slot);
+                scope.spawn(move || {
+                    for _ in 0..10_000 {
+                        let v = slot.load_full();
+                        assert!(*v <= 1_000);
+                    }
+                });
+            }
+            let slot = Arc::clone(&slot);
+            scope.spawn(move || {
+                for i in 0..=1_000 {
+                    slot.store(Arc::new(i));
+                }
+            });
+        });
+        assert_eq!(*slot.load_full(), 1_000);
+    }
+}

@@ -37,14 +37,14 @@ pub struct BatchOp {
 /// use lsm_engine::{Lsm, LsmOptions, WriteBatch};
 ///
 /// # fn main() -> Result<(), lsm_engine::Error> {
-/// let mut db = Lsm::open_in_memory(LsmOptions::default())?;
+/// let db = Lsm::open_in_memory(LsmOptions::default())?;
 /// let mut batch = WriteBatch::new();
 /// batch.put_u64(1, b"one".to_vec());
 /// batch.put_u64(2, b"two".to_vec());
 /// batch.delete_u64(1);
 /// db.write_batch(batch)?;
 /// assert_eq!(db.get_u64(1)?, None);
-/// assert_eq!(db.get_u64(2)?, Some(b"two".to_vec()));
+/// assert_eq!(db.get_u64(2)?.as_deref(), Some(b"two".as_slice()));
 /// # Ok(())
 /// # }
 /// ```

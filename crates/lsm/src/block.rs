@@ -177,9 +177,11 @@ impl Block {
     /// Finds the newest visible entry for `key` within this block.
     #[must_use]
     pub fn get(&self, key: &[u8]) -> Option<&Entry> {
-        // Entries are sorted by (user key asc, seqno desc); the first match
-        // is therefore the newest version.
-        self.entries.iter().find(|e| e.key.as_ref() == key)
+        // Entries are sorted by (user key asc, seqno desc); the first
+        // entry at or after `key` is therefore the newest version of it,
+        // reachable by binary search instead of a linear scan.
+        let idx = self.entries.partition_point(|e| e.key.as_ref() < key);
+        self.entries.get(idx).filter(|e| e.key.as_ref() == key)
     }
 
     /// Consumes the block, returning its entries.

@@ -1,13 +1,44 @@
 //! The database facade tying memtable, WAL, sstables and compaction
 //! together.
+//!
+//! # Concurrency architecture (the read-path overhaul)
+//!
+//! `Lsm` is split into a **write half** and a **read half** so point
+//! reads never queue behind writers, flushes or compaction:
+//!
+//! * the write half — manifest, WAL, flush/compaction bookkeeping —
+//!   lives behind one internal mutex; `put`/`delete`/`write_batch`/
+//!   `flush`/compaction serialize on it exactly as the old `&mut self`
+//!   API serialized callers;
+//! * the read half is lock-free in the fast path: an `ArcSwap` snapshot
+//!   of the live table list (newest first), a shared [`TableCache`] of
+//!   open lazy readers and a shared [`BlockCache`] of decoded blocks.
+//!   [`Lsm::get`] takes `&self`, loads the snapshot, and probes tables
+//!   through the caches — one data block per hit, zero for
+//!   bloom-negative probes;
+//! * the memtable sits behind a read/write lock held only for map
+//!   operations, never across I/O.
+//!
+//! Writers publish a fresh snapshot at every table-set change: a flush
+//! publishes *before* clearing the memtable (a concurrent read finds
+//! the data in at least one of the two), and compaction publishes at
+//! the manifest flip, *before* consumed inputs are deleted
+//! ([`ParallelExecutor::execute_plan_with`]). A reader still holding a
+//! pre-compaction snapshot can race the blob deletion; it detects the
+//! vanished table, reloads the snapshot and retries — the data is, by
+//! construction, in the compaction output.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use arc_swap::ArcSwap;
 use bytes::Bytes;
 use compaction_core::MergePlan;
+use parking_lot::{Mutex, RwLock};
 
 use crate::batch::WriteBatch;
+use crate::cache::{BlockCache, TableCache};
 use crate::compaction::{CompactionOutcome, CompactionStep};
 use crate::manifest::{Manifest, ManifestEdit, TableMeta};
 use crate::memtable::Memtable;
@@ -15,6 +46,7 @@ use crate::observation::TableKeyObservation;
 use crate::options::{CompactionPolicy, LsmOptions};
 use crate::parallel::ParallelExecutor;
 use crate::planner::{observed_key, plan_compaction};
+use crate::reader::{ReadContext, ReadPathCounters};
 use crate::sstable::{Sstable, SstableBuilder};
 use crate::storage::{FileStorage, MemoryStorage, Storage};
 use crate::types::{key_from_u64, Entry, Key, Value, ValueKind};
@@ -27,9 +59,15 @@ const WAL_SEGMENT: &str = "wal-current";
 ///
 /// Writes go to the memtable (and WAL); when the memtable reaches its key
 /// capacity it is flushed into a new immutable sstable. Reads consult the
-/// memtable first and then the live sstables newest-first, using each
-/// table's bloom filter to skip runs. [`Lsm::major_compact`] executes a
-/// merge schedule and leaves a single sstable behind.
+/// memtable first and then the live sstables newest-first through lazy
+/// readers and the table/block caches, using each table's bloom filter
+/// and key range to skip runs without I/O. [`Lsm::major_compact`]
+/// executes a merge schedule and leaves a single sstable behind.
+///
+/// Every method takes `&self`: writes serialize on an internal mutex,
+/// while [`Lsm::get`] and [`Lsm::scan_all`] run concurrently with each
+/// other *and* with writes, flushes and compaction. Share an `Lsm`
+/// across threads directly (it is `Send + Sync`) — no external lock.
 ///
 /// # Examples
 ///
@@ -37,7 +75,7 @@ const WAL_SEGMENT: &str = "wal-current";
 /// use lsm_engine::{Lsm, LsmOptions};
 ///
 /// # fn main() -> Result<(), lsm_engine::Error> {
-/// let mut db = Lsm::open_in_memory(LsmOptions::default().memtable_capacity(10))?;
+/// let db = Lsm::open_in_memory(LsmOptions::default().memtable_capacity(10))?;
 /// db.put_u64(1, b"one".to_vec())?;
 /// db.delete_u64(1)?;
 /// assert_eq!(db.get_u64(1)?, None);
@@ -48,11 +86,37 @@ const WAL_SEGMENT: &str = "wal-current";
 pub struct Lsm {
     options: LsmOptions,
     storage: Arc<dyn Storage>,
+    /// The write half: manifest, WAL and flush/compaction bookkeeping.
+    write: Mutex<WriteState>,
+    /// Write-side counters, behind their own short-lived lock so that
+    /// [`Lsm::stats`] never waits on the write mutex (which compaction
+    /// holds for its whole run).
+    stats: Mutex<LsmStats>,
+    /// The in-memory buffer, readable without the write mutex.
+    memtable: RwLock<Memtable>,
+    /// The atomically-swappable read view: live tables, newest first.
+    snapshot: ArcSwap<ReadView>,
+    table_cache: Arc<TableCache>,
+    block_cache: Arc<BlockCache>,
+    read_counters: ReadPathCounters,
+    gets: AtomicU64,
+    memtable_hits: AtomicU64,
+    tables_probed: AtomicU64,
+}
+
+/// Mutable engine state guarded by the write mutex.
+#[derive(Debug)]
+struct WriteState {
     manifest: Manifest,
-    memtable: Memtable,
     wal: Option<Wal>,
-    stats: LsmStats,
     flushes_since_compaction: u64,
+}
+
+/// The immutable view a point read navigates: live tables in probe
+/// (newest-first) order. Swapped wholesale on flush and compaction.
+#[derive(Debug, Default)]
+struct ReadView {
+    tables: Vec<TableMeta>,
 }
 
 /// Counters describing the work an [`Lsm`] instance has performed.
@@ -74,6 +138,26 @@ pub struct LsmStats {
     pub tables_probed: u64,
     /// Number of reads answered from the memtable.
     pub memtable_hits: u64,
+    /// Table probes rejected by a bloom filter or min/max key range
+    /// without reading any data block.
+    pub bloom_negative_probes: u64,
+    /// Data blocks fetched from storage on the read path (block-cache
+    /// misses that reached storage).
+    pub data_block_reads: u64,
+    /// Bytes of data blocks fetched from storage on the read path.
+    pub data_block_read_bytes: u64,
+    /// Reader handles served from the table cache.
+    pub table_cache_hits: u64,
+    /// Reader handles opened because the table cache missed.
+    pub table_cache_misses: u64,
+    /// Reader handles dropped by LRU pressure or compaction retirement.
+    pub table_cache_evictions: u64,
+    /// Data blocks served from the block cache.
+    pub block_cache_hits: u64,
+    /// Block lookups that missed the block cache.
+    pub block_cache_misses: u64,
+    /// Blocks dropped by LRU pressure or compaction retirement.
+    pub block_cache_evictions: u64,
     /// Number of major compaction runs executed (manual and automatic).
     pub compactions: u64,
     /// Number of compactions fired by the configured
@@ -119,6 +203,15 @@ impl LsmStats {
         self.flushes += other.flushes;
         self.tables_probed += other.tables_probed;
         self.memtable_hits += other.memtable_hits;
+        self.bloom_negative_probes += other.bloom_negative_probes;
+        self.data_block_reads += other.data_block_reads;
+        self.data_block_read_bytes += other.data_block_read_bytes;
+        self.table_cache_hits += other.table_cache_hits;
+        self.table_cache_misses += other.table_cache_misses;
+        self.table_cache_evictions += other.table_cache_evictions;
+        self.block_cache_hits += other.block_cache_hits;
+        self.block_cache_misses += other.block_cache_misses;
+        self.block_cache_evictions += other.block_cache_evictions;
         self.compactions += other.compactions;
         self.auto_compactions += other.auto_compactions;
         self.compaction_entries_read += other.compaction_entries_read;
@@ -194,14 +287,24 @@ impl Lsm {
         } else {
             None
         };
+        let snapshot = ArcSwap::new(Arc::new(ReadView::from_manifest(&manifest)));
         Ok(Self {
+            table_cache: Arc::new(TableCache::new(options.table_cache_tables())),
+            block_cache: Arc::new(BlockCache::new(options.block_cache_bytes())),
             options,
             storage,
-            manifest,
-            memtable,
-            wal,
-            stats: LsmStats::default(),
-            flushes_since_compaction: 0,
+            write: Mutex::new(WriteState {
+                manifest,
+                wal,
+                flushes_since_compaction: 0,
+            }),
+            stats: Mutex::new(LsmStats::default()),
+            memtable: RwLock::new(memtable),
+            snapshot,
+            read_counters: ReadPathCounters::default(),
+            gets: AtomicU64::new(0),
+            memtable_hits: AtomicU64::new(0),
+            tables_probed: AtomicU64::new(0),
         })
     }
 
@@ -238,22 +341,61 @@ impl Lsm {
         Arc::clone(&self.storage)
     }
 
-    /// Work counters.
+    /// Work counters: write-side counters folded together with the
+    /// lock-free read-path and cache counters. Never waits on the write
+    /// mutex, so a STATS probe answers instantly mid-compaction.
     #[must_use]
-    pub fn stats(&self) -> &LsmStats {
-        &self.stats
+    pub fn stats(&self) -> LsmStats {
+        let mut stats = self.stats.lock().clone();
+        stats.gets = self.gets.load(Ordering::Relaxed);
+        stats.memtable_hits = self.memtable_hits.load(Ordering::Relaxed);
+        stats.tables_probed = self.tables_probed.load(Ordering::Relaxed);
+        stats.bloom_negative_probes = self.read_counters.bloom_negatives();
+        stats.data_block_reads = self.read_counters.block_reads();
+        stats.data_block_read_bytes = self.read_counters.block_read_bytes();
+        let table = self.table_cache.counters();
+        stats.table_cache_hits = table.hits();
+        stats.table_cache_misses = table.misses();
+        stats.table_cache_evictions = table.evictions();
+        let block = self.block_cache.counters();
+        stats.block_cache_hits = block.hits();
+        stats.block_cache_misses = block.misses();
+        stats.block_cache_evictions = block.evictions();
+        stats
     }
 
-    /// Metadata of the live sstables, oldest first.
+    /// Metadata of the live sstables, oldest first. Served from the
+    /// read snapshot, so it never waits on the write mutex; during a
+    /// compaction it reports the pre-flip table set, which is exactly
+    /// what is still live and readable.
     #[must_use]
-    pub fn live_tables(&self) -> &[TableMeta] {
-        self.manifest.tables()
+    pub fn live_tables(&self) -> Vec<TableMeta> {
+        self.snapshot
+            .load_full()
+            .tables
+            .iter()
+            .rev()
+            .cloned()
+            .collect()
     }
 
     /// Number of distinct keys currently buffered in the memtable.
     #[must_use]
     pub fn memtable_len(&self) -> usize {
-        self.memtable.len()
+        self.memtable.read().len()
+    }
+
+    /// Bytes currently held by the block cache (diagnostics).
+    #[must_use]
+    pub fn block_cache_usage_bytes(&self) -> u64 {
+        self.block_cache.usage_bytes()
+    }
+
+    /// Open reader handles currently held by the table cache
+    /// (diagnostics).
+    #[must_use]
+    pub fn table_cache_len(&self) -> usize {
+        self.table_cache.len()
     }
 
     /// Inserts or overwrites `key`.
@@ -262,12 +404,13 @@ impl Lsm {
     ///
     /// Propagates WAL/storage failures; flush failures if the write fills
     /// the memtable.
-    pub fn put(&mut self, key: Key, value: Value) -> Result<(), Error> {
-        let seqno = self.manifest.allocate_seqno();
-        self.log_write(&key, &value, seqno, ValueKind::Put)?;
-        self.memtable.put(key, value, seqno);
-        self.stats.puts += 1;
-        self.maybe_flush()
+    pub fn put(&self, key: Key, value: Value) -> Result<(), Error> {
+        let mut w = self.write.lock();
+        let seqno = w.manifest.allocate_seqno();
+        w.log_write(self.storage.as_ref(), &key, &value, seqno, ValueKind::Put)?;
+        self.memtable.write().put(key, value, seqno);
+        self.stats.lock().puts += 1;
+        self.maybe_flush(&mut w)
     }
 
     /// Deletes `key` by writing a tombstone.
@@ -275,12 +418,19 @@ impl Lsm {
     /// # Errors
     ///
     /// Propagates WAL/storage failures.
-    pub fn delete(&mut self, key: Key) -> Result<(), Error> {
-        let seqno = self.manifest.allocate_seqno();
-        self.log_write(&key, &Bytes::new(), seqno, ValueKind::Tombstone)?;
-        self.memtable.delete(key, seqno);
-        self.stats.deletes += 1;
-        self.maybe_flush()
+    pub fn delete(&self, key: Key) -> Result<(), Error> {
+        let mut w = self.write.lock();
+        let seqno = w.manifest.allocate_seqno();
+        w.log_write(
+            self.storage.as_ref(),
+            &key,
+            &Bytes::new(),
+            seqno,
+            ValueKind::Tombstone,
+        )?;
+        self.memtable.write().delete(key, seqno);
+        self.stats.lock().deletes += 1;
+        self.maybe_flush(&mut w)
     }
 
     /// Applies a [`WriteBatch`]: every operation is appended to the WAL
@@ -303,37 +453,42 @@ impl Lsm {
     /// all-or-nothing); if a subsequent flush fails the batch has
     /// already been applied and logged — it is durable and visible
     /// despite the error.
-    pub fn write_batch(&mut self, batch: WriteBatch) -> Result<(), Error> {
+    pub fn write_batch(&self, batch: WriteBatch) -> Result<(), Error> {
         if batch.is_empty() {
             return Ok(());
         }
+        let mut w = self.write.lock();
         let records: Vec<WalRecord> = batch
             .into_ops()
             .into_iter()
             .map(|op| WalRecord {
-                seqno: self.manifest.allocate_seqno(),
+                seqno: w.manifest.allocate_seqno(),
                 key: op.key,
                 value: op.value,
                 kind: op.kind,
             })
             .collect();
-        if let Some(wal) = &mut self.wal {
+        if let Some(wal) = &mut w.wal {
             wal.append_batch(self.storage.as_ref(), &records)?;
         }
-        for record in records {
-            match record.kind {
-                ValueKind::Put => {
-                    self.memtable.put(record.key, record.value, record.seqno);
-                    self.stats.puts += 1;
-                }
-                ValueKind::Tombstone => {
-                    self.memtable.delete(record.key, record.seqno);
-                    self.stats.deletes += 1;
+        {
+            let mut memtable = self.memtable.write();
+            let mut stats = self.stats.lock();
+            for record in records {
+                match record.kind {
+                    ValueKind::Put => {
+                        memtable.put(record.key, record.value, record.seqno);
+                        stats.puts += 1;
+                    }
+                    ValueKind::Tombstone => {
+                        memtable.delete(record.key, record.seqno);
+                        stats.deletes += 1;
+                    }
                 }
             }
+            stats.write_batches += 1;
         }
-        self.stats.write_batches += 1;
-        self.maybe_flush()
+        self.maybe_flush(&mut w)
     }
 
     /// Convenience: [`Lsm::put`] with a big-endian-encoded integer key.
@@ -341,7 +496,7 @@ impl Lsm {
     /// # Errors
     ///
     /// Same as [`Lsm::put`].
-    pub fn put_u64(&mut self, key: u64, value: impl Into<Vec<u8>>) -> Result<(), Error> {
+    pub fn put_u64(&self, key: u64, value: impl Into<Vec<u8>>) -> Result<(), Error> {
         self.put(key_from_u64(key), Bytes::from(value.into()))
     }
 
@@ -350,49 +505,71 @@ impl Lsm {
     /// # Errors
     ///
     /// Same as [`Lsm::delete`].
-    pub fn delete_u64(&mut self, key: u64) -> Result<(), Error> {
+    pub fn delete_u64(&self, key: u64) -> Result<(), Error> {
         self.delete(key_from_u64(key))
     }
 
     /// Point read: newest visible value for `key`, or `None` if the key
     /// was never written or its newest version is a tombstone.
     ///
+    /// Lock-free against writers: consults the memtable under a brief
+    /// read lock, then probes the snapshot's tables newest-first through
+    /// the table and block caches. If compaction retires a probed table
+    /// mid-read (its blob vanishes), the read reloads the snapshot and
+    /// retries — the merged data is in the new table set.
+    ///
     /// # Errors
     ///
     /// Propagates storage and corruption errors.
-    pub fn get(&mut self, key: &[u8]) -> Result<Option<Value>, Error> {
-        self.stats.gets += 1;
-        if let Some(entry) = self.memtable.get(key) {
-            self.stats.memtable_hits += 1;
-            return Ok(visible(entry));
-        }
-        // Newest table first: tables are listed oldest-first in the
-        // manifest, so iterate in reverse.
-        let ids: Vec<u64> = self
-            .manifest
-            .tables()
-            .iter()
-            .rev()
-            .map(|t| t.table_id)
-            .collect();
-        for id in ids {
-            self.stats.tables_probed += 1;
-            let table = Sstable::load(self.storage.as_ref(), id)?;
-            if let Some(entry) = table.get(key)? {
+    pub fn get(&self, key: &[u8]) -> Result<Option<Value>, Error> {
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        loop {
+            if let Some(entry) = self.memtable.read().get(key) {
+                self.memtable_hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(visible(entry));
+            }
+            let snap = self.snapshot.load_full();
+            match self.probe_tables(&snap, key) {
+                Ok(found) => return Ok(found.and_then(visible)),
+                Err(e) if is_retired_table(&e) && self.snapshot_changed(&snap) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Probes the snapshot's tables newest-first for `key`.
+    fn probe_tables(&self, snap: &ReadView, key: &[u8]) -> Result<Option<Entry>, Error> {
+        let ctx = ReadContext {
+            block_cache: &self.block_cache,
+            fill_cache: self.options.fills_cache(),
+            counters: &self.read_counters,
+        };
+        for meta in &snap.tables {
+            self.tables_probed.fetch_add(1, Ordering::Relaxed);
+            let reader = self.table_cache.get_or_open(
+                &self.storage,
+                meta.table_id,
+                Some(meta.encoded_len),
+            )?;
+            if let Some(entry) = reader.get(key, ctx)? {
+                return Ok(Some(entry));
             }
         }
         Ok(None)
     }
 
-    /// Convenience: [`Lsm::get`] with an integer key, returning an owned
-    /// `Vec<u8>`.
+    fn snapshot_changed(&self, seen: &Arc<ReadView>) -> bool {
+        !Arc::ptr_eq(seen, &self.snapshot.load_full())
+    }
+
+    /// Convenience: [`Lsm::get`] with an integer key. Returns the stored
+    /// value without copying it (a [`Value`] is cheaply clonable).
     ///
     /// # Errors
     ///
     /// Same as [`Lsm::get`].
-    pub fn get_u64(&mut self, key: u64) -> Result<Option<Vec<u8>>, Error> {
-        Ok(self.get(&key_from_u64(key))?.map(|v| v.to_vec()))
+    pub fn get_u64(&self, key: u64) -> Result<Option<Value>, Error> {
+        self.get(&key_from_u64(key))
     }
 
     /// Flushes the memtable to a new sstable even if it is not full.
@@ -407,20 +584,31 @@ impl Lsm {
     ///
     /// Propagates storage failures (from the flush itself or from a
     /// policy-triggered compaction).
-    pub fn flush(&mut self) -> Result<Option<u64>, Error> {
-        if self.memtable.is_empty() {
-            return Ok(None);
-        }
-        let table_id = self.manifest.allocate_table_id();
+    pub fn flush(&self) -> Result<Option<u64>, Error> {
+        let mut w = self.write.lock();
+        self.flush_locked(&mut w)
+    }
+
+    fn flush_locked(&self, w: &mut WriteState) -> Result<Option<u64>, Error> {
+        // Snapshot the entries without draining: concurrent reads keep
+        // hitting the memtable until the new table is published.
+        let entries: Vec<Entry> = {
+            let memtable = self.memtable.read();
+            if memtable.is_empty() {
+                return Ok(None);
+            }
+            memtable.iter().collect()
+        };
+        let table_id = w.manifest.allocate_table_id();
         let mut builder = SstableBuilder::new(
             table_id,
             self.options.block_size_bytes(),
             self.options.bloom_bits(),
         );
-        let mut observed = Vec::with_capacity(self.memtable.len());
-        for entry in self.memtable.drain_sorted() {
+        let mut observed = Vec::with_capacity(entries.len());
+        for entry in &entries {
             observed.push(observed_key(&entry.key));
-            builder.add(&entry);
+            builder.add(entry);
         }
         let (data, meta) = builder.finish();
         self.storage
@@ -428,22 +616,26 @@ impl Lsm {
         // Persist the key observation before the manifest references the
         // table: a crash in between leaves only orphans (swept on open),
         // never a live table without its sidecar. Best-effort — the
-        // memtable is already drained, so failing the flush over
-        // derivable cache data (the planner falls back to reading the
-        // table) would strand the drained entries.
+        // planner falls back to reading the table if the sidecar is
+        // missing, so a failed cache write must not fail the flush.
         let _ = TableKeyObservation::new(table_id, observed).persist(self.storage.as_ref());
-        self.manifest.apply(ManifestEdit::AddTable(TableMeta {
+        w.manifest.apply(ManifestEdit::AddTable(TableMeta {
             table_id,
             entry_count: meta.entry_count,
             encoded_len: meta.encoded_len,
         }))?;
-        self.manifest.persist(self.storage.as_ref())?;
-        if let Some(wal) = &mut self.wal {
+        w.manifest.persist(self.storage.as_ref())?;
+        // Publish the new table, *then* clear the memtable: a read
+        // between the two sees the data twice (deduplicated by seqno),
+        // never zero times.
+        self.publish_snapshot(&w.manifest);
+        self.memtable.write().clear();
+        if let Some(wal) = &mut w.wal {
             wal.reset(self.storage.as_ref())?;
         }
-        self.stats.flushes += 1;
-        self.flushes_since_compaction += 1;
-        self.maybe_compact()?;
+        self.stats.lock().flushes += 1;
+        w.flushes_since_compaction += 1;
+        self.maybe_compact_locked(w)?;
         Ok(Some(table_id))
     }
 
@@ -458,18 +650,21 @@ impl Lsm {
     /// # Errors
     ///
     /// Propagates planning and storage failures.
-    pub fn maybe_compact(&mut self) -> Result<Option<AutoCompaction>, Error> {
+    pub fn maybe_compact(&self) -> Result<Option<AutoCompaction>, Error> {
+        let mut w = self.write.lock();
+        self.maybe_compact_locked(&mut w)
+    }
+
+    fn maybe_compact_locked(&self, w: &mut WriteState) -> Result<Option<AutoCompaction>, Error> {
         let fire = match self.options.policy() {
             CompactionPolicy::Disabled | CompactionPolicy::Manual => false,
-            CompactionPolicy::Threshold { live_tables } => {
-                self.manifest.table_count() >= live_tables
-            }
-            CompactionPolicy::EveryNFlushes { flushes } => self.flushes_since_compaction >= flushes,
+            CompactionPolicy::Threshold { live_tables } => w.manifest.table_count() >= live_tables,
+            CompactionPolicy::EveryNFlushes { flushes } => w.flushes_since_compaction >= flushes,
         };
         if !fire {
             return Ok(None);
         }
-        self.run_planned_compaction()
+        self.run_planned_compaction(w)
     }
 
     /// Plans a compaction of the live tables with the configured
@@ -485,28 +680,34 @@ impl Lsm {
     /// # Errors
     ///
     /// Propagates planning and storage failures.
-    pub fn auto_compact(&mut self) -> Result<Option<AutoCompaction>, Error> {
+    pub fn auto_compact(&self) -> Result<Option<AutoCompaction>, Error> {
         if self.options.policy() == CompactionPolicy::Disabled {
             return Ok(None);
         }
-        self.run_planned_compaction()
+        let mut w = self.write.lock();
+        self.run_planned_compaction(&mut w)
     }
 
-    fn run_planned_compaction(&mut self) -> Result<Option<AutoCompaction>, Error> {
+    fn run_planned_compaction(&self, w: &mut WriteState) -> Result<Option<AutoCompaction>, Error> {
         let start = Instant::now();
         let Some(plan) =
-            plan_compaction(self.storage.as_ref(), self.manifest.tables(), &self.options)?
+            plan_compaction(self.storage.as_ref(), w.manifest.tables(), &self.options)?
         else {
             return Ok(None);
         };
-        let initial: Vec<u64> = self.manifest.tables().iter().map(|t| t.table_id).collect();
+        let initial: Vec<u64> = w.manifest.tables().iter().map(|t| t.table_id).collect();
         let executor = ParallelExecutor::new(Arc::clone(&self.storage), self.options.clone());
-        let outcome = executor.execute_plan(&mut self.manifest, &initial, &plan)?;
+        let outcome = executor.execute_plan_with(&mut w.manifest, &initial, &plan, |manifest| {
+            self.on_manifest_flip(&initial, manifest);
+        })?;
         let stall = start.elapsed();
-        self.stats.record_compaction(&outcome, stall);
-        self.stats.auto_compactions += 1;
-        self.stats.compaction_predicted_cost += plan.predicted_cost_actual();
-        self.flushes_since_compaction = 0;
+        {
+            let mut stats = self.stats.lock();
+            stats.record_compaction(&outcome, stall);
+            stats.auto_compactions += 1;
+            stats.compaction_predicted_cost += plan.predicted_cost_actual();
+        }
+        w.flushes_since_compaction = 0;
         Ok(Some(AutoCompaction {
             plan,
             outcome,
@@ -530,39 +731,98 @@ impl Lsm {
     ///
     /// Returns [`Error::InvalidCompaction`] for malformed schedules and
     /// propagates storage errors.
-    pub fn major_compact(&mut self, steps: &[CompactionStep]) -> Result<CompactionOutcome, Error> {
+    pub fn major_compact(&self, steps: &[CompactionStep]) -> Result<CompactionOutcome, Error> {
         let start = Instant::now();
-        let initial: Vec<u64> = self.manifest.tables().iter().map(|t| t.table_id).collect();
+        let mut w = self.write.lock();
+        let initial: Vec<u64> = w.manifest.tables().iter().map(|t| t.table_id).collect();
         let executor = ParallelExecutor::new(Arc::clone(&self.storage), self.options.clone());
-        let outcome = executor.execute(&mut self.manifest, &initial, steps)?;
-        self.stats.record_compaction(&outcome, start.elapsed());
-        self.flushes_since_compaction = 0;
+        let outcome = executor.execute_with(&mut w.manifest, &initial, steps, |manifest| {
+            self.on_manifest_flip(&initial, manifest);
+        })?;
+        self.stats
+            .lock()
+            .record_compaction(&outcome, start.elapsed());
+        w.flushes_since_compaction = 0;
         Ok(outcome)
+    }
+
+    /// Publishes the post-flip read view and purges retired tables from
+    /// the caches. Runs after the manifest is persisted but before the
+    /// consumed input blobs are deleted, so readers migrate to the new
+    /// tables while the old ones still exist.
+    fn on_manifest_flip(&self, previous_ids: &[u64], manifest: &Manifest) {
+        self.publish_snapshot(manifest);
+        for &id in previous_ids {
+            if manifest.table(id).is_none() {
+                self.table_cache.evict_table(id);
+                self.block_cache.evict_table(id);
+            }
+        }
+    }
+
+    fn publish_snapshot(&self, manifest: &Manifest) {
+        self.snapshot
+            .store(Arc::new(ReadView::from_manifest(manifest)));
     }
 
     /// Returns every live key/value pair, merged across the memtable and
     /// all sstables with newest-wins semantics and tombstones applied.
     /// Intended for verification and small scans, not as a streaming API.
     ///
+    /// Takes `&self` and runs concurrently with writes and compaction;
+    /// scan block fetches bypass the block cache so a full scan cannot
+    /// flush the hot set.
+    ///
     /// # Errors
     ///
     /// Propagates storage and corruption errors.
     pub fn scan_all(&self) -> Result<Vec<(Key, Value)>, Error> {
-        let mut sources: Vec<Vec<Entry>> = Vec::new();
+        loop {
+            // Memtable first, snapshot second: anything missing from an
+            // older snapshot is still in the memtable entries collected
+            // before it, and duplicates deduplicate by seqno.
+            let memtable_entries: Vec<Entry> = self.memtable.read().iter().collect();
+            let snap = self.snapshot.load_full();
+            match self.scan_snapshot(&snap, memtable_entries) {
+                Ok(all) => return Ok(all),
+                Err(e) if is_retired_table(&e) && self.snapshot_changed(&snap) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn scan_snapshot(
+        &self,
+        snap: &ReadView,
+        memtable_entries: Vec<Entry>,
+    ) -> Result<Vec<(Key, Value)>, Error> {
+        let ctx = ReadContext {
+            block_cache: &self.block_cache,
+            fill_cache: false,
+            counters: &self.read_counters,
+        };
+        let mut sources: Vec<Vec<Entry>> = Vec::with_capacity(snap.tables.len() + 1);
         // Oldest tables first so the merging iterator's newest-wins rule
         // (by seqno) sees consistent ordering.
-        for meta in self.manifest.tables() {
-            let table = Sstable::load(self.storage.as_ref(), meta.table_id)?;
-            let entries: Result<Vec<Entry>, Error> = table.iter().collect();
+        for meta in snap.tables.iter().rev() {
+            let reader = self.table_cache.get_or_open(
+                &self.storage,
+                meta.table_id,
+                Some(meta.encoded_len),
+            )?;
+            let entries: Result<Vec<Entry>, Error> = reader.iter(ctx).collect();
             sources.push(entries?);
         }
-        sources.push(self.memtable.iter().collect());
+        sources.push(memtable_entries);
         let merged = crate::iter::MergingIter::new(sources, true);
         Ok(merged.map(|e| (e.key, e.value)).collect())
     }
+}
 
+impl WriteState {
     fn log_write(
         &mut self,
+        storage: &dyn Storage,
         key: &Key,
         value: &Value,
         seqno: u64,
@@ -570,7 +830,7 @@ impl Lsm {
     ) -> Result<(), Error> {
         if let Some(wal) = &mut self.wal {
             wal.append(
-                self.storage.as_ref(),
+                storage,
                 &WalRecord {
                     key: key.clone(),
                     value: value.clone(),
@@ -581,19 +841,37 @@ impl Lsm {
         }
         Ok(())
     }
+}
 
-    fn maybe_flush(&mut self) -> Result<(), Error> {
-        if self.memtable.is_full() {
-            self.flush()?;
+impl Lsm {
+    fn maybe_flush(&self, w: &mut WriteState) -> Result<(), Error> {
+        if self.memtable.read().is_full() {
+            self.flush_locked(w)?;
         }
         Ok(())
     }
 }
 
-// The KV service moves `Lsm` shards across threads (each behind its own
-// lock); keep the engine `Send`, checked at compile time.
-const fn assert_send<T: Send>() {}
-const _: () = assert_send::<Lsm>();
+impl ReadView {
+    /// Builds the probe-order (newest-first) view of a manifest.
+    fn from_manifest(manifest: &Manifest) -> Self {
+        Self {
+            tables: manifest.tables().iter().rev().cloned().collect(),
+        }
+    }
+}
+
+/// `true` for the error a reader sees when a table it probes was
+/// retired by compaction and its blob already deleted.
+fn is_retired_table(e: &Error) -> bool {
+    matches!(e, Error::Io(io) if io.kind() == std::io::ErrorKind::NotFound)
+}
+
+// The KV service shares one `Lsm` per shard across every worker thread:
+// reads run lock-free against the snapshot while writes serialize on the
+// internal write mutex. Checked at compile time.
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = assert_send_sync::<Lsm>();
 
 /// Maps a (possibly tombstone) entry to the user-visible value.
 fn visible(entry: Entry) -> Option<Value> {
@@ -612,14 +890,18 @@ mod tests {
         Lsm::open_in_memory(LsmOptions::default().memtable_capacity(10)).unwrap()
     }
 
+    fn get_vec(db: &Lsm, key: u64) -> Option<Vec<u8>> {
+        db.get_u64(key).unwrap().map(|v| v.to_vec())
+    }
+
     #[test]
     fn put_get_delete_in_memtable() {
-        let mut db = small_db();
+        let db = small_db();
         db.put_u64(1, b"one".to_vec()).unwrap();
-        assert_eq!(db.get_u64(1).unwrap(), Some(b"one".to_vec()));
+        assert_eq!(get_vec(&db, 1), Some(b"one".to_vec()));
         db.delete_u64(1).unwrap();
-        assert_eq!(db.get_u64(1).unwrap(), None);
-        assert_eq!(db.get_u64(2).unwrap(), None);
+        assert_eq!(get_vec(&db, 1), None);
+        assert_eq!(get_vec(&db, 2), None);
         assert_eq!(db.stats().puts, 1);
         assert_eq!(db.stats().deletes, 1);
         assert_eq!(db.stats().gets, 3);
@@ -627,7 +909,7 @@ mod tests {
 
     #[test]
     fn automatic_flush_on_capacity() {
-        let mut db = small_db();
+        let db = small_db();
         for i in 0..25u64 {
             db.put_u64(i, vec![b'x']).unwrap();
         }
@@ -635,27 +917,27 @@ mod tests {
         assert!(db.live_tables().len() >= 2);
         // All keys remain readable across memtable + sstables.
         for i in 0..25u64 {
-            assert_eq!(db.get_u64(i).unwrap(), Some(vec![b'x']), "key {i}");
+            assert_eq!(get_vec(&db, i), Some(vec![b'x']), "key {i}");
         }
     }
 
     #[test]
     fn newest_version_wins_across_tables() {
-        let mut db = small_db();
+        let db = small_db();
         db.put_u64(7, b"v1".to_vec()).unwrap();
         db.flush().unwrap();
         db.put_u64(7, b"v2".to_vec()).unwrap();
         db.flush().unwrap();
-        assert_eq!(db.get_u64(7).unwrap(), Some(b"v2".to_vec()));
+        assert_eq!(get_vec(&db, 7), Some(b"v2".to_vec()));
 
         db.delete_u64(7).unwrap();
         db.flush().unwrap();
-        assert_eq!(db.get_u64(7).unwrap(), None, "tombstone shadows older puts");
+        assert_eq!(get_vec(&db, 7), None, "tombstone shadows older puts");
     }
 
     #[test]
     fn major_compact_collapses_to_one_table() {
-        let mut db = small_db();
+        let db = small_db();
         for i in 0..40u64 {
             db.put_u64(i % 20, format!("v{i}").into_bytes()).unwrap();
         }
@@ -678,22 +960,19 @@ mod tests {
         assert!(outcome.entry_cost() > 0);
 
         // Data integrity after compaction.
-        assert_eq!(db.get_u64(3).unwrap(), None);
+        assert_eq!(get_vec(&db, 3), None);
         for i in 0..20u64 {
             if i == 3 {
                 continue;
             }
-            assert!(
-                db.get_u64(i).unwrap().is_some(),
-                "key {i} lost by compaction"
-            );
+            assert!(get_vec(&db, i).is_some(), "key {i} lost by compaction");
         }
         assert_eq!(db.stats().compactions, 1);
     }
 
     #[test]
     fn scan_all_merges_memtable_and_tables() {
-        let mut db = small_db();
+        let db = small_db();
         for i in 0..15u64 {
             db.put_u64(i, vec![i as u8]).unwrap();
         }
@@ -714,7 +993,7 @@ mod tests {
     fn wal_recovery_restores_unflushed_writes() {
         let storage: Arc<dyn Storage> = Arc::new(MemoryStorage::new());
         {
-            let mut db = Lsm::open(
+            let db = Lsm::open(
                 Arc::clone(&storage),
                 LsmOptions::default().memtable_capacity(100),
             )
@@ -724,10 +1003,9 @@ mod tests {
             db.delete_u64(2).unwrap();
             // Dropped without flush: data only in WAL.
         }
-        let mut reopened =
-            Lsm::open(storage, LsmOptions::default().memtable_capacity(100)).unwrap();
-        assert_eq!(reopened.get_u64(1).unwrap(), Some(b"persisted".to_vec()));
-        assert_eq!(reopened.get_u64(2).unwrap(), None);
+        let reopened = Lsm::open(storage, LsmOptions::default().memtable_capacity(100)).unwrap();
+        assert_eq!(get_vec(&reopened, 1), Some(b"persisted".to_vec()));
+        assert_eq!(get_vec(&reopened, 2), None);
         assert_eq!(reopened.memtable_len(), 2);
     }
 
@@ -736,18 +1014,16 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("lsm-db-test-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         {
-            let mut db =
-                Lsm::open_on_disk(&dir, LsmOptions::default().memtable_capacity(4)).unwrap();
+            let db = Lsm::open_on_disk(&dir, LsmOptions::default().memtable_capacity(4)).unwrap();
             for i in 0..10u64 {
                 db.put_u64(i, format!("d{i}").into_bytes()).unwrap();
             }
             db.flush().unwrap();
         }
         {
-            let mut db =
-                Lsm::open_on_disk(&dir, LsmOptions::default().memtable_capacity(4)).unwrap();
+            let db = Lsm::open_on_disk(&dir, LsmOptions::default().memtable_capacity(4)).unwrap();
             for i in 0..10u64 {
-                assert_eq!(db.get_u64(i).unwrap(), Some(format!("d{i}").into_bytes()));
+                assert_eq!(get_vec(&db, i), Some(format!("d{i}").into_bytes()));
             }
         }
         std::fs::remove_dir_all(&dir).ok();
@@ -755,7 +1031,7 @@ mod tests {
 
     #[test]
     fn threshold_policy_compacts_without_manual_steps() {
-        let mut db = Lsm::open_in_memory(
+        let db = Lsm::open_in_memory(
             LsmOptions::default()
                 .memtable_capacity(10)
                 .compaction_policy(CompactionPolicy::Threshold { live_tables: 4 })
@@ -775,13 +1051,13 @@ mod tests {
         assert!(db.stats().compaction_stall > Duration::ZERO);
         // Data integrity under policy-driven compaction.
         for i in 0..60u64 {
-            assert!(db.get_u64(i).unwrap().is_some(), "key {i}");
+            assert!(get_vec(&db, i).is_some(), "key {i}");
         }
     }
 
     #[test]
     fn every_n_flushes_policy_fires_on_schedule() {
-        let mut db = Lsm::open_in_memory(
+        let db = Lsm::open_in_memory(
             LsmOptions::default()
                 .memtable_capacity(5)
                 .compaction_policy(CompactionPolicy::EveryNFlushes { flushes: 3 })
@@ -802,7 +1078,7 @@ mod tests {
 
     #[test]
     fn auto_compact_honors_disabled_and_manual_policies() {
-        let mut disabled = Lsm::open_in_memory(
+        let disabled = Lsm::open_in_memory(
             LsmOptions::default()
                 .memtable_capacity(5)
                 .compaction_policy(CompactionPolicy::Disabled)
@@ -820,7 +1096,7 @@ mod tests {
 
         // Manual: nothing fires automatically, but auto_compact works on
         // demand with zero manual CompactionStep construction.
-        let mut manual =
+        let manual =
             Lsm::open_in_memory(LsmOptions::default().memtable_capacity(5).wal(false)).unwrap();
         for i in 0..30u64 {
             manual.put_u64(i, b"x".to_vec()).unwrap();
@@ -845,7 +1121,7 @@ mod tests {
     #[test]
     fn parallel_threads_preserve_contents_under_policy() {
         let run = |threads: usize| {
-            let mut db = Lsm::open_in_memory(
+            let db = Lsm::open_in_memory(
                 LsmOptions::default()
                     .memtable_capacity(8)
                     .compaction_policy(CompactionPolicy::Threshold { live_tables: 6 })
@@ -867,7 +1143,7 @@ mod tests {
     fn orphan_blobs_are_swept_on_open() {
         let storage: Arc<dyn Storage> = Arc::new(MemoryStorage::new());
         {
-            let mut db = Lsm::open(
+            let db = Lsm::open(
                 Arc::clone(&storage),
                 LsmOptions::default().memtable_capacity(5),
             )
@@ -883,7 +1159,7 @@ mod tests {
             .write_blob(&Sstable::blob_name(9_999), b"garbage-orphan")
             .unwrap();
         assert!(storage.contains_blob(&Sstable::blob_name(9_999)));
-        let mut db = Lsm::open(
+        let db = Lsm::open(
             Arc::clone(&storage),
             LsmOptions::default().memtable_capacity(5),
         )
@@ -893,13 +1169,13 @@ mod tests {
             "orphan swept on open"
         );
         for i in 0..20u64 {
-            assert_eq!(db.get_u64(i).unwrap(), Some(b"x".to_vec()));
+            assert_eq!(get_vec(&db, i), Some(b"x".to_vec()));
         }
     }
 
     #[test]
     fn write_batch_applies_in_order_with_one_flush() {
-        let mut db = small_db();
+        let db = small_db();
         let mut batch = WriteBatch::with_capacity(25);
         for i in 0..25u64 {
             batch.put_u64(i, format!("b{i}").into_bytes());
@@ -911,10 +1187,10 @@ mod tests {
         assert_eq!(db.stats().write_batches, 1);
         assert_eq!(db.stats().puts, 26);
         assert_eq!(db.stats().deletes, 1);
-        assert_eq!(db.get_u64(3).unwrap(), None, "in-batch order respected");
-        assert_eq!(db.get_u64(4).unwrap(), Some(b"rewritten".to_vec()));
+        assert_eq!(get_vec(&db, 3), None, "in-batch order respected");
+        assert_eq!(get_vec(&db, 4), Some(b"rewritten".to_vec()));
         for i in 5..25u64 {
-            assert_eq!(db.get_u64(i).unwrap(), Some(format!("b{i}").into_bytes()));
+            assert_eq!(get_vec(&db, i), Some(format!("b{i}").into_bytes()));
         }
         // Empty batch is a no-op.
         db.write_batch(WriteBatch::new()).unwrap();
@@ -925,7 +1201,7 @@ mod tests {
     fn write_batch_survives_crash_recovery() {
         let storage: Arc<dyn Storage> = Arc::new(MemoryStorage::new());
         {
-            let mut db = Lsm::open(
+            let db = Lsm::open(
                 Arc::clone(&storage),
                 LsmOptions::default().memtable_capacity(100),
             )
@@ -938,10 +1214,9 @@ mod tests {
             db.write_batch(batch).unwrap();
             // Dropped without flush: the batch lives only in the WAL.
         }
-        let mut reopened =
-            Lsm::open(storage, LsmOptions::default().memtable_capacity(100)).unwrap();
-        assert_eq!(reopened.get_u64(1).unwrap(), None);
-        assert_eq!(reopened.get_u64(2).unwrap(), Some(b"two".to_vec()));
+        let reopened = Lsm::open(storage, LsmOptions::default().memtable_capacity(100)).unwrap();
+        assert_eq!(get_vec(&reopened, 1), None);
+        assert_eq!(get_vec(&reopened, 2), Some(b"two".to_vec()));
     }
 
     #[test]
@@ -950,6 +1225,7 @@ mod tests {
             puts: 1,
             gets: 2,
             flushes: 3,
+            block_cache_hits: 4,
             compaction_stall: Duration::from_millis(5),
             ..LsmStats::default()
         };
@@ -957,6 +1233,10 @@ mod tests {
             puts: 10,
             deletes: 4,
             write_batches: 2,
+            block_cache_hits: 6,
+            table_cache_misses: 3,
+            data_block_reads: 9,
+            bloom_negative_probes: 2,
             compaction_stall: Duration::from_millis(7),
             ..LsmStats::default()
         };
@@ -966,13 +1246,17 @@ mod tests {
         assert_eq!(a.gets, 2);
         assert_eq!(a.flushes, 3);
         assert_eq!(a.write_batches, 2);
+        assert_eq!(a.block_cache_hits, 10);
+        assert_eq!(a.table_cache_misses, 3);
+        assert_eq!(a.data_block_reads, 9);
+        assert_eq!(a.bloom_negative_probes, 2);
         assert_eq!(a.compaction_stall, Duration::from_millis(12));
     }
 
     #[test]
     fn flush_persists_key_observation_sidecars() {
         let storage: Arc<dyn Storage> = Arc::new(MemoryStorage::new());
-        let mut db = Lsm::open(
+        let db = Lsm::open(
             Arc::clone(&storage),
             LsmOptions::default().memtable_capacity(10).wal(false),
         )
@@ -991,7 +1275,7 @@ mod tests {
     fn orphan_observation_sidecars_are_swept_on_open() {
         let storage: Arc<dyn Storage> = Arc::new(MemoryStorage::new());
         {
-            let mut db = Lsm::open(
+            let db = Lsm::open(
                 Arc::clone(&storage),
                 LsmOptions::default().memtable_capacity(5),
             )
@@ -1017,7 +1301,7 @@ mod tests {
 
     #[test]
     fn compaction_retires_input_observation_sidecars() {
-        let mut db = Lsm::open_in_memory(
+        let db = Lsm::open_in_memory(
             LsmOptions::default()
                 .memtable_capacity(5)
                 .compaction_policy(CompactionPolicy::Threshold { live_tables: 4 })
@@ -1047,11 +1331,71 @@ mod tests {
 
     #[test]
     fn wal_disabled_still_works_without_durability() {
-        let mut db =
+        let db =
             Lsm::open_in_memory(LsmOptions::default().memtable_capacity(5).wal(false)).unwrap();
         for i in 0..12u64 {
             db.put_u64(i, b"x".to_vec()).unwrap();
         }
-        assert_eq!(db.get_u64(11).unwrap(), Some(b"x".to_vec()));
+        assert_eq!(get_vec(&db, 11), Some(b"x".to_vec()));
+    }
+
+    #[test]
+    fn get_is_sharable_across_threads() {
+        let db = Arc::new(
+            Lsm::open_in_memory(LsmOptions::default().memtable_capacity(8).wal(false)).unwrap(),
+        );
+        for i in 0..64u64 {
+            db.put_u64(i, vec![i as u8]).unwrap();
+        }
+        db.flush().unwrap();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let db = Arc::clone(&db);
+                scope.spawn(move || {
+                    for i in 0..64u64 {
+                        assert_eq!(get_vec(&db, i), Some(vec![i as u8]), "thread {t} key {i}");
+                    }
+                });
+            }
+        });
+        assert_eq!(db.stats().gets, 4 * 64);
+    }
+
+    #[test]
+    fn warm_reads_serve_from_caches() {
+        let db = Lsm::open_in_memory(
+            LsmOptions::default()
+                .memtable_capacity(50)
+                .block_size(256)
+                .wal(false),
+        )
+        .unwrap();
+        for i in 0..200u64 {
+            db.put_u64(i, format!("value-{i}").into_bytes()).unwrap();
+        }
+        db.flush().unwrap();
+        assert!(db.live_tables().len() >= 2);
+
+        // Cold read: opens readers, fetches one block per probed table.
+        assert_eq!(get_vec(&db, 77), Some(b"value-77".to_vec()));
+        let cold = db.stats();
+        assert!(cold.data_block_reads >= 1);
+
+        // Warm read of the same key: zero new storage block fetches.
+        let bytes_before = db.storage().bytes_read();
+        assert_eq!(get_vec(&db, 77), Some(b"value-77".to_vec()));
+        let warm = db.stats();
+        assert_eq!(
+            warm.data_block_reads, cold.data_block_reads,
+            "warm read fetched a block"
+        );
+        assert_eq!(
+            db.storage().bytes_read(),
+            bytes_before,
+            "warm read did storage I/O"
+        );
+        assert!(warm.block_cache_hits > cold.block_cache_hits);
+        assert!(db.table_cache_len() >= 1);
+        assert!(db.block_cache_usage_bytes() > 0);
     }
 }

@@ -25,9 +25,15 @@
 //!   simulation, [`FileStorage`] for real files);
 //! * [`MergingIter`] — a heap-based k-way merging iterator with
 //!   newest-wins de-duplication and tombstone dropping;
+//! * [`SstableReader`] — the lazy read path: a table opens with two
+//!   ranged reads ([`Storage::read_blob_range`]) of its tail (bloom +
+//!   min/max meta + index + footer) and fetches one data block per
+//!   lookup through the [`TableCache`] / [`BlockCache`] pair;
 //! * [`Lsm`] — the database facade: `put`/`get`/`delete`/`flush`, plus
 //!   [`Lsm::major_compact`], which physically executes a merge schedule
-//!   produced by the `compaction-core` crate.
+//!   produced by the `compaction-core` crate. Every method takes
+//!   `&self`; reads are lock-free against writers via an
+//!   atomically-swapped snapshot of the live table list.
 //!
 //! On top of the substrate, the engine **compacts itself** with the
 //! paper's heuristics:
@@ -58,7 +64,7 @@
 //! use lsm_engine::{CompactionPolicy, Lsm, LsmOptions, Strategy};
 //!
 //! # fn main() -> Result<(), lsm_engine::Error> {
-//! let mut db = Lsm::open_in_memory(
+//! let db = Lsm::open_in_memory(
 //!     LsmOptions::default()
 //!         .memtable_capacity(128)
 //!         .compaction_policy(CompactionPolicy::Threshold { live_tables: 4 })
@@ -68,7 +74,7 @@
 //!     db.put_u64(i, format!("value-{i}").into_bytes())?;
 //! }
 //! db.flush()?;
-//! assert_eq!(db.get_u64(42)?, Some(b"value-42".to_vec()));
+//! assert_eq!(db.get_u64(42)?.as_deref(), Some(b"value-42".as_slice()));
 //! assert!(db.live_tables().len() < 4, "the engine compacted itself");
 //! assert!(db.stats().auto_compactions >= 1);
 //! # Ok(())
@@ -81,6 +87,7 @@
 mod batch;
 mod block;
 mod bloom;
+mod cache;
 mod compaction;
 mod db;
 mod error;
@@ -91,6 +98,7 @@ mod observation;
 mod options;
 mod parallel;
 mod planner;
+mod reader;
 mod sstable;
 mod storage;
 mod types;
@@ -99,6 +107,7 @@ mod wal;
 pub use batch::{BatchOp, WriteBatch};
 pub use block::{Block, BlockBuilder};
 pub use bloom::BloomFilter;
+pub use cache::{BlockCache, CacheCounters, TableCache};
 pub use compaction::{CompactionExecutor, CompactionOutcome, CompactionStep};
 pub use db::{AutoCompaction, Lsm, LsmStats};
 pub use error::Error;
@@ -109,6 +118,7 @@ pub use observation::TableKeyObservation;
 pub use options::{CompactionPolicy, LsmOptions};
 pub use parallel::ParallelExecutor;
 pub use planner::{observe_tables, observed_key, plan_compaction};
+pub use reader::{ReadContext, ReadPathCounters, SstableReader, SstableReaderIter};
 pub use sstable::{Sstable, SstableBuilder, SstableIter, SstableMeta};
 pub use storage::{FileStorage, MemoryStorage, Storage};
 pub use types::{key_from_u64, key_to_u64, Entry, InternalKey, Key, SeqNo, Value, ValueKind};

@@ -126,14 +126,13 @@ impl Memtable {
             })
     }
 
-    /// Drains the memtable, returning its entries in key order and leaving
-    /// it empty (ready to absorb new writes).
-    #[must_use]
-    pub fn drain_sorted(&mut self) -> Vec<Entry> {
-        let entries = self.iter().collect();
+    /// Empties the memtable. The flush path snapshots entries with
+    /// [`Memtable::iter`] first, publishes the new sstable to readers,
+    /// and only then clears — so a concurrent read always finds the data
+    /// in at least one of the two places.
+    pub fn clear(&mut self) {
         self.entries.clear();
         self.approximate_bytes = 0;
-        entries
     }
 }
 
@@ -178,17 +177,18 @@ mod tests {
     }
 
     #[test]
-    fn drain_sorted_returns_key_order_and_clears() {
+    fn iter_returns_key_order_and_clear_empties() {
         let mut mt = Memtable::new(10);
         for key in [5u64, 1, 9, 3] {
             mt.put(key_from_u64(key), Bytes::from_static(b"x"), key);
         }
-        let drained = mt.drain_sorted();
-        let keys: Vec<u64> = drained
+        let keys: Vec<u64> = mt
             .iter()
             .map(|e| crate::types::key_to_u64(&e.key).unwrap())
             .collect();
         assert_eq!(keys, vec![1, 3, 5, 9]);
+        assert_eq!(mt.len(), 4, "iter does not drain");
+        mt.clear();
         assert!(mt.is_empty());
         assert_eq!(mt.approximate_size(), 0);
     }

@@ -79,6 +79,9 @@ pub struct LsmOptions {
     compaction_strategy: Strategy,
     planning_estimator: SizeEstimator,
     compaction_threads: usize,
+    table_cache_capacity: usize,
+    block_cache_capacity_bytes: u64,
+    fill_cache: bool,
 }
 
 impl Default for LsmOptions {
@@ -94,6 +97,9 @@ impl Default for LsmOptions {
             compaction_strategy: Strategy::BalanceTreeInput,
             planning_estimator: SizeEstimator::Exact,
             compaction_threads: 1,
+            table_cache_capacity: 64,
+            block_cache_capacity_bytes: 8 * 1024 * 1024,
+            fill_cache: true,
         }
     }
 }
@@ -194,6 +200,34 @@ impl LsmOptions {
         self
     }
 
+    /// Sets how many sstable reader handles (parsed footer + bloom +
+    /// index, no data blocks) the engine keeps open, LRU-evicted beyond
+    /// that (default 64; clamped to ≥ 8). A warm point read resolves its
+    /// tables entirely from this cache.
+    #[must_use]
+    pub fn table_cache_capacity(mut self, tables: usize) -> Self {
+        self.table_cache_capacity = tables.max(8);
+        self
+    }
+
+    /// Sets the decoded-data-block cache budget in bytes (default
+    /// 8 MiB). Blocks are charged at their encoded size and LRU-evicted;
+    /// a warm point read served from this cache does zero storage I/O.
+    #[must_use]
+    pub fn block_cache_capacity_bytes(mut self, bytes: u64) -> Self {
+        self.block_cache_capacity_bytes = bytes.max(1);
+        self
+    }
+
+    /// Controls whether point reads insert the blocks they fetch into
+    /// the block cache (default `true`). Full scans always bypass the
+    /// cache so they cannot flush the hot set.
+    #[must_use]
+    pub fn fill_cache(mut self, fill: bool) -> Self {
+        self.fill_cache = fill;
+        self
+    }
+
     /// Memtable capacity in distinct keys.
     #[must_use]
     pub fn memtable_capacity_keys(&self) -> usize {
@@ -253,6 +287,24 @@ impl LsmOptions {
     pub fn threads(&self) -> usize {
         self.compaction_threads
     }
+
+    /// Open-reader (table) cache capacity in tables.
+    #[must_use]
+    pub fn table_cache_tables(&self) -> usize {
+        self.table_cache_capacity
+    }
+
+    /// Block cache budget in bytes.
+    #[must_use]
+    pub fn block_cache_bytes(&self) -> u64 {
+        self.block_cache_capacity_bytes
+    }
+
+    /// Whether point reads populate the block cache.
+    #[must_use]
+    pub fn fills_cache(&self) -> bool {
+        self.fill_cache
+    }
 }
 
 #[cfg(test)]
@@ -268,12 +320,18 @@ mod tests {
             .bloom_bits_per_key(0)
             .drop_tombstones(false)
             .compaction_threads(0)
+            .table_cache_capacity(0)
+            .block_cache_capacity_bytes(0)
+            .fill_cache(false)
             .wal(false);
         assert_eq!(opts.memtable_capacity_keys(), 1, "capacity clamps to 1");
         assert_eq!(opts.block_size_bytes(), 64, "block size clamps to 64");
         assert_eq!(opts.fanin(), 2, "fan-in clamps to 2");
         assert_eq!(opts.threads(), 1, "threads clamp to 1");
         assert_eq!(opts.bloom_bits(), 0);
+        assert_eq!(opts.table_cache_tables(), 8, "table cache clamps to 8");
+        assert_eq!(opts.block_cache_bytes(), 1, "block cache clamps to 1");
+        assert!(!opts.fills_cache());
         assert!(!opts.drops_tombstones());
         assert!(!opts.wal_enabled());
     }
@@ -288,6 +346,9 @@ mod tests {
         assert_eq!(opts.strategy(), Strategy::BalanceTreeInput);
         assert_eq!(opts.estimator(), SizeEstimator::Exact);
         assert_eq!(opts.threads(), 1);
+        assert_eq!(opts.table_cache_tables(), 64);
+        assert_eq!(opts.block_cache_bytes(), 8 * 1024 * 1024);
+        assert!(opts.fills_cache());
     }
 
     #[test]

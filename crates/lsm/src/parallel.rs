@@ -100,7 +100,27 @@ impl ParallelExecutor {
         initial_table_ids: &[u64],
         steps: &[CompactionStep],
     ) -> Result<CompactionOutcome, Error> {
-        self.execute_inner(manifest, initial_table_ids, steps, None)
+        self.execute_inner(manifest, initial_table_ids, steps, None, |_| {})
+    }
+
+    /// [`ParallelExecutor::execute`] with a hook invoked at the manifest
+    /// flip: after the new table set is persisted but *before* the
+    /// consumed input blobs are deleted. The engine publishes its read
+    /// snapshot there, so concurrent readers move to the new tables
+    /// while the old blobs still exist — shrinking the already-handled
+    /// stale-snapshot window to readers mid-probe.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ParallelExecutor::execute`].
+    pub fn execute_with(
+        &self,
+        manifest: &mut Manifest,
+        initial_table_ids: &[u64],
+        steps: &[CompactionStep],
+        on_flip: impl FnOnce(&Manifest),
+    ) -> Result<CompactionOutcome, Error> {
+        self.execute_inner(manifest, initial_table_ids, steps, None, on_flip)
     }
 
     /// Executes a planner-produced [`MergePlan`](compaction_core::MergePlan)
@@ -116,12 +136,34 @@ impl ParallelExecutor {
         initial_table_ids: &[u64],
         plan: &compaction_core::MergePlan,
     ) -> Result<CompactionOutcome, Error> {
+        self.execute_plan_with(manifest, initial_table_ids, plan, |_| {})
+    }
+
+    /// [`ParallelExecutor::execute_plan`] with the manifest-flip hook of
+    /// [`ParallelExecutor::execute_with`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ParallelExecutor::execute`].
+    pub fn execute_plan_with(
+        &self,
+        manifest: &mut Manifest,
+        initial_table_ids: &[u64],
+        plan: &compaction_core::MergePlan,
+        on_flip: impl FnOnce(&Manifest),
+    ) -> Result<CompactionOutcome, Error> {
         let steps: Vec<CompactionStep> = plan
             .steps()
             .iter()
             .map(|inputs| CompactionStep::new(inputs.clone()))
             .collect();
-        self.execute_inner(manifest, initial_table_ids, &steps, Some(plan.waves()))
+        self.execute_inner(
+            manifest,
+            initial_table_ids,
+            &steps,
+            Some(plan.waves()),
+            on_flip,
+        )
     }
 
     fn execute_inner(
@@ -130,6 +172,7 @@ impl ParallelExecutor {
         initial_table_ids: &[u64],
         steps: &[CompactionStep],
         precomputed_waves: Option<&[Vec<usize>]>,
+        on_flip: impl FnOnce(&Manifest),
     ) -> Result<CompactionOutcome, Error> {
         if steps.is_empty() {
             return Ok(CompactionOutcome::default());
@@ -274,6 +317,7 @@ impl ParallelExecutor {
             }))?;
         }
         manifest.persist(self.storage.as_ref())?;
+        on_flip(manifest);
 
         // Only now is it safe to delete consumed inputs and intermediates
         // (tables and their key-observation sidecars alike).

@@ -1,0 +1,438 @@
+//! The lazy, footer-oriented sstable reader.
+//!
+//! [`Sstable`](crate::Sstable) is the *eager* view: it loads the whole
+//! blob, which is the right shape for compaction merges (they consume
+//! every entry). The read path must not pay that: a point read that
+//! probes five tables would read five whole files to return eight bytes.
+//!
+//! [`SstableReader`] opens a table with two ranged reads — the footer,
+//! then the tail (bloom filter + min/max meta + block index) — and keeps
+//! only that tail resident. A lookup then:
+//!
+//! 1. rejects the key with the bloom filter or the min/max range,
+//!    touching **zero** data blocks;
+//! 2. binary-searches the index for the single candidate block;
+//! 3. serves the block from the [`BlockCache`] or fetches exactly that
+//!    block with one ranged read.
+//!
+//! Readers are immutable and shared (`Arc`) through the
+//! [`TableCache`](crate::TableCache); the counters they feed surface in
+//! [`LsmStats`](crate::LsmStats).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::block::Block;
+use crate::bloom::BloomFilter;
+use crate::cache::BlockCache;
+use crate::sstable::{decode_index, decode_meta, Footer, Sstable};
+use crate::storage::Storage;
+use crate::types::{Entry, Key};
+use crate::Error;
+
+/// Atomic counters describing the physical work of the lazy read path,
+/// shared by every reader of one store and folded into
+/// [`LsmStats`](crate::LsmStats).
+#[derive(Debug, Default)]
+pub struct ReadPathCounters {
+    bloom_negatives: AtomicU64,
+    block_reads: AtomicU64,
+    block_read_bytes: AtomicU64,
+}
+
+impl ReadPathCounters {
+    /// Probes rejected by a bloom filter or min/max range without
+    /// touching a data block.
+    #[must_use]
+    pub fn bloom_negatives(&self) -> u64 {
+        self.bloom_negatives.load(Ordering::Relaxed)
+    }
+
+    /// Data blocks fetched from storage on the read path (block-cache
+    /// misses that reached storage).
+    #[must_use]
+    pub fn block_reads(&self) -> u64 {
+        self.block_reads.load(Ordering::Relaxed)
+    }
+
+    /// Bytes of data blocks fetched from storage on the read path.
+    #[must_use]
+    pub fn block_read_bytes(&self) -> u64 {
+        self.block_read_bytes.load(Ordering::Relaxed)
+    }
+
+    fn record_bloom_negative(&self) {
+        self.bloom_negatives.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_block_read(&self, bytes: u64) {
+        self.block_reads.fetch_add(1, Ordering::Relaxed);
+        self.block_read_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+}
+
+/// Everything a reader needs to resolve a block: the cache, the fill
+/// policy and the counters. Borrowed per call so one reader can serve
+/// cached gets and cache-bypassing scans concurrently.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadContext<'a> {
+    /// The shared block cache.
+    pub block_cache: &'a BlockCache,
+    /// Whether blocks fetched for this operation populate the cache
+    /// (point reads: yes; large scans: usually no, to avoid flushing
+    /// the hot set).
+    pub fill_cache: bool,
+    /// Physical-work counters to feed.
+    pub counters: &'a ReadPathCounters,
+}
+
+/// A lazily-loading sstable reader: tail resident, data blocks on
+/// demand.
+#[derive(Debug)]
+pub struct SstableReader {
+    table_id: u64,
+    blob_name: String,
+    storage: Arc<dyn Storage>,
+    bloom: BloomFilter,
+    min_key: Option<Key>,
+    max_key: Option<Key>,
+    /// (last_key, offset, len) per data block, in key order.
+    index: Vec<(Key, u64, u64)>,
+    entry_count: u64,
+    total_len: u64,
+    open_bytes: u64,
+}
+
+impl SstableReader {
+    /// Opens the reader for `table_id`, loading only the footer and the
+    /// tail (bloom + meta + index). `len_hint` is the blob length when
+    /// the caller already knows it (the manifest records it); `None`
+    /// asks the storage backend.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the blob is missing, the footer/tail is corrupt, or the
+    /// backend errors.
+    pub fn open(
+        storage: Arc<dyn Storage>,
+        table_id: u64,
+        len_hint: Option<u64>,
+    ) -> Result<Self, Error> {
+        let blob_name = Sstable::blob_name(table_id);
+        let total_len = match len_hint {
+            Some(len) => len,
+            None => storage.blob_len(&blob_name)?,
+        };
+        let probe_len = (total_len as usize).min(Footer::V2_LEN);
+        let probe = storage.read_blob_range(&blob_name, total_len - probe_len as u64, probe_len)?;
+        let footer = Footer::parse(&probe, total_len as usize)?;
+
+        // One ranged read covers bloom + meta + index: they are written
+        // contiguously right before the footer.
+        let body_end = total_len as usize - footer.footer_len;
+        let tail_len = body_end - footer.bloom_offset;
+        let tail = storage.read_blob_range(&blob_name, footer.bloom_offset as u64, tail_len)?;
+        let rel = |abs: usize| abs - footer.bloom_offset;
+
+        let bloom = BloomFilter::decode(&tail[..footer.bloom_len])?;
+        let index = decode_index(&tail[rel(footer.index_offset)..])?;
+        let (min_key, max_key) = match footer.meta_offset {
+            Some(meta_offset) => decode_meta(&tail[rel(meta_offset)..rel(footer.index_offset)])?,
+            // Legacy v1 blob: no meta block. Fetch block 0 once at open
+            // to recover the min key (errors propagate — nothing is
+            // swallowed); the max key is the last index entry.
+            None => match index.first() {
+                Some(&(_, offset, len)) => {
+                    let raw = storage.read_blob_range(&blob_name, offset, len as usize)?;
+                    let block = Block::decode(&raw)?;
+                    let min = block
+                        .entries()
+                        .first()
+                        .map(|e| e.key.clone())
+                        .ok_or_else(|| Error::corruption("empty first data block"))?;
+                    (Some(min), index.last().map(|(k, _, _)| k.clone()))
+                }
+                None => (None, None),
+            },
+        };
+
+        let open_bytes = (probe_len + tail_len) as u64;
+        Ok(Self {
+            table_id,
+            blob_name,
+            storage,
+            bloom,
+            min_key,
+            max_key,
+            index,
+            entry_count: footer.entry_count,
+            total_len,
+            open_bytes,
+        })
+    }
+
+    /// The table's id.
+    #[must_use]
+    pub fn table_id(&self) -> u64 {
+        self.table_id
+    }
+
+    /// Number of entries in the table.
+    #[must_use]
+    pub fn entry_count(&self) -> u64 {
+        self.entry_count
+    }
+
+    /// Encoded size of the whole table blob in bytes.
+    #[must_use]
+    pub fn encoded_len(&self) -> u64 {
+        self.total_len
+    }
+
+    /// Number of data blocks.
+    #[must_use]
+    pub fn block_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Smallest user key, from the persisted table meta (no block read).
+    #[must_use]
+    pub fn min_key(&self) -> Option<&Key> {
+        self.min_key.as_ref()
+    }
+
+    /// Largest user key, from the persisted table meta (no block read).
+    #[must_use]
+    pub fn max_key(&self) -> Option<&Key> {
+        self.max_key.as_ref()
+    }
+
+    /// Bytes read from storage to open this reader (footer + tail).
+    #[must_use]
+    pub fn open_bytes(&self) -> u64 {
+        self.open_bytes
+    }
+
+    /// Point lookup: the newest version of `key` in this table (possibly
+    /// a tombstone), or `None`. Touches at most one data block; bloom-
+    /// and range-negative probes touch none.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors and block corruption.
+    pub fn get(&self, key: &[u8], ctx: ReadContext<'_>) -> Result<Option<Entry>, Error> {
+        let in_range = match (&self.min_key, &self.max_key) {
+            (Some(min), Some(max)) => key >= min.as_ref() && key <= max.as_ref(),
+            _ => !self.index.is_empty(),
+        };
+        if !in_range || !self.bloom.may_contain(key) {
+            ctx.counters.record_bloom_negative();
+            return Ok(None);
+        }
+        let block_idx = self
+            .index
+            .partition_point(|(last, _, _)| last.as_ref() < key);
+        if block_idx >= self.index.len() {
+            return Ok(None);
+        }
+        let block = self.block(block_idx, ctx)?;
+        Ok(block.get(key).cloned())
+    }
+
+    /// Fetches block `idx` through the cache (or storage on a miss).
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors and block corruption.
+    pub fn block(&self, idx: usize, ctx: ReadContext<'_>) -> Result<Arc<Block>, Error> {
+        if let Some(block) = ctx.block_cache.get(self.table_id, idx as u32) {
+            return Ok(block);
+        }
+        let (_, offset, len) = self.index[idx];
+        let raw = self
+            .storage
+            .read_blob_range(&self.blob_name, offset, len as usize)?;
+        ctx.counters.record_block_read(len);
+        let block = Arc::new(Block::decode(&raw)?);
+        if ctx.fill_cache {
+            ctx.block_cache
+                .insert(self.table_id, idx as u32, Arc::clone(&block), len);
+        }
+        Ok(block)
+    }
+
+    /// Iterates every entry in key order, fetching blocks through `ctx`
+    /// as it advances (scans usually pass `fill_cache: false`).
+    #[must_use]
+    pub fn iter<'a>(&'a self, ctx: ReadContext<'a>) -> SstableReaderIter<'a> {
+        SstableReaderIter {
+            reader: self,
+            ctx,
+            block_idx: 0,
+            entries: Vec::new(),
+            entry_idx: 0,
+        }
+    }
+}
+
+/// Iterator over all entries of an [`SstableReader`] in key order.
+#[derive(Debug)]
+pub struct SstableReaderIter<'a> {
+    reader: &'a SstableReader,
+    ctx: ReadContext<'a>,
+    block_idx: usize,
+    entries: Vec<Entry>,
+    entry_idx: usize,
+}
+
+impl Iterator for SstableReaderIter<'_> {
+    type Item = Result<Entry, Error>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.entry_idx < self.entries.len() {
+                let entry = self.entries[self.entry_idx].clone();
+                self.entry_idx += 1;
+                return Some(Ok(entry));
+            }
+            if self.block_idx >= self.reader.block_count() {
+                return None;
+            }
+            match self.reader.block(self.block_idx, self.ctx) {
+                Ok(block) => {
+                    self.block_idx += 1;
+                    self.entries = block.entries().to_vec();
+                    self.entry_idx = 0;
+                }
+                Err(e) => {
+                    self.block_idx = self.reader.block_count();
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sstable::SstableBuilder;
+    use crate::storage::{MemoryStorage, Storage};
+    use crate::types::key_from_u64;
+    use bytes::Bytes;
+
+    fn store_table(storage: &dyn Storage, id: u64, n: u64, block_size: usize) -> u64 {
+        let mut builder = SstableBuilder::new(id, block_size, 10);
+        for i in 0..n {
+            builder.add(&Entry::put(
+                key_from_u64(i * 2),
+                Bytes::from(format!("value-{i}")),
+                1_000 + i,
+            ));
+        }
+        let (data, meta) = builder.finish();
+        storage.write_blob(&Sstable::blob_name(id), &data).unwrap();
+        meta.encoded_len
+    }
+
+    fn ctx_parts() -> (BlockCache, ReadPathCounters) {
+        (BlockCache::new(1 << 20), ReadPathCounters::default())
+    }
+
+    #[test]
+    fn open_reads_only_the_tail() {
+        let storage = Arc::new(MemoryStorage::new());
+        let encoded_len = store_table(storage.as_ref(), 1, 2_000, 256);
+        let before = storage.bytes_read();
+        let reader = SstableReader::open(storage.clone(), 1, Some(encoded_len)).unwrap();
+        let open_bytes = storage.bytes_read() - before;
+        assert!(reader.block_count() > 10);
+        assert_eq!(reader.open_bytes(), open_bytes);
+        assert!(
+            open_bytes < encoded_len / 2,
+            "open read {open_bytes} of {encoded_len} bytes — not lazy"
+        );
+        assert_eq!(reader.min_key(), Some(&key_from_u64(0)));
+        assert_eq!(reader.max_key(), Some(&key_from_u64(3_998)));
+        assert_eq!(reader.entry_count(), 2_000);
+        assert_eq!(reader.encoded_len(), encoded_len);
+    }
+
+    #[test]
+    fn get_touches_at_most_one_block() {
+        let storage = Arc::new(MemoryStorage::new());
+        let encoded_len = store_table(storage.as_ref(), 1, 2_000, 256);
+        let reader = SstableReader::open(storage.clone(), 1, Some(encoded_len)).unwrap();
+        let (cache, counters) = ctx_parts();
+        let ctx = ReadContext {
+            block_cache: &cache,
+            fill_cache: true,
+            counters: &counters,
+        };
+
+        let entry = reader.get(&key_from_u64(1_000), ctx).unwrap().unwrap();
+        assert_eq!(entry.value.as_ref(), b"value-500");
+        assert_eq!(counters.block_reads(), 1, "exactly one block fetched");
+
+        // Same key again: served from the block cache, zero storage reads.
+        let before = storage.bytes_read();
+        let again = reader.get(&key_from_u64(1_000), ctx).unwrap().unwrap();
+        assert_eq!(again.value.as_ref(), b"value-500");
+        assert_eq!(counters.block_reads(), 1);
+        assert_eq!(storage.bytes_read(), before, "warm read does no I/O");
+
+        // A key the table cannot contain: bloom/range negative, no block.
+        assert!(reader.get(&key_from_u64(999_999), ctx).unwrap().is_none());
+        assert!(counters.bloom_negatives() >= 1);
+        assert_eq!(counters.block_reads(), 1);
+
+        // An absent key *inside* the range (odd keys were never written)
+        // either bloom-rejects or reads exactly one block.
+        assert!(reader.get(&key_from_u64(1_001), ctx).unwrap().is_none());
+        assert!(counters.block_reads() <= 2);
+    }
+
+    #[test]
+    fn fill_cache_false_bypasses_the_cache() {
+        let storage = Arc::new(MemoryStorage::new());
+        let encoded_len = store_table(storage.as_ref(), 3, 500, 256);
+        let reader = SstableReader::open(storage.clone(), 3, Some(encoded_len)).unwrap();
+        let (cache, counters) = ctx_parts();
+        let ctx = ReadContext {
+            block_cache: &cache,
+            fill_cache: false,
+            counters: &counters,
+        };
+        let all: Result<Vec<Entry>, Error> = reader.iter(ctx).collect();
+        assert_eq!(all.unwrap().len(), 500);
+        assert!(counters.block_reads() >= reader.block_count() as u64);
+        assert_eq!(cache.usage_bytes(), 0, "scan left nothing in the cache");
+    }
+
+    #[test]
+    fn open_without_len_hint_asks_storage() {
+        let storage = Arc::new(MemoryStorage::new());
+        store_table(storage.as_ref(), 7, 100, 512);
+        let reader = SstableReader::open(storage.clone(), 7, None).unwrap();
+        assert_eq!(reader.entry_count(), 100);
+        assert!(SstableReader::open(storage, 8, None).is_err(), "missing");
+    }
+
+    #[test]
+    fn empty_table_roundtrips_through_reader() {
+        let storage = Arc::new(MemoryStorage::new());
+        let (data, meta) = SstableBuilder::new(5, 4096, 10).finish();
+        storage.write_blob(&Sstable::blob_name(5), &data).unwrap();
+        let reader = SstableReader::open(storage, 5, Some(meta.encoded_len)).unwrap();
+        assert_eq!(reader.block_count(), 0);
+        assert_eq!(reader.min_key(), None);
+        let (cache, counters) = ctx_parts();
+        let ctx = ReadContext {
+            block_cache: &cache,
+            fill_cache: true,
+            counters: &counters,
+        };
+        assert!(reader.get(b"anything", ctx).unwrap().is_none());
+        assert_eq!(reader.iter(ctx).count(), 0);
+    }
+}

@@ -1,6 +1,6 @@
 //! The immutable sorted-run (sstable) format.
 //!
-//! Layout of an encoded sstable blob:
+//! Layout of an encoded sstable blob (format v2):
 //!
 //! ```text
 //! +-------------------+
@@ -8,10 +8,18 @@
 //! | data block 1      |
 //! | ...               |
 //! | bloom filter      |
+//! | meta block        |   min/max user key of the table
 //! | index block       |   (last_key, offset, len) per data block
 //! | footer            |   offsets + counts + magic + CRC
 //! +-------------------+
 //! ```
+//!
+//! Everything a point read needs to route itself — bloom filter, min/max
+//! keys, block index — lives in the *tail* of the blob, so the lazy
+//! reader ([`SstableReader`](crate::SstableReader)) opens a table with
+//! two ranged reads (footer, then tail) and afterwards fetches exactly
+//! one data block per lookup. The v1 format (no meta block) is still
+//! decoded for stores written before min/max keys were persisted.
 //!
 //! Sstables are immutable once built: compaction never edits a table, it
 //! reads whole tables and writes a new one, which is exactly the I/O the
@@ -25,7 +33,85 @@ use crate::storage::Storage;
 use crate::types::{Entry, Key};
 use crate::Error;
 
-const FOOTER_MAGIC: u64 = 0x4C53_4D54_4142_4C45; // "LSMTABLE"
+/// Magic of the v1 format: no meta block, min key only recoverable by
+/// decoding data block 0.
+const FOOTER_MAGIC_V1: u64 = 0x4C53_4D54_4142_4C45; // "LSMTABLE"
+/// Magic of the current format with the min/max-key meta block.
+const FOOTER_MAGIC_V2: u64 = 0x4C53_4D54_4142_4C32; // "LSMTABL2"
+
+/// Parsed sstable footer, shared between the eager [`Sstable`] decoder
+/// and the lazy [`SstableReader`](crate::SstableReader).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Footer {
+    /// Absolute offset of the bloom filter.
+    pub bloom_offset: usize,
+    /// Encoded bloom length in bytes.
+    pub bloom_len: usize,
+    /// Absolute offset of the meta block (`None` in v1 blobs).
+    pub meta_offset: Option<usize>,
+    /// Absolute offset of the index block.
+    pub index_offset: usize,
+    /// Number of entries in the table.
+    pub entry_count: u64,
+    /// Encoded footer length (depends on the format version).
+    pub footer_len: usize,
+}
+
+impl Footer {
+    /// v2 footer: 6 u64 fields + CRC32.
+    pub(crate) const V2_LEN: usize = 6 * 8 + 4;
+    /// v1 footer: 5 u64 fields + CRC32.
+    pub(crate) const V1_LEN: usize = 5 * 8 + 4;
+
+    /// Parses the footer from `tail`, the last `tail.len()` bytes of a
+    /// blob of `total_len` bytes. `tail` must contain at least the whole
+    /// footer ([`Footer::V2_LEN`] bytes, or the entire blob if shorter).
+    pub(crate) fn parse(tail: &[u8], total_len: usize) -> Result<Self, Error> {
+        if tail.len() < 12 || total_len < Self::V1_LEN {
+            return Err(Error::corruption("sstable shorter than footer"));
+        }
+        let magic_probe = &tail[tail.len() - 12..tail.len() - 4];
+        let magic = u64::from_le_bytes(magic_probe.try_into().expect("8 bytes"));
+        let (footer_len, fields) = match magic {
+            FOOTER_MAGIC_V2 => (Self::V2_LEN, 6),
+            FOOTER_MAGIC_V1 => (Self::V1_LEN, 5),
+            _ => return Err(Error::corruption("bad sstable magic")),
+        };
+        if tail.len() < footer_len || total_len < footer_len {
+            return Err(Error::corruption("sstable shorter than footer"));
+        }
+        let footer = &tail[tail.len() - footer_len..];
+        let crc_stored = u32::from_le_bytes(footer[footer_len - 4..].try_into().expect("4 bytes"));
+        if crc32(&footer[..footer_len - 4]) != crc_stored {
+            return Err(Error::corruption("sstable footer checksum mismatch"));
+        }
+        let mut cursor = footer;
+        let bloom_offset = cursor.get_u64_le() as usize;
+        let bloom_len = cursor.get_u64_le() as usize;
+        let meta_offset = (fields == 6).then(|| cursor.get_u64_le() as usize);
+        let index_offset = cursor.get_u64_le() as usize;
+        let entry_count = cursor.get_u64_le();
+        let body_end = total_len - footer_len;
+        let bloom_end = bloom_offset
+            .checked_add(bloom_len)
+            .ok_or_else(|| Error::corruption("sstable bloom range overflows"))?;
+        if bloom_end > body_end
+            || index_offset > body_end
+            || index_offset < bloom_end
+            || meta_offset.is_some_and(|m| m < bloom_end || m > index_offset)
+        {
+            return Err(Error::corruption("sstable footer offsets out of range"));
+        }
+        Ok(Self {
+            bloom_offset,
+            bloom_len,
+            meta_offset,
+            index_offset,
+            entry_count,
+            footer_len,
+        })
+    }
+}
 
 /// Builds an sstable from entries supplied in internal-key order.
 #[derive(Debug)]
@@ -110,6 +196,11 @@ impl SstableBuilder {
         let bloom_bytes = bloom.encode();
         buf.put_slice(&bloom_bytes);
 
+        // Meta block: the table's min/max user keys, so key-range checks
+        // and `min_key`/`max_key` never have to decode a data block.
+        let meta_offset = buf.len() as u64;
+        encode_meta(&mut buf, self.min_key.as_ref(), self.max_key.as_ref());
+
         let index_offset = buf.len() as u64;
         buf.put_u32_le(index.len() as u32);
         for (last_key, offset, len) in &index {
@@ -119,13 +210,15 @@ impl SstableBuilder {
             buf.put_u64_le(*len);
         }
 
-        // Footer: bloom_offset, bloom_len, index_offset, entry_count, magic, crc
+        // Footer: bloom_offset, bloom_len, meta_offset, index_offset,
+        // entry_count, magic, crc
         let footer_start = buf.len();
         buf.put_u64_le(bloom_offset);
         buf.put_u64_le(bloom_bytes.len() as u64);
+        buf.put_u64_le(meta_offset);
         buf.put_u64_le(index_offset);
         buf.put_u64_le(self.entry_count);
-        buf.put_u64_le(FOOTER_MAGIC);
+        buf.put_u64_le(FOOTER_MAGIC_V2);
         let crc = crc32(&buf[footer_start..]);
         buf.put_u32_le(crc);
 
@@ -156,7 +249,95 @@ pub struct SstableMeta {
     pub max_key: Option<Key>,
 }
 
-/// An immutable, decoded-on-demand sstable.
+/// Encodes the min/max-key meta block: a presence flag followed by the
+/// two length-prefixed keys (absent for an empty table).
+fn encode_meta(buf: &mut BytesMut, min_key: Option<&Key>, max_key: Option<&Key>) {
+    match (min_key, max_key) {
+        (Some(min), Some(max)) => {
+            buf.put_u8(1);
+            buf.put_u32_le(min.len() as u32);
+            buf.put_slice(min);
+            buf.put_u32_le(max.len() as u32);
+            buf.put_slice(max);
+        }
+        _ => buf.put_u8(0),
+    }
+}
+
+/// Decodes a meta block produced by [`encode_meta`].
+pub(crate) fn decode_meta(mut cursor: &[u8]) -> Result<(Option<Key>, Option<Key>), Error> {
+    if cursor.is_empty() {
+        return Err(Error::corruption("truncated sstable meta block"));
+    }
+    match cursor.get_u8() {
+        0 => Ok((None, None)),
+        1 => {
+            let min = decode_meta_key(&mut cursor)?;
+            let max = decode_meta_key(&mut cursor)?;
+            Ok((Some(min), Some(max)))
+        }
+        _ => Err(Error::corruption("unknown sstable meta flag")),
+    }
+}
+
+fn decode_meta_key(cursor: &mut &[u8]) -> Result<Key, Error> {
+    if cursor.remaining() < 4 {
+        return Err(Error::corruption("truncated sstable meta key length"));
+    }
+    let len = cursor.get_u32_le() as usize;
+    if cursor.remaining() < len {
+        return Err(Error::corruption("truncated sstable meta key"));
+    }
+    let key = Bytes::copy_from_slice(&cursor[..len]);
+    cursor.advance(len);
+    Ok(key)
+}
+
+/// Slices a data block's byte range out of a fully-loaded table,
+/// surfacing a corrupt index entry (the footer CRC does not cover the
+/// index) as [`Error::Corruption`] instead of a slice panic.
+fn block_slice(data: &[u8], offset: u64, len: u64) -> Result<&[u8], Error> {
+    let start =
+        usize::try_from(offset).map_err(|_| Error::corruption("block offset overflows usize"))?;
+    let end = len
+        .checked_add(offset)
+        .and_then(|end| usize::try_from(end).ok())
+        .ok_or_else(|| Error::corruption("block range overflows"))?;
+    data.get(start..end)
+        .ok_or_else(|| Error::corruption("block range past end of table"))
+}
+
+/// Decodes the block index: `(last_key, offset, len)` per data block.
+pub(crate) fn decode_index(mut cursor: &[u8]) -> Result<Vec<(Key, u64, u64)>, Error> {
+    if cursor.remaining() < 4 {
+        return Err(Error::corruption("truncated sstable index"));
+    }
+    let block_count = cursor.get_u32_le();
+    let mut index = Vec::with_capacity(block_count as usize);
+    for _ in 0..block_count {
+        if cursor.remaining() < 4 {
+            return Err(Error::corruption("truncated index entry"));
+        }
+        let klen = cursor.get_u32_le() as usize;
+        if cursor.remaining() < klen + 16 {
+            return Err(Error::corruption("truncated index entry body"));
+        }
+        let key = Bytes::copy_from_slice(&cursor[..klen]);
+        cursor.advance(klen);
+        let offset = cursor.get_u64_le();
+        let len = cursor.get_u64_le();
+        index.push((key, offset, len));
+    }
+    Ok(index)
+}
+
+/// An immutable, fully-loaded sstable.
+///
+/// This is the *eager* view: the entire blob is in memory, which is what
+/// compaction merges want (they read every entry anyway). The point-read
+/// path uses the lazy [`SstableReader`](crate::SstableReader) instead,
+/// which keeps only the tail (bloom + meta + index) resident and fetches
+/// data blocks on demand.
 #[derive(Debug, Clone)]
 pub struct Sstable {
     table_id: u64,
@@ -165,6 +346,8 @@ pub struct Sstable {
     /// (last_key, offset, len) per data block, in key order.
     index: Vec<(Key, u64, u64)>,
     entry_count: u64,
+    min_key: Option<Key>,
+    max_key: Option<Key>,
 }
 
 impl Sstable {
@@ -192,57 +375,40 @@ impl Sstable {
     /// Returns [`Error::Corruption`] if the footer, index or checksums are
     /// malformed.
     pub fn decode(table_id: u64, data: Bytes) -> Result<Self, Error> {
-        const FOOTER_LEN: usize = 8 * 5 + 4;
-        if data.len() < FOOTER_LEN {
-            return Err(Error::corruption("sstable shorter than footer"));
-        }
-        let footer = &data[data.len() - FOOTER_LEN..];
-        let crc_stored = u32::from_le_bytes(footer[FOOTER_LEN - 4..].try_into().expect("4 bytes"));
-        if crc32(&footer[..FOOTER_LEN - 4]) != crc_stored {
-            return Err(Error::corruption("sstable footer checksum mismatch"));
-        }
-        let mut cursor = footer;
-        let bloom_offset = cursor.get_u64_le() as usize;
-        let bloom_len = cursor.get_u64_le() as usize;
-        let index_offset = cursor.get_u64_le() as usize;
-        let entry_count = cursor.get_u64_le();
-        let magic = cursor.get_u64_le();
-        if magic != FOOTER_MAGIC {
-            return Err(Error::corruption("bad sstable magic"));
-        }
-        if bloom_offset + bloom_len > data.len() || index_offset > data.len() {
-            return Err(Error::corruption("sstable footer offsets out of range"));
-        }
+        let footer = Footer::parse(&data, data.len())?;
+        let bloom = BloomFilter::decode(
+            &data[footer.bloom_offset..footer.bloom_offset + footer.bloom_len],
+        )?;
+        let body_end = data.len() - footer.footer_len;
+        let index = decode_index(&data[footer.index_offset..body_end])?;
 
-        let bloom = BloomFilter::decode(&data[bloom_offset..bloom_offset + bloom_len])?;
-
-        let mut index_cursor = &data[index_offset..data.len() - FOOTER_LEN];
-        if index_cursor.remaining() < 4 {
-            return Err(Error::corruption("truncated sstable index"));
-        }
-        let block_count = index_cursor.get_u32_le();
-        let mut index = Vec::with_capacity(block_count as usize);
-        for _ in 0..block_count {
-            if index_cursor.remaining() < 4 {
-                return Err(Error::corruption("truncated index entry"));
-            }
-            let klen = index_cursor.get_u32_le() as usize;
-            if index_cursor.remaining() < klen + 16 {
-                return Err(Error::corruption("truncated index entry body"));
-            }
-            let key = Bytes::copy_from_slice(&index_cursor[..klen]);
-            index_cursor.advance(klen);
-            let offset = index_cursor.get_u64_le();
-            let len = index_cursor.get_u64_le();
-            index.push((key, offset, len));
-        }
+        let (min_key, max_key) = match footer.meta_offset {
+            Some(meta_offset) => decode_meta(&data[meta_offset..footer.index_offset])?,
+            // Legacy v1 blob: no meta block. Recover the min key by
+            // decoding data block 0 — propagating corruption instead of
+            // swallowing it — and the max from the last index entry.
+            None => match index.first() {
+                Some(&(_, offset, len)) => {
+                    let block = Block::decode(block_slice(&data, offset, len)?)?;
+                    let min = block
+                        .entries()
+                        .first()
+                        .map(|e| e.key.clone())
+                        .ok_or_else(|| Error::corruption("empty first data block"))?;
+                    (Some(min), index.last().map(|(k, _, _)| k.clone()))
+                }
+                None => (None, None),
+            },
+        };
 
         Ok(Self {
             table_id,
             data,
             bloom,
             index,
-            entry_count,
+            entry_count: footer.entry_count,
+            min_key,
+            max_key,
         })
     }
 
@@ -274,20 +440,19 @@ impl Sstable {
         self.data.len() as u64
     }
 
-    /// Smallest user key, if the table is non-empty.
+    /// Smallest user key, if the table is non-empty. Served from the
+    /// persisted table meta — no block read, no swallowed errors (any
+    /// corruption surfaced at [`Sstable::decode`] time).
     #[must_use]
     pub fn min_key(&self) -> Option<Key> {
-        self.index.first().and_then(|_| {
-            self.read_block(0)
-                .ok()
-                .and_then(|b| b.entries().first().map(|e| e.key.clone()))
-        })
+        self.min_key.clone()
     }
 
-    /// Largest user key, if the table is non-empty.
+    /// Largest user key, if the table is non-empty. Served from the
+    /// persisted table meta.
     #[must_use]
     pub fn max_key(&self) -> Option<Key> {
-        self.index.last().map(|(k, _, _)| k.clone())
+        self.max_key.clone()
     }
 
     /// Point lookup: returns the newest version of `key` stored in this
@@ -319,10 +484,8 @@ impl Sstable {
     }
 
     fn read_block(&self, idx: usize) -> Result<Block, Error> {
-        let (_, offset, len) = &self.index[idx];
-        let start = *offset as usize;
-        let end = start + *len as usize;
-        Block::decode(&self.data[start..end])
+        let (_, offset, len) = self.index[idx];
+        Block::decode(block_slice(&self.data, offset, len)?)
     }
 
     /// Iterates every entry in the table in internal-key order.
@@ -446,6 +609,82 @@ mod tests {
         assert_eq!(table.iter().count(), 0);
         assert_eq!(table.min_key(), None);
         assert_eq!(table.max_key(), None);
+    }
+
+    /// Encodes a table in the legacy v1 layout (no meta block, v1
+    /// footer) so the decoder's backward-compatibility path stays
+    /// covered even though the builder only emits v2.
+    fn build_v1_table(n: u64, block_size: usize) -> Bytes {
+        use crate::bloom::BloomFilter;
+        use bytes::BufMut;
+
+        let mut finished: Vec<(Key, Bytes)> = Vec::new();
+        let mut current = BlockBuilder::new();
+        let mut all_keys: Vec<Key> = Vec::new();
+        for i in 0..n {
+            let entry = Entry::put(key_from_u64(i), Bytes::from(format!("v1-{i}")), 1_000 + i);
+            all_keys.push(entry.key.clone());
+            current.add(&entry);
+            if current.size_in_bytes() >= block_size {
+                let last = current.last_key().unwrap().clone();
+                finished.push((last, current.finish()));
+            }
+        }
+        if !current.is_empty() {
+            let last = current.last_key().unwrap().clone();
+            finished.push((last, current.finish()));
+        }
+        let bloom = BloomFilter::build(all_keys.iter().map(|k| k.as_ref()), 10);
+
+        let mut buf = bytes::BytesMut::new();
+        let mut index: Vec<(Key, u64, u64)> = Vec::new();
+        for (last_key, encoded) in &finished {
+            let offset = buf.len() as u64;
+            buf.put_slice(encoded);
+            index.push((last_key.clone(), offset, encoded.len() as u64));
+        }
+        let bloom_offset = buf.len() as u64;
+        let bloom_bytes = bloom.encode();
+        buf.put_slice(&bloom_bytes);
+        let index_offset = buf.len() as u64;
+        buf.put_u32_le(index.len() as u32);
+        for (last_key, offset, len) in &index {
+            buf.put_u32_le(last_key.len() as u32);
+            buf.put_slice(last_key);
+            buf.put_u64_le(*offset);
+            buf.put_u64_le(*len);
+        }
+        let footer_start = buf.len();
+        buf.put_u64_le(bloom_offset);
+        buf.put_u64_le(bloom_bytes.len() as u64);
+        buf.put_u64_le(index_offset);
+        buf.put_u64_le(n);
+        buf.put_u64_le(super::FOOTER_MAGIC_V1);
+        let crc = crc32(&buf[footer_start..]);
+        buf.put_u32_le(crc);
+        buf.freeze()
+    }
+
+    #[test]
+    fn legacy_v1_tables_still_decode() {
+        let data = build_v1_table(300, 256);
+        let table = Sstable::decode(9, data).unwrap();
+        assert_eq!(table.entry_count(), 300);
+        assert!(table.block_count() > 1);
+        assert_eq!(table.min_key(), Some(key_from_u64(0)), "min from block 0");
+        assert_eq!(table.max_key(), Some(key_from_u64(299)), "max from index");
+        let e = table.get(&key_from_u64(123)).unwrap().unwrap();
+        assert_eq!(e.value.as_ref(), b"v1-123");
+
+        // A corrupt first block must surface as an error at decode time,
+        // not be silently swallowed into `min_key() == None`.
+        let good = build_v1_table(300, 256);
+        let mut tampered = good.to_vec();
+        tampered[10] ^= 0xFF; // inside data block 0
+        assert!(matches!(
+            Sstable::decode(9, Bytes::from(tampered)),
+            Err(Error::Corruption { .. })
+        ));
     }
 
     #[test]

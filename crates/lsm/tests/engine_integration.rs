@@ -9,6 +9,12 @@ use lsm_engine::{
     SstableBuilder, Storage, Strategy,
 };
 
+/// Point read returning an owned `Vec<u8>` (test convenience over the
+/// zero-copy `Option<Value>` the engine now returns).
+fn get_vec(db: &Lsm, key: u64) -> Option<Vec<u8>> {
+    db.get_u64(key).unwrap().map(|v| v.to_vec())
+}
+
 /// Builds a left-to-right merge schedule over `n` live tables.
 fn caterpillar(n: usize) -> Vec<CompactionStep> {
     let mut steps = Vec::new();
@@ -44,8 +50,7 @@ fn balanced(n: usize) -> Vec<CompactionStep> {
 
 #[test]
 fn read_amplification_drops_after_major_compaction() {
-    let mut db =
-        Lsm::open_in_memory(LsmOptions::default().memtable_capacity(50).wal(false)).unwrap();
+    let db = Lsm::open_in_memory(LsmOptions::default().memtable_capacity(50).wal(false)).unwrap();
     for i in 0u64..1_000 {
         db.put_u64(i, vec![1, 2, 3]).unwrap();
     }
@@ -75,7 +80,7 @@ fn read_amplification_drops_after_major_compaction() {
 #[test]
 fn balanced_and_caterpillar_schedules_produce_identical_contents() {
     let build = |steps_for: &dyn Fn(usize) -> Vec<CompactionStep>| {
-        let mut db =
+        let db =
             Lsm::open_in_memory(LsmOptions::default().memtable_capacity(64).wal(false)).unwrap();
         for i in 0u64..800 {
             db.put_u64(i % 300, format!("v{}", i).into_bytes()).unwrap();
@@ -104,7 +109,7 @@ fn balanced_and_caterpillar_schedules_produce_identical_contents() {
 
 #[test]
 fn kway_physical_compaction_with_wide_fanin() {
-    let mut db = Lsm::open_in_memory(
+    let db = Lsm::open_in_memory(
         LsmOptions::default()
             .memtable_capacity(100)
             .compaction_fanin(4)
@@ -139,14 +144,13 @@ fn kway_physical_compaction_with_wide_fanin() {
     assert_eq!(db.live_tables().len(), 1);
     assert_eq!(outcome.entries_written as usize % 1_200, 0);
     for i in (0u64..1_200).step_by(111) {
-        assert_eq!(db.get_u64(i).unwrap(), Some(b"x".to_vec()));
+        assert_eq!(get_vec(&db, i), Some(b"x".to_vec()));
     }
 }
 
 #[test]
 fn compaction_fails_cleanly_on_malformed_schedules_without_losing_data() {
-    let mut db =
-        Lsm::open_in_memory(LsmOptions::default().memtable_capacity(10).wal(false)).unwrap();
+    let db = Lsm::open_in_memory(LsmOptions::default().memtable_capacity(10).wal(false)).unwrap();
     for i in 0u64..50 {
         db.put_u64(i, vec![9]).unwrap();
     }
@@ -157,7 +161,7 @@ fn compaction_fails_cleanly_on_malformed_schedules_without_losing_data() {
     assert!(err.to_string().contains("slot"));
     // The store still serves every key.
     for i in 0u64..50 {
-        assert_eq!(db.get_u64(i).unwrap(), Some(vec![9]));
+        assert_eq!(get_vec(&db, i), Some(vec![9]));
     }
 }
 
@@ -171,7 +175,7 @@ fn bloom_filters_add_modest_overhead_and_preserve_read_correctness() {
     // entries used here).
     let run = |bloom_bits: usize| {
         let storage = Arc::new(MemoryStorage::new());
-        let mut db = Lsm::open(
+        let db = Lsm::open(
             storage.clone(),
             LsmOptions::default()
                 .memtable_capacity(500)
@@ -184,9 +188,9 @@ fn bloom_filters_add_modest_overhead_and_preserve_read_correctness() {
         }
         db.flush().unwrap();
         for i in 0u64..2_000 {
-            assert_eq!(db.get_u64(i * 2 + 1).unwrap(), None, "absent key must miss");
+            assert_eq!(get_vec(&db, i * 2 + 1), None, "absent key must miss");
             if i % 7 == 0 {
-                assert_eq!(db.get_u64(i * 2).unwrap(), Some(b"even".to_vec()));
+                assert_eq!(get_vec(&db, i * 2), Some(b"even".to_vec()));
             }
         }
         let table_bytes: u64 = db.live_tables().iter().map(|t| t.encoded_len).sum();
@@ -205,7 +209,7 @@ fn bloom_filters_add_modest_overhead_and_preserve_read_correctness() {
 fn wal_recovery_preserves_writes_across_simulated_crash_and_compaction() {
     let storage: Arc<dyn Storage> = Arc::new(MemoryStorage::new());
     {
-        let mut db = Lsm::open(
+        let db = Lsm::open(
             Arc::clone(&storage),
             LsmOptions::default().memtable_capacity(100),
         )
@@ -216,14 +220,14 @@ fn wal_recovery_preserves_writes_across_simulated_crash_and_compaction() {
         // 2 full flushes happened automatically; 50 writes remain in the
         // memtable and exist only in the WAL when we "crash" here.
     }
-    let mut db = Lsm::open(
+    let db = Lsm::open(
         Arc::clone(&storage),
         LsmOptions::default().memtable_capacity(100),
     )
     .unwrap();
     for i in 0u64..250 {
         assert_eq!(
-            db.get_u64(i).unwrap(),
+            get_vec(&db, i),
             Some(format!("v{i}").into_bytes()),
             "key {i} lost across restart"
         );
@@ -248,7 +252,7 @@ fn wal_recovery_across_auto_compaction_mid_write_stream() {
     };
     let compactions_before_crash;
     {
-        let mut db = Lsm::open(Arc::clone(&storage), auto_options()).unwrap();
+        let db = Lsm::open(Arc::clone(&storage), auto_options()).unwrap();
         // 0..470 wraps keys 0..200 unevenly: updates overlap tables, so
         // compactions triggered mid-stream do real merge work.
         for i in 0u64..470 {
@@ -266,7 +270,7 @@ fn wal_recovery_across_auto_compaction_mid_write_stream() {
         );
         // Dropped without flush: the tail exists only in the WAL.
     }
-    let mut db = Lsm::open(Arc::clone(&storage), auto_options()).unwrap();
+    let db = Lsm::open(Arc::clone(&storage), auto_options()).unwrap();
     // Every key carries its newest pre-crash value.
     for key in 0u64..200 {
         let newest = (0u64..470).rev().find(|i| i % 200 == key).unwrap();
@@ -275,11 +279,7 @@ fn wal_recovery_across_auto_compaction_mid_write_stream() {
         } else {
             Some(format!("v{newest}").into_bytes())
         };
-        assert_eq!(
-            db.get_u64(key).unwrap(),
-            expected,
-            "key {key} after recovery"
-        );
+        assert_eq!(get_vec(&db, key), expected, "key {key} after recovery");
     }
     // The manifest is consistent: every live table's blob exists and
     // every sstable blob is referenced by the manifest.
@@ -298,14 +298,14 @@ fn wal_recovery_across_auto_compaction_mid_write_stream() {
     }
     db.flush().unwrap();
     assert!(db.live_tables().len() < 4, "policy active after recovery");
-    assert_eq!(db.get_u64(13).unwrap(), Some(b"post-crash".to_vec()));
+    assert_eq!(get_vec(&db, 13), Some(b"post-crash".to_vec()));
 }
 
 #[test]
 fn auto_compaction_scan_is_identical_to_uncompacted_store() {
     // The same write stream through a self-compacting store and a
     // never-compacting store must read back identically.
-    let write = |db: &mut Lsm| {
+    let write = |db: &Lsm| {
         for i in 0u64..900 {
             db.put_u64(i % 250, format!("x{i}").into_bytes()).unwrap();
             if i % 97 == 0 {
@@ -314,7 +314,7 @@ fn auto_compaction_scan_is_identical_to_uncompacted_store() {
         }
         db.flush().unwrap();
     };
-    let mut compacting = Lsm::open_in_memory(
+    let compacting = Lsm::open_in_memory(
         LsmOptions::default()
             .memtable_capacity(40)
             .compaction_policy(CompactionPolicy::EveryNFlushes { flushes: 5 })
@@ -323,10 +323,10 @@ fn auto_compaction_scan_is_identical_to_uncompacted_store() {
             .wal(false),
     )
     .unwrap();
-    let mut plain =
+    let plain =
         Lsm::open_in_memory(LsmOptions::default().memtable_capacity(40).wal(false)).unwrap();
-    write(&mut compacting);
-    write(&mut plain);
+    write(&compacting);
+    write(&plain);
     assert!(compacting.stats().auto_compactions >= 2);
     assert!(compacting.live_tables().len() < plain.live_tables().len());
     assert_eq!(compacting.scan_all().unwrap(), plain.scan_all().unwrap());

@@ -46,7 +46,7 @@ proptest! {
     /// model BTreeMap says it should be, and scan_all matches the model.
     #[test]
     fn store_matches_model(ops in proptest::collection::vec(arb_op(), 1..120)) {
-        let mut db = Lsm::open_in_memory(LsmOptions::default().memtable_capacity(8)).unwrap();
+        let db = Lsm::open_in_memory(LsmOptions::default().memtable_capacity(8)).unwrap();
         let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
 
         for op in &ops {
@@ -75,7 +75,8 @@ proptest! {
         }
 
         for (k, v) in &model {
-            prop_assert_eq!(db.get_u64(*k).unwrap(), Some(v.clone()), "key {}", k);
+            let got = db.get_u64(*k).unwrap();
+            prop_assert_eq!(got.as_deref(), Some(v.as_slice()), "key {}", k);
         }
         // Spot-check some absent keys.
         for k in 200..205u64 {
@@ -99,7 +100,7 @@ proptest! {
         keys in proptest::collection::vec(0u64..500, 1..300),
         deletes in proptest::collection::vec(0u64..500, 0..50),
     ) {
-        let mut db = Lsm::open_in_memory(LsmOptions::default().memtable_capacity(16)).unwrap();
+        let db = Lsm::open_in_memory(LsmOptions::default().memtable_capacity(16)).unwrap();
         for (i, k) in keys.iter().enumerate() {
             db.put_u64(*k, format!("v{i}").into_bytes()).unwrap();
         }

@@ -134,6 +134,24 @@ pub struct StatsSummary {
     pub write_batches: u64,
     /// Point reads served.
     pub gets: u64,
+    /// Reads answered from a memtable.
+    pub memtable_hits: u64,
+    /// Sstables consulted across reads (read-amplification numerator).
+    pub tables_probed: u64,
+    /// Probes rejected by bloom filters / key ranges with zero block I/O.
+    pub bloom_negative_probes: u64,
+    /// Data blocks fetched from storage on the read path.
+    pub data_block_reads: u64,
+    /// Bytes of data blocks fetched from storage on the read path.
+    pub data_block_read_bytes: u64,
+    /// Reader handles served from the table caches.
+    pub table_cache_hits: u64,
+    /// Reader handles opened on table-cache misses.
+    pub table_cache_misses: u64,
+    /// Data blocks served from the block caches.
+    pub block_cache_hits: u64,
+    /// Block lookups that missed the block caches.
+    pub block_cache_misses: u64,
     /// Memtable flushes performed.
     pub flushes: u64,
     /// Compactions executed (all kinds).
@@ -156,6 +174,15 @@ impl StatsSummary {
             self.deletes,
             self.write_batches,
             self.gets,
+            self.memtable_hits,
+            self.tables_probed,
+            self.bloom_negative_probes,
+            self.data_block_reads,
+            self.data_block_read_bytes,
+            self.table_cache_hits,
+            self.table_cache_misses,
+            self.block_cache_hits,
+            self.block_cache_misses,
             self.flushes,
             self.compactions,
             self.auto_compactions,
@@ -168,7 +195,7 @@ impl StatsSummary {
     }
 
     fn decode_from(cursor: &mut &[u8]) -> Result<Self, Error> {
-        if cursor.remaining() < 11 * 8 {
+        if cursor.remaining() < 20 * 8 {
             return Err(Error::protocol("truncated stats summary"));
         }
         Ok(Self {
@@ -177,6 +204,15 @@ impl StatsSummary {
             deletes: cursor.get_u64_le(),
             write_batches: cursor.get_u64_le(),
             gets: cursor.get_u64_le(),
+            memtable_hits: cursor.get_u64_le(),
+            tables_probed: cursor.get_u64_le(),
+            bloom_negative_probes: cursor.get_u64_le(),
+            data_block_reads: cursor.get_u64_le(),
+            data_block_read_bytes: cursor.get_u64_le(),
+            table_cache_hits: cursor.get_u64_le(),
+            table_cache_misses: cursor.get_u64_le(),
+            block_cache_hits: cursor.get_u64_le(),
+            block_cache_misses: cursor.get_u64_le(),
             flushes: cursor.get_u64_le(),
             compactions: cursor.get_u64_le(),
             auto_compactions: cursor.get_u64_le(),

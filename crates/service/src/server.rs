@@ -233,6 +233,15 @@ fn execute(store: &ShardedKv, request: Request) -> Response {
                 deletes: aggregate.deletes,
                 write_batches: aggregate.write_batches,
                 gets: aggregate.gets,
+                memtable_hits: aggregate.memtable_hits,
+                tables_probed: aggregate.tables_probed,
+                bloom_negative_probes: aggregate.bloom_negative_probes,
+                data_block_reads: aggregate.data_block_reads,
+                data_block_read_bytes: aggregate.data_block_read_bytes,
+                table_cache_hits: aggregate.table_cache_hits,
+                table_cache_misses: aggregate.table_cache_misses,
+                block_cache_hits: aggregate.block_cache_hits,
+                block_cache_misses: aggregate.block_cache_misses,
                 flushes: aggregate.flushes,
                 compactions: aggregate.compactions,
                 auto_compactions: aggregate.auto_compactions,

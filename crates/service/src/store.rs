@@ -1,11 +1,15 @@
-//! The sharded store: N independent LSM shards behind per-shard locks.
+//! The sharded store: N independent LSM shards, lock-free reads.
 //!
 //! Each shard is a complete [`Lsm`] instance — its own memtable, WAL,
-//! manifest and [`CompactionPolicy`](lsm_engine::CompactionPolicy) —
-//! guarded by its own mutex. Operations lock only the shard that owns
-//! the key, so a `GET` on shard 0 proceeds while shard 3 is inside a
-//! policy-triggered compaction: the "read/write availability while
-//! compaction runs" scenario the paper motivates, realized by sharding.
+//! manifest, [`CompactionPolicy`](lsm_engine::CompactionPolicy), table
+//! cache and block cache. Since the read-path overhaul the engine itself
+//! is `&self` end to end: writes serialize on the shard's *internal*
+//! write mutex, while `GET`s probe an atomically-swapped snapshot
+//! through the caches and **never acquire a lock the write path holds**.
+//! A `GET` on shard 0 proceeds while shard 0 — not just shard 3 — is
+//! inside a policy-triggered compaction: the "read availability while
+//! compaction runs" scenario the paper motivates, now held per shard,
+//! not only across shards.
 //!
 //! Batches are re-grouped per shard ([`ShardedKv::apply_batch`]): each
 //! shard receives one [`WriteBatch`] and pays one WAL frame + one
@@ -14,10 +18,9 @@
 //! B's; each shard's half is itself all-or-nothing.
 
 use std::path::PathBuf;
+use std::sync::Arc;
 
-use parking_lot::Mutex;
-
-use lsm_engine::{Key, Lsm, LsmOptions, LsmStats, Value, WriteBatch};
+use lsm_engine::{Key, Lsm, LsmOptions, LsmStats, Storage, Value, WriteBatch};
 
 use crate::{Error, ShardRouter};
 
@@ -25,10 +28,16 @@ use crate::{Error, ShardRouter};
 /// store (written into the store's root directory).
 const SHARD_COUNT_FILE: &str = "SHARDS";
 
+/// Marker blob recording the shard count of a store opened over
+/// caller-provided storages (stored on shard 0's backend, where the
+/// engine's orphan sweep — which only touches `sst-*`/`obs-*` blobs —
+/// leaves it alone).
+const SHARD_COUNT_BLOB: &str = "SHARDS";
+
 /// A sharded key-value store over [`Lsm`] shards.
 ///
-/// Shared freely across threads (`&self` API; every method locks only
-/// the shards it touches).
+/// Shared freely across threads (`&self` API; reads are lock-free
+/// against writers, writes serialize per shard inside the engine).
 ///
 /// # Examples
 ///
@@ -47,7 +56,7 @@ const SHARD_COUNT_FILE: &str = "SHARDS";
 #[derive(Debug)]
 pub struct ShardedKv {
     router: ShardRouter,
-    shards: Vec<Mutex<Lsm>>,
+    shards: Vec<Lsm>,
 }
 
 impl ShardedKv {
@@ -59,7 +68,57 @@ impl ShardedKv {
     pub fn open_in_memory(shards: usize, options: LsmOptions) -> Result<Self, Error> {
         let router = ShardRouter::new(shards);
         let shards = (0..router.shards())
-            .map(|_| Ok(Mutex::new(Lsm::open_in_memory(options.clone())?)))
+            .map(|_| Ok(Lsm::open_in_memory(options.clone())?))
+            .collect::<Result<Vec<_>, Error>>()?;
+        Ok(Self { router, shards })
+    }
+
+    /// Opens a store over caller-provided storage backends, one per
+    /// shard. This is how tests inject instrumented storage (gated or
+    /// fault-injecting backends) underneath a live server.
+    ///
+    /// The shard count is recorded as a marker blob on shard 0's
+    /// backend, exactly like [`ShardedKv::open_on_disk`]'s `SHARDS`
+    /// file: reopening persistent backends with a different count fails
+    /// with [`Error::ShardMismatch`] instead of silently misrouting
+    /// keys.
+    ///
+    /// # Errors
+    ///
+    /// Fails on shard-count mismatch and propagates engine
+    /// open/recovery failures.
+    pub fn open_with_storages(
+        storages: Vec<Arc<dyn Storage>>,
+        options: LsmOptions,
+    ) -> Result<Self, Error> {
+        let router = ShardRouter::new(storages.len());
+        if let Some(first) = storages.first() {
+            if first.contains_blob(SHARD_COUNT_BLOB) {
+                let contents = first.read_blob(SHARD_COUNT_BLOB)?;
+                let expected: usize = std::str::from_utf8(&contents)
+                    .ok()
+                    .and_then(|s| s.trim().parse().ok())
+                    .ok_or_else(|| {
+                        Error::Engine(lsm_engine::Error::corruption(
+                            "unreadable shard-count marker (SHARDS blob)",
+                        ))
+                    })?;
+                if expected != router.shards() {
+                    return Err(Error::ShardMismatch {
+                        expected,
+                        requested: router.shards(),
+                    });
+                }
+            } else {
+                first.write_blob(
+                    SHARD_COUNT_BLOB,
+                    format!("{}\n", router.shards()).as_bytes(),
+                )?;
+            }
+        }
+        let shards = storages
+            .into_iter()
+            .map(|storage| Ok(Lsm::open(storage, options.clone())?))
             .collect::<Result<Vec<_>, Error>>()?;
         Ok(Self { router, shards })
     }
@@ -103,7 +162,7 @@ impl ShardedKv {
         let shards = (0..router.shards())
             .map(|i| {
                 let dir = root.join(format!("shard-{i}"));
-                Ok(Mutex::new(Lsm::open_on_disk(dir, options.clone())?))
+                Ok(Lsm::open_on_disk(dir, options.clone())?)
             })
             .collect::<Result<Vec<_>, Error>>()?;
         Ok(Self { router, shards })
@@ -121,17 +180,18 @@ impl ShardedKv {
         self.router
     }
 
-    fn shard(&self, key: &[u8]) -> &Mutex<Lsm> {
+    fn shard(&self, key: &[u8]) -> &Lsm {
         &self.shards[self.router.shard_for(key)]
     }
 
-    /// Point read of `key` from its owning shard.
+    /// Point read of `key` from its owning shard. Lock-free against
+    /// writes, flushes and compaction on the same shard.
     ///
     /// # Errors
     ///
     /// Propagates engine errors.
     pub fn get(&self, key: &[u8]) -> Result<Option<Value>, Error> {
-        Ok(self.shard(key).lock().get(key)?)
+        Ok(self.shard(key).get(key)?)
     }
 
     /// Inserts or overwrites `key` on its owning shard. Durable (WAL)
@@ -141,7 +201,7 @@ impl ShardedKv {
     ///
     /// Propagates engine errors.
     pub fn put(&self, key: Key, value: Value) -> Result<(), Error> {
-        Ok(self.shard(&key).lock().put(key, value)?)
+        Ok(self.shard(&key).put(key, value)?)
     }
 
     /// Deletes `key` on its owning shard.
@@ -150,7 +210,7 @@ impl ShardedKv {
     ///
     /// Propagates engine errors.
     pub fn delete(&self, key: Key) -> Result<(), Error> {
-        Ok(self.shard(&key).lock().delete(key)?)
+        Ok(self.shard(&key).delete(key)?)
     }
 
     /// Convenience: [`ShardedKv::get`] with an integer key.
@@ -184,10 +244,10 @@ impl ShardedKv {
     }
 
     /// Applies a batch: operations are re-grouped by owning shard and
-    /// each shard's sub-batch is applied under that shard's lock with
-    /// one WAL frame and one memtable pass
-    /// ([`Lsm::write_batch`]). Sub-batches preserve the batch's
-    /// operation order. Atomicity is per shard (see module docs).
+    /// each shard's sub-batch is applied with one WAL frame and one
+    /// memtable pass ([`Lsm::write_batch`]). Sub-batches preserve the
+    /// batch's operation order. Atomicity is per shard (see module
+    /// docs).
     ///
     /// # Errors
     ///
@@ -203,7 +263,7 @@ impl ShardedKv {
         }
         for (shard, sub) in self.shards.iter().zip(per_shard) {
             if !sub.is_empty() {
-                shard.lock().write_batch(sub)?;
+                shard.write_batch(sub)?;
             }
         }
         Ok(())
@@ -216,7 +276,7 @@ impl ShardedKv {
     /// Propagates engine errors.
     pub fn flush_all(&self) -> Result<(), Error> {
         for shard in &self.shards {
-            shard.lock().flush()?;
+            shard.flush()?;
         }
         Ok(())
     }
@@ -229,7 +289,7 @@ impl ShardedKv {
     /// Propagates engine errors.
     pub fn compact_all(&self) -> Result<(), Error> {
         for shard in &self.shards {
-            shard.lock().auto_compact()?;
+            shard.auto_compact()?;
         }
         Ok(())
     }
@@ -240,13 +300,10 @@ impl ShardedKv {
         let per_shard: Vec<ShardStats> = self
             .shards
             .iter()
-            .map(|s| {
-                let guard = s.lock();
-                ShardStats {
-                    stats: guard.stats().clone(),
-                    live_tables: guard.live_tables().len(),
-                    memtable_len: guard.memtable_len(),
-                }
+            .map(|shard| ShardStats {
+                stats: shard.stats(),
+                live_tables: shard.live_tables().len(),
+                memtable_len: shard.memtable_len(),
             })
             .collect();
         ServiceStats { per_shard }
@@ -261,7 +318,7 @@ impl ShardedKv {
     pub fn scan_all(&self) -> Result<Vec<(Key, Value)>, Error> {
         let mut all = Vec::new();
         for shard in &self.shards {
-            all.extend(shard.lock().scan_all()?);
+            all.extend(shard.scan_all()?);
         }
         all.sort_by(|a, b| a.0.cmp(&b.0));
         Ok(all)
@@ -413,5 +470,56 @@ mod tests {
         let all = kv.scan_all().unwrap();
         assert_eq!(all.len(), 50);
         assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn injected_storages_back_the_shards() {
+        use lsm_engine::MemoryStorage;
+        let storages: Vec<Arc<dyn Storage>> = (0..2)
+            .map(|_| Arc::new(MemoryStorage::new()) as Arc<dyn Storage>)
+            .collect();
+        let backends: Vec<Arc<dyn Storage>> = storages.clone();
+        let kv = ShardedKv::open_with_storages(
+            backends,
+            LsmOptions::default().memtable_capacity(4).wal(false),
+        )
+        .unwrap();
+        for i in 0..40u64 {
+            kv.put_u64(i, vec![i as u8]).unwrap();
+        }
+        kv.flush_all().unwrap();
+        // The injected backends physically hold the shards' blobs.
+        let total_blobs: usize = storages.iter().map(|s| s.list_blobs().len()).sum();
+        assert!(total_blobs >= 2, "flushes landed in the injected storages");
+        for i in 0..40u64 {
+            assert_eq!(kv.get_u64(i).unwrap(), Some(vec![i as u8]));
+        }
+        drop(kv);
+
+        // Reopening the same backends with a different shard count must
+        // fail loudly, not misroute keys.
+        let mut wrong: Vec<Arc<dyn Storage>> = storages.clone();
+        wrong.push(Arc::new(MemoryStorage::new()));
+        let err = ShardedKv::open_with_storages(
+            wrong,
+            LsmOptions::default().memtable_capacity(4).wal(false),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            Error::ShardMismatch {
+                expected: 2,
+                requested: 3
+            }
+        ));
+        // The correct count reopens and still serves every key.
+        let reopened = ShardedKv::open_with_storages(
+            storages,
+            LsmOptions::default().memtable_capacity(4).wal(false),
+        )
+        .unwrap();
+        for i in 0..40u64 {
+            assert_eq!(reopened.get_u64(i).unwrap(), Some(vec![i as u8]));
+        }
     }
 }

@@ -7,7 +7,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use kv_service::{KvClient, KvServer, ShardedKv, WireOp};
-use lsm_engine::{CompactionPolicy, LsmOptions};
+use lsm_engine::{CompactionPolicy, LsmOptions, MemoryStorage, Storage};
 
 /// What one client believes the store holds for its keys: the newest
 /// value it got an `OK` for, or `None` after an acknowledged delete.
@@ -193,4 +193,170 @@ fn reads_proceed_while_another_shard_compacts() {
         stats.per_shard[0].stats.auto_compactions, 0,
         "shard 0 should not have compacted (no writes routed there)"
     );
+}
+
+/// A storage backend whose sstable writes block while a gate is closed:
+/// freezes a compaction at its first output write so the test can prove
+/// GETs are served from the *same shard* mid-compaction, over TCP.
+#[derive(Debug)]
+struct GatedStorage {
+    inner: MemoryStorage,
+    gate_enabled: std::sync::atomic::AtomicBool,
+    gate_open: std::sync::Mutex<bool>,
+    signal: std::sync::Condvar,
+}
+
+impl GatedStorage {
+    fn new() -> Self {
+        Self {
+            inner: MemoryStorage::new(),
+            gate_enabled: std::sync::atomic::AtomicBool::new(false),
+            gate_open: std::sync::Mutex::new(true),
+            signal: std::sync::Condvar::new(),
+        }
+    }
+
+    fn close_gate(&self) {
+        *self.gate_open.lock().unwrap() = false;
+        self.gate_enabled
+            .store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    fn open_gate(&self) {
+        *self.gate_open.lock().unwrap() = true;
+        self.signal.notify_all();
+    }
+}
+
+impl Storage for GatedStorage {
+    fn write_blob(&self, name: &str, data: &[u8]) -> Result<(), lsm_engine::Error> {
+        if self.gate_enabled.load(std::sync::atomic::Ordering::SeqCst) && name.starts_with("sst-") {
+            let mut open = self.gate_open.lock().unwrap();
+            while !*open {
+                open = self.signal.wait(open).unwrap();
+            }
+        }
+        self.inner.write_blob(name, data)
+    }
+
+    fn read_blob(&self, name: &str) -> Result<bytes::Bytes, lsm_engine::Error> {
+        self.inner.read_blob(name)
+    }
+
+    fn read_blob_range(
+        &self,
+        name: &str,
+        offset: u64,
+        len: usize,
+    ) -> Result<bytes::Bytes, lsm_engine::Error> {
+        self.inner.read_blob_range(name, offset, len)
+    }
+
+    fn blob_len(&self, name: &str) -> Result<u64, lsm_engine::Error> {
+        self.inner.blob_len(name)
+    }
+
+    fn delete_blob(&self, name: &str) -> Result<(), lsm_engine::Error> {
+        self.inner.delete_blob(name)
+    }
+
+    fn contains_blob(&self, name: &str) -> bool {
+        self.inner.contains_blob(name)
+    }
+
+    fn list_blobs(&self) -> Vec<String> {
+        self.inner.list_blobs()
+    }
+
+    fn bytes_written(&self) -> u64 {
+        self.inner.bytes_written()
+    }
+
+    fn bytes_read(&self) -> u64 {
+        self.inner.bytes_read()
+    }
+}
+
+#[test]
+fn gets_on_a_compacting_shard_are_served_over_tcp() {
+    // The read-path acceptance test at the service layer: a shard's
+    // compaction is frozen mid-write while TCP clients keep GETting keys
+    // *of that same shard* — lock-free reads mean they all succeed
+    // before the compaction is allowed to finish.
+    let gated = Arc::new(GatedStorage::new());
+    let storages: Vec<Arc<dyn Storage>> = vec![
+        Arc::clone(&gated) as Arc<dyn Storage>,
+        Arc::new(MemoryStorage::new()),
+    ];
+    let store = Arc::new(
+        ShardedKv::open_with_storages(
+            storages,
+            LsmOptions::default().memtable_capacity(40).wal(false),
+        )
+        .expect("open"),
+    );
+    let handle = KvServer::bind(Arc::clone(&store), "127.0.0.1:0", 4)
+        .expect("bind")
+        .spawn();
+    let addr = handle.addr();
+
+    // Load through the server, then flush so shard 0 has several tables.
+    {
+        let mut client = KvClient::connect(addr).expect("connect");
+        for i in 0..200u64 {
+            client
+                .put_u64(i, format!("value-{i}").into_bytes())
+                .expect("put");
+        }
+    }
+    store.flush_all().expect("flush");
+
+    // Freeze shard 0's next compaction at its first output write.
+    gated.close_gate();
+    let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let compactor = {
+        let store = Arc::clone(&store);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            store.compact_all().expect("compact");
+            done.store(true, std::sync::atomic::Ordering::SeqCst);
+        })
+    };
+
+    // GETs over TCP, including keys on the frozen shard, all succeed
+    // while the compaction holds shard 0's write mutex.
+    let mut client = KvClient::connect(addr).expect("connect");
+    for round in 0..3 {
+        for i in 0..200u64 {
+            assert_eq!(
+                client.get_u64(i).expect("get"),
+                Some(format!("value-{i}").into_bytes()),
+                "round {round}: GET stalled or failed mid-compaction"
+            );
+        }
+    }
+    assert!(
+        !done.load(std::sync::atomic::Ordering::SeqCst),
+        "compaction finished before the gate opened — the GETs above proved nothing"
+    );
+
+    gated.open_gate();
+    compactor.join().unwrap();
+    let stats = store.stats();
+    assert!(
+        stats.per_shard[0].stats.compactions >= 1,
+        "shard 0 never compacted"
+    );
+    // The wire-level STATS frame carries the new read-path counters.
+    let summary = client.stats().expect("stats");
+    assert!(summary.gets >= 600);
+    assert!(summary.table_cache_hits + summary.table_cache_misses > 0);
+    assert!(
+        summary.block_cache_hits > 0,
+        "repeated GETs must hit the block cache"
+    );
+    handle.shutdown();
+    for i in 0..200u64 {
+        assert!(store.get_u64(i).expect("get").is_some(), "key {i}");
+    }
 }

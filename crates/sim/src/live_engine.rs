@@ -129,7 +129,7 @@ impl LiveEngineConfig {
                     .compaction_fanin(self.fanin)
                     .compaction_threads(self.threads)
                     .wal(false);
-                let mut db = Lsm::open_in_memory(options).expect("in-memory open cannot fail");
+                let db = Lsm::open_in_memory(options).expect("in-memory open cannot fail");
                 for op in &write_ops {
                     match op.kind {
                         OperationKind::Delete => db.delete_u64(op.key),

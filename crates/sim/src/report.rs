@@ -13,30 +13,36 @@ use crate::service_throughput::ServiceThroughputRow;
 pub fn service_throughput_table(rows: &[ServiceThroughputRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:>6}  {:>10}  {:>7}  {:>8}  {:>10}  {:>8}  {:>8}  {:>8}  {:>7}  {:>6}  {:>10}\n",
+        "{:>6}  {:>10}  {:>7}  {:>5}  {:>8}  {:>10}  {:>8}  {:>8}  {:>8}  {:>9}  {:>9}  {:>7}  {:>6}  {:>10}\n",
         "shards",
         "strategy",
         "clients",
+        "read%",
         "ops",
         "ops/s",
         "p50_us",
         "p95_us",
         "p99_us",
+        "getp50_us",
+        "getp99_us",
         "flushes",
         "autoc",
         "stall_ms"
     ));
     for row in rows {
         out.push_str(&format!(
-            "{:>6}  {:>10}  {:>7}  {:>8}  {:>10.0}  {:>8}  {:>8}  {:>8}  {:>7}  {:>6}  {:>10.2}\n",
+            "{:>6}  {:>10}  {:>7}  {:>5}  {:>8}  {:>10.0}  {:>8}  {:>8}  {:>8}  {:>9}  {:>9}  {:>7}  {:>6}  {:>10.2}\n",
             row.shards,
             row.strategy.name(),
             row.clients,
+            row.read_percent,
             row.operations,
             row.throughput_ops_per_sec,
             row.p50_micros,
             row.p95_micros,
             row.p99_micros,
+            row.get_p50_micros,
+            row.get_p99_micros,
             row.flushes,
             row.auto_compactions,
             row.compaction_stall.as_secs_f64() * 1e3,
@@ -49,21 +55,26 @@ pub fn service_throughput_table(rows: &[ServiceThroughputRow]) -> String {
 #[must_use]
 pub fn service_throughput_csv(rows: &[ServiceThroughputRow]) -> String {
     let mut out = String::from(
-        "shards,strategy,clients,operations,elapsed_ms,ops_per_sec,p50_us,p95_us,p99_us,\
+        "shards,strategy,clients,read_percent,operations,read_operations,elapsed_ms,\
+         ops_per_sec,p50_us,p95_us,p99_us,get_p50_us,get_p99_us,\
          flushes,auto_compactions,compaction_entry_cost,stall_ms\n",
     );
     for row in rows {
         out.push_str(&format!(
-            "{},{},{},{},{:.2},{:.1},{},{},{},{},{},{},{:.4}\n",
+            "{},{},{},{},{},{},{:.2},{:.1},{},{},{},{},{},{},{},{},{:.4}\n",
             row.shards,
             row.strategy.name(),
             row.clients,
+            row.read_percent,
             row.operations,
+            row.read_operations,
             row.elapsed.as_secs_f64() * 1e3,
             row.throughput_ops_per_sec,
             row.p50_micros,
             row.p95_micros,
             row.p99_micros,
+            row.get_p50_micros,
+            row.get_p99_micros,
             row.flushes,
             row.auto_compactions,
             row.compaction_entry_cost,
@@ -81,19 +92,25 @@ pub fn service_throughput_json(rows: &[ServiceThroughputRow]) -> String {
     let mut out = String::from("[\n");
     for (i, row) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "  {{\"shards\": {}, \"strategy\": \"{}\", \"clients\": {}, \"operations\": {}, \
+            "  {{\"shards\": {}, \"strategy\": \"{}\", \"clients\": {}, \
+             \"read_percent\": {}, \"operations\": {}, \"read_operations\": {}, \
              \"elapsed_ms\": {:.2}, \"ops_per_sec\": {:.1}, \"p50_us\": {}, \"p95_us\": {}, \
-             \"p99_us\": {}, \"flushes\": {}, \"auto_compactions\": {}, \
+             \"p99_us\": {}, \"get_p50_us\": {}, \"get_p99_us\": {}, \
+             \"flushes\": {}, \"auto_compactions\": {}, \
              \"compaction_entry_cost\": {}, \"stall_ms\": {:.4}}}{}\n",
             row.shards,
             row.strategy.name(),
             row.clients,
+            row.read_percent,
             row.operations,
+            row.read_operations,
             row.elapsed.as_secs_f64() * 1e3,
             row.throughput_ops_per_sec,
             row.p50_micros,
             row.p95_micros,
             row.p99_micros,
+            row.get_p50_micros,
+            row.get_p99_micros,
             row.flushes,
             row.auto_compactions,
             row.compaction_entry_cost,

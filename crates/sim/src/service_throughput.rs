@@ -31,7 +31,11 @@ pub struct ServiceThroughputConfig {
     pub record_count: u64,
     /// YCSB `operationcount` (measured, split across clients).
     pub operation_count: u64,
-    /// Percentage of run-phase operations that are updates; the
+    /// Percentage of run-phase operations that are point reads (GETs),
+    /// carved out first — the YCSB-B/C lever. The remainder splits per
+    /// [`ServiceThroughputConfig::update_percent`].
+    pub read_percent: u32,
+    /// Of the non-read operations, the percentage that are updates; the
     /// remainder follows YCSB write-heavy composition (inserts).
     pub update_percent: u32,
     /// Request distribution for non-insert keys.
@@ -61,6 +65,7 @@ impl ServiceThroughputConfig {
         Self {
             record_count: 2_000,
             operation_count: 20_000,
+            read_percent: 0,
             update_percent: 60,
             distribution: Distribution::Latest,
             memtable_capacity: 250,
@@ -78,12 +83,44 @@ impl ServiceThroughputConfig {
         }
     }
 
+    /// A YCSB-B-style read-heavy sweep (95 % GETs, 5 % updates): the
+    /// read-path acceptance workload, showing GET tails no longer
+    /// spiking while compaction runs.
+    #[must_use]
+    pub fn read_heavy() -> Self {
+        Self {
+            read_percent: 95,
+            update_percent: 100,
+            // More records and tighter flush/trigger knobs than the
+            // write-heavy sweep: with only 5 % updates the shards must
+            // still accumulate enough tables to compact while serving.
+            record_count: 4_000,
+            memtable_capacity: 150,
+            trigger_tables: 4,
+            ..Self::default_paper()
+        }
+    }
+
+    /// [`ServiceThroughputConfig::read_heavy`] at smoke-test size.
+    #[must_use]
+    pub fn quick_read_heavy() -> Self {
+        Self {
+            read_percent: 95,
+            update_percent: 100,
+            record_count: 800,
+            memtable_capacity: 50,
+            trigger_tables: 3,
+            ..Self::quick()
+        }
+    }
+
     /// A smaller configuration for tests and CI smoke runs.
     #[must_use]
     pub fn quick() -> Self {
         Self {
             record_count: 400,
             operation_count: 3_000,
+            read_percent: 0,
             update_percent: 60,
             distribution: Distribution::Latest,
             memtable_capacity: 100,
@@ -98,10 +135,16 @@ impl ServiceThroughputConfig {
     }
 
     fn spec(&self) -> WorkloadSpec {
+        let read = f64::from(self.read_percent.min(100)) / 100.0;
+        let update_share = f64::from(self.update_percent.min(100)) / 100.0;
+        let update = (1.0 - read) * update_share;
+        let insert = 1.0 - read - update;
         WorkloadSpec::builder()
             .record_count(self.record_count)
             .operation_count(self.operation_count)
-            .update_percent(self.update_percent)
+            .read_proportion(read)
+            .update_proportion(update)
+            .insert_proportion(insert)
             .distribution(self.distribution)
             .seed(self.seed)
             .build()
@@ -166,9 +209,11 @@ impl ServiceThroughputConfig {
             }
         }
 
-        // Measured run phase: closed loop, one thread per client.
+        // Measured run phase: closed loop, one thread per client. Each
+        // sample is tagged read/write so GET tails report separately —
+        // the metric the read-path work exists to hold down.
         let started = Instant::now();
-        let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+        let samples: Vec<(bool, u64)> = std::thread::scope(|scope| {
             let handles: Vec<_> = partitions
                 .iter()
                 .map(|ops| {
@@ -177,18 +222,21 @@ impl ServiceThroughputConfig {
                         let mut lat = Vec::with_capacity(ops.len());
                         for op in ops {
                             let t = Instant::now();
-                            match op.kind {
+                            let is_read = match op.kind {
                                 OperationKind::Insert | OperationKind::Update => {
-                                    client.put_u64(op.key, value_for(op.key)).expect("put")
+                                    client.put_u64(op.key, value_for(op.key)).expect("put");
+                                    false
                                 }
                                 OperationKind::Delete => {
                                     client.delete_u64(op.key).expect("delete");
+                                    false
                                 }
                                 OperationKind::Read | OperationKind::Scan => {
                                     let _ = client.get_u64(op.key).expect("get");
+                                    true
                                 }
-                            }
-                            lat.push(t.elapsed().as_micros() as u64);
+                            };
+                            lat.push((is_read, t.elapsed().as_micros() as u64));
                         }
                         lat
                     })
@@ -204,18 +252,29 @@ impl ServiceThroughputConfig {
         let stats = store.stats().aggregate();
         handle.shutdown();
 
+        let mut latencies: Vec<u64> = samples.iter().map(|&(_, us)| us).collect();
+        let mut read_latencies: Vec<u64> = samples
+            .iter()
+            .filter(|&&(is_read, _)| is_read)
+            .map(|&(_, us)| us)
+            .collect();
         latencies.sort_unstable();
+        read_latencies.sort_unstable();
         let ops = latencies.len() as u64;
         ServiceThroughputRow {
             shards,
             strategy,
             clients: self.clients,
+            read_percent: self.read_percent,
             operations: ops,
+            read_operations: read_latencies.len() as u64,
             elapsed,
             throughput_ops_per_sec: ops as f64 / elapsed.as_secs_f64().max(1e-9),
             p50_micros: percentile(&latencies, 50),
             p95_micros: percentile(&latencies, 95),
             p99_micros: percentile(&latencies, 99),
+            get_p50_micros: percentile(&read_latencies, 50),
+            get_p99_micros: percentile(&read_latencies, 99),
             flushes: stats.flushes,
             auto_compactions: stats.auto_compactions,
             compaction_entry_cost: stats.compaction_entry_cost(),
@@ -247,8 +306,12 @@ pub struct ServiceThroughputRow {
     pub strategy: Strategy,
     /// Concurrent closed-loop clients.
     pub clients: usize,
+    /// Percentage of operations that were GETs (configured).
+    pub read_percent: u32,
     /// Operations measured (the run phase).
     pub operations: u64,
+    /// GET operations among them.
+    pub read_operations: u64,
     /// Wall-clock time of the measured run phase.
     pub elapsed: Duration,
     /// Aggregate throughput in operations per second.
@@ -259,6 +322,12 @@ pub struct ServiceThroughputRow {
     pub p95_micros: u64,
     /// 99th-percentile request latency in microseconds.
     pub p99_micros: u64,
+    /// Median GET latency in microseconds (0 when no reads ran).
+    pub get_p50_micros: u64,
+    /// 99th-percentile GET latency in microseconds (0 when no reads
+    /// ran) — the tail the lock-free read path keeps flat while
+    /// compaction runs.
+    pub get_p99_micros: u64,
     /// Memtable flushes across shards during the whole cell run.
     pub flushes: u64,
     /// Policy-triggered compactions across shards.
@@ -281,6 +350,36 @@ mod tests {
         assert_eq!(percentile(&sorted, 99), 99);
         assert_eq!(percentile(&[7], 99), 7);
         assert_eq!(percentile(&[], 50), 0);
+    }
+
+    #[test]
+    fn read_heavy_spec_splits_proportions() {
+        let config = ServiceThroughputConfig::quick_read_heavy();
+        let spec = config.spec();
+        assert!((spec.read_proportion() - 0.95).abs() < 1e-9);
+        assert!((spec.update_proportion() - 0.05).abs() < 1e-9);
+        assert!(spec.insert_proportion().abs() < 1e-9);
+    }
+
+    #[test]
+    fn quick_read_heavy_sweep_reports_get_tails() {
+        let mut config = ServiceThroughputConfig::quick_read_heavy();
+        config.shard_counts = vec![2];
+        config.strategies = vec![Strategy::BalanceTreeInput];
+        let rows = config.run();
+        assert_eq!(rows.len(), 1);
+        let row = &rows[0];
+        assert_eq!(row.read_percent, 95);
+        assert!(
+            row.read_operations >= row.operations * 9 / 10,
+            "95% read mix must be read-dominated: {row:?}"
+        );
+        assert!(row.get_p50_micros <= row.get_p99_micros);
+        assert!(row.get_p99_micros > 0, "read tail measured");
+        assert!(
+            row.auto_compactions >= 1,
+            "updates must still trigger compaction: {row:?}"
+        );
     }
 
     #[test]

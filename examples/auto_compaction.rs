@@ -14,7 +14,7 @@ use nosql_compaction::lsm::{CompactionPolicy, Lsm, LsmOptions};
 use nosql_compaction::ycsb::{Distribution, OperationKind, WorkloadSpec};
 
 fn run_with(strategy: Strategy) -> Result<(), Box<dyn std::error::Error>> {
-    let mut db = Lsm::open_in_memory(
+    let db = Lsm::open_in_memory(
         LsmOptions::default()
             .memtable_capacity(300)
             .compaction_policy(CompactionPolicy::Threshold { live_tables: 8 })

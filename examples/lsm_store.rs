@@ -12,7 +12,7 @@ use nosql_compaction::ycsb::{Distribution, OperationKind, WorkloadSpec};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. An LSM store whose memtable flushes every 500 distinct keys.
     //    The default policy is Manual: nothing compacts until we ask.
-    let mut db = Lsm::open_in_memory(
+    let db = Lsm::open_in_memory(
         LsmOptions::default()
             .memtable_capacity(500)
             .compaction_strategy(Strategy::BalanceTreeInput)

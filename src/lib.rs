@@ -17,6 +17,9 @@
 //!   that physically executes merge schedules — and, configured with a
 //!   `CompactionPolicy`, plans and runs its own compactions with the
 //!   paper's strategies (parallel across independent merge steps).
+//!   Point reads are lock-free against writers: lazy sstable readers
+//!   fetch one data block per hit through a table/block cache pair,
+//!   probing an atomically-swapped snapshot of the live tables.
 //! * [`ycsb`] (`ycsb-gen`) — a YCSB-style workload generator (uniform /
 //!   zipfian / latest request distributions, load and run phases).
 //! * [`hll`] — HyperLogLog cardinality estimation, used by the
@@ -27,8 +30,9 @@
 //!   the live server, per shard count and strategy).
 //! * [`service`] (`kv-service`) — the sharded concurrent KV service:
 //!   shard router, batched per-shard writes, TCP front-end
-//!   (`GET`/`PUT`/`DEL`/`BATCH`/`STATS`) and a worker-pool server, so
-//!   reads on one shard proceed while another shard compacts.
+//!   (`GET`/`PUT`/`DEL`/`BATCH`/`STATS`) and a worker-pool server;
+//!   `GET`s never take a shard lock, so reads proceed while any shard —
+//!   including their own — flushes or compacts.
 //!
 //! # Quick start
 //!

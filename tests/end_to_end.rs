@@ -15,7 +15,7 @@ fn load_workload(
     spec: &WorkloadSpec,
     memtable_capacity: usize,
 ) -> (Lsm, std::collections::BTreeMap<u64, bool>) {
-    let mut db = Lsm::open_in_memory(
+    let db = Lsm::open_in_memory(
         LsmOptions::default()
             .memtable_capacity(memtable_capacity)
             .wal(false),
@@ -51,7 +51,7 @@ fn scheduled_physical_compaction_preserves_every_key() {
         .seed(5)
         .build()
         .unwrap();
-    let (mut db, model) = load_workload(&spec, 200);
+    let (db, model) = load_workload(&spec, 200);
     assert!(
         db.live_tables().len() > 2,
         "need several runs for a real compaction"
@@ -78,7 +78,11 @@ fn scheduled_physical_compaction_preserves_every_key() {
     for (&key, &live) in &model {
         let value = db.get_u64(key).unwrap();
         if live {
-            assert_eq!(value, Some(key.to_be_bytes().to_vec()), "key {key}");
+            assert_eq!(
+                value.as_deref(),
+                Some(key.to_be_bytes().as_slice()),
+                "key {key}"
+            );
         } else {
             assert_eq!(value, None, "deleted key {key} resurrected");
         }
@@ -117,7 +121,7 @@ fn simulator_cost_matches_physical_entry_cost_for_same_schedule() {
     let model_cost = schedule.cost_actual(&sstables);
 
     // Build an LSM store containing exactly those key sets as its runs.
-    let mut db = Lsm::open_in_memory(
+    let db = Lsm::open_in_memory(
         LsmOptions::default()
             .memtable_capacity(usize::MAX >> 1)
             .wal(false),
@@ -168,7 +172,7 @@ fn hll_backed_so_schedule_is_close_to_exact_on_ycsb_data() {
 /// Drives the identical YCSB write stream through a self-compacting
 /// engine configured with `strategy`, returning the store.
 fn drive_policy_engine(strategy: Strategy, spec: &WorkloadSpec) -> Lsm {
-    let mut db = Lsm::open_in_memory(
+    let db = Lsm::open_in_memory(
         LsmOptions::default()
             .memtable_capacity(150)
             .compaction_policy(CompactionPolicy::Threshold { live_tables: 6 })
@@ -262,7 +266,7 @@ fn crash_recovery_across_policy_driven_compaction() {
         .unwrap();
     let mut model = std::collections::BTreeMap::new();
     {
-        let mut db = Lsm::open(Arc::clone(&storage), options()).unwrap();
+        let db = Lsm::open(Arc::clone(&storage), options()).unwrap();
         for op in spec.generator().write_operations() {
             match op.kind {
                 OperationKind::Delete => {
@@ -278,7 +282,7 @@ fn crash_recovery_across_policy_driven_compaction() {
         assert!(db.stats().auto_compactions >= 1, "policy fired mid-stream");
         // Crash: unflushed tail lives only in the WAL.
     }
-    let mut db = Lsm::open(storage, options()).unwrap();
+    let db = Lsm::open(storage, options()).unwrap();
     for (&key, value) in &model {
         assert_eq!(
             db.get_u64(key).unwrap().as_deref(),

@@ -3,10 +3,12 @@
 //! and per compaction strategy — the end-to-end "serving while
 //! compacting" experiment. `--read-heavy` switches to the YCSB-B-style
 //! 95 %-GET mix that exercises the lock-free read path and reports GET
-//! p50/p99 separately.
+//! p50/p99 separately; `--scan-heavy` switches to the YCSB-E-style
+//! 95 %-SCAN mix (zipfian start keys, bounded lengths) that streams
+//! ranges over the wire and reports SCAN p50/p99 and keys/sec.
 //!
 //! Run with:
-//! `cargo run --release --bin service_throughput [--quick] [--read-heavy] [--csv] [--json PATH]`
+//! `cargo run --release --bin service_throughput [--quick] [--read-heavy | --scan-heavy] [--csv] [--json PATH]`
 
 use compaction_sim::report::{
     service_throughput_csv, service_throughput_json, service_throughput_table,
@@ -17,6 +19,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let read_heavy = args.iter().any(|a| a == "--read-heavy");
+    let scan_heavy = args.iter().any(|a| a == "--scan-heavy");
     let csv = args.iter().any(|a| a == "--csv");
     let json_path = args
         .iter()
@@ -24,16 +27,21 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned();
 
-    let config = match (quick, read_heavy) {
-        (true, true) => ServiceThroughputConfig::quick_read_heavy(),
-        (true, false) => ServiceThroughputConfig::quick(),
-        (false, true) => ServiceThroughputConfig::read_heavy(),
-        (false, false) => ServiceThroughputConfig::default_paper(),
+    let config = match (quick, read_heavy, scan_heavy) {
+        (true, _, true) => ServiceThroughputConfig::quick_scan_heavy(),
+        (false, _, true) => ServiceThroughputConfig::scan_heavy(),
+        (true, true, false) => ServiceThroughputConfig::quick_read_heavy(),
+        (true, false, false) => ServiceThroughputConfig::quick(),
+        (false, true, false) => ServiceThroughputConfig::read_heavy(),
+        (false, false, false) => ServiceThroughputConfig::default_paper(),
     };
     eprintln!(
-        "service-throughput: {} ops ({}% reads, {}% of the rest updates), {} clients, \
+        "service-throughput: {} ops ({}% scans ≤{} keys, {}% of the rest reads, \
+         {}% of the rest updates), {} clients, \
          shards {:?}, {} strategies, memtable {}, trigger {} tables",
         config.operation_count,
+        config.scan_percent,
+        config.max_scan_length,
         config.read_percent,
         config.update_percent,
         config.clients,

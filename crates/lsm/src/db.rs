@@ -47,6 +47,7 @@ use crate::options::{CompactionPolicy, LsmOptions};
 use crate::parallel::ParallelExecutor;
 use crate::planner::{observed_key, plan_compaction};
 use crate::reader::{ReadContext, ReadPathCounters};
+use crate::scan::RangeIter;
 use crate::sstable::{Sstable, SstableBuilder};
 use crate::storage::{FileStorage, MemoryStorage, Storage};
 use crate::types::{key_from_u64, Entry, Key, Value, ValueKind};
@@ -102,6 +103,8 @@ pub struct Lsm {
     gets: AtomicU64,
     memtable_hits: AtomicU64,
     tables_probed: AtomicU64,
+    range_scans: AtomicU64,
+    range_pruned_tables: AtomicU64,
 }
 
 /// Mutable engine state guarded by the write mutex.
@@ -112,11 +115,12 @@ struct WriteState {
     flushes_since_compaction: u64,
 }
 
-/// The immutable view a point read navigates: live tables in probe
-/// (newest-first) order. Swapped wholesale on flush and compaction.
+/// The immutable view a point read or range scan navigates: live tables
+/// in probe (newest-first) order. Swapped wholesale on flush and
+/// compaction.
 #[derive(Debug, Default)]
-struct ReadView {
-    tables: Vec<TableMeta>,
+pub(crate) struct ReadView {
+    pub(crate) tables: Vec<TableMeta>,
 }
 
 /// Counters describing the work an [`Lsm`] instance has performed.
@@ -138,6 +142,12 @@ pub struct LsmStats {
     pub tables_probed: u64,
     /// Number of reads answered from the memtable.
     pub memtable_hits: u64,
+    /// Number of range scans started ([`Lsm::range`]).
+    pub range_scans: u64,
+    /// Live tables skipped by range scans because their persisted
+    /// min/max key range was disjoint from the scan bounds
+    /// (key-range-partitioned probing: no bloom probe, no block I/O).
+    pub range_pruned_tables: u64,
     /// Table probes rejected by a bloom filter or min/max key range
     /// without reading any data block.
     pub bloom_negative_probes: u64,
@@ -203,6 +213,8 @@ impl LsmStats {
         self.flushes += other.flushes;
         self.tables_probed += other.tables_probed;
         self.memtable_hits += other.memtable_hits;
+        self.range_scans += other.range_scans;
+        self.range_pruned_tables += other.range_pruned_tables;
         self.bloom_negative_probes += other.bloom_negative_probes;
         self.data_block_reads += other.data_block_reads;
         self.data_block_read_bytes += other.data_block_read_bytes;
@@ -305,6 +317,8 @@ impl Lsm {
             gets: AtomicU64::new(0),
             memtable_hits: AtomicU64::new(0),
             tables_probed: AtomicU64::new(0),
+            range_scans: AtomicU64::new(0),
+            range_pruned_tables: AtomicU64::new(0),
         })
     }
 
@@ -350,6 +364,8 @@ impl Lsm {
         stats.gets = self.gets.load(Ordering::Relaxed);
         stats.memtable_hits = self.memtable_hits.load(Ordering::Relaxed);
         stats.tables_probed = self.tables_probed.load(Ordering::Relaxed);
+        stats.range_scans = self.range_scans.load(Ordering::Relaxed);
+        stats.range_pruned_tables = self.range_pruned_tables.load(Ordering::Relaxed);
         stats.bloom_negative_probes = self.read_counters.bloom_negatives();
         stats.data_block_reads = self.read_counters.block_reads();
         stats.data_block_read_bytes = self.read_counters.block_read_bytes();
@@ -531,7 +547,7 @@ impl Lsm {
             let snap = self.snapshot.load_full();
             match self.probe_tables(&snap, key) {
                 Ok(found) => return Ok(found.and_then(visible)),
-                Err(e) if is_retired_table(&e) && self.snapshot_changed(&snap) => continue,
+                Err(e) if is_retired_table(&e) && self.read_view_changed(&snap) => continue,
                 Err(e) => return Err(e),
             }
         }
@@ -558,8 +574,50 @@ impl Lsm {
         Ok(None)
     }
 
-    fn snapshot_changed(&self, seen: &Arc<ReadView>) -> bool {
+    /// `true` when the live read view has been swapped since `seen` was
+    /// loaded (a flush or compaction published new tables).
+    pub(crate) fn read_view_changed(&self, seen: &Arc<ReadView>) -> bool {
         !Arc::ptr_eq(seen, &self.snapshot.load_full())
+    }
+
+    /// The current read view (live tables, newest first).
+    pub(crate) fn read_view(&self) -> Arc<ReadView> {
+        self.snapshot.load_full()
+    }
+
+    /// Opens (or fetches from the table cache) the lazy reader for a
+    /// live table.
+    pub(crate) fn open_reader(&self, meta: &TableMeta) -> Result<Arc<crate::SstableReader>, Error> {
+        self.table_cache
+            .get_or_open(&self.storage, meta.table_id, Some(meta.encoded_len))
+    }
+
+    /// The read context range scans fetch blocks through (cache-fill
+    /// policy from [`LsmOptions::scan_fill_cache`]).
+    pub(crate) fn scan_read_ctx(&self) -> ReadContext<'_> {
+        ReadContext {
+            block_cache: &self.block_cache,
+            fill_cache: self.options.scan_fills_cache(),
+            counters: &self.read_counters,
+        }
+    }
+
+    /// Copies the memtable's in-range entries out under a brief read
+    /// lock (the scan's frozen memtable view).
+    pub(crate) fn memtable_range(
+        &self,
+        start: &std::ops::Bound<Key>,
+        end: &std::ops::Bound<Key>,
+    ) -> Vec<Entry> {
+        self.memtable.read().range(start, end)
+    }
+
+    /// Counts tables a range scan skipped by their min/max key range.
+    pub(crate) fn record_range_pruned(&self, pruned: u64) {
+        if pruned > 0 {
+            self.range_pruned_tables
+                .fetch_add(pruned, Ordering::Relaxed);
+        }
     }
 
     /// Convenience: [`Lsm::get`] with an integer key. Returns the stored
@@ -766,56 +824,67 @@ impl Lsm {
     }
 
     /// Returns every live key/value pair, merged across the memtable and
-    /// all sstables with newest-wins semantics and tombstones applied.
-    /// Intended for verification and small scans, not as a streaming API.
-    ///
-    /// Takes `&self` and runs concurrently with writes and compaction;
-    /// scan block fetches bypass the block cache so a full scan cannot
-    /// flush the hot set.
+    /// all sstables with newest-wins semantics and tombstones applied:
+    /// [`Lsm::range`] over the whole keyspace, collected. Intended for
+    /// verification and small stores — large stores should iterate the
+    /// streaming [`Lsm::range`] directly instead of materializing it.
     ///
     /// # Errors
     ///
     /// Propagates storage and corruption errors.
     pub fn scan_all(&self) -> Result<Vec<(Key, Value)>, Error> {
-        loop {
-            // Memtable first, snapshot second: anything missing from an
-            // older snapshot is still in the memtable entries collected
-            // before it, and duplicates deduplicate by seqno.
-            let memtable_entries: Vec<Entry> = self.memtable.read().iter().collect();
-            let snap = self.snapshot.load_full();
-            match self.scan_snapshot(&snap, memtable_entries) {
-                Ok(all) => return Ok(all),
-                Err(e) if is_retired_table(&e) && self.snapshot_changed(&snap) => continue,
-                Err(e) => return Err(e),
-            }
-        }
+        self.range(..).collect()
     }
 
-    fn scan_snapshot(
-        &self,
-        snap: &ReadView,
-        memtable_entries: Vec<Entry>,
-    ) -> Result<Vec<(Key, Value)>, Error> {
-        let ctx = ReadContext {
-            block_cache: &self.block_cache,
-            fill_cache: false,
-            counters: &self.read_counters,
-        };
-        let mut sources: Vec<Vec<Entry>> = Vec::with_capacity(snap.tables.len() + 1);
-        // Oldest tables first so the merging iterator's newest-wins rule
-        // (by seqno) sees consistent ordering.
-        for meta in snap.tables.iter().rev() {
-            let reader = self.table_cache.get_or_open(
-                &self.storage,
-                meta.table_id,
-                Some(meta.encoded_len),
-            )?;
-            let entries: Result<Vec<Entry>, Error> = reader.iter(ctx).collect();
-            sources.push(entries?);
-        }
-        sources.push(memtable_entries);
-        let merged = crate::iter::MergingIter::new(sources, true);
-        Ok(merged.map(|e| (e.key, e.value)).collect())
+    /// Streams every live `(key, value)` pair whose key falls inside
+    /// `range`, in ascending key order — the snapshot-consistent range
+    /// scan. Nothing is materialized beyond one decoded block per probed
+    /// table, so arbitrarily large ranges stream in bounded memory.
+    ///
+    /// The scan pins the current table snapshot plus a frozen view of
+    /// the memtable's in-range entries, k-way merges them newest-wins
+    /// with tombstones suppressed, and skips every sstable whose
+    /// persisted min/max key range is disjoint from `range`
+    /// (key-range-partitioned probing — see
+    /// [`LsmStats::range_pruned_tables`]). Block fetches bypass the
+    /// block cache unless [`LsmOptions::scan_fill_cache`] says
+    /// otherwise. If a compaction retires a pinned table mid-iteration,
+    /// the scan reloads the freshest snapshot and resumes after the last
+    /// key it returned ([`scan`](crate::scan) module docs).
+    ///
+    /// Runs concurrently with writes, flushes and compaction — it takes
+    /// `&self` and never holds an engine lock across I/O.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lsm_engine::{Lsm, LsmOptions};
+    ///
+    /// # fn main() -> Result<(), lsm_engine::Error> {
+    /// let db = Lsm::open_in_memory(LsmOptions::default().memtable_capacity(4))?;
+    /// for i in 0u64..20 {
+    ///     db.put_u64(i, vec![i as u8])?;
+    /// }
+    /// let hits: Vec<u64> = db
+    ///     .range_u64(5..9)
+    ///     .map(|r| r.map(|(k, _)| lsm_engine::key_to_u64(&k).unwrap()))
+    ///     .collect::<Result<_, _>>()?;
+    /// assert_eq!(hits, vec![5, 6, 7, 8]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn range(&self, range: impl std::ops::RangeBounds<Key>) -> RangeIter<'_> {
+        self.range_scans.fetch_add(1, Ordering::Relaxed);
+        RangeIter::new(
+            self,
+            (range.start_bound().cloned(), range.end_bound().cloned()),
+        )
+    }
+
+    /// Convenience: [`Lsm::range`] over big-endian-encoded integer keys
+    /// (half-open, like the `start..end` it takes).
+    pub fn range_u64(&self, range: std::ops::Range<u64>) -> RangeIter<'_> {
+        self.range(key_from_u64(range.start)..key_from_u64(range.end))
     }
 }
 

@@ -29,6 +29,11 @@
 //!   ranged reads ([`Storage::read_blob_range`]) of its tail (bloom +
 //!   min/max meta + index + footer) and fetches one data block per
 //!   lookup through the [`TableCache`] / [`BlockCache`] pair;
+//! * [`RangeIter`] — streaming, snapshot-consistent range scans
+//!   ([`Lsm::range`]): a lazy k-way merge over the frozen memtable view
+//!   and the live tables, pruning tables by their persisted min/max
+//!   keys before any bloom or block is touched (see the [`scan`]
+//!   module);
 //! * [`Lsm`] — the database facade: `put`/`get`/`delete`/`flush`, plus
 //!   [`Lsm::major_compact`], which physically executes a merge schedule
 //!   produced by the `compaction-core` crate. Every method takes
@@ -99,6 +104,7 @@ mod options;
 mod parallel;
 mod planner;
 mod reader;
+pub mod scan;
 mod sstable;
 mod storage;
 mod types;
@@ -119,6 +125,7 @@ pub use options::{CompactionPolicy, LsmOptions};
 pub use parallel::ParallelExecutor;
 pub use planner::{observe_tables, observed_key, plan_compaction};
 pub use reader::{ReadContext, ReadPathCounters, SstableReader, SstableReaderIter};
+pub use scan::RangeIter;
 pub use sstable::{Sstable, SstableBuilder, SstableIter, SstableMeta};
 pub use storage::{FileStorage, MemoryStorage, Storage};
 pub use types::{key_from_u64, key_to_u64, Entry, InternalKey, Key, SeqNo, Value, ValueKind};

@@ -113,6 +113,35 @@ impl Memtable {
         self.approximate_bytes
     }
 
+    /// Collects the buffered entries whose keys fall inside
+    /// `(start, end)`, in key order. Returns an owned snapshot — the
+    /// scan path calls this under a brief read lock and then iterates
+    /// without holding any lock. An inverted/empty range yields no
+    /// entries (never panics, unlike raw `BTreeMap::range`).
+    #[must_use]
+    pub fn range(&self, start: &std::ops::Bound<Key>, end: &std::ops::Bound<Key>) -> Vec<Entry> {
+        use std::ops::Bound;
+        let empty = match (start, end) {
+            (Bound::Included(s), Bound::Included(e)) => s > e,
+            (Bound::Included(s), Bound::Excluded(e))
+            | (Bound::Excluded(s), Bound::Included(e))
+            | (Bound::Excluded(s), Bound::Excluded(e)) => s >= e,
+            _ => false,
+        };
+        if empty {
+            return Vec::new();
+        }
+        self.entries
+            .range((start.clone(), end.clone()))
+            .map(|(key, (value, seqno, kind))| Entry {
+                key: key.clone(),
+                value: value.clone(),
+                seqno: *seqno,
+                kind: *kind,
+            })
+            .collect()
+    }
+
     /// Iterates the buffered entries in key order (the order they will be
     /// written to an sstable on flush).
     pub fn iter(&self) -> impl Iterator<Item = Entry> + '_ {

@@ -82,6 +82,7 @@ pub struct LsmOptions {
     table_cache_capacity: usize,
     block_cache_capacity_bytes: u64,
     fill_cache: bool,
+    scan_fill_cache: bool,
 }
 
 impl Default for LsmOptions {
@@ -100,6 +101,7 @@ impl Default for LsmOptions {
             table_cache_capacity: 64,
             block_cache_capacity_bytes: 8 * 1024 * 1024,
             fill_cache: true,
+            scan_fill_cache: false,
         }
     }
 }
@@ -228,6 +230,16 @@ impl LsmOptions {
         self
     }
 
+    /// Controls whether range scans ([`Lsm::range`](crate::Lsm::range))
+    /// insert the blocks they fetch into the block cache (default
+    /// `false`: a long scan sweeping cold blocks must not flush the hot
+    /// set a point-read workload built up).
+    #[must_use]
+    pub fn scan_fill_cache(mut self, fill: bool) -> Self {
+        self.scan_fill_cache = fill;
+        self
+    }
+
     /// Memtable capacity in distinct keys.
     #[must_use]
     pub fn memtable_capacity_keys(&self) -> usize {
@@ -305,6 +317,12 @@ impl LsmOptions {
     pub fn fills_cache(&self) -> bool {
         self.fill_cache
     }
+
+    /// Whether range scans populate the block cache.
+    #[must_use]
+    pub fn scan_fills_cache(&self) -> bool {
+        self.scan_fill_cache
+    }
 }
 
 #[cfg(test)]
@@ -323,6 +341,7 @@ mod tests {
             .table_cache_capacity(0)
             .block_cache_capacity_bytes(0)
             .fill_cache(false)
+            .scan_fill_cache(true)
             .wal(false);
         assert_eq!(opts.memtable_capacity_keys(), 1, "capacity clamps to 1");
         assert_eq!(opts.block_size_bytes(), 64, "block size clamps to 64");
@@ -332,6 +351,7 @@ mod tests {
         assert_eq!(opts.table_cache_tables(), 8, "table cache clamps to 8");
         assert_eq!(opts.block_cache_bytes(), 1, "block cache clamps to 1");
         assert!(!opts.fills_cache());
+        assert!(opts.scan_fills_cache());
         assert!(!opts.drops_tombstones());
         assert!(!opts.wal_enabled());
     }
@@ -349,6 +369,10 @@ mod tests {
         assert_eq!(opts.table_cache_tables(), 64);
         assert_eq!(opts.block_cache_bytes(), 8 * 1024 * 1024);
         assert!(opts.fills_cache());
+        assert!(
+            !opts.scan_fills_cache(),
+            "scans bypass the cache by default"
+        );
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! [`TableCache`](crate::TableCache); the counters they feed surface in
 //! [`LsmStats`](crate::LsmStats).
 
+use std::ops::Bound;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -138,22 +139,13 @@ impl SstableReader {
         let index = decode_index(&tail[rel(footer.index_offset)..])?;
         let (min_key, max_key) = match footer.meta_offset {
             Some(meta_offset) => decode_meta(&tail[rel(meta_offset)..rel(footer.index_offset)])?,
-            // Legacy v1 blob: no meta block. Fetch block 0 once at open
-            // to recover the min key (errors propagate — nothing is
-            // swallowed); the max key is the last index entry.
-            None => match index.first() {
-                Some(&(_, offset, len)) => {
-                    let raw = storage.read_blob_range(&blob_name, offset, len as usize)?;
-                    let block = Block::decode(&raw)?;
-                    let min = block
-                        .entries()
-                        .first()
-                        .map(|e| e.key.clone())
-                        .ok_or_else(|| Error::corruption("empty first data block"))?;
-                    (Some(min), index.last().map(|(k, _, _)| k.clone()))
-                }
-                None => (None, None),
-            },
+            // Legacy v1 blob: no persisted meta block. The min key is
+            // unknown without decoding data block 0 — which the lazy
+            // reader refuses to do at open time — so it stays `None` and
+            // every range check treats the table as "always probe"
+            // ([`SstableReader::may_overlap`]). The max key is still
+            // exact: the last index entry.
+            None => (None, index.last().map(|(k, _, _)| k.clone())),
         };
 
         let open_bytes = (probe_len + tail_len) as u64;
@@ -211,6 +203,46 @@ impl SstableReader {
     #[must_use]
     pub fn open_bytes(&self) -> u64 {
         self.open_bytes
+    }
+
+    /// Whether this table can contain any key inside `(start, end)`,
+    /// judged purely by the persisted min/max meta — no bloom probe, no
+    /// block I/O. This is the key-range-partitioned-probing primitive:
+    /// a range scan skips every table whose key range is disjoint from
+    /// the scan bounds.
+    ///
+    /// Tables whose meta lacks min/max keys (v1-era blobs persisted no
+    /// meta block, so the min key is unknown) report `true` — an
+    /// unknown range must be probed, never silently skipped.
+    #[must_use]
+    pub fn may_overlap(&self, start: Bound<&[u8]>, end: Bound<&[u8]>) -> bool {
+        if self.index.is_empty() {
+            return false;
+        }
+        // Each side prunes only if that side's key is actually known: a
+        // v1 table knows its max (last index entry) but not its min.
+        let starts_after_max = match (&self.max_key, start) {
+            (Some(max), Bound::Included(s)) => s > max.as_ref(),
+            (Some(max), Bound::Excluded(s)) => s >= max.as_ref(),
+            _ => false,
+        };
+        let ends_before_min = match (&self.min_key, end) {
+            (Some(min), Bound::Included(e)) => e < min.as_ref(),
+            (Some(min), Bound::Excluded(e)) => e <= min.as_ref(),
+            _ => false,
+        };
+        !(starts_after_max || ends_before_min)
+    }
+
+    /// Index of the first data block that can contain a key satisfying
+    /// the `start` bound (blocks are indexed by their *last* key).
+    /// Returns [`SstableReader::block_count`] when no block qualifies.
+    pub(crate) fn seek_block_idx(&self, start: &Bound<Key>) -> usize {
+        match start {
+            Bound::Unbounded => 0,
+            Bound::Included(s) => self.index.partition_point(|(last, _, _)| last < s),
+            Bound::Excluded(s) => self.index.partition_point(|(last, _, _)| last <= s),
+        }
     }
 
     /// Point lookup: the newest version of `key` in this table (possibly
@@ -416,6 +448,109 @@ mod tests {
         let reader = SstableReader::open(storage.clone(), 7, None).unwrap();
         assert_eq!(reader.entry_count(), 100);
         assert!(SstableReader::open(storage, 8, None).is_err(), "missing");
+    }
+
+    #[test]
+    fn may_overlap_prunes_by_persisted_min_max() {
+        let storage = Arc::new(MemoryStorage::new());
+        // v2 table over keys 0, 2, …, 198 (min 0, max 198 persisted).
+        let encoded_len = store_table(storage.as_ref(), 1, 100, 256);
+        let reader = SstableReader::open(storage, 1, Some(encoded_len)).unwrap();
+        let k = key_from_u64;
+        let overlap = |start: &[u8], end: &[u8]| {
+            reader.may_overlap(Bound::Included(start), Bound::Excluded(end))
+        };
+        assert!(overlap(&k(0), &k(1)), "range touching the min key");
+        assert!(overlap(&k(100), &k(150)), "interior range");
+        assert!(overlap(&k(198), &k(500)), "range touching the max key");
+        assert!(!overlap(&k(199), &k(500)), "entirely above the max key");
+        assert!(!overlap(&k(300), &k(400)), "far above");
+        assert!(
+            !reader.may_overlap(Bound::Unbounded, Bound::Excluded(&k(0))),
+            "ends before the min key"
+        );
+        assert!(
+            !reader.may_overlap(Bound::Excluded(&k(198)), Bound::Unbounded),
+            "starts exclusively at the max key"
+        );
+        assert!(reader.may_overlap(Bound::Unbounded, Bound::Unbounded));
+    }
+
+    /// Regression (v1-era meta): a legacy table persists no min/max
+    /// meta block, so its key range is (partially) unknown. Range
+    /// pruning must treat it as "always probe" — silently skipping it
+    /// would make scans lose every key the table holds.
+    #[test]
+    fn legacy_v1_table_without_meta_is_always_probed() {
+        let storage = Arc::new(MemoryStorage::new());
+        let data = crate::sstable::test_support::build_v1_table(300, 256);
+        storage.write_blob(&Sstable::blob_name(4), &data).unwrap();
+        let reader = SstableReader::open(storage, 4, None).unwrap();
+
+        assert_eq!(
+            reader.min_key(),
+            None,
+            "v1 meta lacks a min key (and the lazy open must not decode \
+             block 0 to recover it)"
+        );
+        assert_eq!(reader.max_key(), Some(&key_from_u64(299)));
+
+        // Unknown range ⇒ every scan window must probe the table, even
+        // one that looks disjoint from the known max-side bound.
+        let k = key_from_u64;
+        for (start, end) in [(0u64, 10u64), (100, 200), (290, 1_000)] {
+            assert!(
+                reader.may_overlap(
+                    Bound::Included(k(start).as_ref()),
+                    Bound::Excluded(k(end).as_ref())
+                ),
+                "v1 table silently skipped for range {start}..{end}"
+            );
+        }
+        // The max key is still known exactly, so ranges past it prune.
+        assert!(!reader.may_overlap(Bound::Included(k(300).as_ref()), Bound::Unbounded));
+
+        // Point reads keep working (range check falls back to "probe").
+        let (cache, counters) = ctx_parts();
+        let ctx = ReadContext {
+            block_cache: &cache,
+            fill_cache: true,
+            counters: &counters,
+        };
+        let entry = reader.get(&k(123), ctx).unwrap().unwrap();
+        assert_eq!(entry.value.as_ref(), b"v1-123");
+    }
+
+    #[test]
+    fn seek_block_idx_lands_on_the_covering_block() {
+        let storage = Arc::new(MemoryStorage::new());
+        let encoded_len = store_table(storage.as_ref(), 2, 2_000, 256);
+        let reader = SstableReader::open(storage, 2, Some(encoded_len)).unwrap();
+        assert!(reader.block_count() > 10);
+        assert_eq!(reader.seek_block_idx(&Bound::Unbounded), 0);
+        assert_eq!(reader.seek_block_idx(&Bound::Included(key_from_u64(0))), 0);
+        // Far past the max key: no block qualifies.
+        assert_eq!(
+            reader.seek_block_idx(&Bound::Included(key_from_u64(1 << 40))),
+            reader.block_count()
+        );
+        // For an interior key the chosen block's predecessor ends below
+        // the key (nothing in range is skipped).
+        let target = key_from_u64(1_000);
+        let idx = reader.seek_block_idx(&Bound::Included(target.clone()));
+        assert!(idx < reader.block_count());
+        let (cache, counters) = ctx_parts();
+        let ctx = ReadContext {
+            block_cache: &cache,
+            fill_cache: false,
+            counters: &counters,
+        };
+        let block = reader.block(idx, ctx).unwrap();
+        assert!(block.entries().last().unwrap().key >= target);
+        if idx > 0 {
+            let prev = reader.block(idx - 1, ctx).unwrap();
+            assert!(prev.entries().last().unwrap().key < target);
+        }
     }
 
     #[test]

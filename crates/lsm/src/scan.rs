@@ -1,0 +1,365 @@
+//! Streaming, snapshot-consistent range scans.
+//!
+//! [`Lsm::range`] returns a [`RangeIter`]: a lazy k-way merge over
+//!
+//! * a **frozen memtable view** — the in-range entries, copied out under
+//!   a brief read lock when the scan (re)builds its state;
+//! * one cursor per live sstable that **can** contain keys in the range.
+//!   Tables whose persisted min/max meta is disjoint from the scan
+//!   bounds are pruned before their blooms or blocks are ever touched
+//!   (key-range-partitioned probing, counted in
+//!   [`LsmStats::range_pruned_tables`](crate::LsmStats)); tables whose
+//!   v1-era meta lacks min/max keys are always probed, never skipped.
+//!
+//! Entries stream out newest-wins with tombstones suppressed, one data
+//! block fetched at a time ([`SstableReader::block`]), bypassing the
+//! block cache by default ([`LsmOptions::scan_fill_cache`](crate::LsmOptions::scan_fill_cache))
+//! so a long scan cannot flush the hot set. Nothing is materialized
+//! beyond one decoded block per probed table.
+//!
+//! # Consistency under concurrent compaction
+//!
+//! The scan pins the ArcSwap'd table snapshot current at build time. If
+//! a compaction retires a pinned table mid-iteration and its blob is
+//! already deleted, the scan — exactly like [`Lsm::get`] — reloads the
+//! freshest snapshot and resumes after the last key it returned: the
+//! merged data is, by construction, in the compaction output, so no key
+//! is lost or duplicated. Entries past the resume point reflect the
+//! newer snapshot (which can only contain newer versions).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::ops::{Bound, RangeBounds};
+use std::sync::Arc;
+
+use crate::db::{Lsm, ReadView};
+use crate::reader::SstableReader;
+use crate::types::{Entry, InternalKey, Key, Value};
+use crate::Error;
+
+/// Clones a borrowed `Bound<&Key>` into an owned one.
+fn clone_bound(bound: Bound<&Key>) -> Bound<Key> {
+    match bound {
+        Bound::Included(k) => Bound::Included(k.clone()),
+        Bound::Excluded(k) => Bound::Excluded(k.clone()),
+        Bound::Unbounded => Bound::Unbounded,
+    }
+}
+
+/// Borrows an owned bound as `Bound<&[u8]>` (what the reader's range
+/// check takes).
+fn as_byte_bound(bound: &Bound<Key>) -> Bound<&[u8]> {
+    match bound {
+        Bound::Included(k) => Bound::Included(k.as_ref()),
+        Bound::Excluded(k) => Bound::Excluded(k.as_ref()),
+        Bound::Unbounded => Bound::Unbounded,
+    }
+}
+
+/// `true` when `key` lies beyond the scan's end bound.
+fn past_end(key: &[u8], end: &Bound<Key>) -> bool {
+    match end {
+        Bound::Included(e) => key > e.as_ref(),
+        Bound::Excluded(e) => key >= e.as_ref(),
+        Bound::Unbounded => false,
+    }
+}
+
+/// `true` when `key` precedes the scan's start bound.
+fn before_start(key: &[u8], start: &Bound<Key>) -> bool {
+    match start {
+        Bound::Included(s) => key < s.as_ref(),
+        Bound::Excluded(s) => key <= s.as_ref(),
+        Bound::Unbounded => false,
+    }
+}
+
+/// A streaming range scan over an [`Lsm`] store.
+///
+/// Yields `(key, value)` pairs in ascending key order, newest version
+/// per key, tombstones suppressed. Produced by [`Lsm::range`] /
+/// [`Lsm::range_u64`]; see the [module docs](self) for the consistency
+/// contract.
+#[derive(Debug)]
+pub struct RangeIter<'a> {
+    db: &'a Lsm,
+    /// Resume position: the original start bound, tightened to
+    /// `Excluded(last emitted key)` as the scan advances so a rebuilt
+    /// state continues exactly where the previous one stopped.
+    cursor: Bound<Key>,
+    end: Bound<Key>,
+    state: Option<ScanState>,
+    done: bool,
+}
+
+impl<'a> RangeIter<'a> {
+    pub(crate) fn new(db: &'a Lsm, range: impl RangeBounds<Key>) -> Self {
+        Self {
+            db,
+            cursor: clone_bound(range.start_bound()),
+            end: clone_bound(range.end_bound()),
+            state: None,
+            done: false,
+        }
+    }
+
+    /// Builds (or rebuilds, after a compaction retired a pinned table)
+    /// the merge state from the freshest snapshot, retrying the build
+    /// itself if it races another flip.
+    fn build_state(&mut self) -> Result<ScanState, Error> {
+        loop {
+            // Memtable first, snapshot second: a concurrent flush
+            // publishes its table *before* clearing the memtable, so the
+            // data is in at least one of the two (duplicates deduplicate
+            // newest-wins in the merge).
+            let memtable = self.db.memtable_range(&self.cursor, &self.end);
+            let snapshot = self.db.read_view();
+            match ScanState::build(self.db, snapshot.clone(), memtable, &self.cursor, &self.end) {
+                Ok(state) => return Ok(state),
+                Err(e) if is_retired_table(&e) && self.db.read_view_changed(&snapshot) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl Iterator for RangeIter<'_> {
+    type Item = Result<(Key, Value), Error>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            if self.state.is_none() {
+                match self.build_state() {
+                    Ok(state) => self.state = Some(state),
+                    Err(e) => {
+                        self.done = true;
+                        return Some(Err(e));
+                    }
+                }
+            }
+            let state = self.state.as_mut().expect("state built above");
+            match state.next_merged(self.db) {
+                None => {
+                    self.done = true;
+                    return None;
+                }
+                Some(Ok(entry)) => {
+                    self.cursor = Bound::Excluded(entry.key.clone());
+                    if entry.is_tombstone() {
+                        continue;
+                    }
+                    return Some(Ok((entry.key, entry.value)));
+                }
+                Some(Err(e)) => {
+                    let snapshot = &self.state.as_ref().expect("state").snapshot;
+                    if is_retired_table(&e) && self.db.read_view_changed(snapshot) {
+                        // A pinned table was compacted away mid-scan:
+                        // resume from the freshest snapshot after the
+                        // last key this scan handled.
+                        self.state = None;
+                        continue;
+                    }
+                    self.done = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+}
+
+/// `true` for the error a scan sees when a pinned table was retired by
+/// compaction and its blob already deleted.
+fn is_retired_table(e: &Error) -> bool {
+    matches!(e, Error::Io(io) if io.kind() == std::io::ErrorKind::NotFound)
+}
+
+/// One merge source: a frozen memtable slice or a lazy sstable cursor.
+#[derive(Debug)]
+enum Source {
+    Frozen(std::vec::IntoIter<Entry>),
+    Table(TableCursor),
+}
+
+impl Source {
+    fn next_entry(&mut self, db: &Lsm, end: &Bound<Key>) -> Option<Result<Entry, Error>> {
+        match self {
+            Source::Frozen(iter) => iter.next().map(Ok),
+            Source::Table(cursor) => cursor.next_entry(db, end),
+        }
+    }
+}
+
+/// Lazily walks one sstable's in-range entries, fetching data blocks on
+/// demand through the shared block cache (respecting the engine's
+/// scan-fill policy).
+#[derive(Debug)]
+struct TableCursor {
+    reader: Arc<SstableReader>,
+    block_idx: usize,
+    /// Decoded in-range entries of the current block.
+    entries: std::vec::IntoIter<Entry>,
+    /// Set once a block's last entry reaches the end bound: no later
+    /// block can contain in-range keys.
+    exhausted: bool,
+    start: Bound<Key>,
+}
+
+impl TableCursor {
+    fn new(reader: Arc<SstableReader>, start: &Bound<Key>) -> Self {
+        let block_idx = reader.seek_block_idx(start);
+        Self {
+            reader,
+            block_idx,
+            entries: Vec::new().into_iter(),
+            exhausted: false,
+            start: start.clone(),
+        }
+    }
+
+    fn next_entry(&mut self, db: &Lsm, end: &Bound<Key>) -> Option<Result<Entry, Error>> {
+        loop {
+            if let Some(entry) = self.entries.next() {
+                return Some(Ok(entry));
+            }
+            if self.exhausted || self.block_idx >= self.reader.block_count() {
+                return None;
+            }
+            let ctx = db.scan_read_ctx();
+            let block = match self.reader.block(self.block_idx, ctx) {
+                Ok(block) => block,
+                Err(e) => {
+                    self.exhausted = true;
+                    return Some(Err(e));
+                }
+            };
+            self.block_idx += 1;
+            let all = block.entries();
+            if all.last().is_some_and(|last| past_end(&last.key, end)) {
+                self.exhausted = true;
+            }
+            let in_range: Vec<Entry> = all
+                .iter()
+                .filter(|e| !before_start(&e.key, &self.start) && !past_end(&e.key, end))
+                .cloned()
+                .collect();
+            self.entries = in_range.into_iter();
+        }
+    }
+}
+
+/// A heap item: the next entry of one source, ordered so the smallest
+/// internal key pops first and, on exact internal-key ties, the newer
+/// source wins (sources are listed oldest-first).
+#[derive(Debug, PartialEq, Eq)]
+struct HeapItem {
+    key: InternalKey,
+    source: usize,
+    entry: Entry,
+}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key
+            .cmp(&other.key)
+            .then_with(|| other.source.cmp(&self.source))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The merge state over one pinned snapshot.
+#[derive(Debug)]
+struct ScanState {
+    pub(crate) snapshot: Arc<ReadView>,
+    sources: Vec<Source>,
+    heap: BinaryHeap<Reverse<HeapItem>>,
+    end: Bound<Key>,
+    last_emitted: Option<Key>,
+}
+
+impl ScanState {
+    /// Builds the merge over `snapshot`: opens (via the table cache) a
+    /// cursor for every live table overlapping `(cursor, end)`, pruning
+    /// the rest by their persisted min/max meta, and primes the heap.
+    fn build(
+        db: &Lsm,
+        snapshot: Arc<ReadView>,
+        memtable: Vec<Entry>,
+        cursor: &Bound<Key>,
+        end: &Bound<Key>,
+    ) -> Result<Self, Error> {
+        let start_ref = as_byte_bound(cursor);
+        let end_ref = as_byte_bound(end);
+        // Oldest tables first, memtable last: on internal-key ties the
+        // higher source index (the newer data) wins.
+        let mut sources: Vec<Source> = Vec::new();
+        let mut pruned = 0u64;
+        for meta in snapshot.tables.iter().rev() {
+            let reader = db.open_reader(meta)?;
+            if reader.may_overlap(start_ref, end_ref) {
+                sources.push(Source::Table(TableCursor::new(reader, cursor)));
+            } else {
+                pruned += 1;
+            }
+        }
+        sources.push(Source::Frozen(memtable.into_iter()));
+        db.record_range_pruned(pruned);
+
+        let mut state = Self {
+            snapshot,
+            sources,
+            heap: BinaryHeap::new(),
+            end: end.clone(),
+            last_emitted: None,
+        };
+        for idx in 0..state.sources.len() {
+            state.advance_source(db, idx)?;
+        }
+        Ok(state)
+    }
+
+    /// Pulls the next entry from source `idx` onto the heap.
+    fn advance_source(&mut self, db: &Lsm, idx: usize) -> Result<(), Error> {
+        if let Some(result) = self.sources[idx].next_entry(db, &self.end) {
+            let entry = result?;
+            self.heap.push(Reverse(HeapItem {
+                key: entry.internal_key(),
+                source: idx,
+                entry,
+            }));
+        }
+        Ok(())
+    }
+
+    /// The next in-range entry in internal-key order, newest version per
+    /// user key (possibly a tombstone — the caller suppresses those).
+    fn next_merged(&mut self, db: &Lsm) -> Option<Result<Entry, Error>> {
+        while let Some(Reverse(item)) = self.heap.pop() {
+            if let Err(e) = self.advance_source(db, item.source) {
+                return Some(Err(e));
+            }
+            if past_end(&item.entry.key, &self.end) {
+                // Defensive: cursors filter per block, so this is only
+                // reachable for frozen sources, which pre-filter too.
+                continue;
+            }
+            if self
+                .last_emitted
+                .as_ref()
+                .is_some_and(|last| *last == item.entry.key)
+            {
+                continue; // older version of an already-handled key
+            }
+            self.last_emitted = Some(item.entry.key.clone());
+            return Some(Ok(item.entry));
+        }
+        None
+    }
+}

@@ -537,6 +537,67 @@ impl Iterator for SstableIter<'_> {
     }
 }
 
+/// Test-only helpers shared between this module's tests and the reader
+/// tests: encodes tables in the legacy v1 layout (no meta block, v1
+/// footer), which the builder no longer emits but decoders must accept.
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use crate::block::BlockBuilder;
+    use crate::types::key_from_u64;
+    use bytes::BufMut;
+
+    /// Encodes `n` sequential-key entries (values `v1-<i>`) as a legacy
+    /// v1 sstable blob.
+    pub(crate) fn build_v1_table(n: u64, block_size: usize) -> Bytes {
+        let mut finished: Vec<(Key, Bytes)> = Vec::new();
+        let mut current = BlockBuilder::new();
+        let mut all_keys: Vec<Key> = Vec::new();
+        for i in 0..n {
+            let entry = Entry::put(key_from_u64(i), Bytes::from(format!("v1-{i}")), 1_000 + i);
+            all_keys.push(entry.key.clone());
+            current.add(&entry);
+            if current.size_in_bytes() >= block_size {
+                let last = current.last_key().unwrap().clone();
+                finished.push((last, current.finish()));
+            }
+        }
+        if !current.is_empty() {
+            let last = current.last_key().unwrap().clone();
+            finished.push((last, current.finish()));
+        }
+        let bloom = BloomFilter::build(all_keys.iter().map(|k| k.as_ref()), 10);
+
+        let mut buf = BytesMut::new();
+        let mut index: Vec<(Key, u64, u64)> = Vec::new();
+        for (last_key, encoded) in &finished {
+            let offset = buf.len() as u64;
+            buf.put_slice(encoded);
+            index.push((last_key.clone(), offset, encoded.len() as u64));
+        }
+        let bloom_offset = buf.len() as u64;
+        let bloom_bytes = bloom.encode();
+        buf.put_slice(&bloom_bytes);
+        let index_offset = buf.len() as u64;
+        buf.put_u32_le(index.len() as u32);
+        for (last_key, offset, len) in &index {
+            buf.put_u32_le(last_key.len() as u32);
+            buf.put_slice(last_key);
+            buf.put_u64_le(*offset);
+            buf.put_u64_le(*len);
+        }
+        let footer_start = buf.len();
+        buf.put_u64_le(bloom_offset);
+        buf.put_u64_le(bloom_bytes.len() as u64);
+        buf.put_u64_le(index_offset);
+        buf.put_u64_le(n);
+        buf.put_u64_le(FOOTER_MAGIC_V1);
+        let crc = crc32(&buf[footer_start..]);
+        buf.put_u32_le(crc);
+        buf.freeze()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -611,59 +672,7 @@ mod tests {
         assert_eq!(table.max_key(), None);
     }
 
-    /// Encodes a table in the legacy v1 layout (no meta block, v1
-    /// footer) so the decoder's backward-compatibility path stays
-    /// covered even though the builder only emits v2.
-    fn build_v1_table(n: u64, block_size: usize) -> Bytes {
-        use crate::bloom::BloomFilter;
-        use bytes::BufMut;
-
-        let mut finished: Vec<(Key, Bytes)> = Vec::new();
-        let mut current = BlockBuilder::new();
-        let mut all_keys: Vec<Key> = Vec::new();
-        for i in 0..n {
-            let entry = Entry::put(key_from_u64(i), Bytes::from(format!("v1-{i}")), 1_000 + i);
-            all_keys.push(entry.key.clone());
-            current.add(&entry);
-            if current.size_in_bytes() >= block_size {
-                let last = current.last_key().unwrap().clone();
-                finished.push((last, current.finish()));
-            }
-        }
-        if !current.is_empty() {
-            let last = current.last_key().unwrap().clone();
-            finished.push((last, current.finish()));
-        }
-        let bloom = BloomFilter::build(all_keys.iter().map(|k| k.as_ref()), 10);
-
-        let mut buf = bytes::BytesMut::new();
-        let mut index: Vec<(Key, u64, u64)> = Vec::new();
-        for (last_key, encoded) in &finished {
-            let offset = buf.len() as u64;
-            buf.put_slice(encoded);
-            index.push((last_key.clone(), offset, encoded.len() as u64));
-        }
-        let bloom_offset = buf.len() as u64;
-        let bloom_bytes = bloom.encode();
-        buf.put_slice(&bloom_bytes);
-        let index_offset = buf.len() as u64;
-        buf.put_u32_le(index.len() as u32);
-        for (last_key, offset, len) in &index {
-            buf.put_u32_le(last_key.len() as u32);
-            buf.put_slice(last_key);
-            buf.put_u64_le(*offset);
-            buf.put_u64_le(*len);
-        }
-        let footer_start = buf.len();
-        buf.put_u64_le(bloom_offset);
-        buf.put_u64_le(bloom_bytes.len() as u64);
-        buf.put_u64_le(index_offset);
-        buf.put_u64_le(n);
-        buf.put_u64_le(super::FOOTER_MAGIC_V1);
-        let crc = crc32(&buf[footer_start..]);
-        buf.put_u32_le(crc);
-        buf.freeze()
-    }
+    use super::test_support::build_v1_table;
 
     #[test]
     fn legacy_v1_tables_still_decode() {

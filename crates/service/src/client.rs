@@ -130,4 +130,168 @@ impl KvClient {
             other => Err(Error::protocol(format!("unexpected response {other:?}"))),
         }
     }
+
+    /// Starts a streaming range scan: every key in `[start, end)` (an
+    /// empty `end` means "to the end of the keyspace"), at most `limit`
+    /// keys (`0` = unlimited). Returns a blocking iterator over the
+    /// `(key, value)` pairs as the server streams them in bounded
+    /// `BATCH_VALUES` chunks — the full result never materializes on
+    /// either side.
+    ///
+    /// The stream borrows the client exclusively; dropping it early
+    /// drains the remaining frames (up to a bounded budget) so the
+    /// connection stays usable. Abandoning a scan with more than
+    /// ~64 MiB still in flight closes the connection instead of
+    /// blocking in the destructor — reconnect after that.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the request cannot be sent; per-item errors surface
+    /// through the iterator.
+    pub fn scan(
+        &mut self,
+        start: Vec<u8>,
+        end: Vec<u8>,
+        limit: u32,
+    ) -> Result<ScanStream<'_>, Error> {
+        write_frame(
+            &mut self.stream,
+            &Request::Scan { start, end, limit }.encode(),
+        )?;
+        Ok(ScanStream {
+            stream: &mut self.stream,
+            pending: Vec::new().into_iter(),
+            batches: 0,
+            keys: 0,
+            finished: false,
+        })
+    }
+
+    /// Convenience: [`KvClient::scan`] over big-endian integer keys
+    /// (half-open range).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`KvClient::scan`].
+    pub fn scan_u64(
+        &mut self,
+        range: std::ops::Range<u64>,
+        limit: u32,
+    ) -> Result<ScanStream<'_>, Error> {
+        self.scan(
+            range.start.to_be_bytes().to_vec(),
+            range.end.to_be_bytes().to_vec(),
+            limit,
+        )
+    }
+}
+
+/// A blocking iterator over one in-flight `SCAN` stream.
+///
+/// Produced by [`KvClient::scan`]. Yields pairs in ascending key order;
+/// the first transport/protocol/server error ends the stream.
+#[derive(Debug)]
+pub struct ScanStream<'a> {
+    stream: &'a mut TcpStream,
+    pending: std::vec::IntoIter<(Vec<u8>, Vec<u8>)>,
+    batches: u64,
+    keys: u64,
+    finished: bool,
+}
+
+impl ScanStream<'_> {
+    /// `BATCH_VALUES` frames received so far (observability: proves a
+    /// big scan arrived chunked, not as one giant frame).
+    #[must_use]
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Keys yielded so far.
+    #[must_use]
+    pub fn keys(&self) -> u64 {
+        self.keys
+    }
+
+    /// Reads the next frame of the stream, refilling `pending`.
+    fn fill(&mut self) -> Result<(), Error> {
+        loop {
+            match read_frame(self.stream)? {
+                FrameRead::Idle => continue,
+                FrameRead::Eof => {
+                    self.finished = true;
+                    return Err(Error::protocol("server closed the connection mid-scan"));
+                }
+                FrameRead::Frame(payload) => match Response::decode(&payload)? {
+                    Response::BatchValues(pairs) => {
+                        self.batches += 1;
+                        self.pending = pairs.into_iter();
+                        return Ok(());
+                    }
+                    Response::ScanEnd => {
+                        self.finished = true;
+                        return Ok(());
+                    }
+                    Response::Err(detail) => {
+                        self.finished = true;
+                        return Err(Error::remote(detail));
+                    }
+                    other => {
+                        self.finished = true;
+                        return Err(Error::protocol(format!(
+                            "unexpected response {other:?} inside a scan stream"
+                        )));
+                    }
+                },
+            }
+        }
+    }
+}
+
+impl Iterator for ScanStream<'_> {
+    type Item = Result<(Vec<u8>, Vec<u8>), Error>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(pair) = self.pending.next() {
+                self.keys += 1;
+                return Some(Ok(pair));
+            }
+            if self.finished {
+                return None;
+            }
+            if let Err(e) = self.fill() {
+                self.finished = true;
+                return Some(Err(e));
+            }
+        }
+    }
+}
+
+/// Most frames a dropped [`ScanStream`] will read to resynchronize the
+/// connection (~64 MiB of residual stream at the chunk byte bound).
+/// Past the budget the socket is shut down instead: blocking a
+/// destructor for an arbitrarily large abandoned scan is worse than
+/// making the caller reconnect.
+const DROP_DRAIN_FRAME_BUDGET: u64 = 1024;
+
+impl Drop for ScanStream<'_> {
+    /// Drains the rest of the stream so an early-dropped scan leaves no
+    /// stale frames to desynchronize the next request on this
+    /// connection; a stream with more than [`DROP_DRAIN_FRAME_BUDGET`]
+    /// residual frames closes the connection instead.
+    fn drop(&mut self) {
+        let mut drained = 0u64;
+        while !self.finished {
+            if drained >= DROP_DRAIN_FRAME_BUDGET {
+                let _ = self.stream.shutdown(std::net::Shutdown::Both);
+                break;
+            }
+            if self.fill().is_err() {
+                break;
+            }
+            self.pending = Vec::new().into_iter();
+            drained += 1;
+        }
+    }
 }

@@ -19,8 +19,13 @@
 //!   one WAL frame + one memtable pass
 //!   ([`Lsm::write_batch`](lsm_engine::Lsm::write_batch));
 //! * [`KvServer`] / [`KvClient`] — a minimal length-prefixed TCP wire
-//!   protocol (`GET` / `PUT` / `DEL` / `BATCH` / `STATS`, `std::net`
-//!   only) served by a fixed [`ThreadPool`];
+//!   protocol (`GET` / `PUT` / `DEL` / `BATCH` / `STATS` / `SCAN`,
+//!   `std::net` only) served by a fixed [`ThreadPool`];
+//! * streaming range scans — [`ShardedKv::scan`] lazily k-way merges
+//!   one snapshot-consistent engine scan per shard, and the `SCAN`
+//!   request streams the result back as bounded `BATCH_VALUES` frames
+//!   ([`KvClient::scan`] exposes a blocking iterator), so a scan over
+//!   the whole keyspace runs in constant memory on both sides;
 //! * acknowledged durability — a write is `OK`-ed only after the owning
 //!   shard's WAL append returned, so acknowledged writes survive
 //!   crash-and-reopen of every shard.
@@ -65,10 +70,10 @@ mod router;
 mod server;
 mod store;
 
-pub use client::KvClient;
+pub use client::{KvClient, ScanStream};
 pub use error::Error;
 pub use executor::ThreadPool;
 pub use protocol::{Request, Response, StatsSummary, WireOp};
 pub use router::ShardRouter;
 pub use server::{KvServer, ServerHandle};
-pub use store::{ServiceStats, ShardStats, ShardedKv};
+pub use store::{ServiceStats, ShardScan, ShardStats, ShardedKv};

@@ -2,11 +2,12 @@
 //!
 //! Every message — request or response — is one *frame*: a little-endian
 //! `u32` payload length followed by the payload. Request payloads start
-//! with an opcode byte (`GET` / `PUT` / `DEL` / `BATCH` / `STATS`),
-//! response payloads with a status byte. All integers are little-endian;
-//! keys and values are length-prefixed byte strings. The protocol is
-//! deliberately minimal — `std::net` only, no external wire formats —
-//! but framed so requests and responses survive TCP segmentation.
+//! with an opcode byte (`GET` / `PUT` / `DEL` / `BATCH` / `STATS` /
+//! `SCAN`), response payloads with a status byte. All integers are
+//! little-endian; keys and values are length-prefixed byte strings. The
+//! protocol is deliberately minimal — `std::net` only, no external wire
+//! formats — but framed so requests and responses survive TCP
+//! segmentation.
 //!
 //! | opcode | request              | response                      |
 //! |--------|----------------------|-------------------------------|
@@ -15,6 +16,15 @@
 //! | `DEL`  | key                  | `OK`                          |
 //! | `BATCH`| n × (kind,key[,val]) | `OK` (applied per-shard batch)|
 //! | `STATS`| —                    | `STATS(summary)`              |
+//! | `SCAN` | start, end, limit    | stream: 0+ × `BATCH_VALUES`, then `SCAN_END` (or `ERR`) |
+//!
+//! `SCAN` is the one request answered by **more than one frame**: the
+//! server streams the range back as bounded `BATCH_VALUES` chunks (at
+//! most [`SCAN_BATCH_MAX_ENTRIES`] pairs / ~[`SCAN_BATCH_MAX_BYTES`]
+//! payload bytes each) terminated by `SCAN_END`, so a scan over millions
+//! of keys never materializes server-side and the client renders it as a
+//! blocking iterator. An empty `end` means "unbounded"; `limit` 0 means
+//! "no limit".
 
 use std::io::{Read, Write};
 
@@ -26,17 +36,29 @@ use crate::Error;
 /// as a protocol violation rather than an allocation request.
 pub const MAX_FRAME_LEN: usize = 64 * 1024 * 1024;
 
+/// Most `(key, value)` pairs the server packs into one `BATCH_VALUES`
+/// frame of a scan stream.
+pub const SCAN_BATCH_MAX_ENTRIES: usize = 256;
+
+/// Approximate payload-byte bound per `BATCH_VALUES` frame; the frame
+/// closes at whichever of the two bounds is hit first (plus the pair
+/// that crossed it).
+pub const SCAN_BATCH_MAX_BYTES: usize = 64 * 1024;
+
 const OP_GET: u8 = 1;
 const OP_PUT: u8 = 2;
 const OP_DEL: u8 = 3;
 const OP_BATCH: u8 = 4;
 const OP_STATS: u8 = 5;
+const OP_SCAN: u8 = 6;
 
 const ST_OK: u8 = 0;
 const ST_VALUE: u8 = 1;
 const ST_NOT_FOUND: u8 = 2;
 const ST_STATS: u8 = 3;
 const ST_ERR: u8 = 4;
+const ST_BATCH_VALUES: u8 = 5;
+const ST_SCAN_END: u8 = 6;
 
 /// One operation of a wire-level batch.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -98,6 +120,17 @@ pub enum Request {
     },
     /// Service statistics snapshot.
     Stats,
+    /// Streaming range scan. Answered by zero or more
+    /// [`Response::BatchValues`] frames followed by
+    /// [`Response::ScanEnd`] (or [`Response::Err`] on failure).
+    Scan {
+        /// Inclusive start key of the range.
+        start: Vec<u8>,
+        /// Exclusive end key; empty means "to the end of the keyspace".
+        end: Vec<u8>,
+        /// Most keys to return; 0 means unlimited.
+        limit: u32,
+    },
 }
 
 /// A server response.
@@ -114,6 +147,14 @@ pub enum Response {
     NotFound,
     /// A `STATS` snapshot.
     Stats(StatsSummary),
+    /// One bounded chunk of a `SCAN` stream: `(key, value)` pairs in
+    /// ascending key order.
+    BatchValues(
+        /// The chunk's key/value pairs.
+        Vec<(Vec<u8>, Vec<u8>)>,
+    ),
+    /// Terminates a `SCAN` stream: every in-range key has been sent.
+    ScanEnd,
     /// The server failed to execute the request.
     Err(
         /// The server-side error message.
@@ -136,6 +177,10 @@ pub struct StatsSummary {
     pub gets: u64,
     /// Reads answered from a memtable.
     pub memtable_hits: u64,
+    /// Range scans started across shards.
+    pub range_scans: u64,
+    /// Tables skipped by range scans via their min/max key meta.
+    pub range_pruned_tables: u64,
     /// Sstables consulted across reads (read-amplification numerator).
     pub tables_probed: u64,
     /// Probes rejected by bloom filters / key ranges with zero block I/O.
@@ -175,6 +220,8 @@ impl StatsSummary {
             self.write_batches,
             self.gets,
             self.memtable_hits,
+            self.range_scans,
+            self.range_pruned_tables,
             self.tables_probed,
             self.bloom_negative_probes,
             self.data_block_reads,
@@ -195,7 +242,7 @@ impl StatsSummary {
     }
 
     fn decode_from(cursor: &mut &[u8]) -> Result<Self, Error> {
-        if cursor.remaining() < 20 * 8 {
+        if cursor.remaining() < 22 * 8 {
             return Err(Error::protocol("truncated stats summary"));
         }
         Ok(Self {
@@ -205,6 +252,8 @@ impl StatsSummary {
             write_batches: cursor.get_u64_le(),
             gets: cursor.get_u64_le(),
             memtable_hits: cursor.get_u64_le(),
+            range_scans: cursor.get_u64_le(),
+            range_pruned_tables: cursor.get_u64_le(),
             tables_probed: cursor.get_u64_le(),
             bloom_negative_probes: cursor.get_u64_le(),
             data_block_reads: cursor.get_u64_le(),
@@ -272,6 +321,12 @@ impl Request {
                 }
             }
             Request::Stats => buf.put_u8(OP_STATS),
+            Request::Scan { start, end, limit } => {
+                buf.put_u8(OP_SCAN);
+                put_bytes(&mut buf, start);
+                put_bytes(&mut buf, end);
+                buf.put_u32_le(*limit);
+            }
         }
         buf.to_vec()
     }
@@ -324,6 +379,18 @@ impl Request {
                 Request::Batch { ops }
             }
             OP_STATS => Request::Stats,
+            OP_SCAN => {
+                let start = get_bytes(&mut cursor)?;
+                let end = get_bytes(&mut cursor)?;
+                if cursor.remaining() < 4 {
+                    return Err(Error::protocol("truncated scan limit"));
+                }
+                Request::Scan {
+                    start,
+                    end,
+                    limit: cursor.get_u32_le(),
+                }
+            }
             other => return Err(Error::protocol(format!("unknown opcode {other}"))),
         };
         if !cursor.is_empty() {
@@ -349,6 +416,15 @@ impl Response {
                 buf.put_u8(ST_STATS);
                 stats.encode_into(&mut buf);
             }
+            Response::BatchValues(pairs) => {
+                buf.put_u8(ST_BATCH_VALUES);
+                buf.put_u32_le(pairs.len() as u32);
+                for (key, value) in pairs {
+                    put_bytes(&mut buf, key);
+                    put_bytes(&mut buf, value);
+                }
+            }
+            Response::ScanEnd => buf.put_u8(ST_SCAN_END),
             Response::Err(message) => {
                 buf.put_u8(ST_ERR);
                 put_bytes(&mut buf, message.as_bytes());
@@ -373,6 +449,20 @@ impl Response {
             ST_VALUE => Response::Value(get_bytes(&mut cursor)?),
             ST_NOT_FOUND => Response::NotFound,
             ST_STATS => Response::Stats(StatsSummary::decode_from(&mut cursor)?),
+            ST_BATCH_VALUES => {
+                if cursor.remaining() < 4 {
+                    return Err(Error::protocol("truncated batch-values count"));
+                }
+                let count = cursor.get_u32_le() as usize;
+                let mut pairs = Vec::with_capacity(count.min(SCAN_BATCH_MAX_ENTRIES));
+                for _ in 0..count {
+                    let key = get_bytes(&mut cursor)?;
+                    let value = get_bytes(&mut cursor)?;
+                    pairs.push((key, value));
+                }
+                Response::BatchValues(pairs)
+            }
+            ST_SCAN_END => Response::ScanEnd,
             ST_ERR => Response::Err(
                 String::from_utf8(get_bytes(&mut cursor)?)
                     .map_err(|_| Error::protocol("non-utf8 error message"))?,
@@ -513,6 +603,16 @@ mod tests {
                 ],
             },
             Request::Stats,
+            Request::Scan {
+                start: b"a".to_vec(),
+                end: b"z".to_vec(),
+                limit: 500,
+            },
+            Request::Scan {
+                start: Vec::new(),
+                end: Vec::new(),
+                limit: 0,
+            },
         ];
         for request in requests {
             let decoded = Request::decode(&request.encode()).unwrap();
@@ -533,6 +633,13 @@ mod tests {
                 ..StatsSummary::default()
             }),
             Response::Err("went wrong".to_owned()),
+            Response::BatchValues(vec![
+                (b"k1".to_vec(), b"v1".to_vec()),
+                (b"k2".to_vec(), Vec::new()),
+                (Vec::new(), b"v".to_vec()),
+            ]),
+            Response::BatchValues(Vec::new()),
+            Response::ScanEnd,
         ];
         for response in responses {
             let decoded = Response::decode(&response.encode()).unwrap();
@@ -551,6 +658,51 @@ mod tests {
         let mut ok = Request::Stats.encode();
         ok.push(0);
         assert!(Request::decode(&ok).is_err());
+    }
+
+    #[test]
+    fn scan_decode_rejects_truncation_and_junk() {
+        let scan = Request::Scan {
+            start: b"aa".to_vec(),
+            end: b"zz".to_vec(),
+            limit: 7,
+        };
+        let encoded = scan.encode();
+        // Every strict prefix of a SCAN request is rejected (the limit
+        // field, the byte strings and their length prefixes all check).
+        for cut in 0..encoded.len() {
+            assert!(
+                Request::decode(&encoded[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+        // Trailing junk after a complete SCAN.
+        let mut long = encoded.clone();
+        long.push(9);
+        assert!(Request::decode(&long).is_err());
+
+        let batch = Response::BatchValues(vec![
+            (b"key-1".to_vec(), b"value-1".to_vec()),
+            (b"key-2".to_vec(), b"value-2".to_vec()),
+        ]);
+        let encoded = batch.encode();
+        // A torn BATCH_VALUES (count says 2, payload holds fewer) and
+        // every other strict prefix are rejected.
+        for cut in 0..encoded.len() {
+            assert!(
+                Response::decode(&encoded[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+        let mut long = encoded.clone();
+        long.push(0);
+        assert!(Response::decode(&long).is_err());
+
+        // SCAN_END carries no payload: any trailing byte is junk.
+        let mut end = Response::ScanEnd.encode();
+        assert_eq!(Response::decode(&end).unwrap(), Response::ScanEnd);
+        end.push(1);
+        assert!(Response::decode(&end).is_err());
     }
 
     #[test]

@@ -22,7 +22,10 @@ use std::time::Duration;
 use bytes::Bytes;
 use lsm_engine::WriteBatch;
 
-use crate::protocol::{read_frame, write_frame, FrameRead, Request, Response, StatsSummary};
+use crate::protocol::{
+    read_frame, write_frame, FrameRead, Request, Response, StatsSummary, SCAN_BATCH_MAX_BYTES,
+    SCAN_BATCH_MAX_ENTRIES,
+};
 use crate::{Error, ShardedKv, ThreadPool};
 
 /// How long a worker blocks on a quiet connection before re-checking
@@ -31,6 +34,13 @@ const POLL_READ_TIMEOUT: Duration = Duration::from_millis(50);
 
 /// How long the accept thread sleeps when no connection is pending.
 const ACCEPT_IDLE: Duration = Duration::from_millis(2);
+
+/// How long a single socket write may stall before the connection is
+/// declared dead. Point responses never get near this; it bounds how
+/// long a scan stream to a stalled client (full TCP send buffer, peer
+/// not reading) can pin a pool worker — and therefore the worst-case
+/// shutdown join.
+const WRITE_STALL_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// A sharded KV server bound to a TCP address.
 ///
@@ -171,6 +181,7 @@ fn serve_connection(store: &ShardedKv, mut stream: TcpStream, shutdown: &AtomicB
     // closed-loop round-trip pays Nagle + delayed-ACK (~40 ms).
     if stream.set_nodelay(true).is_err()
         || stream.set_read_timeout(Some(POLL_READ_TIMEOUT)).is_err()
+        || stream.set_write_timeout(Some(WRITE_STALL_TIMEOUT)).is_err()
     {
         return;
     }
@@ -185,6 +196,14 @@ fn serve_connection(store: &ShardedKv, mut stream: TcpStream, shutdown: &AtomicB
             Ok(FrameRead::Eof) | Err(_) => return,
         };
         let response = match Request::decode(&payload) {
+            // SCAN is the one request answered by a stream of frames,
+            // not a single response.
+            Ok(Request::Scan { start, end, limit }) => {
+                if stream_scan(store, &mut stream, start, &end, limit, shutdown).is_err() {
+                    return;
+                }
+                continue;
+            }
             Ok(request) => execute(store, request),
             Err(e) => Response::Err(e.to_string()),
         };
@@ -194,9 +213,113 @@ fn serve_connection(store: &ShardedKv, mut stream: TcpStream, shutdown: &AtomicB
     }
 }
 
-/// Applies one request to the store.
+/// Encoded overhead of a `BATCH_VALUES` frame around one pair: status
+/// byte + pair count + the two per-pair length prefixes.
+const BATCH_SINGLETON_OVERHEAD: usize = 1 + 4 + 4 + 4;
+
+/// Streams one range scan back as bounded `BATCH_VALUES` frames
+/// terminated by `SCAN_END`. The scan itself is lazy
+/// ([`ShardedKv::scan`]), so only one chunk is ever materialized —
+/// a scan over the whole keyspace runs in constant server memory. A
+/// chunk closes *before* a pair would cross either bound, so no frame
+/// exceeds the byte bound unless a single pair alone does (an
+/// oversized-beyond-`MAX_FRAME_LEN` entry ends the stream with an
+/// `ERR` frame rather than a dropped connection).
+///
+/// Checks the shutdown flag between frames: a server shutting down
+/// mid-scan terminates the stream with an `ERR` frame instead of
+/// streaming to completion.
+///
+/// Returns `Err` only for transport failures (the connection is dead);
+/// store-side scan errors are reported to the client as an `ERR` frame
+/// terminating the stream.
+fn stream_scan(
+    store: &ShardedKv,
+    stream: &mut TcpStream,
+    start: Vec<u8>,
+    end: &[u8],
+    limit: u32,
+    shutdown: &AtomicBool,
+) -> Result<(), Error> {
+    use std::ops::Bound;
+    let start = Bound::Included(Bytes::from(start));
+    let end = if end.is_empty() {
+        Bound::Unbounded
+    } else {
+        Bound::Excluded(Bytes::copy_from_slice(end))
+    };
+    let mut remaining: u64 = if limit == 0 {
+        u64::MAX
+    } else {
+        u64::from(limit)
+    };
+    let mut chunk: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+    let mut chunk_bytes = 0usize;
+    for item in store.scan((start, end)) {
+        if remaining == 0 {
+            break;
+        }
+        match item {
+            Ok((key, value)) => {
+                let pair_bytes = key.len() + value.len() + 8;
+                let singleton_frame = key.len() + value.len() + BATCH_SINGLETON_OVERHEAD;
+                if singleton_frame > crate::protocol::MAX_FRAME_LEN {
+                    // The entry cannot fit any legal frame: report it
+                    // instead of tearing the connection down.
+                    if !chunk.is_empty() {
+                        write_frame(
+                            stream,
+                            &Response::BatchValues(std::mem::take(&mut chunk)).encode(),
+                        )?;
+                    }
+                    let detail = format!("entry of {pair_bytes} bytes exceeds the frame limit");
+                    write_frame(stream, &Response::Err(detail).encode())?;
+                    return Ok(());
+                }
+                // Close the current chunk before this pair would cross a
+                // bound (between frames is also where shutdown lands).
+                if !chunk.is_empty()
+                    && (chunk.len() >= SCAN_BATCH_MAX_ENTRIES
+                        || chunk_bytes + pair_bytes > SCAN_BATCH_MAX_BYTES)
+                {
+                    write_frame(
+                        stream,
+                        &Response::BatchValues(std::mem::take(&mut chunk)).encode(),
+                    )?;
+                    chunk_bytes = 0;
+                    if shutdown.load(Ordering::SeqCst) {
+                        let detail = "server shutting down".to_owned();
+                        write_frame(stream, &Response::Err(detail).encode())?;
+                        return Ok(());
+                    }
+                }
+                remaining -= 1;
+                chunk_bytes += pair_bytes;
+                chunk.push((key.to_vec(), value.to_vec()));
+            }
+            Err(e) => {
+                // Flush what was already collected, then end the stream
+                // with the error.
+                if !chunk.is_empty() {
+                    let frame = Response::BatchValues(std::mem::take(&mut chunk));
+                    write_frame(stream, &frame.encode())?;
+                }
+                write_frame(stream, &Response::Err(e.to_string()).encode())?;
+                return Ok(());
+            }
+        }
+    }
+    if !chunk.is_empty() {
+        write_frame(stream, &Response::BatchValues(chunk).encode())?;
+    }
+    write_frame(stream, &Response::ScanEnd.encode())
+}
+
+/// Applies one single-response request to the store (`SCAN` streams and
+/// never reaches here — see [`stream_scan`]).
 fn execute(store: &ShardedKv, request: Request) -> Response {
     match request {
+        Request::Scan { .. } => Response::Err("scan must be streamed".to_owned()),
         Request::Get { key } => match store.get(&key) {
             Ok(Some(value)) => Response::Value(value.to_vec()),
             Ok(None) => Response::NotFound,
@@ -234,6 +357,8 @@ fn execute(store: &ShardedKv, request: Request) -> Response {
                 write_batches: aggregate.write_batches,
                 gets: aggregate.gets,
                 memtable_hits: aggregate.memtable_hits,
+                range_scans: aggregate.range_scans,
+                range_pruned_tables: aggregate.range_pruned_tables,
                 tables_probed: aggregate.tables_probed,
                 bloom_negative_probes: aggregate.bloom_negative_probes,
                 data_block_reads: aggregate.data_block_reads,

@@ -17,10 +17,11 @@
 //! crash can surface shard A's half of a cross-shard batch without shard
 //! B's; each shard's half is itself all-or-nothing.
 
+use std::ops::RangeBounds;
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use lsm_engine::{Key, Lsm, LsmOptions, LsmStats, Storage, Value, WriteBatch};
+use lsm_engine::{Key, Lsm, LsmOptions, LsmStats, RangeIter, Storage, Value, WriteBatch};
 
 use crate::{Error, ShardRouter};
 
@@ -309,19 +310,116 @@ impl ShardedKv {
         ServiceStats { per_shard }
     }
 
-    /// Every live key/value pair across all shards (verification /
-    /// small stores only).
+    /// Every live key/value pair across all shards, in key order:
+    /// [`ShardedKv::scan`] over the whole keyspace, collected
+    /// (verification / small stores only).
     ///
     /// # Errors
     ///
     /// Propagates engine errors.
     pub fn scan_all(&self) -> Result<Vec<(Key, Value)>, Error> {
-        let mut all = Vec::new();
-        for shard in &self.shards {
-            all.extend(shard.scan_all()?);
+        self.scan(..).collect()
+    }
+
+    /// Streams every live `(key, value)` pair inside `range`, in
+    /// ascending key order, lazily merged across the shards. Hash
+    /// routing spreads any key range over *all* shards, so the scan
+    /// fans out one snapshot-consistent engine scan
+    /// ([`Lsm::range`]) per shard and k-way merges their heads — one
+    /// decoded block per probed table per shard in memory, never the
+    /// result set.
+    ///
+    /// Runs concurrently with writes, flushes and compaction on every
+    /// shard (same contract as the engine iterator).
+    pub fn scan(&self, range: impl RangeBounds<Key>) -> ShardScan<'_> {
+        let start = range.start_bound().cloned();
+        let end = range.end_bound().cloned();
+        let scans = self
+            .shards
+            .iter()
+            .map(|shard| shard.range((start.clone(), end.clone())))
+            .collect();
+        ShardScan::new(scans)
+    }
+}
+
+/// A lazy merge of per-shard range scans, yielded in ascending key
+/// order. Produced by [`ShardedKv::scan`].
+#[derive(Debug)]
+pub struct ShardScan<'a> {
+    scans: Vec<RangeIter<'a>>,
+    /// The next pending entry of each shard's scan (`None` = drained).
+    heads: Vec<Option<(Key, Value)>>,
+    /// An error hit while refilling *after* an entry was already taken:
+    /// the entry is yielded first, the error on the following call.
+    deferred: Option<Error>,
+    primed: bool,
+    done: bool,
+}
+
+impl<'a> ShardScan<'a> {
+    fn new(scans: Vec<RangeIter<'a>>) -> Self {
+        let heads = (0..scans.len()).map(|_| None).collect();
+        Self {
+            scans,
+            heads,
+            deferred: None,
+            primed: false,
+            done: false,
         }
-        all.sort_by(|a, b| a.0.cmp(&b.0));
-        Ok(all)
+    }
+
+    /// Pulls the next entry of shard `idx` into its head slot.
+    fn refill(&mut self, idx: usize) -> Result<(), Error> {
+        self.heads[idx] = match self.scans[idx].next() {
+            Some(Ok(pair)) => Some(pair),
+            Some(Err(e)) => return Err(e.into()),
+            None => None,
+        };
+        Ok(())
+    }
+}
+
+impl Iterator for ShardScan<'_> {
+    type Item = Result<(Key, Value), Error>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        if let Some(e) = self.deferred.take() {
+            self.done = true;
+            return Some(Err(e));
+        }
+        if !self.primed {
+            self.primed = true;
+            for idx in 0..self.scans.len() {
+                if let Err(e) = self.refill(idx) {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+        // Hash routing makes shard key sets disjoint, so the smallest
+        // head is globally next — no cross-shard dedup needed.
+        let next_shard = self
+            .heads
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, head)| head.as_ref().map(|(key, _)| (idx, key)))
+            .min_by(|a, b| a.1.cmp(b.1))
+            .map(|(idx, _)| idx);
+        let Some(idx) = next_shard else {
+            self.done = true;
+            return None;
+        };
+        let pair = self.heads[idx].take().expect("selected head is present");
+        // A refill failure must not swallow the entry already in hand:
+        // yield it now, surface the error on the next call.
+        if let Err(e) = self.refill(idx) {
+            self.deferred = Some(e);
+        }
+        Some(Ok(pair))
     }
 }
 
@@ -459,6 +557,32 @@ mod tests {
         let kv = ShardedKv::open_on_disk(&dir, 3, LsmOptions::default()).unwrap();
         assert_eq!(kv.get_u64(1).unwrap(), Some(b"one".to_vec()));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scan_merges_shards_lazily_in_key_order() {
+        let kv = store(4);
+        for i in 0..300u64 {
+            kv.put_u64(i, format!("s{i}").into_bytes()).unwrap();
+        }
+        kv.delete_u64(70).unwrap();
+        kv.flush_all().unwrap();
+
+        let start = lsm_engine::key_from_u64(50);
+        let end = lsm_engine::key_from_u64(120);
+        let got: Vec<(u64, Vec<u8>)> = kv
+            .scan(start..end)
+            .map(|r| {
+                let (k, v) = r.unwrap();
+                (lsm_engine::key_to_u64(&k).unwrap(), v.to_vec())
+            })
+            .collect();
+        let keys: Vec<u64> = got.iter().map(|(k, _)| *k).collect();
+        let expect: Vec<u64> = (50..120).filter(|&k| k != 70).collect();
+        assert_eq!(keys, expect, "sorted, tombstone-suppressed, bounded");
+        assert!(got.iter().all(|(k, v)| v == format!("s{k}").as_bytes()));
+        // Every shard's engine counted the scan.
+        assert_eq!(kv.stats().aggregate().range_scans, 4);
     }
 
     #[test]

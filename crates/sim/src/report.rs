@@ -13,11 +13,12 @@ use crate::service_throughput::ServiceThroughputRow;
 pub fn service_throughput_table(rows: &[ServiceThroughputRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:>6}  {:>10}  {:>7}  {:>5}  {:>8}  {:>10}  {:>8}  {:>8}  {:>8}  {:>9}  {:>9}  {:>7}  {:>6}  {:>10}\n",
+        "{:>6}  {:>10}  {:>7}  {:>5}  {:>5}  {:>8}  {:>10}  {:>8}  {:>8}  {:>8}  {:>9}  {:>9}  {:>10}  {:>10}  {:>10}  {:>7}  {:>6}  {:>10}\n",
         "shards",
         "strategy",
         "clients",
         "read%",
+        "scan%",
         "ops",
         "ops/s",
         "p50_us",
@@ -25,17 +26,21 @@ pub fn service_throughput_table(rows: &[ServiceThroughputRow]) -> String {
         "p99_us",
         "getp50_us",
         "getp99_us",
+        "scanp50_us",
+        "scanp99_us",
+        "scankeys/s",
         "flushes",
         "autoc",
         "stall_ms"
     ));
     for row in rows {
         out.push_str(&format!(
-            "{:>6}  {:>10}  {:>7}  {:>5}  {:>8}  {:>10.0}  {:>8}  {:>8}  {:>8}  {:>9}  {:>9}  {:>7}  {:>6}  {:>10.2}\n",
+            "{:>6}  {:>10}  {:>7}  {:>5}  {:>5}  {:>8}  {:>10.0}  {:>8}  {:>8}  {:>8}  {:>9}  {:>9}  {:>10}  {:>10}  {:>10.0}  {:>7}  {:>6}  {:>10.2}\n",
             row.shards,
             row.strategy.name(),
             row.clients,
             row.read_percent,
+            row.scan_percent,
             row.operations,
             row.throughput_ops_per_sec,
             row.p50_micros,
@@ -43,6 +48,9 @@ pub fn service_throughput_table(rows: &[ServiceThroughputRow]) -> String {
             row.p99_micros,
             row.get_p50_micros,
             row.get_p99_micros,
+            row.scan_p50_micros,
+            row.scan_p99_micros,
+            row.scan_keys_per_sec,
             row.flushes,
             row.auto_compactions,
             row.compaction_stall.as_secs_f64() * 1e3,
@@ -55,26 +63,34 @@ pub fn service_throughput_table(rows: &[ServiceThroughputRow]) -> String {
 #[must_use]
 pub fn service_throughput_csv(rows: &[ServiceThroughputRow]) -> String {
     let mut out = String::from(
-        "shards,strategy,clients,read_percent,operations,read_operations,elapsed_ms,\
-         ops_per_sec,p50_us,p95_us,p99_us,get_p50_us,get_p99_us,\
+        "shards,strategy,clients,read_percent,scan_percent,operations,read_operations,\
+         scan_operations,scan_keys,elapsed_ms,\
+         ops_per_sec,scan_keys_per_sec,p50_us,p95_us,p99_us,get_p50_us,get_p99_us,\
+         scan_p50_us,scan_p99_us,\
          flushes,auto_compactions,compaction_entry_cost,stall_ms\n",
     );
     for row in rows {
         out.push_str(&format!(
-            "{},{},{},{},{},{},{:.2},{:.1},{},{},{},{},{},{},{},{},{:.4}\n",
+            "{},{},{},{},{},{},{},{},{},{:.2},{:.1},{:.1},{},{},{},{},{},{},{},{},{},{},{:.4}\n",
             row.shards,
             row.strategy.name(),
             row.clients,
             row.read_percent,
+            row.scan_percent,
             row.operations,
             row.read_operations,
+            row.scan_operations,
+            row.scan_keys,
             row.elapsed.as_secs_f64() * 1e3,
             row.throughput_ops_per_sec,
+            row.scan_keys_per_sec,
             row.p50_micros,
             row.p95_micros,
             row.p99_micros,
             row.get_p50_micros,
             row.get_p99_micros,
+            row.scan_p50_micros,
+            row.scan_p99_micros,
             row.flushes,
             row.auto_compactions,
             row.compaction_entry_cost,
@@ -93,24 +109,33 @@ pub fn service_throughput_json(rows: &[ServiceThroughputRow]) -> String {
     for (i, row) in rows.iter().enumerate() {
         out.push_str(&format!(
             "  {{\"shards\": {}, \"strategy\": \"{}\", \"clients\": {}, \
-             \"read_percent\": {}, \"operations\": {}, \"read_operations\": {}, \
-             \"elapsed_ms\": {:.2}, \"ops_per_sec\": {:.1}, \"p50_us\": {}, \"p95_us\": {}, \
+             \"read_percent\": {}, \"scan_percent\": {}, \"operations\": {}, \
+             \"read_operations\": {}, \"scan_operations\": {}, \"scan_keys\": {}, \
+             \"elapsed_ms\": {:.2}, \"ops_per_sec\": {:.1}, \"scan_keys_per_sec\": {:.1}, \
+             \"p50_us\": {}, \"p95_us\": {}, \
              \"p99_us\": {}, \"get_p50_us\": {}, \"get_p99_us\": {}, \
+             \"scan_p50_us\": {}, \"scan_p99_us\": {}, \
              \"flushes\": {}, \"auto_compactions\": {}, \
              \"compaction_entry_cost\": {}, \"stall_ms\": {:.4}}}{}\n",
             row.shards,
             row.strategy.name(),
             row.clients,
             row.read_percent,
+            row.scan_percent,
             row.operations,
             row.read_operations,
+            row.scan_operations,
+            row.scan_keys,
             row.elapsed.as_secs_f64() * 1e3,
             row.throughput_ops_per_sec,
+            row.scan_keys_per_sec,
             row.p50_micros,
             row.p95_micros,
             row.p99_micros,
             row.get_p50_micros,
             row.get_p99_micros,
+            row.scan_p50_micros,
+            row.scan_p99_micros,
             row.flushes,
             row.auto_compactions,
             row.compaction_entry_cost,

@@ -31,8 +31,15 @@ pub struct ServiceThroughputConfig {
     pub record_count: u64,
     /// YCSB `operationcount` (measured, split across clients).
     pub operation_count: u64,
-    /// Percentage of run-phase operations that are point reads (GETs),
-    /// carved out first — the YCSB-B/C lever. The remainder splits per
+    /// Percentage of run-phase operations that are range scans (SCANs),
+    /// carved out first — the YCSB-E lever. Scan start keys follow the
+    /// request distribution; lengths draw uniformly from
+    /// `1..=max_scan_length`.
+    pub scan_percent: u32,
+    /// Per-scan length bound in keys (YCSB's `maxscanlength`).
+    pub max_scan_length: u32,
+    /// Percentage of the non-scan operations that are point reads
+    /// (GETs) — the YCSB-B/C lever. The remainder splits per
     /// [`ServiceThroughputConfig::update_percent`].
     pub read_percent: u32,
     /// Of the non-read operations, the percentage that are updates; the
@@ -65,6 +72,8 @@ impl ServiceThroughputConfig {
         Self {
             record_count: 2_000,
             operation_count: 20_000,
+            scan_percent: 0,
+            max_scan_length: 100,
             read_percent: 0,
             update_percent: 60,
             distribution: Distribution::Latest,
@@ -114,12 +123,51 @@ impl ServiceThroughputConfig {
         }
     }
 
+    /// A YCSB-E-style scan-heavy sweep (95 % range scans, 5 % inserts):
+    /// the workload that exercises the streaming scan pipeline end to
+    /// end — zipfian start keys, bounded lengths, every scan touching
+    /// memtable + multiple tables on every shard.
+    #[must_use]
+    pub fn scan_heavy() -> Self {
+        Self {
+            scan_percent: 95,
+            max_scan_length: 100,
+            read_percent: 0,
+            update_percent: 0,
+            record_count: 5_000,
+            operation_count: 4_000,
+            memtable_capacity: 250,
+            trigger_tables: 5,
+            distribution: Distribution::zipfian_default(),
+            ..Self::default_paper()
+        }
+    }
+
+    /// [`ServiceThroughputConfig::scan_heavy`] at smoke-test size.
+    #[must_use]
+    pub fn quick_scan_heavy() -> Self {
+        Self {
+            scan_percent: 95,
+            max_scan_length: 50,
+            read_percent: 0,
+            update_percent: 0,
+            record_count: 1_200,
+            operation_count: 800,
+            memtable_capacity: 100,
+            trigger_tables: 4,
+            distribution: Distribution::zipfian_default(),
+            ..Self::quick()
+        }
+    }
+
     /// A smaller configuration for tests and CI smoke runs.
     #[must_use]
     pub fn quick() -> Self {
         Self {
             record_count: 400,
             operation_count: 3_000,
+            scan_percent: 0,
+            max_scan_length: 100,
             read_percent: 0,
             update_percent: 60,
             distribution: Distribution::Latest,
@@ -135,13 +183,16 @@ impl ServiceThroughputConfig {
     }
 
     fn spec(&self) -> WorkloadSpec {
-        let read = f64::from(self.read_percent.min(100)) / 100.0;
+        let scan = f64::from(self.scan_percent.min(100)) / 100.0;
+        let read = (1.0 - scan) * f64::from(self.read_percent.min(100)) / 100.0;
         let update_share = f64::from(self.update_percent.min(100)) / 100.0;
-        let update = (1.0 - read) * update_share;
-        let insert = 1.0 - read - update;
+        let update = (1.0 - scan - read) * update_share;
+        let insert = 1.0 - scan - read - update;
         WorkloadSpec::builder()
             .record_count(self.record_count)
             .operation_count(self.operation_count)
+            .scan_proportion(scan)
+            .max_scan_length(self.max_scan_length)
             .read_proportion(read)
             .update_proportion(update)
             .insert_proportion(insert)
@@ -210,10 +261,11 @@ impl ServiceThroughputConfig {
         }
 
         // Measured run phase: closed loop, one thread per client. Each
-        // sample is tagged read/write so GET tails report separately —
-        // the metric the read-path work exists to hold down.
+        // sample is tagged write/read/scan so GET and SCAN tails report
+        // separately — the metrics the read path and the streaming scan
+        // pipeline exist to hold down.
         let started = Instant::now();
-        let samples: Vec<(bool, u64)> = std::thread::scope(|scope| {
+        let samples: Vec<Sample> = std::thread::scope(|scope| {
             let handles: Vec<_> = partitions
                 .iter()
                 .map(|ops| {
@@ -222,21 +274,34 @@ impl ServiceThroughputConfig {
                         let mut lat = Vec::with_capacity(ops.len());
                         for op in ops {
                             let t = Instant::now();
-                            let is_read = match op.kind {
+                            let (class, keys) = match op.kind {
                                 OperationKind::Insert | OperationKind::Update => {
                                     client.put_u64(op.key, value_for(op.key)).expect("put");
-                                    false
+                                    (OpClass::Write, 1)
                                 }
                                 OperationKind::Delete => {
                                     client.delete_u64(op.key).expect("delete");
-                                    false
+                                    (OpClass::Write, 1)
                                 }
-                                OperationKind::Read | OperationKind::Scan => {
+                                OperationKind::Read => {
                                     let _ = client.get_u64(op.key).expect("get");
-                                    true
+                                    (OpClass::Read, 1)
+                                }
+                                OperationKind::Scan => {
+                                    let mut keys = 0u64;
+                                    let stream = client.scan_u64(op.scan_range(), 0).expect("scan");
+                                    for item in stream {
+                                        item.expect("scan item");
+                                        keys += 1;
+                                    }
+                                    (OpClass::Scan, keys)
                                 }
                             };
-                            lat.push((is_read, t.elapsed().as_micros() as u64));
+                            lat.push(Sample {
+                                class,
+                                micros: t.elapsed().as_micros() as u64,
+                                keys,
+                            });
                         }
                         lat
                     })
@@ -252,35 +317,70 @@ impl ServiceThroughputConfig {
         let stats = store.stats().aggregate();
         handle.shutdown();
 
-        let mut latencies: Vec<u64> = samples.iter().map(|&(_, us)| us).collect();
+        let mut latencies: Vec<u64> = samples.iter().map(|s| s.micros).collect();
         let mut read_latencies: Vec<u64> = samples
             .iter()
-            .filter(|&&(is_read, _)| is_read)
-            .map(|&(_, us)| us)
+            .filter(|s| s.class == OpClass::Read)
+            .map(|s| s.micros)
             .collect();
+        let mut scan_latencies: Vec<u64> = samples
+            .iter()
+            .filter(|s| s.class == OpClass::Scan)
+            .map(|s| s.micros)
+            .collect();
+        let scan_keys: u64 = samples
+            .iter()
+            .filter(|s| s.class == OpClass::Scan)
+            .map(|s| s.keys)
+            .sum();
         latencies.sort_unstable();
         read_latencies.sort_unstable();
+        scan_latencies.sort_unstable();
         let ops = latencies.len() as u64;
         ServiceThroughputRow {
             shards,
             strategy,
             clients: self.clients,
             read_percent: self.read_percent,
+            scan_percent: self.scan_percent,
             operations: ops,
             read_operations: read_latencies.len() as u64,
+            scan_operations: scan_latencies.len() as u64,
+            scan_keys,
             elapsed,
             throughput_ops_per_sec: ops as f64 / elapsed.as_secs_f64().max(1e-9),
+            scan_keys_per_sec: scan_keys as f64 / elapsed.as_secs_f64().max(1e-9),
             p50_micros: percentile(&latencies, 50),
             p95_micros: percentile(&latencies, 95),
             p99_micros: percentile(&latencies, 99),
             get_p50_micros: percentile(&read_latencies, 50),
             get_p99_micros: percentile(&read_latencies, 99),
+            scan_p50_micros: percentile(&scan_latencies, 50),
+            scan_p99_micros: percentile(&scan_latencies, 99),
             flushes: stats.flushes,
             auto_compactions: stats.auto_compactions,
             compaction_entry_cost: stats.compaction_entry_cost(),
             compaction_stall: stats.compaction_stall,
         }
     }
+}
+
+/// How one measured operation classifies for latency reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpClass {
+    Write,
+    Read,
+    Scan,
+}
+
+/// One measured operation.
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    class: OpClass,
+    micros: u64,
+    /// Keys the operation returned (1 for point ops, the streamed count
+    /// for scans).
+    keys: u64,
 }
 
 /// The value every key stores (fixed small payload).
@@ -308,14 +408,22 @@ pub struct ServiceThroughputRow {
     pub clients: usize,
     /// Percentage of operations that were GETs (configured).
     pub read_percent: u32,
+    /// Percentage of operations that were SCANs (configured).
+    pub scan_percent: u32,
     /// Operations measured (the run phase).
     pub operations: u64,
     /// GET operations among them.
     pub read_operations: u64,
+    /// SCAN operations among them.
+    pub scan_operations: u64,
+    /// Total keys streamed back by SCAN operations.
+    pub scan_keys: u64,
     /// Wall-clock time of the measured run phase.
     pub elapsed: Duration,
     /// Aggregate throughput in operations per second.
     pub throughput_ops_per_sec: f64,
+    /// Scanned keys streamed per second (0 when no scans ran).
+    pub scan_keys_per_sec: f64,
     /// Median request latency in microseconds.
     pub p50_micros: u64,
     /// 95th-percentile request latency in microseconds.
@@ -328,6 +436,11 @@ pub struct ServiceThroughputRow {
     /// ran) — the tail the lock-free read path keeps flat while
     /// compaction runs.
     pub get_p99_micros: u64,
+    /// Median SCAN latency in microseconds (0 when no scans ran).
+    pub scan_p50_micros: u64,
+    /// 99th-percentile SCAN latency in microseconds (0 when no scans
+    /// ran).
+    pub scan_p99_micros: u64,
     /// Memtable flushes across shards during the whole cell run.
     pub flushes: u64,
     /// Policy-triggered compactions across shards.
@@ -380,6 +493,39 @@ mod tests {
             row.auto_compactions >= 1,
             "updates must still trigger compaction: {row:?}"
         );
+    }
+
+    #[test]
+    fn scan_heavy_spec_carves_scans_first() {
+        let config = ServiceThroughputConfig::quick_scan_heavy();
+        let spec = config.spec();
+        assert!((spec.scan_proportion() - 0.95).abs() < 1e-9);
+        assert!((spec.insert_proportion() - 0.05).abs() < 1e-9);
+        assert!(spec.read_proportion().abs() < 1e-9);
+        assert!(spec.update_proportion().abs() < 1e-9);
+        assert_eq!(spec.max_scan_length(), 50);
+    }
+
+    #[test]
+    fn quick_scan_heavy_sweep_reports_scan_tails_and_keys() {
+        let mut config = ServiceThroughputConfig::quick_scan_heavy();
+        config.shard_counts = vec![2];
+        config.strategies = vec![Strategy::BalanceTreeInput];
+        let rows = config.run();
+        assert_eq!(rows.len(), 1);
+        let row = &rows[0];
+        assert_eq!(row.scan_percent, 95);
+        assert!(
+            row.scan_operations >= row.operations * 9 / 10,
+            "95% scan mix must be scan-dominated: {row:?}"
+        );
+        assert!(
+            row.scan_keys > row.scan_operations,
+            "scans must stream multiple keys each: {row:?}"
+        );
+        assert!(row.scan_keys_per_sec > 0.0);
+        assert!(row.scan_p50_micros <= row.scan_p99_micros);
+        assert!(row.scan_p99_micros > 0, "scan tail measured");
     }
 
     #[test]

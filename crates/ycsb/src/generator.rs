@@ -136,6 +136,15 @@ impl Iterator for RunPhase {
                 self.next_insert_key += 1;
                 Operation::new(OperationKind::Insert, key)
             }
+            OperationKind::Scan => {
+                // Scan start follows the request distribution (zipfian
+                // start keys in the YCSB-E configuration); the length is
+                // a uniform draw bounded by `maxscanlength`.
+                let start = self.chooser.next_key(&mut self.rng, self.next_insert_key);
+                let bound = u64::from(self.spec.max_scan_length().max(1));
+                let len = self.rng.gen_range(1..bound + 1) as u32;
+                Operation::scan(start, len)
+            }
             other => {
                 let key = self.chooser.next_key(&mut self.rng, self.next_insert_key);
                 Operation::new(other, key)
@@ -310,6 +319,57 @@ mod tests {
         assert!(writes.len() >= 100);
         let all = s.generator().all_operations();
         assert_eq!(all.len(), 1_100);
+    }
+
+    #[test]
+    fn scan_operations_have_bounded_lengths_and_existing_start_keys() {
+        let s = WorkloadSpec::builder()
+            .record_count(2_000)
+            .operation_count(10_000)
+            .update_proportion(0.0)
+            .insert_proportion(0.05)
+            .scan_proportion(0.95)
+            .max_scan_length(40)
+            .distribution(Distribution::zipfian_default())
+            .seed(21)
+            .build()
+            .unwrap();
+        let ops: Vec<_> = s.generator().run_phase().collect();
+        let scans: Vec<_> = ops
+            .iter()
+            .filter(|o| o.kind == OperationKind::Scan)
+            .collect();
+        assert!(
+            scans.len() > ops.len() * 9 / 10,
+            "95% scan mix must be scan-dominated"
+        );
+        let mut seen_max = 1_999u64;
+        for op in &ops {
+            if op.kind == OperationKind::Insert {
+                seen_max = seen_max.max(op.key);
+            }
+        }
+        for scan in &scans {
+            assert!(
+                (1..=40).contains(&scan.scan_len),
+                "length {}",
+                scan.scan_len
+            );
+            assert!(scan.key <= seen_max, "scan starts at an unseen key");
+            assert_eq!(scan.scan_range().start, scan.key);
+        }
+        // Lengths actually vary (a uniform draw, not a constant).
+        let distinct: std::collections::HashSet<u32> = scans.iter().map(|s| s.scan_len).collect();
+        assert!(
+            distinct.len() > 10,
+            "only {} distinct lengths",
+            distinct.len()
+        );
+        // Non-scan operations carry no length.
+        assert!(ops
+            .iter()
+            .filter(|o| o.kind != OperationKind::Scan)
+            .all(|o| o.scan_len == 0));
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub struct WorkloadSpec {
     read_proportion: f64,
     delete_proportion: f64,
     scan_proportion: f64,
+    max_scan_length: u32,
     distribution: Distribution,
     seed: u64,
 }
@@ -87,6 +88,14 @@ impl WorkloadSpec {
         self.scan_proportion
     }
 
+    /// Upper bound on a scan operation's length in keys (YCSB's
+    /// `maxscanlength`); each scan draws a length uniformly from
+    /// `1..=max_scan_length`.
+    #[must_use]
+    pub fn max_scan_length(&self) -> u32 {
+        self.max_scan_length
+    }
+
     /// The request distribution used to pick keys for non-insert
     /// operations.
     #[must_use]
@@ -119,6 +128,7 @@ pub struct WorkloadSpecBuilder {
     read_proportion: f64,
     delete_proportion: f64,
     scan_proportion: f64,
+    max_scan_length: u32,
     distribution: Distribution,
     seed: u64,
 }
@@ -133,6 +143,7 @@ impl Default for WorkloadSpecBuilder {
             read_proportion: 0.0,
             delete_proportion: 0.0,
             scan_proportion: 0.0,
+            max_scan_length: 100,
             distribution: Distribution::Uniform,
             seed: 0,
         }
@@ -186,6 +197,13 @@ impl WorkloadSpecBuilder {
     #[must_use]
     pub fn scan_proportion(mut self, p: f64) -> Self {
         self.scan_proportion = p;
+        self
+    }
+
+    /// Sets the per-scan length bound (`maxscanlength`); clamped to ≥ 1.
+    #[must_use]
+    pub fn max_scan_length(mut self, len: u32) -> Self {
+        self.max_scan_length = len.max(1);
         self
     }
 
@@ -257,6 +275,7 @@ impl WorkloadSpecBuilder {
             read_proportion: self.read_proportion,
             delete_proportion: self.delete_proportion,
             scan_proportion: self.scan_proportion,
+            max_scan_length: self.max_scan_length,
             distribution: self.distribution,
             seed: self.seed,
         })

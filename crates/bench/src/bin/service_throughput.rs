@@ -7,25 +7,67 @@
 //! 95 %-SCAN mix (zipfian start keys, bounded lengths) that streams
 //! ranges over the wire and reports SCAN p50/p99 and keys/sec.
 //!
+//! `--open-loop` switches to the offered-load experiment: a closed-loop
+//! baseline cell, an unthrottled pipelined-capacity cell (same
+//! connection count — the pipelined client must beat the closed loop
+//! here), then fixed offered rates at multiples of the measured
+//! capacity, reporting offered vs achieved throughput, p50/p99/p999 and
+//! shed counts (client window sheds + server `BUSY`s).
+//!
 //! Run with:
-//! `cargo run --release --bin service_throughput [--quick] [--read-heavy | --scan-heavy] [--csv] [--json PATH]`
+//! `cargo run --release --bin service_throughput [--quick] [--read-heavy | --scan-heavy | --open-loop] [--csv] [--json PATH]`
 
 use compaction_sim::report::{
-    service_throughput_csv, service_throughput_json, service_throughput_table,
+    open_loop_csv, open_loop_json, open_loop_table, service_throughput_csv,
+    service_throughput_json, service_throughput_table,
 };
-use compaction_sim::ServiceThroughputConfig;
+use compaction_sim::{OpenLoopConfig, ServiceThroughputConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let read_heavy = args.iter().any(|a| a == "--read-heavy");
     let scan_heavy = args.iter().any(|a| a == "--scan-heavy");
+    let open_loop = args.iter().any(|a| a == "--open-loop");
     let csv = args.iter().any(|a| a == "--csv");
     let json_path = args
         .iter()
         .position(|a| a == "--json")
         .and_then(|i| args.get(i + 1))
         .cloned();
+
+    if open_loop {
+        let config = if quick {
+            OpenLoopConfig::quick()
+        } else {
+            OpenLoopConfig::default_paper()
+        };
+        eprintln!(
+            "open-loop: {} ops/cell ({}% reads, {}% of the rest updates), \
+             {} shards, {} connections, window {}, stall budget {:?}, \
+             multipliers {:?}",
+            config.operation_count,
+            config.read_percent,
+            config.update_percent,
+            config.shards,
+            config.connections,
+            config.window,
+            config.stall_budget,
+            config.offered_multipliers,
+        );
+        let rows = config.run();
+        if csv {
+            print!("{}", open_loop_csv(&rows));
+        } else {
+            print!("{}", open_loop_table(&rows));
+        }
+        if let Some(path) = json_path {
+            std::fs::write(&path, open_loop_json(&rows))
+                .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            eprintln!("wrote {path}");
+        }
+        return;
+    }
 
     let config = match (quick, read_heavy, scan_heavy) {
         (true, _, true) => ServiceThroughputConfig::quick_scan_heavy(),

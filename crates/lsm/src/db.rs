@@ -105,6 +105,17 @@ pub struct Lsm {
     tables_probed: AtomicU64,
     range_scans: AtomicU64,
     range_pruned_tables: AtomicU64,
+    /// Clock zero for [`Lsm::pressure`]'s in-progress-compaction stamp.
+    epoch: Instant,
+    /// Micros-since-`epoch` **plus one** at which the currently running
+    /// compaction started; 0 when no compaction is running. Written by
+    /// the compacting thread, read lock-free by [`Lsm::pressure`] so
+    /// admission control can see a stall *while* it is happening.
+    compaction_started: AtomicU64,
+    /// Completed-compaction stall in micros, mirroring
+    /// [`LsmStats::compaction_stall`] so [`Lsm::pressure`] never takes
+    /// the stats mutex the write path contends on.
+    compaction_stall_micros: AtomicU64,
 }
 
 /// Mutable engine state guarded by the write mutex.
@@ -244,6 +255,48 @@ impl LsmStats {
     }
 }
 
+/// A lock-free snapshot of how overloaded a store currently is — the
+/// signals an admission controller sheds load on.
+///
+/// Produced by [`Lsm::pressure`] without touching the write mutex, so a
+/// server can probe a shard that is mid-compaction (its write mutex held
+/// for the whole merge) and still get an instant answer. The headline
+/// signal is [`LsmPressure::current_stall`]: unlike
+/// [`LsmStats::compaction_stall`], which only accounts *completed*
+/// compactions, it reports how long the compaction running *right now*
+/// has been holding up writes — the spike an admission controller must
+/// react to while it is happening, not after.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LsmPressure {
+    /// Live sstables in the current read snapshot.
+    pub live_tables: usize,
+    /// Distinct keys buffered in the memtable.
+    pub memtable_len: usize,
+    /// Memtable key capacity (flush threshold).
+    pub memtable_capacity: usize,
+    /// `true` while a compaction is executing.
+    pub compaction_running: bool,
+    /// Wall-clock age of the in-progress compaction (zero when idle).
+    /// Every write to this store queues behind it.
+    pub current_stall: Duration,
+    /// Wall-clock time writes stalled behind *completed* compactions.
+    pub total_stall: Duration,
+    /// How many live tables sit at or beyond the configured
+    /// [`CompactionPolicy::Threshold`] trigger: 0 means no compaction is
+    /// due, ≥ 1 means flushes are outrunning compaction (the deeper, the
+    /// further behind). Always 0 for non-threshold policies.
+    pub compaction_backlog: usize,
+}
+
+impl LsmPressure {
+    /// Memtable fullness in `[0, 1]` (1.0 = next write may flush, and a
+    /// flush may trigger a compaction the writer pays for in line).
+    #[must_use]
+    pub fn memtable_fill(&self) -> f64 {
+        self.memtable_len as f64 / self.memtable_capacity.max(1) as f64
+    }
+}
+
 /// The result of one policy-driven compaction: what the planner chose
 /// and what executing it physically cost.
 #[derive(Debug, Clone)]
@@ -319,6 +372,9 @@ impl Lsm {
             tables_probed: AtomicU64::new(0),
             range_scans: AtomicU64::new(0),
             range_pruned_tables: AtomicU64::new(0),
+            epoch: Instant::now(),
+            compaction_started: AtomicU64::new(0),
+            compaction_stall_micros: AtomicU64::new(0),
         })
     }
 
@@ -378,6 +434,53 @@ impl Lsm {
         stats.block_cache_misses = block.misses();
         stats.block_cache_evictions = block.evictions();
         stats
+    }
+
+    /// The store's current overload signals, read without the write
+    /// mutex: live-table count from the read snapshot, memtable fill
+    /// under a brief read lock, and the age of the in-progress
+    /// compaction (if any) from an atomic stamp. Safe to call at any
+    /// rate from any thread — in particular while this store is deep
+    /// inside a compaction and every write is queueing behind it, which
+    /// is exactly when an admission controller needs the answer.
+    #[must_use]
+    pub fn pressure(&self) -> LsmPressure {
+        let live_tables = self.snapshot.load_full().tables.len();
+        let memtable_len = self.memtable.read().len();
+        let started = self.compaction_started.load(Ordering::Relaxed);
+        let current_stall = if started == 0 {
+            Duration::ZERO
+        } else {
+            let now = self.epoch.elapsed().as_micros() as u64;
+            Duration::from_micros(now.saturating_sub(started - 1))
+        };
+        let compaction_backlog = match self.options.policy() {
+            CompactionPolicy::Threshold {
+                live_tables: trigger,
+            } => (live_tables + 1).saturating_sub(trigger),
+            _ => 0,
+        };
+        LsmPressure {
+            live_tables,
+            memtable_len,
+            memtable_capacity: self.options.memtable_capacity_keys(),
+            compaction_running: started != 0,
+            current_stall,
+            total_stall: Duration::from_micros(
+                self.compaction_stall_micros.load(Ordering::Relaxed),
+            ),
+            compaction_backlog,
+        }
+    }
+
+    /// Stamps the in-progress-compaction marker for [`Lsm::pressure`];
+    /// the returned guard clears it on every exit path.
+    fn mark_compacting(&self) -> CompactionMark<'_> {
+        self.compaction_started.store(
+            self.epoch.elapsed().as_micros() as u64 + 1,
+            Ordering::Relaxed,
+        );
+        CompactionMark(self)
     }
 
     /// Metadata of the live sstables, oldest first. Served from the
@@ -748,6 +851,7 @@ impl Lsm {
 
     fn run_planned_compaction(&self, w: &mut WriteState) -> Result<Option<AutoCompaction>, Error> {
         let start = Instant::now();
+        let _mark = self.mark_compacting();
         let Some(plan) =
             plan_compaction(self.storage.as_ref(), w.manifest.tables(), &self.options)?
         else {
@@ -765,6 +869,8 @@ impl Lsm {
             stats.auto_compactions += 1;
             stats.compaction_predicted_cost += plan.predicted_cost_actual();
         }
+        self.compaction_stall_micros
+            .fetch_add(stall.as_micros() as u64, Ordering::Relaxed);
         w.flushes_since_compaction = 0;
         Ok(Some(AutoCompaction {
             plan,
@@ -792,14 +898,16 @@ impl Lsm {
     pub fn major_compact(&self, steps: &[CompactionStep]) -> Result<CompactionOutcome, Error> {
         let start = Instant::now();
         let mut w = self.write.lock();
+        let _mark = self.mark_compacting();
         let initial: Vec<u64> = w.manifest.tables().iter().map(|t| t.table_id).collect();
         let executor = ParallelExecutor::new(Arc::clone(&self.storage), self.options.clone());
         let outcome = executor.execute_with(&mut w.manifest, &initial, steps, |manifest| {
             self.on_manifest_flip(&initial, manifest);
         })?;
-        self.stats
-            .lock()
-            .record_compaction(&outcome, start.elapsed());
+        let stall = start.elapsed();
+        self.stats.lock().record_compaction(&outcome, stall);
+        self.compaction_stall_micros
+            .fetch_add(stall.as_micros() as u64, Ordering::Relaxed);
         w.flushes_since_compaction = 0;
         Ok(outcome)
     }
@@ -927,6 +1035,16 @@ impl ReadView {
         Self {
             tables: manifest.tables().iter().rev().cloned().collect(),
         }
+    }
+}
+
+/// Clears the in-progress-compaction stamp when the compacting scope
+/// exits, success or error.
+struct CompactionMark<'a>(&'a Lsm);
+
+impl Drop for CompactionMark<'_> {
+    fn drop(&mut self) {
+        self.0.compaction_started.store(0, Ordering::Relaxed);
     }
 }
 

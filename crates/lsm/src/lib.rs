@@ -107,6 +107,7 @@ mod reader;
 pub mod scan;
 mod sstable;
 mod storage;
+pub mod test_support;
 mod types;
 mod wal;
 
@@ -115,7 +116,7 @@ pub use block::{Block, BlockBuilder};
 pub use bloom::BloomFilter;
 pub use cache::{BlockCache, CacheCounters, TableCache};
 pub use compaction::{CompactionExecutor, CompactionOutcome, CompactionStep};
-pub use db::{AutoCompaction, Lsm, LsmStats};
+pub use db::{AutoCompaction, Lsm, LsmPressure, LsmStats};
 pub use error::Error;
 pub use iter::MergingIter;
 pub use manifest::{Manifest, ManifestEdit, TableMeta};

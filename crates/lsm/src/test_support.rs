@@ -1,0 +1,113 @@
+//! Shared test doubles for integration tests (this crate's and its
+//! dependents').
+//!
+//! Not part of the engine's API contract — these exist so the engine,
+//! service and harness test suites can deterministically freeze
+//! storage-level events without each carrying its own copy of the
+//! wrapper (the copies had already drifted into four near-identical
+//! implementations before this module consolidated them).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use bytes::Bytes;
+
+use crate::storage::{MemoryStorage, Storage};
+use crate::Error;
+
+/// A [`MemoryStorage`] wrapper that can stall sstable writes on demand:
+/// while the gate is closed, any `write_blob` of an `sst-*` blob blocks
+/// until [`GatedStorage::open_gate`]. This freezes a compaction (or
+/// flush) at its first output write, deterministically, so tests can
+/// assert what the rest of the system does while that operation is
+/// mid-flight — reads proceeding, admission control shedding, scans
+/// surviving the manifest flip.
+#[derive(Debug)]
+pub struct GatedStorage {
+    inner: MemoryStorage,
+    gate_enabled: AtomicBool,
+    /// `true` = open.
+    gate: Mutex<bool>,
+    signal: Condvar,
+}
+
+impl Default for GatedStorage {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GatedStorage {
+    /// An empty gated store with the gate open (writes pass through).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            inner: MemoryStorage::new(),
+            gate_enabled: AtomicBool::new(false),
+            gate: Mutex::new(true),
+            signal: Condvar::new(),
+        }
+    }
+
+    /// Arms the gate: subsequent sstable writes block until
+    /// [`GatedStorage::open_gate`].
+    pub fn close_gate(&self) {
+        *self.gate.lock().unwrap() = false;
+        self.gate_enabled.store(true, Ordering::SeqCst);
+    }
+
+    /// Opens the gate, releasing every blocked writer.
+    pub fn open_gate(&self) {
+        *self.gate.lock().unwrap() = true;
+        self.signal.notify_all();
+    }
+
+    fn wait_if_gated(&self, name: &str) {
+        if !self.gate_enabled.load(Ordering::SeqCst) || !name.starts_with("sst-") {
+            return;
+        }
+        let mut open = self.gate.lock().unwrap();
+        while !*open {
+            open = self.signal.wait(open).unwrap();
+        }
+    }
+}
+
+impl Storage for GatedStorage {
+    fn write_blob(&self, name: &str, data: &[u8]) -> Result<(), Error> {
+        self.wait_if_gated(name);
+        self.inner.write_blob(name, data)
+    }
+
+    fn read_blob(&self, name: &str) -> Result<Bytes, Error> {
+        self.inner.read_blob(name)
+    }
+
+    fn read_blob_range(&self, name: &str, offset: u64, len: usize) -> Result<Bytes, Error> {
+        self.inner.read_blob_range(name, offset, len)
+    }
+
+    fn blob_len(&self, name: &str) -> Result<u64, Error> {
+        self.inner.blob_len(name)
+    }
+
+    fn delete_blob(&self, name: &str) -> Result<(), Error> {
+        self.inner.delete_blob(name)
+    }
+
+    fn contains_blob(&self, name: &str) -> bool {
+        self.inner.contains_blob(name)
+    }
+
+    fn list_blobs(&self) -> Vec<String> {
+        self.inner.list_blobs()
+    }
+
+    fn bytes_written(&self) -> u64 {
+        self.inner.bytes_written()
+    }
+
+    fn bytes_read(&self) -> u64 {
+        self.inner.bytes_read()
+    }
+}

@@ -3,10 +3,11 @@
 //! concurrently with (and during) compaction.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
+use std::time::Duration;
 
-use bytes::Bytes;
-use lsm_engine::{CompactionPolicy, Error, Lsm, LsmOptions, MemoryStorage, Storage};
+use lsm_engine::test_support::GatedStorage;
+use lsm_engine::{CompactionPolicy, Lsm, LsmOptions, MemoryStorage, Storage};
 
 fn get_vec(db: &Lsm, key: u64) -> Option<Vec<u8>> {
     db.get_u64(key).unwrap().map(|v| v.to_vec())
@@ -205,90 +206,6 @@ fn compaction_invalidates_cached_tables_and_blocks() {
     assert_eq!(db.table_cache_len(), new_ids.len());
 }
 
-/// A storage wrapper that can stall sstable writes on demand: while the
-/// gate is closed, any `write_blob` of an `sst-*` blob blocks. This
-/// freezes a compaction at its first output write, deterministically,
-/// so tests can assert that reads proceed while the compaction is
-/// mid-flight.
-#[derive(Debug)]
-struct GatedStorage {
-    inner: MemoryStorage,
-    gate_enabled: AtomicBool,
-    gate: Mutex<bool>, // true = open
-    signal: Condvar,
-}
-
-impl GatedStorage {
-    fn new() -> Self {
-        Self {
-            inner: MemoryStorage::new(),
-            gate_enabled: AtomicBool::new(false),
-            gate: Mutex::new(true),
-            signal: Condvar::new(),
-        }
-    }
-
-    /// Arms the gate: subsequent sstable writes block until `open`.
-    fn close_gate(&self) {
-        *self.gate.lock().unwrap() = false;
-        self.gate_enabled.store(true, Ordering::SeqCst);
-    }
-
-    fn open_gate(&self) {
-        *self.gate.lock().unwrap() = true;
-        self.signal.notify_all();
-    }
-
-    fn wait_if_gated(&self, name: &str) {
-        if !self.gate_enabled.load(Ordering::SeqCst) || !name.starts_with("sst-") {
-            return;
-        }
-        let mut open = self.gate.lock().unwrap();
-        while !*open {
-            open = self.signal.wait(open).unwrap();
-        }
-    }
-}
-
-impl Storage for GatedStorage {
-    fn write_blob(&self, name: &str, data: &[u8]) -> Result<(), Error> {
-        self.wait_if_gated(name);
-        self.inner.write_blob(name, data)
-    }
-
-    fn read_blob(&self, name: &str) -> Result<Bytes, Error> {
-        self.inner.read_blob(name)
-    }
-
-    fn read_blob_range(&self, name: &str, offset: u64, len: usize) -> Result<Bytes, Error> {
-        self.inner.read_blob_range(name, offset, len)
-    }
-
-    fn blob_len(&self, name: &str) -> Result<u64, Error> {
-        self.inner.blob_len(name)
-    }
-
-    fn delete_blob(&self, name: &str) -> Result<(), Error> {
-        self.inner.delete_blob(name)
-    }
-
-    fn contains_blob(&self, name: &str) -> bool {
-        self.inner.contains_blob(name)
-    }
-
-    fn list_blobs(&self) -> Vec<String> {
-        self.inner.list_blobs()
-    }
-
-    fn bytes_written(&self) -> u64 {
-        self.inner.bytes_written()
-    }
-
-    fn bytes_read(&self) -> u64 {
-        self.inner.bytes_read()
-    }
-}
-
 #[test]
 fn gets_are_served_while_a_compaction_is_frozen_mid_write() {
     let storage = Arc::new(GatedStorage::new());
@@ -345,6 +262,112 @@ fn gets_are_served_while_a_compaction_is_frozen_mid_write() {
     for i in 0..300u64 {
         assert_eq!(get_vec(&db, i), Some(format!("value-{i}").into_bytes()));
     }
+}
+
+#[test]
+fn pressure_reports_the_in_progress_compaction_without_the_write_lock() {
+    let storage = Arc::new(GatedStorage::new());
+    let db = Arc::new(
+        Lsm::open(
+            storage.clone() as Arc<dyn Storage>,
+            LsmOptions::default()
+                .memtable_capacity(50)
+                .compaction_policy(CompactionPolicy::Threshold { live_tables: 100 })
+                .wal(false),
+        )
+        .unwrap(),
+    );
+    for i in 0..300u64 {
+        db.put_u64(i, format!("value-{i}").into_bytes()).unwrap();
+    }
+    db.flush().unwrap();
+    let live = db.live_tables().len();
+    assert!(live >= 2);
+
+    // Idle: nothing running, no stall, counts reported.
+    let idle = db.pressure();
+    assert!(!idle.compaction_running);
+    assert_eq!(idle.current_stall, Duration::ZERO);
+    assert_eq!(idle.live_tables, live);
+    assert_eq!(idle.memtable_capacity, 50);
+    assert!(idle.memtable_fill() >= 0.0 && idle.memtable_fill() <= 1.0);
+    assert_eq!(
+        idle.compaction_backlog, 0,
+        "trigger of 100 is nowhere near: no backlog"
+    );
+
+    // Freeze a compaction mid-write; the compactor holds the write
+    // mutex for the whole (frozen) run.
+    storage.close_gate();
+    let compactor = {
+        let db = Arc::clone(&db);
+        std::thread::spawn(move || db.auto_compact().unwrap().expect("tables to merge"))
+    };
+    // The stamp is set before planning; wait for it to appear.
+    let mut observed = db.pressure();
+    for _ in 0..2_000 {
+        if observed.compaction_running {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+        observed = db.pressure();
+    }
+    assert!(observed.compaction_running, "stamp never observed");
+    std::thread::sleep(Duration::from_millis(5));
+    let later = db.pressure();
+    assert!(later.compaction_running);
+    assert!(
+        later.current_stall > observed.current_stall,
+        "in-progress stall must grow while the compaction is frozen"
+    );
+
+    storage.open_gate();
+    compactor.join().unwrap();
+    let after = db.pressure();
+    assert!(!after.compaction_running);
+    assert_eq!(after.current_stall, Duration::ZERO);
+    assert!(
+        after.total_stall > Duration::ZERO,
+        "completed stall folded into the total"
+    );
+    assert_eq!(after.live_tables, 1);
+}
+
+#[test]
+fn pressure_counts_tables_at_or_past_the_threshold_trigger_as_backlog() {
+    let storage: Arc<dyn Storage> = Arc::new(MemoryStorage::new());
+    {
+        // Build 5 live tables under Manual policy (nothing auto-fires).
+        let db = Lsm::open(
+            Arc::clone(&storage),
+            LsmOptions::default().memtable_capacity(10).wal(false),
+        )
+        .unwrap();
+        for batch in 0..5u64 {
+            for i in 0..10u64 {
+                db.put_u64(batch * 100 + i, b"x".to_vec()).unwrap();
+            }
+            db.flush().unwrap();
+        }
+        assert_eq!(db.live_tables().len(), 5);
+        assert_eq!(
+            db.pressure().compaction_backlog,
+            0,
+            "manual policy: no debt"
+        );
+    }
+    // Reopen with a Threshold trigger the table count already exceeds:
+    // three tables sit at or past the trigger (3, 4 and 5).
+    let db = Lsm::open(
+        storage,
+        LsmOptions::default()
+            .memtable_capacity(10)
+            .compaction_policy(CompactionPolicy::Threshold { live_tables: 3 })
+            .wal(false),
+    )
+    .unwrap();
+    assert_eq!(db.live_tables().len(), 5);
+    assert_eq!(db.pressure().compaction_backlog, 3);
 }
 
 #[test]

@@ -13,93 +13,12 @@
 //!    never reached an sstable.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 
-use bytes::Bytes;
+use lsm_engine::test_support::GatedStorage;
 use lsm_engine::{
-    key_to_u64, CompactionPolicy, Error, Lsm, LsmOptions, MemoryStorage, Storage, WriteBatch,
+    key_to_u64, CompactionPolicy, Lsm, LsmOptions, MemoryStorage, Storage, WriteBatch,
 };
-
-/// A storage wrapper that can stall sstable writes on demand: while the
-/// gate is closed, any `write_blob` of an `sst-*` blob blocks. This
-/// freezes a compaction at its first output write, deterministically.
-#[derive(Debug)]
-struct GatedStorage {
-    inner: MemoryStorage,
-    gate_enabled: AtomicBool,
-    gate: Mutex<bool>, // true = open
-    signal: Condvar,
-}
-
-impl GatedStorage {
-    fn new() -> Self {
-        Self {
-            inner: MemoryStorage::new(),
-            gate_enabled: AtomicBool::new(false),
-            gate: Mutex::new(true),
-            signal: Condvar::new(),
-        }
-    }
-
-    fn close_gate(&self) {
-        *self.gate.lock().unwrap() = false;
-        self.gate_enabled.store(true, Ordering::SeqCst);
-    }
-
-    fn open_gate(&self) {
-        *self.gate.lock().unwrap() = true;
-        self.signal.notify_all();
-    }
-
-    fn wait_if_gated(&self, name: &str) {
-        if !self.gate_enabled.load(Ordering::SeqCst) || !name.starts_with("sst-") {
-            return;
-        }
-        let mut open = self.gate.lock().unwrap();
-        while !*open {
-            open = self.signal.wait(open).unwrap();
-        }
-    }
-}
-
-impl Storage for GatedStorage {
-    fn write_blob(&self, name: &str, data: &[u8]) -> Result<(), Error> {
-        self.wait_if_gated(name);
-        self.inner.write_blob(name, data)
-    }
-
-    fn read_blob(&self, name: &str) -> Result<Bytes, Error> {
-        self.inner.read_blob(name)
-    }
-
-    fn read_blob_range(&self, name: &str, offset: u64, len: usize) -> Result<Bytes, Error> {
-        self.inner.read_blob_range(name, offset, len)
-    }
-
-    fn blob_len(&self, name: &str) -> Result<u64, Error> {
-        self.inner.blob_len(name)
-    }
-
-    fn delete_blob(&self, name: &str) -> Result<(), Error> {
-        self.inner.delete_blob(name)
-    }
-
-    fn contains_blob(&self, name: &str) -> bool {
-        self.inner.contains_blob(name)
-    }
-
-    fn list_blobs(&self) -> Vec<String> {
-        self.inner.list_blobs()
-    }
-
-    fn bytes_written(&self) -> u64 {
-        self.inner.bytes_written()
-    }
-
-    fn bytes_read(&self) -> u64 {
-        self.inner.bytes_read()
-    }
-}
 
 #[test]
 fn scan_survives_a_manifest_flip_landing_mid_iteration() {

@@ -41,6 +41,7 @@ impl KvClient {
     fn expect_ok(&mut self, request: &Request) -> Result<(), Error> {
         match self.roundtrip(request)? {
             Response::Ok => Ok(()),
+            Response::Busy => Err(Error::Busy),
             Response::Err(detail) => Err(Error::remote(detail)),
             other => Err(Error::protocol(format!("unexpected response {other:?}"))),
         }
@@ -55,6 +56,7 @@ impl KvClient {
         match self.roundtrip(&Request::Get { key: key.to_vec() })? {
             Response::Value(value) => Ok(Some(value)),
             Response::NotFound => Ok(None),
+            Response::Busy => Err(Error::Busy),
             Response::Err(detail) => Err(Error::remote(detail)),
             other => Err(Error::protocol(format!("unexpected response {other:?}"))),
         }
@@ -126,6 +128,7 @@ impl KvClient {
     pub fn stats(&mut self) -> Result<StatsSummary, Error> {
         match self.roundtrip(&Request::Stats)? {
             Response::Stats(stats) => Ok(stats),
+            Response::Busy => Err(Error::Busy),
             Response::Err(detail) => Err(Error::remote(detail)),
             other => Err(Error::protocol(format!("unexpected response {other:?}"))),
         }

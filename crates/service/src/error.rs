@@ -20,6 +20,10 @@ pub enum Error {
         /// The server-side error message.
         detail: String,
     },
+    /// The server shed the request (`BUSY`): the owning shard was past
+    /// its stall/backlog budget or the server was out of connection
+    /// capacity. Nothing was applied; the caller may retry later.
+    Busy,
     /// A store directory was opened with a shard count different from
     /// the one it was created with (keys would misroute).
     ShardMismatch {
@@ -55,6 +59,7 @@ impl fmt::Display for Error {
             Error::Io(e) => write!(f, "i/o error: {e}"),
             Error::Protocol { detail } => write!(f, "protocol error: {detail}"),
             Error::Remote { detail } => write!(f, "server error: {detail}"),
+            Error::Busy => write!(f, "server busy: request shed, retry later"),
             Error::ShardMismatch {
                 expected,
                 requested,

@@ -28,11 +28,23 @@
 //!   the whole keyspace runs in constant memory on both sides;
 //! * acknowledged durability — a write is `OK`-ed only after the owning
 //!   shard's WAL append returned, so acknowledged writes survive
-//!   crash-and-reopen of every shard.
+//!   crash-and-reopen of every shard;
+//! * pipelining — sequenced wire frames (a `u64` id after the
+//!   opcode/status byte; legacy frames unchanged) let
+//!   [`PipelinedClient`] keep up to `W` requests in flight per
+//!   connection, matched back to their requests by a reader thread;
+//! * admission control — [`ServerOptions::admission`] arms a
+//!   STATS-driven shed policy: writes to a shard past its
+//!   stall/backlog budgets ([`Lsm::pressure`](lsm_engine::Lsm::pressure))
+//!   are refused with `BUSY` instead of queueing unboundedly, the
+//!   session cap refuses surplus connections the same way, and the
+//!   shed/admit counters ride the `STATS` frame. Reads are never shed.
 //!
 //! The closed-loop YCSB throughput harness over this service lives in
-//! `compaction-sim` (`service_throughput`), with a CLI in
-//! `compaction-bench` (`--bin service_throughput`).
+//! `compaction-sim` (`service_throughput`), the open-loop offered-load
+//! harness in `compaction-sim` (`open_loop`), both with a CLI in
+//! `compaction-bench` (`--bin service_throughput`, `--open-loop` for
+//! the latter).
 //!
 //! # Examples
 //!
@@ -62,18 +74,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod admission;
 mod client;
 mod error;
 mod executor;
+mod pipeline;
 pub mod protocol;
 mod router;
 mod server;
 mod store;
 
+pub use admission::{AdmissionConfig, AdmissionController, AdmissionCounters};
 pub use client::{KvClient, ScanStream};
 pub use error::Error;
 pub use executor::ThreadPool;
+pub use pipeline::PipelinedClient;
 pub use protocol::{Request, Response, StatsSummary, WireOp};
 pub use router::ShardRouter;
-pub use server::{KvServer, ServerHandle};
+pub use server::{KvServer, ServerHandle, ServerOptions};
 pub use store::{ServiceStats, ShardScan, ShardStats, ShardedKv};

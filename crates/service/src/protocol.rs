@@ -18,6 +18,10 @@
 //! | `STATS`| —                    | `STATS(summary)`              |
 //! | `SCAN` | start, end, limit    | stream: 0+ × `BATCH_VALUES`, then `SCAN_END` (or `ERR`) |
 //!
+//! Any write may instead be answered `BUSY` (shed, not applied), and
+//! any request/response may be wrapped in the sequenced framing — both
+//! described below.
+//!
 //! `SCAN` is the one request answered by **more than one frame**: the
 //! server streams the range back as bounded `BATCH_VALUES` chunks (at
 //! most [`SCAN_BATCH_MAX_ENTRIES`] pairs / ~[`SCAN_BATCH_MAX_BYTES`]
@@ -25,6 +29,28 @@
 //! of keys never materializes server-side and the client renders it as a
 //! blocking iterator. An empty `end` means "unbounded"; `limit` 0 means
 //! "no limit".
+//!
+//! # Sequenced frames (pipelining)
+//!
+//! A frame whose opcode/status byte has the high bit ([`SEQ_FLAG`]) set
+//! is **sequenced**: a little-endian `u64` request sequence id follows
+//! the tag byte, then the ordinary body. A pipelined client keeps many
+//! sequenced requests in flight on one connection and matches each
+//! sequenced reply to its request by id; the server echoes the id of
+//! the request it is answering. Old unsequenced frames are the same
+//! bytes as ever and still decode — [`Request::decode_any`] /
+//! [`Response::decode_any`] accept both framings, while the legacy
+//! [`Request::decode`] / [`Response::decode`] reject sequenced frames
+//! (a closed-loop endpoint must not silently drop a sequence id).
+//! `SCAN` is excluded: its multi-frame response stream cannot be
+//! interleaved, so it stays a closed-loop request.
+//!
+//! # Overload (`BUSY`)
+//!
+//! `BUSY` is the server's load-shedding reply: the owning shard is past
+//! its stall budget (admission control) or the server is out of
+//! connection capacity. The request was **not** applied — a client may
+//! retry later. Writes are shed; reads are never refused.
 
 use std::io::{Read, Write};
 
@@ -45,6 +71,10 @@ pub const SCAN_BATCH_MAX_ENTRIES: usize = 256;
 /// that crossed it).
 pub const SCAN_BATCH_MAX_BYTES: usize = 64 * 1024;
 
+/// High bit of the opcode/status byte: the frame is sequenced — a
+/// little-endian `u64` sequence id follows the tag byte.
+pub const SEQ_FLAG: u8 = 0x80;
+
 const OP_GET: u8 = 1;
 const OP_PUT: u8 = 2;
 const OP_DEL: u8 = 3;
@@ -59,6 +89,7 @@ const ST_STATS: u8 = 3;
 const ST_ERR: u8 = 4;
 const ST_BATCH_VALUES: u8 = 5;
 const ST_SCAN_END: u8 = 6;
+const ST_BUSY: u8 = 7;
 
 /// One operation of a wire-level batch.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -155,6 +186,10 @@ pub enum Response {
     ),
     /// Terminates a `SCAN` stream: every in-range key has been sent.
     ScanEnd,
+    /// The server shed the request instead of executing it: the owning
+    /// shard is past its stall budget, or the server is out of
+    /// connection capacity. Nothing was applied; retry later.
+    Busy,
     /// The server failed to execute the request.
     Err(
         /// The server-side error message.
@@ -209,6 +244,14 @@ pub struct StatsSummary {
     pub compaction_stall_micros: u64,
     /// Live sstables across shards.
     pub live_tables: u64,
+    /// Writes the admission controller let through.
+    pub admitted_writes: u64,
+    /// Writes shed with `BUSY` because a shard was past its stall or
+    /// backlog budget.
+    pub shed_writes: u64,
+    /// Connections refused with `BUSY` because the server was at its
+    /// session cap.
+    pub shed_connections: u64,
 }
 
 impl StatsSummary {
@@ -236,13 +279,16 @@ impl StatsSummary {
             self.compaction_entry_cost,
             self.compaction_stall_micros,
             self.live_tables,
+            self.admitted_writes,
+            self.shed_writes,
+            self.shed_connections,
         ] {
             buf.put_u64_le(field);
         }
     }
 
     fn decode_from(cursor: &mut &[u8]) -> Result<Self, Error> {
-        if cursor.remaining() < 22 * 8 {
+        if cursor.remaining() < 25 * 8 {
             return Err(Error::protocol("truncated stats summary"));
         }
         Ok(Self {
@@ -268,6 +314,9 @@ impl StatsSummary {
             compaction_entry_cost: cursor.get_u64_le(),
             compaction_stall_micros: cursor.get_u64_le(),
             live_tables: cursor.get_u64_le(),
+            admitted_writes: cursor.get_u64_le(),
+            shed_writes: cursor.get_u64_le(),
+            shed_connections: cursor.get_u64_le(),
         })
     }
 }
@@ -291,26 +340,48 @@ fn get_bytes(cursor: &mut &[u8]) -> Result<Vec<u8>, Error> {
 }
 
 impl Request {
-    /// Serializes the request payload (without the frame header).
+    /// Serializes the request payload (without the frame header), in the
+    /// legacy unsequenced framing.
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_with(None)
+    }
+
+    /// Serializes the request payload as a sequenced frame carrying
+    /// `seq` (see the module docs). The server echoes `seq` on the
+    /// matching reply, so many sequenced requests can share one
+    /// connection out of order.
+    #[must_use]
+    pub fn encode_sequenced(&self, seq: u64) -> Vec<u8> {
+        self.encode_with(Some(seq))
+    }
+
+    fn encode_with(&self, seq: Option<u64>) -> Vec<u8> {
         let mut buf = BytesMut::new();
+        let opcode = match self {
+            Request::Get { .. } => OP_GET,
+            Request::Put { .. } => OP_PUT,
+            Request::Delete { .. } => OP_DEL,
+            Request::Batch { .. } => OP_BATCH,
+            Request::Stats => OP_STATS,
+            Request::Scan { .. } => OP_SCAN,
+        };
+        match seq {
+            None => buf.put_u8(opcode),
+            Some(seq) => {
+                buf.put_u8(opcode | SEQ_FLAG);
+                buf.put_u64_le(seq);
+            }
+        }
         match self {
-            Request::Get { key } => {
-                buf.put_u8(OP_GET);
+            Request::Get { key } | Request::Delete { key } => {
                 put_bytes(&mut buf, key);
             }
             Request::Put { key, value } => {
-                buf.put_u8(OP_PUT);
                 put_bytes(&mut buf, key);
                 put_bytes(&mut buf, value);
             }
-            Request::Delete { key } => {
-                buf.put_u8(OP_DEL);
-                put_bytes(&mut buf, key);
-            }
             Request::Batch { ops } => {
-                buf.put_u8(OP_BATCH);
                 buf.put_u32_le(ops.len() as u32);
                 for op in ops {
                     buf.put_u8(u8::from(op.is_delete));
@@ -320,9 +391,8 @@ impl Request {
                     }
                 }
             }
-            Request::Stats => buf.put_u8(OP_STATS),
+            Request::Stats => {}
             Request::Scan { start, end, limit } => {
-                buf.put_u8(OP_SCAN);
                 put_bytes(&mut buf, start);
                 put_bytes(&mut buf, end);
                 buf.put_u32_le(*limit);
@@ -331,18 +401,44 @@ impl Request {
         buf.to_vec()
     }
 
-    /// Deserializes a request payload.
+    /// Deserializes a request payload in the legacy unsequenced framing;
+    /// sequenced frames are rejected (a closed-loop endpoint must not
+    /// silently drop a sequence id — use [`Request::decode_any`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Protocol`] for unknown opcodes, truncation, or a
+    /// sequenced frame.
+    pub fn decode(payload: &[u8]) -> Result<Self, Error> {
+        match Self::decode_any(payload)? {
+            (None, request) => Ok(request),
+            (Some(_), _) => Err(Error::protocol(
+                "sequenced request where an unsequenced one was expected",
+            )),
+        }
+    }
+
+    /// Deserializes a request payload in either framing, returning the
+    /// sequence id when the frame was sequenced.
     ///
     /// # Errors
     ///
     /// Returns [`Error::Protocol`] for unknown opcodes or truncation.
-    pub fn decode(payload: &[u8]) -> Result<Self, Error> {
+    pub fn decode_any(payload: &[u8]) -> Result<(Option<u64>, Self), Error> {
         let mut cursor = payload;
         if cursor.is_empty() {
             return Err(Error::protocol("empty request payload"));
         }
-        let opcode = cursor.get_u8();
-        let request = match opcode {
+        let tag = cursor.get_u8();
+        let seq = if tag & SEQ_FLAG != 0 {
+            if cursor.remaining() < 8 {
+                return Err(Error::protocol("truncated request sequence id"));
+            }
+            Some(cursor.get_u64_le())
+        } else {
+            None
+        };
+        let request = match tag & !SEQ_FLAG {
             OP_GET => Request::Get {
                 key: get_bytes(&mut cursor)?,
             },
@@ -396,55 +492,99 @@ impl Request {
         if !cursor.is_empty() {
             return Err(Error::protocol("trailing bytes after request"));
         }
-        Ok(request)
+        Ok((seq, request))
     }
 }
 
 impl Response {
-    /// Serializes the response payload (without the frame header).
+    /// Serializes the response payload (without the frame header), in
+    /// the legacy unsequenced framing.
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_with(None)
+    }
+
+    /// Serializes the response payload as a sequenced frame echoing the
+    /// request's `seq` (see the module docs).
+    #[must_use]
+    pub fn encode_sequenced(&self, seq: u64) -> Vec<u8> {
+        self.encode_with(Some(seq))
+    }
+
+    fn encode_with(&self, seq: Option<u64>) -> Vec<u8> {
         let mut buf = BytesMut::new();
+        let status = match self {
+            Response::Ok => ST_OK,
+            Response::Value(_) => ST_VALUE,
+            Response::NotFound => ST_NOT_FOUND,
+            Response::Stats(_) => ST_STATS,
+            Response::BatchValues(_) => ST_BATCH_VALUES,
+            Response::ScanEnd => ST_SCAN_END,
+            Response::Busy => ST_BUSY,
+            Response::Err(_) => ST_ERR,
+        };
+        match seq {
+            None => buf.put_u8(status),
+            Some(seq) => {
+                buf.put_u8(status | SEQ_FLAG);
+                buf.put_u64_le(seq);
+            }
+        }
         match self {
-            Response::Ok => buf.put_u8(ST_OK),
-            Response::Value(value) => {
-                buf.put_u8(ST_VALUE);
-                put_bytes(&mut buf, value);
-            }
-            Response::NotFound => buf.put_u8(ST_NOT_FOUND),
-            Response::Stats(stats) => {
-                buf.put_u8(ST_STATS);
-                stats.encode_into(&mut buf);
-            }
+            Response::Ok | Response::NotFound | Response::ScanEnd | Response::Busy => {}
+            Response::Value(value) => put_bytes(&mut buf, value),
+            Response::Stats(stats) => stats.encode_into(&mut buf),
             Response::BatchValues(pairs) => {
-                buf.put_u8(ST_BATCH_VALUES);
                 buf.put_u32_le(pairs.len() as u32);
                 for (key, value) in pairs {
                     put_bytes(&mut buf, key);
                     put_bytes(&mut buf, value);
                 }
             }
-            Response::ScanEnd => buf.put_u8(ST_SCAN_END),
-            Response::Err(message) => {
-                buf.put_u8(ST_ERR);
-                put_bytes(&mut buf, message.as_bytes());
-            }
+            Response::Err(message) => put_bytes(&mut buf, message.as_bytes()),
         }
         buf.to_vec()
     }
 
-    /// Deserializes a response payload.
+    /// Deserializes a response payload in the legacy unsequenced
+    /// framing; sequenced frames are rejected (use
+    /// [`Response::decode_any`]).
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Protocol`] for unknown status bytes or truncation.
+    /// Returns [`Error::Protocol`] for unknown status bytes, truncation,
+    /// or a sequenced frame.
     pub fn decode(payload: &[u8]) -> Result<Self, Error> {
+        match Self::decode_any(payload)? {
+            (None, response) => Ok(response),
+            (Some(_), _) => Err(Error::protocol(
+                "sequenced response where an unsequenced one was expected",
+            )),
+        }
+    }
+
+    /// Deserializes a response payload in either framing, returning the
+    /// echoed sequence id when the frame was sequenced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Protocol`] for unknown status bytes or
+    /// truncation.
+    pub fn decode_any(payload: &[u8]) -> Result<(Option<u64>, Self), Error> {
         let mut cursor = payload;
         if cursor.is_empty() {
             return Err(Error::protocol("empty response payload"));
         }
-        let status = cursor.get_u8();
-        let response = match status {
+        let tag = cursor.get_u8();
+        let seq = if tag & SEQ_FLAG != 0 {
+            if cursor.remaining() < 8 {
+                return Err(Error::protocol("truncated response sequence id"));
+            }
+            Some(cursor.get_u64_le())
+        } else {
+            None
+        };
+        let response = match tag & !SEQ_FLAG {
             ST_OK => Response::Ok,
             ST_VALUE => Response::Value(get_bytes(&mut cursor)?),
             ST_NOT_FOUND => Response::NotFound,
@@ -463,6 +603,7 @@ impl Response {
                 Response::BatchValues(pairs)
             }
             ST_SCAN_END => Response::ScanEnd,
+            ST_BUSY => Response::Busy,
             ST_ERR => Response::Err(
                 String::from_utf8(get_bytes(&mut cursor)?)
                     .map_err(|_| Error::protocol("non-utf8 error message"))?,
@@ -472,7 +613,7 @@ impl Response {
         if !cursor.is_empty() {
             return Err(Error::protocol("trailing bytes after response"));
         }
-        Ok(response)
+        Ok((seq, response))
     }
 }
 
@@ -633,6 +774,7 @@ mod tests {
                 ..StatsSummary::default()
             }),
             Response::Err("went wrong".to_owned()),
+            Response::Busy,
             Response::BatchValues(vec![
                 (b"k1".to_vec(), b"v1".to_vec()),
                 (b"k2".to_vec(), Vec::new()),
@@ -703,6 +845,106 @@ mod tests {
         assert_eq!(Response::decode(&end).unwrap(), Response::ScanEnd);
         end.push(1);
         assert!(Response::decode(&end).is_err());
+    }
+
+    #[test]
+    fn sequenced_frames_roundtrip_with_their_ids() {
+        let requests = [
+            Request::Get { key: b"k".to_vec() },
+            Request::Put {
+                key: b"key".to_vec(),
+                value: b"value".to_vec(),
+            },
+            Request::Delete {
+                key: b"gone".to_vec(),
+            },
+            Request::Batch {
+                ops: vec![WireOp::put(b"a".to_vec(), b"1".to_vec())],
+            },
+            Request::Stats,
+        ];
+        for (i, request) in requests.iter().enumerate() {
+            let seq = u64::MAX - i as u64;
+            let encoded = request.encode_sequenced(seq);
+            let (got_seq, decoded) = Request::decode_any(&encoded).unwrap();
+            assert_eq!(got_seq, Some(seq));
+            assert_eq!(&decoded, request);
+            // The legacy decoder refuses to drop the sequence id.
+            assert!(Request::decode(&encoded).is_err());
+            // decode_any also still takes the legacy framing.
+            let (none_seq, decoded) = Request::decode_any(&request.encode()).unwrap();
+            assert_eq!(none_seq, None);
+            assert_eq!(&decoded, request);
+        }
+
+        let responses = [
+            Response::Ok,
+            Response::Value(b"v".to_vec()),
+            Response::NotFound,
+            Response::Busy,
+            Response::Err("overloaded".to_owned()),
+            Response::Stats(StatsSummary {
+                admitted_writes: 10,
+                shed_writes: 3,
+                shed_connections: 1,
+                ..StatsSummary::default()
+            }),
+        ];
+        for (i, response) in responses.iter().enumerate() {
+            let seq = 7_000 + i as u64;
+            let encoded = response.encode_sequenced(seq);
+            let (got_seq, decoded) = Response::decode_any(&encoded).unwrap();
+            assert_eq!(got_seq, Some(seq));
+            assert_eq!(&decoded, response);
+            assert!(Response::decode(&encoded).is_err());
+        }
+    }
+
+    #[test]
+    fn truncated_sequence_ids_are_rejected() {
+        let encoded = Request::Stats.encode_sequenced(42);
+        // Tag byte alone, and every prefix of the 8-byte id.
+        for cut in 1..9 {
+            assert!(
+                Request::decode_any(&encoded[..cut]).is_err(),
+                "sequenced prefix of {cut} bytes decoded"
+            );
+        }
+        let encoded = Response::Busy.encode_sequenced(42);
+        for cut in 1..9 {
+            assert!(
+                Response::decode_any(&encoded[..cut]).is_err(),
+                "sequenced prefix of {cut} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn busy_roundtrips_and_carries_no_payload() {
+        let encoded = Response::Busy.encode();
+        assert_eq!(Response::decode(&encoded).unwrap(), Response::Busy);
+        let mut junk = encoded.clone();
+        junk.push(0);
+        assert!(Response::decode(&junk).is_err());
+    }
+
+    #[test]
+    fn stats_summary_carries_the_admission_counters() {
+        let stats = StatsSummary {
+            shards: 2,
+            admitted_writes: 1_000,
+            shed_writes: 77,
+            shed_connections: 5,
+            ..StatsSummary::default()
+        };
+        match Response::decode(&Response::Stats(stats).encode()).unwrap() {
+            Response::Stats(decoded) => {
+                assert_eq!(decoded.admitted_writes, 1_000);
+                assert_eq!(decoded.shed_writes, 77);
+                assert_eq!(decoded.shed_connections, 5);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@
 
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -22,6 +22,7 @@ use std::time::Duration;
 use bytes::Bytes;
 use lsm_engine::WriteBatch;
 
+use crate::admission::{AdmissionConfig, AdmissionController};
 use crate::protocol::{
     read_frame, write_frame, FrameRead, Request, Response, StatsSummary, SCAN_BATCH_MAX_BYTES,
     SCAN_BATCH_MAX_ENTRIES,
@@ -41,6 +42,89 @@ const ACCEPT_IDLE: Duration = Duration::from_millis(2);
 /// not reading) can pin a pool worker — and therefore the worst-case
 /// shutdown join.
 const WRITE_STALL_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Server tuning: worker count, the session cap, and the (optional)
+/// admission-control policy.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use kv_service::{AdmissionConfig, ServerOptions};
+///
+/// let options = ServerOptions::default()
+///     .workers(8)
+///     .max_sessions(32)
+///     .admission(AdmissionConfig::default().stall_budget(Duration::from_millis(50)));
+/// assert_eq!(options.worker_count(), 8);
+/// assert_eq!(options.session_cap(), 32);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerOptions {
+    workers: usize,
+    /// Explicit session cap; `None` defaults to `4 × workers` at use.
+    max_sessions: Option<usize>,
+    admission: Option<AdmissionConfig>,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            max_sessions: None,
+            admission: None,
+        }
+    }
+}
+
+impl ServerOptions {
+    /// Sets the pool worker count — client sessions served
+    /// *concurrently* (clamped to ≥ 1).
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Caps concurrently accepted connections (serving + waiting for a
+    /// worker; clamped to ≥ 1). A connection arriving at the cap is
+    /// refused with one `BUSY` frame and closed, instead of queueing
+    /// unboundedly in the thread pool. Defaults to `4 × workers` when
+    /// never set — setter order does not matter.
+    #[must_use]
+    pub fn max_sessions(mut self, sessions: usize) -> Self {
+        self.max_sessions = Some(sessions.max(1));
+        self
+    }
+
+    /// Enables STATS-driven admission control: writes to a shard past
+    /// the configured budgets are refused with `BUSY` (see
+    /// [`AdmissionConfig`]). Disabled by default.
+    #[must_use]
+    pub fn admission(mut self, config: AdmissionConfig) -> Self {
+        self.admission = Some(config);
+        self
+    }
+
+    /// The configured worker count.
+    #[must_use]
+    pub fn worker_count(&self) -> usize {
+        self.workers
+    }
+
+    /// The session cap: the explicitly configured value, else
+    /// `4 × workers`.
+    #[must_use]
+    pub fn session_cap(&self) -> usize {
+        self.max_sessions.unwrap_or(self.workers * 4)
+    }
+
+    /// The configured admission policy, if any.
+    #[must_use]
+    pub fn admission_policy(&self) -> Option<AdmissionConfig> {
+        self.admission
+    }
+}
 
 /// A sharded KV server bound to a TCP address.
 ///
@@ -65,13 +149,15 @@ const WRITE_STALL_TIMEOUT: Duration = Duration::from_secs(5);
 pub struct KvServer {
     store: Arc<ShardedKv>,
     listener: TcpListener,
-    workers: usize,
+    options: ServerOptions,
 }
 
 impl KvServer {
     /// Binds a server for `store` on `addr` (use port 0 for an
     /// ephemeral port) with `workers` pool workers — the number of
-    /// client sessions served concurrently.
+    /// client sessions served concurrently — and the default session
+    /// cap of `4 × workers`. Use [`KvServer::bind_with`] for the full
+    /// option set (session cap, admission control).
     ///
     /// # Errors
     ///
@@ -81,12 +167,26 @@ impl KvServer {
         addr: impl ToSocketAddrs,
         workers: usize,
     ) -> Result<Self, Error> {
+        Self::bind_with(store, addr, ServerOptions::default().workers(workers))
+    }
+
+    /// Binds a server for `store` on `addr` with explicit
+    /// [`ServerOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind_with(
+        store: Arc<ShardedKv>,
+        addr: impl ToSocketAddrs,
+        options: ServerOptions,
+    ) -> Result<Self, Error> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         Ok(Self {
             store,
             listener,
-            workers,
+            options,
         })
     }
 
@@ -101,6 +201,11 @@ impl KvServer {
 
     /// Starts the accept loop on its own thread and returns a handle
     /// for shutdown.
+    ///
+    /// Connections beyond the configured session cap (serving plus
+    /// waiting for a worker) are refused with one `BUSY` frame and
+    /// closed — the same shed path as admission control — instead of
+    /// queueing unboundedly in the thread pool.
     #[must_use]
     pub fn spawn(self) -> ServerHandle {
         let addr = self
@@ -109,16 +214,30 @@ impl KvServer {
             .expect("freshly bound listener has an address");
         let shutdown = Arc::new(AtomicBool::new(false));
         let accept_shutdown = Arc::clone(&shutdown);
+        let controller = Arc::new(AdmissionController::new(self.options.admission_policy()));
+        let max_sessions = self.options.session_cap();
+        let workers = self.options.worker_count();
         let accept = std::thread::Builder::new()
             .name("kv-accept".to_owned())
             .spawn(move || {
-                let pool = ThreadPool::new(self.workers);
+                let pool = ThreadPool::new(workers);
+                let sessions = Arc::new(AtomicUsize::new(0));
                 while !accept_shutdown.load(Ordering::SeqCst) {
                     match self.listener.accept() {
                         Ok((stream, _peer)) => {
+                            if sessions.load(Ordering::SeqCst) >= max_sessions {
+                                controller.record_shed_connection();
+                                refuse_connection(stream);
+                                continue;
+                            }
+                            let session = SessionGuard::enter(&sessions);
                             let store = Arc::clone(&self.store);
                             let shutdown = Arc::clone(&accept_shutdown);
-                            pool.execute(move || serve_connection(&store, stream, &shutdown));
+                            let controller = Arc::clone(&controller);
+                            pool.execute(move || {
+                                let _session = session;
+                                serve_connection(&store, &controller, stream, &shutdown);
+                            });
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                             std::thread::sleep(ACCEPT_IDLE);
@@ -134,6 +253,56 @@ impl KvServer {
             addr,
             shutdown,
             accept: Some(accept),
+        }
+    }
+}
+
+/// Holds one slot of the session cap; the slot frees when the session
+/// ends (or when a queued job is discarded at pool teardown).
+#[derive(Debug)]
+struct SessionGuard(Arc<AtomicUsize>);
+
+impl SessionGuard {
+    fn enter(sessions: &Arc<AtomicUsize>) -> Self {
+        sessions.fetch_add(1, Ordering::SeqCst);
+        Self(Arc::clone(sessions))
+    }
+}
+
+impl Drop for SessionGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// How long each I/O step of a connection refusal may take. The
+/// refusal runs inline on the single accept thread, so its worst case
+/// (one write + two reads) must stay far below human-visible latency —
+/// a connection flood at the session cap must not turn the accept loop
+/// into the bottleneck for legitimate reconnects.
+const REFUSE_IO_TIMEOUT: Duration = Duration::from_millis(10);
+
+/// Best-effort `BUSY` to a connection refused at the session cap: the
+/// client learns it was shed rather than seeing a bare RST. After the
+/// frame, writes are shut down and anything the client already sent is
+/// drained (at most two short reads) — closing with unread received
+/// data would make the kernel send RST, which on many stacks discards
+/// the BUSY frame sitting in the peer's receive queue. Worst case this
+/// holds the accept thread ~3 × [`REFUSE_IO_TIMEOUT`].
+fn refuse_connection(stream: TcpStream) {
+    let mut stream = stream;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(REFUSE_IO_TIMEOUT));
+    let _ = stream.set_read_timeout(Some(REFUSE_IO_TIMEOUT));
+    if write_frame(&mut stream, &Response::Busy.encode()).is_err() {
+        return;
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut sink = [0u8; 1024];
+    for _ in 0..2 {
+        match std::io::Read::read(&mut stream, &mut sink) {
+            Ok(0) | Err(_) => break, // EOF / timeout: peer saw the frame or left
+            Ok(_) => {}
         }
     }
 }
@@ -175,8 +344,15 @@ impl Drop for ServerHandle {
 }
 
 /// One client session: frames in, frames out, until EOF / error /
-/// shutdown.
-fn serve_connection(store: &ShardedKv, mut stream: TcpStream, shutdown: &AtomicBool) {
+/// shutdown. Accepts both framings — a sequenced request gets its
+/// sequence id echoed on the reply, so a pipelined client can keep many
+/// requests in flight on this connection.
+fn serve_connection(
+    store: &ShardedKv,
+    controller: &AdmissionController,
+    mut stream: TcpStream,
+    shutdown: &AtomicBool,
+) {
     // One small response frame per request: without NODELAY every
     // closed-loop round-trip pays Nagle + delayed-ACK (~40 ms).
     if stream.set_nodelay(true).is_err()
@@ -195,19 +371,28 @@ fn serve_connection(store: &ShardedKv, mut stream: TcpStream, shutdown: &AtomicB
             Ok(FrameRead::Idle) => continue,
             Ok(FrameRead::Eof) | Err(_) => return,
         };
-        let response = match Request::decode(&payload) {
+        let (seq, response) = match Request::decode_any(&payload) {
             // SCAN is the one request answered by a stream of frames,
-            // not a single response.
-            Ok(Request::Scan { start, end, limit }) => {
+            // not a single response — it cannot interleave with other
+            // in-flight replies, so it is closed-loop only.
+            Ok((None, Request::Scan { start, end, limit })) => {
                 if stream_scan(store, &mut stream, start, &end, limit, shutdown).is_err() {
                     return;
                 }
                 continue;
             }
-            Ok(request) => execute(store, request),
-            Err(e) => Response::Err(e.to_string()),
+            Ok((seq @ Some(_), Request::Scan { .. })) => (
+                seq,
+                Response::Err("scan requires an unsequenced frame".to_owned()),
+            ),
+            Ok((seq, request)) => (seq, execute(store, controller, request)),
+            Err(e) => (None, Response::Err(e.to_string())),
         };
-        if write_frame(&mut stream, &response.encode()).is_err() {
+        let encoded = match seq {
+            None => response.encode(),
+            Some(seq) => response.encode_sequenced(seq),
+        };
+        if write_frame(&mut stream, &encoded).is_err() {
             return;
         }
     }
@@ -316,8 +501,10 @@ fn stream_scan(
 }
 
 /// Applies one single-response request to the store (`SCAN` streams and
-/// never reaches here — see [`stream_scan`]).
-fn execute(store: &ShardedKv, request: Request) -> Response {
+/// never reaches here — see [`stream_scan`]). Writes pass through the
+/// admission controller first: a write to a shard past its budgets is
+/// answered `BUSY` without touching the engine (reads never are).
+fn execute(store: &ShardedKv, controller: &AdmissionController, request: Request) -> Response {
     match request {
         Request::Scan { .. } => Response::Err("scan must be streamed".to_owned()),
         Request::Get { key } => match store.get(&key) {
@@ -325,15 +512,38 @@ fn execute(store: &ShardedKv, request: Request) -> Response {
             Ok(None) => Response::NotFound,
             Err(e) => Response::Err(e.to_string()),
         },
-        Request::Put { key, value } => match store.put(Bytes::from(key), Bytes::from(value)) {
-            Ok(()) => Response::Ok,
-            Err(e) => Response::Err(e.to_string()),
-        },
-        Request::Delete { key } => match store.delete(Bytes::from(key)) {
-            Ok(()) => Response::Ok,
-            Err(e) => Response::Err(e.to_string()),
-        },
+        Request::Put { key, value } => {
+            // Lazy probe: with no admission policy configured the
+            // pressure snapshot (ArcSwap load + two short locks) is
+            // never taken.
+            if !controller.admit_write(std::iter::once_with(|| store.pressure_for_key(&key))) {
+                return Response::Busy;
+            }
+            match store.put(Bytes::from(key), Bytes::from(value)) {
+                Ok(()) => Response::Ok,
+                Err(e) => Response::Err(e.to_string()),
+            }
+        }
+        Request::Delete { key } => {
+            if !controller.admit_write(std::iter::once_with(|| store.pressure_for_key(&key))) {
+                return Response::Busy;
+            }
+            match store.delete(Bytes::from(key)) {
+                Ok(()) => Response::Ok,
+                Err(e) => Response::Err(e.to_string()),
+            }
+        }
         Request::Batch { ops } => {
+            // One admission decision for the whole batch, over the
+            // distinct shards it touches: a batch is all-or-nothing at
+            // the admission gate, never half-applied because one shard
+            // was busy.
+            let mut touched: Vec<usize> = ops.iter().map(|op| store.shard_index(&op.key)).collect();
+            touched.sort_unstable();
+            touched.dedup();
+            if !controller.admit_write(touched.into_iter().map(|s| store.shard_pressure(s))) {
+                return Response::Busy;
+            }
             let mut batch = WriteBatch::with_capacity(ops.len());
             for op in ops {
                 if op.is_delete {
@@ -350,6 +560,7 @@ fn execute(store: &ShardedKv, request: Request) -> Response {
         Request::Stats => {
             let stats = store.stats();
             let aggregate = stats.aggregate();
+            let admission = controller.counters();
             Response::Stats(StatsSummary {
                 shards: store.shard_count() as u64,
                 puts: aggregate.puts,
@@ -373,6 +584,9 @@ fn execute(store: &ShardedKv, request: Request) -> Response {
                 compaction_entry_cost: aggregate.compaction_entry_cost(),
                 compaction_stall_micros: aggregate.compaction_stall.as_micros() as u64,
                 live_tables: stats.live_tables() as u64,
+                admitted_writes: admission.admitted_writes,
+                shed_writes: admission.shed_writes,
+                shed_connections: admission.shed_connections,
             })
         }
     }

@@ -21,7 +21,9 @@ use std::ops::RangeBounds;
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use lsm_engine::{Key, Lsm, LsmOptions, LsmStats, RangeIter, Storage, Value, WriteBatch};
+use lsm_engine::{
+    Key, Lsm, LsmOptions, LsmPressure, LsmStats, RangeIter, Storage, Value, WriteBatch,
+};
 
 use crate::{Error, ShardRouter};
 
@@ -183,6 +185,29 @@ impl ShardedKv {
 
     fn shard(&self, key: &[u8]) -> &Lsm {
         &self.shards[self.router.shard_for(key)]
+    }
+
+    /// The shard index `key` routes to.
+    #[must_use]
+    pub fn shard_index(&self, key: &[u8]) -> usize {
+        self.router.shard_for(key)
+    }
+
+    /// The overload signals of shard `index` (lock-free even while that
+    /// shard is mid-compaction — see [`Lsm::pressure`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn shard_pressure(&self, index: usize) -> LsmPressure {
+        self.shards[index].pressure()
+    }
+
+    /// The overload signals of the shard owning `key`.
+    #[must_use]
+    pub fn pressure_for_key(&self, key: &[u8]) -> LsmPressure {
+        self.shard(key).pressure()
     }
 
     /// Point read of `key` from its owning shard. Lock-free against

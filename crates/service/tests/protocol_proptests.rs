@@ -96,6 +96,92 @@ proptest! {
         if let Ok(response) = Response::decode(&payload) {
             prop_assert_eq!(Response::decode(&response.encode()).unwrap(), response);
         }
+        // The dual-framing decoders survive the same soup, and whatever
+        // they accept round-trips with its sequence id intact.
+        if let Ok((seq, request)) = Request::decode_any(&payload) {
+            let reencoded = match seq {
+                None => request.encode(),
+                Some(seq) => request.encode_sequenced(seq),
+            };
+            prop_assert_eq!(reencoded, payload.clone());
+        }
+        if let Ok((seq, response)) = Response::decode_any(&payload) {
+            let reencoded = match seq {
+                None => response.encode(),
+                Some(seq) => response.encode_sequenced(seq),
+            };
+            prop_assert_eq!(reencoded, payload.clone());
+        }
+    }
+
+    /// Sequenced frames round-trip for arbitrary ids and bodies, the
+    /// legacy decoder rejects them, and every strict prefix (torn
+    /// frame) is rejected — the id is length-checked like everything
+    /// else.
+    #[test]
+    fn sequenced_frames_roundtrip_and_tear_safely(
+        seq in any::<u64>(),
+        key in arb_bytes(32),
+        value in arb_bytes(48),
+        cut_seed in any::<u32>(),
+    ) {
+        let request = Request::Put { key, value };
+        let encoded = request.encode_sequenced(seq);
+        let (got_seq, decoded) = Request::decode_any(&encoded).unwrap();
+        prop_assert_eq!(got_seq, Some(seq));
+        prop_assert_eq!(&decoded, &request);
+        prop_assert!(Request::decode(&encoded).is_err());
+        let cut = cut_seed as usize % encoded.len();
+        prop_assert!(
+            Request::decode_any(&encoded[..cut]).is_err(),
+            "sequenced request prefix of {} / {} bytes decoded",
+            cut,
+            encoded.len()
+        );
+
+        // The same holds for every sequenced response shape, BUSY
+        // included (the overload reply must survive the same torture).
+        for response in [
+            Response::Ok,
+            Response::Busy,
+            Response::Value(b"v".to_vec()),
+            Response::NotFound,
+            Response::Err("shed".to_owned()),
+        ] {
+            let encoded = response.encode_sequenced(seq);
+            let (got_seq, decoded) = Response::decode_any(&encoded).unwrap();
+            prop_assert_eq!(got_seq, Some(seq));
+            prop_assert_eq!(&decoded, &response);
+            prop_assert!(Response::decode(&encoded).is_err());
+            let cut = cut_seed as usize % encoded.len();
+            prop_assert!(
+                Response::decode_any(&encoded[..cut]).is_err(),
+                "sequenced response prefix of {} bytes decoded",
+                cut
+            );
+        }
+    }
+
+    /// Corrupting a single byte of a sequenced frame never panics
+    /// either decoder; if it still decodes, only the id and/or content
+    /// bytes moved (the re-encoding reproduces the corrupted frame).
+    #[test]
+    fn sequenced_single_byte_corruption_never_panics(
+        seq in any::<u64>(),
+        key in arb_bytes(16),
+        pos_seed in any::<u32>(),
+        flip in 1u8..=255,
+    ) {
+        let mut encoded = Request::Get { key }.encode_sequenced(seq);
+        let pos = pos_seed as usize % encoded.len();
+        encoded[pos] ^= flip;
+        if let Ok((got_seq, decoded)) = Request::decode_any(&encoded) {
+            let reencoded = match got_seq {
+                None => decoded.encode(),
+                Some(s) => decoded.encode_sequenced(s),
+            };
+            prop_assert_eq!(reencoded, encoded);
+        }
     }
 
     /// Corrupting a single byte of a BATCH_VALUES frame either still
@@ -155,9 +241,11 @@ fn whole_palette_roundtrips() {
         Response::Ok,
         Response::Value(b"v".to_vec()),
         Response::NotFound,
+        Response::Busy,
         Response::Stats(StatsSummary {
             range_scans: 7,
             range_pruned_tables: 3,
+            shed_writes: 11,
             ..StatsSummary::default()
         }),
         Response::BatchValues(vec![(b"k".to_vec(), b"v".to_vec())]),
@@ -167,11 +255,13 @@ fn whole_palette_roundtrips() {
     for response in &responses {
         assert_eq!(&Response::decode(&response.encode()).unwrap(), response);
     }
-    // The stats summary carries the new scan counters through the wire.
-    match Response::decode(&responses[3].encode()).unwrap() {
+    // The stats summary carries the scan and admission counters
+    // through the wire.
+    match Response::decode(&responses[4].encode()).unwrap() {
         Response::Stats(stats) => {
             assert_eq!(stats.range_scans, 7);
             assert_eq!(stats.range_pruned_tables, 3);
+            assert_eq!(stats.shed_writes, 11);
         }
         other => panic!("expected stats, got {other:?}"),
     }

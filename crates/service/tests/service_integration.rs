@@ -7,6 +7,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use kv_service::{KvClient, KvServer, ShardedKv, WireOp};
+use lsm_engine::test_support::GatedStorage;
 use lsm_engine::{CompactionPolicy, LsmOptions, MemoryStorage, Storage};
 
 /// What one client believes the store holds for its keys: the newest
@@ -193,88 +194,6 @@ fn reads_proceed_while_another_shard_compacts() {
         stats.per_shard[0].stats.auto_compactions, 0,
         "shard 0 should not have compacted (no writes routed there)"
     );
-}
-
-/// A storage backend whose sstable writes block while a gate is closed:
-/// freezes a compaction at its first output write so the test can prove
-/// GETs are served from the *same shard* mid-compaction, over TCP.
-#[derive(Debug)]
-struct GatedStorage {
-    inner: MemoryStorage,
-    gate_enabled: std::sync::atomic::AtomicBool,
-    gate_open: std::sync::Mutex<bool>,
-    signal: std::sync::Condvar,
-}
-
-impl GatedStorage {
-    fn new() -> Self {
-        Self {
-            inner: MemoryStorage::new(),
-            gate_enabled: std::sync::atomic::AtomicBool::new(false),
-            gate_open: std::sync::Mutex::new(true),
-            signal: std::sync::Condvar::new(),
-        }
-    }
-
-    fn close_gate(&self) {
-        *self.gate_open.lock().unwrap() = false;
-        self.gate_enabled
-            .store(true, std::sync::atomic::Ordering::SeqCst);
-    }
-
-    fn open_gate(&self) {
-        *self.gate_open.lock().unwrap() = true;
-        self.signal.notify_all();
-    }
-}
-
-impl Storage for GatedStorage {
-    fn write_blob(&self, name: &str, data: &[u8]) -> Result<(), lsm_engine::Error> {
-        if self.gate_enabled.load(std::sync::atomic::Ordering::SeqCst) && name.starts_with("sst-") {
-            let mut open = self.gate_open.lock().unwrap();
-            while !*open {
-                open = self.signal.wait(open).unwrap();
-            }
-        }
-        self.inner.write_blob(name, data)
-    }
-
-    fn read_blob(&self, name: &str) -> Result<bytes::Bytes, lsm_engine::Error> {
-        self.inner.read_blob(name)
-    }
-
-    fn read_blob_range(
-        &self,
-        name: &str,
-        offset: u64,
-        len: usize,
-    ) -> Result<bytes::Bytes, lsm_engine::Error> {
-        self.inner.read_blob_range(name, offset, len)
-    }
-
-    fn blob_len(&self, name: &str) -> Result<u64, lsm_engine::Error> {
-        self.inner.blob_len(name)
-    }
-
-    fn delete_blob(&self, name: &str) -> Result<(), lsm_engine::Error> {
-        self.inner.delete_blob(name)
-    }
-
-    fn contains_blob(&self, name: &str) -> bool {
-        self.inner.contains_blob(name)
-    }
-
-    fn list_blobs(&self) -> Vec<String> {
-        self.inner.list_blobs()
-    }
-
-    fn bytes_written(&self) -> u64 {
-        self.inner.bytes_written()
-    }
-
-    fn bytes_read(&self) -> u64 {
-        self.inner.bytes_read()
-    }
 }
 
 #[test]

@@ -52,6 +52,7 @@
 
 pub mod experiment;
 pub mod live_engine;
+pub mod open_loop;
 pub mod phase1;
 pub mod report;
 pub mod runner;
@@ -60,6 +61,7 @@ pub mod stats;
 
 pub use experiment::{Fig7Config, Fig7Row, Fig8Config, Fig8Row, Fig9Config, Fig9Row, Fig9Sweep};
 pub use live_engine::{LiveEngineConfig, LiveEngineRow};
+pub use open_loop::{OpenLoopConfig, OpenLoopRow};
 pub use phase1::SstableGenerator;
 pub use runner::{run_strategy, run_strategy_parallel, RunResult};
 pub use service_throughput::{ServiceThroughputConfig, ServiceThroughputRow};

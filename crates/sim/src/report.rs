@@ -5,6 +5,7 @@
 
 use crate::experiment::{Fig7Row, Fig8Row, Fig9Row, Fig9Sweep};
 use crate::live_engine::LiveEngineRow;
+use crate::open_loop::OpenLoopRow;
 use crate::service_throughput::ServiceThroughputRow;
 
 /// Renders the service throughput sweep (per shard count, per strategy)
@@ -139,6 +140,135 @@ pub fn service_throughput_json(rows: &[ServiceThroughputRow]) -> String {
             row.flushes,
             row.auto_compactions,
             row.compaction_entry_cost,
+            row.compaction_stall.as_secs_f64() * 1e3,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Renders the open-loop serving cells (closed baseline, pipelined
+/// capacity, offered-rate sweep) as a fixed-width text table.
+#[must_use]
+pub fn open_loop_table(rows: &[OpenLoopRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>10}  {:>6}  {:>5}  {:>6}  {:>10}  {:>10}  {:>9}  {:>6}  {:>9}  {:>9}  {:>9}  {:>8}  {:>8}  {:>8}  {:>6}  {:>10}\n",
+        "cell",
+        "shards",
+        "conns",
+        "window",
+        "offered/s",
+        "achieved/s",
+        "completed",
+        "busy",
+        "cli_shed",
+        "srv_shed",
+        "admitted",
+        "p50_us",
+        "p99_us",
+        "p999_us",
+        "autoc",
+        "stall_ms"
+    ));
+    for row in rows {
+        let offered = if row.offered_ops_per_sec > 0.0 {
+            format!("{:.0}", row.offered_ops_per_sec)
+        } else {
+            "max".to_owned()
+        };
+        out.push_str(&format!(
+            "{:>10}  {:>6}  {:>5}  {:>6}  {:>10}  {:>10.0}  {:>9}  {:>6}  {:>9}  {:>9}  {:>9}  {:>8}  {:>8}  {:>8}  {:>6}  {:>10.2}\n",
+            row.label,
+            row.shards,
+            row.connections,
+            row.window,
+            offered,
+            row.achieved_ops_per_sec,
+            row.completed,
+            row.busy,
+            row.client_shed,
+            row.server_shed_writes,
+            row.server_admitted_writes,
+            row.p50_micros,
+            row.p99_micros,
+            row.p999_micros,
+            row.auto_compactions,
+            row.compaction_stall.as_secs_f64() * 1e3,
+        ));
+    }
+    out
+}
+
+/// Renders the open-loop serving cells as CSV.
+#[must_use]
+pub fn open_loop_csv(rows: &[OpenLoopRow]) -> String {
+    let mut out = String::from(
+        "label,shards,strategy,connections,window,offered_ops_per_sec,achieved_ops_per_sec,\
+         completed,busy,client_shed,server_admitted_writes,server_shed_writes,\
+         server_shed_connections,p50_us,p99_us,p999_us,elapsed_ms,auto_compactions,stall_ms\n",
+    );
+    for row in rows {
+        out.push_str(&format!(
+            "{},{},{},{},{},{:.1},{:.1},{},{},{},{},{},{},{},{},{},{:.2},{},{:.4}\n",
+            row.label,
+            row.shards,
+            row.strategy.name(),
+            row.connections,
+            row.window,
+            row.offered_ops_per_sec,
+            row.achieved_ops_per_sec,
+            row.completed,
+            row.busy,
+            row.client_shed,
+            row.server_admitted_writes,
+            row.server_shed_writes,
+            row.server_shed_connections,
+            row.p50_micros,
+            row.p99_micros,
+            row.p999_micros,
+            row.elapsed.as_secs_f64() * 1e3,
+            row.auto_compactions,
+            row.compaction_stall.as_secs_f64() * 1e3,
+        ));
+    }
+    out
+}
+
+/// Renders the open-loop serving cells as a JSON array (hand-rolled:
+/// the workspace is offline, no serde), the format CI archives and the
+/// bench-regression gate compares against `bench-baselines/`.
+#[must_use]
+pub fn open_loop_json(rows: &[OpenLoopRow]) -> String {
+    let mut out = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"label\": \"{}\", \"shards\": {}, \"strategy\": \"{}\", \
+             \"connections\": {}, \"window\": {}, \"offered_ops_per_sec\": {:.1}, \
+             \"achieved_ops_per_sec\": {:.1}, \"completed\": {}, \"busy\": {}, \
+             \"client_shed\": {}, \"server_admitted_writes\": {}, \
+             \"server_shed_writes\": {}, \"server_shed_connections\": {}, \
+             \"p50_us\": {}, \"p99_us\": {}, \"p999_us\": {}, \
+             \"elapsed_ms\": {:.2}, \"auto_compactions\": {}, \"stall_ms\": {:.4}}}{}\n",
+            row.label,
+            row.shards,
+            row.strategy.name(),
+            row.connections,
+            row.window,
+            row.offered_ops_per_sec,
+            row.achieved_ops_per_sec,
+            row.completed,
+            row.busy,
+            row.client_shed,
+            row.server_admitted_writes,
+            row.server_shed_writes,
+            row.server_shed_connections,
+            row.p50_micros,
+            row.p99_micros,
+            row.p999_micros,
+            row.elapsed.as_secs_f64() * 1e3,
+            row.auto_compactions,
             row.compaction_stall.as_secs_f64() * 1e3,
             if i + 1 == rows.len() { "" } else { "," },
         ));

@@ -12,10 +12,18 @@
 //! connection count — the pipelined client must beat the closed loop
 //! here), then fixed offered rates at multiples of the measured
 //! capacity, reporting offered vs achieved throughput, p50/p99/p999 and
-//! shed counts (client window sheds + server `BUSY`s).
+//! shed counts (client window sheds + server `BUSY`s). The whole sweep
+//! runs twice — `inline` maintenance, then `background` (frozen-memtable
+//! queue + flush/compaction threads) at the *same* offered rates — so
+//! the report shows shed counts and write tails collapsing when merges
+//! leave the write path.
+//!
+//! `--background` switches the closed-loop sweeps to background
+//! maintenance, where write-path `stall_ms` from full merges drops to
+//! ~0.
 //!
 //! Run with:
-//! `cargo run --release --bin service_throughput [--quick] [--read-heavy | --scan-heavy | --open-loop] [--csv] [--json PATH]`
+//! `cargo run --release --bin service_throughput [--quick] [--background] [--read-heavy | --scan-heavy | --open-loop] [--csv] [--json PATH]`
 
 use compaction_sim::report::{
     open_loop_csv, open_loop_json, open_loop_table, service_throughput_csv,
@@ -29,6 +37,7 @@ fn main() {
     let read_heavy = args.iter().any(|a| a == "--read-heavy");
     let scan_heavy = args.iter().any(|a| a == "--scan-heavy");
     let open_loop = args.iter().any(|a| a == "--open-loop");
+    let background = args.iter().any(|a| a == "--background");
     let csv = args.iter().any(|a| a == "--csv");
     let json_path = args
         .iter()
@@ -55,7 +64,15 @@ fn main() {
             config.stall_budget,
             config.offered_multipliers,
         );
-        let rows = config.run();
+        // Inline first (measuring its pipelined capacity), then the
+        // background engine at the same offered rates: cell-for-cell
+        // comparable shed/p999 columns.
+        let (mut rows, capacity) = config.run_with_pinned_capacity(None);
+        let mut bg_config = config.clone();
+        bg_config.background = true;
+        eprintln!("open-loop: re-running cells with background maintenance");
+        let (bg_rows, _) = bg_config.run_with_pinned_capacity(Some(capacity));
+        rows.extend(bg_rows);
         if csv {
             print!("{}", open_loop_csv(&rows));
         } else {
@@ -69,7 +86,7 @@ fn main() {
         return;
     }
 
-    let config = match (quick, read_heavy, scan_heavy) {
+    let mut config = match (quick, read_heavy, scan_heavy) {
         (true, _, true) => ServiceThroughputConfig::quick_scan_heavy(),
         (false, _, true) => ServiceThroughputConfig::scan_heavy(),
         (true, true, false) => ServiceThroughputConfig::quick_read_heavy(),
@@ -77,6 +94,7 @@ fn main() {
         (false, true, false) => ServiceThroughputConfig::read_heavy(),
         (false, false, false) => ServiceThroughputConfig::default_paper(),
     };
+    config.background = background;
     eprintln!(
         "service-throughput: {} ops ({}% scans ≤{} keys, {}% of the rest reads, \
          {}% of the rest updates), {} clients, \

@@ -1,7 +1,7 @@
 //! The database facade tying memtable, WAL, sstables and compaction
 //! together.
 //!
-//! # Concurrency architecture (the read-path overhaul)
+//! # Concurrency architecture
 //!
 //! `Lsm` is split into a **write half** and a **read half** so point
 //! reads never queue behind writers, flushes or compaction:
@@ -27,9 +27,38 @@
 //! pre-compaction snapshot can race the blob deletion; it detects the
 //! vanished table, reloads the snapshot and retries — the data is, by
 //! construction, in the compaction output.
+//!
+//! # Background flush & compaction
+//!
+//! With [`LsmOptions::background_maintenance`] enabled, no client write
+//! ever waits on sstable I/O:
+//!
+//! * a full memtable is **frozen** in O(1): swapped out onto an
+//!   `ArcSwap`'d queue of immutable memtables, each paired with the WAL
+//!   segment that made it durable. Reads and range scans consult
+//!   active memtable → frozen queue (newest first) → tables;
+//! * a dedicated **flush thread** drains the queue oldest-first into
+//!   sstables, retiring each frozen memtable and its WAL segment only
+//!   *after* its sstable is durable and published — a crash at any
+//!   point replays every acked write from the live WAL segments;
+//! * a **compaction scheduler thread** owns the policy: the planner
+//!   stays the brain (observations → `MergePlan` → waves), but the
+//!   merge runs off the write lock — only the prepare and
+//!   commit/manifest-flip bracket it under brief write-lock sections;
+//! * **tiered write stalls** replace inline stalling: writers compute
+//!   the maintenance debt (frozen-queue depth + compaction backlog)
+//!   before taking the write lock. Past
+//!   [`LsmOptions::slowdown_trigger`] each write is delayed by a
+//!   bounded sleep; past [`LsmOptions::stop_trigger`] (or a saturated
+//!   frozen queue) writes block until maintenance catches up. The
+//!   current tier is exported via [`LsmPressure::stall_tier`] so an
+//!   admission controller is a backstop, not the steady state.
+//!
+//! Dropping the store signals and joins both threads, draining the
+//! frozen queue first so no acked write exists only in memory.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::{Duration, Instant};
 
 use arc_swap::ArcSwap;
@@ -54,16 +83,26 @@ use crate::types::{key_from_u64, Entry, Key, Value, ValueKind};
 use crate::wal::{Wal, WalRecord};
 use crate::Error;
 
-const WAL_SEGMENT: &str = "wal-current";
+/// Bounded delay one write pays in the slowdown stall tier.
+const SLOWDOWN_SLEEP: Duration = Duration::from_micros(500);
+/// Re-check period for blocked waits (stop-tier writers, queue drains,
+/// worker idle loops): a safety net against missed condvar wakeups.
+const STALL_WAIT_SLICE: Duration = Duration::from_millis(10);
+/// Back-off before a maintenance worker retries a failed flush/merge.
+const WORKER_RETRY_DELAY: Duration = Duration::from_millis(5);
 
 /// A single-node LSM key-value store.
 ///
 /// Writes go to the memtable (and WAL); when the memtable reaches its key
-/// capacity it is flushed into a new immutable sstable. Reads consult the
-/// memtable first and then the live sstables newest-first through lazy
-/// readers and the table/block caches, using each table's bloom filter
-/// and key range to skip runs without I/O. [`Lsm::major_compact`]
-/// executes a merge schedule and leaves a single sstable behind.
+/// capacity it is flushed into a new immutable sstable — inline by
+/// default, or by a background flush thread when
+/// [`LsmOptions::background_maintenance`] is enabled (the memtable is
+/// then frozen in O(1) and queued). Reads consult the active memtable,
+/// then any frozen memtables (newest first), then the live sstables
+/// newest-first through lazy readers and the table/block caches, using
+/// each table's bloom filter and key range to skip runs without I/O.
+/// [`Lsm::major_compact`] executes a merge schedule and leaves a single
+/// sstable behind.
 ///
 /// Every method takes `&self`: writes serialize on an internal mutex,
 /// while [`Lsm::get`] and [`Lsm::scan_all`] run concurrently with each
@@ -85,16 +124,29 @@ const WAL_SEGMENT: &str = "wal-current";
 /// ```
 #[derive(Debug)]
 pub struct Lsm {
+    inner: Arc<LsmInner>,
+    /// Background maintenance threads (flush, compaction scheduler).
+    /// Empty unless [`LsmOptions::background_maintenance`] is enabled.
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// The engine state proper, shared between the `Lsm` handle and its
+/// background maintenance threads via `Arc`.
+#[derive(Debug)]
+pub(crate) struct LsmInner {
     options: LsmOptions,
     storage: Arc<dyn Storage>,
     /// The write half: manifest, WAL and flush/compaction bookkeeping.
     write: Mutex<WriteState>,
     /// Write-side counters, behind their own short-lived lock so that
-    /// [`Lsm::stats`] never waits on the write mutex (which compaction
-    /// holds for its whole run).
+    /// [`Lsm::stats`] never waits on the write mutex.
     stats: Mutex<LsmStats>,
     /// The in-memory buffer, readable without the write mutex.
     memtable: RwLock<Memtable>,
+    /// Frozen immutable memtables awaiting flush, oldest first. Pushed
+    /// by [`LsmInner::freeze_active`] (under the write mutex), popped by
+    /// the flush thread after the corresponding sstable is durable.
+    frozen: ArcSwap<Vec<Arc<FrozenGen>>>,
     /// The atomically-swappable read view: live tables, newest first.
     snapshot: ArcSwap<ReadView>,
     table_cache: Arc<TableCache>,
@@ -108,14 +160,73 @@ pub struct Lsm {
     /// Clock zero for [`Lsm::pressure`]'s in-progress-compaction stamp.
     epoch: Instant,
     /// Micros-since-`epoch` **plus one** at which the currently running
-    /// compaction started; 0 when no compaction is running. Written by
-    /// the compacting thread, read lock-free by [`Lsm::pressure`] so
-    /// admission control can see a stall *while* it is happening.
+    /// inline compaction started; 0 when none is running.
     compaction_started: AtomicU64,
-    /// Completed-compaction stall in micros, mirroring
+    /// Accumulated write-path stall in micros (inline compactions plus
+    /// tiered background stalls), mirroring
     /// [`LsmStats::compaction_stall`] so [`Lsm::pressure`] never takes
     /// the stats mutex the write path contends on.
     compaction_stall_micros: AtomicU64,
+    /// Writes delayed by the slowdown stall tier.
+    slowdown_stalls: AtomicU64,
+    /// Writes blocked by the stop stall tier.
+    stop_stalls: AtomicU64,
+    /// Sstables written by the background flush thread.
+    bg_flushes: AtomicU64,
+    /// Table id **plus one** of the newest background flush; 0 = none.
+    last_bg_flush_table: AtomicU64,
+    /// `true` while the background scheduler is executing a merge.
+    bg_compacting: AtomicBool,
+    /// Serializes whole compaction runs (background scheduler,
+    /// [`Lsm::auto_compact`], [`Lsm::major_compact`]) without holding
+    /// the write mutex across the merge. Lock order: `compaction_mx`
+    /// before `write`.
+    compaction_mx: Mutex<()>,
+    maint: Maintenance,
+}
+
+/// One frozen memtable generation: the immutable map plus the WAL
+/// segment that made it durable (retired only after *its* flush).
+#[derive(Debug)]
+struct FrozenGen {
+    memtable: Memtable,
+    wal_segment: Option<String>,
+}
+
+/// Signals between writers and the maintenance threads. Uses std
+/// condvars (the vendored `parking_lot` shim has none); every wait is
+/// time-sliced so a missed wakeup costs at most one slice.
+#[derive(Debug, Default)]
+struct Maintenance {
+    shutdown: AtomicBool,
+    /// Kicked when the frozen queue gains work.
+    flush_signal: Signal,
+    /// Kicked when the compaction policy may be due.
+    compact_signal: Signal,
+    /// Kicked whenever maintenance makes progress (a flush or merge
+    /// completed) — what stalled writers and queue drains wait on.
+    progress_signal: Signal,
+}
+
+#[derive(Debug, Default)]
+struct Signal {
+    mx: StdMutex<()>,
+    cv: Condvar,
+}
+
+impl Signal {
+    fn notify(&self) {
+        let _guard = self.mx.lock().unwrap_or_else(|e| e.into_inner());
+        self.cv.notify_all();
+    }
+
+    fn wait_timeout(&self, timeout: Duration) {
+        let guard = self.mx.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = self
+            .cv
+            .wait_timeout(guard, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+    }
 }
 
 /// Mutable engine state guarded by the write mutex.
@@ -124,6 +235,9 @@ struct WriteState {
     manifest: Manifest,
     wal: Option<Wal>,
     flushes_since_compaction: u64,
+    /// Generation number for the next WAL segment (one segment per
+    /// memtable generation under background maintenance).
+    next_wal_generation: u64,
 }
 
 /// The immutable view a point read or range scan navigates: live tables
@@ -151,7 +265,7 @@ pub struct LsmStats {
     /// Number of sstables consulted across all reads (read amplification
     /// numerator).
     pub tables_probed: u64,
-    /// Number of reads answered from the memtable.
+    /// Number of reads answered from the memtable (active or frozen).
     pub memtable_hits: u64,
     /// Number of range scans started ([`Lsm::range`]).
     pub range_scans: u64,
@@ -192,11 +306,25 @@ pub struct LsmStats {
     pub compaction_bytes_read: u64,
     /// Bytes written to storage by compaction merges.
     pub compaction_bytes_written: u64,
-    /// Wall-clock time writes were stalled behind compaction work.
+    /// Wall-clock time writes were stalled behind compaction work:
+    /// inline merge time, plus slowdown sleeps and stop blocks under
+    /// background maintenance. Background merge time itself does **not**
+    /// count — no write waits on it.
     pub compaction_stall: Duration,
     /// Sum of the planner's predicted `cost_actual` (in keys) over all
     /// policy-driven compactions, for planned-vs-measured comparison.
     pub compaction_predicted_cost: u64,
+    /// Sstables written by the background flush thread (a subset of
+    /// [`LsmStats::flushes`]).
+    pub bg_flushes: u64,
+    /// Writes delayed by the slowdown stall tier (bounded sleep).
+    pub slowdown_stalls: u64,
+    /// Writes blocked by the stop stall tier until maintenance caught
+    /// up.
+    pub stop_stalls: u64,
+    /// Frozen memtables currently queued for flush (a gauge, sampled
+    /// when the stats were taken).
+    pub frozen_queue_depth: u64,
 }
 
 impl LsmStats {
@@ -243,6 +371,10 @@ impl LsmStats {
         self.compaction_bytes_written += other.compaction_bytes_written;
         self.compaction_stall += other.compaction_stall;
         self.compaction_predicted_cost += other.compaction_predicted_cost;
+        self.bg_flushes += other.bg_flushes;
+        self.slowdown_stalls += other.slowdown_stalls;
+        self.stop_stalls += other.stop_stalls;
+        self.frozen_queue_depth += other.frozen_queue_depth;
     }
 
     fn record_compaction(&mut self, outcome: &CompactionOutcome, stall: Duration) {
@@ -255,37 +387,61 @@ impl LsmStats {
     }
 }
 
+/// The write-stall tier currently in force, from the tiered triggers
+/// that replace binary BUSY under background maintenance (modelled on
+/// RocksDB's `l0_slowdown_writes_trigger` / `l0_stop_writes_trigger`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StallTier {
+    /// Maintenance is keeping up; writes run at full speed.
+    #[default]
+    None,
+    /// Maintenance debt crossed [`LsmOptions::slowdown_trigger`]: each
+    /// write is delayed by a bounded sleep so flush/compaction can
+    /// catch up gradually.
+    Slowdown,
+    /// Debt crossed [`LsmOptions::stop_trigger`] (or the frozen queue
+    /// is saturated): writes block until maintenance drains the
+    /// backlog.
+    Stop,
+}
+
 /// A lock-free snapshot of how overloaded a store currently is — the
 /// signals an admission controller sheds load on.
 ///
 /// Produced by [`Lsm::pressure`] without touching the write mutex, so a
-/// server can probe a shard that is mid-compaction (its write mutex held
-/// for the whole merge) and still get an instant answer. The headline
-/// signal is [`LsmPressure::current_stall`]: unlike
-/// [`LsmStats::compaction_stall`], which only accounts *completed*
-/// compactions, it reports how long the compaction running *right now*
-/// has been holding up writes — the spike an admission controller must
-/// react to while it is happening, not after.
+/// server can probe a shard that is mid-compaction and still get an
+/// instant answer. Under inline compaction the headline signal is
+/// [`LsmPressure::current_stall`]; under background maintenance it is
+/// [`LsmPressure::stall_tier`] and [`LsmPressure::frozen_queue_depth`] —
+/// how far storage maintenance has fallen behind the write rate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LsmPressure {
     /// Live sstables in the current read snapshot.
     pub live_tables: usize,
-    /// Distinct keys buffered in the memtable.
+    /// Distinct keys buffered in the (active) memtable.
     pub memtable_len: usize,
     /// Memtable key capacity (flush threshold).
     pub memtable_capacity: usize,
-    /// `true` while a compaction is executing.
+    /// `true` while a compaction is executing (inline or background).
     pub compaction_running: bool,
-    /// Wall-clock age of the in-progress compaction (zero when idle).
-    /// Every write to this store queues behind it.
+    /// Wall-clock age of the in-progress *inline* compaction (zero when
+    /// idle or when merges run on the background scheduler). Every
+    /// write to this store queues behind it.
     pub current_stall: Duration,
-    /// Wall-clock time writes stalled behind *completed* compactions.
+    /// Wall-clock time writes stalled behind completed compactions and
+    /// tiered write stalls.
     pub total_stall: Duration,
     /// How many live tables sit at or beyond the configured
     /// [`CompactionPolicy::Threshold`] trigger: 0 means no compaction is
     /// due, ≥ 1 means flushes are outrunning compaction (the deeper, the
     /// further behind). Always 0 for non-threshold policies.
     pub compaction_backlog: usize,
+    /// Frozen memtables queued for background flush (0 when background
+    /// maintenance is off).
+    pub frozen_queue_depth: usize,
+    /// The write-stall tier currently in force
+    /// ([`StallTier::None`] when background maintenance is off).
+    pub stall_tier: StallTier,
 }
 
 impl LsmPressure {
@@ -305,7 +461,8 @@ pub struct AutoCompaction {
     pub plan: MergePlan,
     /// The physical outcome (entries/bytes read and written).
     pub outcome: CompactionOutcome,
-    /// Wall-clock time the compaction took (planning + merging).
+    /// Wall-clock time the compaction took (planning + merging). Under
+    /// the background scheduler this is elapsed time, not write stall.
     pub stall: Duration,
 }
 
@@ -313,69 +470,37 @@ impl Lsm {
     /// Opens a store over an arbitrary storage backend, recovering state
     /// from the manifest and WAL if present.
     ///
+    /// With [`LsmOptions::background_maintenance`] enabled this also
+    /// spawns the flush thread (and, under an automatic
+    /// [`CompactionPolicy`], the compaction scheduler thread). Both are
+    /// signalled and joined when the store is dropped.
+    ///
     /// # Errors
     ///
     /// Propagates storage and corruption errors encountered during
-    /// recovery.
+    /// recovery, and thread-spawn failures.
     pub fn open(storage: Arc<dyn Storage>, options: LsmOptions) -> Result<Self, Error> {
-        let manifest = Manifest::load(storage.as_ref())?;
-        // Sweep orphan sstable blobs and their key-observation sidecars:
-        // a crash between writing compaction outputs and persisting the
-        // manifest (or between persisting and deleting consumed inputs)
-        // leaves blobs the manifest does not reference. They are
-        // invisible to reads and safe to delete.
-        for blob in storage.list_blobs() {
-            let orphan_id = Sstable::id_from_blob_name(&blob)
-                .or_else(|| TableKeyObservation::id_from_blob_name(&blob));
-            if let Some(orphan_id) = orphan_id {
-                if manifest.table(orphan_id).is_none() {
-                    storage.delete_blob(&blob)?;
-                }
+        let inner = Arc::new(LsmInner::open(storage, options)?);
+        let mut workers = Vec::new();
+        if inner.options.background_maintenance_enabled() {
+            let flusher = Arc::clone(&inner);
+            workers.push(
+                std::thread::Builder::new()
+                    .name("lsm-flush".into())
+                    .spawn(move || flusher.flush_worker())
+                    .map_err(Error::Io)?,
+            );
+            if inner.options.policy().is_automatic() {
+                let scheduler = Arc::clone(&inner);
+                workers.push(
+                    std::thread::Builder::new()
+                        .name("lsm-compact".into())
+                        .spawn(move || scheduler.compaction_worker())
+                        .map_err(Error::Io)?,
+                );
             }
         }
-        let mut memtable = Memtable::new(options.memtable_capacity_keys());
-        let wal = if options.wal_enabled() {
-            // Recover any writes that had not been flushed. Re-persist
-            // them as one frame: a single segment write instead of one
-            // full-segment rewrite per record (and a quiet upgrade of
-            // legacy segments to the count-framed format).
-            let records = Wal::replay(storage.as_ref(), WAL_SEGMENT)?;
-            let mut wal = Wal::new(WAL_SEGMENT);
-            for r in &records {
-                match r.kind {
-                    ValueKind::Put => memtable.put(r.key.clone(), r.value.clone(), r.seqno),
-                    ValueKind::Tombstone => memtable.delete(r.key.clone(), r.seqno),
-                }
-            }
-            wal.append_batch(storage.as_ref(), &records)?;
-            Some(wal)
-        } else {
-            None
-        };
-        let snapshot = ArcSwap::new(Arc::new(ReadView::from_manifest(&manifest)));
-        Ok(Self {
-            table_cache: Arc::new(TableCache::new(options.table_cache_tables())),
-            block_cache: Arc::new(BlockCache::new(options.block_cache_bytes())),
-            options,
-            storage,
-            write: Mutex::new(WriteState {
-                manifest,
-                wal,
-                flushes_since_compaction: 0,
-            }),
-            stats: Mutex::new(LsmStats::default()),
-            memtable: RwLock::new(memtable),
-            snapshot,
-            read_counters: ReadPathCounters::default(),
-            gets: AtomicU64::new(0),
-            memtable_hits: AtomicU64::new(0),
-            tables_probed: AtomicU64::new(0),
-            range_scans: AtomicU64::new(0),
-            range_pruned_tables: AtomicU64::new(0),
-            epoch: Instant::now(),
-            compaction_started: AtomicU64::new(0),
-            compaction_stall_micros: AtomicU64::new(0),
-        })
+        Ok(Self { inner, workers })
     }
 
     /// Opens a fresh in-memory store (the simulator default).
@@ -402,13 +527,13 @@ impl Lsm {
     /// The configuration this store was opened with.
     #[must_use]
     pub fn options(&self) -> &LsmOptions {
-        &self.options
+        &self.inner.options
     }
 
     /// The storage backend (shared with compaction executors).
     #[must_use]
     pub fn storage(&self) -> Arc<dyn Storage> {
-        Arc::clone(&self.storage)
+        Arc::clone(&self.inner.storage)
     }
 
     /// Work counters: write-side counters folded together with the
@@ -416,71 +541,19 @@ impl Lsm {
     /// mutex, so a STATS probe answers instantly mid-compaction.
     #[must_use]
     pub fn stats(&self) -> LsmStats {
-        let mut stats = self.stats.lock().clone();
-        stats.gets = self.gets.load(Ordering::Relaxed);
-        stats.memtable_hits = self.memtable_hits.load(Ordering::Relaxed);
-        stats.tables_probed = self.tables_probed.load(Ordering::Relaxed);
-        stats.range_scans = self.range_scans.load(Ordering::Relaxed);
-        stats.range_pruned_tables = self.range_pruned_tables.load(Ordering::Relaxed);
-        stats.bloom_negative_probes = self.read_counters.bloom_negatives();
-        stats.data_block_reads = self.read_counters.block_reads();
-        stats.data_block_read_bytes = self.read_counters.block_read_bytes();
-        let table = self.table_cache.counters();
-        stats.table_cache_hits = table.hits();
-        stats.table_cache_misses = table.misses();
-        stats.table_cache_evictions = table.evictions();
-        let block = self.block_cache.counters();
-        stats.block_cache_hits = block.hits();
-        stats.block_cache_misses = block.misses();
-        stats.block_cache_evictions = block.evictions();
-        stats
+        self.inner.stats_snapshot()
     }
 
     /// The store's current overload signals, read without the write
     /// mutex: live-table count from the read snapshot, memtable fill
-    /// under a brief read lock, and the age of the in-progress
-    /// compaction (if any) from an atomic stamp. Safe to call at any
-    /// rate from any thread — in particular while this store is deep
-    /// inside a compaction and every write is queueing behind it, which
-    /// is exactly when an admission controller needs the answer.
+    /// under a brief read lock, frozen-queue depth and stall tier from
+    /// atomically-swapped state. Safe to call at any rate from any
+    /// thread — in particular while this store is deep inside a
+    /// compaction, which is exactly when an admission controller needs
+    /// the answer.
     #[must_use]
     pub fn pressure(&self) -> LsmPressure {
-        let live_tables = self.snapshot.load_full().tables.len();
-        let memtable_len = self.memtable.read().len();
-        let started = self.compaction_started.load(Ordering::Relaxed);
-        let current_stall = if started == 0 {
-            Duration::ZERO
-        } else {
-            let now = self.epoch.elapsed().as_micros() as u64;
-            Duration::from_micros(now.saturating_sub(started - 1))
-        };
-        let compaction_backlog = match self.options.policy() {
-            CompactionPolicy::Threshold {
-                live_tables: trigger,
-            } => (live_tables + 1).saturating_sub(trigger),
-            _ => 0,
-        };
-        LsmPressure {
-            live_tables,
-            memtable_len,
-            memtable_capacity: self.options.memtable_capacity_keys(),
-            compaction_running: started != 0,
-            current_stall,
-            total_stall: Duration::from_micros(
-                self.compaction_stall_micros.load(Ordering::Relaxed),
-            ),
-            compaction_backlog,
-        }
-    }
-
-    /// Stamps the in-progress-compaction marker for [`Lsm::pressure`];
-    /// the returned guard clears it on every exit path.
-    fn mark_compacting(&self) -> CompactionMark<'_> {
-        self.compaction_started.store(
-            self.epoch.elapsed().as_micros() as u64 + 1,
-            Ordering::Relaxed,
-        );
-        CompactionMark(self)
+        self.inner.pressure()
     }
 
     /// Metadata of the live sstables, oldest first. Served from the
@@ -489,32 +562,33 @@ impl Lsm {
     /// what is still live and readable.
     #[must_use]
     pub fn live_tables(&self) -> Vec<TableMeta> {
-        self.snapshot
-            .load_full()
-            .tables
-            .iter()
-            .rev()
-            .cloned()
-            .collect()
+        self.inner.live_tables()
     }
 
-    /// Number of distinct keys currently buffered in the memtable.
+    /// Number of distinct keys currently buffered in the active
+    /// memtable (frozen memtables not included).
     #[must_use]
     pub fn memtable_len(&self) -> usize {
-        self.memtable.read().len()
+        self.inner.memtable.read().len()
+    }
+
+    /// Frozen memtables currently queued for background flush.
+    #[must_use]
+    pub fn frozen_queue_depth(&self) -> usize {
+        self.inner.frozen.load_full().len()
     }
 
     /// Bytes currently held by the block cache (diagnostics).
     #[must_use]
     pub fn block_cache_usage_bytes(&self) -> u64 {
-        self.block_cache.usage_bytes()
+        self.inner.block_cache.usage_bytes()
     }
 
     /// Open reader handles currently held by the table cache
     /// (diagnostics).
     #[must_use]
     pub fn table_cache_len(&self) -> usize {
-        self.table_cache.len()
+        self.inner.table_cache.len()
     }
 
     /// Inserts or overwrites `key`.
@@ -522,14 +596,10 @@ impl Lsm {
     /// # Errors
     ///
     /// Propagates WAL/storage failures; flush failures if the write fills
-    /// the memtable.
+    /// the memtable (inline mode only — under background maintenance a
+    /// full memtable is frozen in O(1) with no I/O).
     pub fn put(&self, key: Key, value: Value) -> Result<(), Error> {
-        let mut w = self.write.lock();
-        let seqno = w.manifest.allocate_seqno();
-        w.log_write(self.storage.as_ref(), &key, &value, seqno, ValueKind::Put)?;
-        self.memtable.write().put(key, value, seqno);
-        self.stats.lock().puts += 1;
-        self.maybe_flush(&mut w)
+        self.inner.put(key, value)
     }
 
     /// Deletes `key` by writing a tombstone.
@@ -538,18 +608,7 @@ impl Lsm {
     ///
     /// Propagates WAL/storage failures.
     pub fn delete(&self, key: Key) -> Result<(), Error> {
-        let mut w = self.write.lock();
-        let seqno = w.manifest.allocate_seqno();
-        w.log_write(
-            self.storage.as_ref(),
-            &key,
-            &Bytes::new(),
-            seqno,
-            ValueKind::Tombstone,
-        )?;
-        self.memtable.write().delete(key, seqno);
-        self.stats.lock().deletes += 1;
-        self.maybe_flush(&mut w)
+        self.inner.delete(key)
     }
 
     /// Applies a [`WriteBatch`]: every operation is appended to the WAL
@@ -573,9 +632,448 @@ impl Lsm {
     /// already been applied and logged — it is durable and visible
     /// despite the error.
     pub fn write_batch(&self, batch: WriteBatch) -> Result<(), Error> {
+        self.inner.write_batch(batch)
+    }
+
+    /// Convenience: [`Lsm::put`] with a big-endian-encoded integer key.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Lsm::put`].
+    pub fn put_u64(&self, key: u64, value: impl Into<Vec<u8>>) -> Result<(), Error> {
+        self.put(key_from_u64(key), Bytes::from(value.into()))
+    }
+
+    /// Convenience: [`Lsm::delete`] with an integer key.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Lsm::delete`].
+    pub fn delete_u64(&self, key: u64) -> Result<(), Error> {
+        self.delete(key_from_u64(key))
+    }
+
+    /// Point read: newest visible value for `key`, or `None` if the key
+    /// was never written or its newest version is a tombstone.
+    ///
+    /// Lock-free against writers: consults the active memtable under a
+    /// brief read lock, then any frozen memtables newest-first, then
+    /// probes the snapshot's tables newest-first through the table and
+    /// block caches. If compaction retires a probed table mid-read (its
+    /// blob vanishes), the read reloads the snapshot and retries — the
+    /// merged data is in the new table set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage and corruption errors.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Value>, Error> {
+        self.inner.get(key)
+    }
+
+    /// Convenience: [`Lsm::get`] with an integer key. Returns the stored
+    /// value without copying it (a [`Value`] is cheaply clonable).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Lsm::get`].
+    pub fn get_u64(&self, key: u64) -> Result<Option<Value>, Error> {
+        self.get(&key_from_u64(key))
+    }
+
+    /// Flushes the memtable to a new sstable even if it is not full.
+    /// A no-op on an empty memtable. Under background maintenance this
+    /// freezes the active memtable and **waits** for the flush thread to
+    /// drain the whole frozen queue, so on return everything previously
+    /// written is table-durable.
+    ///
+    /// After a successful flush the configured [`CompactionPolicy`] is
+    /// consulted ([`Lsm::maybe_compact`]); under an automatic policy the
+    /// returned table may therefore already have been merged away by the
+    /// time this returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage failures (from the flush itself or from a
+    /// policy-triggered compaction).
+    pub fn flush(&self) -> Result<Option<u64>, Error> {
+        self.inner.flush()
+    }
+
+    /// Consults the configured [`CompactionPolicy`] and, if it fires,
+    /// plans and executes a full compaction of the live tables. Called
+    /// automatically after every flush; callable directly to re-check
+    /// the policy at any time. Under background maintenance this only
+    /// kicks the scheduler thread and returns `Ok(None)` immediately.
+    ///
+    /// Returns `Ok(None)` when the policy does not fire (or is not
+    /// automatic).
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning and storage failures.
+    pub fn maybe_compact(&self) -> Result<Option<AutoCompaction>, Error> {
+        self.inner.maybe_compact()
+    }
+
+    /// Plans a compaction of the live tables with the configured
+    /// strategy and estimator and executes it (parallel across
+    /// independent steps when [`LsmOptions::threads`] > 1), regardless
+    /// of whether the policy would fire. Returns `Ok(None)` when the
+    /// policy is [`CompactionPolicy::Disabled`] or there are fewer than
+    /// two live tables.
+    ///
+    /// This is the "compact now, your way" entry point: no manual
+    /// [`CompactionStep`] construction involved.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning and storage failures.
+    pub fn auto_compact(&self) -> Result<Option<AutoCompaction>, Error> {
+        self.inner.auto_compact()
+    }
+
+    /// Executes a full major-compaction merge schedule over the live
+    /// sstables.
+    ///
+    /// `steps` reference tables by *slot*: slots `0..n` are the current
+    /// live tables in manifest (oldest-first) order, and each step's
+    /// output becomes the next slot, exactly like the merge schedules
+    /// produced by `compaction-core` (see
+    /// [`MergeSchedule::slot_steps`](compaction_core::MergeSchedule::slot_steps)).
+    /// Independent steps execute concurrently when
+    /// [`LsmOptions::threads`] > 1, and manifest edits are applied
+    /// atomically after every step succeeds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidCompaction`] for malformed schedules and
+    /// propagates storage errors.
+    pub fn major_compact(&self, steps: &[CompactionStep]) -> Result<CompactionOutcome, Error> {
+        self.inner.major_compact(steps)
+    }
+
+    /// Returns every live key/value pair, merged across the memtable and
+    /// all sstables with newest-wins semantics and tombstones applied:
+    /// [`Lsm::range`] over the whole keyspace, collected. Intended for
+    /// verification and small stores — large stores should iterate the
+    /// streaming [`Lsm::range`] directly instead of materializing it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage and corruption errors.
+    pub fn scan_all(&self) -> Result<Vec<(Key, Value)>, Error> {
+        self.range(..).collect()
+    }
+
+    /// Streams every live `(key, value)` pair whose key falls inside
+    /// `range`, in ascending key order — the snapshot-consistent range
+    /// scan. Nothing is materialized beyond one decoded block per probed
+    /// table, so arbitrarily large ranges stream in bounded memory.
+    ///
+    /// The scan pins the current table snapshot plus a frozen view of
+    /// the in-range entries of the active and frozen memtables, k-way
+    /// merges them newest-wins with tombstones suppressed, and skips
+    /// every sstable whose persisted min/max key range is disjoint from
+    /// `range` (key-range-partitioned probing — see
+    /// [`LsmStats::range_pruned_tables`]). Block fetches bypass the
+    /// block cache unless [`LsmOptions::scan_fill_cache`] says
+    /// otherwise. If a compaction retires a pinned table mid-iteration,
+    /// the scan reloads the freshest snapshot and resumes after the last
+    /// key it returned ([`scan`](crate::scan) module docs).
+    ///
+    /// Runs concurrently with writes, flushes and compaction — it takes
+    /// `&self` and never holds an engine lock across I/O.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lsm_engine::{Lsm, LsmOptions};
+    ///
+    /// # fn main() -> Result<(), lsm_engine::Error> {
+    /// let db = Lsm::open_in_memory(LsmOptions::default().memtable_capacity(4))?;
+    /// for i in 0u64..20 {
+    ///     db.put_u64(i, vec![i as u8])?;
+    /// }
+    /// let hits: Vec<u64> = db
+    ///     .range_u64(5..9)
+    ///     .map(|r| r.map(|(k, _)| lsm_engine::key_to_u64(&k).unwrap()))
+    ///     .collect::<Result<_, _>>()?;
+    /// assert_eq!(hits, vec![5, 6, 7, 8]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn range(&self, range: impl std::ops::RangeBounds<Key>) -> RangeIter<'_> {
+        self.inner.range_scans.fetch_add(1, Ordering::Relaxed);
+        RangeIter::new(
+            self.inner.as_ref(),
+            (range.start_bound().cloned(), range.end_bound().cloned()),
+        )
+    }
+
+    /// Convenience: [`Lsm::range`] over big-endian-encoded integer keys
+    /// (half-open, like the `start..end` it takes).
+    pub fn range_u64(&self, range: std::ops::Range<u64>) -> RangeIter<'_> {
+        self.range(key_from_u64(range.start)..key_from_u64(range.end))
+    }
+}
+
+impl Drop for Lsm {
+    /// Graceful shutdown: signal the maintenance threads and join them.
+    /// The flush thread drains the frozen queue before exiting, so no
+    /// acked write exists only in a frozen memtable after drop.
+    fn drop(&mut self) {
+        self.inner.maint.shutdown.store(true, Ordering::SeqCst);
+        self.inner.maint.flush_signal.notify();
+        self.inner.maint.compact_signal.notify();
+        self.inner.maint.progress_signal.notify();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+// ---- engine internals ----
+
+impl LsmInner {
+    fn open(storage: Arc<dyn Storage>, options: LsmOptions) -> Result<Self, Error> {
+        let manifest = Manifest::load(storage.as_ref())?;
+        // Sweep orphan sstable blobs and their key-observation sidecars:
+        // a crash between writing compaction outputs and persisting the
+        // manifest (or between persisting and deleting consumed inputs)
+        // leaves blobs the manifest does not reference. They are
+        // invisible to reads and safe to delete. WAL segments do not
+        // parse as sstable/observation ids, so they survive the sweep.
+        for blob in storage.list_blobs() {
+            let orphan_id = Sstable::id_from_blob_name(&blob)
+                .or_else(|| TableKeyObservation::id_from_blob_name(&blob));
+            if let Some(orphan_id) = orphan_id {
+                if manifest.table(orphan_id).is_none() {
+                    storage.delete_blob(&blob)?;
+                }
+            }
+        }
+        let mut memtable = Memtable::new(options.memtable_capacity_keys());
+        let mut next_wal_generation = 0;
+        let wal = if options.wal_enabled() {
+            // Recover every write that had not been flushed, replaying
+            // all live WAL segments oldest-first (a crash under
+            // background maintenance can leave one segment per frozen
+            // memtable generation). Everything is re-persisted as one
+            // frame into a single fresh segment, then the old segments
+            // are retired — a crash in between replays records twice,
+            // which is idempotent (same seqnos).
+            let segments = Wal::live_segments(storage.as_ref());
+            let mut records = Vec::new();
+            for segment in &segments {
+                records.extend(Wal::replay(storage.as_ref(), segment)?);
+            }
+            let next_generation = segments
+                .iter()
+                .filter_map(|s| Wal::parse_generation(s))
+                .max()
+                .map_or(0, |g| g + 1);
+            let mut wal = Wal::new(Wal::generation_blob_name(next_generation));
+            for r in &records {
+                match r.kind {
+                    ValueKind::Put => memtable.put(r.key.clone(), r.value.clone(), r.seqno),
+                    ValueKind::Tombstone => memtable.delete(r.key.clone(), r.seqno),
+                }
+            }
+            wal.append_batch(storage.as_ref(), &records)?;
+            for segment in &segments {
+                Wal::retire_segment(storage.as_ref(), segment)?;
+            }
+            next_wal_generation = next_generation + 1;
+            Some(wal)
+        } else {
+            None
+        };
+        let snapshot = ArcSwap::new(Arc::new(ReadView::from_manifest(&manifest)));
+        Ok(Self {
+            table_cache: Arc::new(TableCache::new(options.table_cache_tables())),
+            block_cache: Arc::new(BlockCache::new(options.block_cache_bytes())),
+            options,
+            storage,
+            write: Mutex::new(WriteState {
+                manifest,
+                wal,
+                flushes_since_compaction: 0,
+                next_wal_generation,
+            }),
+            stats: Mutex::new(LsmStats::default()),
+            memtable: RwLock::new(memtable),
+            frozen: ArcSwap::new(Arc::new(Vec::new())),
+            snapshot,
+            read_counters: ReadPathCounters::default(),
+            gets: AtomicU64::new(0),
+            memtable_hits: AtomicU64::new(0),
+            tables_probed: AtomicU64::new(0),
+            range_scans: AtomicU64::new(0),
+            range_pruned_tables: AtomicU64::new(0),
+            epoch: Instant::now(),
+            compaction_started: AtomicU64::new(0),
+            compaction_stall_micros: AtomicU64::new(0),
+            slowdown_stalls: AtomicU64::new(0),
+            stop_stalls: AtomicU64::new(0),
+            bg_flushes: AtomicU64::new(0),
+            last_bg_flush_table: AtomicU64::new(0),
+            bg_compacting: AtomicBool::new(false),
+            compaction_mx: Mutex::new(()),
+            maint: Maintenance::default(),
+        })
+    }
+
+    fn background(&self) -> bool {
+        self.options.background_maintenance_enabled()
+    }
+
+    fn stats_snapshot(&self) -> LsmStats {
+        let mut stats = self.stats.lock().clone();
+        stats.gets = self.gets.load(Ordering::Relaxed);
+        stats.memtable_hits = self.memtable_hits.load(Ordering::Relaxed);
+        stats.tables_probed = self.tables_probed.load(Ordering::Relaxed);
+        stats.range_scans = self.range_scans.load(Ordering::Relaxed);
+        stats.range_pruned_tables = self.range_pruned_tables.load(Ordering::Relaxed);
+        stats.bloom_negative_probes = self.read_counters.bloom_negatives();
+        stats.data_block_reads = self.read_counters.block_reads();
+        stats.data_block_read_bytes = self.read_counters.block_read_bytes();
+        let table = self.table_cache.counters();
+        stats.table_cache_hits = table.hits();
+        stats.table_cache_misses = table.misses();
+        stats.table_cache_evictions = table.evictions();
+        let block = self.block_cache.counters();
+        stats.block_cache_hits = block.hits();
+        stats.block_cache_misses = block.misses();
+        stats.block_cache_evictions = block.evictions();
+        stats.bg_flushes = self.bg_flushes.load(Ordering::Relaxed);
+        stats.slowdown_stalls = self.slowdown_stalls.load(Ordering::Relaxed);
+        stats.stop_stalls = self.stop_stalls.load(Ordering::Relaxed);
+        stats.frozen_queue_depth = self.frozen.load_full().len() as u64;
+        stats
+    }
+
+    fn pressure(&self) -> LsmPressure {
+        let live_tables = self.snapshot.load_full().tables.len();
+        let memtable_len = self.memtable.read().len();
+        let started = self.compaction_started.load(Ordering::Relaxed);
+        let current_stall = if started == 0 {
+            Duration::ZERO
+        } else {
+            let now = self.epoch.elapsed().as_micros() as u64;
+            Duration::from_micros(now.saturating_sub(started - 1))
+        };
+        let compaction_backlog = match self.options.policy() {
+            CompactionPolicy::Threshold {
+                live_tables: trigger,
+            } => (live_tables + 1).saturating_sub(trigger),
+            _ => 0,
+        };
+        LsmPressure {
+            live_tables,
+            memtable_len,
+            memtable_capacity: self.options.memtable_capacity_keys(),
+            compaction_running: started != 0 || self.bg_compacting.load(Ordering::Relaxed),
+            current_stall,
+            total_stall: Duration::from_micros(
+                self.compaction_stall_micros.load(Ordering::Relaxed),
+            ),
+            compaction_backlog,
+            frozen_queue_depth: self.frozen.load_full().len(),
+            stall_tier: self.stall_tier(),
+        }
+    }
+
+    /// The total maintenance debt writers are throttled on (frozen-queue
+    /// depth + compaction backlog) and the queue depth alone.
+    fn maintenance_debt(&self) -> (usize, usize) {
+        let depth = self.frozen.load_full().len();
+        let backlog = match self.options.policy() {
+            CompactionPolicy::Threshold {
+                live_tables: trigger,
+            } => (self.snapshot.load_full().tables.len() + 1).saturating_sub(trigger),
+            _ => 0,
+        };
+        (depth + backlog, depth)
+    }
+
+    /// The stall tier currently in force ([`StallTier::None`] when
+    /// background maintenance is off: inline mode stalls by holding the
+    /// write mutex, not by throttling).
+    fn stall_tier(&self) -> StallTier {
+        if !self.background() {
+            return StallTier::None;
+        }
+        let (debt, depth) = self.maintenance_debt();
+        if depth >= self.options.frozen_queue_limit_generations()
+            || debt >= self.options.stop_trigger_debt()
+        {
+            StallTier::Stop
+        } else if debt >= self.options.slowdown_trigger_debt() {
+            StallTier::Slowdown
+        } else {
+            StallTier::None
+        }
+    }
+
+    /// Tiered write throttling, applied **before** the write mutex is
+    /// taken (a stalled writer holding the mutex would deadlock the
+    /// flush thread it is waiting on). Slowdown delays the write by one
+    /// bounded sleep; stop blocks until maintenance drains below the
+    /// trigger (or shutdown). Pacing shows up in the `slowdown_stalls`
+    /// / `stop_stalls` counters, not in `compaction_stall` — that
+    /// duration keeps meaning "maintenance ran on the write path", so
+    /// it reads ~0 whenever background mode is doing its job.
+    fn throttle_write(&self) {
+        match self.stall_tier() {
+            StallTier::None => {}
+            StallTier::Slowdown => {
+                self.slowdown_stalls.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(SLOWDOWN_SLEEP);
+            }
+            StallTier::Stop => {
+                self.stop_stalls.fetch_add(1, Ordering::Relaxed);
+                while self.stall_tier() == StallTier::Stop
+                    && !self.maint.shutdown.load(Ordering::SeqCst)
+                {
+                    self.maint.flush_signal.notify();
+                    self.maint.compact_signal.notify();
+                    self.maint.progress_signal.wait_timeout(STALL_WAIT_SLICE);
+                }
+            }
+        }
+    }
+
+    fn put(&self, key: Key, value: Value) -> Result<(), Error> {
+        self.throttle_write();
+        let mut w = self.write.lock();
+        let seqno = w.manifest.allocate_seqno();
+        w.log_write(self.storage.as_ref(), &key, &value, seqno, ValueKind::Put)?;
+        self.memtable.write().put(key, value, seqno);
+        self.stats.lock().puts += 1;
+        self.maybe_flush(&mut w)
+    }
+
+    fn delete(&self, key: Key) -> Result<(), Error> {
+        self.throttle_write();
+        let mut w = self.write.lock();
+        let seqno = w.manifest.allocate_seqno();
+        w.log_write(
+            self.storage.as_ref(),
+            &key,
+            &Bytes::new(),
+            seqno,
+            ValueKind::Tombstone,
+        )?;
+        self.memtable.write().delete(key, seqno);
+        self.stats.lock().deletes += 1;
+        self.maybe_flush(&mut w)
+    }
+
+    fn write_batch(&self, batch: WriteBatch) -> Result<(), Error> {
         if batch.is_empty() {
             return Ok(());
         }
+        self.throttle_write();
         let mut w = self.write.lock();
         let records: Vec<WalRecord> = batch
             .into_ops()
@@ -610,40 +1108,71 @@ impl Lsm {
         self.maybe_flush(&mut w)
     }
 
-    /// Convenience: [`Lsm::put`] with a big-endian-encoded integer key.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`Lsm::put`].
-    pub fn put_u64(&self, key: u64, value: impl Into<Vec<u8>>) -> Result<(), Error> {
-        self.put(key_from_u64(key), Bytes::from(value.into()))
+    fn maybe_flush(&self, w: &mut WriteState) -> Result<(), Error> {
+        if self.memtable.read().is_full() {
+            if self.background() {
+                self.freeze_active(w);
+            } else {
+                self.flush_locked(w)?;
+            }
+        }
+        Ok(())
     }
 
-    /// Convenience: [`Lsm::delete`] with an integer key.
+    /// O(1) memtable rotation (background mode): swap the full active
+    /// memtable onto the frozen queue and park its WAL segment with it;
+    /// a fresh segment becomes the active one. No storage I/O happens
+    /// here — the flush thread does the heavy lifting.
     ///
-    /// # Errors
+    /// Runs under the write mutex. The swap and the queue publication
+    /// happen inside one memtable-write-lock critical section, so a
+    /// concurrent reader sees either the pre-swap active memtable or
+    /// the published frozen generation — never the empty in-between.
     ///
-    /// Same as [`Lsm::delete`].
-    pub fn delete_u64(&self, key: u64) -> Result<(), Error> {
-        self.delete(key_from_u64(key))
+    /// If the queue is already at [`LsmOptions::frozen_queue_limit`],
+    /// the rotation is skipped: the active memtable keeps absorbing
+    /// writes past capacity while the stop stall tier (which fires at
+    /// queue saturation) bounds how far that grows.
+    fn freeze_active(&self, w: &mut WriteState) {
+        let queue = self.frozen.load_full();
+        if queue.len() >= self.options.frozen_queue_limit_generations() {
+            self.maint.flush_signal.notify();
+            return;
+        }
+        let wal_segment = w.wal.take().map(|wal| wal.segment_name().to_string());
+        if self.options.wal_enabled() {
+            let generation = w.next_wal_generation;
+            w.next_wal_generation += 1;
+            w.wal = Some(Wal::new(Wal::generation_blob_name(generation)));
+        }
+        {
+            let mut active = self.memtable.write();
+            let frozen_memtable = std::mem::replace(
+                &mut *active,
+                Memtable::new(self.options.memtable_capacity_keys()),
+            );
+            let mut next: Vec<Arc<FrozenGen>> = queue.as_ref().clone();
+            next.push(Arc::new(FrozenGen {
+                memtable: frozen_memtable,
+                wal_segment,
+            }));
+            self.frozen.store(Arc::new(next));
+        }
+        self.maint.flush_signal.notify();
     }
 
-    /// Point read: newest visible value for `key`, or `None` if the key
-    /// was never written or its newest version is a tombstone.
-    ///
-    /// Lock-free against writers: consults the memtable under a brief
-    /// read lock, then probes the snapshot's tables newest-first through
-    /// the table and block caches. If compaction retires a probed table
-    /// mid-read (its blob vanishes), the read reloads the snapshot and
-    /// retries — the merged data is in the new table set.
-    ///
-    /// # Errors
-    ///
-    /// Propagates storage and corruption errors.
-    pub fn get(&self, key: &[u8]) -> Result<Option<Value>, Error> {
+    fn get(&self, key: &[u8]) -> Result<Option<Value>, Error> {
         self.gets.fetch_add(1, Ordering::Relaxed);
         loop {
+            // Read in data-flow order (active → frozen → tables): an
+            // entry that migrates between stages mid-read moves *toward*
+            // a stage checked later, so it cannot be missed.
             if let Some(entry) = self.memtable.read().get(key) {
+                self.memtable_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(visible(entry));
+            }
+            let frozen = self.frozen.load_full();
+            if let Some(entry) = frozen.iter().rev().find_map(|gen| gen.memtable.get(key)) {
                 self.memtable_hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(visible(entry));
             }
@@ -677,6 +1206,16 @@ impl Lsm {
         Ok(None)
     }
 
+    fn live_tables(&self) -> Vec<TableMeta> {
+        self.snapshot
+            .load_full()
+            .tables
+            .iter()
+            .rev()
+            .cloned()
+            .collect()
+    }
+
     /// `true` when the live read view has been swapped since `seen` was
     /// loaded (a flush or compaction published new tables).
     pub(crate) fn read_view_changed(&self, seen: &Arc<ReadView>) -> bool {
@@ -705,14 +1244,29 @@ impl Lsm {
         }
     }
 
-    /// Copies the memtable's in-range entries out under a brief read
-    /// lock (the scan's frozen memtable view).
+    /// Copies the active memtable's in-range entries out under a brief
+    /// read lock (the scan's frozen memtable view).
     pub(crate) fn memtable_range(
         &self,
         start: &std::ops::Bound<Key>,
         end: &std::ops::Bound<Key>,
     ) -> Vec<Entry> {
         self.memtable.read().range(start, end)
+    }
+
+    /// In-range entries of each frozen memtable generation, oldest
+    /// first — spliced into a scan between the sstables and the active
+    /// memtable (newer frozen generations take precedence over older).
+    pub(crate) fn frozen_ranges(
+        &self,
+        start: &std::ops::Bound<Key>,
+        end: &std::ops::Bound<Key>,
+    ) -> Vec<Vec<Entry>> {
+        self.frozen
+            .load_full()
+            .iter()
+            .map(|gen| gen.memtable.range(start, end))
+            .collect()
     }
 
     /// Counts tables a range scan skipped by their min/max key range.
@@ -723,33 +1277,39 @@ impl Lsm {
         }
     }
 
-    /// Convenience: [`Lsm::get`] with an integer key. Returns the stored
-    /// value without copying it (a [`Value`] is cheaply clonable).
-    ///
-    /// # Errors
-    ///
-    /// Same as [`Lsm::get`].
-    pub fn get_u64(&self, key: u64) -> Result<Option<Value>, Error> {
-        self.get(&key_from_u64(key))
+    fn flush(&self) -> Result<Option<u64>, Error> {
+        if !self.background() {
+            let mut w = self.write.lock();
+            return self.flush_locked(&mut w);
+        }
+        // Background mode: rotate the active memtable onto the queue
+        // and wait for the flush thread to drain everything.
+        loop {
+            self.drain_frozen_queue();
+            let mut w = self.write.lock();
+            if self.memtable.read().is_empty() {
+                break;
+            }
+            self.freeze_active(&mut w);
+        }
+        let stamped = self.last_bg_flush_table.load(Ordering::Relaxed);
+        Ok(stamped.checked_sub(1))
     }
 
-    /// Flushes the memtable to a new sstable even if it is not full.
-    /// A no-op on an empty memtable.
-    ///
-    /// After a successful flush the configured [`CompactionPolicy`] is
-    /// consulted ([`Lsm::maybe_compact`]); under an automatic policy the
-    /// returned table may therefore already have been merged away by the
-    /// time this returns.
-    ///
-    /// # Errors
-    ///
-    /// Propagates storage failures (from the flush itself or from a
-    /// policy-triggered compaction).
-    pub fn flush(&self) -> Result<Option<u64>, Error> {
-        let mut w = self.write.lock();
-        self.flush_locked(&mut w)
+    /// Blocks until the frozen queue is empty (or shutdown), kicking
+    /// the flush thread along the way.
+    fn drain_frozen_queue(&self) {
+        while !self.frozen.load_full().is_empty() {
+            if self.maint.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            self.maint.flush_signal.notify();
+            self.maint.progress_signal.wait_timeout(STALL_WAIT_SLICE);
+        }
     }
 
+    /// Inline flush: memtable → sstable under the write mutex
+    /// (synchronous mode, and the building block background mode skips).
     fn flush_locked(&self, w: &mut WriteState) -> Result<Option<u64>, Error> {
         // Snapshot the entries without draining: concurrent reads keep
         // hitting the memtable until the new table is published.
@@ -761,30 +1321,8 @@ impl Lsm {
             memtable.iter().collect()
         };
         let table_id = w.manifest.allocate_table_id();
-        let mut builder = SstableBuilder::new(
-            table_id,
-            self.options.block_size_bytes(),
-            self.options.bloom_bits(),
-        );
-        let mut observed = Vec::with_capacity(entries.len());
-        for entry in &entries {
-            observed.push(observed_key(&entry.key));
-            builder.add(entry);
-        }
-        let (data, meta) = builder.finish();
-        self.storage
-            .write_blob(&Sstable::blob_name(table_id), &data)?;
-        // Persist the key observation before the manifest references the
-        // table: a crash in between leaves only orphans (swept on open),
-        // never a live table without its sidecar. Best-effort — the
-        // planner falls back to reading the table if the sidecar is
-        // missing, so a failed cache write must not fail the flush.
-        let _ = TableKeyObservation::new(table_id, observed).persist(self.storage.as_ref());
-        w.manifest.apply(ManifestEdit::AddTable(TableMeta {
-            table_id,
-            entry_count: meta.entry_count,
-            encoded_len: meta.encoded_len,
-        }))?;
+        let meta = self.build_sstable(table_id, &entries)?;
+        w.manifest.apply(ManifestEdit::AddTable(meta))?;
         w.manifest.persist(self.storage.as_ref())?;
         // Publish the new table, *then* clear the memtable: a read
         // between the two sees the data twice (deduplicated by seqno),
@@ -800,18 +1338,129 @@ impl Lsm {
         Ok(Some(table_id))
     }
 
-    /// Consults the configured [`CompactionPolicy`] and, if it fires,
-    /// plans and executes a full compaction of the live tables. Called
-    /// automatically after every flush; callable directly to re-check
-    /// the policy at any time.
-    ///
-    /// Returns `Ok(None)` when the policy does not fire (or is not
-    /// automatic).
-    ///
-    /// # Errors
-    ///
-    /// Propagates planning and storage failures.
-    pub fn maybe_compact(&self) -> Result<Option<AutoCompaction>, Error> {
+    /// Builds and persists the sstable (and its key-observation
+    /// sidecar) for `entries`, returning its manifest metadata. No
+    /// engine lock is required — callers decide what to hold.
+    fn build_sstable(&self, table_id: u64, entries: &[Entry]) -> Result<TableMeta, Error> {
+        let mut builder = SstableBuilder::new(
+            table_id,
+            self.options.block_size_bytes(),
+            self.options.bloom_bits(),
+        );
+        let mut observed = Vec::with_capacity(entries.len());
+        for entry in entries {
+            observed.push(observed_key(&entry.key));
+            builder.add(entry);
+        }
+        let (data, meta) = builder.finish();
+        self.storage
+            .write_blob(&Sstable::blob_name(table_id), &data)?;
+        // Persist the key observation before the manifest references the
+        // table: a crash in between leaves only orphans (swept on open),
+        // never a live table without its sidecar. Best-effort — the
+        // planner falls back to reading the table if the sidecar is
+        // missing, so a failed cache write must not fail the flush.
+        let _ = TableKeyObservation::new(table_id, observed).persist(self.storage.as_ref());
+        Ok(TableMeta {
+            table_id,
+            entry_count: meta.entry_count,
+            encoded_len: meta.encoded_len,
+        })
+    }
+
+    // ---- background flush thread ----
+
+    /// The flush thread's main loop: drain the frozen queue
+    /// oldest-first into sstables. Keeps draining after shutdown is
+    /// signalled until the queue is empty, so drop never abandons an
+    /// acked write to a memory-only memtable.
+    fn flush_worker(&self) {
+        loop {
+            let Some(gen) = self.frozen.load_full().first().cloned() else {
+                if self.maint.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                self.maint.flush_signal.wait_timeout(STALL_WAIT_SLICE);
+                continue;
+            };
+            match self.flush_frozen(&gen) {
+                Ok(()) => {
+                    self.maint.compact_signal.notify();
+                    self.maint.progress_signal.notify();
+                }
+                Err(_) => {
+                    // The generation stays queued (and its WAL segment
+                    // live), so nothing is lost; retry after a pause.
+                    // At shutdown, give up — the WAL still has it.
+                    if self.maint.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    std::thread::sleep(WORKER_RETRY_DELAY);
+                }
+            }
+        }
+    }
+
+    /// Flushes one frozen generation: build its sstable with **no
+    /// engine lock held** (the expensive part), then commit under a
+    /// brief write-lock section and only then retire the generation and
+    /// its WAL segment. Publication order matters: the sstable enters
+    /// the read snapshot *before* the generation leaves the frozen
+    /// queue, so a concurrent reader sees the data in at least one of
+    /// the two (duplicates deduplicate by source precedence).
+    fn flush_frozen(&self, gen: &Arc<FrozenGen>) -> Result<(), Error> {
+        let entries: Vec<Entry> = gen.memtable.iter().collect();
+        let added = if entries.is_empty() {
+            None
+        } else {
+            let table_id = self.write.lock().manifest.allocate_table_id();
+            Some(self.build_sstable(table_id, &entries)?)
+        };
+        let table_id = added.as_ref().map(|meta| meta.table_id);
+        self.retire_frozen(gen, added)?;
+        if let Some(table_id) = table_id {
+            self.stats.lock().flushes += 1;
+            self.bg_flushes.fetch_add(1, Ordering::Relaxed);
+            self.last_bg_flush_table
+                .store(table_id + 1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Commits a flushed generation: publish its sstable (if any), pop
+    /// the generation off the frozen queue, and retire its WAL segment
+    /// — strictly in that order, so a crash at any point leaves the
+    /// data recoverable from either the table or the segment.
+    fn retire_frozen(&self, gen: &Arc<FrozenGen>, added: Option<TableMeta>) -> Result<(), Error> {
+        {
+            let mut w = self.write.lock();
+            if let Some(meta) = added {
+                w.manifest.apply(ManifestEdit::AddTable(meta))?;
+                w.manifest.persist(self.storage.as_ref())?;
+                self.publish_snapshot(&w.manifest);
+                w.flushes_since_compaction += 1;
+            }
+            let queue = self.frozen.load_full();
+            let remaining: Vec<Arc<FrozenGen>> = queue
+                .iter()
+                .filter(|g| !Arc::ptr_eq(g, gen))
+                .cloned()
+                .collect();
+            self.frozen.store(Arc::new(remaining));
+        }
+        if let Some(segment) = &gen.wal_segment {
+            Wal::retire_segment(self.storage.as_ref(), segment)?;
+        }
+        Ok(())
+    }
+
+    // ---- compaction ----
+
+    fn maybe_compact(&self) -> Result<Option<AutoCompaction>, Error> {
+        if self.background() && self.options.policy().is_automatic() {
+            self.maint.compact_signal.notify();
+            return Ok(None);
+        }
         let mut w = self.write.lock();
         self.maybe_compact_locked(&mut w)
     }
@@ -828,27 +1477,19 @@ impl Lsm {
         self.run_planned_compaction(w)
     }
 
-    /// Plans a compaction of the live tables with the configured
-    /// strategy and estimator and executes it (parallel across
-    /// independent steps when [`LsmOptions::threads`] > 1), regardless
-    /// of whether the policy would fire. Returns `Ok(None)` when the
-    /// policy is [`CompactionPolicy::Disabled`] or there are fewer than
-    /// two live tables.
-    ///
-    /// This is the "compact now, your way" entry point: no manual
-    /// [`CompactionStep`] construction involved.
-    ///
-    /// # Errors
-    ///
-    /// Propagates planning and storage failures.
-    pub fn auto_compact(&self) -> Result<Option<AutoCompaction>, Error> {
+    fn auto_compact(&self) -> Result<Option<AutoCompaction>, Error> {
         if self.options.policy() == CompactionPolicy::Disabled {
             return Ok(None);
         }
+        let _serial = self.compaction_mx.lock();
         let mut w = self.write.lock();
         self.run_planned_compaction(&mut w)
     }
 
+    /// Inline planned compaction: the whole plan+merge under the write
+    /// mutex (callers hold `compaction_mx` first unless they already
+    /// own the write mutex via the inline flush path, which runs with
+    /// no scheduler to race).
     fn run_planned_compaction(&self, w: &mut WriteState) -> Result<Option<AutoCompaction>, Error> {
         let start = Instant::now();
         let _mark = self.mark_compacting();
@@ -879,23 +1520,8 @@ impl Lsm {
         }))
     }
 
-    /// Executes a full major-compaction merge schedule over the live
-    /// sstables.
-    ///
-    /// `steps` reference tables by *slot*: slots `0..n` are the current
-    /// live tables in manifest (oldest-first) order, and each step's
-    /// output becomes the next slot, exactly like the merge schedules
-    /// produced by `compaction-core` (see
-    /// [`MergeSchedule::slot_steps`](compaction_core::MergeSchedule::slot_steps)).
-    /// Independent steps execute concurrently when
-    /// [`LsmOptions::threads`] > 1, and manifest edits are applied
-    /// atomically after every step succeeds.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`Error::InvalidCompaction`] for malformed schedules and
-    /// propagates storage errors.
-    pub fn major_compact(&self, steps: &[CompactionStep]) -> Result<CompactionOutcome, Error> {
+    fn major_compact(&self, steps: &[CompactionStep]) -> Result<CompactionOutcome, Error> {
+        let _serial = self.compaction_mx.lock();
         let start = Instant::now();
         let mut w = self.write.lock();
         let _mark = self.mark_compacting();
@@ -910,6 +1536,130 @@ impl Lsm {
             .fetch_add(stall.as_micros() as u64, Ordering::Relaxed);
         w.flushes_since_compaction = 0;
         Ok(outcome)
+    }
+
+    // ---- background compaction scheduler ----
+
+    /// The scheduler thread's main loop: whenever the policy is due,
+    /// run one planned compaction off the write lock; otherwise doze
+    /// until a flush kicks the signal.
+    fn compaction_worker(&self) {
+        loop {
+            if self.maint.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            if self.compaction_due() {
+                if self.run_background_compaction().is_err() {
+                    if self.maint.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    std::thread::sleep(WORKER_RETRY_DELAY);
+                }
+            } else {
+                self.maint.compact_signal.wait_timeout(STALL_WAIT_SLICE);
+            }
+        }
+    }
+
+    fn compaction_due(&self) -> bool {
+        let w = self.write.lock();
+        match self.options.policy() {
+            CompactionPolicy::Disabled | CompactionPolicy::Manual => false,
+            CompactionPolicy::Threshold { live_tables } => w.manifest.table_count() >= live_tables,
+            CompactionPolicy::EveryNFlushes { flushes } => w.flushes_since_compaction >= flushes,
+        }
+    }
+
+    /// The planner options for the next background run. With
+    /// [`LsmOptions::adaptive_strategy`] enabled, pick the cheap
+    /// smallest-output strategy while maintenance is keeping up and
+    /// escalate to the configured (deeper-optimizing) strategy once
+    /// debt crosses the slowdown trigger — the pressure-adaptive
+    /// scheduling the paper gestures at.
+    fn planning_options(&self) -> LsmOptions {
+        if !self.options.adaptive_strategy_enabled() {
+            return self.options.clone();
+        }
+        let (debt, _) = self.maintenance_debt();
+        if debt >= self.options.slowdown_trigger_debt() {
+            self.options.clone()
+        } else {
+            self.options
+                .clone()
+                .compaction_strategy(compaction_core::Strategy::SmallestOutput)
+        }
+    }
+
+    /// One scheduler-driven compaction, off the write lock: plan from a
+    /// table snapshot, `prepare` under a brief lock, merge unlocked
+    /// (the expensive part), commit + manifest flip under a brief lock,
+    /// retire consumed blobs unlocked. Writers only ever wait for the
+    /// two brief bracket sections — the merge itself stalls nothing.
+    fn run_background_compaction(&self) -> Result<Option<AutoCompaction>, Error> {
+        let _serial = self.compaction_mx.lock();
+        self.bg_compacting.store(true, Ordering::Relaxed);
+        let _flag = BgCompactingGuard(self);
+        let start = Instant::now();
+        let options = self.planning_options();
+        // Planning reads observation sidecars (I/O) — do it from a
+        // snapshot of the table list, not under the write mutex. The
+        // flush thread can only *add* tables concurrently, and
+        // `compaction_mx` excludes other compactions, so every planned
+        // input still exists at prepare time.
+        let tables: Vec<TableMeta> = self.write.lock().manifest.tables().to_vec();
+        let Some(plan) = plan_compaction(self.storage.as_ref(), &tables, &options)? else {
+            self.write.lock().flushes_since_compaction = 0;
+            return Ok(None);
+        };
+        let initial: Vec<u64> = tables.iter().map(|t| t.table_id).collect();
+        let steps: Vec<CompactionStep> = plan
+            .steps()
+            .iter()
+            .map(|inputs| CompactionStep::new(inputs.clone()))
+            .collect();
+        let executor = ParallelExecutor::new(Arc::clone(&self.storage), options);
+        let prepared = {
+            let mut w = self.write.lock();
+            executor.prepare(&mut w.manifest, &initial, &steps, Some(plan.waves()))?
+        };
+        let merged = executor.merge_prepared(&prepared)?;
+        let outcome = {
+            let mut w = self.write.lock();
+            let outcome = ParallelExecutor::commit(
+                &mut w.manifest,
+                &merged,
+                self.storage.as_ref(),
+                |manifest| self.on_manifest_flip(&initial, manifest),
+            )?;
+            w.flushes_since_compaction = 0;
+            outcome
+        };
+        executor.retire_consumed(&merged)?;
+        let stall = start.elapsed();
+        {
+            // Elapsed time is scheduler time, not write stall: no
+            // writer waited on this merge.
+            let mut stats = self.stats.lock();
+            stats.record_compaction(&outcome, Duration::ZERO);
+            stats.auto_compactions += 1;
+            stats.compaction_predicted_cost += plan.predicted_cost_actual();
+        }
+        self.maint.progress_signal.notify();
+        Ok(Some(AutoCompaction {
+            plan,
+            outcome,
+            stall,
+        }))
+    }
+
+    /// Stamps the in-progress-compaction marker for [`Lsm::pressure`];
+    /// the returned guard clears it on every exit path.
+    fn mark_compacting(&self) -> CompactionMark<'_> {
+        self.compaction_started.store(
+            self.epoch.elapsed().as_micros() as u64 + 1,
+            Ordering::Relaxed,
+        );
+        CompactionMark(self)
     }
 
     /// Publishes the post-flip read view and purges retired tables from
@@ -929,70 +1679,6 @@ impl Lsm {
     fn publish_snapshot(&self, manifest: &Manifest) {
         self.snapshot
             .store(Arc::new(ReadView::from_manifest(manifest)));
-    }
-
-    /// Returns every live key/value pair, merged across the memtable and
-    /// all sstables with newest-wins semantics and tombstones applied:
-    /// [`Lsm::range`] over the whole keyspace, collected. Intended for
-    /// verification and small stores — large stores should iterate the
-    /// streaming [`Lsm::range`] directly instead of materializing it.
-    ///
-    /// # Errors
-    ///
-    /// Propagates storage and corruption errors.
-    pub fn scan_all(&self) -> Result<Vec<(Key, Value)>, Error> {
-        self.range(..).collect()
-    }
-
-    /// Streams every live `(key, value)` pair whose key falls inside
-    /// `range`, in ascending key order — the snapshot-consistent range
-    /// scan. Nothing is materialized beyond one decoded block per probed
-    /// table, so arbitrarily large ranges stream in bounded memory.
-    ///
-    /// The scan pins the current table snapshot plus a frozen view of
-    /// the memtable's in-range entries, k-way merges them newest-wins
-    /// with tombstones suppressed, and skips every sstable whose
-    /// persisted min/max key range is disjoint from `range`
-    /// (key-range-partitioned probing — see
-    /// [`LsmStats::range_pruned_tables`]). Block fetches bypass the
-    /// block cache unless [`LsmOptions::scan_fill_cache`] says
-    /// otherwise. If a compaction retires a pinned table mid-iteration,
-    /// the scan reloads the freshest snapshot and resumes after the last
-    /// key it returned ([`scan`](crate::scan) module docs).
-    ///
-    /// Runs concurrently with writes, flushes and compaction — it takes
-    /// `&self` and never holds an engine lock across I/O.
-    ///
-    /// # Examples
-    ///
-    /// ```
-    /// use lsm_engine::{Lsm, LsmOptions};
-    ///
-    /// # fn main() -> Result<(), lsm_engine::Error> {
-    /// let db = Lsm::open_in_memory(LsmOptions::default().memtable_capacity(4))?;
-    /// for i in 0u64..20 {
-    ///     db.put_u64(i, vec![i as u8])?;
-    /// }
-    /// let hits: Vec<u64> = db
-    ///     .range_u64(5..9)
-    ///     .map(|r| r.map(|(k, _)| lsm_engine::key_to_u64(&k).unwrap()))
-    ///     .collect::<Result<_, _>>()?;
-    /// assert_eq!(hits, vec![5, 6, 7, 8]);
-    /// # Ok(())
-    /// # }
-    /// ```
-    pub fn range(&self, range: impl std::ops::RangeBounds<Key>) -> RangeIter<'_> {
-        self.range_scans.fetch_add(1, Ordering::Relaxed);
-        RangeIter::new(
-            self,
-            (range.start_bound().cloned(), range.end_bound().cloned()),
-        )
-    }
-
-    /// Convenience: [`Lsm::range`] over big-endian-encoded integer keys
-    /// (half-open, like the `start..end` it takes).
-    pub fn range_u64(&self, range: std::ops::Range<u64>) -> RangeIter<'_> {
-        self.range(key_from_u64(range.start)..key_from_u64(range.end))
     }
 }
 
@@ -1020,15 +1706,6 @@ impl WriteState {
     }
 }
 
-impl Lsm {
-    fn maybe_flush(&self, w: &mut WriteState) -> Result<(), Error> {
-        if self.memtable.read().is_full() {
-            self.flush_locked(w)?;
-        }
-        Ok(())
-    }
-}
-
 impl ReadView {
     /// Builds the probe-order (newest-first) view of a manifest.
     fn from_manifest(manifest: &Manifest) -> Self {
@@ -1040,11 +1717,21 @@ impl ReadView {
 
 /// Clears the in-progress-compaction stamp when the compacting scope
 /// exits, success or error.
-struct CompactionMark<'a>(&'a Lsm);
+struct CompactionMark<'a>(&'a LsmInner);
 
 impl Drop for CompactionMark<'_> {
     fn drop(&mut self) {
         self.0.compaction_started.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Clears the background-compaction flag when the scheduler's run
+/// exits, success or error.
+struct BgCompactingGuard<'a>(&'a LsmInner);
+
+impl Drop for BgCompactingGuard<'_> {
+    fn drop(&mut self) {
+        self.0.bg_compacting.store(false, Ordering::Relaxed);
     }
 }
 
@@ -1072,6 +1759,7 @@ fn visible(entry: Entry) -> Option<Value> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::test_support::GatedStorage;
 
     fn small_db() -> Lsm {
         Lsm::open_in_memory(LsmOptions::default().memtable_capacity(10)).unwrap()
@@ -1079,6 +1767,40 @@ mod tests {
 
     fn get_vec(db: &Lsm, key: u64) -> Option<Vec<u8>> {
         db.get_u64(key).unwrap().map(|v| v.to_vec())
+    }
+
+    /// Polls `cond` until it holds or `deadline` elapses.
+    fn wait_until(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
+        let start = Instant::now();
+        while start.elapsed() < deadline {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        cond()
+    }
+
+    /// Snapshots the durable bytes of `src` into a fresh memory store —
+    /// what a crash-and-reboot would find on disk.
+    fn copy_storage(src: &dyn Storage) -> Arc<dyn Storage> {
+        let dst = MemoryStorage::new();
+        for blob in src.list_blobs() {
+            dst.write_blob(&blob, &src.read_blob(&blob).unwrap())
+                .unwrap();
+        }
+        Arc::new(dst)
+    }
+
+    /// Background-maintenance options with the stall tiers pushed out
+    /// of the way, so tests control exactly which mechanism fires.
+    fn bg_options(capacity: usize) -> LsmOptions {
+        LsmOptions::default()
+            .memtable_capacity(capacity)
+            .background_maintenance(true)
+            .slowdown_trigger(100)
+            .stop_trigger(100)
+            .frozen_queue_limit(100)
     }
 
     #[test]
@@ -1425,6 +2147,10 @@ mod tests {
             data_block_reads: 9,
             bloom_negative_probes: 2,
             compaction_stall: Duration::from_millis(7),
+            bg_flushes: 5,
+            slowdown_stalls: 6,
+            stop_stalls: 7,
+            frozen_queue_depth: 2,
             ..LsmStats::default()
         };
         a.absorb(&b);
@@ -1438,6 +2164,10 @@ mod tests {
         assert_eq!(a.data_block_reads, 9);
         assert_eq!(a.bloom_negative_probes, 2);
         assert_eq!(a.compaction_stall, Duration::from_millis(12));
+        assert_eq!(a.bg_flushes, 5);
+        assert_eq!(a.slowdown_stalls, 6);
+        assert_eq!(a.stop_stalls, 7);
+        assert_eq!(a.frozen_queue_depth, 2);
     }
 
     #[test]
@@ -1584,5 +2314,303 @@ mod tests {
         assert!(warm.block_cache_hits > cold.block_cache_hits);
         assert!(db.table_cache_len() >= 1);
         assert!(db.block_cache_usage_bytes() > 0);
+    }
+
+    // ---- background flush & compaction ----
+
+    #[test]
+    fn background_flush_serves_reads_and_persists() {
+        let db = Lsm::open_in_memory(bg_options(4).wal(false)).unwrap();
+        for i in 0..20u64 {
+            db.put_u64(i, format!("v{i}").into_bytes()).unwrap();
+        }
+        db.flush().unwrap();
+        assert_eq!(db.frozen_queue_depth(), 0, "flush drains the queue");
+        assert!(!db.live_tables().is_empty());
+        let stats = db.stats();
+        assert!(stats.bg_flushes >= 1, "the flush thread did the work");
+        assert_eq!(
+            stats.flushes, stats.bg_flushes,
+            "no inline flush happened in background mode"
+        );
+        for i in 0..20u64 {
+            assert_eq!(get_vec(&db, i), Some(format!("v{i}").into_bytes()));
+        }
+    }
+
+    #[test]
+    fn crash_with_frozen_queue_replays_all_acked_writes() {
+        let gated = Arc::new(GatedStorage::new());
+        gated.close_gate();
+        let db = Lsm::open(Arc::clone(&gated) as Arc<dyn Storage>, bg_options(4)).unwrap();
+        for i in 0..10u64 {
+            db.put_u64(i, format!("v{i}").into_bytes()).unwrap();
+        }
+        // Capacity 4 ⇒ rotations after keys 3 and 7; the flush thread is
+        // parked on the storage gate, so both generations stay queued.
+        assert!(
+            db.frozen_queue_depth() >= 2,
+            "two memtable generations frozen behind the gated flush"
+        );
+        // Simulate a crash: the process vanishes without drop (a normal
+        // drop would join the flush thread, which is parked on the gate
+        // for the rest of this test).
+        std::mem::forget(db);
+        let reopened = Lsm::open(
+            copy_storage(gated.as_ref()),
+            LsmOptions::default().memtable_capacity(100),
+        )
+        .unwrap();
+        for i in 0..10u64 {
+            assert_eq!(
+                get_vec(&reopened, i),
+                Some(format!("v{i}").into_bytes()),
+                "acked write {i} lost across the crash"
+            );
+        }
+        assert_eq!(reopened.memtable_len(), 10, "all records replayed from WAL");
+    }
+
+    #[test]
+    fn gated_flush_thread_still_serves_frozen_reads_and_scans() {
+        let gated = Arc::new(GatedStorage::new());
+        gated.close_gate();
+        let db = Lsm::open(Arc::clone(&gated) as Arc<dyn Storage>, bg_options(4)).unwrap();
+        for i in 0..10u64 {
+            db.put_u64(i, format!("v{i}").into_bytes()).unwrap();
+        }
+        assert!(db.frozen_queue_depth() >= 2);
+        assert_eq!(db.live_tables().len(), 0, "nothing flushed yet");
+        // Point reads and scans serve straight from the frozen queue.
+        for i in 0..10u64 {
+            assert_eq!(get_vec(&db, i), Some(format!("v{i}").into_bytes()));
+        }
+        let all = db.scan_all().unwrap();
+        assert_eq!(all.len(), 10, "scan sees frozen-queue data");
+        let keys: Vec<u64> = all
+            .iter()
+            .map(|(k, _)| crate::types::key_to_u64(k).unwrap())
+            .collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "scan is sorted");
+
+        gated.open_gate();
+        db.flush().unwrap();
+        assert_eq!(db.frozen_queue_depth(), 0);
+        assert!(db.live_tables().len() >= 2);
+        assert!(db.stats().bg_flushes >= 2);
+        for i in 0..10u64 {
+            assert_eq!(get_vec(&db, i), Some(format!("v{i}").into_bytes()));
+        }
+    }
+
+    #[test]
+    fn wal_segments_survive_until_their_generation_flushes() {
+        let gated = Arc::new(GatedStorage::new());
+        gated.close_gate();
+        let db = Lsm::open(Arc::clone(&gated) as Arc<dyn Storage>, bg_options(2)).unwrap();
+        for i in 0..6u64 {
+            db.put_u64(i, b"x".to_vec()).unwrap();
+        }
+        assert_eq!(db.frozen_queue_depth(), 3);
+        let live = Wal::live_segments(gated.as_ref() as &dyn Storage);
+        assert!(
+            live.len() >= 3,
+            "one live WAL segment per unflushed generation, got {live:?}"
+        );
+        gated.open_gate();
+        db.flush().unwrap();
+        let after = Wal::live_segments(gated.as_ref() as &dyn Storage);
+        assert!(
+            after.len() <= 1,
+            "flushed generations retired their segments, got {after:?}"
+        );
+    }
+
+    #[test]
+    fn drop_drains_frozen_queue() {
+        let storage: Arc<dyn Storage> = Arc::new(MemoryStorage::new());
+        {
+            let gated = Arc::new(GatedStorage::new());
+            gated.close_gate();
+            // WAL off: after drop, the data can only have survived via
+            // the flush thread draining the queue into sstables.
+            let db = Lsm::open(
+                Arc::clone(&gated) as Arc<dyn Storage>,
+                bg_options(4).wal(false),
+            )
+            .unwrap();
+            for i in 0..8u64 {
+                db.put_u64(i, format!("v{i}").into_bytes()).unwrap();
+            }
+            assert!(db.frozen_queue_depth() >= 1);
+            gated.open_gate();
+            drop(db);
+            // Copy the drained bytes onto the outer storage for reopen.
+            for blob in gated.list_blobs() {
+                storage
+                    .write_blob(&blob, &gated.read_blob(&blob).unwrap())
+                    .unwrap();
+            }
+        }
+        let reopened = Lsm::open(storage, LsmOptions::default().memtable_capacity(100)).unwrap();
+        for i in 0..8u64 {
+            assert_eq!(
+                get_vec(&reopened, i),
+                Some(format!("v{i}").into_bytes()),
+                "drop abandoned key {i} in a frozen memtable"
+            );
+        }
+        assert_eq!(reopened.memtable_len(), 0, "data came from sstables");
+    }
+
+    #[test]
+    fn slowdown_tier_delays_and_releases() {
+        let gated = Arc::new(GatedStorage::new());
+        gated.close_gate();
+        let db = Lsm::open(
+            Arc::clone(&gated) as Arc<dyn Storage>,
+            LsmOptions::default()
+                .memtable_capacity(2)
+                .background_maintenance(true)
+                .slowdown_trigger(1)
+                .stop_trigger(100)
+                .frozen_queue_limit(100),
+        )
+        .unwrap();
+        db.put_u64(0, b"x".to_vec()).unwrap();
+        db.put_u64(1, b"x".to_vec()).unwrap();
+        assert_eq!(db.frozen_queue_depth(), 1);
+        assert_eq!(db.pressure().stall_tier, StallTier::Slowdown);
+        db.put_u64(2, b"x".to_vec()).unwrap();
+        let stats = db.stats();
+        assert!(stats.slowdown_stalls >= 1, "write was delayed");
+        assert_eq!(
+            stats.compaction_stall,
+            Duration::ZERO,
+            "pacing is counted in slowdown_stalls, not timed as write-path stall"
+        );
+
+        gated.open_gate();
+        assert!(
+            wait_until(Duration::from_secs(2), || db.frozen_queue_depth() == 0),
+            "flush thread drained after the gate opened"
+        );
+        assert_eq!(db.pressure().stall_tier, StallTier::None, "tier released");
+        let before = db.stats().slowdown_stalls;
+        db.put_u64(3, b"x".to_vec()).unwrap();
+        assert_eq!(
+            db.stats().slowdown_stalls,
+            before,
+            "no delay once maintenance caught up"
+        );
+    }
+
+    #[test]
+    fn stop_tier_blocks_and_releases() {
+        let gated = Arc::new(GatedStorage::new());
+        gated.close_gate();
+        let db = Lsm::open(
+            Arc::clone(&gated) as Arc<dyn Storage>,
+            LsmOptions::default()
+                .memtable_capacity(2)
+                .background_maintenance(true)
+                .slowdown_trigger(1)
+                .stop_trigger(2)
+                .frozen_queue_limit(100),
+        )
+        .unwrap();
+        for i in 0..4u64 {
+            db.put_u64(i, b"x".to_vec()).unwrap();
+        }
+        assert_eq!(db.frozen_queue_depth(), 2);
+        assert_eq!(db.pressure().stall_tier, StallTier::Stop);
+        assert_eq!(db.stats().frozen_queue_depth, 2, "stats gauge agrees");
+
+        let blocked_done = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                db.put_u64(99, b"blocked".to_vec()).unwrap();
+                blocked_done.store(true, Ordering::SeqCst);
+            });
+            std::thread::sleep(Duration::from_millis(50));
+            assert!(
+                !blocked_done.load(Ordering::SeqCst),
+                "stop tier blocks the writer while maintenance is stuck"
+            );
+            gated.open_gate();
+            // Scope join: the writer must complete once the queue drains.
+        });
+        assert!(blocked_done.load(Ordering::SeqCst));
+        assert!(db.stats().stop_stalls >= 1);
+        assert_eq!(get_vec(&db, 99), Some(b"blocked".to_vec()));
+        assert!(
+            wait_until(Duration::from_secs(2), || {
+                db.pressure().stall_tier == StallTier::None
+            }),
+            "tier released after drain"
+        );
+    }
+
+    #[test]
+    fn background_threshold_policy_bounds_tables() {
+        let db = Lsm::open_in_memory(
+            bg_options(8)
+                .wal(false)
+                .compaction_policy(CompactionPolicy::Threshold { live_tables: 4 }),
+        )
+        .unwrap();
+        for i in 0..400u64 {
+            db.put_u64(i % 100, format!("v{i}").into_bytes()).unwrap();
+        }
+        db.flush().unwrap();
+        assert!(
+            wait_until(Duration::from_secs(5), || {
+                db.stats().auto_compactions >= 1 && db.live_tables().len() < 4
+            }),
+            "the scheduler thread compacted below the threshold, tables={}",
+            db.live_tables().len()
+        );
+        for i in 0..100u64 {
+            assert!(get_vec(&db, i).is_some(), "key {i}");
+        }
+        let stats = db.stats();
+        assert!(stats.bg_flushes >= 1);
+        assert!(stats.auto_compactions >= 1);
+    }
+
+    #[test]
+    fn adaptive_strategy_follows_pressure() {
+        let gated = Arc::new(GatedStorage::new());
+        gated.close_gate();
+        let db = Lsm::open(
+            Arc::clone(&gated) as Arc<dyn Storage>,
+            LsmOptions::default()
+                .memtable_capacity(2)
+                .background_maintenance(true)
+                .adaptive_strategy(true)
+                .compaction_strategy(compaction_core::Strategy::BalanceTreeInput)
+                .slowdown_trigger(1)
+                .stop_trigger(100)
+                .frozen_queue_limit(100),
+        )
+        .unwrap();
+        assert!(
+            matches!(
+                db.inner.planning_options().strategy(),
+                compaction_core::Strategy::SmallestOutput
+            ),
+            "idle engine plans with the cheap strategy"
+        );
+        db.put_u64(0, b"x".to_vec()).unwrap();
+        db.put_u64(1, b"x".to_vec()).unwrap();
+        assert_eq!(db.frozen_queue_depth(), 1);
+        assert!(
+            matches!(
+                db.inner.planning_options().strategy(),
+                compaction_core::Strategy::BalanceTreeInput
+            ),
+            "backlogged engine escalates to the configured strategy"
+        );
+        gated.open_gate();
     }
 }

@@ -116,7 +116,7 @@ pub use block::{Block, BlockBuilder};
 pub use bloom::BloomFilter;
 pub use cache::{BlockCache, CacheCounters, TableCache};
 pub use compaction::{CompactionExecutor, CompactionOutcome, CompactionStep};
-pub use db::{AutoCompaction, Lsm, LsmPressure, LsmStats};
+pub use db::{AutoCompaction, Lsm, LsmPressure, LsmStats, StallTier};
 pub use error::Error;
 pub use iter::MergingIter;
 pub use manifest::{Manifest, ManifestEdit, TableMeta};

@@ -83,6 +83,11 @@ pub struct LsmOptions {
     block_cache_capacity_bytes: u64,
     fill_cache: bool,
     scan_fill_cache: bool,
+    background_maintenance: bool,
+    slowdown_trigger: usize,
+    stop_trigger: usize,
+    frozen_queue_limit: usize,
+    adaptive_strategy: bool,
 }
 
 impl Default for LsmOptions {
@@ -102,6 +107,11 @@ impl Default for LsmOptions {
             block_cache_capacity_bytes: 8 * 1024 * 1024,
             fill_cache: true,
             scan_fill_cache: false,
+            background_maintenance: false,
+            slowdown_trigger: 2,
+            stop_trigger: 4,
+            frozen_queue_limit: 8,
+            adaptive_strategy: false,
         }
     }
 }
@@ -240,6 +250,60 @@ impl LsmOptions {
         self
     }
 
+    /// Enables background maintenance: a full memtable freezes onto an
+    /// immutable queue in O(1) (drained to sstables by a dedicated flush
+    /// thread) and policy-driven compaction runs on a scheduler thread
+    /// off the write lock, so client writes never wait on sstable I/O
+    /// (default `false`: flush and compaction run inline, the seed
+    /// engine's behavior).
+    #[must_use]
+    pub fn background_maintenance(mut self, enabled: bool) -> Self {
+        self.background_maintenance = enabled;
+        self
+    }
+
+    /// Sets the maintenance-debt level (frozen memtables waiting on the
+    /// flush thread plus live tables past the compaction trigger) at
+    /// which writes are delayed by a bounded sleep (default 2, clamped
+    /// to ≥ 1). The analogue of RocksDB's `level0_slowdown_writes_trigger`;
+    /// only consulted when background maintenance is enabled.
+    #[must_use]
+    pub fn slowdown_trigger(mut self, debt: usize) -> Self {
+        self.slowdown_trigger = debt.max(1);
+        self
+    }
+
+    /// Sets the maintenance-debt level at which writes block until the
+    /// backlog drains below it (default 4, clamped to ≥ 2). The analogue
+    /// of RocksDB's `level0_stop_writes_trigger`; only consulted when
+    /// background maintenance is enabled.
+    #[must_use]
+    pub fn stop_trigger(mut self, debt: usize) -> Self {
+        self.stop_trigger = debt.max(2);
+        self
+    }
+
+    /// Sets the hard cap on frozen memtables queued for the flush thread
+    /// (default 8, clamped to ≥ 2). A writer that would freeze past this
+    /// limit blocks until the flush thread retires a generation,
+    /// bounding memory regardless of the stall triggers.
+    #[must_use]
+    pub fn frozen_queue_limit(mut self, generations: usize) -> Self {
+        self.frozen_queue_limit = generations.max(2);
+        self
+    }
+
+    /// Enables pressure-adaptive strategy selection for background
+    /// compaction (default `false`): an idle engine plans with
+    /// `SmallestOutput` (cheapest total I/O), a backlogged one with the
+    /// configured strategy (typically `BT(I)`, widest parallelism) — the
+    /// scheduling result the paper gestures at.
+    #[must_use]
+    pub fn adaptive_strategy(mut self, enabled: bool) -> Self {
+        self.adaptive_strategy = enabled;
+        self
+    }
+
     /// Memtable capacity in distinct keys.
     #[must_use]
     pub fn memtable_capacity_keys(&self) -> usize {
@@ -323,6 +387,37 @@ impl LsmOptions {
     pub fn scan_fills_cache(&self) -> bool {
         self.scan_fill_cache
     }
+
+    /// Whether flush and compaction run on background threads.
+    #[must_use]
+    pub fn background_maintenance_enabled(&self) -> bool {
+        self.background_maintenance
+    }
+
+    /// Maintenance-debt level that delays writes (bounded sleep).
+    #[must_use]
+    pub fn slowdown_trigger_debt(&self) -> usize {
+        self.slowdown_trigger
+    }
+
+    /// Maintenance-debt level that blocks writes until it drains.
+    /// Never below the slowdown trigger: the tiers cannot invert.
+    #[must_use]
+    pub fn stop_trigger_debt(&self) -> usize {
+        self.stop_trigger.max(self.slowdown_trigger)
+    }
+
+    /// Hard cap on queued frozen memtable generations.
+    #[must_use]
+    pub fn frozen_queue_limit_generations(&self) -> usize {
+        self.frozen_queue_limit
+    }
+
+    /// Whether background compaction picks its strategy from pressure.
+    #[must_use]
+    pub fn adaptive_strategy_enabled(&self) -> bool {
+        self.adaptive_strategy
+    }
 }
 
 #[cfg(test)]
@@ -342,6 +437,11 @@ mod tests {
             .block_cache_capacity_bytes(0)
             .fill_cache(false)
             .scan_fill_cache(true)
+            .background_maintenance(true)
+            .slowdown_trigger(0)
+            .stop_trigger(0)
+            .frozen_queue_limit(0)
+            .adaptive_strategy(true)
             .wal(false);
         assert_eq!(opts.memtable_capacity_keys(), 1, "capacity clamps to 1");
         assert_eq!(opts.block_size_bytes(), 64, "block size clamps to 64");
@@ -354,6 +454,22 @@ mod tests {
         assert!(opts.scan_fills_cache());
         assert!(!opts.drops_tombstones());
         assert!(!opts.wal_enabled());
+        assert!(opts.background_maintenance_enabled());
+        assert!(opts.adaptive_strategy_enabled());
+        assert_eq!(opts.slowdown_trigger_debt(), 1, "slowdown clamps to 1");
+        assert_eq!(opts.stop_trigger_debt(), 2, "stop clamps to 2");
+        assert_eq!(
+            opts.frozen_queue_limit_generations(),
+            2,
+            "queue limit clamps to 2"
+        );
+    }
+
+    #[test]
+    fn stop_trigger_never_inverts_below_slowdown() {
+        let opts = LsmOptions::new().slowdown_trigger(10).stop_trigger(3);
+        assert_eq!(opts.slowdown_trigger_debt(), 10);
+        assert_eq!(opts.stop_trigger_debt(), 10, "stop raised to slowdown");
     }
 
     #[test]
@@ -373,6 +489,14 @@ mod tests {
             !opts.scan_fills_cache(),
             "scans bypass the cache by default"
         );
+        assert!(
+            !opts.background_maintenance_enabled(),
+            "maintenance is inline by default, matching the seed engine"
+        );
+        assert!(!opts.adaptive_strategy_enabled());
+        assert_eq!(opts.slowdown_trigger_debt(), 2);
+        assert_eq!(opts.stop_trigger_debt(), 4);
+        assert_eq!(opts.frozen_queue_limit_generations(), 8);
     }
 
     #[test]

@@ -40,6 +40,41 @@ struct StepResult {
     bytes_read: u64,
 }
 
+/// A validated merge schedule with its output table ids pre-allocated
+/// from the manifest — everything the heavy merge I/O needs, captured
+/// under a brief manifest lock so the merge itself can run with no lock
+/// held. Produced by [`ParallelExecutor::prepare`], consumed by
+/// [`ParallelExecutor::merge_prepared`].
+#[derive(Debug)]
+pub struct PreparedMerge {
+    steps: Vec<CompactionStep>,
+    step_inputs: Vec<Vec<u64>>,
+    output_ids: Vec<u64>,
+    surviving_outputs: Vec<usize>,
+    consumed_initial: Vec<u64>,
+    waves: Vec<Vec<usize>>,
+}
+
+impl PreparedMerge {
+    /// `true` when the schedule has no steps (nothing to merge).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// The physical results of an executed [`PreparedMerge`]: every output
+/// run is durable in storage, but the manifest still references the old
+/// table set. [`ParallelExecutor::commit`] flips it;
+/// [`ParallelExecutor::retire_consumed`] then deletes the consumed
+/// blobs.
+#[derive(Debug)]
+pub struct MergedOutputs {
+    results: Vec<StepResult>,
+    surviving_outputs: Vec<usize>,
+    consumed_initial: Vec<u64>,
+}
+
 /// Executes compaction steps wave-parallel with atomic manifest edits.
 #[derive(Debug)]
 pub struct ParallelExecutor {
@@ -177,7 +212,29 @@ impl ParallelExecutor {
         if steps.is_empty() {
             return Ok(CompactionOutcome::default());
         }
+        let prepared = self.prepare(manifest, initial_table_ids, steps, precomputed_waves)?;
+        let merged = self.merge_prepared(&prepared)?;
+        let outcome = Self::commit(manifest, &merged, self.storage.as_ref(), on_flip)?;
+        self.retire_consumed(&merged)?;
+        Ok(outcome)
+    }
 
+    /// Phase 1 — validate the schedule and pre-allocate one output table
+    /// id per step. Cheap and I/O-free: this is the only phase that
+    /// needs `&mut Manifest`, so a background scheduler holds the write
+    /// lock just long enough to call it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidCompaction`] for malformed schedules;
+    /// nothing is read or written in that case.
+    pub fn prepare(
+        &self,
+        manifest: &mut Manifest,
+        initial_table_ids: &[u64],
+        steps: &[CompactionStep],
+        precomputed_waves: Option<&[Vec<usize>]>,
+    ) -> Result<PreparedMerge, Error> {
         let n = initial_table_ids.len();
         // Pre-allocate one output id per step so workers can build tables
         // without touching the manifest.
@@ -230,18 +287,39 @@ impl ParallelExecutor {
             Some(waves) => waves.to_vec(),
             None => Self::waves_for_steps(n, steps),
         };
+        Ok(PreparedMerge {
+            steps: steps.to_vec(),
+            step_inputs,
+            output_ids,
+            surviving_outputs,
+            consumed_initial,
+            waves,
+        })
+    }
+
+    /// Phase 2 — the heavy I/O: run every merge step, wave-parallel, with
+    /// **no lock required**. On success every output run (and its
+    /// key-observation sidecar) is durable in storage; the manifest is
+    /// untouched either way.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage/corruption errors; every blob written so far
+    /// is removed first (best-effort).
+    pub fn merge_prepared(&self, prepared: &PreparedMerge) -> Result<MergedOutputs, Error> {
+        let steps = &prepared.steps;
         let mut results: Vec<Option<StepResult>> = (0..steps.len()).map(|_| None).collect();
         let mut written_blobs: Vec<String> = Vec::new();
 
-        for wave in &waves {
+        for wave in &prepared.waves {
             for chunk in wave.chunks(self.options.threads().max(1)) {
                 let chunk_results: Vec<(usize, Result<StepResult, Error>)> =
                     std::thread::scope(|scope| {
                         let handles: Vec<_> = chunk
                             .iter()
                             .map(|&step_idx| {
-                                let input_ids = &step_inputs[step_idx];
-                                let output_id = output_ids[step_idx];
+                                let input_ids = &prepared.step_inputs[step_idx];
+                                let output_id = prepared.output_ids[step_idx];
                                 let drop_tombstones =
                                     step_idx + 1 == steps.len() && self.options.drops_tombstones();
                                 scope.spawn(move || {
@@ -274,10 +352,10 @@ impl ParallelExecutor {
                             // output blob (and sidecar) hit storage.
                             let _ = self
                                 .storage
-                                .delete_blob(&Sstable::blob_name(output_ids[step_idx]));
+                                .delete_blob(&Sstable::blob_name(prepared.output_ids[step_idx]));
                             let _ = TableKeyObservation::delete(
                                 self.storage.as_ref(),
-                                output_ids[step_idx],
+                                prepared.output_ids[step_idx],
                             );
                             first_error = first_error.or(Some(e));
                         }
@@ -294,46 +372,80 @@ impl ParallelExecutor {
             }
         }
 
-        // All steps succeeded: flip the manifest in one atomic update.
+        Ok(MergedOutputs {
+            results: results
+                .into_iter()
+                .map(|r| r.expect("step executed"))
+                .collect(),
+            surviving_outputs: prepared.surviving_outputs.clone(),
+            consumed_initial: prepared.consumed_initial.clone(),
+        })
+    }
+
+    /// Phase 3 — flip the manifest in one atomic update: remove the
+    /// consumed inputs, add the surviving outputs, persist, and invoke
+    /// `on_flip` (where the engine publishes its read snapshot). Brief —
+    /// one small blob write — so a background scheduler re-takes the
+    /// write lock only for this call. The consumed input blobs still
+    /// exist afterwards; delete them with
+    /// [`ParallelExecutor::retire_consumed`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates manifest and storage errors.
+    pub fn commit(
+        manifest: &mut Manifest,
+        merged: &MergedOutputs,
+        storage: &dyn Storage,
+        on_flip: impl FnOnce(&Manifest),
+    ) -> Result<CompactionOutcome, Error> {
         let mut outcome = CompactionOutcome::default();
-        for result in results.iter().flatten() {
+        for result in &merged.results {
             outcome.merge_ops += 1;
             outcome.entries_read += result.entries_read;
             outcome.bytes_read += result.bytes_read;
             outcome.entries_written += result.entry_count;
             outcome.bytes_written += result.encoded_len;
         }
-        outcome.final_table_id = results.last().and_then(|r| r.as_ref()).map(|r| r.output_id);
+        outcome.final_table_id = merged.results.last().map(|r| r.output_id);
 
-        for &table_id in &consumed_initial {
+        for &table_id in &merged.consumed_initial {
             manifest.apply(ManifestEdit::RemoveTable { table_id })?;
         }
-        for &step_idx in &surviving_outputs {
-            let result = results[step_idx].as_ref().expect("step executed");
+        for &step_idx in &merged.surviving_outputs {
+            let result = &merged.results[step_idx];
             manifest.apply(ManifestEdit::AddTable(TableMeta {
                 table_id: result.output_id,
                 entry_count: result.entry_count,
                 encoded_len: result.encoded_len,
             }))?;
         }
-        manifest.persist(self.storage.as_ref())?;
+        manifest.persist(storage)?;
         on_flip(manifest);
+        Ok(outcome)
+    }
 
-        // Only now is it safe to delete consumed inputs and intermediates
-        // (tables and their key-observation sidecars alike).
-        for &table_id in &consumed_initial {
+    /// Phase 4 — delete the consumed input blobs and non-surviving
+    /// intermediates (tables and key-observation sidecars alike). Only
+    /// safe after [`ParallelExecutor::commit`]: readers migrated to the
+    /// new table set at the flip. Needs no lock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors.
+    pub fn retire_consumed(&self, merged: &MergedOutputs) -> Result<(), Error> {
+        for &table_id in &merged.consumed_initial {
             self.storage.delete_blob(&Sstable::blob_name(table_id))?;
             TableKeyObservation::delete(self.storage.as_ref(), table_id)?;
         }
-        for (step_idx, result) in results.iter().enumerate() {
-            let result = result.as_ref().expect("step executed");
-            if !surviving_outputs.contains(&step_idx) {
+        for (step_idx, result) in merged.results.iter().enumerate() {
+            if !merged.surviving_outputs.contains(&step_idx) {
                 self.storage
                     .delete_blob(&Sstable::blob_name(result.output_id))?;
                 TableKeyObservation::delete(self.storage.as_ref(), result.output_id)?;
             }
         }
-        Ok(outcome)
+        Ok(())
     }
 
     /// One worker merge: read the input runs, merge-sort them with

@@ -2,8 +2,10 @@
 //!
 //! [`Lsm::range`] returns a [`RangeIter`]: a lazy k-way merge over
 //!
-//! * a **frozen memtable view** — the in-range entries, copied out under
-//!   a brief read lock when the scan (re)builds its state;
+//! * a **memtable view** — the in-range entries of the active memtable
+//!   *and* of every generation parked on the frozen-memtable queue
+//!   (background-maintenance mode), copied out under brief read locks
+//!   when the scan (re)builds its state;
 //! * one cursor per live sstable that **can** contain keys in the range.
 //!   Tables whose persisted min/max meta is disjoint from the scan
 //!   bounds are pruned before their blooms or blocks are ever touched
@@ -32,7 +34,7 @@ use std::collections::BinaryHeap;
 use std::ops::{Bound, RangeBounds};
 use std::sync::Arc;
 
-use crate::db::{Lsm, ReadView};
+use crate::db::{LsmInner, ReadView};
 use crate::reader::SstableReader;
 use crate::types::{Entry, InternalKey, Key, Value};
 use crate::Error;
@@ -82,7 +84,7 @@ fn before_start(key: &[u8], start: &Bound<Key>) -> bool {
 /// contract.
 #[derive(Debug)]
 pub struct RangeIter<'a> {
-    db: &'a Lsm,
+    db: &'a LsmInner,
     /// Resume position: the original start bound, tightened to
     /// `Excluded(last emitted key)` as the scan advances so a rebuilt
     /// state continues exactly where the previous one stopped.
@@ -93,7 +95,7 @@ pub struct RangeIter<'a> {
 }
 
 impl<'a> RangeIter<'a> {
-    pub(crate) fn new(db: &'a Lsm, range: impl RangeBounds<Key>) -> Self {
+    pub(crate) fn new(db: &'a LsmInner, range: impl RangeBounds<Key>) -> Self {
         Self {
             db,
             cursor: clone_bound(range.start_bound()),
@@ -108,13 +110,23 @@ impl<'a> RangeIter<'a> {
     /// itself if it races another flip.
     fn build_state(&mut self) -> Result<ScanState, Error> {
         loop {
-            // Memtable first, snapshot second: a concurrent flush
-            // publishes its table *before* clearing the memtable, so the
-            // data is in at least one of the two (duplicates deduplicate
+            // Read in the opposite order of data flow (active memtable →
+            // frozen queue → tables): a freeze moves entries active →
+            // frozen and a flush publishes its table *before* popping the
+            // frozen generation, so an entry racing either hand-off is
+            // seen by at least one stage (duplicates deduplicate
             // newest-wins in the merge).
             let memtable = self.db.memtable_range(&self.cursor, &self.end);
+            let frozen = self.db.frozen_ranges(&self.cursor, &self.end);
             let snapshot = self.db.read_view();
-            match ScanState::build(self.db, snapshot.clone(), memtable, &self.cursor, &self.end) {
+            match ScanState::build(
+                self.db,
+                snapshot.clone(),
+                frozen,
+                memtable,
+                &self.cursor,
+                &self.end,
+            ) {
                 Ok(state) => return Ok(state),
                 Err(e) if is_retired_table(&e) && self.db.read_view_changed(&snapshot) => continue,
                 Err(e) => return Err(e),
@@ -184,7 +196,7 @@ enum Source {
 }
 
 impl Source {
-    fn next_entry(&mut self, db: &Lsm, end: &Bound<Key>) -> Option<Result<Entry, Error>> {
+    fn next_entry(&mut self, db: &LsmInner, end: &Bound<Key>) -> Option<Result<Entry, Error>> {
         match self {
             Source::Frozen(iter) => iter.next().map(Ok),
             Source::Table(cursor) => cursor.next_entry(db, end),
@@ -219,7 +231,7 @@ impl TableCursor {
         }
     }
 
-    fn next_entry(&mut self, db: &Lsm, end: &Bound<Key>) -> Option<Result<Entry, Error>> {
+    fn next_entry(&mut self, db: &LsmInner, end: &Bound<Key>) -> Option<Result<Entry, Error>> {
         loop {
             if let Some(entry) = self.entries.next() {
                 return Some(Ok(entry));
@@ -289,16 +301,18 @@ impl ScanState {
     /// cursor for every live table overlapping `(cursor, end)`, pruning
     /// the rest by their persisted min/max meta, and primes the heap.
     fn build(
-        db: &Lsm,
+        db: &LsmInner,
         snapshot: Arc<ReadView>,
+        frozen: Vec<Vec<Entry>>,
         memtable: Vec<Entry>,
         cursor: &Bound<Key>,
         end: &Bound<Key>,
     ) -> Result<Self, Error> {
         let start_ref = as_byte_bound(cursor);
         let end_ref = as_byte_bound(end);
-        // Oldest tables first, memtable last: on internal-key ties the
-        // higher source index (the newer data) wins.
+        // Sources oldest-first — tables, then frozen generations (oldest
+        // queued first), then the active memtable last: on internal-key
+        // ties the higher source index (the newer data) wins.
         let mut sources: Vec<Source> = Vec::new();
         let mut pruned = 0u64;
         for meta in snapshot.tables.iter().rev() {
@@ -308,6 +322,9 @@ impl ScanState {
             } else {
                 pruned += 1;
             }
+        }
+        for generation in frozen {
+            sources.push(Source::Frozen(generation.into_iter()));
         }
         sources.push(Source::Frozen(memtable.into_iter()));
         db.record_range_pruned(pruned);
@@ -326,7 +343,7 @@ impl ScanState {
     }
 
     /// Pulls the next entry from source `idx` onto the heap.
-    fn advance_source(&mut self, db: &Lsm, idx: usize) -> Result<(), Error> {
+    fn advance_source(&mut self, db: &LsmInner, idx: usize) -> Result<(), Error> {
         if let Some(result) = self.sources[idx].next_entry(db, &self.end) {
             let entry = result?;
             self.heap.push(Reverse(HeapItem {
@@ -340,7 +357,7 @@ impl ScanState {
 
     /// The next in-range entry in internal-key order, newest version per
     /// user key (possibly a tombstone — the caller suppresses those).
-    fn next_merged(&mut self, db: &Lsm) -> Option<Result<Entry, Error>> {
+    fn next_merged(&mut self, db: &LsmInner) -> Option<Result<Entry, Error>> {
         while let Some(Reverse(item)) = self.heap.pop() {
             if let Err(e) = self.advance_source(db, item.source) {
                 return Some(Err(e));

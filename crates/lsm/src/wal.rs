@@ -47,6 +47,14 @@ pub struct Wal {
     record_count: u64,
 }
 
+/// Blob-name prefix shared by every WAL segment.
+const WAL_PREFIX: &str = "wal-";
+
+/// Name of the single-segment WAL written before per-generation
+/// segments existed. Replayed first on open (it predates any numbered
+/// generation) so old stores keep recovering.
+pub(crate) const LEGACY_WAL_SEGMENT: &str = "wal-current";
+
 impl Wal {
     /// Creates an empty WAL that will persist into blob `segment_name`.
     #[must_use]
@@ -55,6 +63,56 @@ impl Wal {
             segment_name: segment_name.into(),
             buffer: BytesMut::new(),
             record_count: 0,
+        }
+    }
+
+    /// Blob name of the segment protecting memtable generation
+    /// `generation`. Zero-padded so lexicographic blob order equals
+    /// generation order.
+    #[must_use]
+    pub fn generation_blob_name(generation: u64) -> String {
+        format!("{WAL_PREFIX}{generation:020}")
+    }
+
+    /// Parses a generation number back out of a segment blob name.
+    /// Returns `None` for the legacy segment and for non-WAL blobs.
+    #[must_use]
+    pub fn parse_generation(blob_name: &str) -> Option<u64> {
+        blob_name.strip_prefix(WAL_PREFIX)?.parse().ok()
+    }
+
+    /// Every live WAL segment in `storage`, oldest first: the legacy
+    /// single segment (if present), then numbered generations ascending.
+    /// Reopen must replay them in exactly this order so newer writes to
+    /// the same key win.
+    #[must_use]
+    pub fn live_segments(storage: &dyn Storage) -> Vec<String> {
+        let mut generations: Vec<(u64, String)> = Vec::new();
+        let mut legacy = None;
+        for name in storage.list_blobs() {
+            if name == LEGACY_WAL_SEGMENT {
+                legacy = Some(name);
+            } else if let Some(generation) = Self::parse_generation(&name) {
+                generations.push((generation, name));
+            }
+        }
+        generations.sort_unstable();
+        let mut segments: Vec<String> = legacy.into_iter().collect();
+        segments.extend(generations.into_iter().map(|(_, name)| name));
+        segments
+    }
+
+    /// Deletes a retired segment blob (after the memtable generation it
+    /// protected became a durable sstable). A missing blob is fine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage failures other than "not found".
+    pub fn retire_segment(storage: &dyn Storage, segment_name: &str) -> Result<(), Error> {
+        match storage.delete_blob(segment_name) {
+            Ok(()) => Ok(()),
+            Err(Error::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
         }
     }
 
@@ -363,6 +421,57 @@ mod tests {
         wal.append_batch(&storage, &[]).unwrap();
         assert_eq!(wal.record_count(), 0);
         assert!(Wal::replay(&storage, "wal-b2").unwrap().is_empty());
+    }
+
+    #[test]
+    fn generation_names_roundtrip_and_sort() {
+        let names: Vec<String> = [0, 1, 9, 10, 11, 100, u64::MAX]
+            .iter()
+            .map(|&g| Wal::generation_blob_name(g))
+            .collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(sorted, names, "lexicographic order = generation order");
+        for (i, g) in [0, 1, 9, 10, 11, 100, u64::MAX].iter().enumerate() {
+            assert_eq!(Wal::parse_generation(&names[i]), Some(*g));
+        }
+        assert_eq!(Wal::parse_generation(LEGACY_WAL_SEGMENT), None);
+        assert_eq!(Wal::parse_generation("sst-0000000001"), None);
+    }
+
+    #[test]
+    fn live_segments_lists_legacy_first_then_generations_in_order() {
+        let storage = MemoryStorage::new();
+        // Write out of order, plus non-WAL noise that must be ignored.
+        for name in [
+            &Wal::generation_blob_name(7),
+            "sst-0000000003",
+            &Wal::generation_blob_name(2),
+            LEGACY_WAL_SEGMENT,
+            "MANIFEST",
+            &Wal::generation_blob_name(10),
+        ] {
+            storage.write_blob(name, b"x").unwrap();
+        }
+        assert_eq!(
+            Wal::live_segments(&storage),
+            vec![
+                LEGACY_WAL_SEGMENT.to_string(),
+                Wal::generation_blob_name(2),
+                Wal::generation_blob_name(7),
+                Wal::generation_blob_name(10),
+            ]
+        );
+    }
+
+    #[test]
+    fn retire_segment_deletes_and_tolerates_missing() {
+        let storage = MemoryStorage::new();
+        let name = Wal::generation_blob_name(3);
+        storage.write_blob(&name, b"x").unwrap();
+        Wal::retire_segment(&storage, &name).unwrap();
+        assert!(!storage.contains_blob(&name));
+        Wal::retire_segment(&storage, &name).unwrap();
     }
 
     #[test]

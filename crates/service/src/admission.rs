@@ -26,7 +26,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-use lsm_engine::LsmPressure;
+use lsm_engine::{LsmPressure, StallTier};
 
 /// Budgets past which a shard's writes are shed.
 ///
@@ -92,9 +92,16 @@ impl AdmissionConfig {
 
     /// `true` when a shard with this pressure snapshot should have its
     /// writes shed.
+    ///
+    /// With background maintenance the engine throttles its own writers
+    /// through tiered stalls, so admission is a backstop: a shard at
+    /// [`StallTier::Stop`] is shed immediately (a write there would park
+    /// a server worker until the backlog drains) in addition to the
+    /// stall/backlog budgets that cover inline-compaction engines.
     #[must_use]
     pub fn over_budget(&self, pressure: &LsmPressure) -> bool {
-        pressure.current_stall > self.stall_budget
+        pressure.stall_tier >= StallTier::Stop
+            || pressure.current_stall > self.stall_budget
             || pressure.compaction_backlog > self.backlog_budget
     }
 }
@@ -181,6 +188,8 @@ mod tests {
             current_stall: Duration::from_millis(stall_ms),
             total_stall: Duration::ZERO,
             compaction_backlog: backlog,
+            frozen_queue_depth: 0,
+            stall_tier: StallTier::None,
         }
     }
 
@@ -217,5 +226,24 @@ mod tests {
         assert_eq!(ctrl.counters().shed_writes, 1, "one decision, one count");
         ctrl.record_shed_connection();
         assert_eq!(ctrl.counters().shed_connections, 1);
+    }
+
+    #[test]
+    fn stop_tier_sheds_even_within_budgets() {
+        let ctrl = AdmissionController::new(Some(AdmissionConfig::default()));
+        let stopped = LsmPressure {
+            stall_tier: StallTier::Stop,
+            ..pressure(0, 0)
+        };
+        assert!(!ctrl.admit_write([stopped]), "stop tier sheds immediately");
+        let slowed = LsmPressure {
+            stall_tier: StallTier::Slowdown,
+            frozen_queue_depth: 2,
+            ..pressure(0, 0)
+        };
+        assert!(
+            ctrl.admit_write([slowed]),
+            "slowdown tier still admits — the engine paces those writes itself"
+        );
     }
 }

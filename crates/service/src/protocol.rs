@@ -165,6 +165,10 @@ pub enum Request {
 }
 
 /// A server response.
+// The `Stats` variant is large (29 u64 counters) but responses are
+// transient — built, encoded, dropped — so boxing it would cost an
+// allocation per STATS frame to save stack bytes nothing keeps.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Response {
     /// The request was applied (and, for writes, is durable).
@@ -252,6 +256,15 @@ pub struct StatsSummary {
     /// Connections refused with `BUSY` because the server was at its
     /// session cap.
     pub shed_connections: u64,
+    /// Memtable generations currently parked on frozen queues awaiting
+    /// the flush threads (gauge, summed across shards).
+    pub frozen_queue_depth: u64,
+    /// Writes delayed by the engine's slowdown stall tier.
+    pub slowdown_stalls: u64,
+    /// Writes blocked by the engine's stop stall tier.
+    pub stop_stalls: u64,
+    /// Memtable flushes performed by background flush threads.
+    pub bg_flushes: u64,
 }
 
 impl StatsSummary {
@@ -282,13 +295,17 @@ impl StatsSummary {
             self.admitted_writes,
             self.shed_writes,
             self.shed_connections,
+            self.frozen_queue_depth,
+            self.slowdown_stalls,
+            self.stop_stalls,
+            self.bg_flushes,
         ] {
             buf.put_u64_le(field);
         }
     }
 
     fn decode_from(cursor: &mut &[u8]) -> Result<Self, Error> {
-        if cursor.remaining() < 25 * 8 {
+        if cursor.remaining() < 29 * 8 {
             return Err(Error::protocol("truncated stats summary"));
         }
         Ok(Self {
@@ -317,6 +334,10 @@ impl StatsSummary {
             admitted_writes: cursor.get_u64_le(),
             shed_writes: cursor.get_u64_le(),
             shed_connections: cursor.get_u64_le(),
+            frozen_queue_depth: cursor.get_u64_le(),
+            slowdown_stalls: cursor.get_u64_le(),
+            stop_stalls: cursor.get_u64_le(),
+            bg_flushes: cursor.get_u64_le(),
         })
     }
 }
@@ -935,6 +956,10 @@ mod tests {
             admitted_writes: 1_000,
             shed_writes: 77,
             shed_connections: 5,
+            frozen_queue_depth: 3,
+            slowdown_stalls: 11,
+            stop_stalls: 2,
+            bg_flushes: 40,
             ..StatsSummary::default()
         };
         match Response::decode(&Response::Stats(stats).encode()).unwrap() {
@@ -942,6 +967,10 @@ mod tests {
                 assert_eq!(decoded.admitted_writes, 1_000);
                 assert_eq!(decoded.shed_writes, 77);
                 assert_eq!(decoded.shed_connections, 5);
+                assert_eq!(decoded.frozen_queue_depth, 3);
+                assert_eq!(decoded.slowdown_stalls, 11);
+                assert_eq!(decoded.stop_stalls, 2);
+                assert_eq!(decoded.bg_flushes, 40);
             }
             other => panic!("expected stats, got {other:?}"),
         }

@@ -587,6 +587,10 @@ fn execute(store: &ShardedKv, controller: &AdmissionController, request: Request
                 admitted_writes: admission.admitted_writes,
                 shed_writes: admission.shed_writes,
                 shed_connections: admission.shed_connections,
+                frozen_queue_depth: aggregate.frozen_queue_depth,
+                slowdown_stalls: aggregate.slowdown_stalls,
+                stop_stalls: aggregate.stop_stalls,
+                bg_flushes: aggregate.bg_flushes,
             })
         }
     }

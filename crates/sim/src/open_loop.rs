@@ -81,6 +81,10 @@ pub struct OpenLoopConfig {
     /// Offered rates of the open-loop cells, as multiples of the
     /// measured pipelined capacity.
     pub offered_multipliers: Vec<f64>,
+    /// Run the shards with background maintenance (frozen-memtable
+    /// queue + flush thread + compaction scheduler) instead of inline
+    /// flush/compaction on the write path.
+    pub background: bool,
     /// Workload seed.
     pub seed: u64,
 }
@@ -108,6 +112,7 @@ impl OpenLoopConfig {
             stall_budget: Duration::from_millis(20),
             backlog_budget: 2,
             offered_multipliers: vec![0.5, 1.0, 2.0, 5.0],
+            background: false,
             seed: 7,
         }
     }
@@ -149,7 +154,17 @@ impl OpenLoopConfig {
             })
             .compaction_strategy(self.strategy)
             .compaction_fanin(self.fanin)
+            .background_maintenance(self.background)
             .wal(false)
+    }
+
+    /// The engine mode every cell of this config runs with.
+    fn mode(&self) -> &'static str {
+        if self.background {
+            "background"
+        } else {
+            "inline"
+        }
     }
 
     fn server_options(&self) -> ServerOptions {
@@ -167,6 +182,20 @@ impl OpenLoopConfig {
     /// capacity, offered-rate sweep). One fresh server per cell.
     #[must_use]
     pub fn run(&self) -> Vec<OpenLoopRow> {
+        self.run_with_pinned_capacity(None).0
+    }
+
+    /// Like [`OpenLoopConfig::run`], but the offered rates of the
+    /// open-loop cells are derived from `pinned` instead of this run's
+    /// own measured pipelined capacity. Returns the rows plus the
+    /// capacity this run measured.
+    ///
+    /// Pinning is how background-vs-inline comparisons stay honest: the
+    /// background sweep is driven at the *inline* run's capacity
+    /// multiples, so both engines face identical offered load and the
+    /// shed/p999 columns compare cell-for-cell.
+    #[must_use]
+    pub fn run_with_pinned_capacity(&self, pinned: Option<f64>) -> (Vec<OpenLoopRow>, f64) {
         let spec = self.spec();
         let partitions = spec.generator().client_partitions(self.connections);
         let load_keys: Vec<u64> = spec.generator().load_phase().map(|op| op.key).collect();
@@ -176,11 +205,12 @@ impl OpenLoopConfig {
         let pipelined = self.run_pipelined(&load_keys, &partitions);
         let capacity = pipelined.achieved_ops_per_sec;
         rows.push(pipelined);
+        let base = pinned.unwrap_or(capacity);
         for &multiplier in &self.offered_multipliers {
-            let offered = capacity * multiplier;
+            let offered = base * multiplier;
             rows.push(self.run_open_loop(&load_keys, multiplier, offered));
         }
-        rows
+        (rows, capacity)
     }
 
     /// Starts a fresh loaded server; returns its handle, store and
@@ -409,6 +439,7 @@ impl OpenLoopConfig {
         latencies.sort_unstable();
         OpenLoopRow {
             label: label.to_owned(),
+            mode: self.mode().to_owned(),
             shards: self.shards,
             strategy: self.strategy,
             connections: self.connections,
@@ -421,6 +452,9 @@ impl OpenLoopConfig {
             server_admitted_writes: server.admitted_writes,
             server_shed_writes: server.shed_writes,
             server_shed_connections: server.shed_connections,
+            server_slowdown_stalls: server.slowdown_stalls,
+            server_stop_stalls: server.stop_stalls,
+            server_bg_flushes: server.bg_flushes,
             p50_micros: percentile_permille(&latencies, 500),
             p99_micros: percentile_permille(&latencies, 990),
             p999_micros: percentile_permille(&latencies, 999),
@@ -513,6 +547,9 @@ fn percentile_permille(sorted: &[u64], permille: u64) -> u64 {
 pub struct OpenLoopRow {
     /// Cell label: `closed`, `pipelined`, or `open-<m>x`.
     pub label: String,
+    /// Engine maintenance mode: `inline` (flush/compaction on the write
+    /// path) or `background` (frozen queue + maintenance threads).
+    pub mode: String,
     /// Shards the server ran with.
     pub shards: usize,
     /// Compaction strategy every shard used.
@@ -538,6 +575,12 @@ pub struct OpenLoopRow {
     pub server_shed_writes: u64,
     /// Connections the server refused at its session cap.
     pub server_shed_connections: u64,
+    /// Writes the engines delayed at the slowdown stall tier.
+    pub server_slowdown_stalls: u64,
+    /// Writes the engines blocked at the stop stall tier.
+    pub server_stop_stalls: u64,
+    /// Memtable flushes done by the background flush threads.
+    pub server_bg_flushes: u64,
     /// Median latency of completed operations, in microseconds.
     pub p50_micros: u64,
     /// 99th-percentile latency in microseconds.
@@ -603,5 +646,28 @@ mod tests {
         );
         assert!(overload.p50_micros <= overload.p99_micros);
         assert!(overload.p99_micros <= overload.p999_micros);
+    }
+
+    #[test]
+    fn background_mode_runs_at_pinned_rates_and_flushes_off_thread() {
+        let mut config = OpenLoopConfig::quick();
+        config.operation_count = 800;
+        config.offered_multipliers = vec![2.0];
+        config.background = true;
+        let (rows, _capacity) = config.run_with_pinned_capacity(Some(5_000.0));
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert_eq!(row.mode, "background");
+        }
+        let overload = &rows[2];
+        assert_eq!(overload.label, "open-2.0x");
+        assert!(
+            (overload.offered_ops_per_sec - 10_000.0).abs() < 1e-6,
+            "offered rate pinned to 2x the given capacity: {overload:?}"
+        );
+        assert!(
+            rows.iter().any(|r| r.server_bg_flushes > 0),
+            "flush threads must have done the flushing: {rows:?}"
+        );
     }
 }

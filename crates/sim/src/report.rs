@@ -14,9 +14,10 @@ use crate::service_throughput::ServiceThroughputRow;
 pub fn service_throughput_table(rows: &[ServiceThroughputRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:>6}  {:>10}  {:>7}  {:>5}  {:>5}  {:>8}  {:>10}  {:>8}  {:>8}  {:>8}  {:>9}  {:>9}  {:>10}  {:>10}  {:>10}  {:>7}  {:>6}  {:>10}\n",
+        "{:>6}  {:>10}  {:>10}  {:>7}  {:>5}  {:>5}  {:>8}  {:>10}  {:>8}  {:>8}  {:>8}  {:>9}  {:>9}  {:>10}  {:>10}  {:>10}  {:>7}  {:>6}  {:>10}\n",
         "shards",
         "strategy",
+        "mode",
         "clients",
         "read%",
         "scan%",
@@ -36,9 +37,10 @@ pub fn service_throughput_table(rows: &[ServiceThroughputRow]) -> String {
     ));
     for row in rows {
         out.push_str(&format!(
-            "{:>6}  {:>10}  {:>7}  {:>5}  {:>5}  {:>8}  {:>10.0}  {:>8}  {:>8}  {:>8}  {:>9}  {:>9}  {:>10}  {:>10}  {:>10.0}  {:>7}  {:>6}  {:>10.2}\n",
+            "{:>6}  {:>10}  {:>10}  {:>7}  {:>5}  {:>5}  {:>8}  {:>10.0}  {:>8}  {:>8}  {:>8}  {:>9}  {:>9}  {:>10}  {:>10}  {:>10.0}  {:>7}  {:>6}  {:>10.2}\n",
             row.shards,
             row.strategy.name(),
+            row.mode,
             row.clients,
             row.read_percent,
             row.scan_percent,
@@ -64,7 +66,7 @@ pub fn service_throughput_table(rows: &[ServiceThroughputRow]) -> String {
 #[must_use]
 pub fn service_throughput_csv(rows: &[ServiceThroughputRow]) -> String {
     let mut out = String::from(
-        "shards,strategy,clients,read_percent,scan_percent,operations,read_operations,\
+        "shards,strategy,mode,clients,read_percent,scan_percent,operations,read_operations,\
          scan_operations,scan_keys,elapsed_ms,\
          ops_per_sec,scan_keys_per_sec,p50_us,p95_us,p99_us,get_p50_us,get_p99_us,\
          scan_p50_us,scan_p99_us,\
@@ -72,9 +74,10 @@ pub fn service_throughput_csv(rows: &[ServiceThroughputRow]) -> String {
     );
     for row in rows {
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{:.2},{:.1},{:.1},{},{},{},{},{},{},{},{},{},{},{:.4}\n",
+            "{},{},{},{},{},{},{},{},{},{},{:.2},{:.1},{:.1},{},{},{},{},{},{},{},{},{},{},{:.4}\n",
             row.shards,
             row.strategy.name(),
+            row.mode,
             row.clients,
             row.read_percent,
             row.scan_percent,
@@ -109,7 +112,7 @@ pub fn service_throughput_json(rows: &[ServiceThroughputRow]) -> String {
     let mut out = String::from("[\n");
     for (i, row) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "  {{\"shards\": {}, \"strategy\": \"{}\", \"clients\": {}, \
+            "  {{\"shards\": {}, \"strategy\": \"{}\", \"mode\": \"{}\", \"clients\": {}, \
              \"read_percent\": {}, \"scan_percent\": {}, \"operations\": {}, \
              \"read_operations\": {}, \"scan_operations\": {}, \"scan_keys\": {}, \
              \"elapsed_ms\": {:.2}, \"ops_per_sec\": {:.1}, \"scan_keys_per_sec\": {:.1}, \
@@ -120,6 +123,7 @@ pub fn service_throughput_json(rows: &[ServiceThroughputRow]) -> String {
              \"compaction_entry_cost\": {}, \"stall_ms\": {:.4}}}{}\n",
             row.shards,
             row.strategy.name(),
+            row.mode,
             row.clients,
             row.read_percent,
             row.scan_percent,
@@ -154,8 +158,9 @@ pub fn service_throughput_json(rows: &[ServiceThroughputRow]) -> String {
 pub fn open_loop_table(rows: &[OpenLoopRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:>10}  {:>6}  {:>5}  {:>6}  {:>10}  {:>10}  {:>9}  {:>6}  {:>9}  {:>9}  {:>9}  {:>8}  {:>8}  {:>8}  {:>6}  {:>10}\n",
+        "{:>10}  {:>10}  {:>6}  {:>5}  {:>6}  {:>10}  {:>10}  {:>9}  {:>6}  {:>9}  {:>9}  {:>9}  {:>8}  {:>8}  {:>8}  {:>6}  {:>10}\n",
         "cell",
+        "mode",
         "shards",
         "conns",
         "window",
@@ -179,8 +184,9 @@ pub fn open_loop_table(rows: &[OpenLoopRow]) -> String {
             "max".to_owned()
         };
         out.push_str(&format!(
-            "{:>10}  {:>6}  {:>5}  {:>6}  {:>10}  {:>10.0}  {:>9}  {:>6}  {:>9}  {:>9}  {:>9}  {:>8}  {:>8}  {:>8}  {:>6}  {:>10.2}\n",
+            "{:>10}  {:>10}  {:>6}  {:>5}  {:>6}  {:>10}  {:>10.0}  {:>9}  {:>6}  {:>9}  {:>9}  {:>9}  {:>8}  {:>8}  {:>8}  {:>6}  {:>10.2}\n",
             row.label,
+            row.mode,
             row.shards,
             row.connections,
             row.window,
@@ -205,14 +211,16 @@ pub fn open_loop_table(rows: &[OpenLoopRow]) -> String {
 #[must_use]
 pub fn open_loop_csv(rows: &[OpenLoopRow]) -> String {
     let mut out = String::from(
-        "label,shards,strategy,connections,window,offered_ops_per_sec,achieved_ops_per_sec,\
+        "label,mode,shards,strategy,connections,window,offered_ops_per_sec,achieved_ops_per_sec,\
          completed,busy,client_shed,server_admitted_writes,server_shed_writes,\
-         server_shed_connections,p50_us,p99_us,p999_us,elapsed_ms,auto_compactions,stall_ms\n",
+         server_shed_connections,server_slowdown_stalls,server_stop_stalls,server_bg_flushes,\
+         p50_us,p99_us,p999_us,elapsed_ms,auto_compactions,stall_ms\n",
     );
     for row in rows {
         out.push_str(&format!(
-            "{},{},{},{},{},{:.1},{:.1},{},{},{},{},{},{},{},{},{},{:.2},{},{:.4}\n",
+            "{},{},{},{},{},{},{:.1},{:.1},{},{},{},{},{},{},{},{},{},{},{},{},{:.2},{},{:.4}\n",
             row.label,
+            row.mode,
             row.shards,
             row.strategy.name(),
             row.connections,
@@ -225,6 +233,9 @@ pub fn open_loop_csv(rows: &[OpenLoopRow]) -> String {
             row.server_admitted_writes,
             row.server_shed_writes,
             row.server_shed_connections,
+            row.server_slowdown_stalls,
+            row.server_stop_stalls,
+            row.server_bg_flushes,
             row.p50_micros,
             row.p99_micros,
             row.p999_micros,
@@ -244,14 +255,17 @@ pub fn open_loop_json(rows: &[OpenLoopRow]) -> String {
     let mut out = String::from("[\n");
     for (i, row) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "  {{\"label\": \"{}\", \"shards\": {}, \"strategy\": \"{}\", \
+            "  {{\"label\": \"{}\", \"mode\": \"{}\", \"shards\": {}, \"strategy\": \"{}\", \
              \"connections\": {}, \"window\": {}, \"offered_ops_per_sec\": {:.1}, \
              \"achieved_ops_per_sec\": {:.1}, \"completed\": {}, \"busy\": {}, \
              \"client_shed\": {}, \"server_admitted_writes\": {}, \
              \"server_shed_writes\": {}, \"server_shed_connections\": {}, \
+             \"server_slowdown_stalls\": {}, \"server_stop_stalls\": {}, \
+             \"server_bg_flushes\": {}, \
              \"p50_us\": {}, \"p99_us\": {}, \"p999_us\": {}, \
              \"elapsed_ms\": {:.2}, \"auto_compactions\": {}, \"stall_ms\": {:.4}}}{}\n",
             row.label,
+            row.mode,
             row.shards,
             row.strategy.name(),
             row.connections,
@@ -264,6 +278,9 @@ pub fn open_loop_json(rows: &[OpenLoopRow]) -> String {
             row.server_admitted_writes,
             row.server_shed_writes,
             row.server_shed_connections,
+            row.server_slowdown_stalls,
+            row.server_stop_stalls,
+            row.server_bg_flushes,
             row.p50_micros,
             row.p99_micros,
             row.p999_micros,

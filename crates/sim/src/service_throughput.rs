@@ -61,6 +61,10 @@ pub struct ServiceThroughputConfig {
     pub clients: usize,
     /// Server worker threads (≥ clients to avoid queueing sessions).
     pub workers: usize,
+    /// Run the shards with background maintenance (frozen-memtable
+    /// queue + flush thread + compaction scheduler) instead of inline
+    /// flush/compaction on the write path.
+    pub background: bool,
     /// Workload seed.
     pub seed: u64,
 }
@@ -88,6 +92,7 @@ impl ServiceThroughputConfig {
             ],
             clients: 4,
             workers: 4,
+            background: false,
             seed: 7,
         }
     }
@@ -178,6 +183,7 @@ impl ServiceThroughputConfig {
             strategies: vec![Strategy::BalanceTreeInput, Strategy::Random { seed: 3 }],
             clients: 4,
             workers: 4,
+            background: false,
             seed: 7,
         }
     }
@@ -210,10 +216,20 @@ impl ServiceThroughputConfig {
             })
             .compaction_strategy(strategy)
             .compaction_fanin(self.fanin)
+            .background_maintenance(self.background)
             // In-memory shards: WAL durability is exercised by the
             // crash-recovery tests; here it would only serialize every
             // write behind segment rewrites.
             .wal(false)
+    }
+
+    /// The engine mode every cell of this config runs with.
+    fn mode(&self) -> &'static str {
+        if self.background {
+            "background"
+        } else {
+            "inline"
+        }
     }
 
     /// Runs the sweep: one live server per (shard count, strategy) cell.
@@ -340,6 +356,7 @@ impl ServiceThroughputConfig {
         ServiceThroughputRow {
             shards,
             strategy,
+            mode: self.mode().to_owned(),
             clients: self.clients,
             read_percent: self.read_percent,
             scan_percent: self.scan_percent,
@@ -404,6 +421,9 @@ pub struct ServiceThroughputRow {
     pub shards: usize,
     /// Compaction strategy every shard used.
     pub strategy: Strategy,
+    /// Engine maintenance mode: `inline` (flush/compaction on the write
+    /// path) or `background` (frozen queue + maintenance threads).
+    pub mode: String,
     /// Concurrent closed-loop clients.
     pub clients: usize,
     /// Percentage of operations that were GETs (configured).
@@ -526,6 +546,29 @@ mod tests {
         assert!(row.scan_keys_per_sec > 0.0);
         assert!(row.scan_p50_micros <= row.scan_p99_micros);
         assert!(row.scan_p99_micros > 0, "scan tail measured");
+    }
+
+    #[test]
+    fn background_mode_serves_without_write_path_merges() {
+        let mut config = ServiceThroughputConfig::quick();
+        config.operation_count = 1_500;
+        config.shard_counts = vec![2];
+        config.strategies = vec![Strategy::BalanceTreeInput];
+        config.background = true;
+        let rows = config.run();
+        assert_eq!(rows.len(), 1);
+        let row = &rows[0];
+        assert_eq!(row.mode, "background");
+        assert_eq!(row.operations, config.operation_count);
+        assert!(row.throughput_ops_per_sec > 0.0, "{row:?}");
+        assert!(row.flushes >= 1, "flush threads kept up: {row:?}");
+        // The write path never executes a merge in background mode, so
+        // the only stall time left is the tiered-throttle pacing —
+        // bounded per write, not merge-length.
+        assert!(
+            row.compaction_stall < Duration::from_secs(2),
+            "background stall should be pacing, not merges: {row:?}"
+        );
     }
 
     #[test]

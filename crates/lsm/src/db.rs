@@ -64,6 +64,7 @@ use std::time::{Duration, Instant};
 use arc_swap::ArcSwap;
 use bytes::Bytes;
 use compaction_core::MergePlan;
+use obs::{EventKind, EventRing};
 use parking_lot::{Mutex, RwLock};
 
 use crate::batch::WriteBatch;
@@ -71,6 +72,7 @@ use crate::cache::{BlockCache, TableCache};
 use crate::compaction::{CompactionOutcome, CompactionStep};
 use crate::manifest::{Manifest, ManifestEdit, TableMeta};
 use crate::memtable::Memtable;
+use crate::metrics::EngineMetrics;
 use crate::observation::TableKeyObservation;
 use crate::options::{CompactionPolicy, LsmOptions};
 use crate::parallel::ParallelExecutor;
@@ -157,16 +159,29 @@ pub(crate) struct LsmInner {
     tables_probed: AtomicU64,
     range_scans: AtomicU64,
     range_pruned_tables: AtomicU64,
-    /// Clock zero for [`Lsm::pressure`]'s in-progress-compaction stamp.
+    /// Clock zero for [`Lsm::pressure`]'s in-progress-compaction stamp
+    /// and for event timestamps.
     epoch: Instant,
     /// Micros-since-`epoch` **plus one** at which the currently running
     /// inline compaction started; 0 when none is running.
     compaction_started: AtomicU64,
-    /// Accumulated write-path stall in micros (inline compactions plus
-    /// tiered background stalls), mirroring
-    /// [`LsmStats::compaction_stall`] so [`Lsm::pressure`] never takes
-    /// the stats mutex the write path contends on.
-    compaction_stall_micros: AtomicU64,
+    /// Per-operation latency histograms plus the stall histogram — the
+    /// single source of truth for stall accounting
+    /// ([`LsmStats::compaction_stall`] and [`LsmPressure::total_stall`]
+    /// are both its sum).
+    metrics: EngineMetrics,
+    /// Maintenance lifecycle trace: one shared ring when injected via
+    /// [`LsmOptions::event_sink`], else a private one.
+    events: EventRing,
+    /// Shard id stamped on every event ([`LsmOptions::shard_tag`]).
+    shard: u32,
+    /// [`StallTier`] code writers last observed; edges are traced as
+    /// [`EventKind::StallTierChange`] events.
+    stall_tier_seen: AtomicU64,
+    /// Memtable generation ids tying freeze → flush → retire events of
+    /// one generation together (inline flushes allocate from the same
+    /// sequence).
+    next_flush_generation: AtomicU64,
     /// Writes delayed by the slowdown stall tier.
     slowdown_stalls: AtomicU64,
     /// Writes blocked by the stop stall tier.
@@ -189,6 +204,8 @@ pub(crate) struct LsmInner {
 /// segment that made it durable (retired only after *its* flush).
 #[derive(Debug)]
 struct FrozenGen {
+    /// Generation id carried by this generation's trace events.
+    generation: u64,
     memtable: Memtable,
     wal_segment: Option<String>,
 }
@@ -309,7 +326,9 @@ pub struct LsmStats {
     /// Wall-clock time writes were stalled behind compaction work:
     /// inline merge time, plus slowdown sleeps and stop blocks under
     /// background maintenance. Background merge time itself does **not**
-    /// count — no write waits on it.
+    /// count — no write waits on it. Derived at snapshot time from the
+    /// engine's stall histogram ([`EngineMetrics::stall`]), the single
+    /// source every stall surface reads from.
     pub compaction_stall: Duration,
     /// Sum of the planner's predicted `cost_actual` (in keys) over all
     /// policy-driven compactions, for planned-vs-measured comparison.
@@ -377,13 +396,12 @@ impl LsmStats {
         self.frozen_queue_depth += other.frozen_queue_depth;
     }
 
-    fn record_compaction(&mut self, outcome: &CompactionOutcome, stall: Duration) {
+    fn record_compaction(&mut self, outcome: &CompactionOutcome) {
         self.compactions += 1;
         self.compaction_entries_read += outcome.entries_read;
         self.compaction_entries_written += outcome.entries_written;
         self.compaction_bytes_read += outcome.bytes_read;
         self.compaction_bytes_written += outcome.bytes_written;
-        self.compaction_stall += stall;
     }
 }
 
@@ -554,6 +572,23 @@ impl Lsm {
     #[must_use]
     pub fn pressure(&self) -> LsmPressure {
         self.inner.pressure()
+    }
+
+    /// The engine's per-operation latency histograms (get/put/
+    /// write-batch/scan-next/flush/compaction-step/stall). Lock-free to
+    /// read — snapshot individual histograms or use
+    /// [`EngineMetrics::named_snapshots`] for the full wire-ready set.
+    #[must_use]
+    pub fn metrics(&self) -> &EngineMetrics {
+        &self.inner.metrics
+    }
+
+    /// The maintenance-event trace ring this store records into (shared
+    /// across stores when injected via [`LsmOptions::event_sink`]).
+    /// Drain with [`obs::EventRing::since`].
+    #[must_use]
+    pub fn events(&self) -> &EventRing {
+        &self.inner.events
     }
 
     /// Metadata of the live sstables, oldest first. Served from the
@@ -889,6 +924,8 @@ impl LsmInner {
             None
         };
         let snapshot = ArcSwap::new(Arc::new(ReadView::from_manifest(&manifest)));
+        let events = crate::metrics::event_ring_for(&options);
+        let shard = options.shard_tag_id();
         Ok(Self {
             table_cache: Arc::new(TableCache::new(options.table_cache_tables())),
             block_cache: Arc::new(BlockCache::new(options.block_cache_bytes())),
@@ -912,7 +949,11 @@ impl LsmInner {
             range_pruned_tables: AtomicU64::new(0),
             epoch: Instant::now(),
             compaction_started: AtomicU64::new(0),
-            compaction_stall_micros: AtomicU64::new(0),
+            metrics: EngineMetrics::new(),
+            events,
+            shard,
+            stall_tier_seen: AtomicU64::new(0),
+            next_flush_generation: AtomicU64::new(0),
             slowdown_stalls: AtomicU64::new(0),
             stop_stalls: AtomicU64::new(0),
             bg_flushes: AtomicU64::new(0),
@@ -949,6 +990,7 @@ impl LsmInner {
         stats.slowdown_stalls = self.slowdown_stalls.load(Ordering::Relaxed);
         stats.stop_stalls = self.stop_stalls.load(Ordering::Relaxed);
         stats.frozen_queue_depth = self.frozen.load_full().len() as u64;
+        stats.compaction_stall = Duration::from_micros(self.metrics.stall.sum());
         stats
     }
 
@@ -974,9 +1016,7 @@ impl LsmInner {
             memtable_capacity: self.options.memtable_capacity_keys(),
             compaction_running: started != 0 || self.bg_compacting.load(Ordering::Relaxed),
             current_stall,
-            total_stall: Duration::from_micros(
-                self.compaction_stall_micros.load(Ordering::Relaxed),
-            ),
+            total_stall: Duration::from_micros(self.metrics.stall.sum()),
             compaction_backlog,
             frozen_queue_depth: self.frozen.load_full().len(),
             stall_tier: self.stall_tier(),
@@ -1019,19 +1059,24 @@ impl LsmInner {
     /// taken (a stalled writer holding the mutex would deadlock the
     /// flush thread it is waiting on). Slowdown delays the write by one
     /// bounded sleep; stop blocks until maintenance drains below the
-    /// trigger (or shutdown). Pacing shows up in the `slowdown_stalls`
-    /// / `stop_stalls` counters, not in `compaction_stall` — that
-    /// duration keeps meaning "maintenance ran on the write path", so
-    /// it reads ~0 whenever background mode is doing its job.
+    /// trigger (or shutdown). Every paced microsecond is recorded into
+    /// the stall histogram — the single source `compaction_stall` and
+    /// `total_stall` are derived from — alongside the
+    /// `slowdown_stalls` / `stop_stalls` occurrence counters.
     fn throttle_write(&self) {
-        match self.stall_tier() {
+        let tier = self.stall_tier();
+        self.note_stall_tier(tier);
+        match tier {
             StallTier::None => {}
             StallTier::Slowdown => {
                 self.slowdown_stalls.fetch_add(1, Ordering::Relaxed);
+                let stalled = Instant::now();
                 std::thread::sleep(SLOWDOWN_SLEEP);
+                self.metrics.stall.record_duration(stalled.elapsed());
             }
             StallTier::Stop => {
                 self.stop_stalls.fetch_add(1, Ordering::Relaxed);
+                let stalled = Instant::now();
                 while self.stall_tier() == StallTier::Stop
                     && !self.maint.shutdown.load(Ordering::SeqCst)
                 {
@@ -1039,11 +1084,66 @@ impl LsmInner {
                     self.maint.compact_signal.notify();
                     self.maint.progress_signal.wait_timeout(STALL_WAIT_SLICE);
                 }
+                self.metrics.stall.record_duration(stalled.elapsed());
             }
         }
     }
 
+    /// Appends one structured event to the trace ring, stamped with
+    /// this store's shard tag and micros since open.
+    fn emit(&self, kind: EventKind, fields: Vec<(&'static str, u64)>) {
+        self.events.record(
+            self.shard,
+            kind,
+            self.epoch.elapsed().as_micros() as u64,
+            fields,
+        );
+    }
+
+    /// Traces stall-tier *edges*: emits [`EventKind::StallTierChange`]
+    /// only when `tier` differs from what the previous writer saw.
+    fn note_stall_tier(&self, tier: StallTier) {
+        let code = tier_code(tier);
+        let previous = self.stall_tier_seen.swap(code, Ordering::Relaxed);
+        if previous != code {
+            self.emit(
+                EventKind::StallTierChange,
+                vec![("from", previous), ("to", code)],
+            );
+        }
+    }
+
+    /// An executor wired to this store's compaction-step histogram and
+    /// wave-start trace events (`predicted_cost` is stamped on each
+    /// wave so a trace consumer can follow one compaction end to end).
+    fn instrumented_executor(&self, options: LsmOptions, predicted_cost: u64) -> ParallelExecutor {
+        let events = self.events.clone();
+        let shard = self.shard;
+        let epoch = self.epoch;
+        ParallelExecutor::new(Arc::clone(&self.storage), options)
+            .with_step_timer(self.metrics.compaction_step.clone())
+            .with_wave_hook(move |wave, steps| {
+                events.record(
+                    shard,
+                    EventKind::CompactionWaveStart,
+                    epoch.elapsed().as_micros() as u64,
+                    vec![
+                        ("wave", wave as u64),
+                        ("steps", steps as u64),
+                        ("predicted_cost", predicted_cost),
+                    ],
+                );
+            })
+    }
+
     fn put(&self, key: Key, value: Value) -> Result<(), Error> {
+        let started = Instant::now();
+        let result = self.put_inner(key, value);
+        self.metrics.put.record_duration(started.elapsed());
+        result
+    }
+
+    fn put_inner(&self, key: Key, value: Value) -> Result<(), Error> {
         self.throttle_write();
         let mut w = self.write.lock();
         let seqno = w.manifest.allocate_seqno();
@@ -1054,6 +1154,15 @@ impl LsmInner {
     }
 
     fn delete(&self, key: Key) -> Result<(), Error> {
+        // Deletes are writes of a tombstone; they share the put
+        // histogram rather than splitting the sample population.
+        let started = Instant::now();
+        let result = self.delete_inner(key);
+        self.metrics.put.record_duration(started.elapsed());
+        result
+    }
+
+    fn delete_inner(&self, key: Key) -> Result<(), Error> {
         self.throttle_write();
         let mut w = self.write.lock();
         let seqno = w.manifest.allocate_seqno();
@@ -1070,6 +1179,13 @@ impl LsmInner {
     }
 
     fn write_batch(&self, batch: WriteBatch) -> Result<(), Error> {
+        let started = Instant::now();
+        let result = self.write_batch_inner(batch);
+        self.metrics.write_batch.record_duration(started.elapsed());
+        result
+    }
+
+    fn write_batch_inner(&self, batch: WriteBatch) -> Result<(), Error> {
         if batch.is_empty() {
             return Ok(());
         }
@@ -1145,23 +1261,43 @@ impl LsmInner {
             w.next_wal_generation += 1;
             w.wal = Some(Wal::new(Wal::generation_blob_name(generation)));
         }
-        {
+        let generation = self.next_flush_generation.fetch_add(1, Ordering::Relaxed);
+        let (entries, queue_depth) = {
             let mut active = self.memtable.write();
             let frozen_memtable = std::mem::replace(
                 &mut *active,
                 Memtable::new(self.options.memtable_capacity_keys()),
             );
+            let entries = frozen_memtable.len() as u64;
             let mut next: Vec<Arc<FrozenGen>> = queue.as_ref().clone();
             next.push(Arc::new(FrozenGen {
+                generation,
                 memtable: frozen_memtable,
                 wal_segment,
             }));
+            let queue_depth = next.len() as u64;
             self.frozen.store(Arc::new(next));
-        }
+            (entries, queue_depth)
+        };
+        self.emit(
+            EventKind::MemtableFreeze,
+            vec![
+                ("generation", generation),
+                ("entries", entries),
+                ("queue_depth", queue_depth),
+            ],
+        );
         self.maint.flush_signal.notify();
     }
 
     fn get(&self, key: &[u8]) -> Result<Option<Value>, Error> {
+        let started = Instant::now();
+        let result = self.get_inner(key);
+        self.metrics.get.record_duration(started.elapsed());
+        result
+    }
+
+    fn get_inner(&self, key: &[u8]) -> Result<Option<Value>, Error> {
         self.gets.fetch_add(1, Ordering::Relaxed);
         loop {
             // Read in data-flow order (active → frozen → tables): an
@@ -1277,6 +1413,12 @@ impl LsmInner {
         }
     }
 
+    /// Records one range-scan `next()` call's latency
+    /// ([`RangeIter`](crate::scan::RangeIter) reports each step here).
+    pub(crate) fn record_scan_next(&self, elapsed: Duration) {
+        self.metrics.scan_next.record_duration(elapsed);
+    }
+
     fn flush(&self) -> Result<Option<u64>, Error> {
         if !self.background() {
             let mut w = self.write.lock();
@@ -1320,6 +1462,16 @@ impl LsmInner {
             }
             memtable.iter().collect()
         };
+        // Inline flushes are their own freeze: the memtable goes
+        // straight to a table, so one generation id covers the whole
+        // freeze → flush → retire lifecycle in the trace.
+        let generation = self.next_flush_generation.fetch_add(1, Ordering::Relaxed);
+        let entry_total = entries.len() as u64;
+        self.emit(
+            EventKind::FlushStart,
+            vec![("generation", generation), ("entries", entry_total)],
+        );
+        let started = Instant::now();
         let table_id = w.manifest.allocate_table_id();
         let meta = self.build_sstable(table_id, &entries)?;
         w.manifest.apply(ManifestEdit::AddTable(meta))?;
@@ -1329,8 +1481,21 @@ impl LsmInner {
         // never zero times.
         self.publish_snapshot(&w.manifest);
         self.memtable.write().clear();
+        self.metrics.flush.record_duration(started.elapsed());
+        self.emit(
+            EventKind::FlushPublish,
+            vec![
+                ("generation", generation),
+                ("table", table_id),
+                ("entries", entry_total),
+            ],
+        );
         if let Some(wal) = &mut w.wal {
             wal.reset(self.storage.as_ref())?;
+            self.emit(
+                EventKind::WalSegmentRetire,
+                vec![("generation", generation)],
+            );
         }
         self.stats.lock().flushes += 1;
         w.flushes_since_compaction += 1;
@@ -1410,15 +1575,24 @@ impl LsmInner {
     /// the two (duplicates deduplicate by source precedence).
     fn flush_frozen(&self, gen: &Arc<FrozenGen>) -> Result<(), Error> {
         let entries: Vec<Entry> = gen.memtable.iter().collect();
+        let started = Instant::now();
         let added = if entries.is_empty() {
             None
         } else {
+            self.emit(
+                EventKind::FlushStart,
+                vec![
+                    ("generation", gen.generation),
+                    ("entries", entries.len() as u64),
+                ],
+            );
             let table_id = self.write.lock().manifest.allocate_table_id();
             Some(self.build_sstable(table_id, &entries)?)
         };
         let table_id = added.as_ref().map(|meta| meta.table_id);
         self.retire_frozen(gen, added)?;
         if let Some(table_id) = table_id {
+            self.metrics.flush.record_duration(started.elapsed());
             self.stats.lock().flushes += 1;
             self.bg_flushes.fetch_add(1, Ordering::Relaxed);
             self.last_bg_flush_table
@@ -1435,10 +1609,19 @@ impl LsmInner {
         {
             let mut w = self.write.lock();
             if let Some(meta) = added {
+                let (table_id, entry_count) = (meta.table_id, meta.entry_count);
                 w.manifest.apply(ManifestEdit::AddTable(meta))?;
                 w.manifest.persist(self.storage.as_ref())?;
                 self.publish_snapshot(&w.manifest);
                 w.flushes_since_compaction += 1;
+                self.emit(
+                    EventKind::FlushPublish,
+                    vec![
+                        ("generation", gen.generation),
+                        ("table", table_id),
+                        ("entries", entry_count),
+                    ],
+                );
             }
             let queue = self.frozen.load_full();
             let remaining: Vec<Arc<FrozenGen>> = queue
@@ -1450,6 +1633,10 @@ impl LsmInner {
         }
         if let Some(segment) = &gen.wal_segment {
             Wal::retire_segment(self.storage.as_ref(), segment)?;
+            self.emit(
+                EventKind::WalSegmentRetire,
+                vec![("generation", gen.generation)],
+            );
         }
         Ok(())
     }
@@ -1499,19 +1686,61 @@ impl LsmInner {
             return Ok(None);
         };
         let initial: Vec<u64> = w.manifest.tables().iter().map(|t| t.table_id).collect();
-        let executor = ParallelExecutor::new(Arc::clone(&self.storage), self.options.clone());
-        let outcome = executor.execute_plan_with(&mut w.manifest, &initial, &plan, |manifest| {
-            self.on_manifest_flip(&initial, manifest);
-        })?;
+        let steps: Vec<CompactionStep> = plan
+            .steps()
+            .iter()
+            .map(|inputs| CompactionStep::new(inputs.clone()))
+            .collect();
+        let predicted = plan.predicted_cost_actual();
+        let outcome = if steps.is_empty() {
+            CompactionOutcome::default()
+        } else {
+            self.emit(
+                EventKind::CompactionPlanned,
+                vec![
+                    ("tables", initial.len() as u64),
+                    ("steps", steps.len() as u64),
+                    ("waves", plan.waves().len() as u64),
+                    ("predicted_cost", predicted),
+                ],
+            );
+            let executor = self.instrumented_executor(self.options.clone(), predicted);
+            let prepared =
+                executor.prepare(&mut w.manifest, &initial, &steps, Some(plan.waves()))?;
+            let merged = executor.merge_prepared(&prepared)?;
+            let outcome =
+                ParallelExecutor::commit(&mut w.manifest, &merged, self.storage.as_ref(), |m| {
+                    self.on_manifest_flip(&initial, m);
+                })?;
+            self.emit(
+                EventKind::CompactionManifestFlip,
+                vec![
+                    ("tables_after", w.manifest.table_count() as u64),
+                    ("predicted_cost", predicted),
+                    ("measured_cost", outcome.entry_cost()),
+                ],
+            );
+            executor.retire_consumed(&merged)?;
+            self.emit(
+                EventKind::CompactionInputsRetired,
+                vec![
+                    ("inputs", merged.consumed_count() as u64),
+                    ("predicted_cost", predicted),
+                    ("measured_cost", outcome.entry_cost()),
+                ],
+            );
+            outcome
+        };
+        // Inline compaction ran on the write path: the caller's write
+        // stalled for the whole run, so it is one stall sample.
         let stall = start.elapsed();
+        self.metrics.stall.record_duration(stall);
         {
             let mut stats = self.stats.lock();
-            stats.record_compaction(&outcome, stall);
+            stats.record_compaction(&outcome);
             stats.auto_compactions += 1;
-            stats.compaction_predicted_cost += plan.predicted_cost_actual();
+            stats.compaction_predicted_cost += predicted;
         }
-        self.compaction_stall_micros
-            .fetch_add(stall.as_micros() as u64, Ordering::Relaxed);
         w.flushes_since_compaction = 0;
         Ok(Some(AutoCompaction {
             plan,
@@ -1526,14 +1755,50 @@ impl LsmInner {
         let mut w = self.write.lock();
         let _mark = self.mark_compacting();
         let initial: Vec<u64> = w.manifest.tables().iter().map(|t| t.table_id).collect();
-        let executor = ParallelExecutor::new(Arc::clone(&self.storage), self.options.clone());
-        let outcome = executor.execute_with(&mut w.manifest, &initial, steps, |manifest| {
-            self.on_manifest_flip(&initial, manifest);
-        })?;
+        // Manual schedules carry no planner prediction: cost fields
+        // trace as 0 predicted, measured only.
+        let outcome = if steps.is_empty() {
+            CompactionOutcome::default()
+        } else {
+            let waves = ParallelExecutor::waves_for_steps(initial.len(), steps);
+            self.emit(
+                EventKind::CompactionPlanned,
+                vec![
+                    ("tables", initial.len() as u64),
+                    ("steps", steps.len() as u64),
+                    ("waves", waves.len() as u64),
+                    ("predicted_cost", 0),
+                ],
+            );
+            let executor = self.instrumented_executor(self.options.clone(), 0);
+            let prepared = executor.prepare(&mut w.manifest, &initial, steps, Some(&waves))?;
+            let merged = executor.merge_prepared(&prepared)?;
+            let outcome =
+                ParallelExecutor::commit(&mut w.manifest, &merged, self.storage.as_ref(), |m| {
+                    self.on_manifest_flip(&initial, m);
+                })?;
+            self.emit(
+                EventKind::CompactionManifestFlip,
+                vec![
+                    ("tables_after", w.manifest.table_count() as u64),
+                    ("predicted_cost", 0),
+                    ("measured_cost", outcome.entry_cost()),
+                ],
+            );
+            executor.retire_consumed(&merged)?;
+            self.emit(
+                EventKind::CompactionInputsRetired,
+                vec![
+                    ("inputs", merged.consumed_count() as u64),
+                    ("predicted_cost", 0),
+                    ("measured_cost", outcome.entry_cost()),
+                ],
+            );
+            outcome
+        };
         let stall = start.elapsed();
-        self.stats.lock().record_compaction(&outcome, stall);
-        self.compaction_stall_micros
-            .fetch_add(stall.as_micros() as u64, Ordering::Relaxed);
+        self.metrics.stall.record_duration(stall);
+        self.stats.lock().record_compaction(&outcome);
         w.flushes_since_compaction = 0;
         Ok(outcome)
     }
@@ -1617,7 +1882,17 @@ impl LsmInner {
             .iter()
             .map(|inputs| CompactionStep::new(inputs.clone()))
             .collect();
-        let executor = ParallelExecutor::new(Arc::clone(&self.storage), options);
+        let predicted = plan.predicted_cost_actual();
+        self.emit(
+            EventKind::CompactionPlanned,
+            vec![
+                ("tables", initial.len() as u64),
+                ("steps", steps.len() as u64),
+                ("waves", plan.waves().len() as u64),
+                ("predicted_cost", predicted),
+            ],
+        );
+        let executor = self.instrumented_executor(options, predicted);
         let prepared = {
             let mut w = self.write.lock();
             executor.prepare(&mut w.manifest, &initial, &steps, Some(plan.waves()))?
@@ -1632,17 +1907,34 @@ impl LsmInner {
                 |manifest| self.on_manifest_flip(&initial, manifest),
             )?;
             w.flushes_since_compaction = 0;
+            self.emit(
+                EventKind::CompactionManifestFlip,
+                vec![
+                    ("tables_after", w.manifest.table_count() as u64),
+                    ("predicted_cost", predicted),
+                    ("measured_cost", outcome.entry_cost()),
+                ],
+            );
             outcome
         };
         executor.retire_consumed(&merged)?;
+        self.emit(
+            EventKind::CompactionInputsRetired,
+            vec![
+                ("inputs", merged.consumed_count() as u64),
+                ("predicted_cost", predicted),
+                ("measured_cost", outcome.entry_cost()),
+            ],
+        );
         let stall = start.elapsed();
         {
             // Elapsed time is scheduler time, not write stall: no
-            // writer waited on this merge.
+            // writer waited on this merge, so nothing is recorded into
+            // the stall histogram.
             let mut stats = self.stats.lock();
-            stats.record_compaction(&outcome, Duration::ZERO);
+            stats.record_compaction(&outcome);
             stats.auto_compactions += 1;
-            stats.compaction_predicted_cost += plan.predicted_cost_actual();
+            stats.compaction_predicted_cost += predicted;
         }
         self.maint.progress_signal.notify();
         Ok(Some(AutoCompaction {
@@ -1739,6 +2031,15 @@ impl Drop for BgCompactingGuard<'_> {
 /// retired by compaction and its blob already deleted.
 fn is_retired_table(e: &Error) -> bool {
     matches!(e, Error::Io(io) if io.kind() == std::io::ErrorKind::NotFound)
+}
+
+/// The wire encoding of a [`StallTier`] in `stall_tier_change` events.
+fn tier_code(tier: StallTier) -> u64 {
+    match tier {
+        StallTier::None => 0,
+        StallTier::Slowdown => 1,
+        StallTier::Stop => 2,
+    }
 }
 
 // The KV service shares one `Lsm` per shard across every worker thread:
@@ -2484,10 +2785,9 @@ mod tests {
         db.put_u64(2, b"x".to_vec()).unwrap();
         let stats = db.stats();
         assert!(stats.slowdown_stalls >= 1, "write was delayed");
-        assert_eq!(
-            stats.compaction_stall,
-            Duration::ZERO,
-            "pacing is counted in slowdown_stalls, not timed as write-path stall"
+        assert!(
+            stats.compaction_stall > Duration::ZERO,
+            "the slowdown sleep is timed into the unified stall source"
         );
 
         gated.open_gate();

@@ -99,6 +99,7 @@ mod error;
 mod iter;
 mod manifest;
 mod memtable;
+pub mod metrics;
 mod observation;
 mod options;
 mod parallel;
@@ -121,6 +122,7 @@ pub use error::Error;
 pub use iter::MergingIter;
 pub use manifest::{Manifest, ManifestEdit, TableMeta};
 pub use memtable::Memtable;
+pub use metrics::EngineMetrics;
 pub use observation::TableKeyObservation;
 pub use options::{CompactionPolicy, LsmOptions};
 pub use parallel::ParallelExecutor;
@@ -135,3 +137,9 @@ pub use wal::{Wal, WalRecord};
 // Re-exported so engine users can configure policies without adding a
 // direct `compaction-core` dependency.
 pub use compaction_core::{MergePlan, SizeEstimator, Strategy};
+
+// Re-exported so engine users can consume metrics and events without
+// adding a direct `obs` dependency.
+pub use obs::{
+    Event, EventDrain, EventKind, EventRing, HistogramSnapshot, LatencyHistogram, MetricsSnapshot,
+};

@@ -1,6 +1,22 @@
 //! Engine configuration.
 
 use compaction_core::{SizeEstimator, Strategy};
+use obs::EventRing;
+
+/// An injected maintenance-event sink, compared by ring identity so
+/// `LsmOptions` keeps its derived `PartialEq`/`Eq` (two option sets are
+/// equal when they share the same ring, not when two distinct rings
+/// happen to hold equal contents).
+#[derive(Debug, Clone)]
+struct EventSinkOpt(EventRing);
+
+impl PartialEq for EventSinkOpt {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.same_ring(&other.0)
+    }
+}
+
+impl Eq for EventSinkOpt {}
 
 /// When the engine compacts on its own.
 ///
@@ -88,6 +104,8 @@ pub struct LsmOptions {
     stop_trigger: usize,
     frozen_queue_limit: usize,
     adaptive_strategy: bool,
+    event_sink: Option<EventSinkOpt>,
+    shard_tag: u32,
 }
 
 impl Default for LsmOptions {
@@ -112,6 +130,8 @@ impl Default for LsmOptions {
             stop_trigger: 4,
             frozen_queue_limit: 8,
             adaptive_strategy: false,
+            event_sink: None,
+            shard_tag: 0,
         }
     }
 }
@@ -304,6 +324,28 @@ impl LsmOptions {
         self
     }
 
+    /// Injects a shared maintenance-event ring: the store records its
+    /// lifecycle events (freezes, flushes, compactions, stall-tier
+    /// transitions) into `ring` instead of a private one. A sharded
+    /// deployment passes one ring to every shard so events interleave
+    /// under a single drain cursor; pair with
+    /// [`LsmOptions::shard_tag`] so each event says which shard emitted
+    /// it.
+    #[must_use]
+    pub fn event_sink(mut self, ring: EventRing) -> Self {
+        self.event_sink = Some(EventSinkOpt(ring));
+        self
+    }
+
+    /// Tags every event and metric this store emits with a shard id
+    /// (default 0). Only meaningful alongside a shared
+    /// [`LsmOptions::event_sink`].
+    #[must_use]
+    pub fn shard_tag(mut self, shard: u32) -> Self {
+        self.shard_tag = shard;
+        self
+    }
+
     /// Memtable capacity in distinct keys.
     #[must_use]
     pub fn memtable_capacity_keys(&self) -> usize {
@@ -418,6 +460,18 @@ impl LsmOptions {
     pub fn adaptive_strategy_enabled(&self) -> bool {
         self.adaptive_strategy
     }
+
+    /// The injected shared event ring, if any (a cheap handle clone).
+    #[must_use]
+    pub fn event_sink_ring(&self) -> Option<EventRing> {
+        self.event_sink.as_ref().map(|sink| sink.0.clone())
+    }
+
+    /// The shard id stamped on this store's events.
+    #[must_use]
+    pub fn shard_tag_id(&self) -> u32 {
+        self.shard_tag
+    }
 }
 
 #[cfg(test)]
@@ -497,6 +551,21 @@ mod tests {
         assert_eq!(opts.slowdown_trigger_debt(), 2);
         assert_eq!(opts.stop_trigger_debt(), 4);
         assert_eq!(opts.frozen_queue_limit_generations(), 8);
+    }
+
+    #[test]
+    fn event_sink_compares_by_ring_identity() {
+        let ring = EventRing::new(8);
+        let a = LsmOptions::default().event_sink(ring.clone()).shard_tag(3);
+        let b = LsmOptions::default().event_sink(ring.clone()).shard_tag(3);
+        assert_eq!(a, b, "clones of one ring compare equal");
+        let c = LsmOptions::default()
+            .event_sink(EventRing::new(8))
+            .shard_tag(3);
+        assert_ne!(a, c, "a distinct ring is a different configuration");
+        assert!(a.event_sink_ring().unwrap().same_ring(&ring));
+        assert_eq!(a.shard_tag_id(), 3);
+        assert!(LsmOptions::default().event_sink_ring().is_none());
     }
 
     #[test]

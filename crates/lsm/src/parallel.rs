@@ -18,6 +18,9 @@
 //!   (likewise cleaned) — never a manifest referencing missing tables.
 
 use std::sync::Arc;
+use std::time::Instant;
+
+use obs::LatencyHistogram;
 
 use crate::compaction::{CompactionOutcome, CompactionStep};
 use crate::iter::MergingIter;
@@ -75,18 +78,64 @@ pub struct MergedOutputs {
     consumed_initial: Vec<u64>,
 }
 
+impl MergedOutputs {
+    /// How many input tables this merge consumed (what
+    /// [`ParallelExecutor::retire_consumed`] will delete).
+    #[must_use]
+    pub fn consumed_count(&self) -> usize {
+        self.consumed_initial.len()
+    }
+}
+
+/// Called as each dependency wave starts: `(wave index, steps in wave)`.
+type WaveHook = Box<dyn Fn(usize, usize) + Send + Sync>;
+
 /// Executes compaction steps wave-parallel with atomic manifest edits.
-#[derive(Debug)]
 pub struct ParallelExecutor {
     storage: Arc<dyn Storage>,
     options: LsmOptions,
+    /// Records each merge step's wall-clock duration when set.
+    step_timer: Option<LatencyHistogram>,
+    wave_hook: Option<WaveHook>,
+}
+
+impl std::fmt::Debug for ParallelExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParallelExecutor")
+            .field("options", &self.options)
+            .field("step_timer", &self.step_timer)
+            .field("wave_hook", &self.wave_hook.as_ref().map(|_| "Fn"))
+            .finish_non_exhaustive()
+    }
 }
 
 impl ParallelExecutor {
     /// Creates an executor reading and writing through `storage`.
     #[must_use]
     pub fn new(storage: Arc<dyn Storage>, options: LsmOptions) -> Self {
-        Self { storage, options }
+        Self {
+            storage,
+            options,
+            step_timer: None,
+            wave_hook: None,
+        }
+    }
+
+    /// Records every merge step's duration into `histogram` (the
+    /// engine's `compaction_step` latency histogram).
+    #[must_use]
+    pub fn with_step_timer(mut self, histogram: LatencyHistogram) -> Self {
+        self.step_timer = Some(histogram);
+        self
+    }
+
+    /// Invokes `hook(wave index, steps in wave)` as each dependency
+    /// wave starts executing — where the engine emits its
+    /// wave-start trace events.
+    #[must_use]
+    pub fn with_wave_hook(mut self, hook: impl Fn(usize, usize) + Send + Sync + 'static) -> Self {
+        self.wave_hook = Some(Box::new(hook));
+        self
     }
 
     /// Groups `steps` into dependency waves over `n_initial` input
@@ -311,7 +360,10 @@ impl ParallelExecutor {
         let mut results: Vec<Option<StepResult>> = (0..steps.len()).map(|_| None).collect();
         let mut written_blobs: Vec<String> = Vec::new();
 
-        for wave in &prepared.waves {
+        for (wave_idx, wave) in prepared.waves.iter().enumerate() {
+            if let Some(hook) = &self.wave_hook {
+                hook(wave_idx, wave.len());
+            }
             for chunk in wave.chunks(self.options.threads().max(1)) {
                 let chunk_results: Vec<(usize, Result<StepResult, Error>)> =
                     std::thread::scope(|scope| {
@@ -323,10 +375,13 @@ impl ParallelExecutor {
                                 let drop_tombstones =
                                     step_idx + 1 == steps.len() && self.options.drops_tombstones();
                                 scope.spawn(move || {
-                                    (
-                                        step_idx,
-                                        self.merge_step(input_ids, output_id, drop_tombstones),
-                                    )
+                                    let started = Instant::now();
+                                    let result =
+                                        self.merge_step(input_ids, output_id, drop_tombstones);
+                                    if let Some(timer) = &self.step_timer {
+                                        timer.record_duration(started.elapsed());
+                                    }
+                                    (step_idx, result)
                                 })
                             })
                             .collect();
@@ -626,6 +681,35 @@ mod tests {
         let outcome = exec.execute(&mut manifest, &ids, &[]).unwrap();
         assert_eq!(outcome, CompactionOutcome::default());
         assert_eq!(manifest.table_count(), 1);
+    }
+
+    #[test]
+    fn instrumentation_observes_every_wave_and_step() {
+        use std::sync::Mutex;
+
+        let (storage, mut manifest, _) = setup(2);
+        let ids = vec![
+            make_table(storage.as_ref(), &mut manifest, &[1, 2], 1),
+            make_table(storage.as_ref(), &mut manifest, &[3, 4], 2),
+            make_table(storage.as_ref(), &mut manifest, &[5, 6], 3),
+            make_table(storage.as_ref(), &mut manifest, &[7, 8], 4),
+        ];
+        // Balanced: wave 0 = steps {0, 1}, wave 1 = step {2}.
+        let steps = vec![
+            CompactionStep::new(vec![0, 1]),
+            CompactionStep::new(vec![2, 3]),
+            CompactionStep::new(vec![4, 5]),
+        ];
+        let timer = LatencyHistogram::new();
+        let waves: Arc<Mutex<Vec<(usize, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+        let seen = Arc::clone(&waves);
+        let exec =
+            ParallelExecutor::new(storage.clone(), LsmOptions::default().compaction_threads(2))
+                .with_step_timer(timer.clone())
+                .with_wave_hook(move |wave, n| seen.lock().unwrap().push((wave, n)));
+        exec.execute(&mut manifest, &ids, &steps).unwrap();
+        assert_eq!(timer.count(), 3, "one duration sample per merge step");
+        assert_eq!(*waves.lock().unwrap(), vec![(0, 2), (1, 1)]);
     }
 
     #[test]

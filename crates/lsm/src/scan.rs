@@ -139,6 +139,15 @@ impl Iterator for RangeIter<'_> {
     type Item = Result<(Key, Value), Error>;
 
     fn next(&mut self) -> Option<Self::Item> {
+        let started = std::time::Instant::now();
+        let item = self.next_inner();
+        self.db.record_scan_next(started.elapsed());
+        item
+    }
+}
+
+impl RangeIter<'_> {
+    fn next_inner(&mut self) -> Option<Result<(Key, Value), Error>> {
         if self.done {
             return None;
         }

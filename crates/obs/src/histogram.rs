@@ -1,0 +1,185 @@
+//! The lock-free log-bucketed histogram.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::snapshot::HistogramSnapshot;
+
+/// Number of buckets: one per power of two of the `u64` sample space.
+/// Bucket `i` covers `[2^i, 2^(i+1))` (bucket 0 additionally holds 0),
+/// so any sample lands in exactly one bucket and the bucket's upper
+/// bound over-reports it by at most ~2×.
+pub const NUM_BUCKETS: usize = 64;
+
+/// The bucket a sample falls into: `floor(log2(max(value, 1)))`.
+#[inline]
+#[must_use]
+pub(crate) fn bucket_index(value: u64) -> usize {
+    (63 - (value | 1).leading_zeros()) as usize
+}
+
+/// The largest value bucket `index` covers — what quantiles report, so
+/// a reported quantile never under-states the true sample.
+#[inline]
+#[must_use]
+pub(crate) fn bucket_upper_bound(index: usize) -> u64 {
+    if index >= NUM_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << (index + 1)) - 1
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for HistogramInner {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A lock-free, fixed-footprint latency histogram.
+///
+/// Cloning is cheap and shares the underlying buckets (an `Arc`), so
+/// one histogram can be recorded into from the write path and read by
+/// a metrics endpoint with no coordination beyond relaxed atomics.
+///
+/// Samples are plain `u64`s; by convention the engine records
+/// microseconds. Recording is wait-free: one relaxed `fetch_add` per
+/// bucket/count/sum.
+///
+/// # Examples
+///
+/// ```
+/// use obs::LatencyHistogram;
+///
+/// let h = LatencyHistogram::new();
+/// for v in [10, 12, 900, 15_000] {
+///     h.record(v);
+/// }
+/// let snap = h.snapshot();
+/// assert_eq!(snap.count(), 4);
+/// assert!(snap.quantile_permille(500) >= 12);
+/// assert!(snap.quantile_permille(999) >= 15_000);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LatencyHistogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let inner = &self.inner;
+        inner.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration as whole microseconds (saturating).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Total samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples (total stall/latency mass). This is
+    /// the single source of truth unified accounting reads from.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    /// An owned, point-in-time copy of the buckets. Concurrent
+    /// recording keeps going; the snapshot is internally consistent
+    /// enough for quantiles (counts may trail the sum by in-flight
+    /// samples).
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; NUM_BUCKETS];
+        for (i, b) in self.inner.buckets.iter().enumerate() {
+            buckets[i] = b.load(Ordering::Relaxed);
+        }
+        let count = buckets.iter().sum();
+        HistogramSnapshot::from_parts(buckets, count, self.inner.sum.load(Ordering::Relaxed))
+    }
+
+    /// Adds every bucket of `other` into `self` (shard aggregation).
+    pub fn merge_from(&self, other: &HistogramSnapshot) {
+        for (i, &n) in other.buckets().iter().enumerate() {
+            if n > 0 {
+                self.inner.buckets[i].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.inner.count.fetch_add(other.count(), Ordering::Relaxed);
+        self.inner.sum.fetch_add(other.sum(), Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_floor_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(1023), 9);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), 63);
+    }
+
+    #[test]
+    fn bucket_bounds_cover_their_range() {
+        for i in 0..NUM_BUCKETS {
+            let upper = bucket_upper_bound(i);
+            assert_eq!(bucket_index(upper), i, "upper bound stays in bucket {i}");
+        }
+        assert_eq!(bucket_upper_bound(0), 1);
+        assert_eq!(bucket_upper_bound(63), u64::MAX);
+    }
+
+    #[test]
+    fn record_and_sum() {
+        let h = LatencyHistogram::new();
+        h.record(0);
+        h.record(100);
+        h.record_duration(Duration::from_micros(900));
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 1000);
+        assert_eq!(h.snapshot().count(), 3);
+    }
+
+    #[test]
+    fn clone_shares_buckets() {
+        let a = LatencyHistogram::new();
+        let b = a.clone();
+        a.record(7);
+        assert_eq!(b.count(), 1, "clones observe each other's samples");
+    }
+}

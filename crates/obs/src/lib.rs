@@ -1,0 +1,36 @@
+//! In-process observability primitives: lock-free latency histograms
+//! and a bounded structured event ring.
+//!
+//! This crate is the measurement substrate the engine, service and
+//! harness all report through:
+//!
+//! * [`LatencyHistogram`] — a fixed-footprint, log-bucketed histogram
+//!   of `u64` samples (microseconds by convention). Recording is one
+//!   relaxed atomic add per sample, so it is safe on the hottest paths;
+//!   buckets are powers of two, giving every reported quantile at most
+//!   ~2× relative error. Histograms are mergeable (bucket-wise add),
+//!   which is how a sharded deployment aggregates per-shard
+//!   distributions into one.
+//! * [`HistogramSnapshot`] — an owned copy of a histogram's buckets
+//!   with nearest-rank quantiles (p50/p90/p99/p999), merge, and a
+//!   sparse encoding for wire transport.
+//! * [`EventRing`] — a bounded ring of structured [`Event`]s (a kind, a
+//!   timestamp, a shard tag and named `u64` fields) with a monotonic
+//!   cursor: consumers drain "everything since seq N" and learn how
+//!   many events overflowed in between. Built for low-rate maintenance
+//!   lifecycle events (freezes, flushes, compaction phases, stall-tier
+//!   transitions), not per-operation logging.
+//! * [`MetricsSnapshot`] — the self-describing data model a server
+//!   exposes: named counters plus named histogram snapshots, renderable
+//!   as Prometheus-style text ([`MetricsSnapshot::to_prometheus_text`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod events;
+mod histogram;
+mod snapshot;
+
+pub use events::{Event, EventDrain, EventKind, EventRing};
+pub use histogram::{LatencyHistogram, NUM_BUCKETS};
+pub use snapshot::{HistogramSnapshot, MetricsSnapshot};

@@ -1,0 +1,328 @@
+//! Owned histogram snapshots, quantiles, and the self-describing
+//! metrics data model.
+
+use crate::histogram::{bucket_index, bucket_upper_bound, NUM_BUCKETS};
+
+/// An owned, point-in-time copy of a [`LatencyHistogram`](crate::LatencyHistogram):
+/// 64 log-spaced bucket counts plus the total count and sample sum.
+///
+/// Quantiles are nearest-rank over the cumulative bucket counts and
+/// report the containing bucket's **upper bound**, so a reported
+/// quantile is never below the true sample and at most ~2× above it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: [u64; NUM_BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::from_parts([0; NUM_BUCKETS], 0, 0)
+    }
+}
+
+impl HistogramSnapshot {
+    /// Assembles a snapshot from raw parts (wire decoding, tests).
+    #[must_use]
+    pub fn from_parts(buckets: [u64; NUM_BUCKETS], count: u64, sum: u64) -> Self {
+        Self {
+            buckets,
+            count,
+            sum,
+        }
+    }
+
+    /// Rebuilds a snapshot from the sparse `(bucket index, count)`
+    /// pairs of [`HistogramSnapshot::sparse_buckets`]. Out-of-range
+    /// indices are ignored rather than panicking — wire input is
+    /// untrusted.
+    #[must_use]
+    pub fn from_sparse(pairs: &[(u8, u64)], sum: u64) -> Self {
+        let mut buckets = [0u64; NUM_BUCKETS];
+        for &(idx, n) in pairs {
+            if let Some(slot) = buckets.get_mut(idx as usize) {
+                *slot = slot.saturating_add(n);
+            }
+        }
+        let count = buckets.iter().fold(0u64, |a, &b| a.saturating_add(b));
+        Self::from_parts(buckets, count, sum)
+    }
+
+    /// The 64 bucket counts; bucket `i` covers `[2^i, 2^(i+1))`.
+    #[must_use]
+    pub fn buckets(&self) -> &[u64; NUM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// The non-empty buckets as `(bucket index, count)` pairs — the
+    /// compact wire encoding.
+    #[must_use]
+    pub fn sparse_buckets(&self) -> Vec<(u8, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (i as u8, n))
+            .collect()
+    }
+
+    /// Total samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean sample value (0 for an empty snapshot).
+    #[must_use]
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Nearest-rank quantile at `permille` (500 = p50, 999 = p999),
+    /// reported as the containing bucket's upper bound. Returns 0 for
+    /// an empty snapshot.
+    #[must_use]
+    pub fn quantile_permille(&self, permille: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let permille = permille.min(1000);
+        // Nearest rank: ceil(count * q), at least 1.
+        let rank = (self.count.saturating_mul(permille)).div_ceil(1000).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        bucket_upper_bound(NUM_BUCKETS - 1)
+    }
+
+    /// p50 / p90 / p99 / p999, in order.
+    #[must_use]
+    pub fn standard_quantiles(&self) -> [u64; 4] {
+        [
+            self.quantile_permille(500),
+            self.quantile_permille(900),
+            self.quantile_permille(990),
+            self.quantile_permille(999),
+        ]
+    }
+
+    /// Bucket-wise merge: afterwards `self` describes the union of both
+    /// sample sets. Associative and commutative.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a = a.wrapping_add(*b);
+        }
+        self.count = self.count.wrapping_add(other.count);
+        // Wrapping, to match what atomic recording does on overflow —
+        // keeps merge exactly equal to single-histogram recording.
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+
+    /// `true` when both quantiles could come from the same distribution
+    /// given this histogram's resolution: the values land within
+    /// `slack_buckets` power-of-two buckets of each other. With
+    /// `slack_buckets = 2` that is the "2× bucket error" agreement bound
+    /// the open-loop honesty column checks.
+    #[must_use]
+    pub fn buckets_apart(a: u64, b: u64) -> usize {
+        bucket_index(a).abs_diff(bucket_index(b))
+    }
+}
+
+/// A self-describing set of named counters and named histogram
+/// snapshots — what a `METRICS` endpoint returns. Nothing here is
+/// positional: adding a counter or histogram never breaks a consumer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters, by name.
+    pub counters: Vec<(String, u64)>,
+    /// Latency histograms, by name (values in microseconds).
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter by name.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks up a histogram by name.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Renders the Prometheus text exposition format: counters as
+    /// `# TYPE <name> counter` lines, histograms as cumulative
+    /// `<name>_bucket{le="..."}` series plus `_sum` and `_count`. Only
+    /// non-empty buckets (plus the `+Inf` catch-all) are emitted.
+    #[must_use]
+    pub fn to_prometheus_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let name = sanitize_metric_name(name);
+            out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+        }
+        for (name, hist) in &self.histograms {
+            let name = sanitize_metric_name(name);
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let mut cumulative = 0u64;
+            for (i, &n) in hist.buckets().iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                cumulative += n;
+                out.push_str(&format!(
+                    "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+                    bucket_upper_bound(i)
+                ));
+            }
+            out.push_str(&format!(
+                "{name}_bucket{{le=\"+Inf\"}} {}\n{name}_sum {}\n{name}_count {}\n",
+                hist.count(),
+                hist.sum(),
+                hist.count()
+            ));
+        }
+        out
+    }
+}
+
+/// Prometheus metric names are `[a-zA-Z_:][a-zA-Z0-9_:]*`; anything
+/// else becomes `_`.
+fn sanitize_metric_name(name: &str) -> String {
+    name.chars()
+        .enumerate()
+        .map(|(i, c)| {
+            if c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit()) {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LatencyHistogram;
+
+    #[test]
+    fn quantiles_report_bucket_upper_bounds() {
+        let h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(10); // bucket 3, upper bound 15
+        }
+        h.record(1_000_000); // bucket 19, upper 1_048_575
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile_permille(500), 15);
+        assert_eq!(snap.quantile_permille(990), 15);
+        assert_eq!(snap.quantile_permille(1000), (1 << 20) - 1);
+        assert_eq!(snap.mean(), (99 * 10 + 1_000_000) / 100);
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let snap = HistogramSnapshot::default();
+        assert_eq!(snap.count(), 0);
+        assert_eq!(snap.quantile_permille(999), 0);
+        assert_eq!(snap.standard_quantiles(), [0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn sparse_roundtrip() {
+        let h = LatencyHistogram::new();
+        for v in [1u64, 5, 5, 300, 70_000] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let rebuilt = HistogramSnapshot::from_sparse(&snap.sparse_buckets(), snap.sum());
+        assert_eq!(rebuilt, snap);
+    }
+
+    #[test]
+    fn from_sparse_ignores_out_of_range_indices() {
+        let snap = HistogramSnapshot::from_sparse(&[(200, 5), (3, 1)], 10);
+        assert_eq!(snap.count(), 1);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        a.record(8);
+        b.record(1_024);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.count(), 2);
+        assert_eq!(merged.sum(), 1_032);
+        assert_eq!(merged.quantile_permille(1000), 2_047);
+    }
+
+    #[test]
+    fn prometheus_text_shape() {
+        let h = LatencyHistogram::new();
+        h.record(10);
+        h.record(100);
+        let m = MetricsSnapshot {
+            counters: vec![("gets".into(), 7)],
+            histograms: vec![("engine_get_us".into(), h.snapshot())],
+        };
+        let text = m.to_prometheus_text();
+        assert!(text.contains("# TYPE gets counter\ngets 7\n"));
+        assert!(text.contains("# TYPE engine_get_us histogram\n"));
+        assert!(text.contains("engine_get_us_bucket{le=\"15\"} 1\n"));
+        assert!(text.contains("engine_get_us_bucket{le=\"127\"} 2\n"));
+        assert!(text.contains("engine_get_us_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("engine_get_us_sum 110\n"));
+        assert!(text.contains("engine_get_us_count 2\n"));
+    }
+
+    #[test]
+    fn metric_names_are_sanitized() {
+        let m = MetricsSnapshot {
+            counters: vec![("9bad name!".into(), 1)],
+            histograms: vec![],
+        };
+        assert!(m.to_prometheus_text().contains("_bad_name_ 1"));
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let m = MetricsSnapshot {
+            counters: vec![("a".into(), 1), ("b".into(), 2)],
+            histograms: vec![("h".into(), HistogramSnapshot::default())],
+        };
+        assert_eq!(m.counter("b"), Some(2));
+        assert_eq!(m.counter("zzz"), None);
+        assert!(m.histogram("h").is_some());
+        assert!(m.histogram("a").is_none());
+    }
+
+    #[test]
+    fn buckets_apart_measures_resolution_distance() {
+        assert_eq!(HistogramSnapshot::buckets_apart(100, 100), 0);
+        assert_eq!(HistogramSnapshot::buckets_apart(100, 120), 0);
+        assert_eq!(HistogramSnapshot::buckets_apart(100, 200), 1);
+        assert_eq!(HistogramSnapshot::buckets_apart(100, 500), 2);
+    }
+}

@@ -1,0 +1,149 @@
+//! Histogram property battery: quantiles vs a sorted-`Vec` oracle,
+//! concurrent recorders, and merge associativity.
+
+use std::sync::Arc;
+
+use obs::{HistogramSnapshot, LatencyHistogram};
+use proptest::prelude::*;
+
+/// Nearest-rank quantile over the raw samples — the ground truth the
+/// bucketed histogram approximates.
+fn oracle_quantile(sorted: &[u64], permille: u64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((sorted.len() as u64 * permille).div_ceil(1000)).max(1) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// Samples spanning the full dynamic range: small latencies, mid-range,
+/// and occasional huge outliers.
+fn arb_sample() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        4 => 0u64..1_000,
+        3 => 1_000u64..1_000_000,
+        2 => 1_000_000u64..10_000_000_000,
+        1 => any::<u64>(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every reported quantile lands in the same power-of-two bucket as
+    /// the oracle value (the histogram's "one bucket of relative
+    /// error" contract) and never under-reports it.
+    #[test]
+    fn quantiles_match_sorted_vec_oracle(samples in proptest::collection::vec(arb_sample(), 1..400)) {
+        let h = LatencyHistogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count(), samples.len() as u64);
+        for permille in [1u64, 100, 250, 500, 900, 990, 999, 1000] {
+            let reported = snap.quantile_permille(permille);
+            let truth = oracle_quantile(&sorted, permille);
+            prop_assert!(
+                reported >= truth,
+                "p{permille}: reported {reported} under-reports oracle {truth}"
+            );
+            prop_assert_eq!(
+                HistogramSnapshot::buckets_apart(reported, truth),
+                0,
+                "p{} reported {} vs oracle {} crosses a bucket",
+                permille, reported, truth
+            );
+        }
+    }
+
+    /// Merging snapshots in any grouping yields the same result as
+    /// recording everything into one histogram: (a ∪ b) ∪ c = a ∪ (b ∪ c).
+    #[test]
+    fn merge_is_associative_and_lossless(
+        a in proptest::collection::vec(arb_sample(), 0..100),
+        b in proptest::collection::vec(arb_sample(), 0..100),
+        c in proptest::collection::vec(arb_sample(), 0..100),
+    ) {
+        let record = |samples: &[u64]| {
+            let h = LatencyHistogram::new();
+            for &s in samples {
+                h.record(s);
+            }
+            h.snapshot()
+        };
+        let (sa, sb, sc) = (record(&a), record(&b), record(&c));
+
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+
+        let mut right_bc = sb.clone();
+        right_bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&right_bc);
+
+        prop_assert_eq!(&left, &right, "merge grouping changed the result");
+
+        let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        prop_assert_eq!(&left, &record(&all), "merge lost or invented samples");
+
+        // And merging back into a live histogram agrees too.
+        let live = LatencyHistogram::new();
+        live.merge_from(&sa);
+        live.merge_from(&sb);
+        live.merge_from(&sc);
+        prop_assert_eq!(&live.snapshot(), &left);
+    }
+}
+
+#[test]
+fn concurrent_recorders_lose_nothing() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 20_000;
+    let h = Arc::new(LatencyHistogram::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let h = Arc::clone(&h);
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Deterministic per-thread values across several buckets.
+                    h.record((t * PER_THREAD + i) % 5_000);
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    let snap = h.snapshot();
+    assert_eq!(snap.count(), THREADS * PER_THREAD, "no sample lost");
+    let expected_sum: u64 = (0..THREADS * PER_THREAD).map(|v| v % 5_000).sum();
+    assert_eq!(snap.sum(), expected_sum, "no sample value lost");
+    assert_eq!(
+        snap.buckets().iter().sum::<u64>(),
+        THREADS * PER_THREAD,
+        "bucket counts account for every sample"
+    );
+}
+
+#[test]
+fn snapshot_during_concurrent_recording_is_consistent() {
+    let h = Arc::new(LatencyHistogram::new());
+    let writer = {
+        let h = Arc::clone(&h);
+        std::thread::spawn(move || {
+            for i in 0..50_000u64 {
+                h.record(i % 1_000);
+            }
+        })
+    };
+    // Snapshots taken mid-flight: count equals the bucket total (the
+    // snapshot derives count from the buckets it copied).
+    for _ in 0..50 {
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), snap.buckets().iter().sum::<u64>());
+    }
+    writer.join().unwrap();
+    assert_eq!(h.snapshot().count(), 50_000);
+}

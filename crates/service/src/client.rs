@@ -2,8 +2,10 @@
 
 use std::net::{TcpStream, ToSocketAddrs};
 
+use obs::MetricsSnapshot;
+
 use crate::protocol::{
-    read_frame, write_frame, FrameRead, Request, Response, StatsSummary, WireOp,
+    read_frame, write_frame, EventBatch, FrameRead, Request, Response, StatsSummary, WireOp,
 };
 use crate::Error;
 
@@ -128,6 +130,43 @@ impl KvClient {
     pub fn stats(&mut self) -> Result<StatsSummary, Error> {
         match self.roundtrip(&Request::Stats)? {
             Response::Stats(stats) => Ok(stats),
+            Response::Busy => Err(Error::Busy),
+            Response::Err(detail) => Err(Error::remote(detail)),
+            other => Err(Error::protocol(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Fetches the self-describing metrics snapshot: named counters
+    /// (every `STATS` field, `stats_`-prefixed) plus the server's
+    /// `server_*_us` request histograms and the engine's `engine_*_us`
+    /// histograms merged across shards. Unlike [`KvClient::stats`],
+    /// nothing here is positional — servers can add metrics without
+    /// breaking this client.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport, protocol and server errors.
+    pub fn metrics(&mut self) -> Result<MetricsSnapshot, Error> {
+        match self.roundtrip(&Request::Metrics)? {
+            Response::Metrics(snapshot) => Ok(snapshot),
+            Response::Busy => Err(Error::Busy),
+            Response::Err(detail) => Err(Error::remote(detail)),
+            other => Err(Error::protocol(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Drains the server's maintenance event ring from `cursor` (0 =
+    /// oldest retained), returning at most `max` events (0 = server's
+    /// default batch). Feed the batch's `next_cursor` back in to tail
+    /// the trace; its `dropped` count reports ring overflow between
+    /// polls.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport, protocol and server errors.
+    pub fn events(&mut self, cursor: u64, max: u32) -> Result<EventBatch, Error> {
+        match self.roundtrip(&Request::Events { cursor, max })? {
+            Response::Events(batch) => Ok(batch),
             Response::Busy => Err(Error::Busy),
             Response::Err(detail) => Err(Error::remote(detail)),
             other => Err(Error::protocol(format!("unexpected response {other:?}"))),

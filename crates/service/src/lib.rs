@@ -89,7 +89,7 @@ pub use client::{KvClient, ScanStream};
 pub use error::Error;
 pub use executor::ThreadPool;
 pub use pipeline::PipelinedClient;
-pub use protocol::{Request, Response, StatsSummary, WireOp};
+pub use protocol::{EventBatch, Request, Response, StatsSummary, WireEvent, WireOp};
 pub use router::ShardRouter;
 pub use server::{KvServer, ServerHandle, ServerOptions};
 pub use store::{ServiceStats, ShardScan, ShardStats, ShardedKv};

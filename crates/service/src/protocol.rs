@@ -17,6 +17,24 @@
 //! | `BATCH`| n × (kind,key[,val]) | `OK` (applied per-shard batch)|
 //! | `STATS`| —                    | `STATS(summary)`              |
 //! | `SCAN` | start, end, limit    | stream: 0+ × `BATCH_VALUES`, then `SCAN_END` (or `ERR`) |
+//! | `METRICS`| —                  | `METRICS(snapshot)`           |
+//! | `EVENTS` | cursor, max        | `EVENTS(batch)`               |
+//!
+//! # Self-describing metrics (`METRICS` / `EVENTS`)
+//!
+//! `STATS` is the legacy **positional** summary: 29 bare `u64`s whose
+//! meaning is fixed by field order, so the encoding can never change
+//! shape without breaking every deployed client. `METRICS` is its
+//! self-describing successor: every counter and histogram travels as a
+//! *name-tagged* entry (`name, value` / `name, sum, sparse buckets`),
+//! so servers may add, remove or reorder metrics freely and old
+//! clients keep decoding. The counter set includes every `STATS` field
+//! under a `stats_`-prefixed name; the histograms are the engine's
+//! latency/stall distributions plus the server's per-opcode request
+//! timings. `EVENTS` drains the engine's bounded maintenance-trace
+//! ring from a client-held cursor; each event carries its kind as a
+//! string and its payload as named `u64` fields — same reasoning, same
+//! forward compatibility. Legacy `STATS` stays byte-identical.
 //!
 //! Any write may instead be answered `BUSY` (shed, not applied), and
 //! any request/response may be wrapped in the sequenced framing — both
@@ -55,6 +73,7 @@
 use std::io::{Read, Write};
 
 use bytes::{Buf, BufMut, BytesMut};
+use obs::{HistogramSnapshot, MetricsSnapshot};
 
 use crate::Error;
 
@@ -81,6 +100,8 @@ const OP_DEL: u8 = 3;
 const OP_BATCH: u8 = 4;
 const OP_STATS: u8 = 5;
 const OP_SCAN: u8 = 6;
+const OP_METRICS: u8 = 7;
+const OP_EVENTS: u8 = 8;
 
 const ST_OK: u8 = 0;
 const ST_VALUE: u8 = 1;
@@ -90,6 +111,15 @@ const ST_ERR: u8 = 4;
 const ST_BATCH_VALUES: u8 = 5;
 const ST_SCAN_END: u8 = 6;
 const ST_BUSY: u8 = 7;
+const ST_METRICS: u8 = 8;
+const ST_EVENTS: u8 = 9;
+
+/// Hard cap on element counts decoded from untrusted METRICS/EVENTS
+/// frames (counters, histograms, events, fields per event). The frame
+/// length already bounds allocation; this bounds hostile counts before
+/// the per-element truncation checks reject the frame. Also the upper
+/// bound the server clamps an `EVENTS` batch request to.
+pub(crate) const MAX_WIRE_ELEMENTS: usize = 65_536;
 
 /// One operation of a wire-level batch.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -162,6 +192,17 @@ pub enum Request {
         /// Most keys to return; 0 means unlimited.
         limit: u32,
     },
+    /// Self-describing metrics snapshot (named counters + named latency
+    /// histograms) — the forward-compatible successor of [`Request::Stats`].
+    Metrics,
+    /// Drain the server's maintenance-event ring from `cursor`.
+    Events {
+        /// Resume cursor: 0 for "from the oldest retained event", else
+        /// the `next_cursor` of the previous [`Response::Events`].
+        cursor: u64,
+        /// Most events to return in one batch; 0 means "server's cap".
+        max: u32,
+    },
 }
 
 /// A server response.
@@ -199,6 +240,48 @@ pub enum Response {
         /// The server-side error message.
         String,
     ),
+    /// A `METRICS` snapshot: named counters and histograms.
+    Metrics(MetricsSnapshot),
+    /// An `EVENTS` batch: a drained slice of the maintenance trace.
+    Events(EventBatch),
+}
+
+/// One traced maintenance event carried over the wire. The kind is a
+/// string and the payload is named fields, so new event kinds and new
+/// fields never break old consumers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireEvent {
+    /// Ring-global sequence number (drain cursor space).
+    pub seq: u64,
+    /// Microseconds since the emitting store opened.
+    pub at_micros: u64,
+    /// Shard that emitted the event.
+    pub shard: u32,
+    /// Event kind, e.g. `memtable_freeze` or `compaction_planned`.
+    pub kind: String,
+    /// Named payload fields (generation ids, costs, queue depths, …).
+    pub fields: Vec<(String, u64)>,
+}
+
+impl WireEvent {
+    /// Looks up a payload field by name.
+    #[must_use]
+    pub fn field(&self, name: &str) -> Option<u64> {
+        self.fields.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+}
+
+/// A drained slice of the server's bounded event ring.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EventBatch {
+    /// Pass as the next request's cursor to continue where this batch
+    /// ended.
+    pub next_cursor: u64,
+    /// Events that aged out of the ring between the client's cursor and
+    /// the oldest retained event (0 = the client kept up).
+    pub dropped: u64,
+    /// The drained events, oldest first.
+    pub events: Vec<WireEvent>,
 }
 
 /// Aggregated service statistics carried over the wire.
@@ -360,6 +443,132 @@ fn get_bytes(cursor: &mut &[u8]) -> Result<Vec<u8>, Error> {
     Ok(out)
 }
 
+fn get_string(cursor: &mut &[u8]) -> Result<String, Error> {
+    String::from_utf8(get_bytes(cursor)?).map_err(|_| Error::protocol("non-utf8 metric name"))
+}
+
+fn get_u64(cursor: &mut &[u8]) -> Result<u64, Error> {
+    if cursor.remaining() < 8 {
+        return Err(Error::protocol("truncated u64"));
+    }
+    Ok(cursor.get_u64_le())
+}
+
+/// Reads an element count and rejects hostile values up front (the
+/// per-element reads would catch the truncation anyway, but this keeps
+/// the failure mode "protocol error", never a large-allocation stall).
+fn get_count(cursor: &mut &[u8]) -> Result<usize, Error> {
+    if cursor.remaining() < 4 {
+        return Err(Error::protocol("truncated element count"));
+    }
+    let count = cursor.get_u32_le() as usize;
+    if count > MAX_WIRE_ELEMENTS {
+        return Err(Error::protocol("element count exceeds wire cap"));
+    }
+    Ok(count)
+}
+
+fn encode_metrics(snapshot: &MetricsSnapshot, buf: &mut BytesMut) {
+    buf.put_u32_le(snapshot.counters.len() as u32);
+    for (name, value) in &snapshot.counters {
+        put_bytes(buf, name.as_bytes());
+        buf.put_u64_le(*value);
+    }
+    buf.put_u32_le(snapshot.histograms.len() as u32);
+    for (name, hist) in &snapshot.histograms {
+        put_bytes(buf, name.as_bytes());
+        buf.put_u64_le(hist.sum());
+        let sparse = hist.sparse_buckets();
+        buf.put_u32_le(sparse.len() as u32);
+        for (idx, count) in sparse {
+            buf.put_u8(idx);
+            buf.put_u64_le(count);
+        }
+    }
+}
+
+fn decode_metrics(cursor: &mut &[u8]) -> Result<MetricsSnapshot, Error> {
+    let n_counters = get_count(cursor)?;
+    let mut counters = Vec::with_capacity(n_counters);
+    for _ in 0..n_counters {
+        let name = get_string(cursor)?;
+        counters.push((name, get_u64(cursor)?));
+    }
+    let n_histograms = get_count(cursor)?;
+    let mut histograms = Vec::with_capacity(n_histograms);
+    for _ in 0..n_histograms {
+        let name = get_string(cursor)?;
+        let sum = get_u64(cursor)?;
+        let n_buckets = get_count(cursor)?;
+        let mut sparse = Vec::with_capacity(n_buckets);
+        for _ in 0..n_buckets {
+            if cursor.remaining() < 9 {
+                return Err(Error::protocol("truncated histogram bucket"));
+            }
+            let idx = cursor.get_u8();
+            sparse.push((idx, cursor.get_u64_le()));
+        }
+        // `from_sparse` ignores out-of-range bucket indices: wire input
+        // is untrusted, so a corrupt index degrades, never panics.
+        histograms.push((name, HistogramSnapshot::from_sparse(&sparse, sum)));
+    }
+    Ok(MetricsSnapshot {
+        counters,
+        histograms,
+    })
+}
+
+fn encode_events(batch: &EventBatch, buf: &mut BytesMut) {
+    buf.put_u64_le(batch.next_cursor);
+    buf.put_u64_le(batch.dropped);
+    buf.put_u32_le(batch.events.len() as u32);
+    for event in &batch.events {
+        buf.put_u64_le(event.seq);
+        buf.put_u64_le(event.at_micros);
+        buf.put_u32_le(event.shard);
+        put_bytes(buf, event.kind.as_bytes());
+        buf.put_u32_le(event.fields.len() as u32);
+        for (name, value) in &event.fields {
+            put_bytes(buf, name.as_bytes());
+            buf.put_u64_le(*value);
+        }
+    }
+}
+
+fn decode_events(cursor: &mut &[u8]) -> Result<EventBatch, Error> {
+    let next_cursor = get_u64(cursor)?;
+    let dropped = get_u64(cursor)?;
+    let n_events = get_count(cursor)?;
+    let mut events = Vec::with_capacity(n_events);
+    for _ in 0..n_events {
+        let seq = get_u64(cursor)?;
+        let at_micros = get_u64(cursor)?;
+        if cursor.remaining() < 4 {
+            return Err(Error::protocol("truncated event shard"));
+        }
+        let shard = cursor.get_u32_le();
+        let kind = get_string(cursor)?;
+        let n_fields = get_count(cursor)?;
+        let mut fields = Vec::with_capacity(n_fields);
+        for _ in 0..n_fields {
+            let name = get_string(cursor)?;
+            fields.push((name, get_u64(cursor)?));
+        }
+        events.push(WireEvent {
+            seq,
+            at_micros,
+            shard,
+            kind,
+            fields,
+        });
+    }
+    Ok(EventBatch {
+        next_cursor,
+        dropped,
+        events,
+    })
+}
+
 impl Request {
     /// Serializes the request payload (without the frame header), in the
     /// legacy unsequenced framing.
@@ -386,6 +595,8 @@ impl Request {
             Request::Batch { .. } => OP_BATCH,
             Request::Stats => OP_STATS,
             Request::Scan { .. } => OP_SCAN,
+            Request::Metrics => OP_METRICS,
+            Request::Events { .. } => OP_EVENTS,
         };
         match seq {
             None => buf.put_u8(opcode),
@@ -412,11 +623,15 @@ impl Request {
                     }
                 }
             }
-            Request::Stats => {}
+            Request::Stats | Request::Metrics => {}
             Request::Scan { start, end, limit } => {
                 put_bytes(&mut buf, start);
                 put_bytes(&mut buf, end);
                 buf.put_u32_le(*limit);
+            }
+            Request::Events { cursor, max } => {
+                buf.put_u64_le(*cursor);
+                buf.put_u32_le(*max);
             }
         }
         buf.to_vec()
@@ -508,6 +723,17 @@ impl Request {
                     limit: cursor.get_u32_le(),
                 }
             }
+            OP_METRICS => Request::Metrics,
+            OP_EVENTS => {
+                let cursor_pos = get_u64(&mut cursor)?;
+                if cursor.remaining() < 4 {
+                    return Err(Error::protocol("truncated events max"));
+                }
+                Request::Events {
+                    cursor: cursor_pos,
+                    max: cursor.get_u32_le(),
+                }
+            }
             other => return Err(Error::protocol(format!("unknown opcode {other}"))),
         };
         if !cursor.is_empty() {
@@ -543,6 +769,8 @@ impl Response {
             Response::ScanEnd => ST_SCAN_END,
             Response::Busy => ST_BUSY,
             Response::Err(_) => ST_ERR,
+            Response::Metrics(_) => ST_METRICS,
+            Response::Events(_) => ST_EVENTS,
         };
         match seq {
             None => buf.put_u8(status),
@@ -563,6 +791,8 @@ impl Response {
                 }
             }
             Response::Err(message) => put_bytes(&mut buf, message.as_bytes()),
+            Response::Metrics(snapshot) => encode_metrics(snapshot, &mut buf),
+            Response::Events(batch) => encode_events(batch, &mut buf),
         }
         buf.to_vec()
     }
@@ -629,6 +859,8 @@ impl Response {
                 String::from_utf8(get_bytes(&mut cursor)?)
                     .map_err(|_| Error::protocol("non-utf8 error message"))?,
             ),
+            ST_METRICS => Response::Metrics(decode_metrics(&mut cursor)?),
+            ST_EVENTS => Response::Events(decode_events(&mut cursor)?),
             other => return Err(Error::protocol(format!("unknown status {other}"))),
         };
         if !cursor.is_empty() {
@@ -974,6 +1206,169 @@ mod tests {
             }
             other => panic!("expected stats, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn metrics_and_events_requests_roundtrip() {
+        for request in [
+            Request::Metrics,
+            Request::Events { cursor: 0, max: 0 },
+            Request::Events {
+                cursor: u64::MAX,
+                max: 4096,
+            },
+        ] {
+            assert_eq!(Request::decode(&request.encode()).unwrap(), request);
+            let (seq, decoded) = Request::decode_any(&request.encode_sequenced(9)).unwrap();
+            assert_eq!(seq, Some(9));
+            assert_eq!(decoded, request);
+        }
+    }
+
+    #[test]
+    fn metrics_response_roundtrips_name_tagged() {
+        let hist = obs::LatencyHistogram::new();
+        for v in [1u64, 10, 100, 1_000, 100_000] {
+            hist.record(v);
+        }
+        let snapshot = MetricsSnapshot {
+            counters: vec![
+                ("stats_puts".to_owned(), 42),
+                ("stats_shed_writes".to_owned(), 7),
+            ],
+            histograms: vec![
+                ("server_get_us".to_owned(), hist.snapshot()),
+                ("engine_flush_us".to_owned(), HistogramSnapshot::default()),
+            ],
+        };
+        let response = Response::Metrics(snapshot.clone());
+        match Response::decode(&response.encode()).unwrap() {
+            Response::Metrics(decoded) => {
+                assert_eq!(decoded, snapshot);
+                assert_eq!(decoded.counter("stats_puts"), Some(42));
+                let h = decoded.histogram("server_get_us").unwrap();
+                assert_eq!(h.count(), 5);
+                assert_eq!(h.sum(), snapshot.histogram("server_get_us").unwrap().sum());
+            }
+            other => panic!("expected metrics, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn events_response_roundtrips_with_cursor_and_fields() {
+        let batch = EventBatch {
+            next_cursor: 99,
+            dropped: 3,
+            events: vec![
+                WireEvent {
+                    seq: 96,
+                    at_micros: 12_345,
+                    shard: 2,
+                    kind: "memtable_freeze".to_owned(),
+                    fields: vec![("generation".to_owned(), 4), ("entries".to_owned(), 128)],
+                },
+                WireEvent {
+                    seq: 98,
+                    at_micros: 12_399,
+                    shard: 0,
+                    kind: "compaction_planned".to_owned(),
+                    fields: Vec::new(),
+                },
+            ],
+        };
+        match Response::decode(&Response::Events(batch.clone()).encode()).unwrap() {
+            Response::Events(decoded) => {
+                assert_eq!(decoded, batch);
+                assert_eq!(decoded.events[0].field("generation"), Some(4));
+                assert_eq!(decoded.events[0].field("missing"), None);
+            }
+            other => panic!("expected events, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn torn_metrics_and_events_frames_never_decode() {
+        let metrics = Response::Metrics(MetricsSnapshot {
+            counters: vec![("stats_gets".to_owned(), 5)],
+            histograms: vec![(
+                "server_put_us".to_owned(),
+                HistogramSnapshot::from_sparse(&[(3, 2), (40, 1)], 999),
+            )],
+        })
+        .encode();
+        for cut in 0..metrics.len() {
+            assert!(
+                Response::decode(&metrics[..cut]).is_err(),
+                "metrics prefix of {cut} bytes decoded"
+            );
+        }
+        let events = Response::Events(EventBatch {
+            next_cursor: 5,
+            dropped: 0,
+            events: vec![WireEvent {
+                seq: 4,
+                at_micros: 1,
+                shard: 1,
+                kind: "flush_start".to_owned(),
+                fields: vec![("generation".to_owned(), 0)],
+            }],
+        })
+        .encode();
+        for cut in 0..events.len() {
+            assert!(
+                Response::decode(&events[..cut]).is_err(),
+                "events prefix of {cut} bytes decoded"
+            );
+        }
+        // Hostile element counts are a protocol error, not an allocation.
+        let mut hostile = vec![ST_METRICS];
+        hostile.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Response::decode(&hostile).is_err());
+    }
+
+    #[test]
+    fn legacy_stats_encoding_is_byte_identical() {
+        // The positional STATS frame is frozen: 1 status byte + 29
+        // little-endian u64 fields in declaration order. METRICS is the
+        // self-describing successor; this asserts the legacy bytes
+        // never drift.
+        let stats = StatsSummary {
+            shards: 1,
+            puts: 2,
+            deletes: 3,
+            write_batches: 4,
+            gets: 5,
+            memtable_hits: 6,
+            range_scans: 7,
+            range_pruned_tables: 8,
+            tables_probed: 9,
+            bloom_negative_probes: 10,
+            data_block_reads: 11,
+            data_block_read_bytes: 12,
+            table_cache_hits: 13,
+            table_cache_misses: 14,
+            block_cache_hits: 15,
+            block_cache_misses: 16,
+            flushes: 17,
+            compactions: 18,
+            auto_compactions: 19,
+            compaction_entry_cost: 20,
+            compaction_stall_micros: 21,
+            live_tables: 22,
+            admitted_writes: 23,
+            shed_writes: 24,
+            shed_connections: 25,
+            frozen_queue_depth: 26,
+            slowdown_stalls: 27,
+            stop_stalls: 28,
+            bg_flushes: 29,
+        };
+        let encoded = Response::Stats(stats).encode();
+        let mut expected = vec![ST_STATS];
+        for field in 1..=29u64 {
+            expected.extend_from_slice(&field.to_le_bytes());
+        }
+        assert_eq!(encoded, expected);
     }
 
     #[test]

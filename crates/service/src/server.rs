@@ -17,15 +17,16 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use lsm_engine::WriteBatch;
+use obs::{HistogramSnapshot, LatencyHistogram};
 
 use crate::admission::{AdmissionConfig, AdmissionController};
 use crate::protocol::{
-    read_frame, write_frame, FrameRead, Request, Response, StatsSummary, SCAN_BATCH_MAX_BYTES,
-    SCAN_BATCH_MAX_ENTRIES,
+    read_frame, write_frame, EventBatch, FrameRead, Request, Response, StatsSummary, WireEvent,
+    MAX_WIRE_ELEMENTS, SCAN_BATCH_MAX_BYTES, SCAN_BATCH_MAX_ENTRIES,
 };
 use crate::{Error, ShardedKv, ThreadPool};
 
@@ -42,6 +43,53 @@ const ACCEPT_IDLE: Duration = Duration::from_millis(2);
 /// not reading) can pin a pool worker — and therefore the worst-case
 /// shutdown join.
 const WRITE_STALL_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Events returned for an `EVENTS` request that leaves `max` at 0.
+const EVENTS_BATCH_DEFAULT: usize = 1024;
+
+/// Server-side request latency histograms, shared by every connection:
+/// the time from a decoded request to its response being ready (for
+/// scans, the whole stream). This is the server's honest counterpart to
+/// whatever a load generator measures client-side — only the wire and
+/// the client's own queueing are excluded — and it rides the `METRICS`
+/// frame as `server_*_us` next to the engine's `engine_*_us`.
+#[derive(Debug, Clone, Default)]
+struct ServerMetrics {
+    get: LatencyHistogram,
+    put: LatencyHistogram,
+    delete: LatencyHistogram,
+    batch: LatencyHistogram,
+    scan: LatencyHistogram,
+}
+
+impl ServerMetrics {
+    /// The histogram timing `request`, if that kind is timed. Cheap to
+    /// clone (histograms are handles over shared atomics).
+    fn timer_for(&self, request: &Request) -> Option<LatencyHistogram> {
+        match request {
+            Request::Get { .. } => Some(self.get.clone()),
+            Request::Put { .. } => Some(self.put.clone()),
+            Request::Delete { .. } => Some(self.delete.clone()),
+            Request::Batch { .. } => Some(self.batch.clone()),
+            // Scans are timed at the stream site; introspection
+            // requests are not worth a histogram each.
+            Request::Scan { .. } | Request::Stats | Request::Metrics | Request::Events { .. } => {
+                None
+            }
+        }
+    }
+
+    /// Snapshots every histogram under its stable exposition name.
+    fn named_snapshots(&self) -> Vec<(&'static str, HistogramSnapshot)> {
+        vec![
+            ("server_get_us", self.get.snapshot()),
+            ("server_put_us", self.put.snapshot()),
+            ("server_delete_us", self.delete.snapshot()),
+            ("server_batch_us", self.batch.snapshot()),
+            ("server_scan_us", self.scan.snapshot()),
+        ]
+    }
+}
 
 /// Server tuning: worker count, the session cap, and the (optional)
 /// admission-control policy.
@@ -215,6 +263,7 @@ impl KvServer {
         let shutdown = Arc::new(AtomicBool::new(false));
         let accept_shutdown = Arc::clone(&shutdown);
         let controller = Arc::new(AdmissionController::new(self.options.admission_policy()));
+        let metrics = Arc::new(ServerMetrics::default());
         let max_sessions = self.options.session_cap();
         let workers = self.options.worker_count();
         let accept = std::thread::Builder::new()
@@ -234,9 +283,10 @@ impl KvServer {
                             let store = Arc::clone(&self.store);
                             let shutdown = Arc::clone(&accept_shutdown);
                             let controller = Arc::clone(&controller);
+                            let metrics = Arc::clone(&metrics);
                             pool.execute(move || {
                                 let _session = session;
-                                serve_connection(&store, &controller, stream, &shutdown);
+                                serve_connection(&store, &controller, &metrics, stream, &shutdown);
                             });
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -350,6 +400,7 @@ impl Drop for ServerHandle {
 fn serve_connection(
     store: &ShardedKv,
     controller: &AdmissionController,
+    metrics: &ServerMetrics,
     mut stream: TcpStream,
     shutdown: &AtomicBool,
 ) {
@@ -376,7 +427,10 @@ fn serve_connection(
             // not a single response — it cannot interleave with other
             // in-flight replies, so it is closed-loop only.
             Ok((None, Request::Scan { start, end, limit })) => {
-                if stream_scan(store, &mut stream, start, &end, limit, shutdown).is_err() {
+                let started = Instant::now();
+                let result = stream_scan(store, &mut stream, start, &end, limit, shutdown);
+                metrics.scan.record_duration(started.elapsed());
+                if result.is_err() {
                     return;
                 }
                 continue;
@@ -385,7 +439,15 @@ fn serve_connection(
                 seq,
                 Response::Err("scan requires an unsequenced frame".to_owned()),
             ),
-            Ok((seq, request)) => (seq, execute(store, controller, request)),
+            Ok((seq, request)) => {
+                let timer = metrics.timer_for(&request);
+                let started = Instant::now();
+                let response = execute(store, controller, metrics, request);
+                if let Some(timer) = timer {
+                    timer.record_duration(started.elapsed());
+                }
+                (seq, response)
+            }
             Err(e) => (None, Response::Err(e.to_string())),
         };
         let encoded = match seq {
@@ -504,7 +566,12 @@ fn stream_scan(
 /// never reaches here — see [`stream_scan`]). Writes pass through the
 /// admission controller first: a write to a shard past its budgets is
 /// answered `BUSY` without touching the engine (reads never are).
-fn execute(store: &ShardedKv, controller: &AdmissionController, request: Request) -> Response {
+fn execute(
+    store: &ShardedKv,
+    controller: &AdmissionController,
+    metrics: &ServerMetrics,
+    request: Request,
+) -> Response {
     match request {
         Request::Scan { .. } => Response::Err("scan must be streamed".to_owned()),
         Request::Get { key } => match store.get(&key) {
@@ -591,6 +658,56 @@ fn execute(store: &ShardedKv, controller: &AdmissionController, request: Request
                 slowdown_stalls: aggregate.slowdown_stalls,
                 stop_stalls: aggregate.stop_stalls,
                 bg_flushes: aggregate.bg_flushes,
+            })
+        }
+        Request::Metrics => {
+            // The store contributes the merged engine histograms plus
+            // every STATS field as a `stats_`-prefixed counter; the
+            // server layers its admission counters and request
+            // histograms on top. One frame, fully self-describing.
+            let mut snapshot = store.metrics_snapshot();
+            let admission = controller.counters();
+            snapshot.counters.push((
+                "stats_admitted_writes".to_owned(),
+                admission.admitted_writes,
+            ));
+            snapshot
+                .counters
+                .push(("stats_shed_writes".to_owned(), admission.shed_writes));
+            snapshot.counters.push((
+                "stats_shed_connections".to_owned(),
+                admission.shed_connections,
+            ));
+            for (name, hist) in metrics.named_snapshots() {
+                snapshot.histograms.push((name.to_owned(), hist));
+            }
+            Response::Metrics(snapshot)
+        }
+        Request::Events { cursor, max } => {
+            let max = if max == 0 {
+                EVENTS_BATCH_DEFAULT
+            } else {
+                (max as usize).min(MAX_WIRE_ELEMENTS)
+            };
+            let drained = store.events().since(cursor, max);
+            Response::Events(EventBatch {
+                next_cursor: drained.next_cursor,
+                dropped: drained.dropped,
+                events: drained
+                    .events
+                    .into_iter()
+                    .map(|event| WireEvent {
+                        seq: event.seq,
+                        at_micros: event.at_micros,
+                        shard: event.shard,
+                        kind: event.kind.as_str().to_owned(),
+                        fields: event
+                            .fields
+                            .into_iter()
+                            .map(|(name, value)| (name.to_owned(), value))
+                            .collect(),
+                    })
+                    .collect(),
             })
         }
     }

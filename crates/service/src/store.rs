@@ -22,7 +22,8 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use lsm_engine::{
-    Key, Lsm, LsmOptions, LsmPressure, LsmStats, RangeIter, Storage, Value, WriteBatch,
+    EventRing, HistogramSnapshot, Key, Lsm, LsmOptions, LsmPressure, LsmStats, MetricsSnapshot,
+    RangeIter, Storage, Value, WriteBatch,
 };
 
 use crate::{Error, ShardRouter};
@@ -36,6 +37,12 @@ const SHARD_COUNT_FILE: &str = "SHARDS";
 /// engine's orphan sweep — which only touches `sst-*`/`obs-*` blobs —
 /// leaves it alone).
 const SHARD_COUNT_BLOB: &str = "SHARDS";
+
+/// Capacity of the store-wide maintenance event ring. All shards trace
+/// into one ring, so it is sized well above the single-engine default:
+/// a burst of simultaneous flush/compaction lifecycles across shards
+/// must not evict events a polling consumer has not drained yet.
+const SERVICE_EVENT_RING_CAPACITY: usize = 8192;
 
 /// A sharded key-value store over [`Lsm`] shards.
 ///
@@ -60,6 +67,28 @@ const SHARD_COUNT_BLOB: &str = "SHARDS";
 pub struct ShardedKv {
     router: ShardRouter,
     shards: Vec<Lsm>,
+    /// The store-wide maintenance trace: every shard records into this
+    /// one ring (tagged with its shard index), so flush/compaction
+    /// events across shards interleave causally under a single drain
+    /// cursor.
+    events: EventRing,
+}
+
+/// Builds shard `index`'s engine options: the caller's options with the
+/// shared event ring injected and the shard tag stamped on.
+fn shard_options(options: &LsmOptions, events: &EventRing, index: usize) -> LsmOptions {
+    options
+        .clone()
+        .event_sink(events.clone())
+        .shard_tag(index as u32)
+}
+
+/// The store's event ring: the caller's injected sink if the options
+/// carry one, else a fresh service-sized ring.
+fn event_ring_for(options: &LsmOptions) -> EventRing {
+    options
+        .event_sink_ring()
+        .unwrap_or_else(|| EventRing::new(SERVICE_EVENT_RING_CAPACITY))
 }
 
 impl ShardedKv {
@@ -70,10 +99,15 @@ impl ShardedKv {
     /// Propagates engine open failures.
     pub fn open_in_memory(shards: usize, options: LsmOptions) -> Result<Self, Error> {
         let router = ShardRouter::new(shards);
+        let events = event_ring_for(&options);
         let shards = (0..router.shards())
-            .map(|_| Ok(Lsm::open_in_memory(options.clone())?))
+            .map(|i| Ok(Lsm::open_in_memory(shard_options(&options, &events, i))?))
             .collect::<Result<Vec<_>, Error>>()?;
-        Ok(Self { router, shards })
+        Ok(Self {
+            router,
+            shards,
+            events,
+        })
     }
 
     /// Opens a store over caller-provided storage backends, one per
@@ -119,11 +153,17 @@ impl ShardedKv {
                 )?;
             }
         }
+        let events = event_ring_for(&options);
         let shards = storages
             .into_iter()
-            .map(|storage| Ok(Lsm::open(storage, options.clone())?))
+            .enumerate()
+            .map(|(i, storage)| Ok(Lsm::open(storage, shard_options(&options, &events, i))?))
             .collect::<Result<Vec<_>, Error>>()?;
-        Ok(Self { router, shards })
+        Ok(Self {
+            router,
+            shards,
+            events,
+        })
     }
 
     /// Opens (or reopens) a disk-backed store rooted at `root`, shard
@@ -162,13 +202,18 @@ impl ShardedKv {
             }
             Err(e) => return Err(Error::Io(e)),
         }
+        let events = event_ring_for(&options);
         let shards = (0..router.shards())
             .map(|i| {
                 let dir = root.join(format!("shard-{i}"));
-                Ok(Lsm::open_on_disk(dir, options.clone())?)
+                Ok(Lsm::open_on_disk(dir, shard_options(&options, &events, i))?)
             })
             .collect::<Result<Vec<_>, Error>>()?;
-        Ok(Self { router, shards })
+        Ok(Self {
+            router,
+            shards,
+            events,
+        })
     }
 
     /// Number of shards.
@@ -333,6 +378,116 @@ impl ShardedKv {
             })
             .collect();
         ServiceStats { per_shard }
+    }
+
+    /// The store-wide maintenance event ring every shard traces into.
+    /// Drain with [`EventRing::since`]; drains are read-only, so any
+    /// number of consumers can hold independent cursors.
+    #[must_use]
+    pub fn events(&self) -> &EventRing {
+        &self.events
+    }
+
+    /// The store's self-describing metrics: every engine latency
+    /// histogram merged across shards under its stable exposition name
+    /// ([`lsm_engine::EngineMetrics::named_snapshots`]), plus the
+    /// aggregated engine statistics as `stats_`-prefixed counters — the
+    /// same numbers the positional `STATS` frame carries, now
+    /// name-tagged. (The server layers its own request histograms and
+    /// admission counters on top before answering `METRICS`.)
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        // Merge shard histograms name-wise. Every shard emits the same
+        // name list in the same order, so fold onto the first shard's.
+        let mut histograms: Vec<(String, HistogramSnapshot)> = Vec::new();
+        for shard in &self.shards {
+            for (name, snap) in shard.metrics().named_snapshots() {
+                match histograms.iter_mut().find(|(n, _)| n == name) {
+                    Some((_, merged)) => merged.merge(&snap),
+                    None => histograms.push((name.to_owned(), snap)),
+                }
+            }
+        }
+        let stats = self.stats();
+        let aggregate = stats.aggregate();
+        let counters = vec![
+            ("stats_shards".to_owned(), self.shard_count() as u64),
+            ("stats_puts".to_owned(), aggregate.puts),
+            ("stats_deletes".to_owned(), aggregate.deletes),
+            ("stats_write_batches".to_owned(), aggregate.write_batches),
+            ("stats_gets".to_owned(), aggregate.gets),
+            ("stats_memtable_hits".to_owned(), aggregate.memtable_hits),
+            ("stats_range_scans".to_owned(), aggregate.range_scans),
+            (
+                "stats_range_pruned_tables".to_owned(),
+                aggregate.range_pruned_tables,
+            ),
+            ("stats_tables_probed".to_owned(), aggregate.tables_probed),
+            (
+                "stats_bloom_negative_probes".to_owned(),
+                aggregate.bloom_negative_probes,
+            ),
+            (
+                "stats_data_block_reads".to_owned(),
+                aggregate.data_block_reads,
+            ),
+            (
+                "stats_data_block_read_bytes".to_owned(),
+                aggregate.data_block_read_bytes,
+            ),
+            (
+                "stats_table_cache_hits".to_owned(),
+                aggregate.table_cache_hits,
+            ),
+            (
+                "stats_table_cache_misses".to_owned(),
+                aggregate.table_cache_misses,
+            ),
+            (
+                "stats_block_cache_hits".to_owned(),
+                aggregate.block_cache_hits,
+            ),
+            (
+                "stats_block_cache_misses".to_owned(),
+                aggregate.block_cache_misses,
+            ),
+            ("stats_flushes".to_owned(), aggregate.flushes),
+            ("stats_compactions".to_owned(), aggregate.compactions),
+            (
+                "stats_auto_compactions".to_owned(),
+                aggregate.auto_compactions,
+            ),
+            (
+                "stats_compaction_entry_cost".to_owned(),
+                aggregate.compaction_entry_cost(),
+            ),
+            (
+                "stats_compaction_stall_micros".to_owned(),
+                aggregate.compaction_stall.as_micros() as u64,
+            ),
+            ("stats_live_tables".to_owned(), stats.live_tables() as u64),
+            (
+                "stats_frozen_queue_depth".to_owned(),
+                aggregate.frozen_queue_depth,
+            ),
+            (
+                "stats_slowdown_stalls".to_owned(),
+                aggregate.slowdown_stalls,
+            ),
+            ("stats_stop_stalls".to_owned(), aggregate.stop_stalls),
+            ("stats_bg_flushes".to_owned(), aggregate.bg_flushes),
+        ];
+        MetricsSnapshot {
+            counters,
+            histograms,
+        }
+    }
+
+    /// [`ShardedKv::metrics_snapshot`] rendered as Prometheus text
+    /// exposition — scrape-ready without any protocol awareness.
+    #[must_use]
+    pub fn metrics_text(&self) -> String {
+        self.metrics_snapshot().to_prometheus_text()
     }
 
     /// Every live key/value pair across all shards, in key order:

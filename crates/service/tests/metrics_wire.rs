@@ -1,0 +1,152 @@
+//! End-to-end METRICS / EVENTS over a real server: the self-describing
+//! frame must agree with the legacy positional STATS frame, the merged
+//! engine histograms must have counted the traffic, and the event
+//! cursor must tail the maintenance trace without loss.
+
+use std::sync::Arc;
+
+use kv_service::{KvClient, KvServer, ShardedKv};
+use lsm_engine::{CompactionPolicy, LsmOptions};
+
+fn serve() -> (kv_service::ServerHandle, Arc<ShardedKv>) {
+    let store = Arc::new(
+        ShardedKv::open_in_memory(
+            3,
+            LsmOptions::default()
+                .memtable_capacity(16)
+                .compaction_policy(CompactionPolicy::Threshold { live_tables: 3 })
+                .wal(false),
+        )
+        .unwrap(),
+    );
+    let handle = KvServer::bind(Arc::clone(&store), "127.0.0.1:0", 2)
+        .unwrap()
+        .spawn();
+    (handle, store)
+}
+
+#[test]
+fn metrics_frame_counts_traffic_and_agrees_with_stats() {
+    let (handle, _store) = serve();
+    let mut client = KvClient::connect(handle.addr()).unwrap();
+
+    for i in 0..200u64 {
+        client.put_u64(i, format!("v{i}").into_bytes()).unwrap();
+    }
+    for i in 0..100u64 {
+        assert!(client.get_u64(i).unwrap().is_some());
+    }
+    client.delete_u64(7).unwrap();
+
+    let stats = client.stats().unwrap();
+    let metrics = client.metrics().unwrap();
+
+    // Satellite: every positional STATS field rides the METRICS frame
+    // as a `stats_`-prefixed named counter, and the values agree.
+    for (name, expect) in [
+        ("stats_shards", stats.shards),
+        ("stats_puts", stats.puts),
+        ("stats_deletes", stats.deletes),
+        ("stats_gets", stats.gets),
+        ("stats_memtable_hits", stats.memtable_hits),
+        ("stats_flushes", stats.flushes),
+        ("stats_compactions", stats.compactions),
+        ("stats_live_tables", stats.live_tables),
+        ("stats_admitted_writes", stats.admitted_writes),
+        ("stats_shed_writes", stats.shed_writes),
+        ("stats_shed_connections", stats.shed_connections),
+        ("stats_bg_flushes", stats.bg_flushes),
+    ] {
+        assert_eq!(metrics.counter(name), Some(expect), "counter {name}");
+    }
+
+    // The engine histograms merged across shards counted every op.
+    assert_eq!(metrics.histogram("engine_put_us").unwrap().count(), 201);
+    assert_eq!(metrics.histogram("engine_get_us").unwrap().count(), 100);
+    // So did the server-side request histograms (one sample per frame).
+    assert_eq!(metrics.histogram("server_put_us").unwrap().count(), 200);
+    assert_eq!(metrics.histogram("server_get_us").unwrap().count(), 100);
+    assert_eq!(metrics.histogram("server_delete_us").unwrap().count(), 1);
+
+    // Server-observed latency can only be part of what the engine paid
+    // plus wire/dispatch overhead — both are non-degenerate quantiles.
+    let server_p99 = metrics
+        .histogram("server_get_us")
+        .unwrap()
+        .quantile_permille(990);
+    let engine_p99 = metrics
+        .histogram("engine_get_us")
+        .unwrap()
+        .quantile_permille(990);
+    assert!(server_p99 > 0 && engine_p99 > 0);
+    assert!(
+        server_p99 >= engine_p99,
+        "the server path contains the engine path"
+    );
+
+    handle.shutdown();
+}
+
+#[test]
+fn events_cursor_tails_the_maintenance_trace() {
+    let (handle, store) = serve();
+    let mut client = KvClient::connect(handle.addr()).unwrap();
+
+    // Nothing has flushed yet: the trace is empty from cursor 0.
+    let initial = client.events(0, 0).unwrap();
+    assert_eq!(initial.dropped, 0);
+    let mut cursor = initial.next_cursor;
+
+    // Capacity 16 across 3 shards: 600 puts force freezes + flushes +
+    // threshold compactions on every shard.
+    for i in 0..600u64 {
+        client.put_u64(i, vec![i as u8]).unwrap();
+    }
+    store.flush_all().unwrap();
+    store.compact_all().unwrap();
+
+    // Tail the whole trace through the wire cursor, in bounded batches.
+    let mut drained = Vec::new();
+    loop {
+        let batch = client.events(cursor, 8).unwrap();
+        assert_eq!(batch.dropped, 0, "ring overflowed under test load");
+        assert!(batch.events.len() <= 8);
+        if batch.events.is_empty() {
+            break;
+        }
+        cursor = batch.next_cursor;
+        drained.extend(batch.events);
+    }
+
+    // Sequence numbers arrive strictly increasing across batches.
+    assert!(drained.windows(2).all(|w| w[0].seq < w[1].seq));
+
+    // The trace covers flush lifecycles on more than one shard, with
+    // the structured fields intact end to end.
+    let publishes: Vec<_> = drained
+        .iter()
+        .filter(|e| e.kind == "flush_publish")
+        .collect();
+    assert!(publishes.len() >= 3, "every shard flushed at least once");
+    let shards: std::collections::BTreeSet<u32> = publishes.iter().map(|e| e.shard).collect();
+    assert!(shards.len() >= 2, "events carry distinct shard tags");
+    assert!(publishes.iter().all(|e| e.field("entries").is_some()));
+
+    // Compactions traced with both cost fields on the flip.
+    let flips: Vec<_> = drained
+        .iter()
+        .filter(|e| e.kind == "compaction_manifest_flip")
+        .collect();
+    assert!(!flips.is_empty(), "threshold compaction fired");
+    assert!(flips
+        .iter()
+        .all(|e| e.field("predicted_cost").is_some() && e.field("measured_cost").is_some()));
+
+    // The cursor is now at the head: a fresh poll returns nothing and
+    // does not move.
+    let idle = client.events(cursor, 0).unwrap();
+    assert!(idle.events.is_empty());
+    assert_eq!(idle.next_cursor, cursor);
+
+    handle.shutdown();
+}

@@ -1,14 +1,77 @@
-//! Property-based wire-protocol tests, centered on the scan frames:
-//! every structurally valid `SCAN` / `BATCH_VALUES` / `SCAN_END`
-//! message round-trips byte-exactly, every strict prefix (a torn frame)
-//! is rejected, and random garbage never decodes to the wrong thing or
+//! Property-based wire-protocol tests, centered on the scan and
+//! introspection frames: every structurally valid `SCAN` /
+//! `BATCH_VALUES` / `SCAN_END` / `METRICS` / `EVENTS` message
+//! round-trips byte-exactly, every strict prefix (a torn frame) is
+//! rejected, and random garbage never decodes to the wrong thing or
 //! panics.
 
-use kv_service::{Request, Response, StatsSummary, WireOp};
+use kv_service::{EventBatch, Request, Response, StatsSummary, WireEvent, WireOp};
+use obs::{HistogramSnapshot, MetricsSnapshot};
 use proptest::prelude::*;
 
 fn arb_bytes(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
     proptest::collection::vec(any::<u8>(), 0..max_len)
+}
+
+/// Short lowercase metric / event / field names.
+fn arb_name() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u8..27, 1..16).prop_map(|v| {
+        v.into_iter()
+            .map(|b| if b == 26 { '_' } else { (b'a' + b) as char })
+            .collect()
+    })
+}
+
+/// Histograms via the canonical sparse constructor, so round-trip
+/// equality is exact.
+fn arb_histogram() -> impl Strategy<Value = HistogramSnapshot> {
+    (
+        proptest::collection::vec((0u8..64, any::<u64>()), 0..8),
+        any::<u64>(),
+    )
+        .prop_map(|(pairs, sum)| HistogramSnapshot::from_sparse(&pairs, sum))
+}
+
+fn arb_metrics() -> impl Strategy<Value = MetricsSnapshot> {
+    (
+        proptest::collection::vec((arb_name(), any::<u64>()), 0..8),
+        proptest::collection::vec((arb_name(), arb_histogram()), 0..4),
+    )
+        .prop_map(|(counters, histograms)| MetricsSnapshot {
+            counters,
+            histograms,
+        })
+}
+
+fn arb_event_batch() -> impl Strategy<Value = EventBatch> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        proptest::collection::vec(
+            (
+                any::<u64>(),
+                any::<u64>(),
+                any::<u32>(),
+                arb_name(),
+                proptest::collection::vec((arb_name(), any::<u64>()), 0..5),
+            ),
+            0..6,
+        ),
+    )
+        .prop_map(|(next_cursor, dropped, events)| EventBatch {
+            next_cursor,
+            dropped,
+            events: events
+                .into_iter()
+                .map(|(seq, at_micros, shard, kind, fields)| WireEvent {
+                    seq,
+                    at_micros,
+                    shard,
+                    kind,
+                    fields,
+                })
+                .collect(),
+        })
 }
 
 proptest! {
@@ -184,6 +247,77 @@ proptest! {
         }
     }
 
+    /// METRICS frames round-trip for arbitrary named counters and
+    /// sparse histograms, and every strict prefix (a torn frame) is a
+    /// decode error — never a silently truncated metric set.
+    #[test]
+    fn metrics_frames_roundtrip_and_tear_safely(
+        snapshot in arb_metrics(),
+        cut_seed in any::<u32>(),
+    ) {
+        let response = Response::Metrics(snapshot);
+        let encoded = response.encode();
+        prop_assert_eq!(&Response::decode(&encoded).unwrap(), &response);
+        let cut = cut_seed as usize % encoded.len();
+        prop_assert!(
+            Response::decode(&encoded[..cut]).is_err(),
+            "METRICS prefix of {} / {} bytes decoded",
+            cut,
+            encoded.len()
+        );
+    }
+
+    /// EVENTS frames round-trip for arbitrary cursors, drop counts and
+    /// structured events, and every strict prefix is rejected. The
+    /// EVENTS *request* (cursor + max) gets the same treatment.
+    #[test]
+    fn events_frames_roundtrip_and_tear_safely(
+        batch in arb_event_batch(),
+        cursor in any::<u64>(),
+        max in any::<u32>(),
+        cut_seed in any::<u32>(),
+    ) {
+        let response = Response::Events(batch);
+        let encoded = response.encode();
+        prop_assert_eq!(&Response::decode(&encoded).unwrap(), &response);
+        let cut = cut_seed as usize % encoded.len();
+        prop_assert!(
+            Response::decode(&encoded[..cut]).is_err(),
+            "EVENTS prefix of {} / {} bytes decoded",
+            cut,
+            encoded.len()
+        );
+
+        let request = Request::Events { cursor, max };
+        let encoded = request.encode();
+        prop_assert_eq!(Request::decode(&encoded).unwrap(), request);
+        let cut = cut_seed as usize % encoded.len();
+        prop_assert!(Request::decode(&encoded[..cut]).is_err());
+    }
+
+    /// Corrupting a single byte of a METRICS or EVENTS frame never
+    /// panics the decoder; whatever still decodes is a stable value
+    /// (its canonical re-encoding decodes back to itself). A flip in a
+    /// count field may hit the element cap or a truncation check — both
+    /// must surface as `Err`, not as a panic or hang.
+    #[test]
+    fn corrupt_introspection_frames_never_panic(
+        snapshot in arb_metrics(),
+        batch in arb_event_batch(),
+        pos_seed in any::<u32>(),
+        flip in 1u8..=255,
+    ) {
+        for encoded in [Response::Metrics(snapshot).encode(), Response::Events(batch).encode()] {
+            let mut corrupted = encoded;
+            let pos = pos_seed as usize % corrupted.len();
+            corrupted[pos] ^= flip;
+            if let Ok(decoded) = Response::decode(&corrupted) {
+                let reencoded = decoded.encode();
+                prop_assert_eq!(Response::decode(&reencoded).unwrap(), decoded);
+            }
+        }
+    }
+
     /// Corrupting a single byte of a BATCH_VALUES frame either still
     /// decodes (the flip hit key/value content — contents are opaque)
     /// or errors; a flip inside the count/length structure must never
@@ -223,6 +357,8 @@ fn whole_palette_roundtrips() {
             end: b"b".to_vec(),
             limit: 3,
         },
+        Request::Metrics,
+        Request::Events { cursor: 42, max: 8 },
     ];
     let mut encoded_requests: Vec<Vec<u8>> = Vec::new();
     for request in &requests {
@@ -251,6 +387,21 @@ fn whole_palette_roundtrips() {
         Response::BatchValues(vec![(b"k".to_vec(), b"v".to_vec())]),
         Response::ScanEnd,
         Response::Err("boom".to_owned()),
+        Response::Metrics(MetricsSnapshot {
+            counters: vec![("stats_puts".to_owned(), 9)],
+            histograms: vec![("server_get_us".to_owned(), HistogramSnapshot::default())],
+        }),
+        Response::Events(EventBatch {
+            next_cursor: 5,
+            dropped: 1,
+            events: vec![WireEvent {
+                seq: 4,
+                at_micros: 77,
+                shard: 2,
+                kind: "flush_publish".to_owned(),
+                fields: vec![("generation".to_owned(), 3)],
+            }],
+        }),
     ];
     for response in &responses {
         assert_eq!(&Response::decode(&response.encode()).unwrap(), response);

@@ -38,7 +38,7 @@ use kv_service::{
     AdmissionConfig, KvClient, KvServer, PipelinedClient, Request, Response, ServerOptions,
     ShardedKv, StatsSummary, WireOp,
 };
-use lsm_engine::{CompactionPolicy, LsmOptions};
+use lsm_engine::{CompactionPolicy, HistogramSnapshot, LsmOptions, MetricsSnapshot};
 use ycsb_gen::{Distribution, Operation, OperationKind, WorkloadSpec};
 
 /// Configuration of the open-loop serving experiment.
@@ -425,6 +425,26 @@ impl OpenLoopConfig {
         store: &Arc<ShardedKv>,
     ) -> OpenLoopRow {
         let server = fetch_stats(handle.addr());
+        let metrics = fetch_metrics(handle.addr());
+        // The server's own view of point-op latency: every timed request
+        // kind the measured cell issues, merged into one histogram.
+        // BATCH is deliberately excluded — the load phase is the only
+        // issuer of batches, so leaving it out scopes the histogram to
+        // the measurement window without snapshot-diffing. Sitting next
+        // to the client-measured p99 this column makes the report
+        // honest: in the closed cell (window 0, no queueing anywhere)
+        // the two measure the same path and should agree within the
+        // histogram's bucket error plus harness scheduling noise; in
+        // windowed cells the client number is sojourn time through the
+        // in-flight window, so the gap *is* the queueing delay — a
+        // server-side regression moves both, a harness artifact moves
+        // only the client column.
+        let mut server_ops = HistogramSnapshot::default();
+        for name in ["server_get_us", "server_put_us", "server_delete_us"] {
+            if let Some(hist) = metrics.histogram(name) {
+                server_ops.merge(hist);
+            }
+        }
         let engine = store.stats().aggregate();
         let mut latencies = Vec::new();
         let mut completed = 0u64;
@@ -458,6 +478,7 @@ impl OpenLoopConfig {
             p50_micros: percentile_permille(&latencies, 500),
             p99_micros: percentile_permille(&latencies, 990),
             p999_micros: percentile_permille(&latencies, 999),
+            server_p99_micros: server_ops.quantile_permille(990),
             elapsed,
             auto_compactions: engine.auto_compactions,
             compaction_stall: engine.compaction_stall,
@@ -532,6 +553,21 @@ fn fetch_stats(addr: std::net::SocketAddr) -> StatsSummary {
     }
 }
 
+/// Fetches the server's METRICS frame on a fresh connection, with the
+/// same retry/fail-loudly contract as [`fetch_stats`].
+fn fetch_metrics(addr: std::net::SocketAddr) -> MetricsSnapshot {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match KvClient::connect(addr).and_then(|mut c| c.metrics()) {
+            Ok(metrics) => return metrics,
+            Err(_) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => panic!("post-cell METRICS fetch never succeeded: {e}"),
+        }
+    }
+}
+
 /// The `permille`-th per-mille (‰) of sorted micros, nearest-rank:
 /// 500 = p50, 990 = p99, 999 = p999.
 fn percentile_permille(sorted: &[u64], permille: u64) -> u64 {
@@ -587,6 +623,16 @@ pub struct OpenLoopRow {
     pub p99_micros: u64,
     /// 99.9th-percentile latency in microseconds.
     pub p999_micros: u64,
+    /// The server's own 99th-percentile over the request kinds the
+    /// measured cell issues (`server_get_us`/`put`/`delete`, merged;
+    /// BATCH is load-phase-only and excluded), from the `METRICS`
+    /// frame. The honesty column: in the closed cell (window 0) this
+    /// and [`OpenLoopRow::p99_micros`] time the same path and should
+    /// agree within histogram bucket error plus scheduling noise; in
+    /// windowed cells the client number is sojourn time through the
+    /// in-flight window, so the gap quantifies queueing delay. A
+    /// server-side regression moves both columns together.
+    pub server_p99_micros: u64,
     /// Wall-clock time of the cell.
     pub elapsed: Duration,
     /// Policy-triggered compactions across shards during the cell.
@@ -646,6 +692,16 @@ mod tests {
         );
         assert!(overload.p50_micros <= overload.p99_micros);
         assert!(overload.p99_micros <= overload.p999_micros);
+
+        // The honesty column arrived for every cell: the server timed
+        // its own requests and reported a real quantile over METRICS.
+        for row in &rows {
+            assert!(
+                row.server_p99_micros > 0,
+                "server-side p99 missing in {}: {row:?}",
+                row.label
+            );
+        }
     }
 
     #[test]

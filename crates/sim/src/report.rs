@@ -158,7 +158,7 @@ pub fn service_throughput_json(rows: &[ServiceThroughputRow]) -> String {
 pub fn open_loop_table(rows: &[OpenLoopRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:>10}  {:>10}  {:>6}  {:>5}  {:>6}  {:>10}  {:>10}  {:>9}  {:>6}  {:>9}  {:>9}  {:>9}  {:>8}  {:>8}  {:>8}  {:>6}  {:>10}\n",
+        "{:>10}  {:>10}  {:>6}  {:>5}  {:>6}  {:>10}  {:>10}  {:>9}  {:>6}  {:>9}  {:>9}  {:>9}  {:>8}  {:>8}  {:>11}  {:>8}  {:>6}  {:>10}\n",
         "cell",
         "mode",
         "shards",
@@ -173,6 +173,7 @@ pub fn open_loop_table(rows: &[OpenLoopRow]) -> String {
         "admitted",
         "p50_us",
         "p99_us",
+        "srv_p99_us",
         "p999_us",
         "autoc",
         "stall_ms"
@@ -184,7 +185,7 @@ pub fn open_loop_table(rows: &[OpenLoopRow]) -> String {
             "max".to_owned()
         };
         out.push_str(&format!(
-            "{:>10}  {:>10}  {:>6}  {:>5}  {:>6}  {:>10}  {:>10.0}  {:>9}  {:>6}  {:>9}  {:>9}  {:>9}  {:>8}  {:>8}  {:>8}  {:>6}  {:>10.2}\n",
+            "{:>10}  {:>10}  {:>6}  {:>5}  {:>6}  {:>10}  {:>10.0}  {:>9}  {:>6}  {:>9}  {:>9}  {:>9}  {:>8}  {:>8}  {:>11}  {:>8}  {:>6}  {:>10.2}\n",
             row.label,
             row.mode,
             row.shards,
@@ -199,6 +200,7 @@ pub fn open_loop_table(rows: &[OpenLoopRow]) -> String {
             row.server_admitted_writes,
             row.p50_micros,
             row.p99_micros,
+            row.server_p99_micros,
             row.p999_micros,
             row.auto_compactions,
             row.compaction_stall.as_secs_f64() * 1e3,
@@ -214,11 +216,11 @@ pub fn open_loop_csv(rows: &[OpenLoopRow]) -> String {
         "label,mode,shards,strategy,connections,window,offered_ops_per_sec,achieved_ops_per_sec,\
          completed,busy,client_shed,server_admitted_writes,server_shed_writes,\
          server_shed_connections,server_slowdown_stalls,server_stop_stalls,server_bg_flushes,\
-         p50_us,p99_us,p999_us,elapsed_ms,auto_compactions,stall_ms\n",
+         p50_us,p99_us,server_p99_us,p999_us,elapsed_ms,auto_compactions,stall_ms\n",
     );
     for row in rows {
         out.push_str(&format!(
-            "{},{},{},{},{},{},{:.1},{:.1},{},{},{},{},{},{},{},{},{},{},{},{},{:.2},{},{:.4}\n",
+            "{},{},{},{},{},{},{:.1},{:.1},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.2},{},{:.4}\n",
             row.label,
             row.mode,
             row.shards,
@@ -238,6 +240,7 @@ pub fn open_loop_csv(rows: &[OpenLoopRow]) -> String {
             row.server_bg_flushes,
             row.p50_micros,
             row.p99_micros,
+            row.server_p99_micros,
             row.p999_micros,
             row.elapsed.as_secs_f64() * 1e3,
             row.auto_compactions,
@@ -262,7 +265,7 @@ pub fn open_loop_json(rows: &[OpenLoopRow]) -> String {
              \"server_shed_writes\": {}, \"server_shed_connections\": {}, \
              \"server_slowdown_stalls\": {}, \"server_stop_stalls\": {}, \
              \"server_bg_flushes\": {}, \
-             \"p50_us\": {}, \"p99_us\": {}, \"p999_us\": {}, \
+             \"p50_us\": {}, \"p99_us\": {}, \"server_p99_us\": {}, \"p999_us\": {}, \
              \"elapsed_ms\": {:.2}, \"auto_compactions\": {}, \"stall_ms\": {:.4}}}{}\n",
             row.label,
             row.mode,
@@ -283,6 +286,7 @@ pub fn open_loop_json(rows: &[OpenLoopRow]) -> String {
             row.server_bg_flushes,
             row.p50_micros,
             row.p99_micros,
+            row.server_p99_micros,
             row.p999_micros,
             row.elapsed.as_secs_f64() * 1e3,
             row.auto_compactions,

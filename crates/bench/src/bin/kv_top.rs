@@ -176,6 +176,37 @@ fn quantiles(hist: &HistogramSnapshot) -> [u64; 4] {
     hist.standard_quantiles()
 }
 
+/// Looks up a named counter; `None` when the server predates it.
+fn counter(metrics: &MetricsSnapshot, name: &str) -> Option<u64> {
+    metrics
+        .counters
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| *v)
+}
+
+/// The storage-lifecycle summary line: manifest checkpoint position,
+/// live WAL segments, tombstone GC work and the last recovery's
+/// taxonomy. Empty when the server doesn't expose these counters yet.
+fn render_storage_line(metrics: &MetricsSnapshot) -> String {
+    let Some(checkpoint) = counter(metrics, "stats_manifest_checkpoint_seq") else {
+        return String::new();
+    };
+    let get = |name: &str| counter(metrics, name).unwrap_or(0);
+    format!(
+        "storage: checkpoint_seq={checkpoint} wal_segments_live={} \
+         gc_rewrites={} tombstones_dropped={} | recovery: frames_replayed={} \
+         bytes_truncated={} quarantined={} frames / {} segments\n",
+        get("stats_wal_segments_live"),
+        get("stats_gc_rewrites"),
+        get("stats_tombstones_dropped"),
+        get("stats_recovery_frames_replayed"),
+        get("stats_recovery_bytes_truncated"),
+        get("stats_recovery_frames_quarantined"),
+        get("stats_recovery_segments_quarantined"),
+    )
+}
+
 fn render_console(addr: &str, metrics: &MetricsSnapshot, events: &EventBatch) -> String {
     let mut out = String::new();
     out.push_str(&format!(
@@ -212,6 +243,7 @@ fn render_console(addr: &str, metrics: &MetricsSnapshot, events: &EventBatch) ->
         first = false;
     }
     out.push('\n');
+    out.push_str(&render_storage_line(metrics));
     if !events.events.is_empty() {
         out.push_str("recent maintenance events:\n");
         let tail = events.events.len().saturating_sub(CONSOLE_EVENT_TAIL);

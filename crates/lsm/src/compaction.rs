@@ -147,6 +147,7 @@ mod tests {
                 table_id: id,
                 entry_count: meta.entry_count,
                 encoded_len: meta.encoded_len,
+                tombstone_count: meta.tombstone_count,
             }))
             .unwrap();
         id
@@ -223,6 +224,7 @@ mod tests {
                 table_id: id,
                 entry_count: meta.entry_count,
                 encoded_len: meta.encoded_len,
+                tombstone_count: meta.tombstone_count,
             }))
             .unwrap();
 

@@ -77,12 +77,12 @@ use crate::observation::TableKeyObservation;
 use crate::options::{CompactionPolicy, LsmOptions};
 use crate::parallel::ParallelExecutor;
 use crate::planner::{observed_key, plan_compaction};
-use crate::reader::{ReadContext, ReadPathCounters};
+use crate::reader::{ReadContext, ReadPathCounters, SstableReader};
 use crate::scan::RangeIter;
 use crate::sstable::{Sstable, SstableBuilder};
 use crate::storage::{FileStorage, MemoryStorage, Storage};
 use crate::types::{key_from_u64, Entry, Key, Value, ValueKind};
-use crate::wal::{Wal, WalRecord};
+use crate::wal::{RecoveryReport, Wal, WalRecord};
 use crate::Error;
 
 /// Bounded delay one write pays in the slowdown stall tier.
@@ -92,6 +92,12 @@ const SLOWDOWN_SLEEP: Duration = Duration::from_micros(500);
 const STALL_WAIT_SLICE: Duration = Duration::from_millis(10);
 /// Back-off before a maintenance worker retries a failed flush/merge.
 const WORKER_RETRY_DELAY: Duration = Duration::from_millis(5);
+
+/// Consecutive background-flush failures after which a blocked
+/// `flush()` caller gives up and surfaces the flush thread's error
+/// instead of waiting for progress that a dead storage backend will
+/// never make.
+const FLUSH_FAILURE_GIVE_UP: u64 = 3;
 
 /// A single-node LSM key-value store.
 ///
@@ -197,6 +203,10 @@ pub(crate) struct LsmInner {
     /// the write mutex across the merge. Lock order: `compaction_mx`
     /// before `write`.
     compaction_mx: Mutex<()>,
+    /// Table ids tombstone GC examined and found nothing droppable in;
+    /// skipped until the next manifest flip changes what other tables
+    /// may shadow. Lock order: `write` before `gc_barren`.
+    gc_barren: Mutex<Vec<u64>>,
     maint: Maintenance,
 }
 
@@ -223,6 +233,14 @@ struct Maintenance {
     /// Kicked whenever maintenance makes progress (a flush or merge
     /// completed) — what stalled writers and queue drains wait on.
     progress_signal: Signal,
+    /// Consecutive background-flush failures since the last success.
+    /// Non-zero while the flush thread is retrying against a failing
+    /// backend; explicit `flush()` callers read it to turn an endless
+    /// wait into an explicit error.
+    flush_failure_streak: AtomicU64,
+    /// Display form of the most recent background-flush error, so the
+    /// error a blocked `flush()` caller surfaces names the real cause.
+    last_flush_error: StdMutex<Option<String>>,
 }
 
 #[derive(Debug, Default)]
@@ -344,6 +362,33 @@ pub struct LsmStats {
     /// Frozen memtables currently queued for flush (a gauge, sampled
     /// when the stats were taken).
     pub frozen_queue_depth: u64,
+    /// WAL segments scanned during open-time recovery.
+    pub recovery_segments_scanned: u64,
+    /// WAL frames whose checksum verified and whose records were
+    /// replayed during recovery.
+    pub recovery_frames_replayed: u64,
+    /// Individual records replayed into the memtable during recovery.
+    pub recovery_records_replayed: u64,
+    /// Bytes discarded as torn tails (incomplete trailing frames from a
+    /// crash mid-append; never acknowledged, so no data was lost).
+    pub recovery_bytes_truncated: u64,
+    /// Checksum-mismatched frames with valid frames after them (bit
+    /// rot): the frame was quarantined and later frames salvaged, but
+    /// acknowledged history is gone. Nonzero means explicit data loss.
+    pub recovery_frames_quarantined: u64,
+    /// WAL segments preserved under a `quarantined-` name because they
+    /// contained rotten frames.
+    pub recovery_segments_quarantined: u64,
+    /// Tombstones physically dropped by tombstone-GC rewrites.
+    pub tombstones_dropped: u64,
+    /// Single-table tombstone-GC rewrites executed.
+    pub gc_rewrites: u64,
+    /// Sequence number of the current manifest checkpoint (a gauge;
+    /// summed across shards by [`LsmStats::absorb`]).
+    pub manifest_checkpoint_seq: u64,
+    /// Live WAL segments on storage (a gauge, sampled when the stats
+    /// were taken; summed across shards).
+    pub wal_segments_live: u64,
 }
 
 impl LsmStats {
@@ -394,6 +439,16 @@ impl LsmStats {
         self.slowdown_stalls += other.slowdown_stalls;
         self.stop_stalls += other.stop_stalls;
         self.frozen_queue_depth += other.frozen_queue_depth;
+        self.recovery_segments_scanned += other.recovery_segments_scanned;
+        self.recovery_frames_replayed += other.recovery_frames_replayed;
+        self.recovery_records_replayed += other.recovery_records_replayed;
+        self.recovery_bytes_truncated += other.recovery_bytes_truncated;
+        self.recovery_frames_quarantined += other.recovery_frames_quarantined;
+        self.recovery_segments_quarantined += other.recovery_segments_quarantined;
+        self.tombstones_dropped += other.tombstones_dropped;
+        self.gc_rewrites += other.gc_rewrites;
+        self.manifest_checkpoint_seq += other.manifest_checkpoint_seq;
+        self.wal_segments_live += other.wal_segments_live;
     }
 
     fn record_compaction(&mut self, outcome: &CompactionOutcome) {
@@ -787,6 +842,27 @@ impl Lsm {
         self.inner.major_compact(steps)
     }
 
+    /// Runs one tombstone-GC rewrite right now, regardless of the
+    /// [`LsmOptions::tombstone_gc`] toggle (which only governs the
+    /// background scheduler): pick the live table carrying the most
+    /// tombstones past [`LsmOptions::gc_min_tombstones`], drop every
+    /// tombstone that provably shadows nothing — no *other* live
+    /// table's bloom/min-max admits its key — and swap in the slimmer
+    /// rewrite via the usual atomic manifest flip. Returns the number
+    /// of tombstones dropped (0 when no table qualifies or nothing was
+    /// droppable).
+    ///
+    /// Entries buffered in the memtable are always strictly newer than
+    /// any sstable entry, so dropping an sstable tombstone can never
+    /// resurrect them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage and corruption errors.
+    pub fn gc_tombstones(&self) -> Result<u64, Error> {
+        self.inner.run_tombstone_gc()
+    }
+
     /// Returns every live key/value pair, merged across the memtable and
     /// all sstables with newest-wins semantics and tombstones applied:
     /// [`Lsm::range`] over the whole keyspace, collected. Intended for
@@ -871,7 +947,7 @@ impl Drop for Lsm {
 
 impl LsmInner {
     fn open(storage: Arc<dyn Storage>, options: LsmOptions) -> Result<Self, Error> {
-        let manifest = Manifest::load(storage.as_ref())?;
+        let mut manifest = Manifest::load(storage.as_ref())?;
         // Sweep orphan sstable blobs and their key-observation sidecars:
         // a crash between writing compaction outputs and persisting the
         // manifest (or between persisting and deleting consumed inputs)
@@ -887,20 +963,59 @@ impl LsmInner {
                 }
             }
         }
+        // Establish the first checkpoint immediately (also migrates a
+        // legacy single-blob manifest): from this point on the data
+        // directory always carries a decodable checkpoint, so sstable
+        // blobs without *any* manifest can only mean the manifest was
+        // lost — `Manifest::load` fails with the orphaned-tables
+        // diagnostic — never a normal crash window during the first
+        // flush.
+        if manifest.checkpoint_seq() == 0 {
+            manifest.persist(storage.as_ref())?;
+        }
         let mut memtable = Memtable::new(options.memtable_capacity_keys());
         let mut next_wal_generation = 0;
+        let mut recovery = RecoveryReport::default();
         let wal = if options.wal_enabled() {
             // Recover every write that had not been flushed, replaying
             // all live WAL segments oldest-first (a crash under
             // background maintenance can leave one segment per frozen
-            // memtable generation). Everything is re-persisted as one
+            // memtable generation). Each segment's replay classifies
+            // damage: torn tails are truncated (a crash mid-append —
+            // nothing acked was lost), checksum-mismatched frames with
+            // valid frames after them are quarantined and the rest
+            // salvaged (bit rot — acked history is gone, and the report
+            // says so). Everything salvaged is re-persisted as one
             // frame into a single fresh segment, then the old segments
             // are retired — a crash in between replays records twice,
             // which is idempotent (same seqnos).
             let segments = Wal::live_segments(storage.as_ref());
             let mut records = Vec::new();
+            let mut rotten: Vec<&String> = Vec::new();
             for segment in &segments {
-                records.extend(Wal::replay(storage.as_ref(), segment)?);
+                let replay = Wal::replay_segment(storage.as_ref(), segment)?;
+                recovery.absorb_segment(&replay);
+                if replay.frames_quarantined > 0 {
+                    rotten.push(segment);
+                }
+                records.extend(replay.records);
+            }
+            if options.strict_recovery_enabled() && recovery.lost_acked_history() {
+                return Err(Error::corruption(format!(
+                    "strict recovery: {} WAL frame(s) across {} segment(s) failed their \
+                     checksum with valid frames after them (bit rot, not a torn tail); \
+                     refusing to open with a gapped history",
+                    recovery.frames_quarantined, recovery.segments_quarantined
+                )));
+            }
+            // Preserve rotten segments verbatim under a quarantine name
+            // before retiring them: the rotted bytes stay available for
+            // forensics and are never mistaken for a live segment
+            // (quarantine names don't parse as WAL generations).
+            for segment in &rotten {
+                if let Ok(bytes) = storage.read_blob(segment) {
+                    let _ = storage.write_blob(&format!("quarantined-{segment}"), &bytes);
+                }
             }
             let next_generation = segments
                 .iter()
@@ -926,6 +1041,30 @@ impl LsmInner {
         let snapshot = ArcSwap::new(Arc::new(ReadView::from_manifest(&manifest)));
         let events = crate::metrics::event_ring_for(&options);
         let shard = options.shard_tag_id();
+        if recovery.segments_scanned > 0 {
+            events.record(
+                shard,
+                EventKind::WalRecovery,
+                0,
+                vec![
+                    ("segments_scanned", recovery.segments_scanned),
+                    ("frames_replayed", recovery.frames_replayed),
+                    ("records_replayed", recovery.records_replayed),
+                    ("bytes_truncated", recovery.bytes_truncated),
+                    ("frames_quarantined", recovery.frames_quarantined),
+                    ("segments_quarantined", recovery.segments_quarantined),
+                ],
+            );
+        }
+        let stats = LsmStats {
+            recovery_segments_scanned: recovery.segments_scanned,
+            recovery_frames_replayed: recovery.frames_replayed,
+            recovery_records_replayed: recovery.records_replayed,
+            recovery_bytes_truncated: recovery.bytes_truncated,
+            recovery_frames_quarantined: recovery.frames_quarantined,
+            recovery_segments_quarantined: recovery.segments_quarantined,
+            ..LsmStats::default()
+        };
         Ok(Self {
             table_cache: Arc::new(TableCache::new(options.table_cache_tables())),
             block_cache: Arc::new(BlockCache::new(options.block_cache_bytes())),
@@ -937,7 +1076,7 @@ impl LsmInner {
                 flushes_since_compaction: 0,
                 next_wal_generation,
             }),
-            stats: Mutex::new(LsmStats::default()),
+            stats: Mutex::new(stats),
             memtable: RwLock::new(memtable),
             frozen: ArcSwap::new(Arc::new(Vec::new())),
             snapshot,
@@ -960,6 +1099,7 @@ impl LsmInner {
             last_bg_flush_table: AtomicU64::new(0),
             bg_compacting: AtomicBool::new(false),
             compaction_mx: Mutex::new(()),
+            gc_barren: Mutex::new(Vec::new()),
             maint: Maintenance::default(),
         })
     }
@@ -991,6 +1131,8 @@ impl LsmInner {
         stats.stop_stalls = self.stop_stalls.load(Ordering::Relaxed);
         stats.frozen_queue_depth = self.frozen.load_full().len() as u64;
         stats.compaction_stall = Duration::from_micros(self.metrics.stall.sum());
+        stats.wal_segments_live = Wal::live_segments(self.storage.as_ref()).len() as u64;
+        stats.manifest_checkpoint_seq = self.write.lock().manifest.checkpoint_seq();
         stats
     }
 
@@ -1427,7 +1569,7 @@ impl LsmInner {
         // Background mode: rotate the active memtable onto the queue
         // and wait for the flush thread to drain everything.
         loop {
-            self.drain_frozen_queue();
+            self.drain_frozen_queue()?;
             let mut w = self.write.lock();
             if self.memtable.read().is_empty() {
                 break;
@@ -1440,14 +1582,34 @@ impl LsmInner {
 
     /// Blocks until the frozen queue is empty (or shutdown), kicking
     /// the flush thread along the way.
-    fn drain_frozen_queue(&self) {
+    ///
+    /// Gives up with the flush thread's own error once it has failed
+    /// [`FLUSH_FAILURE_GIVE_UP`] consecutive attempts: a dead backend
+    /// would otherwise wedge every explicit `flush()` caller forever.
+    /// (The streak only resets on a successful flush, and the queue
+    /// only drains through successes, so a stale streak cannot outlive
+    /// the condition it reports while the queue is non-empty.)
+    fn drain_frozen_queue(&self) -> Result<(), Error> {
         while !self.frozen.load_full().is_empty() {
             if self.maint.shutdown.load(Ordering::SeqCst) {
-                return;
+                return Ok(());
+            }
+            if self.maint.flush_failure_streak.load(Ordering::SeqCst) >= FLUSH_FAILURE_GIVE_UP {
+                let detail = self
+                    .maint
+                    .last_flush_error
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .clone()
+                    .unwrap_or_else(|| "unknown error".to_string());
+                return Err(Error::Io(std::io::Error::other(format!(
+                    "background flush cannot make progress: {detail}"
+                ))));
             }
             self.maint.flush_signal.notify();
             self.maint.progress_signal.wait_timeout(STALL_WAIT_SLICE);
         }
+        Ok(())
     }
 
     /// Inline flush: memtable → sstable under the write mutex
@@ -1530,6 +1692,7 @@ impl LsmInner {
             table_id,
             entry_count: meta.entry_count,
             encoded_len: meta.encoded_len,
+            tombstone_count: meta.tombstone_count,
         })
     }
 
@@ -1550,13 +1713,25 @@ impl LsmInner {
             };
             match self.flush_frozen(&gen) {
                 Ok(()) => {
+                    self.maint.flush_failure_streak.store(0, Ordering::SeqCst);
                     self.maint.compact_signal.notify();
                     self.maint.progress_signal.notify();
                 }
-                Err(_) => {
+                Err(e) => {
                     // The generation stays queued (and its WAL segment
                     // live), so nothing is lost; retry after a pause.
                     // At shutdown, give up — the WAL still has it.
+                    *self
+                        .maint
+                        .last_flush_error
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner()) = Some(e.to_string());
+                    self.maint
+                        .flush_failure_streak
+                        .fetch_add(1, Ordering::SeqCst);
+                    // Wake blocked flush() callers so they can observe
+                    // the streak rather than sleep out their slice.
+                    self.maint.progress_signal.notify();
                     if self.maint.shutdown.load(Ordering::SeqCst) {
                         return;
                     }
@@ -1820,6 +1995,17 @@ impl LsmInner {
                     }
                     std::thread::sleep(WORKER_RETRY_DELAY);
                 }
+            } else if self.gc_due() {
+                // Merge work always outranks space reclamation: GC only
+                // runs when the policy has nothing to merge, so it
+                // competes for the scheduler without delaying the
+                // compactions the stall tiers depend on.
+                if !matches!(self.run_tombstone_gc(), Ok(n) if n > 0) {
+                    if self.maint.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    self.maint.compact_signal.wait_timeout(STALL_WAIT_SLICE);
+                }
             } else {
                 self.maint.compact_signal.wait_timeout(STALL_WAIT_SLICE);
             }
@@ -1944,6 +2130,117 @@ impl LsmInner {
         }))
     }
 
+    // ---- tombstone GC ----
+
+    /// `true` when the background scheduler should attempt a GC
+    /// rewrite: the option is on and some live table carries enough
+    /// tombstones and hasn't already proven barren.
+    fn gc_due(&self) -> bool {
+        if !self.options.tombstone_gc_enabled() {
+            return false;
+        }
+        let threshold = self.options.gc_min_tombstones_per_table();
+        let tables: Vec<TableMeta> = self.write.lock().manifest.tables().to_vec();
+        let barren = self.gc_barren.lock();
+        tables
+            .iter()
+            .any(|t| t.tombstone_count >= threshold && !barren.contains(&t.table_id))
+    }
+
+    /// One tombstone-GC rewrite (see [`Lsm::gc_tombstones`]). Holds
+    /// `compaction_mx` for the whole run so no merge can consume the
+    /// candidate or its shadow-check peers mid-rewrite; concurrent
+    /// flushes only *add* tables, whose entries are strictly newer than
+    /// the candidate's tombstones and therefore never depend on them.
+    fn run_tombstone_gc(&self) -> Result<u64, Error> {
+        let _serial = self.compaction_mx.lock();
+        let tables: Vec<TableMeta> = self.write.lock().manifest.tables().to_vec();
+        let threshold = self.options.gc_min_tombstones_per_table();
+        let candidate = {
+            let barren = self.gc_barren.lock();
+            tables
+                .iter()
+                .filter(|t| t.tombstone_count >= threshold && !barren.contains(&t.table_id))
+                .max_by_key(|t| t.tombstone_count)
+                .cloned()
+        };
+        let Some(candidate) = candidate else {
+            return Ok(0);
+        };
+        // The safety oracle: a tombstone is droppable iff no *other*
+        // live table may contain its key (min/max + bloom, zero block
+        // I/O — false positives keep a droppable tombstone, false
+        // negatives cannot happen).
+        let mut others = Vec::with_capacity(tables.len().saturating_sub(1));
+        for t in tables.iter().filter(|t| t.table_id != candidate.table_id) {
+            others.push(SstableReader::open(
+                self.storage.clone(),
+                t.table_id,
+                Some(t.encoded_len),
+            )?);
+        }
+        let table = Sstable::load(self.storage.as_ref(), candidate.table_id)?;
+        let mut kept: Vec<Entry> = Vec::new();
+        let mut dropped = 0u64;
+        for entry in table.iter() {
+            let entry = entry?;
+            if entry.is_tombstone() && !others.iter().any(|r| r.may_contain(&entry.key)) {
+                dropped += 1;
+            } else {
+                kept.push(entry);
+            }
+        }
+        if dropped == 0 {
+            self.gc_barren.lock().push(candidate.table_id);
+            return Ok(0);
+        }
+        // The planner's cost currency (entries read + written) for this
+        // rewrite, so GC spend is comparable with merge spend in the
+        // predicted-cost accounting.
+        let kept_count = kept.len() as u64;
+        let predicted = candidate.entry_count + kept_count;
+        let new_meta = if kept.is_empty() {
+            None
+        } else {
+            let table_id = self.write.lock().manifest.allocate_table_id();
+            Some(self.build_sstable(table_id, &kept)?)
+        };
+        let output_id = new_meta.as_ref().map_or(0, |m| m.table_id);
+        {
+            let mut w = self.write.lock();
+            w.manifest.apply(ManifestEdit::RemoveTable {
+                table_id: candidate.table_id,
+            })?;
+            if let Some(meta) = new_meta {
+                w.manifest.apply(ManifestEdit::AddTable(meta))?;
+            }
+            w.manifest.persist(self.storage.as_ref())?;
+            self.on_manifest_flip(&[candidate.table_id], &w.manifest);
+        }
+        self.storage
+            .delete_blob(&Sstable::blob_name(candidate.table_id))?;
+        TableKeyObservation::delete(self.storage.as_ref(), candidate.table_id)?;
+        self.emit(
+            EventKind::CompactionGc,
+            vec![
+                ("input_table", candidate.table_id),
+                ("output_table", output_id),
+                ("tombstones_dropped", dropped),
+                ("predicted_cost", predicted),
+            ],
+        );
+        {
+            let mut stats = self.stats.lock();
+            stats.tombstones_dropped += dropped;
+            stats.gc_rewrites += 1;
+            stats.compaction_predicted_cost += predicted;
+            stats.compaction_entries_read += candidate.entry_count;
+            stats.compaction_entries_written += kept_count;
+        }
+        self.maint.progress_signal.notify();
+        Ok(dropped)
+    }
+
     /// Stamps the in-progress-compaction marker for [`Lsm::pressure`];
     /// the returned guard clears it on every exit path.
     fn mark_compacting(&self) -> CompactionMark<'_> {
@@ -1966,6 +2263,9 @@ impl LsmInner {
                 self.block_cache.evict_table(id);
             }
         }
+        // Retiring a table can unblock tombstones its bloom was
+        // shadowing, so GC's examined-and-barren memo resets.
+        self.gc_barren.lock().clear();
     }
 
     fn publish_snapshot(&self, manifest: &Manifest) {

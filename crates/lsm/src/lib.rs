@@ -132,7 +132,7 @@ pub use scan::RangeIter;
 pub use sstable::{Sstable, SstableBuilder, SstableIter, SstableMeta};
 pub use storage::{FileStorage, MemoryStorage, Storage};
 pub use types::{key_from_u64, key_to_u64, Entry, InternalKey, Key, SeqNo, Value, ValueKind};
-pub use wal::{Wal, WalRecord};
+pub use wal::{RecoveryReport, SegmentReplay, Wal, WalRecord};
 
 // Re-exported so engine users can configure policies without adding a
 // direct `compaction-core` dependency.

@@ -106,6 +106,9 @@ pub struct LsmOptions {
     adaptive_strategy: bool,
     event_sink: Option<EventSinkOpt>,
     shard_tag: u32,
+    strict_recovery: bool,
+    tombstone_gc: bool,
+    gc_min_tombstones: u64,
 }
 
 impl Default for LsmOptions {
@@ -132,6 +135,9 @@ impl Default for LsmOptions {
             adaptive_strategy: false,
             event_sink: None,
             shard_tag: 0,
+            strict_recovery: false,
+            tombstone_gc: false,
+            gc_min_tombstones: 1,
         }
     }
 }
@@ -346,6 +352,45 @@ impl LsmOptions {
         self
     }
 
+    /// Refuses to open instead of shedding history (default `false`).
+    ///
+    /// WAL recovery distinguishes a *torn tail* (a crash mid-append —
+    /// the partial frame was never acknowledged, truncating it is
+    /// lossless) from *bit rot* (a checksum-mismatched frame with valid
+    /// frames after it — acknowledged history is gone). By default the
+    /// engine quarantines the rotten frame, salvages the decodable
+    /// frames after it, and reports the loss through
+    /// [`LsmStats`](crate::LsmStats); with strict recovery the open
+    /// fails with [`Error::Corruption`](crate::Error) instead, so an
+    /// operator can intervene before the store serves a gapped history.
+    #[must_use]
+    pub fn strict_recovery(mut self, strict: bool) -> Self {
+        self.strict_recovery = strict;
+        self
+    }
+
+    /// Enables tombstone garbage collection (default `false`): the
+    /// background scheduler may rewrite a single sstable to drop
+    /// tombstones that provably shadow nothing — no *other* live
+    /// table's bloom/min-max admits the key — reclaiming space without
+    /// waiting for a full major compaction. GC competes with merge
+    /// compaction through the planner's predicted-cost accounting and
+    /// only runs when the configured policy has no merge to schedule.
+    #[must_use]
+    pub fn tombstone_gc(mut self, enabled: bool) -> Self {
+        self.tombstone_gc = enabled;
+        self
+    }
+
+    /// Sets how many tombstones a table must carry before tombstone GC
+    /// considers rewriting it (default 1, clamped ≥ 1). Higher values
+    /// trade space reclamation latency for fewer rewrites.
+    #[must_use]
+    pub fn gc_min_tombstones(mut self, tombstones: u64) -> Self {
+        self.gc_min_tombstones = tombstones.max(1);
+        self
+    }
+
     /// Memtable capacity in distinct keys.
     #[must_use]
     pub fn memtable_capacity_keys(&self) -> usize {
@@ -472,6 +517,24 @@ impl LsmOptions {
     pub fn shard_tag_id(&self) -> u32 {
         self.shard_tag
     }
+
+    /// Whether recovery refuses to open on acked-history loss.
+    #[must_use]
+    pub fn strict_recovery_enabled(&self) -> bool {
+        self.strict_recovery
+    }
+
+    /// Whether tombstone GC may schedule single-table rewrites.
+    #[must_use]
+    pub fn tombstone_gc_enabled(&self) -> bool {
+        self.tombstone_gc
+    }
+
+    /// Minimum tombstones in a table before GC considers it.
+    #[must_use]
+    pub fn gc_min_tombstones_per_table(&self) -> u64 {
+        self.gc_min_tombstones
+    }
 }
 
 #[cfg(test)]
@@ -496,6 +559,9 @@ mod tests {
             .stop_trigger(0)
             .frozen_queue_limit(0)
             .adaptive_strategy(true)
+            .strict_recovery(true)
+            .tombstone_gc(true)
+            .gc_min_tombstones(0)
             .wal(false);
         assert_eq!(opts.memtable_capacity_keys(), 1, "capacity clamps to 1");
         assert_eq!(opts.block_size_bytes(), 64, "block size clamps to 64");
@@ -516,6 +582,13 @@ mod tests {
             opts.frozen_queue_limit_generations(),
             2,
             "queue limit clamps to 2"
+        );
+        assert!(opts.strict_recovery_enabled());
+        assert!(opts.tombstone_gc_enabled());
+        assert_eq!(
+            opts.gc_min_tombstones_per_table(),
+            1,
+            "gc threshold clamps to 1"
         );
     }
 
@@ -551,6 +624,12 @@ mod tests {
         assert_eq!(opts.slowdown_trigger_debt(), 2);
         assert_eq!(opts.stop_trigger_debt(), 4);
         assert_eq!(opts.frozen_queue_limit_generations(), 8);
+        assert!(
+            !opts.strict_recovery_enabled(),
+            "lenient recovery by default: salvage and report"
+        );
+        assert!(!opts.tombstone_gc_enabled());
+        assert_eq!(opts.gc_min_tombstones_per_table(), 1);
     }
 
     #[test]

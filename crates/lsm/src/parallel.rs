@@ -39,6 +39,7 @@ struct StepResult {
     output_id: u64,
     entry_count: u64,
     encoded_len: u64,
+    tombstone_count: u64,
     entries_read: u64,
     bytes_read: u64,
 }
@@ -473,6 +474,7 @@ impl ParallelExecutor {
                 table_id: result.output_id,
                 entry_count: result.entry_count,
                 encoded_len: result.encoded_len,
+                tombstone_count: result.tombstone_count,
             }))?;
         }
         manifest.persist(storage)?;
@@ -542,6 +544,7 @@ impl ParallelExecutor {
             output_id,
             entry_count: meta.entry_count,
             encoded_len: meta.encoded_len,
+            tombstone_count: meta.tombstone_count,
             entries_read,
             bytes_read,
         })
@@ -574,6 +577,7 @@ mod tests {
                 table_id: id,
                 entry_count: meta.entry_count,
                 encoded_len: meta.encoded_len,
+                tombstone_count: meta.tombstone_count,
             }))
             .unwrap();
         id

@@ -133,6 +133,7 @@ mod tests {
             table_id: id,
             entry_count: built.entry_count,
             encoded_len: built.encoded_len,
+            tombstone_count: built.tombstone_count,
         };
         manifest
             .apply(ManifestEdit::AddTable(meta.clone()))

@@ -234,6 +234,21 @@ impl SstableReader {
         !(starts_after_max || ends_before_min)
     }
 
+    /// Whether this table *may* contain `key`, judged purely by the
+    /// resident tail — min/max range plus bloom probe — with **zero**
+    /// block I/O. False positives are possible (bloom), false negatives
+    /// are not. This is tombstone GC's safety oracle: a tombstone in one
+    /// table is droppable only when no *other* live table answers `true`
+    /// for its key.
+    #[must_use]
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        let in_range = match (&self.min_key, &self.max_key) {
+            (Some(min), Some(max)) => key >= min.as_ref() && key <= max.as_ref(),
+            _ => !self.index.is_empty(),
+        };
+        in_range && self.bloom.may_contain(key)
+    }
+
     /// Index of the first data block that can contain a key satisfying
     /// the `start` bound (blocks are indexed by their *last* key).
     /// Returns [`SstableReader::block_count`] when no block qualifies.
@@ -253,11 +268,7 @@ impl SstableReader {
     ///
     /// Propagates storage errors and block corruption.
     pub fn get(&self, key: &[u8], ctx: ReadContext<'_>) -> Result<Option<Entry>, Error> {
-        let in_range = match (&self.min_key, &self.max_key) {
-            (Some(min), Some(max)) => key >= min.as_ref() && key <= max.as_ref(),
-            _ => !self.index.is_empty(),
-        };
-        if !in_range || !self.bloom.may_contain(key) {
+        if !self.may_contain(key) {
             ctx.counters.record_bloom_negative();
             return Ok(None);
         }

@@ -123,6 +123,7 @@ pub struct SstableBuilder {
     finished_blocks: Vec<(Key, Bytes)>,
     all_keys: Vec<Key>,
     entry_count: u64,
+    tombstone_count: u64,
     min_key: Option<Key>,
     max_key: Option<Key>,
 }
@@ -139,6 +140,7 @@ impl SstableBuilder {
             finished_blocks: Vec::new(),
             all_keys: Vec::new(),
             entry_count: 0,
+            tombstone_count: 0,
             min_key: None,
             max_key: None,
         }
@@ -153,6 +155,9 @@ impl SstableBuilder {
         self.max_key = Some(entry.key.clone());
         self.all_keys.push(entry.key.clone());
         self.entry_count += 1;
+        if entry.is_tombstone() {
+            self.tombstone_count += 1;
+        }
         self.current.add(entry);
         if self.current.size_in_bytes() >= self.block_size {
             self.rotate_block();
@@ -225,6 +230,7 @@ impl SstableBuilder {
         let meta = SstableMeta {
             table_id: self.table_id,
             entry_count: self.entry_count,
+            tombstone_count: self.tombstone_count,
             encoded_len: buf.len() as u64,
             min_key: self.min_key,
             max_key: self.max_key,
@@ -241,6 +247,9 @@ pub struct SstableMeta {
     /// Number of entries (distinct user keys, since flushes and
     /// compactions both emit one version per key).
     pub entry_count: u64,
+    /// How many of the entries are tombstones (tombstone GC's input
+    /// signal, carried into the manifest's [`TableMeta`](crate::TableMeta)).
+    pub tombstone_count: u64,
     /// Size of the encoded table in bytes.
     pub encoded_len: u64,
     /// Smallest user key in the table.

@@ -31,6 +31,27 @@ pub trait Storage: std::fmt::Debug + Send + Sync {
     /// Propagates backend I/O failures.
     fn write_blob(&self, name: &str, data: &[u8]) -> Result<(), Error>;
 
+    /// Writes the blob named `name` with all-or-nothing visibility:
+    /// after a crash mid-call, a reader sees either the previous
+    /// contents (or absence) of the blob or the complete new contents —
+    /// never a torn prefix. This is the write-new-then-swap primitive
+    /// the manifest's `CURRENT` pointer relies on.
+    ///
+    /// The default delegates to [`Storage::write_blob`]: both built-in
+    /// backends already replace atomically ([`MemoryStorage`] swaps a
+    /// map entry, [`FileStorage`] writes a temp file, fsyncs and
+    /// renames). Fault-injecting test backends distinguish the two —
+    /// plain writes tear at a scripted byte, atomic writes either land
+    /// whole or not at all — which is what lets the crash battery prove
+    /// the manifest swap cannot half-happen.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend I/O failures.
+    fn write_blob_atomic(&self, name: &str, data: &[u8]) -> Result<(), Error> {
+        self.write_blob(name, data)
+    }
+
     /// Reads the entire blob named `name`.
     ///
     /// # Errors

@@ -7,7 +7,7 @@
 //! wrapper (the copies had already drifted into four near-identical
 //! implementations before this module consolidated them).
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 
 use bytes::Bytes;
@@ -92,6 +92,191 @@ impl Storage for GatedStorage {
     }
 
     fn delete_blob(&self, name: &str) -> Result<(), Error> {
+        self.inner.delete_blob(name)
+    }
+
+    fn contains_blob(&self, name: &str) -> bool {
+        self.inner.contains_blob(name)
+    }
+
+    fn list_blobs(&self) -> Vec<String> {
+        self.inner.list_blobs()
+    }
+
+    fn bytes_written(&self) -> u64 {
+        self.inner.bytes_written()
+    }
+
+    fn bytes_read(&self) -> u64 {
+        self.inner.bytes_read()
+    }
+}
+
+/// A [`MemoryStorage`] wrapper that simulates a process death at an
+/// exact write offset: after a scripted byte budget is exhausted, the
+/// write in flight dies and every subsequent mutation fails — what a
+/// power cut leaves on disk. Tear semantics mirror the real backends'
+/// write-new-then-rename: an *existing* blob keeps its previous
+/// contents (the rename never happened; acked bytes cannot tear), a
+/// *brand-new* blob is left as a partial prefix (a torn tail recovery
+/// must treat as unacked).
+///
+/// [`Storage::write_blob_atomic`] honors its contract even at the
+/// crash point: the swap either happens entirely (budget covers it) or
+/// not at all — a torn `CURRENT`-style pointer can only come from
+/// backends that ignore the atomic hint, which the fault battery also
+/// exercises by corrupting blobs directly via
+/// [`CrashPointStorage::corrupt_byte`].
+///
+/// Drive it with [`CrashPointStorage::crash_after`], run the workload
+/// until it errors, then [`CrashPointStorage::surviving`] hands the
+/// post-crash bytes to a fresh reopen.
+#[derive(Debug)]
+pub struct CrashPointStorage {
+    inner: MemoryStorage,
+    /// Mutation bytes remaining before the simulated death;
+    /// `u64::MAX` = no crash scripted.
+    budget: AtomicU64,
+    dead: AtomicBool,
+}
+
+impl Default for CrashPointStorage {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CrashPointStorage {
+    /// An empty store with no crash scripted.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            inner: MemoryStorage::new(),
+            budget: AtomicU64::new(u64::MAX),
+            dead: AtomicBool::new(false),
+        }
+    }
+
+    /// Scripts the death: after `bytes` more mutation bytes, the write
+    /// in flight tears and the process is "dead" (all later mutations
+    /// fail).
+    pub fn crash_after(&self, bytes: u64) {
+        self.budget.store(bytes, Ordering::SeqCst);
+        self.dead.store(false, Ordering::SeqCst);
+    }
+
+    /// `true` once the scripted crash has fired.
+    #[must_use]
+    pub fn crashed(&self) -> bool {
+        self.dead.load(Ordering::SeqCst)
+    }
+
+    /// Copies the surviving (post-crash) blob set into a fresh
+    /// [`MemoryStorage`], the disk image a reopen would see.
+    #[must_use]
+    pub fn surviving(&self) -> MemoryStorage {
+        let copy = MemoryStorage::new();
+        for name in self.inner.list_blobs() {
+            if let Ok(bytes) = self.inner.read_blob(&name) {
+                copy.write_blob(&name, &bytes).unwrap();
+            }
+        }
+        copy
+    }
+
+    /// Flips one bit of `name` at `offset` in place (bit-rot
+    /// injection). Returns `false` if the blob is missing or shorter
+    /// than `offset`.
+    pub fn corrupt_byte(&self, name: &str, offset: usize) -> bool {
+        corrupt_blob_byte(&self.inner, name, offset)
+    }
+
+    /// Charges `len` against the budget. `Ok(len)` = full write goes
+    /// through; `Ok(prefix)` = tear the write at `prefix` bytes and
+    /// die; `Err` = already dead.
+    fn charge(&self, len: usize) -> Result<usize, Error> {
+        if self.dead.load(Ordering::SeqCst) {
+            return Err(dead_storage_error());
+        }
+        let budget = self.budget.load(Ordering::SeqCst);
+        if budget == u64::MAX {
+            return Ok(len);
+        }
+        if (len as u64) <= budget {
+            self.budget.store(budget - len as u64, Ordering::SeqCst);
+            Ok(len)
+        } else {
+            self.dead.store(true, Ordering::SeqCst);
+            Ok(budget as usize)
+        }
+    }
+}
+
+/// The error every mutation returns after the scripted death.
+fn dead_storage_error() -> Error {
+    Error::Io(std::io::Error::other("simulated crash: storage is dead"))
+}
+
+/// Flips one bit of `name` at `offset` on any [`MemoryStorage`].
+/// Returns `false` if the blob is missing or shorter than `offset`.
+pub fn corrupt_blob_byte(storage: &MemoryStorage, name: &str, offset: usize) -> bool {
+    let Ok(bytes) = storage.read_blob(name) else {
+        return false;
+    };
+    if offset >= bytes.len() {
+        return false;
+    }
+    let mut data = bytes.to_vec();
+    data[offset] ^= 0x40;
+    storage.write_blob(name, &data).unwrap();
+    true
+}
+
+impl Storage for CrashPointStorage {
+    fn write_blob(&self, name: &str, data: &[u8]) -> Result<(), Error> {
+        let allowed = self.charge(data.len())?;
+        if allowed == data.len() {
+            self.inner.write_blob(name, data)
+        } else if self.inner.contains_blob(name) {
+            // Both real backends replace blobs atomically (FileStorage
+            // writes a temp file and renames), so a crash mid-rewrite
+            // leaves the *previous* contents — acked bytes never tear.
+            Err(dead_storage_error())
+        } else {
+            // A brand-new blob tears: the partial file exists but holds
+            // only a prefix, which recovery must treat as unacked (the
+            // WAL's torn-tail taxon, or an orphaned partial sstable).
+            self.inner.write_blob(name, &data[..allowed])?;
+            Err(dead_storage_error())
+        }
+    }
+
+    fn write_blob_atomic(&self, name: &str, data: &[u8]) -> Result<(), Error> {
+        let allowed = self.charge(data.len())?;
+        if allowed == data.len() {
+            self.inner.write_blob(name, data)
+        } else {
+            // All-or-nothing: the swap never happened.
+            Err(dead_storage_error())
+        }
+    }
+
+    fn read_blob(&self, name: &str) -> Result<Bytes, Error> {
+        self.inner.read_blob(name)
+    }
+
+    fn read_blob_range(&self, name: &str, offset: u64, len: usize) -> Result<Bytes, Error> {
+        self.inner.read_blob_range(name, offset, len)
+    }
+
+    fn blob_len(&self, name: &str) -> Result<u64, Error> {
+        self.inner.blob_len(name)
+    }
+
+    fn delete_blob(&self, name: &str) -> Result<(), Error> {
+        if self.dead.load(Ordering::SeqCst) {
+            return Err(dead_storage_error());
+        }
         self.inner.delete_blob(name)
     }
 

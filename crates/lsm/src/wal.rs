@@ -5,10 +5,24 @@
 //! yet been flushed to an sstable. Records are grouped into
 //! length-prefixed, CRC-protected *frames*; a frame holds one record for
 //! a plain put/delete or every record of a
-//! [`WriteBatch`](crate::WriteBatch). Replay stops cleanly at the first
-//! torn or corrupt frame, so a batch whose frame was torn mid-write
-//! replays all-or-nothing — the crash-atomicity contract batched writes
-//! rely on.
+//! [`WriteBatch`](crate::WriteBatch). A frame is recovered only in full,
+//! so a batch whose frame was torn mid-write replays all-or-nothing —
+//! the crash-atomicity contract batched writes rely on.
+//!
+//! Replay distinguishes two failure taxa ([`SegmentReplay`]):
+//!
+//! * **torn tail** — the segment ends mid-frame (fewer bytes than the
+//!   frame's length prefix promises, or a dangling header). This is the
+//!   normal crash shape under prefix-persisting storage: the tail bytes
+//!   are dropped, everything before them replays, and the loss is only
+//!   of writes that were never acked.
+//! * **bit rot** — a *byte-complete* frame fails its checksum or decode.
+//!   A crash cannot produce this shape (a tear leaves a prefix), so the
+//!   frame is quarantined, later frames are salvaged by following the
+//!   length chain, and the loss of **acked** writes is surfaced in the
+//!   counts instead of being silently absorbed. (If the rot corrupted a
+//!   length prefix itself the chain is lost and the remainder reads as a
+//!   torn tail — the report's truncated-byte count still exposes it.)
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -193,22 +207,40 @@ impl Wal {
         storage.write_blob(&self.segment_name, &[])
     }
 
-    /// Replays a WAL segment from `storage`, returning every record of
-    /// every intact frame in append order. A missing segment replays as
-    /// empty; replay stops silently at the first torn/corrupt frame, and
-    /// a frame is recovered only in full — a torn batch contributes no
-    /// records at all.
+    /// Replays a WAL segment from `storage`, returning every recovered
+    /// record in append order. Shorthand for
+    /// [`Wal::replay_segment`]`.records` where the caller does not need
+    /// the taxonomy.
     ///
     /// # Errors
     ///
     /// Propagates storage failures other than "not found".
     pub fn replay(storage: &dyn Storage, segment_name: &str) -> Result<Vec<WalRecord>, Error> {
+        Ok(Self::replay_segment(storage, segment_name)?.records)
+    }
+
+    /// Replays a WAL segment from `storage`, classifying every byte as
+    /// replayed, truncated (torn tail) or quarantined (bit rot) — see
+    /// the module docs for the taxonomy. A missing segment replays as
+    /// empty and clean. A frame is recovered only in full; a torn or
+    /// rotten batch contributes no records at all.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage failures other than "not found".
+    pub fn replay_segment(
+        storage: &dyn Storage,
+        segment_name: &str,
+    ) -> Result<SegmentReplay, Error> {
+        let mut replay = SegmentReplay {
+            segment: segment_name.to_owned(),
+            ..SegmentReplay::default()
+        };
         let data: Bytes = match storage.read_blob(segment_name) {
             Ok(data) => data,
-            Err(Error::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(Error::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => return Ok(replay),
             Err(e) => return Err(e),
         };
-        let mut records = Vec::new();
         let mut cursor = data.as_ref();
         // Segments written before count framing carry no magic header;
         // their frames hold exactly one record with no count prefix.
@@ -216,29 +248,112 @@ impl Wal {
         if !legacy {
             cursor.advance(WAL_V2_MAGIC.len());
         }
-        while cursor.remaining() >= 8 {
+        loop {
+            if cursor.remaining() < 8 {
+                // A dangling header (or nothing) past the last frame:
+                // torn tail, the normal crash shape.
+                replay.bytes_truncated += cursor.remaining() as u64;
+                break;
+            }
             let len = cursor.get_u32_le() as usize;
             let stored_crc = cursor.get_u32_le();
             if cursor.remaining() < len {
-                break; // torn tail
+                // Torn tail: the frame's bytes never finished landing.
+                replay.bytes_truncated += 8 + cursor.remaining() as u64;
+                break;
             }
             let payload = &cursor[..len];
-            if crc32(payload) != stored_crc {
-                break; // corrupt tail
-            }
             cursor.advance(len);
-
-            let decoded = if legacy {
+            let decoded = if crc32(payload) != stored_crc {
+                // Byte-complete frame with a bad checksum: a tear cannot
+                // produce this (tears leave prefixes), so this is bit
+                // rot of an *acked* frame. Quarantine it and keep
+                // following the length chain — later frames are intact.
+                None
+            } else if legacy {
                 decode_legacy_record(payload).map(|r| vec![r])
             } else {
                 decode_frame(payload)
             };
-            let Some(frame) = decoded else {
-                break; // malformed frame body: stop, dropping it whole
-            };
-            records.extend(frame);
+            match decoded {
+                Some(frame) => {
+                    replay.frames_replayed += 1;
+                    replay.records.extend(frame);
+                }
+                None => replay.frames_quarantined += 1,
+            }
         }
-        Ok(records)
+        Ok(replay)
+    }
+}
+
+/// The classified outcome of replaying one WAL segment
+/// ([`Wal::replay_segment`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SegmentReplay {
+    /// The segment blob name.
+    pub segment: String,
+    /// Every recovered record, in append order.
+    pub records: Vec<WalRecord>,
+    /// Intact frames replayed.
+    pub frames_replayed: u64,
+    /// Byte-complete frames dropped for checksum/decode failure — bit
+    /// rot of acked writes. Nonzero here means history was lost that a
+    /// clean crash could not have lost.
+    pub frames_quarantined: u64,
+    /// Bytes dropped off the segment's tail because the final frame was
+    /// incomplete (the normal crash shape; only unacked writes).
+    pub bytes_truncated: u64,
+}
+
+impl SegmentReplay {
+    /// `true` when the segment replayed without any torn or rotten
+    /// bytes.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.frames_quarantined == 0 && self.bytes_truncated == 0
+    }
+}
+
+/// Aggregate recovery outcome across every segment replayed at open,
+/// surfaced through [`LsmStats`](crate::LsmStats) and the METRICS wire
+/// frame.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// WAL segments scanned at open.
+    pub segments_scanned: u64,
+    /// Intact frames replayed across all segments.
+    pub frames_replayed: u64,
+    /// Records recovered into the memtable.
+    pub records_replayed: u64,
+    /// Torn-tail bytes truncated (normal crash shape, unacked writes).
+    pub bytes_truncated: u64,
+    /// Byte-complete frames quarantined for checksum/decode failure
+    /// (bit rot — acked history was lost).
+    pub frames_quarantined: u64,
+    /// Segments preserved as `quarantined-*` blobs because they carried
+    /// rotten frames.
+    pub segments_quarantined: u64,
+}
+
+impl RecoveryReport {
+    /// Folds one segment's replay into the aggregate.
+    pub fn absorb_segment(&mut self, segment: &SegmentReplay) {
+        self.segments_scanned += 1;
+        self.frames_replayed += segment.frames_replayed;
+        self.records_replayed += segment.records.len() as u64;
+        self.bytes_truncated += segment.bytes_truncated;
+        self.frames_quarantined += segment.frames_quarantined;
+        if segment.frames_quarantined > 0 {
+            self.segments_quarantined += 1;
+        }
+    }
+
+    /// `true` when acked history was shed (quarantined frames exist) —
+    /// the condition `strict_recovery` refuses to open under.
+    #[must_use]
+    pub fn lost_acked_history(&self) -> bool {
+        self.frames_quarantined > 0
     }
 }
 
@@ -472,6 +587,101 @@ mod tests {
         Wal::retire_segment(&storage, &name).unwrap();
         assert!(!storage.contains_blob(&name));
         Wal::retire_segment(&storage, &name).unwrap();
+    }
+
+    #[test]
+    fn mid_segment_bit_rot_quarantines_the_frame_and_salvages_the_rest() {
+        let storage = MemoryStorage::new();
+        let mut wal = Wal::new("wal-rot");
+        for i in 0..10 {
+            wal.append(&storage, &record(i)).unwrap();
+        }
+        // Flip one payload byte inside an *early* frame: frames after it
+        // are intact and must replay.
+        let mut blob = storage.read_blob("wal-rot").unwrap().to_vec();
+        blob[WAL_V2_MAGIC.len() + 9] ^= 0xFF;
+        storage.write_blob("wal-rot", &blob).unwrap();
+
+        let replay = Wal::replay_segment(&storage, "wal-rot").unwrap();
+        assert_eq!(replay.frames_quarantined, 1, "the rotten frame is counted");
+        assert_eq!(replay.frames_replayed, 9);
+        assert_eq!(replay.bytes_truncated, 0);
+        assert!(!replay.is_clean());
+        assert_eq!(
+            replay.records,
+            (1..10).map(record).collect::<Vec<_>>(),
+            "every frame after the rotten one is salvaged"
+        );
+    }
+
+    #[test]
+    fn torn_tail_and_bit_rot_are_distinguished() {
+        let storage = MemoryStorage::new();
+        let mut wal = Wal::new("wal-taxa");
+        for i in 0..5 {
+            wal.append(&storage, &record(i)).unwrap();
+        }
+        let blob = storage.read_blob("wal-taxa").unwrap();
+
+        // Torn tail: drop the last 5 bytes.
+        storage
+            .write_blob("wal-taxa", &blob[..blob.len() - 5])
+            .unwrap();
+        let torn = Wal::replay_segment(&storage, "wal-taxa").unwrap();
+        assert_eq!(torn.frames_quarantined, 0, "a tear is not bit rot");
+        assert!(torn.bytes_truncated > 0);
+        assert_eq!(torn.records.len(), 4);
+
+        // Bit rot: same segment intact, last frame's payload flipped.
+        let mut rotten = blob.to_vec();
+        let len = rotten.len();
+        rotten[len - 3] ^= 0xFF;
+        storage.write_blob("wal-taxa", &rotten).unwrap();
+        let rot = Wal::replay_segment(&storage, "wal-taxa").unwrap();
+        assert_eq!(rot.frames_quarantined, 1, "byte-complete bad CRC is rot");
+        assert_eq!(rot.bytes_truncated, 0);
+        assert_eq!(rot.records.len(), 4);
+    }
+
+    #[test]
+    fn clean_segment_reports_clean() {
+        let storage = MemoryStorage::new();
+        let mut wal = Wal::new("wal-clean");
+        for i in 0..3 {
+            wal.append(&storage, &record(i)).unwrap();
+        }
+        let replay = Wal::replay_segment(&storage, "wal-clean").unwrap();
+        assert!(replay.is_clean());
+        assert_eq!(replay.frames_replayed, 3);
+        // Missing segments are clean too.
+        assert!(Wal::replay_segment(&storage, "absent").unwrap().is_clean());
+    }
+
+    #[test]
+    fn recovery_report_aggregates_segments() {
+        let mut report = RecoveryReport::default();
+        report.absorb_segment(&SegmentReplay {
+            segment: "a".into(),
+            records: vec![record(1)],
+            frames_replayed: 1,
+            frames_quarantined: 0,
+            bytes_truncated: 7,
+        });
+        report.absorb_segment(&SegmentReplay {
+            segment: "b".into(),
+            records: vec![record(2), record(3)],
+            frames_replayed: 2,
+            frames_quarantined: 3,
+            bytes_truncated: 0,
+        });
+        assert_eq!(report.segments_scanned, 2);
+        assert_eq!(report.frames_replayed, 3);
+        assert_eq!(report.records_replayed, 3);
+        assert_eq!(report.bytes_truncated, 7);
+        assert_eq!(report.frames_quarantined, 3);
+        assert_eq!(report.segments_quarantined, 1);
+        assert!(report.lost_acked_history());
+        assert!(!RecoveryReport::default().lost_acked_history());
     }
 
     #[test]

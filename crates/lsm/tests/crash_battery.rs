@@ -1,0 +1,360 @@
+//! The crash-point / corruption fault-injection battery.
+//!
+//! Every scenario scripts a death at an exact write offset (or flips a
+//! byte of a chosen blob), reopens whatever survived, and asserts the
+//! recovery contract: **every acknowledged write is recovered, or the
+//! open fails with an explicit [`Error::Corruption`] — never a silent
+//! gap, never a panic.** Torn writes (a crash mid-write) must always
+//! recover; only genuine bit rot may surface as data loss, and then it
+//! must be reported.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use lsm_engine::test_support::{corrupt_blob_byte, CrashPointStorage};
+use lsm_engine::{Error, Lsm, LsmOptions, MemoryStorage, Storage, Wal};
+use proptest::prelude::*;
+
+/// What the workload knows was acknowledged: key -> Some(value) for a
+/// put, None for a delete.
+type Acked = BTreeMap<u64, Option<Vec<u8>>>;
+
+fn small_opts() -> LsmOptions {
+    LsmOptions::default().memtable_capacity(8)
+}
+
+/// Runs puts/deletes/flushes against `db` until the first error,
+/// recording only acknowledged operations. Returns whether the
+/// workload ran to completion (no crash fired).
+fn run_workload(db: &Lsm, acked: &mut Acked, ops: u64) -> bool {
+    for i in 0..ops {
+        let r = if i % 5 == 4 {
+            let key = i / 2;
+            match db.delete_u64(key) {
+                Ok(()) => {
+                    acked.insert(key, None);
+                    Ok(())
+                }
+                Err(e) => Err(e),
+            }
+        } else {
+            let value = format!("value-{i}").into_bytes();
+            match db.put_u64(i, value.clone()) {
+                Ok(()) => {
+                    acked.insert(i, Some(value));
+                    Ok(())
+                }
+                Err(e) => Err(e),
+            }
+        };
+        if r.is_err() {
+            return false;
+        }
+        if i % 16 == 15 && db.flush().is_err() {
+            return false;
+        }
+    }
+    true
+}
+
+/// The recovery contract check: reopen `storage` and verify every
+/// acked operation reads back exactly.
+fn assert_all_acked_recovered(storage: MemoryStorage, acked: &Acked) {
+    let db = Lsm::open(Arc::new(storage), small_opts())
+        .expect("reopen after a pure crash (torn writes only) must succeed");
+    for (key, expected) in acked {
+        let got = db.get_u64(*key).expect("post-recovery read");
+        assert_eq!(
+            got.as_deref(),
+            expected.as_deref(),
+            "acked write to key {key} lost or wrong after recovery"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The tentpole property: a crash after *any* number of storage
+    /// bytes loses no acknowledged write. Sweeps the crash point across
+    /// WAL appends, sstable flush writes, manifest checkpoint writes
+    /// and CURRENT swaps alike.
+    #[test]
+    fn crash_at_any_byte_offset_loses_no_acked_write(budget in 0u64..60_000) {
+        let storage = Arc::new(CrashPointStorage::new());
+        let mut acked = Acked::new();
+        let db = Lsm::open(storage.clone(), small_opts()).unwrap();
+        storage.crash_after(budget);
+        let completed = run_workload(&db, &mut acked, 200);
+        if completed {
+            // Budget outlasted the workload: flush the rest through so
+            // the reopen below still exercises recovery.
+            storage.crash_after(u64::MAX);
+        }
+        drop(db);
+        assert_all_acked_recovered(storage.surviving(), &acked);
+    }
+
+    /// Same sweep under background maintenance: frozen generations,
+    /// the flush thread and per-generation WAL segments in play. The
+    /// flush thread retries against dead storage and gives up at
+    /// shutdown; the WAL segments must still carry everything. This
+    /// also exercises the liveness contract: an explicit `flush()`
+    /// against a wedged flush thread must surface the thread's error,
+    /// not wait forever for progress dead storage will never make.
+    #[test]
+    fn crash_under_background_maintenance_loses_no_acked_write(budget in 0u64..60_000) {
+        // Triggers high enough that a writer never *blocks* on the dead
+        // flush thread — after the crash, the next WAL append fails the
+        // write instead.
+        let opts = small_opts()
+            .background_maintenance(true)
+            .frozen_queue_limit(64)
+            .stop_trigger(64)
+            .slowdown_trigger(63);
+        let storage = Arc::new(CrashPointStorage::new());
+        let mut acked = Acked::new();
+        let db = Lsm::open(storage.clone(), opts).unwrap();
+        storage.crash_after(budget);
+        if run_workload(&db, &mut acked, 200) {
+            storage.crash_after(u64::MAX);
+        }
+        drop(db);
+        assert_all_acked_recovered(storage.surviving(), &acked);
+    }
+
+    /// Bit rot at an arbitrary offset of an arbitrary blob: reopen
+    /// either succeeds (the flip hit slack the formats tolerate, or a
+    /// quarantined WAL frame was reported) or fails with an explicit
+    /// `Corruption` error. Never a panic, never an I/O error.
+    #[test]
+    fn bit_rot_anywhere_is_explicit_or_survivable(blob_pick in 0usize..64, offset_pick in 0usize..8192) {
+        let storage = Arc::new(CrashPointStorage::new());
+        let mut acked = Acked::new();
+        {
+            let db = Lsm::open(storage.clone(), small_opts()).unwrap();
+            run_workload(&db, &mut acked, 120);
+        }
+        let survivors = storage.surviving();
+        let mut blobs = survivors.list_blobs();
+        blobs.sort();
+        prop_assume!(!blobs.is_empty());
+        let name = &blobs[blob_pick % blobs.len()];
+        let len = survivors.blob_len(name).unwrap() as usize;
+        prop_assume!(len > 0);
+        prop_assert!(corrupt_blob_byte(&survivors, name, offset_pick % len));
+        match Lsm::open(Arc::new(survivors), small_opts()) {
+            Ok(db) => {
+                // Survived: every read must still be explicit about its
+                // outcome (value, miss or corruption) — no panics.
+                for key in acked.keys() {
+                    let _ = db.get_u64(*key);
+                }
+            }
+            Err(Error::Corruption { .. }) => {}
+            Err(other) => prop_assert!(false, "non-taxonomized reopen failure: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn crash_during_manifest_swap_keeps_previous_checkpoint() {
+    let storage = Arc::new(CrashPointStorage::new());
+    let mut acked = Acked::new();
+    let db = Lsm::open(storage.clone(), small_opts()).unwrap();
+    run_workload(&db, &mut acked, 64);
+    db.flush().unwrap();
+    // Next mutation bytes: kill the very next write outright (budget 0
+    // tears at byte zero / fails the atomic swap entirely), which the
+    // next flush will hit first at its sstable write.
+    storage.crash_after(0);
+    for i in 1000u64..1008 {
+        let _ = db.put_u64(i, b"doomed".to_vec());
+    }
+    let _ = db.flush();
+    drop(db);
+    assert_all_acked_recovered(storage.surviving(), &acked);
+}
+
+#[test]
+fn torn_current_pointer_falls_back_to_newest_checkpoint() {
+    let storage = Arc::new(CrashPointStorage::new());
+    let mut acked = Acked::new();
+    {
+        let db = Lsm::open(storage.clone(), small_opts()).unwrap();
+        run_workload(&db, &mut acked, 80);
+        db.flush().unwrap();
+    }
+    // Simulate a backend that ignored the atomic hint and tore the
+    // pointer mid-write: truncate CURRENT to half its bytes.
+    let survivors = storage.surviving();
+    let current = survivors.read_blob("CURRENT").unwrap();
+    survivors
+        .write_blob("CURRENT", &current[..current.len() / 2])
+        .unwrap();
+    assert_all_acked_recovered(survivors, &acked);
+}
+
+#[test]
+fn wal_bit_rot_is_quarantined_and_counted() {
+    let storage = Arc::new(CrashPointStorage::new());
+    {
+        let db = Lsm::open(storage.clone(), small_opts().memtable_capacity(1000)).unwrap();
+        for i in 0u64..32 {
+            db.put_u64(i, vec![i as u8; 8]).unwrap();
+        }
+        // No flush: all 32 writes live only in the WAL.
+    }
+    let survivors = storage.surviving();
+    let segment = Wal::live_segments(&survivors)
+        .into_iter()
+        .next()
+        .expect("unflushed writes leave a live WAL segment");
+    // Flip a byte inside an early frame's payload (past the 8-byte
+    // magic and the first frame header), leaving later frames intact.
+    assert!(corrupt_blob_byte(&survivors, &segment, 24));
+
+    let survivors = Arc::new(survivors);
+    let db = Lsm::open(survivors.clone(), small_opts()).unwrap();
+    let stats = db.stats();
+    assert!(
+        stats.recovery_frames_quarantined > 0,
+        "the rotten frame must be counted, not silently skipped"
+    );
+    assert_eq!(stats.recovery_segments_quarantined, 1);
+    assert!(
+        stats.recovery_frames_replayed > 0,
+        "valid frames after the rotten one must be salvaged"
+    );
+    assert!(
+        survivors.contains_blob(&format!("quarantined-{segment}")),
+        "the rotten segment is preserved for forensics"
+    );
+}
+
+#[test]
+fn strict_recovery_refuses_to_open_on_bit_rot() {
+    let storage = Arc::new(CrashPointStorage::new());
+    {
+        let db = Lsm::open(storage.clone(), small_opts().memtable_capacity(1000)).unwrap();
+        for i in 0u64..32 {
+            db.put_u64(i, vec![i as u8; 8]).unwrap();
+        }
+    }
+    let survivors = storage.surviving();
+    let segment = Wal::live_segments(&survivors).into_iter().next().unwrap();
+    assert!(corrupt_blob_byte(&survivors, &segment, 24));
+
+    let err = Lsm::open(Arc::new(survivors), small_opts().strict_recovery(true))
+        .expect_err("strict recovery must refuse a gapped history");
+    assert!(
+        matches!(err, Error::Corruption { .. }),
+        "strict refusal is a Corruption error, got {err:?}"
+    );
+}
+
+#[test]
+fn torn_wal_tail_recovers_without_quarantine() {
+    let storage = Arc::new(CrashPointStorage::new());
+    {
+        let db = Lsm::open(storage.clone(), small_opts().memtable_capacity(1000)).unwrap();
+        for i in 0u64..16 {
+            db.put_u64(i, vec![i as u8; 8]).unwrap();
+        }
+    }
+    let survivors = storage.surviving();
+    let segment = Wal::live_segments(&survivors).into_iter().next().unwrap();
+    let bytes = survivors.read_blob(&segment).unwrap();
+    // Tear the tail mid-frame, the shape a crash mid-append leaves (the
+    // torn final record counts as unacked): recovery truncates it and
+    // reports zero quarantined frames.
+    survivors
+        .write_blob(&segment, &bytes[..bytes.len() - 5])
+        .unwrap();
+
+    let db = Lsm::open(Arc::new(survivors), small_opts()).unwrap();
+    let stats = db.stats();
+    assert_eq!(
+        stats.recovery_frames_quarantined, 0,
+        "a torn tail is not bit rot"
+    );
+    assert!(stats.recovery_bytes_truncated > 0);
+    for i in 0u64..15 {
+        assert_eq!(db.get_u64(i).unwrap().as_deref(), Some(&[i as u8; 8][..]));
+    }
+}
+
+#[test]
+fn corrupt_checkpoint_with_valid_current_is_a_hard_error() {
+    let storage = Arc::new(CrashPointStorage::new());
+    {
+        let db = Lsm::open(storage.clone(), small_opts()).unwrap();
+        for i in 0u64..32 {
+            db.put_u64(i, b"x".to_vec()).unwrap();
+        }
+        db.flush().unwrap();
+    }
+    let survivors = storage.surviving();
+    let checkpoint = survivors
+        .list_blobs()
+        .into_iter()
+        .find(|b| b.starts_with("MANIFEST-"))
+        .expect("a checkpoint exists");
+    assert!(corrupt_blob_byte(&survivors, &checkpoint, 12));
+    let err = Lsm::open(Arc::new(survivors), small_opts())
+        .expect_err("a rotten checkpoint named by a valid CURRENT cannot be shed silently");
+    assert!(matches!(err, Error::Corruption { .. }), "got {err:?}");
+}
+
+#[test]
+fn crash_during_gc_flip_loses_no_live_data() {
+    let storage = Arc::new(CrashPointStorage::new());
+    let opts = small_opts().memtable_capacity(4);
+    let db = Lsm::open(storage.clone(), opts.clone()).unwrap();
+    // Two tables: one whose tombstones will be droppable, one peer.
+    for i in 0u64..4 {
+        db.put_u64(i, b"keep".to_vec()).unwrap();
+    }
+    db.flush().unwrap();
+    for i in 100u64..103 {
+        db.put_u64(i, b"tmp".to_vec()).unwrap();
+        db.delete_u64(i).unwrap();
+    }
+    db.flush().unwrap();
+    // Kill the GC rewrite at its first write (the new sstable).
+    storage.crash_after(0);
+    let _ = db.gc_tombstones();
+    drop(db);
+    let db = Lsm::open(Arc::new(storage.surviving()), opts).expect("reopen after GC crash");
+    for i in 0u64..4 {
+        assert_eq!(
+            db.get_u64(i).unwrap().as_deref(),
+            Some(b"keep".as_slice()),
+            "live key {i} lost across a GC crash"
+        );
+    }
+    for i in 100u64..103 {
+        assert_eq!(db.get_u64(i).unwrap(), None, "deleted key {i} resurrected");
+    }
+}
+
+#[test]
+fn completed_gc_survives_reopen() {
+    let storage = Arc::new(CrashPointStorage::new());
+    let opts = small_opts().memtable_capacity(4);
+    let db = Lsm::open(storage.clone(), opts.clone()).unwrap();
+    for i in 0u64..4 {
+        db.put_u64(i, b"keep".to_vec()).unwrap();
+        db.delete_u64(i + 100).unwrap();
+    }
+    db.flush().unwrap();
+    let dropped = db.gc_tombstones().unwrap();
+    assert!(dropped > 0, "tombstones shadowing nothing are droppable");
+    assert_eq!(db.stats().tombstones_dropped, dropped);
+    drop(db);
+    let db = Lsm::open(Arc::new(storage.surviving()), opts).unwrap();
+    for i in 0u64..4 {
+        assert_eq!(db.get_u64(i).unwrap().as_deref(), Some(b"keep".as_slice()));
+        assert_eq!(db.get_u64(i + 100).unwrap(), None);
+    }
+}

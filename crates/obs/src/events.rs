@@ -30,6 +30,13 @@ pub enum EventKind {
     CompactionInputsRetired,
     /// The write-stall tier changed (0 = none, 1 = slowdown, 2 = stop).
     StallTierChange,
+    /// A tombstone-GC rewrite replaced one table with a slimmer copy
+    /// (fields: input/output table ids, tombstones dropped, predicted
+    /// cost).
+    CompactionGc,
+    /// Open-time WAL recovery finished (fields: segments scanned,
+    /// records replayed, bytes truncated, frames quarantined).
+    WalRecovery,
 }
 
 impl EventKind {
@@ -46,6 +53,8 @@ impl EventKind {
             Self::CompactionManifestFlip => "compaction_manifest_flip",
             Self::CompactionInputsRetired => "compaction_inputs_retired",
             Self::StallTierChange => "stall_tier_change",
+            Self::CompactionGc => "compaction_gc",
+            Self::WalRecovery => "wal_recovery",
         }
     }
 
@@ -62,6 +71,8 @@ impl EventKind {
             "compaction_manifest_flip" => Self::CompactionManifestFlip,
             "compaction_inputs_retired" => Self::CompactionInputsRetired,
             "stall_tier_change" => Self::StallTierChange,
+            "compaction_gc" => Self::CompactionGc,
+            "wal_recovery" => Self::WalRecovery,
             _ => return None,
         })
     }
@@ -242,6 +253,8 @@ mod tests {
             EventKind::CompactionManifestFlip,
             EventKind::CompactionInputsRetired,
             EventKind::StallTierChange,
+            EventKind::CompactionGc,
+            EventKind::WalRecovery,
         ] {
             assert_eq!(EventKind::parse(kind.as_str()), Some(kind));
         }

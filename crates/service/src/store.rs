@@ -476,6 +476,46 @@ impl ShardedKv {
             ),
             ("stats_stop_stalls".to_owned(), aggregate.stop_stalls),
             ("stats_bg_flushes".to_owned(), aggregate.bg_flushes),
+            // Storage-lifecycle counters (PR 8): WAL recovery taxonomy,
+            // manifest checkpointing and tombstone GC. Named-only — the
+            // positional legacy STATS frame is frozen at 29 fields.
+            (
+                "stats_wal_segments_live".to_owned(),
+                aggregate.wal_segments_live,
+            ),
+            (
+                "stats_manifest_checkpoint_seq".to_owned(),
+                aggregate.manifest_checkpoint_seq,
+            ),
+            (
+                "stats_recovery_segments_scanned".to_owned(),
+                aggregate.recovery_segments_scanned,
+            ),
+            (
+                "stats_recovery_frames_replayed".to_owned(),
+                aggregate.recovery_frames_replayed,
+            ),
+            (
+                "stats_recovery_records_replayed".to_owned(),
+                aggregate.recovery_records_replayed,
+            ),
+            (
+                "stats_recovery_bytes_truncated".to_owned(),
+                aggregate.recovery_bytes_truncated,
+            ),
+            (
+                "stats_recovery_frames_quarantined".to_owned(),
+                aggregate.recovery_frames_quarantined,
+            ),
+            (
+                "stats_recovery_segments_quarantined".to_owned(),
+                aggregate.recovery_segments_quarantined,
+            ),
+            (
+                "stats_tombstones_dropped".to_owned(),
+                aggregate.tombstones_dropped,
+            ),
+            ("stats_gc_rewrites".to_owned(), aggregate.gc_rewrites),
         ];
         MetricsSnapshot {
             counters,

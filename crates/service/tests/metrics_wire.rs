@@ -60,6 +60,26 @@ fn metrics_frame_counts_traffic_and_agrees_with_stats() {
         assert_eq!(metrics.counter(name), Some(expect), "counter {name}");
     }
 
+    // The storage-lifecycle counters ride METRICS as named-only fields
+    // (the positional STATS frame is frozen at 29 slots and cannot
+    // carry them).
+    assert!(
+        metrics.counter("stats_manifest_checkpoint_seq").unwrap() >= 3,
+        "every shard persists an initial manifest checkpoint at open"
+    );
+    for name in [
+        "stats_wal_segments_live",
+        "stats_recovery_segments_scanned",
+        "stats_recovery_frames_replayed",
+        "stats_recovery_bytes_truncated",
+        "stats_recovery_frames_quarantined",
+        "stats_recovery_segments_quarantined",
+        "stats_tombstones_dropped",
+        "stats_gc_rewrites",
+    ] {
+        assert!(metrics.counter(name).is_some(), "counter {name} missing");
+    }
+
     // The engine histograms merged across shards counted every op.
     assert_eq!(metrics.histogram("engine_put_us").unwrap().count(), 201);
     assert_eq!(metrics.histogram("engine_get_us").unwrap().count(), 100);

@@ -50,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod churn;
 pub mod experiment;
 pub mod live_engine;
 pub mod open_loop;
@@ -59,6 +60,7 @@ pub mod runner;
 pub mod service_throughput;
 pub mod stats;
 
+pub use churn::{ChurnConfig, ChurnRow};
 pub use experiment::{Fig7Config, Fig7Row, Fig8Config, Fig8Row, Fig9Config, Fig9Row, Fig9Sweep};
 pub use live_engine::{LiveEngineConfig, LiveEngineRow};
 pub use open_loop::{OpenLoopConfig, OpenLoopRow};

@@ -3,10 +3,107 @@
 //! The `fig7`/`fig8`/`fig9` binaries in the `compaction-bench` crate call
 //! these to print the same rows/series the paper's figures plot.
 
+use crate::churn::ChurnRow;
 use crate::experiment::{Fig7Row, Fig8Row, Fig9Row, Fig9Sweep};
 use crate::live_engine::LiveEngineRow;
 use crate::open_loop::OpenLoopRow;
 use crate::service_throughput::ServiceThroughputRow;
+
+/// Renders the churn-soak sample series as a fixed-width text table.
+#[must_use]
+pub fn churn_table(rows: &[ChurnRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>10}  {:>9}  {:>12}  {:>9}  {:>6}  {:>8}  {:>8}  {:>9}  {:>10}  {:>8}\n",
+        "sample",
+        "ops",
+        "blob_bytes",
+        "space_amp",
+        "tables",
+        "wal_segs",
+        "ckpt_seq",
+        "reopen_ms",
+        "gc_dropped",
+        "gc_rw"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:>10}  {:>9}  {:>12}  {:>9.2}  {:>6}  {:>8}  {:>8}  {:>9.3}  {:>10}  {:>8}\n",
+            row.label,
+            row.ops,
+            row.live_blob_bytes,
+            row.space_amp,
+            row.live_tables,
+            row.wal_segments_live,
+            row.manifest_checkpoint_seq,
+            row.reopen_ms,
+            row.tombstones_dropped,
+            row.gc_rewrites,
+        ));
+    }
+    out
+}
+
+/// Renders the churn-soak sample series as CSV.
+#[must_use]
+pub fn churn_csv(rows: &[ChurnRow]) -> String {
+    let mut out = String::from(
+        "label,cycle,ops,live_blob_bytes,logical_bytes,space_amp,live_tables,\
+         wal_segments_live,manifest_checkpoint_seq,reopen_ms,tombstones_dropped,gc_rewrites\n",
+    );
+    for row in rows {
+        out.push_str(&format!(
+            "{},{},{},{},{},{:.4},{},{},{},{:.3},{},{}\n",
+            row.label,
+            row.cycle,
+            row.ops,
+            row.live_blob_bytes,
+            row.logical_bytes,
+            row.space_amp,
+            row.live_tables,
+            row.wal_segments_live,
+            row.manifest_checkpoint_seq,
+            row.reopen_ms,
+            row.tombstones_dropped,
+            row.gc_rewrites,
+        ));
+    }
+    out
+}
+
+/// Renders the churn-soak sample series as a JSON array (hand-rolled:
+/// the workspace is offline, no serde). `space_amp` and `reopen_ms`
+/// carry no gated suffix, so the bench gate records them without
+/// budget-checking — the committed baseline documents the healthy flat
+/// series and flags structural drift in review.
+#[must_use]
+pub fn churn_json(rows: &[ChurnRow]) -> String {
+    let mut out = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"label\": \"{}\", \"cycle\": {}, \"ops\": {}, \
+             \"live_blob_bytes\": {}, \"logical_bytes\": {}, \"space_amp\": {:.4}, \
+             \"live_tables\": {}, \"wal_segments_live\": {}, \
+             \"manifest_checkpoint_seq\": {}, \"reopen_ms\": {:.3}, \
+             \"tombstones_dropped\": {}, \"gc_rewrites\": {}}}{}\n",
+            row.label,
+            row.cycle,
+            row.ops,
+            row.live_blob_bytes,
+            row.logical_bytes,
+            row.space_amp,
+            row.live_tables,
+            row.wal_segments_live,
+            row.manifest_checkpoint_seq,
+            row.reopen_ms,
+            row.tombstones_dropped,
+            row.gc_rewrites,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
 
 /// Renders the service throughput sweep (per shard count, per strategy)
 /// as a fixed-width text table.

@@ -216,6 +216,13 @@ fn main() {
 
     let cold_reduction = reduction(legacy.bytes_per_get, cold.bytes_per_get);
     let warm_reduction = reduction(legacy.bytes_per_get, warm.bytes_per_get);
+    // Stored (compressed) vs logical (decoded) data-block bytes across
+    // both lazy phases: the realized per-block compression ratio.
+    let compression_ratio = if stats.data_block_read_bytes == 0 {
+        1.0
+    } else {
+        stats.data_block_logical_bytes as f64 / stats.data_block_read_bytes as f64
+    };
 
     if csv {
         println!("phase,bytes_per_get,ops_per_sec,tables_probed");
@@ -253,6 +260,12 @@ fn main() {
             stats.bloom_negative_probes,
             stats.data_block_reads,
         );
+        println!(
+            "compression: {} stored block bytes decoded to {} logical \
+             ({:.2}x); gets paid for stored bytes, the cache is charged \
+             for logical",
+            stats.data_block_read_bytes, stats.data_block_logical_bytes, compression_ratio,
+        );
     }
 
     if let Some(path) = json_path {
@@ -268,7 +281,9 @@ fn main() {
              \"legacy_ops_per_sec\": {:.0},\n  \"cold_ops_per_sec\": {:.0},\n  \
              \"warm_ops_per_sec\": {:.0},\n  \"reduction_cold_x\": {:.1},\n  \
              \"reduction_warm_x\": {},\n  \"block_cache_hit_rate\": {:.4},\n  \
-             \"bloom_negative_probes\": {},\n  \"data_block_reads\": {}\n}}\n",
+             \"bloom_negative_probes\": {},\n  \"data_block_reads\": {},\n  \
+             \"block_bytes_stored\": {},\n  \"block_bytes_logical\": {},\n  \
+             \"block_compression_ratio\": {:.2}\n}}\n",
             config.records,
             n_tables,
             total_table_bytes,
@@ -284,6 +299,9 @@ fn main() {
             hit_rate,
             stats.bloom_negative_probes,
             stats.data_block_reads,
+            stats.data_block_read_bytes,
+            stats.data_block_logical_bytes,
+            compression_ratio,
         );
         std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
         eprintln!("wrote {path}");

@@ -98,7 +98,8 @@ fn main() {
     eprintln!(
         "service-throughput: {} ops ({}% scans ≤{} keys, {}% of the rest reads, \
          {}% of the rest updates), {} clients, \
-         shards {:?}, {} strategies, memtable {}, trigger {} tables",
+         shards {:?}, {} strategies, memtable {}, trigger {} tables, \
+         readahead {:?}, storage read latency {}us",
         config.operation_count,
         config.scan_percent,
         config.max_scan_length,
@@ -109,6 +110,8 @@ fn main() {
         config.strategies.len(),
         config.memtable_capacity,
         config.trigger_tables,
+        config.readahead_blocks,
+        config.storage_read_micros,
     );
     let rows = config.run();
     if csv {

@@ -174,6 +174,22 @@ impl Block {
         self.entries.is_empty()
     }
 
+    /// Approximate resident size of the decoded block: the struct, its
+    /// entry vector, and the key/value bytes the entries own. The
+    /// block cache charges this — it stores *decoded* blocks, so
+    /// charging encoded (possibly compressed) length would understate
+    /// RAM by the compression ratio.
+    #[must_use]
+    pub fn mem_size(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.entries.capacity() * std::mem::size_of::<Entry>()
+            + self
+                .entries
+                .iter()
+                .map(|e| e.key.len() + e.value.len())
+                .sum::<usize>()
+    }
+
     /// Finds the newest visible entry for `key` within this block.
     #[must_use]
     pub fn get(&self, key: &[u8]) -> Option<&Entry> {

@@ -260,7 +260,7 @@ pub struct BlockCache {
 }
 
 impl BlockCache {
-    /// Creates a cache charged by encoded block size, holding up to
+    /// Creates a cache charged by decoded in-memory block size, holding up to
     /// `capacity_bytes` in total (split evenly across shards). A block
     /// larger than its shard's slice of the budget still caches — the
     /// budget may overshoot by up to one block per shard — so tiny
@@ -291,8 +291,12 @@ impl BlockCache {
         found
     }
 
-    /// Inserts a decoded block charged at `cost_bytes` (its encoded
-    /// length), evicting least-recently-used blocks over capacity.
+    /// Inserts a decoded block charged at `cost_bytes` — the block's
+    /// decoded in-memory footprint ([`Block::mem_size`]), since the
+    /// cache stores decoded blocks and charging the stored (possibly
+    /// compressed) length would overshoot the budget by the
+    /// compression ratio — evicting least-recently-used blocks over
+    /// capacity.
     pub fn insert(&self, table_id: u64, block_idx: u32, block: Arc<Block>, cost_bytes: u64) {
         let evicted = self.shards[shard_index(table_id ^ u64::from(block_idx))]
             .lock()

@@ -1,0 +1,370 @@
+//! In-tree block compression for the v3 sstable format.
+//!
+//! Every v3 data block is stored inside a small envelope:
+//!
+//! ```text
+//! +-----+----------------------+------------------------+
+//! | tag |       payload        | crc32(tag || payload)  |
+//! | u8  |                      | u32 LE                 |
+//! +-----+----------------------+------------------------+
+//! ```
+//!
+//! * tag 0 (`None`) — payload is the raw logical block bytes.
+//! * tag 1 (`Lz`)   — payload is `u32 LE` logical length followed by an
+//!   LZ stream (below).
+//!
+//! The envelope CRC is verified *before* the tag is trusted, so a
+//! bit-flipped tag or a torn payload surfaces as
+//! [`Error::Corruption`] — never a panic, never a misdecoded block.
+//! The logical block bytes keep their own trailing CRC (see
+//! [`Block::decode`](crate::Block)), so corruption introduced anywhere
+//! between build and decode is caught at one of the two layers.
+//!
+//! The workspace is offline (no crates.io), so the codec is a small
+//! Snappy-style byte-oriented LZ implemented here: greedy hash-table
+//! matching over 4-byte sequences, emitted as literal runs and
+//! (length, distance) copies. The wire format is the contract; the
+//! codec only has to be correct and cheap enough that decompression
+//! beats the storage round-trips it saves. Blocks the codec cannot
+//! shrink are stored with tag `None`, so pathological input costs five
+//! bytes of framing, never an inflated payload.
+//!
+//! LZ stream format, driven by a control byte:
+//!
+//! * `0xxxxxxx` — literal run of `x + 1` bytes (1..=128) follows.
+//! * `1xxxxxxx` — copy of `x + 4` bytes (4..=131) from `distance`
+//!   bytes back, where `distance` is the next `u16 LE` (1..=65535).
+//!   Distances shorter than the copy length overlap, giving RLE for
+//!   free.
+
+use std::borrow::Cow;
+
+use crate::block::crc32;
+use crate::Error;
+
+/// Per-block compression applied by the sstable builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CompressionType {
+    /// Store block bytes raw (still CRC-framed in the v3 envelope).
+    None,
+    /// The in-tree byte-oriented LZ codec (Snappy-style greedy
+    /// matcher). Falls back to `None` per block when it cannot shrink
+    /// the bytes.
+    #[default]
+    Lz,
+}
+
+impl CompressionType {
+    /// Human-readable name, used by benches and reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::None => "none",
+            Self::Lz => "lz",
+        }
+    }
+}
+
+/// Envelope tag: payload is the raw logical bytes.
+const TAG_NONE: u8 = 0;
+/// Envelope tag: payload is `u32 LE` logical length + LZ stream.
+const TAG_LZ: u8 = 1;
+
+/// Envelope framing overhead: tag byte + trailing CRC32.
+pub(crate) const ENVELOPE_OVERHEAD: usize = 1 + 4;
+
+/// Shortest possible match the LZ codec emits.
+const MIN_MATCH: usize = 4;
+/// Longest copy one control byte can encode.
+const MAX_MATCH: usize = MIN_MATCH + 0x7F;
+/// Matches further back than a `u16` distance cannot be encoded.
+const MAX_DISTANCE: usize = u16::MAX as usize;
+const HASH_BITS: u32 = 13;
+
+/// Upper bound on a declared logical block length; anything larger is
+/// corruption (blocks are built to a few KiB), and bounding it keeps a
+/// rotten length prefix from driving a giant allocation.
+const MAX_LOGICAL_LEN: usize = 1 << 30;
+
+/// Wraps one logical data block in the v3 envelope, compressing the
+/// payload per `ty` (with per-block fallback to raw when compression
+/// does not shrink the bytes).
+pub(crate) fn encode_block_envelope(ty: CompressionType, logical: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(logical.len() + ENVELOPE_OVERHEAD);
+    match ty {
+        CompressionType::None => {
+            out.push(TAG_NONE);
+            out.extend_from_slice(logical);
+        }
+        CompressionType::Lz => {
+            let stream = lz_compress(logical);
+            // Only keep the compressed form when it pays for its own
+            // length prefix; otherwise store raw under tag None.
+            if stream.len() + 4 < logical.len() {
+                out.push(TAG_LZ);
+                out.extend_from_slice(&(logical.len() as u32).to_le_bytes());
+                out.extend_from_slice(&stream);
+            } else {
+                out.push(TAG_NONE);
+                out.extend_from_slice(logical);
+            }
+        }
+    }
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Unwraps a v3 block envelope back to the logical block bytes.
+///
+/// The envelope CRC is checked before anything else is trusted; an
+/// unknown tag, bad stream, or logical-length mismatch is
+/// [`Error::Corruption`].
+pub(crate) fn decode_block_envelope(raw: &[u8]) -> Result<Cow<'_, [u8]>, Error> {
+    if raw.len() < ENVELOPE_OVERHEAD {
+        return Err(Error::corruption("block envelope shorter than framing"));
+    }
+    let (body, crc_bytes) = raw.split_at(raw.len() - 4);
+    let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+    if crc32(body) != stored {
+        return Err(Error::corruption("block envelope checksum mismatch"));
+    }
+    let (tag, payload) = (body[0], &body[1..]);
+    match tag {
+        TAG_NONE => Ok(Cow::Borrowed(payload)),
+        TAG_LZ => {
+            if payload.len() < 4 {
+                return Err(Error::corruption("compressed block missing length prefix"));
+            }
+            let logical_len =
+                u32::from_le_bytes(payload[..4].try_into().expect("4 bytes")) as usize;
+            if logical_len > MAX_LOGICAL_LEN {
+                return Err(Error::corruption(
+                    "compressed block logical length implausible",
+                ));
+            }
+            Ok(Cow::Owned(lz_decompress(&payload[4..], logical_len)?))
+        }
+        _ => Err(Error::corruption("unknown block compression tag")),
+    }
+}
+
+fn hash4(bytes: &[u8]) -> usize {
+    let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compresses `input` into an LZ stream (no framing; the caller adds
+/// the logical-length prefix and envelope CRC).
+pub(crate) fn lz_compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    let mut table = vec![usize::MAX; 1 << HASH_BITS];
+    let mut literal_start = 0usize;
+    let mut i = 0usize;
+    while i + MIN_MATCH <= input.len() {
+        let h = hash4(&input[i..]);
+        let candidate = table[h];
+        table[h] = i;
+        if candidate != usize::MAX
+            && i - candidate <= MAX_DISTANCE
+            && input[candidate..candidate + MIN_MATCH] == input[i..i + MIN_MATCH]
+        {
+            let limit = (input.len() - i).min(MAX_MATCH);
+            let mut len = MIN_MATCH;
+            while len < limit && input[candidate + len] == input[i + len] {
+                len += 1;
+            }
+            flush_literals(&mut out, &input[literal_start..i]);
+            out.push(0x80 | (len - MIN_MATCH) as u8);
+            out.extend_from_slice(&((i - candidate) as u16).to_le_bytes());
+            i += len;
+            literal_start = i;
+        } else {
+            i += 1;
+        }
+    }
+    flush_literals(&mut out, &input[literal_start..]);
+    out
+}
+
+fn flush_literals(out: &mut Vec<u8>, mut literals: &[u8]) {
+    while !literals.is_empty() {
+        let take = literals.len().min(128);
+        out.push((take - 1) as u8);
+        out.extend_from_slice(&literals[..take]);
+        literals = &literals[take..];
+    }
+}
+
+/// Decompresses an LZ stream that must expand to exactly
+/// `logical_len` bytes; any structural mismatch is corruption.
+pub(crate) fn lz_decompress(stream: &[u8], logical_len: usize) -> Result<Vec<u8>, Error> {
+    let mut out = Vec::with_capacity(logical_len);
+    let mut i = 0usize;
+    while i < stream.len() {
+        let ctrl = stream[i];
+        i += 1;
+        if ctrl & 0x80 == 0 {
+            let run = ctrl as usize + 1;
+            let literals = stream
+                .get(i..i + run)
+                .ok_or_else(|| Error::corruption("lz literal run past end of stream"))?;
+            out.extend_from_slice(literals);
+            i += run;
+        } else {
+            let len = (ctrl & 0x7F) as usize + MIN_MATCH;
+            let distance_bytes = stream
+                .get(i..i + 2)
+                .ok_or_else(|| Error::corruption("lz match truncated"))?;
+            let distance = u16::from_le_bytes([distance_bytes[0], distance_bytes[1]]) as usize;
+            i += 2;
+            if distance == 0 || distance > out.len() {
+                return Err(Error::corruption("lz match distance out of range"));
+            }
+            let start = out.len() - distance;
+            // Byte-by-byte: distances shorter than the copy length
+            // overlap the bytes this loop has just appended.
+            for j in 0..len {
+                let byte = out[start + j];
+                out.push(byte);
+            }
+        }
+        if out.len() > logical_len {
+            return Err(Error::corruption("lz stream overruns declared length"));
+        }
+    }
+    if out.len() != logical_len {
+        return Err(Error::corruption("lz stream shorter than declared length"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(input: &[u8]) {
+        let stream = lz_compress(input);
+        let back = lz_decompress(&stream, input.len()).unwrap();
+        assert_eq!(back, input, "lz roundtrip of {} bytes", input.len());
+    }
+
+    #[test]
+    fn lz_roundtrips_structured_and_degenerate_inputs() {
+        roundtrip(b"");
+        roundtrip(b"abc");
+        roundtrip(&[0u8; 10_000]);
+        roundtrip(b"abcabcabcabcabcabcabcabcabcabc");
+        let blockish: Vec<u8> = (0..2_000u32)
+            .flat_map(|i| {
+                let mut e = format!("user{:08}", i % 37).into_bytes();
+                e.extend_from_slice(&i.to_le_bytes());
+                e
+            })
+            .collect();
+        roundtrip(&blockish);
+    }
+
+    #[test]
+    fn lz_roundtrips_incompressible_bytes() {
+        // A cheap PRNG stream: almost no 4-byte repeats in range.
+        let mut state = 0x12345678u64;
+        let noise: Vec<u8> = (0..4096)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 33) as u8
+            })
+            .collect();
+        roundtrip(&noise);
+    }
+
+    #[test]
+    fn lz_shrinks_repetitive_block_payloads() {
+        let payload: Vec<u8> = (0..500u32)
+            .flat_map(|i| format!("key-{:06}=value-{:06};", i, i).into_bytes())
+            .collect();
+        let stream = lz_compress(&payload);
+        assert!(
+            stream.len() * 2 < payload.len(),
+            "structured payload must compress at least 2x: {} -> {}",
+            payload.len(),
+            stream.len()
+        );
+    }
+
+    #[test]
+    fn envelope_roundtrips_both_types() {
+        let logical: Vec<u8> = (0..300u32)
+            .flat_map(|i| format!("entry-{i:04}").into_bytes())
+            .collect();
+        for ty in [CompressionType::None, CompressionType::Lz] {
+            let raw = encode_block_envelope(ty, &logical);
+            let back = decode_block_envelope(&raw).unwrap();
+            assert_eq!(back.as_ref(), logical.as_slice(), "{ty:?}");
+        }
+        let lz = encode_block_envelope(CompressionType::Lz, &logical);
+        assert!(
+            lz.len() < logical.len(),
+            "compressible payload must shrink: {} -> {}",
+            logical.len(),
+            lz.len()
+        );
+    }
+
+    #[test]
+    fn envelope_falls_back_to_raw_for_incompressible_payloads() {
+        let mut state = 0xDEADBEEFu64;
+        let noise: Vec<u8> = (0..1024)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 33) as u8
+            })
+            .collect();
+        let raw = encode_block_envelope(CompressionType::Lz, &noise);
+        assert_eq!(raw[0], TAG_NONE, "codec must not inflate noise");
+        assert_eq!(raw.len(), noise.len() + ENVELOPE_OVERHEAD);
+        assert_eq!(
+            decode_block_envelope(&raw).unwrap().as_ref(),
+            noise.as_slice()
+        );
+    }
+
+    #[test]
+    fn every_single_bit_flip_in_the_envelope_is_caught() {
+        let logical: Vec<u8> = (0..200u32)
+            .flat_map(|i| format!("key-{i:05}:payload").into_bytes())
+            .collect();
+        let good = encode_block_envelope(CompressionType::Lz, &logical);
+        for byte in 0..good.len() {
+            let mut bad = good.clone();
+            bad[byte] ^= 0x10;
+            match decode_block_envelope(&bad) {
+                Err(Error::Corruption { .. }) => {}
+                Ok(decoded) => panic!(
+                    "flip at byte {byte} silently decoded ({} bytes)",
+                    decoded.len()
+                ),
+                Err(other) => panic!("flip at byte {byte} gave non-corruption error {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_envelopes_are_corruption_not_panics() {
+        let logical = b"some block payload with enough bytes to compress nicely nicely";
+        let good = encode_block_envelope(CompressionType::Lz, logical);
+        for cut in 0..good.len() {
+            assert!(
+                matches!(
+                    decode_block_envelope(&good[..cut]),
+                    Err(Error::Corruption { .. })
+                ),
+                "truncation at {cut} must be corruption"
+            );
+        }
+    }
+}

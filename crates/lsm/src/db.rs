@@ -311,11 +311,18 @@ pub struct LsmStats {
     /// Table probes rejected by a bloom filter or min/max key range
     /// without reading any data block.
     pub bloom_negative_probes: u64,
-    /// Data blocks fetched from storage on the read path (block-cache
-    /// misses that reached storage).
+    /// Data-block round-trips to storage on the read path (block-cache
+    /// misses that reached storage; one scan-readahead span counts
+    /// once however many blocks it covers).
     pub data_block_reads: u64,
-    /// Bytes of data blocks fetched from storage on the read path.
+    /// Bytes of data blocks fetched from storage on the read path, as
+    /// stored on disk (compressed for v3 tables).
     pub data_block_read_bytes: u64,
+    /// Logical (decompressed) bytes of the data blocks decoded on the
+    /// read path. The spread over
+    /// [`LsmStats::data_block_read_bytes`] is the compression ratio
+    /// reads are actually realizing.
+    pub data_block_logical_bytes: u64,
     /// Reader handles served from the table cache.
     pub table_cache_hits: u64,
     /// Reader handles opened because the table cache missed.
@@ -421,6 +428,7 @@ impl LsmStats {
         self.bloom_negative_probes += other.bloom_negative_probes;
         self.data_block_reads += other.data_block_reads;
         self.data_block_read_bytes += other.data_block_read_bytes;
+        self.data_block_logical_bytes += other.data_block_logical_bytes;
         self.table_cache_hits += other.table_cache_hits;
         self.table_cache_misses += other.table_cache_misses;
         self.table_cache_evictions += other.table_cache_evictions;
@@ -1118,6 +1126,7 @@ impl LsmInner {
         stats.bloom_negative_probes = self.read_counters.bloom_negatives();
         stats.data_block_reads = self.read_counters.block_reads();
         stats.data_block_read_bytes = self.read_counters.block_read_bytes();
+        stats.data_block_logical_bytes = self.read_counters.block_logical_bytes();
         let table = self.table_cache.counters();
         stats.table_cache_hits = table.hits();
         stats.table_cache_misses = table.misses();
@@ -1468,6 +1477,7 @@ impl LsmInner {
         let ctx = ReadContext {
             block_cache: &self.block_cache,
             fill_cache: self.options.fills_cache(),
+            readahead_blocks: 1,
             counters: &self.read_counters,
         };
         for meta in &snap.tables {
@@ -1513,11 +1523,13 @@ impl LsmInner {
     }
 
     /// The read context range scans fetch blocks through (cache-fill
-    /// policy from [`LsmOptions::scan_fill_cache`]).
+    /// policy from [`LsmOptions::scan_fill_cache`], readahead width
+    /// from [`LsmOptions::scan_readahead_blocks`]).
     pub(crate) fn scan_read_ctx(&self) -> ReadContext<'_> {
         ReadContext {
             block_cache: &self.block_cache,
             fill_cache: self.options.scan_fills_cache(),
+            readahead_blocks: self.options.scan_readahead(),
             counters: &self.read_counters,
         }
     }
@@ -1673,7 +1685,8 @@ impl LsmInner {
             table_id,
             self.options.block_size_bytes(),
             self.options.bloom_bits(),
-        );
+        )
+        .compression(self.options.compression_type());
         let mut observed = Vec::with_capacity(entries.len());
         for entry in entries {
             observed.push(observed_key(&entry.key));

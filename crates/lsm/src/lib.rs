@@ -94,6 +94,7 @@ mod block;
 mod bloom;
 mod cache;
 mod compaction;
+mod compress;
 mod db;
 mod error;
 mod iter;
@@ -117,6 +118,7 @@ pub use block::{Block, BlockBuilder};
 pub use bloom::BloomFilter;
 pub use cache::{BlockCache, CacheCounters, TableCache};
 pub use compaction::{CompactionExecutor, CompactionOutcome, CompactionStep};
+pub use compress::CompressionType;
 pub use db::{AutoCompaction, Lsm, LsmPressure, LsmStats, StallTier};
 pub use error::Error;
 pub use iter::MergingIter;

@@ -3,6 +3,8 @@
 use compaction_core::{SizeEstimator, Strategy};
 use obs::EventRing;
 
+use crate::compress::CompressionType;
+
 /// An injected maintenance-event sink, compared by ring identity so
 /// `LsmOptions` keeps its derived `PartialEq`/`Eq` (two option sets are
 /// equal when they share the same ring, not when two distinct rings
@@ -99,6 +101,8 @@ pub struct LsmOptions {
     block_cache_capacity_bytes: u64,
     fill_cache: bool,
     scan_fill_cache: bool,
+    scan_readahead_blocks: usize,
+    compression: CompressionType,
     background_maintenance: bool,
     slowdown_trigger: usize,
     stop_trigger: usize,
@@ -128,6 +132,8 @@ impl Default for LsmOptions {
             block_cache_capacity_bytes: 8 * 1024 * 1024,
             fill_cache: true,
             scan_fill_cache: false,
+            scan_readahead_blocks: 8,
+            compression: CompressionType::Lz,
             background_maintenance: false,
             slowdown_trigger: 2,
             stop_trigger: 4,
@@ -249,7 +255,8 @@ impl LsmOptions {
     }
 
     /// Sets the decoded-data-block cache budget in bytes (default
-    /// 8 MiB). Blocks are charged at their encoded size and LRU-evicted;
+    /// 8 MiB). Blocks are charged at their decoded in-memory footprint
+    /// — not the (possibly compressed) stored size — and LRU-evicted;
     /// a warm point read served from this cache does zero storage I/O.
     #[must_use]
     pub fn block_cache_capacity_bytes(mut self, bytes: u64) -> Self {
@@ -273,6 +280,32 @@ impl LsmOptions {
     #[must_use]
     pub fn scan_fill_cache(mut self, fill: bool) -> Self {
         self.scan_fill_cache = fill;
+        self
+    }
+
+    /// Sets how many consecutive data blocks one ranged read may fetch
+    /// when a range scan walks an sstable (default 8, clamped to ≥ 1;
+    /// 1 restores one-block-per-round-trip). Spans never extend past
+    /// the block covering the scan's end bound, and the prefetched
+    /// blocks decode lazily — readahead trades one larger read for
+    /// fewer storage round-trips, which is what scan throughput on a
+    /// latency-bound backend is made of. Point reads always fetch
+    /// exactly one block.
+    #[must_use]
+    pub fn scan_readahead_blocks(mut self, blocks: usize) -> Self {
+        self.scan_readahead_blocks = blocks.max(1);
+        self
+    }
+
+    /// Sets the per-block compression applied by the sstable builder
+    /// (default [`CompressionType::Lz`]). Newly built tables always
+    /// carry the v3 per-block envelope — [`CompressionType::None`]
+    /// stores blocks raw inside it — and blocks that do not shrink
+    /// fall back to raw storage individually. Existing v1/v2 tables
+    /// remain readable regardless of this knob.
+    #[must_use]
+    pub fn compression(mut self, compression: CompressionType) -> Self {
+        self.compression = compression;
         self
     }
 
@@ -475,6 +508,18 @@ impl LsmOptions {
         self.scan_fill_cache
     }
 
+    /// Consecutive blocks one scan round-trip may fetch (≥ 1).
+    #[must_use]
+    pub fn scan_readahead(&self) -> usize {
+        self.scan_readahead_blocks
+    }
+
+    /// The per-block compression newly built sstables use.
+    #[must_use]
+    pub fn compression_type(&self) -> CompressionType {
+        self.compression
+    }
+
     /// Whether flush and compaction run on background threads.
     #[must_use]
     pub fn background_maintenance_enabled(&self) -> bool {
@@ -554,6 +599,8 @@ mod tests {
             .block_cache_capacity_bytes(0)
             .fill_cache(false)
             .scan_fill_cache(true)
+            .scan_readahead_blocks(0)
+            .compression(CompressionType::None)
             .background_maintenance(true)
             .slowdown_trigger(0)
             .stop_trigger(0)
@@ -572,6 +619,8 @@ mod tests {
         assert_eq!(opts.block_cache_bytes(), 1, "block cache clamps to 1");
         assert!(!opts.fills_cache());
         assert!(opts.scan_fills_cache());
+        assert_eq!(opts.scan_readahead(), 1, "readahead clamps to 1");
+        assert_eq!(opts.compression_type(), CompressionType::None);
         assert!(!opts.drops_tombstones());
         assert!(!opts.wal_enabled());
         assert!(opts.background_maintenance_enabled());
@@ -615,6 +664,12 @@ mod tests {
         assert!(
             !opts.scan_fills_cache(),
             "scans bypass the cache by default"
+        );
+        assert_eq!(opts.scan_readahead(), 8, "scans read ahead by default");
+        assert_eq!(
+            opts.compression_type(),
+            CompressionType::Lz,
+            "new tables compress their blocks by default"
         );
         assert!(
             !opts.background_maintenance_enabled(),

@@ -528,7 +528,8 @@ impl ParallelExecutor {
             output_id,
             self.options.block_size_bytes(),
             self.options.bloom_bits(),
-        );
+        )
+        .compression(self.options.compression_type());
         let mut observed = Vec::new();
         for entry in merged {
             observed.push(observed_key(&entry.key));

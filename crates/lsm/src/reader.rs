@@ -23,10 +23,12 @@ use std::ops::Bound;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use bytes::Bytes;
+
 use crate::block::Block;
 use crate::bloom::BloomFilter;
 use crate::cache::BlockCache;
-use crate::sstable::{decode_index, decode_meta, Footer, Sstable};
+use crate::sstable::{decode_index, decode_meta, decode_table_block, Footer, Sstable};
 use crate::storage::Storage;
 use crate::types::{Entry, Key};
 use crate::Error;
@@ -39,6 +41,7 @@ pub struct ReadPathCounters {
     bloom_negatives: AtomicU64,
     block_reads: AtomicU64,
     block_read_bytes: AtomicU64,
+    block_logical_bytes: AtomicU64,
 }
 
 impl ReadPathCounters {
@@ -49,17 +52,28 @@ impl ReadPathCounters {
         self.bloom_negatives.load(Ordering::Relaxed)
     }
 
-    /// Data blocks fetched from storage on the read path (block-cache
-    /// misses that reached storage).
+    /// Data-block round-trips to storage on the read path (block-cache
+    /// misses that reached storage). One ranged read spanning several
+    /// blocks — scan readahead — counts once.
     #[must_use]
     pub fn block_reads(&self) -> u64 {
         self.block_reads.load(Ordering::Relaxed)
     }
 
-    /// Bytes of data blocks fetched from storage on the read path.
+    /// Bytes of data blocks fetched from storage on the read path, as
+    /// stored on disk (compressed for v3 blobs).
     #[must_use]
     pub fn block_read_bytes(&self) -> u64 {
         self.block_read_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Logical (decompressed) bytes of the data blocks decoded on the
+    /// read path. The spread between this and
+    /// [`ReadPathCounters::block_read_bytes`] is the compression
+    /// ratio the store is actually realizing.
+    #[must_use]
+    pub fn block_logical_bytes(&self) -> u64 {
+        self.block_logical_bytes.load(Ordering::Relaxed)
     }
 
     fn record_bloom_negative(&self) {
@@ -70,11 +84,17 @@ impl ReadPathCounters {
         self.block_reads.fetch_add(1, Ordering::Relaxed);
         self.block_read_bytes.fetch_add(bytes, Ordering::Relaxed);
     }
+
+    fn record_block_decode(&self, logical_bytes: u64) {
+        self.block_logical_bytes
+            .fetch_add(logical_bytes, Ordering::Relaxed);
+    }
 }
 
 /// Everything a reader needs to resolve a block: the cache, the fill
-/// policy and the counters. Borrowed per call so one reader can serve
-/// cached gets and cache-bypassing scans concurrently.
+/// policy, the readahead width and the counters. Borrowed per call so
+/// one reader can serve cached gets and cache-bypassing scans
+/// concurrently.
 #[derive(Debug, Clone, Copy)]
 pub struct ReadContext<'a> {
     /// The shared block cache.
@@ -83,6 +103,11 @@ pub struct ReadContext<'a> {
     /// (point reads: yes; large scans: usually no, to avoid flushing
     /// the hot set).
     pub fill_cache: bool,
+    /// How many consecutive blocks one ranged read may fetch when a
+    /// cursor walks this table (clamped to ≥ 1). Point reads pass 1;
+    /// scans pass
+    /// [`LsmOptions::scan_readahead_blocks`](crate::LsmOptions::scan_readahead_blocks).
+    pub readahead_blocks: usize,
     /// Physical-work counters to feed.
     pub counters: &'a ReadPathCounters,
 }
@@ -97,11 +122,14 @@ pub struct SstableReader {
     bloom: BloomFilter,
     min_key: Option<Key>,
     max_key: Option<Key>,
-    /// (last_key, offset, len) per data block, in key order.
+    /// (last_key, offset, stored_len) per data block, in key order.
     index: Vec<(Key, u64, u64)>,
     entry_count: u64,
     total_len: u64,
     open_bytes: u64,
+    /// `true` for v3 blobs: data blocks sit inside compression
+    /// envelopes and must be unwrapped before [`Block::decode`].
+    compressed_blocks: bool,
 }
 
 impl SstableReader {
@@ -160,6 +188,7 @@ impl SstableReader {
             entry_count: footer.entry_count,
             total_len,
             open_bytes,
+            compressed_blocks: footer.compressed_blocks,
         })
     }
 
@@ -260,6 +289,21 @@ impl SstableReader {
         }
     }
 
+    /// One past the index of the last data block that can contain a key
+    /// satisfying the `end` bound — the exclusive readahead limit for a
+    /// bounded scan, so prefetching never fetches blocks that are
+    /// entirely past the scan window.
+    pub(crate) fn end_block_limit(&self, end: &Bound<Key>) -> usize {
+        match end {
+            Bound::Unbounded => self.index.len(),
+            // The block covering `e` is the first whose last key is
+            // ≥ `e`; it may still hold in-range keys, so include it.
+            Bound::Included(e) | Bound::Excluded(e) => {
+                (self.index.partition_point(|(last, _, _)| last < e) + 1).min(self.index.len())
+            }
+        }
+    }
+
     /// Point lookup: the newest version of `key` in this table (possibly
     /// a tombstone), or `None`. Touches at most one data block; bloom-
     /// and range-negative probes touch none.
@@ -296,63 +340,237 @@ impl SstableReader {
             .storage
             .read_blob_range(&self.blob_name, offset, len as usize)?;
         ctx.counters.record_block_read(len);
-        let block = Arc::new(Block::decode(&raw)?);
+        self.decode_stored_block(&raw, idx, ctx)
+    }
+
+    /// Decodes one block's stored bytes (unwrapping the v3 envelope
+    /// when present), records its logical size, and optionally fills
+    /// the cache — charged at the block's decoded in-memory footprint,
+    /// not its (possibly compressed) stored length.
+    fn decode_stored_block(
+        &self,
+        raw: &[u8],
+        idx: usize,
+        ctx: ReadContext<'_>,
+    ) -> Result<Arc<Block>, Error> {
+        let (block, logical_len) = decode_table_block(raw, self.compressed_blocks)?;
+        ctx.counters.record_block_decode(logical_len as u64);
+        let block = Arc::new(block);
         if ctx.fill_cache {
-            ctx.block_cache
-                .insert(self.table_id, idx as u32, Arc::clone(&block), len);
+            ctx.block_cache.insert(
+                self.table_id,
+                idx as u32,
+                Arc::clone(&block),
+                block.mem_size() as u64,
+            );
         }
         Ok(block)
     }
 
     /// Iterates every entry in key order, fetching blocks through `ctx`
-    /// as it advances (scans usually pass `fill_cache: false`).
+    /// as it advances (scans usually pass `fill_cache: false`; with
+    /// `ctx.readahead_blocks > 1` each storage round-trip spans several
+    /// blocks).
     #[must_use]
     pub fn iter<'a>(&'a self, ctx: ReadContext<'a>) -> SstableReaderIter<'a> {
         SstableReaderIter {
             reader: self,
             ctx,
-            block_idx: 0,
-            entries: Vec::new(),
-            entry_idx: 0,
+            cursor: BlockCursor::new(0),
         }
     }
 }
 
-/// Iterator over all entries of an [`SstableReader`] in key order.
+/// A raw byte run covering blocks `[start_block, end_block)` of one
+/// table, fetched with a single ranged read.
+#[derive(Debug)]
+struct PrefetchedSpan {
+    start_block: usize,
+    end_block: usize,
+    base_offset: u64,
+    raw: Bytes,
+}
+
+/// The shared block-walking core behind every ranged read of one
+/// table: [`SstableReaderIter`] and the scan path's per-table cursor
+/// both drive it. It holds a position (block index + entry index into
+/// the current decoded block) and a prefetched span, so that
+///
+/// * entries are yielded straight out of the decoded [`Block`] —
+///   cheap `Bytes` clones, no per-block buffer copy; and
+/// * on a cache miss it fetches up to `ctx.readahead_blocks`
+///   consecutive blocks with **one** `read_blob_range`, decoding them
+///   lazily as the cursor reaches them.
+///
+/// The cursor does not own the reader: callers pass `&SstableReader`
+/// and a [`ReadContext`] per call, so the same core serves borrowing
+/// iterators and `Arc`-holding scan cursors alike.
+#[derive(Debug)]
+pub(crate) struct BlockCursor {
+    /// Next block to decode.
+    block_idx: usize,
+    /// Exclusive prefetch limit: readahead never spans blocks at or
+    /// past this index (the cursor still *decodes* past it if driven
+    /// there, one block per round-trip — correctness never depends on
+    /// the limit being tight).
+    limit_block: usize,
+    /// Current decoded block and the cursor's position inside it.
+    block: Option<Arc<Block>>,
+    entry_idx: usize,
+    span: Option<PrefetchedSpan>,
+}
+
+impl BlockCursor {
+    /// A cursor positioned at the start of block `start_block`, with
+    /// readahead free to run to the end of the table.
+    pub(crate) fn new(start_block: usize) -> Self {
+        Self::with_limit(start_block, usize::MAX)
+    }
+
+    /// A cursor positioned at `start_block` whose readahead spans stop
+    /// before `limit_block` (use
+    /// [`SstableReader::end_block_limit`] for a bounded scan).
+    pub(crate) fn with_limit(start_block: usize, limit_block: usize) -> Self {
+        Self {
+            block_idx: start_block,
+            limit_block,
+            block: None,
+            entry_idx: 0,
+            span: None,
+        }
+    }
+
+    /// Yields the next entry in key order, or `None` past the last
+    /// block. After an error the cursor is exhausted.
+    pub(crate) fn next_entry(
+        &mut self,
+        reader: &SstableReader,
+        ctx: ReadContext<'_>,
+    ) -> Option<Result<Entry, Error>> {
+        loop {
+            if let Some(block) = &self.block {
+                if let Some(entry) = block.entries().get(self.entry_idx) {
+                    self.entry_idx += 1;
+                    return Some(Ok(entry.clone()));
+                }
+                self.block = None;
+            }
+            if self.block_idx >= reader.block_count() {
+                return None;
+            }
+            match self.load_block(reader, ctx) {
+                Ok(block) => {
+                    self.block = Some(block);
+                    self.entry_idx = 0;
+                    self.block_idx += 1;
+                }
+                Err(e) => {
+                    self.block_idx = reader.block_count();
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+
+    /// Skips entries of the current position while `skip` holds —
+    /// used to honor a start bound inside the first block.
+    pub(crate) fn skip_while(
+        &mut self,
+        reader: &SstableReader,
+        ctx: ReadContext<'_>,
+        mut skip: impl FnMut(&Entry) -> bool,
+    ) -> Option<Result<Entry, Error>> {
+        loop {
+            match self.next_entry(reader, ctx) {
+                Some(Ok(entry)) if skip(&entry) => {}
+                other => return other,
+            }
+        }
+    }
+
+    /// Resolves block `block_idx`: cache, then the prefetched span,
+    /// then one ranged read spanning up to `ctx.readahead_blocks`
+    /// consecutive blocks.
+    fn load_block(
+        &mut self,
+        reader: &SstableReader,
+        ctx: ReadContext<'_>,
+    ) -> Result<Arc<Block>, Error> {
+        let idx = self.block_idx;
+        if let Some(block) = ctx.block_cache.get(reader.table_id, idx as u32) {
+            return Ok(block);
+        }
+        let covered = self
+            .span
+            .as_ref()
+            .is_some_and(|s| idx >= s.start_block && idx < s.end_block);
+        if !covered {
+            self.prefetch_span(reader, ctx)?;
+        }
+        let span = self.span.as_ref().expect("span just ensured");
+        let (_, offset, len) = reader.index[idx];
+        let rel_start = offset
+            .checked_sub(span.base_offset)
+            .and_then(|rel| usize::try_from(rel).ok())
+            .ok_or_else(|| Error::corruption("block offset before its span"))?;
+        let rel_end = rel_start
+            .checked_add(len as usize)
+            .ok_or_else(|| Error::corruption("block range overflows"))?;
+        let raw = span
+            .raw
+            .get(rel_start..rel_end)
+            .ok_or_else(|| Error::corruption("block range past end of span"))?;
+        reader.decode_stored_block(raw, idx, ctx)
+    }
+
+    /// Fetches blocks `[block_idx, block_idx + readahead)` (clamped to
+    /// the table) with one ranged read, charged as a single round-trip.
+    fn prefetch_span(&mut self, reader: &SstableReader, ctx: ReadContext<'_>) -> Result<(), Error> {
+        let start = self.block_idx;
+        // Clamp to the table and the end-bound limit, but always cover
+        // the block being loaded itself.
+        let cap = self
+            .limit_block
+            .min(reader.block_count())
+            .max(start + 1)
+            .min(reader.block_count());
+        let count = ctx.readahead_blocks.max(1).min(cap - start);
+        let (_, base_offset, _) = reader.index[start];
+        let (_, last_offset, last_len) = reader.index[start + count - 1];
+        let span_len = last_offset
+            .checked_add(last_len)
+            .and_then(|end| end.checked_sub(base_offset))
+            .and_then(|len| usize::try_from(len).ok())
+            .ok_or_else(|| Error::corruption("block span range overflows"))?;
+        let raw = reader
+            .storage
+            .read_blob_range(&reader.blob_name, base_offset, span_len)?;
+        ctx.counters.record_block_read(span_len as u64);
+        self.span = Some(PrefetchedSpan {
+            start_block: start,
+            end_block: start + count,
+            base_offset,
+            raw,
+        });
+        Ok(())
+    }
+}
+
+/// Iterator over all entries of an [`SstableReader`] in key order,
+/// built on the shared [`BlockCursor`] (readahead-aware, no per-block
+/// buffer copies).
 #[derive(Debug)]
 pub struct SstableReaderIter<'a> {
     reader: &'a SstableReader,
     ctx: ReadContext<'a>,
-    block_idx: usize,
-    entries: Vec<Entry>,
-    entry_idx: usize,
+    cursor: BlockCursor,
 }
 
 impl Iterator for SstableReaderIter<'_> {
     type Item = Result<Entry, Error>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        loop {
-            if self.entry_idx < self.entries.len() {
-                let entry = self.entries[self.entry_idx].clone();
-                self.entry_idx += 1;
-                return Some(Ok(entry));
-            }
-            if self.block_idx >= self.reader.block_count() {
-                return None;
-            }
-            match self.reader.block(self.block_idx, self.ctx) {
-                Ok(block) => {
-                    self.block_idx += 1;
-                    self.entries = block.entries().to_vec();
-                    self.entry_idx = 0;
-                }
-                Err(e) => {
-                    self.block_idx = self.reader.block_count();
-                    return Some(Err(e));
-                }
-            }
-        }
+        self.cursor.next_entry(self.reader, self.ctx)
     }
 }
 
@@ -410,6 +628,7 @@ mod tests {
         let ctx = ReadContext {
             block_cache: &cache,
             fill_cache: true,
+            readahead_blocks: 1,
             counters: &counters,
         };
 
@@ -444,12 +663,92 @@ mod tests {
         let ctx = ReadContext {
             block_cache: &cache,
             fill_cache: false,
+            readahead_blocks: 1,
             counters: &counters,
         };
         let all: Result<Vec<Entry>, Error> = reader.iter(ctx).collect();
         assert_eq!(all.unwrap().len(), 500);
         assert!(counters.block_reads() >= reader.block_count() as u64);
         assert_eq!(cache.usage_bytes(), 0, "scan left nothing in the cache");
+    }
+
+    #[test]
+    fn readahead_spans_multiple_blocks_per_round_trip() {
+        let storage = Arc::new(MemoryStorage::new());
+        let encoded_len = store_table(storage.as_ref(), 6, 2_000, 256);
+        let reader = SstableReader::open(storage, 6, Some(encoded_len)).unwrap();
+        let blocks = reader.block_count() as u64;
+        assert!(blocks > 16, "need a many-block table: {blocks}");
+
+        let (cache, counters) = ctx_parts();
+        let ctx = ReadContext {
+            block_cache: &cache,
+            fill_cache: false,
+            readahead_blocks: 8,
+            counters: &counters,
+        };
+        let all: Result<Vec<Entry>, Error> = reader.iter(ctx).collect();
+        let all = all.unwrap();
+        assert_eq!(all.len(), 2_000);
+        for (i, e) in all.iter().enumerate() {
+            assert_eq!(e.key, key_from_u64(i as u64 * 2), "order preserved");
+        }
+        assert!(
+            counters.block_reads() <= blocks.div_ceil(8),
+            "{} round-trips for {blocks} blocks at readahead 8",
+            counters.block_reads()
+        );
+        assert!(
+            counters.block_logical_bytes() >= counters.block_read_bytes(),
+            "decompressed bytes can only grow: {} physical vs {} logical",
+            counters.block_read_bytes(),
+            counters.block_logical_bytes()
+        );
+    }
+
+    /// Regression: the cache stores *decoded* blocks, so it must charge
+    /// their in-memory footprint — charging the stored (compressed)
+    /// length would inflate the effective budget by the compression
+    /// ratio.
+    #[test]
+    fn cache_charges_decoded_footprint_not_stored_bytes() {
+        let storage = Arc::new(MemoryStorage::new());
+        // Highly repetitive values: v3 blocks compress well.
+        let mut builder = SstableBuilder::new(9, 4096, 10);
+        for i in 0..500u64 {
+            builder.add(&Entry::put(
+                key_from_u64(i),
+                Bytes::from(vec![b'x'; 100]),
+                1_000 + i,
+            ));
+        }
+        let (data, meta) = builder.finish();
+        storage.write_blob(&Sstable::blob_name(9), &data).unwrap();
+        let reader = SstableReader::open(storage, 9, Some(meta.encoded_len)).unwrap();
+
+        let (cache, counters) = ctx_parts();
+        let ctx = ReadContext {
+            block_cache: &cache,
+            fill_cache: true,
+            readahead_blocks: 1,
+            counters: &counters,
+        };
+        for idx in 0..reader.block_count() {
+            let _ = reader.block(idx, ctx).unwrap();
+        }
+        assert!(
+            counters.block_read_bytes() < counters.block_logical_bytes(),
+            "repetitive blocks must actually compress: {} stored vs {} logical",
+            counters.block_read_bytes(),
+            counters.block_logical_bytes()
+        );
+        assert!(
+            cache.usage_bytes() >= counters.block_logical_bytes(),
+            "cache charged {} bytes for blocks whose decoded payloads alone \
+             are {} bytes — still charging stored length?",
+            cache.usage_bytes(),
+            counters.block_logical_bytes()
+        );
     }
 
     #[test]
@@ -526,6 +825,7 @@ mod tests {
         let ctx = ReadContext {
             block_cache: &cache,
             fill_cache: true,
+            readahead_blocks: 1,
             counters: &counters,
         };
         let entry = reader.get(&k(123), ctx).unwrap().unwrap();
@@ -554,6 +854,7 @@ mod tests {
         let ctx = ReadContext {
             block_cache: &cache,
             fill_cache: false,
+            readahead_blocks: 1,
             counters: &counters,
         };
         let block = reader.block(idx, ctx).unwrap();
@@ -576,6 +877,7 @@ mod tests {
         let ctx = ReadContext {
             block_cache: &cache,
             fill_cache: true,
+            readahead_blocks: 1,
             counters: &counters,
         };
         assert!(reader.get(b"anything", ctx).unwrap().is_none());

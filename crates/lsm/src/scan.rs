@@ -13,11 +13,16 @@
 //!   [`LsmStats::range_pruned_tables`](crate::LsmStats)); tables whose
 //!   v1-era meta lacks min/max keys are always probed, never skipped.
 //!
-//! Entries stream out newest-wins with tombstones suppressed, one data
-//! block fetched at a time ([`SstableReader::block`]), bypassing the
-//! block cache by default ([`LsmOptions::scan_fill_cache`](crate::LsmOptions::scan_fill_cache))
+//! Entries stream out newest-wins with tombstones suppressed. Each
+//! table cursor walks the shared readahead-aware block cursor
+//! ([`BlockCursor`]): one ranged read fetches up to
+//! [`LsmOptions::scan_readahead_blocks`](crate::LsmOptions::scan_readahead_blocks)
+//! consecutive blocks (never past the block covering the scan's end
+//! bound), decoded lazily, bypassing the block cache by default
+//! ([`LsmOptions::scan_fill_cache`](crate::LsmOptions::scan_fill_cache))
 //! so a long scan cannot flush the hot set. Nothing is materialized
-//! beyond one decoded block per probed table.
+//! beyond one decoded block and one raw prefetched span per probed
+//! table.
 //!
 //! # Consistency under concurrent compaction
 //!
@@ -35,7 +40,7 @@ use std::ops::{Bound, RangeBounds};
 use std::sync::Arc;
 
 use crate::db::{LsmInner, ReadView};
-use crate::reader::SstableReader;
+use crate::reader::{BlockCursor, SstableReader};
 use crate::types::{Entry, InternalKey, Key, Value};
 use crate::Error;
 
@@ -213,60 +218,64 @@ impl Source {
     }
 }
 
-/// Lazily walks one sstable's in-range entries, fetching data blocks on
-/// demand through the shared block cache (respecting the engine's
-/// scan-fill policy).
+/// Lazily walks one sstable's in-range entries on the shared
+/// [`BlockCursor`]: seeked to the block covering the scan cursor at
+/// build time (so a rebuilt scan never re-fetches fully-consumed
+/// blocks), readahead-limited to the block covering the end bound,
+/// yielding entries without the per-block clone pass the old cursor
+/// paid.
 #[derive(Debug)]
 struct TableCursor {
     reader: Arc<SstableReader>,
-    block_idx: usize,
-    /// Decoded in-range entries of the current block.
-    entries: std::vec::IntoIter<Entry>,
-    /// Set once a block's last entry reaches the end bound: no later
-    /// block can contain in-range keys.
+    core: BlockCursor,
+    /// Set once an entry at/past the end bound (or an error) is seen:
+    /// no later entry can be in range.
     exhausted: bool,
+    /// Entries inside the first block that precede this bound are
+    /// skipped before anything is yielded.
     start: Bound<Key>,
+    started: bool,
 }
 
 impl TableCursor {
-    fn new(reader: Arc<SstableReader>, start: &Bound<Key>) -> Self {
+    fn new(reader: Arc<SstableReader>, start: &Bound<Key>, end: &Bound<Key>) -> Self {
         let block_idx = reader.seek_block_idx(start);
+        let limit = reader.end_block_limit(end);
         Self {
             reader,
-            block_idx,
-            entries: Vec::new().into_iter(),
+            core: BlockCursor::with_limit(block_idx, limit),
             exhausted: false,
             start: start.clone(),
+            started: false,
         }
     }
 
     fn next_entry(&mut self, db: &LsmInner, end: &Bound<Key>) -> Option<Result<Entry, Error>> {
-        loop {
-            if let Some(entry) = self.entries.next() {
-                return Some(Ok(entry));
-            }
-            if self.exhausted || self.block_idx >= self.reader.block_count() {
-                return None;
-            }
-            let ctx = db.scan_read_ctx();
-            let block = match self.reader.block(self.block_idx, ctx) {
-                Ok(block) => block,
-                Err(e) => {
+        if self.exhausted {
+            return None;
+        }
+        let ctx = db.scan_read_ctx();
+        let next = if self.started {
+            self.core.next_entry(&self.reader, ctx)
+        } else {
+            self.started = true;
+            let start = self.start.clone();
+            self.core
+                .skip_while(&self.reader, ctx, |e| before_start(&e.key, &start))
+        };
+        match next {
+            Some(Ok(entry)) => {
+                if past_end(&entry.key, end) {
                     self.exhausted = true;
-                    return Some(Err(e));
+                    return None;
                 }
-            };
-            self.block_idx += 1;
-            let all = block.entries();
-            if all.last().is_some_and(|last| past_end(&last.key, end)) {
-                self.exhausted = true;
+                Some(Ok(entry))
             }
-            let in_range: Vec<Entry> = all
-                .iter()
-                .filter(|e| !before_start(&e.key, &self.start) && !past_end(&e.key, end))
-                .cloned()
-                .collect();
-            self.entries = in_range.into_iter();
+            Some(Err(e)) => {
+                self.exhausted = true;
+                Some(Err(e))
+            }
+            None => None,
         }
     }
 }
@@ -327,7 +336,7 @@ impl ScanState {
         for meta in snapshot.tables.iter().rev() {
             let reader = db.open_reader(meta)?;
             if reader.may_overlap(start_ref, end_ref) {
-                sources.push(Source::Table(TableCursor::new(reader, cursor)));
+                sources.push(Source::Table(TableCursor::new(reader, cursor, end)));
             } else {
                 pruned += 1;
             }

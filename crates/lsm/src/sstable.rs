@@ -1,15 +1,15 @@
 //! The immutable sorted-run (sstable) format.
 //!
-//! Layout of an encoded sstable blob (format v2):
+//! Layout of an encoded sstable blob (format v3):
 //!
 //! ```text
 //! +-------------------+
-//! | data block 0      |   length-prefixed, CRC-protected (see `block`)
-//! | data block 1      |
+//! | data block 0      |   compression envelope: tag + payload + CRC
+//! | data block 1      |   (logical block bytes are CRC'd too, see `block`)
 //! | ...               |
 //! | bloom filter      |
 //! | meta block        |   min/max user key of the table
-//! | index block       |   (last_key, offset, len) per data block
+//! | index block       |   (last_key, offset, stored_len) per data block
 //! | footer            |   offsets + counts + magic + CRC
 //! +-------------------+
 //! ```
@@ -18,8 +18,12 @@
 //! keys, block index — lives in the *tail* of the blob, so the lazy
 //! reader ([`SstableReader`](crate::SstableReader)) opens a table with
 //! two ranged reads (footer, then tail) and afterwards fetches exactly
-//! one data block per lookup. The v1 format (no meta block) is still
-//! decoded for stores written before min/max keys were persisted.
+//! one data block per lookup. Two legacy formats are still decoded:
+//! v1 (no meta block, raw data blocks) and v2 (meta block, raw data
+//! blocks). Since v3, each data block is stored inside a per-block
+//! [compression envelope](crate::compress) — tag byte, possibly-LZ
+//! payload, envelope CRC — and the index records the *stored* length,
+//! so ranged reads fetch exactly the compressed bytes.
 //!
 //! Sstables are immutable once built: compaction never edits a table, it
 //! reads whole tables and writes a new one, which is exactly the I/O the
@@ -29,15 +33,19 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::block::{crc32, Block, BlockBuilder};
 use crate::bloom::BloomFilter;
+use crate::compress::{decode_block_envelope, encode_block_envelope, CompressionType};
 use crate::storage::Storage;
 use crate::types::{Entry, Key};
 use crate::Error;
 
 /// Magic of the v1 format: no meta block, min key only recoverable by
 /// decoding data block 0.
-const FOOTER_MAGIC_V1: u64 = 0x4C53_4D54_4142_4C45; // "LSMTABLE"
-/// Magic of the current format with the min/max-key meta block.
-const FOOTER_MAGIC_V2: u64 = 0x4C53_4D54_4142_4C32; // "LSMTABL2"
+pub(crate) const FOOTER_MAGIC_V1: u64 = 0x4C53_4D54_4142_4C45; // "LSMTABLE"
+/// Magic of the v2 format: min/max-key meta block, raw data blocks.
+pub(crate) const FOOTER_MAGIC_V2: u64 = 0x4C53_4D54_4142_4C32; // "LSMTABL2"
+/// Magic of the current format: v2 layout with every data block
+/// wrapped in a per-block compression envelope.
+pub(crate) const FOOTER_MAGIC_V3: u64 = 0x4C53_4D54_4142_4C33; // "LSMTABL3"
 
 /// Parsed sstable footer, shared between the eager [`Sstable`] decoder
 /// and the lazy [`SstableReader`](crate::SstableReader).
@@ -55,6 +63,9 @@ pub(crate) struct Footer {
     pub entry_count: u64,
     /// Encoded footer length (depends on the format version).
     pub footer_len: usize,
+    /// `true` for v3 blobs, whose data blocks are wrapped in the
+    /// per-block compression envelope; v1/v2 blocks are raw.
+    pub compressed_blocks: bool,
 }
 
 impl Footer {
@@ -72,9 +83,10 @@ impl Footer {
         }
         let magic_probe = &tail[tail.len() - 12..tail.len() - 4];
         let magic = u64::from_le_bytes(magic_probe.try_into().expect("8 bytes"));
-        let (footer_len, fields) = match magic {
-            FOOTER_MAGIC_V2 => (Self::V2_LEN, 6),
-            FOOTER_MAGIC_V1 => (Self::V1_LEN, 5),
+        let (footer_len, fields, compressed_blocks) = match magic {
+            FOOTER_MAGIC_V3 => (Self::V2_LEN, 6, true),
+            FOOTER_MAGIC_V2 => (Self::V2_LEN, 6, false),
+            FOOTER_MAGIC_V1 => (Self::V1_LEN, 5, false),
             _ => return Err(Error::corruption("bad sstable magic")),
         };
         if tail.len() < footer_len || total_len < footer_len {
@@ -109,7 +121,22 @@ impl Footer {
             index_offset,
             entry_count,
             footer_len,
+            compressed_blocks,
         })
+    }
+}
+
+/// Decodes one data block from its stored bytes: v3 blobs wrap every
+/// block in the compression envelope, v1/v2 blobs store the logical
+/// bytes raw. Returns the block and its logical (decompressed) byte
+/// length, which the read-path counters report next to the physical
+/// bytes actually fetched.
+pub(crate) fn decode_table_block(raw: &[u8], enveloped: bool) -> Result<(Block, usize), Error> {
+    if enveloped {
+        let logical = decode_block_envelope(raw)?;
+        Ok((Block::decode(&logical)?, logical.len()))
+    } else {
+        Ok((Block::decode(raw)?, raw.len()))
     }
 }
 
@@ -119,6 +146,7 @@ pub struct SstableBuilder {
     table_id: u64,
     block_size: usize,
     bloom_bits_per_key: usize,
+    compression: CompressionType,
     current: BlockBuilder,
     finished_blocks: Vec<(Key, Bytes)>,
     all_keys: Vec<Key>,
@@ -136,6 +164,7 @@ impl SstableBuilder {
             table_id,
             block_size: block_size.max(64),
             bloom_bits_per_key,
+            compression: CompressionType::default(),
             current: BlockBuilder::new(),
             finished_blocks: Vec::new(),
             all_keys: Vec::new(),
@@ -173,6 +202,15 @@ impl SstableBuilder {
         self.finished_blocks.push((last_key, encoded));
     }
 
+    /// Sets the per-block compression applied at [`SstableBuilder::finish`]
+    /// time. Defaults to [`CompressionType::Lz`]; every block still
+    /// falls back to raw storage when compression would not shrink it.
+    #[must_use]
+    pub fn compression(mut self, compression: CompressionType) -> Self {
+        self.compression = compression;
+        self
+    }
+
     /// Number of entries added so far.
     #[must_use]
     pub fn entry_count(&self) -> u64 {
@@ -193,8 +231,9 @@ impl SstableBuilder {
         let mut index: Vec<(Key, u64, u64)> = Vec::with_capacity(self.finished_blocks.len());
         for (last_key, encoded) in &self.finished_blocks {
             let offset = buf.len() as u64;
-            buf.put_slice(encoded);
-            index.push((last_key.clone(), offset, encoded.len() as u64));
+            let stored = encode_block_envelope(self.compression, encoded);
+            buf.put_slice(&stored);
+            index.push((last_key.clone(), offset, stored.len() as u64));
         }
 
         let bloom_offset = buf.len() as u64;
@@ -223,7 +262,7 @@ impl SstableBuilder {
         buf.put_u64_le(meta_offset);
         buf.put_u64_le(index_offset);
         buf.put_u64_le(self.entry_count);
-        buf.put_u64_le(FOOTER_MAGIC_V2);
+        buf.put_u64_le(FOOTER_MAGIC_V3);
         let crc = crc32(&buf[footer_start..]);
         buf.put_u32_le(crc);
 
@@ -260,7 +299,7 @@ pub struct SstableMeta {
 
 /// Encodes the min/max-key meta block: a presence flag followed by the
 /// two length-prefixed keys (absent for an empty table).
-fn encode_meta(buf: &mut BytesMut, min_key: Option<&Key>, max_key: Option<&Key>) {
+pub(crate) fn encode_meta(buf: &mut BytesMut, min_key: Option<&Key>, max_key: Option<&Key>) {
     match (min_key, max_key) {
         (Some(min), Some(max)) => {
             buf.put_u8(1);
@@ -352,11 +391,13 @@ pub struct Sstable {
     table_id: u64,
     data: Bytes,
     bloom: BloomFilter,
-    /// (last_key, offset, len) per data block, in key order.
+    /// (last_key, offset, stored_len) per data block, in key order.
     index: Vec<(Key, u64, u64)>,
     entry_count: u64,
     min_key: Option<Key>,
     max_key: Option<Key>,
+    /// `true` for v3 blobs: data blocks sit inside compression envelopes.
+    compressed_blocks: bool,
 }
 
 impl Sstable {
@@ -398,7 +439,10 @@ impl Sstable {
             // swallowing it — and the max from the last index entry.
             None => match index.first() {
                 Some(&(_, offset, len)) => {
-                    let block = Block::decode(block_slice(&data, offset, len)?)?;
+                    let (block, _) = decode_table_block(
+                        block_slice(&data, offset, len)?,
+                        footer.compressed_blocks,
+                    )?;
                     let min = block
                         .entries()
                         .first()
@@ -418,6 +462,7 @@ impl Sstable {
             entry_count: footer.entry_count,
             min_key,
             max_key,
+            compressed_blocks: footer.compressed_blocks,
         })
     }
 
@@ -494,7 +539,11 @@ impl Sstable {
 
     fn read_block(&self, idx: usize) -> Result<Block, Error> {
         let (_, offset, len) = self.index[idx];
-        Block::decode(block_slice(&self.data, offset, len)?)
+        let (block, _) = decode_table_block(
+            block_slice(&self.data, offset, len)?,
+            self.compressed_blocks,
+        )?;
+        Ok(block)
     }
 
     /// Iterates every entry in the table in internal-key order.
@@ -547,63 +596,20 @@ impl Iterator for SstableIter<'_> {
 }
 
 /// Test-only helpers shared between this module's tests and the reader
-/// tests: encodes tables in the legacy v1 layout (no meta block, v1
-/// footer), which the builder no longer emits but decoders must accept.
+/// tests (the real legacy encoders live in [`crate::test_support`] so
+/// integration tests can build mixed-version table sets too).
 #[cfg(test)]
 pub(crate) mod test_support {
     use super::*;
-    use crate::block::BlockBuilder;
     use crate::types::key_from_u64;
-    use bytes::BufMut;
 
     /// Encodes `n` sequential-key entries (values `v1-<i>`) as a legacy
     /// v1 sstable blob.
     pub(crate) fn build_v1_table(n: u64, block_size: usize) -> Bytes {
-        let mut finished: Vec<(Key, Bytes)> = Vec::new();
-        let mut current = BlockBuilder::new();
-        let mut all_keys: Vec<Key> = Vec::new();
-        for i in 0..n {
-            let entry = Entry::put(key_from_u64(i), Bytes::from(format!("v1-{i}")), 1_000 + i);
-            all_keys.push(entry.key.clone());
-            current.add(&entry);
-            if current.size_in_bytes() >= block_size {
-                let last = current.last_key().unwrap().clone();
-                finished.push((last, current.finish()));
-            }
-        }
-        if !current.is_empty() {
-            let last = current.last_key().unwrap().clone();
-            finished.push((last, current.finish()));
-        }
-        let bloom = BloomFilter::build(all_keys.iter().map(|k| k.as_ref()), 10);
-
-        let mut buf = BytesMut::new();
-        let mut index: Vec<(Key, u64, u64)> = Vec::new();
-        for (last_key, encoded) in &finished {
-            let offset = buf.len() as u64;
-            buf.put_slice(encoded);
-            index.push((last_key.clone(), offset, encoded.len() as u64));
-        }
-        let bloom_offset = buf.len() as u64;
-        let bloom_bytes = bloom.encode();
-        buf.put_slice(&bloom_bytes);
-        let index_offset = buf.len() as u64;
-        buf.put_u32_le(index.len() as u32);
-        for (last_key, offset, len) in &index {
-            buf.put_u32_le(last_key.len() as u32);
-            buf.put_slice(last_key);
-            buf.put_u64_le(*offset);
-            buf.put_u64_le(*len);
-        }
-        let footer_start = buf.len();
-        buf.put_u64_le(bloom_offset);
-        buf.put_u64_le(bloom_bytes.len() as u64);
-        buf.put_u64_le(index_offset);
-        buf.put_u64_le(n);
-        buf.put_u64_le(FOOTER_MAGIC_V1);
-        let crc = crc32(&buf[footer_start..]);
-        buf.put_u32_le(crc);
-        buf.freeze()
+        let entries: Vec<Entry> = (0..n)
+            .map(|i| Entry::put(key_from_u64(i), Bytes::from(format!("v1-{i}")), 1_000 + i))
+            .collect();
+        crate::test_support::encode_v1_sstable(&entries, block_size)
     }
 }
 

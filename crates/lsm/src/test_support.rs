@@ -9,10 +9,15 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
+use std::time::Duration;
 
-use bytes::Bytes;
+use bytes::{BufMut, Bytes, BytesMut};
 
+use crate::block::{crc32, BlockBuilder};
+use crate::bloom::BloomFilter;
+use crate::sstable::{encode_meta, FOOTER_MAGIC_V1, FOOTER_MAGIC_V2};
 use crate::storage::{MemoryStorage, Storage};
+use crate::types::{Entry, Key};
 use crate::Error;
 
 /// A [`MemoryStorage`] wrapper that can stall sstable writes on demand:
@@ -209,6 +214,148 @@ impl CrashPointStorage {
             self.dead.store(true, Ordering::SeqCst);
             Ok(budget as usize)
         }
+    }
+}
+
+/// Encodes sorted `entries` as a legacy **v1** sstable blob: no meta
+/// block, raw (un-enveloped) data blocks, 5-field footer. The builder
+/// stopped emitting this layout at v2, but decoders must keep
+/// accepting it; tests use this to stage mixed-version table sets.
+#[must_use]
+pub fn encode_v1_sstable(entries: &[Entry], block_size: usize) -> Bytes {
+    encode_legacy_sstable(entries, block_size, false)
+}
+
+/// Encodes sorted `entries` as a legacy **v2** sstable blob: min/max
+/// meta block, raw (un-enveloped) data blocks, 6-field footer. The
+/// builder stopped emitting this layout at v3 (compression
+/// envelopes), but decoders must keep accepting it.
+#[must_use]
+pub fn encode_v2_sstable(entries: &[Entry], block_size: usize) -> Bytes {
+    encode_legacy_sstable(entries, block_size, true)
+}
+
+fn encode_legacy_sstable(entries: &[Entry], block_size: usize, v2: bool) -> Bytes {
+    let mut finished: Vec<(Key, Bytes)> = Vec::new();
+    let mut current = BlockBuilder::new();
+    for entry in entries {
+        current.add(entry);
+        if current.size_in_bytes() >= block_size {
+            let last = current.last_key().expect("non-empty block").clone();
+            finished.push((last, current.finish()));
+        }
+    }
+    if !current.is_empty() {
+        let last = current.last_key().expect("non-empty block").clone();
+        finished.push((last, current.finish()));
+    }
+    let bloom = BloomFilter::build(entries.iter().map(|e| e.key.as_ref()), 10);
+
+    let mut buf = BytesMut::new();
+    let mut index: Vec<(Key, u64, u64)> = Vec::new();
+    for (last_key, encoded) in &finished {
+        let offset = buf.len() as u64;
+        buf.put_slice(encoded);
+        index.push((last_key.clone(), offset, encoded.len() as u64));
+    }
+    let bloom_offset = buf.len() as u64;
+    let bloom_bytes = bloom.encode();
+    buf.put_slice(&bloom_bytes);
+    let meta_offset = buf.len() as u64;
+    if v2 {
+        let min = entries.first().map(|e| e.key.clone());
+        let max = entries.last().map(|e| e.key.clone());
+        encode_meta(&mut buf, min.as_ref(), max.as_ref());
+    }
+    let index_offset = buf.len() as u64;
+    buf.put_u32_le(index.len() as u32);
+    for (last_key, offset, len) in &index {
+        buf.put_u32_le(last_key.len() as u32);
+        buf.put_slice(last_key);
+        buf.put_u64_le(*offset);
+        buf.put_u64_le(*len);
+    }
+    let footer_start = buf.len();
+    buf.put_u64_le(bloom_offset);
+    buf.put_u64_le(bloom_bytes.len() as u64);
+    if v2 {
+        buf.put_u64_le(meta_offset);
+    }
+    buf.put_u64_le(index_offset);
+    buf.put_u64_le(entries.len() as u64);
+    buf.put_u64_le(if v2 { FOOTER_MAGIC_V2 } else { FOOTER_MAGIC_V1 });
+    let crc = crc32(&buf[footer_start..]);
+    buf.put_u32_le(crc);
+    buf.freeze()
+}
+
+/// A [`MemoryStorage`] wrapper that charges a fixed latency on every
+/// *read* call (`read_blob` / `read_blob_range`), simulating a device
+/// where each round-trip costs real time. Writes stay free so load,
+/// flush and compaction phases are unaffected. This exists to make
+/// read-path *round-trip counts* visible in wall-clock benchmarks
+/// (the scan-readahead column): over a plain `MemoryStorage`, a 10x
+/// difference in fetch counts hides behind nanosecond reads.
+#[derive(Debug)]
+pub struct LatencyStorage {
+    inner: MemoryStorage,
+    read_latency: Duration,
+}
+
+impl LatencyStorage {
+    /// An empty store charging `read_latency` per read round-trip.
+    #[must_use]
+    pub fn new(read_latency: Duration) -> Self {
+        Self {
+            inner: MemoryStorage::new(),
+            read_latency,
+        }
+    }
+
+    fn charge_read(&self) {
+        if !self.read_latency.is_zero() {
+            std::thread::sleep(self.read_latency);
+        }
+    }
+}
+
+impl Storage for LatencyStorage {
+    fn write_blob(&self, name: &str, data: &[u8]) -> Result<(), Error> {
+        self.inner.write_blob(name, data)
+    }
+
+    fn read_blob(&self, name: &str) -> Result<Bytes, Error> {
+        self.charge_read();
+        self.inner.read_blob(name)
+    }
+
+    fn read_blob_range(&self, name: &str, offset: u64, len: usize) -> Result<Bytes, Error> {
+        self.charge_read();
+        self.inner.read_blob_range(name, offset, len)
+    }
+
+    fn blob_len(&self, name: &str) -> Result<u64, Error> {
+        self.inner.blob_len(name)
+    }
+
+    fn delete_blob(&self, name: &str) -> Result<(), Error> {
+        self.inner.delete_blob(name)
+    }
+
+    fn contains_blob(&self, name: &str) -> bool {
+        self.inner.contains_blob(name)
+    }
+
+    fn list_blobs(&self) -> Vec<String> {
+        self.inner.list_blobs()
+    }
+
+    fn bytes_written(&self) -> u64 {
+        self.inner.bytes_written()
+    }
+
+    fn bytes_read(&self) -> u64 {
+        self.inner.bytes_read()
     }
 }
 

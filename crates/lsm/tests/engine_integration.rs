@@ -167,12 +167,13 @@ fn compaction_fails_cleanly_on_malformed_schedules_without_losing_data() {
 
 #[test]
 fn bloom_filters_add_modest_overhead_and_preserve_read_correctness() {
-    // Two stores, identical data, one without blooms. This engine always
-    // fetches the whole table blob on a probe (the bloom filter only
-    // skips the block search inside it), so the observable contract is:
-    // identical read results, and a storage-size overhead bounded by the
-    // configured bits-per-key budget (10 bits/key ≈ 5% of the ~26-byte
-    // entries used here).
+    // Two stores, identical data, one without blooms. The observable
+    // contract is: identical read results, and a storage-size overhead
+    // bounded by the configured bits-per-key budget. 10 bits/key is
+    // 1.25 bytes against ~26-byte entries (≈ 5%) — but v3 block
+    // compression shrinks the *data* while the filter bits stay
+    // incompressible, so the filter's relative share roughly doubles
+    // against the ~11-byte compressed entries. Bound accordingly.
     let run = |bloom_bits: usize| {
         let storage = Arc::new(MemoryStorage::new());
         let db = Lsm::open(
@@ -200,8 +201,9 @@ fn bloom_filters_add_modest_overhead_and_preserve_read_correctness() {
     let without_bloom = run(0);
     assert!(with_bloom > without_bloom, "the filter occupies real space");
     assert!(
-        (with_bloom as f64) <= without_bloom as f64 * 1.10,
-        "10 bits/key should cost well under 10% extra space ({with_bloom} vs {without_bloom})"
+        (with_bloom as f64) <= without_bloom as f64 * 1.15,
+        "10 bits/key should cost ~12% extra space over compressed blocks \
+         ({with_bloom} vs {without_bloom})"
     );
 }
 

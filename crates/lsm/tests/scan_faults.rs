@@ -83,6 +83,8 @@ fn scan_survives_a_manifest_flip_landing_mid_iteration() {
     compactor.join().unwrap();
     let post_ids: Vec<u64> = db.live_tables().iter().map(|t| t.table_id).collect();
     assert!(pre_flip_ids.iter().all(|id| !post_ids.contains(id)));
+    let merged_len: u64 = db.live_tables().iter().map(|t| t.encoded_len).sum();
+    let mid_flip_stats = db.stats();
 
     // The scan must finish correctly anyway (retry onto the post-flip
     // snapshot, resuming after the last returned key).
@@ -95,6 +97,18 @@ fn scan_survives_a_manifest_flip_landing_mid_iteration() {
         assert_eq!(*k, i as u64, "order broken at position {i}");
         assert_eq!(v, format!("value-{k}").as_bytes(), "wrong value for {k}");
     }
+
+    // The rebuilt scan (and its readahead spans) must resume from the
+    // block covering the last returned key, not refetch the half of
+    // the keyspace it already consumed: the bytes it reads after the
+    // flip stay well below the whole merged table. A restart-from-zero
+    // would read essentially every data block again.
+    let resumed_bytes = db.stats().data_block_read_bytes - mid_flip_stats.data_block_read_bytes;
+    assert!(
+        resumed_bytes < merged_len * 3 / 4,
+        "post-flip resume re-read {resumed_bytes} of {merged_len} table \
+         bytes — double-counting consumed blocks"
+    );
 }
 
 #[test]

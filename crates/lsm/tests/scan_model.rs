@@ -326,6 +326,7 @@ fn scans_include_legacy_tables_with_unknown_ranges() {
     let ctx = ReadContext {
         block_cache: &cache,
         fill_cache: false,
+        readahead_blocks: 1,
         counters: &counters,
     };
     // Every table reports overlap for a window inside its own range and

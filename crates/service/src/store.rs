@@ -435,6 +435,13 @@ impl ShardedKv {
                 "stats_data_block_read_bytes".to_owned(),
                 aggregate.data_block_read_bytes,
             ),
+            // Named-only (the positional legacy STATS frame is frozen
+            // at 29 fields): logical bytes after decompression — the
+            // spread over read_bytes is the realized compression ratio.
+            (
+                "stats_data_block_logical_bytes".to_owned(),
+                aggregate.data_block_logical_bytes,
+            ),
             (
                 "stats_table_cache_hits".to_owned(),
                 aggregate.table_cache_hits,

@@ -111,13 +111,14 @@ pub fn churn_json(rows: &[ChurnRow]) -> String {
 pub fn service_throughput_table(rows: &[ServiceThroughputRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:>6}  {:>10}  {:>10}  {:>7}  {:>5}  {:>5}  {:>8}  {:>10}  {:>8}  {:>8}  {:>8}  {:>9}  {:>9}  {:>10}  {:>10}  {:>10}  {:>7}  {:>6}  {:>10}\n",
+        "{:>6}  {:>10}  {:>10}  {:>7}  {:>5}  {:>5}  {:>5}  {:>8}  {:>10}  {:>8}  {:>8}  {:>8}  {:>9}  {:>9}  {:>10}  {:>10}  {:>10}  {:>7}  {:>6}  {:>10}\n",
         "shards",
         "strategy",
         "mode",
         "clients",
         "read%",
         "scan%",
+        "rdahd",
         "ops",
         "ops/s",
         "p50_us",
@@ -134,13 +135,14 @@ pub fn service_throughput_table(rows: &[ServiceThroughputRow]) -> String {
     ));
     for row in rows {
         out.push_str(&format!(
-            "{:>6}  {:>10}  {:>10}  {:>7}  {:>5}  {:>5}  {:>8}  {:>10.0}  {:>8}  {:>8}  {:>8}  {:>9}  {:>9}  {:>10}  {:>10}  {:>10.0}  {:>7}  {:>6}  {:>10.2}\n",
+            "{:>6}  {:>10}  {:>10}  {:>7}  {:>5}  {:>5}  {:>5}  {:>8}  {:>10.0}  {:>8}  {:>8}  {:>8}  {:>9}  {:>9}  {:>10}  {:>10}  {:>10.0}  {:>7}  {:>6}  {:>10.2}\n",
             row.shards,
             row.strategy.name(),
             row.mode,
             row.clients,
             row.read_percent,
             row.scan_percent,
+            row.readahead,
             row.operations,
             row.throughput_ops_per_sec,
             row.p50_micros,
@@ -163,7 +165,7 @@ pub fn service_throughput_table(rows: &[ServiceThroughputRow]) -> String {
 #[must_use]
 pub fn service_throughput_csv(rows: &[ServiceThroughputRow]) -> String {
     let mut out = String::from(
-        "shards,strategy,mode,clients,read_percent,scan_percent,operations,read_operations,\
+        "shards,strategy,mode,clients,read_percent,scan_percent,readahead,operations,read_operations,\
          scan_operations,scan_keys,elapsed_ms,\
          ops_per_sec,scan_keys_per_sec,p50_us,p95_us,p99_us,get_p50_us,get_p99_us,\
          scan_p50_us,scan_p99_us,\
@@ -171,13 +173,14 @@ pub fn service_throughput_csv(rows: &[ServiceThroughputRow]) -> String {
     );
     for row in rows {
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{:.2},{:.1},{:.1},{},{},{},{},{},{},{},{},{},{},{:.4}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{:.2},{:.1},{:.1},{},{},{},{},{},{},{},{},{},{},{:.4}\n",
             row.shards,
             row.strategy.name(),
             row.mode,
             row.clients,
             row.read_percent,
             row.scan_percent,
+            row.readahead,
             row.operations,
             row.read_operations,
             row.scan_operations,
@@ -210,7 +213,7 @@ pub fn service_throughput_json(rows: &[ServiceThroughputRow]) -> String {
     for (i, row) in rows.iter().enumerate() {
         out.push_str(&format!(
             "  {{\"shards\": {}, \"strategy\": \"{}\", \"mode\": \"{}\", \"clients\": {}, \
-             \"read_percent\": {}, \"scan_percent\": {}, \"operations\": {}, \
+             \"read_percent\": {}, \"scan_percent\": {}, \"readahead\": {}, \"operations\": {}, \
              \"read_operations\": {}, \"scan_operations\": {}, \"scan_keys\": {}, \
              \"elapsed_ms\": {:.2}, \"ops_per_sec\": {:.1}, \"scan_keys_per_sec\": {:.1}, \
              \"p50_us\": {}, \"p95_us\": {}, \
@@ -224,6 +227,7 @@ pub fn service_throughput_json(rows: &[ServiceThroughputRow]) -> String {
             row.clients,
             row.read_percent,
             row.scan_percent,
+            row.readahead,
             row.operations,
             row.read_operations,
             row.scan_operations,

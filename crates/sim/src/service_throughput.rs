@@ -21,7 +21,8 @@ use std::time::{Duration, Instant};
 
 use compaction_core::Strategy;
 use kv_service::{KvClient, KvServer, ShardedKv, WireOp};
-use lsm_engine::{CompactionPolicy, LsmOptions};
+use lsm_engine::test_support::LatencyStorage;
+use lsm_engine::{CompactionPolicy, LsmOptions, Storage};
 use ycsb_gen::{Distribution, OperationKind, WorkloadSpec};
 
 /// Configuration of the service throughput experiment.
@@ -65,6 +66,20 @@ pub struct ServiceThroughputConfig {
     /// queue + flush thread + compaction scheduler) instead of inline
     /// flush/compaction on the write path.
     pub background: bool,
+    /// Scan readahead values to sweep: each value adds one full
+    /// (shards × strategy) row set run with
+    /// [`LsmOptions::scan_readahead_blocks`] set to it. Single-value
+    /// sweeps (the point-op configs) add no extra cells.
+    pub readahead_blocks: Vec<usize>,
+    /// Per-round-trip read latency charged by every shard's storage
+    /// backend, in microseconds (0 = plain in-memory storage). The
+    /// scan-heavy configs set this so fetch *counts* — what readahead
+    /// changes — show up in wall-clock throughput instead of hiding
+    /// behind nanosecond memory reads.
+    pub storage_read_micros: u64,
+    /// Engine data-block size in bytes. The scan-heavy configs shrink
+    /// it so a typical scan spans several blocks per table.
+    pub block_size: usize,
     /// Workload seed.
     pub seed: u64,
 }
@@ -93,6 +108,9 @@ impl ServiceThroughputConfig {
             clients: 4,
             workers: 4,
             background: false,
+            readahead_blocks: vec![8],
+            storage_read_micros: 0,
+            block_size: 4 * 1024,
             seed: 7,
         }
     }
@@ -131,7 +149,10 @@ impl ServiceThroughputConfig {
     /// A YCSB-E-style scan-heavy sweep (95 % range scans, 5 % inserts):
     /// the workload that exercises the streaming scan pipeline end to
     /// end — zipfian start keys, bounded lengths, every scan touching
-    /// memtable + multiple tables on every shard.
+    /// memtable + multiple tables on every shard. Runs over a
+    /// latency-charging backend with small blocks and sweeps readahead
+    /// 1 vs 8, so the report shows directly what fewer round-trips per
+    /// scan buy in keys/sec.
     #[must_use]
     pub fn scan_heavy() -> Self {
         Self {
@@ -144,6 +165,9 @@ impl ServiceThroughputConfig {
             memtable_capacity: 250,
             trigger_tables: 5,
             distribution: Distribution::zipfian_default(),
+            readahead_blocks: vec![1, 8],
+            storage_read_micros: 250,
+            block_size: 256,
             ..Self::default_paper()
         }
     }
@@ -153,7 +177,7 @@ impl ServiceThroughputConfig {
     pub fn quick_scan_heavy() -> Self {
         Self {
             scan_percent: 95,
-            max_scan_length: 50,
+            max_scan_length: 80,
             read_percent: 0,
             update_percent: 0,
             record_count: 1_200,
@@ -161,6 +185,9 @@ impl ServiceThroughputConfig {
             memtable_capacity: 100,
             trigger_tables: 4,
             distribution: Distribution::zipfian_default(),
+            readahead_blocks: vec![1, 8],
+            storage_read_micros: 250,
+            block_size: 256,
             ..Self::quick()
         }
     }
@@ -184,6 +211,9 @@ impl ServiceThroughputConfig {
             clients: 4,
             workers: 4,
             background: false,
+            readahead_blocks: vec![8],
+            storage_read_micros: 0,
+            block_size: 4 * 1024,
             seed: 7,
         }
     }
@@ -208,9 +238,11 @@ impl ServiceThroughputConfig {
             .expect("service-throughput config produces a valid workload spec")
     }
 
-    fn options(&self, strategy: Strategy) -> LsmOptions {
+    fn options(&self, strategy: Strategy, readahead: usize) -> LsmOptions {
         LsmOptions::default()
             .memtable_capacity(self.memtable_capacity)
+            .block_size(self.block_size)
+            .scan_readahead_blocks(readahead)
             .compaction_policy(CompactionPolicy::Threshold {
                 live_tables: self.trigger_tables,
             })
@@ -242,7 +274,9 @@ impl ServiceThroughputConfig {
         let mut rows = Vec::new();
         for &shards in &self.shard_counts {
             for &strategy in &self.strategies {
-                rows.push(self.run_cell(shards, strategy, &load_ops, &partitions));
+                for &readahead in &self.readahead_blocks {
+                    rows.push(self.run_cell(shards, strategy, readahead, &load_ops, &partitions));
+                }
             }
         }
         rows
@@ -252,13 +286,27 @@ impl ServiceThroughputConfig {
         &self,
         shards: usize,
         strategy: Strategy,
+        readahead: usize,
         load_keys: &[u64],
         partitions: &[Vec<ycsb_gen::Operation>],
     ) -> ServiceThroughputRow {
-        let store = Arc::new(
-            ShardedKv::open_in_memory(shards, self.options(strategy))
-                .expect("in-memory open cannot fail"),
-        );
+        let options = self.options(strategy, readahead);
+        let store = Arc::new(if self.storage_read_micros > 0 {
+            // Latency-charging backends, one per shard: every storage
+            // round-trip costs wall-clock time, so the readahead column
+            // measures fetch counts, not memcpy speed.
+            let storages: Vec<Arc<dyn Storage>> = (0..shards)
+                .map(|_| {
+                    Arc::new(LatencyStorage::new(Duration::from_micros(
+                        self.storage_read_micros,
+                    ))) as Arc<dyn Storage>
+                })
+                .collect();
+            ShardedKv::open_with_storages(storages, options)
+                .expect("fresh backends cannot mismatch")
+        } else {
+            ShardedKv::open_in_memory(shards, options).expect("in-memory open cannot fail")
+        });
         let handle = KvServer::bind(Arc::clone(&store), "127.0.0.1:0", self.workers)
             .expect("bind ephemeral port")
             .spawn();
@@ -360,6 +408,7 @@ impl ServiceThroughputConfig {
             clients: self.clients,
             read_percent: self.read_percent,
             scan_percent: self.scan_percent,
+            readahead,
             operations: ops,
             read_operations: read_latencies.len() as u64,
             scan_operations: scan_latencies.len() as u64,
@@ -430,6 +479,9 @@ pub struct ServiceThroughputRow {
     pub read_percent: u32,
     /// Percentage of operations that were SCANs (configured).
     pub scan_percent: u32,
+    /// Scan readahead (consecutive blocks per ranged fetch) the engine
+    /// ran with; 1 means one storage round-trip per block.
+    pub readahead: usize,
     /// Operations measured (the run phase).
     pub operations: u64,
     /// GET operations among them.
@@ -523,7 +575,7 @@ mod tests {
         assert!((spec.insert_proportion() - 0.05).abs() < 1e-9);
         assert!(spec.read_proportion().abs() < 1e-9);
         assert!(spec.update_proportion().abs() < 1e-9);
-        assert_eq!(spec.max_scan_length(), 50);
+        assert_eq!(spec.max_scan_length(), 80);
     }
 
     #[test]
@@ -532,20 +584,32 @@ mod tests {
         config.shard_counts = vec![2];
         config.strategies = vec![Strategy::BalanceTreeInput];
         let rows = config.run();
-        assert_eq!(rows.len(), 1);
-        let row = &rows[0];
-        assert_eq!(row.scan_percent, 95);
+        assert_eq!(rows.len(), 2, "one row per swept readahead value");
+        for row in &rows {
+            assert_eq!(row.scan_percent, 95);
+            assert!(
+                row.scan_operations >= row.operations * 9 / 10,
+                "95% scan mix must be scan-dominated: {row:?}"
+            );
+            assert!(
+                row.scan_keys > row.scan_operations,
+                "scans must stream multiple keys each: {row:?}"
+            );
+            assert!(row.scan_keys_per_sec > 0.0);
+            assert!(row.scan_p50_micros <= row.scan_p99_micros);
+            assert!(row.scan_p99_micros > 0, "scan tail measured");
+        }
+        let (ra1, ra8) = (&rows[0], &rows[1]);
+        assert_eq!(ra1.readahead, 1);
+        assert_eq!(ra8.readahead, 8);
+        // The latency-charging backend makes round-trip counts visible:
+        // fetching 8 blocks per trip must stream keys faster than one
+        // block per trip. (The ≥2x bench acceptance bar is asserted on
+        // the full quick cell by CI's bench job, not this smoke test.)
         assert!(
-            row.scan_operations >= row.operations * 9 / 10,
-            "95% scan mix must be scan-dominated: {row:?}"
+            ra8.scan_keys_per_sec > ra1.scan_keys_per_sec,
+            "readahead 8 did not beat readahead 1: {ra8:?} vs {ra1:?}"
         );
-        assert!(
-            row.scan_keys > row.scan_operations,
-            "scans must stream multiple keys each: {row:?}"
-        );
-        assert!(row.scan_keys_per_sec > 0.0);
-        assert!(row.scan_p50_micros <= row.scan_p99_micros);
-        assert!(row.scan_p99_micros > 0, "scan tail measured");
     }
 
     #[test]

@@ -74,6 +74,7 @@ KEY_FIELDS = (
     "window",
     "read_percent",
     "scan_percent",
+    "readahead",
 )
 
 

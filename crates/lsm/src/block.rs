@@ -190,7 +190,7 @@ impl Block {
                 .sum::<usize>()
     }
 
-    /// Finds the newest visible entry for `key` within this block.
+    /// Finds the newest entry for `key` within this block.
     #[must_use]
     pub fn get(&self, key: &[u8]) -> Option<&Entry> {
         // Entries are sorted by (user key asc, seqno desc); the first
@@ -198,6 +198,19 @@ impl Block {
         // reachable by binary search instead of a linear scan.
         let idx = self.entries.partition_point(|e| e.key.as_ref() < key);
         self.entries.get(idx).filter(|e| e.key.as_ref() == key)
+    }
+
+    /// Finds the newest entry for `key` with `seqno <= upto` — the
+    /// pinned-snapshot variant of [`Block::get`]. Versions of one user
+    /// key are adjacent (key asc, seqno desc) and the sstable builder
+    /// never splits a key across blocks, so the walk stays local.
+    #[must_use]
+    pub fn get_visible(&self, key: &[u8], upto: u64) -> Option<&Entry> {
+        let idx = self.entries.partition_point(|e| e.key.as_ref() < key);
+        self.entries[idx..]
+            .iter()
+            .take_while(|e| e.key.as_ref() == key)
+            .find(|e| e.seqno <= upto)
     }
 
     /// Consumes the block, returning its entries.

@@ -148,6 +148,8 @@ mod tests {
                 entry_count: meta.entry_count,
                 encoded_len: meta.encoded_len,
                 tombstone_count: meta.tombstone_count,
+                range_tombstone_count: meta.range_tombstone_count,
+                max_seqno: meta.max_seqno,
             }))
             .unwrap();
         id
@@ -225,6 +227,8 @@ mod tests {
                 entry_count: meta.entry_count,
                 encoded_len: meta.encoded_len,
                 tombstone_count: meta.tombstone_count,
+                range_tombstone_count: meta.range_tombstone_count,
+                max_seqno: meta.max_seqno,
             }))
             .unwrap();
 

@@ -57,6 +57,7 @@
 //! Dropping the store signals and joins both threads, draining the
 //! frozen queue first so no acked write exists only in memory.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::{Duration, Instant};
@@ -81,7 +82,7 @@ use crate::reader::{ReadContext, ReadPathCounters, SstableReader};
 use crate::scan::RangeIter;
 use crate::sstable::{Sstable, SstableBuilder};
 use crate::storage::{FileStorage, MemoryStorage, Storage};
-use crate::types::{key_from_u64, Entry, Key, Value, ValueKind};
+use crate::types::{key_from_u64, Entry, IntoKey, Key, RangeTombstone, SeqNo, Value, ValueKind};
 use crate::wal::{RecoveryReport, Wal, WalRecord};
 use crate::Error;
 
@@ -124,9 +125,9 @@ const FLUSH_FAILURE_GIVE_UP: u64 = 3;
 ///
 /// # fn main() -> Result<(), lsm_engine::Error> {
 /// let db = Lsm::open_in_memory(LsmOptions::default().memtable_capacity(10))?;
-/// db.put_u64(1, b"one".to_vec())?;
-/// db.delete_u64(1)?;
-/// assert_eq!(db.get_u64(1)?, None);
+/// db.put(1u64, b"one".to_vec())?;
+/// db.delete(1u64)?;
+/// assert_eq!(db.get(1u64)?, None);
 /// # Ok(())
 /// # }
 /// ```
@@ -207,6 +208,11 @@ pub(crate) struct LsmInner {
     /// skipped until the next manifest flip changes what other tables
     /// may shadow. Lock order: `write` before `gc_barren`.
     gc_barren: Mutex<Vec<u64>>,
+    /// Pinned snapshot LSNs → pin count. The smallest key is the
+    /// retention floor every reclamation path (memtable overwrite,
+    /// compaction, tombstone GC) must respect. Lock order: `write`
+    /// before `pins`; never held across I/O.
+    pins: Mutex<BTreeMap<u64, usize>>,
     maint: Maintenance,
 }
 
@@ -396,6 +402,11 @@ pub struct LsmStats {
     /// Live WAL segments on storage (a gauge, sampled when the stats
     /// were taken; summed across shards).
     pub wal_segments_live: u64,
+    /// Range-delete operations accepted ([`Lsm::delete_range`]); each is
+    /// one record however many keys the interval covers.
+    pub range_deletes: u64,
+    /// Pinned snapshots created ([`Lsm::snapshot`]).
+    pub snapshots_created: u64,
 }
 
 impl LsmStats {
@@ -457,6 +468,8 @@ impl LsmStats {
         self.gc_rewrites += other.gc_rewrites;
         self.manifest_checkpoint_seq += other.manifest_checkpoint_seq;
         self.wal_segments_live += other.wal_segments_live;
+        self.range_deletes += other.range_deletes;
+        self.snapshots_created += other.snapshots_created;
     }
 
     fn record_compaction(&mut self, outcome: &CompactionOutcome) {
@@ -691,13 +704,18 @@ impl Lsm {
 
     /// Inserts or overwrites `key`.
     ///
+    /// The key is anything [`IntoKey`] covers — `Key` bytes, slices,
+    /// strings, or a `u64` (big-endian encoded so lexicographic order
+    /// matches numeric order). One keyed surface replaces the old
+    /// per-type variants.
+    ///
     /// # Errors
     ///
     /// Propagates WAL/storage failures; flush failures if the write fills
     /// the memtable (inline mode only — under background maintenance a
     /// full memtable is frozen in O(1) with no I/O).
-    pub fn put(&self, key: Key, value: Value) -> Result<(), Error> {
-        self.inner.put(key, value)
+    pub fn put(&self, key: impl IntoKey, value: impl Into<Value>) -> Result<(), Error> {
+        self.inner.put(key.into_key(), value.into())
     }
 
     /// Deletes `key` by writing a tombstone.
@@ -705,8 +723,55 @@ impl Lsm {
     /// # Errors
     ///
     /// Propagates WAL/storage failures.
-    pub fn delete(&self, key: Key) -> Result<(), Error> {
-        self.inner.delete(key)
+    pub fn delete(&self, key: impl IntoKey) -> Result<(), Error> {
+        self.inner.delete(key.into_key())
+    }
+
+    /// Deletes every key in `[start, end)` by writing a **single**
+    /// range-tombstone record — O(1) in the width of the interval, not
+    /// one tombstone per covered key. Point reads, range scans and
+    /// compaction treat every version sequenced before the delete as
+    /// gone; pinned snapshots taken earlier still see the interval.
+    ///
+    /// An empty or inverted interval (`start >= end`) is accepted as a
+    /// no-op: nothing is logged and no sequence number is consumed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates WAL/storage failures.
+    pub fn delete_range(&self, start: impl IntoKey, end: impl IntoKey) -> Result<(), Error> {
+        self.inner.delete_range(start.into_key(), end.into_key())
+    }
+
+    /// Pins a consistent point-in-time view of the store and returns a
+    /// read handle onto it. Reads through the [`Snapshot`] see exactly
+    /// the writes sequenced before this call — regardless of concurrent
+    /// writes, flushes, compactions or tombstone GC — until the handle
+    /// is dropped, which releases the pin and lets reclamation resume
+    /// past it.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lsm_engine::{Lsm, LsmOptions};
+    ///
+    /// # fn main() -> Result<(), lsm_engine::Error> {
+    /// let db = Lsm::open_in_memory(LsmOptions::default())?;
+    /// db.put(1u64, b"before".to_vec())?;
+    /// let snap = db.snapshot();
+    /// db.put(1u64, b"after".to_vec())?;
+    /// assert_eq!(snap.get(1u64)?.as_deref(), Some(&b"before"[..]));
+    /// assert_eq!(db.get(1u64)?.as_deref(), Some(&b"after"[..]));
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let lsn = self.inner.create_pin();
+        Snapshot {
+            inner: Arc::clone(&self.inner),
+            lsn,
+        }
     }
 
     /// Applies a [`WriteBatch`]: every operation is appended to the WAL
@@ -733,7 +798,9 @@ impl Lsm {
         self.inner.write_batch(batch)
     }
 
-    /// Convenience: [`Lsm::put`] with a big-endian-encoded integer key.
+    /// Thin shim over [`Lsm::put`], kept for callers written against
+    /// the pre-[`IntoKey`] API. Prefer `put(key, value)` — a `u64` key
+    /// is accepted directly.
     ///
     /// # Errors
     ///
@@ -742,7 +809,8 @@ impl Lsm {
         self.put(key_from_u64(key), Bytes::from(value.into()))
     }
 
-    /// Convenience: [`Lsm::delete`] with an integer key.
+    /// Thin shim over [`Lsm::delete`], kept for callers written against
+    /// the pre-[`IntoKey`] API. Prefer `delete(key)`.
     ///
     /// # Errors
     ///
@@ -764,18 +832,19 @@ impl Lsm {
     /// # Errors
     ///
     /// Propagates storage and corruption errors.
-    pub fn get(&self, key: &[u8]) -> Result<Option<Value>, Error> {
-        self.inner.get(key)
+    pub fn get(&self, key: impl IntoKey) -> Result<Option<Value>, Error> {
+        self.inner.get(&key.into_key())
     }
 
-    /// Convenience: [`Lsm::get`] with an integer key. Returns the stored
-    /// value without copying it (a [`Value`] is cheaply clonable).
+    /// Thin shim over [`Lsm::get`], kept for callers written against
+    /// the pre-[`IntoKey`] API. Prefer `get(key)` — a `u64` key is
+    /// accepted directly.
     ///
     /// # Errors
     ///
     /// Same as [`Lsm::get`].
     pub fn get_u64(&self, key: u64) -> Result<Option<Value>, Error> {
-        self.get(&key_from_u64(key))
+        self.get(key_from_u64(key))
     }
 
     /// Flushes the memtable to a new sstable even if it is not full.
@@ -929,10 +998,84 @@ impl Lsm {
         )
     }
 
-    /// Convenience: [`Lsm::range`] over big-endian-encoded integer keys
-    /// (half-open, like the `start..end` it takes).
+    /// Thin shim over [`Lsm::range`] for big-endian-encoded integer
+    /// keys (half-open, like the `start..end` it takes), kept for
+    /// callers written against the pre-[`IntoKey`] API.
     pub fn range_u64(&self, range: std::ops::Range<u64>) -> RangeIter<'_> {
         self.range(key_from_u64(range.start)..key_from_u64(range.end))
+    }
+}
+
+/// A pinned point-in-time read view of an [`Lsm`] store, created by
+/// [`Lsm::snapshot`].
+///
+/// The snapshot's LSN is a sequence number allocated at creation; reads
+/// through the handle see exactly the records sequenced at or below it.
+/// While the handle lives, its pin holds the engine's retention floor
+/// down: memtable overwrites keep the versions it can observe,
+/// compaction merges retain shadowed history it can still read, and
+/// tombstone GC leaves its tombstones in place. Dropping the handle
+/// releases the pin; reclamation resumes on the next maintenance pass.
+///
+/// The handle is independent of the `Lsm` facade's lifetime bookkeeping
+/// — it holds the engine alive via `Arc`, so it stays readable even
+/// while flushes and compactions rewrite every table underneath it.
+#[derive(Debug)]
+pub struct Snapshot {
+    inner: Arc<LsmInner>,
+    lsn: u64,
+}
+
+impl Snapshot {
+    /// The sequence number this snapshot is pinned at. Records with
+    /// `seqno <= lsn` are visible; everything newer is not.
+    #[must_use]
+    pub fn lsn(&self) -> u64 {
+        self.lsn
+    }
+
+    /// Point read at the pinned LSN: the newest value for `key`
+    /// sequenced at or before the snapshot, or `None` if the key was
+    /// absent or deleted as of the snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage and corruption errors.
+    pub fn get(&self, key: impl IntoKey) -> Result<Option<Value>, Error> {
+        self.inner.get_at(&key.into_key(), self.lsn)
+    }
+
+    /// Streams the `(key, value)` pairs inside `range` exactly as they
+    /// stood at the pinned LSN, in ascending key order — the snapshot
+    /// counterpart of [`Lsm::range`].
+    pub fn range(&self, range: impl std::ops::RangeBounds<Key>) -> RangeIter<'_> {
+        self.inner.range_scans.fetch_add(1, Ordering::Relaxed);
+        RangeIter::pinned(
+            self.inner.as_ref(),
+            (range.start_bound().cloned(), range.end_bound().cloned()),
+            self.lsn,
+        )
+    }
+
+    /// [`Snapshot::range`] over big-endian-encoded integer keys.
+    pub fn range_u64(&self, range: std::ops::Range<u64>) -> RangeIter<'_> {
+        self.range(key_from_u64(range.start)..key_from_u64(range.end))
+    }
+
+    /// Every live `(key, value)` pair as of the pinned LSN, collected.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage and corruption errors.
+    pub fn scan_all(&self) -> Result<Vec<(Key, Value)>, Error> {
+        self.range(..).collect()
+    }
+}
+
+impl Drop for Snapshot {
+    /// Releases the pin, letting reclamation advance past this LSN.
+    fn drop(&mut self) {
+        self.inner.release_pin(self.lsn);
     }
 }
 
@@ -1035,7 +1178,18 @@ impl LsmInner {
                 match r.kind {
                     ValueKind::Put => memtable.put(r.key.clone(), r.value.clone(), r.seqno),
                     ValueKind::Tombstone => memtable.delete(r.key.clone(), r.seqno),
+                    // A range delete logs its exclusive end bound as the
+                    // record value.
+                    ValueKind::RangeDelete => {
+                        memtable.delete_range(r.key.clone(), r.value.clone(), r.seqno);
+                    }
                 }
+            }
+            // The persisted manifest may predate the replayed records'
+            // allocations; bump the allocator past them so fresh writes
+            // never reuse a replayed sequence number.
+            if let Some(max_seqno) = records.iter().map(|r| r.seqno).max() {
+                manifest.observe_seqno(max_seqno);
             }
             wal.append_batch(storage.as_ref(), &records)?;
             for segment in &segments {
@@ -1108,6 +1262,7 @@ impl LsmInner {
             bg_compacting: AtomicBool::new(false),
             compaction_mx: Mutex::new(()),
             gc_barren: Mutex::new(Vec::new()),
+            pins: Mutex::new(BTreeMap::new()),
             maint: Maintenance::default(),
         })
     }
@@ -1272,6 +1427,7 @@ impl LsmInner {
         let shard = self.shard;
         let epoch = self.epoch;
         ParallelExecutor::new(Arc::clone(&self.storage), options)
+            .with_retain_floor(self.pin_floor())
             .with_step_timer(self.metrics.compaction_step.clone())
             .with_wave_hook(move |wave, steps| {
                 events.record(
@@ -1329,6 +1485,93 @@ impl LsmInner {
         self.maybe_flush(&mut w)
     }
 
+    fn delete_range(&self, start: Key, end: Key) -> Result<(), Error> {
+        // Range deletes share the put histogram with the other write
+        // shapes rather than splitting the sample population.
+        let started = Instant::now();
+        let result = self.delete_range_inner(start, end);
+        self.metrics.put.record_duration(started.elapsed());
+        result
+    }
+
+    fn delete_range_inner(&self, start: Key, end: Key) -> Result<(), Error> {
+        // An inverted or empty interval deletes nothing; bail before
+        // burning a sequence number or touching the WAL.
+        if start >= end {
+            return Ok(());
+        }
+        self.throttle_write();
+        let mut w = self.write.lock();
+        let seqno = w.manifest.allocate_seqno();
+        // One WAL record for the whole interval: key = inclusive start,
+        // value = exclusive end.
+        w.log_write(
+            self.storage.as_ref(),
+            &start,
+            &end,
+            seqno,
+            ValueKind::RangeDelete,
+        )?;
+        self.memtable.write().delete_range(start, end, seqno);
+        self.stats.lock().range_deletes += 1;
+        self.maybe_flush(&mut w)
+    }
+
+    // ---- snapshot pins ----
+
+    /// The oldest pinned snapshot LSN, or `SeqNo::MAX` when nothing is
+    /// pinned. This is the retention floor: reclamation (memtable
+    /// overwrite collapse, compaction drops, tombstone GC) may only
+    /// erase versions whose disappearance no reader pinned at or above
+    /// the floor can observe. Pins only ever arrive at fresh (larger)
+    /// LSNs and releases remove entries, so the floor is monotonically
+    /// non-decreasing — a once-sampled floor stays safe for the rest of
+    /// an in-flight merge.
+    pub(crate) fn pin_floor(&self) -> SeqNo {
+        self.pins
+            .lock()
+            .keys()
+            .next()
+            .copied()
+            .unwrap_or(SeqNo::MAX)
+    }
+
+    /// Allocates and pins a snapshot LSN. Runs under the write mutex so
+    /// no write can slip between the LSN allocation and the retention
+    /// floor reaching the memtable — the pinned prefix is exactly every
+    /// record sequenced before the snapshot.
+    fn create_pin(&self) -> u64 {
+        let mut w = self.write.lock();
+        let lsn = w.manifest.allocate_seqno();
+        let floor = {
+            let mut pins = self.pins.lock();
+            *pins.entry(lsn).or_insert(0) += 1;
+            *pins.keys().next().expect("just inserted")
+        };
+        self.memtable.write().set_retain_floor(floor);
+        drop(w);
+        self.stats.lock().snapshots_created += 1;
+        lsn
+    }
+
+    /// Releases one pin on `lsn`, raising the retention floor if that
+    /// was the oldest snapshot.
+    fn release_pin(&self, lsn: u64) {
+        let w = self.write.lock();
+        let floor = {
+            let mut pins = self.pins.lock();
+            if let Some(count) = pins.get_mut(&lsn) {
+                *count -= 1;
+                if *count == 0 {
+                    pins.remove(&lsn);
+                }
+            }
+            pins.keys().next().copied().unwrap_or(SeqNo::MAX)
+        };
+        self.memtable.write().set_retain_floor(floor);
+        drop(w);
+    }
+
     fn write_batch(&self, batch: WriteBatch) -> Result<(), Error> {
         let started = Instant::now();
         let result = self.write_batch_inner(batch);
@@ -1367,6 +1610,10 @@ impl LsmInner {
                     ValueKind::Tombstone => {
                         memtable.delete(record.key, record.seqno);
                         stats.deletes += 1;
+                    }
+                    ValueKind::RangeDelete => {
+                        memtable.delete_range(record.key, record.value, record.seqno);
+                        stats.range_deletes += 1;
                     }
                 }
             }
@@ -1413,12 +1660,13 @@ impl LsmInner {
             w.wal = Some(Wal::new(Wal::generation_blob_name(generation)));
         }
         let generation = self.next_flush_generation.fetch_add(1, Ordering::Relaxed);
+        // The replacement memtable inherits the current retention floor
+        // so pinned snapshots keep their versions across the rotation.
+        let mut fresh = Memtable::new(self.options.memtable_capacity_keys());
+        fresh.set_retain_floor(self.pin_floor());
         let (entries, queue_depth) = {
             let mut active = self.memtable.write();
-            let frozen_memtable = std::mem::replace(
-                &mut *active,
-                Memtable::new(self.options.memtable_capacity_keys()),
-            );
+            let frozen_memtable = std::mem::replace(&mut *active, fresh);
             let entries = frozen_memtable.len() as u64;
             let mut next: Vec<Arc<FrozenGen>> = queue.as_ref().clone();
             next.push(Arc::new(FrozenGen {
@@ -1442,38 +1690,74 @@ impl LsmInner {
     }
 
     fn get(&self, key: &[u8]) -> Result<Option<Value>, Error> {
+        self.get_at(key, SeqNo::MAX)
+    }
+
+    /// Point read pinned at `upto`: the newest version with
+    /// `seqno <= upto`, with range tombstones applied. `SeqNo::MAX` is
+    /// the ordinary latest-visible read.
+    pub(crate) fn get_at(&self, key: &[u8], upto: SeqNo) -> Result<Option<Value>, Error> {
         let started = Instant::now();
-        let result = self.get_inner(key);
+        let result = self.get_at_inner(key, upto);
         self.metrics.get.record_duration(started.elapsed());
         result
     }
 
-    fn get_inner(&self, key: &[u8]) -> Result<Option<Value>, Error> {
+    fn get_at_inner(&self, key: &[u8], upto: SeqNo) -> Result<Option<Value>, Error> {
         self.gets.fetch_add(1, Ordering::Relaxed);
         loop {
             // Read in data-flow order (active → frozen → tables): an
             // entry that migrates between stages mid-read moves *toward*
             // a stage checked later, so it cannot be missed.
-            if let Some(entry) = self.memtable.read().get(key) {
-                self.memtable_hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(visible(entry));
+            //
+            // Range-tombstone visibility is layer-local with one
+            // cross-layer rule: every record in a newer layer outranks
+            // (has a larger seqno than) every record in an older layer,
+            // so a covering range tombstone found in some layer shadows
+            // *all* older layers' versions of the key — once one is seen
+            // without a same-layer point hit above it, the answer is
+            // "deleted" and no older layer needs probing.
+            {
+                let memtable = self.memtable.read();
+                let shadow = memtable.max_covering_range_del(key, upto);
+                if let Some(entry) = memtable.get_visible(key, upto) {
+                    self.memtable_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(resolve(entry, shadow));
+                }
+                if shadow.is_some() {
+                    return Ok(None);
+                }
             }
             let frozen = self.frozen.load_full();
-            if let Some(entry) = frozen.iter().rev().find_map(|gen| gen.memtable.get(key)) {
-                self.memtable_hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(visible(entry));
+            for gen in frozen.iter().rev() {
+                let shadow = gen.memtable.max_covering_range_del(key, upto);
+                if let Some(entry) = gen.memtable.get_visible(key, upto) {
+                    self.memtable_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(resolve(entry, shadow));
+                }
+                if shadow.is_some() {
+                    return Ok(None);
+                }
             }
             let snap = self.snapshot.load_full();
-            match self.probe_tables(&snap, key) {
-                Ok(found) => return Ok(found.and_then(visible)),
+            match self.probe_tables(&snap, key, upto) {
+                Ok(found) => return Ok(found),
                 Err(e) if is_retired_table(&e) && self.read_view_changed(&snap) => continue,
                 Err(e) => return Err(e),
             }
         }
     }
 
-    /// Probes the snapshot's tables newest-first for `key`.
-    fn probe_tables(&self, snap: &ReadView, key: &[u8]) -> Result<Option<Entry>, Error> {
+    /// Probes the snapshot's tables newest-first for `key` at `upto`,
+    /// applying each table's resident range tombstones. Returns the
+    /// user-visible answer: tables are the oldest layer, so "absent"
+    /// and "deleted" have both become `None` by the time it returns.
+    fn probe_tables(
+        &self,
+        snap: &ReadView,
+        key: &[u8],
+        upto: SeqNo,
+    ) -> Result<Option<Value>, Error> {
         let ctx = ReadContext {
             block_cache: &self.block_cache,
             fill_cache: self.options.fills_cache(),
@@ -1487,8 +1771,20 @@ impl LsmInner {
                 meta.table_id,
                 Some(meta.encoded_len),
             )?;
-            if let Some(entry) = reader.get(key, ctx)? {
-                return Ok(Some(entry));
+            // Consult the table's own range tombstones before its point
+            // entries: a table's tombstones can shadow its own points.
+            // Gated on the manifest count so the pre-v4 fleet pays
+            // nothing.
+            let shadow = if meta.range_tombstone_count > 0 {
+                reader.max_covering_range_del(key, upto)
+            } else {
+                None
+            };
+            if let Some(entry) = reader.get_visible(key, upto, ctx)? {
+                return Ok(resolve(entry, shadow));
+            }
+            if shadow.is_some() {
+                return Ok(None);
             }
         }
         Ok(None)
@@ -1557,6 +1853,31 @@ impl LsmInner {
             .iter()
             .map(|gen| gen.memtable.range(start, end))
             .collect()
+    }
+
+    /// Every buffered range tombstone visible at `upto`, from the
+    /// active memtable and all frozen generations — the memtable side
+    /// of a scan's range-delete filter (table-resident tombstones are
+    /// collected from the scan's pinned readers).
+    pub(crate) fn memtable_range_dels(&self, upto: SeqNo) -> Vec<RangeTombstone> {
+        let mut rds: Vec<RangeTombstone> = self
+            .memtable
+            .read()
+            .range_dels()
+            .iter()
+            .filter(|rd| rd.seqno <= upto)
+            .cloned()
+            .collect();
+        for gen in self.frozen.load_full().iter() {
+            rds.extend(
+                gen.memtable
+                    .range_dels()
+                    .iter()
+                    .filter(|rd| rd.seqno <= upto)
+                    .cloned(),
+            );
+        }
+        rds
     }
 
     /// Counts tables a range scan skipped by their min/max key range.
@@ -1629,12 +1950,12 @@ impl LsmInner {
     fn flush_locked(&self, w: &mut WriteState) -> Result<Option<u64>, Error> {
         // Snapshot the entries without draining: concurrent reads keep
         // hitting the memtable until the new table is published.
-        let entries: Vec<Entry> = {
+        let (entries, range_dels): (Vec<Entry>, Vec<RangeTombstone>) = {
             let memtable = self.memtable.read();
             if memtable.is_empty() {
                 return Ok(None);
             }
-            memtable.iter().collect()
+            (memtable.iter().collect(), memtable.range_dels().to_vec())
         };
         // Inline flushes are their own freeze: the memtable goes
         // straight to a table, so one generation id covers the whole
@@ -1647,7 +1968,7 @@ impl LsmInner {
         );
         let started = Instant::now();
         let table_id = w.manifest.allocate_table_id();
-        let meta = self.build_sstable(table_id, &entries)?;
+        let meta = self.build_sstable(table_id, &entries, &range_dels)?;
         w.manifest.apply(ManifestEdit::AddTable(meta))?;
         w.manifest.persist(self.storage.as_ref())?;
         // Publish the new table, *then* clear the memtable: a read
@@ -1680,7 +2001,12 @@ impl LsmInner {
     /// Builds and persists the sstable (and its key-observation
     /// sidecar) for `entries`, returning its manifest metadata. No
     /// engine lock is required — callers decide what to hold.
-    fn build_sstable(&self, table_id: u64, entries: &[Entry]) -> Result<TableMeta, Error> {
+    fn build_sstable(
+        &self,
+        table_id: u64,
+        entries: &[Entry],
+        range_dels: &[RangeTombstone],
+    ) -> Result<TableMeta, Error> {
         let mut builder = SstableBuilder::new(
             table_id,
             self.options.block_size_bytes(),
@@ -1691,6 +2017,9 @@ impl LsmInner {
         for entry in entries {
             observed.push(observed_key(&entry.key));
             builder.add(entry);
+        }
+        for rd in range_dels {
+            builder.add_range_del(rd.clone());
         }
         let (data, meta) = builder.finish();
         self.storage
@@ -1706,6 +2035,8 @@ impl LsmInner {
             entry_count: meta.entry_count,
             encoded_len: meta.encoded_len,
             tombstone_count: meta.tombstone_count,
+            range_tombstone_count: meta.range_tombstone_count,
+            max_seqno: meta.max_seqno,
         })
     }
 
@@ -1763,8 +2094,11 @@ impl LsmInner {
     /// the two (duplicates deduplicate by source precedence).
     fn flush_frozen(&self, gen: &Arc<FrozenGen>) -> Result<(), Error> {
         let entries: Vec<Entry> = gen.memtable.iter().collect();
+        let range_dels = gen.memtable.range_dels();
         let started = Instant::now();
-        let added = if entries.is_empty() {
+        // A generation holding only range tombstones still flushes — the
+        // records must out-live the WAL segment retired below.
+        let added = if entries.is_empty() && range_dels.is_empty() {
             None
         } else {
             self.emit(
@@ -1775,7 +2109,7 @@ impl LsmInner {
                 ],
             );
             let table_id = self.write.lock().manifest.allocate_table_id();
-            Some(self.build_sstable(table_id, &entries)?)
+            Some(self.build_sstable(table_id, &entries, range_dels)?)
         };
         let table_id = added.as_ref().map(|meta| meta.table_id);
         self.retire_frozen(gen, added)?;
@@ -2192,19 +2526,66 @@ impl LsmInner {
                 Some(t.encoded_len),
             )?);
         }
+        // Every drop below must also be invisible to pinned snapshots:
+        // nothing sequenced above the floor is reclaimed, and shadowed
+        // history is only cut below the newest version at or under it.
+        let floor = self.pin_floor();
         let table = Sstable::load(self.storage.as_ref(), candidate.table_id)?;
+        // The table's own range tombstones shadow its own points; they
+        // are carried into the rewrite untouched (they may still shadow
+        // other live tables).
+        let own_rds = table.range_dels().to_vec();
         let mut kept: Vec<Entry> = Vec::new();
-        let mut dropped = 0u64;
+        let mut tombstones_dropped = 0u64;
+        let mut versions_dropped = 0u64;
+        let mut last_key: Option<Key> = None;
+        // Once the newest surviving version at or below the floor is
+        // kept (or a drop shadowed everything older), the key's
+        // remaining history is unobservable by any reader.
+        let mut key_done = false;
         for entry in table.iter() {
             let entry = entry?;
-            if entry.is_tombstone() && !others.iter().any(|r| r.may_contain(&entry.key)) {
-                dropped += 1;
-            } else {
-                kept.push(entry);
+            if last_key.as_ref() != Some(&entry.key) {
+                last_key = Some(entry.key.clone());
+                key_done = false;
             }
+            if key_done
+                || own_rds
+                    .iter()
+                    .any(|rd| rd.seqno <= floor && rd.shadows(&entry.key, entry.seqno))
+            {
+                versions_dropped += 1;
+                if entry.is_tombstone() {
+                    tombstones_dropped += 1;
+                }
+                key_done = true;
+                continue;
+            }
+            if entry.is_tombstone()
+                && entry.seqno <= floor
+                && !others.iter().any(|r| r.may_contain(&entry.key))
+            {
+                versions_dropped += 1;
+                tombstones_dropped += 1;
+                // Older versions of the key sit under the dropped
+                // tombstone and the floor: equally unobservable.
+                key_done = true;
+                continue;
+            }
+            if entry.seqno <= floor {
+                key_done = true;
+            }
+            kept.push(entry);
         }
-        if dropped == 0 {
-            self.gc_barren.lock().push(candidate.table_id);
+        if versions_dropped == 0 {
+            // Barrenness is only provable when no pin held the floor
+            // down: a pinned pass may have kept tombstones solely for
+            // the snapshot's sake, and those become droppable the
+            // moment the pin is released — memoizing here would skip
+            // the table forever (flushes never reset the memo).
+            if floor == SeqNo::MAX {
+                self.gc_barren.lock().push(candidate.table_id);
+            }
             return Ok(0);
         }
         // The planner's cost currency (entries read + written) for this
@@ -2212,11 +2593,11 @@ impl LsmInner {
         // predicted-cost accounting.
         let kept_count = kept.len() as u64;
         let predicted = candidate.entry_count + kept_count;
-        let new_meta = if kept.is_empty() {
+        let new_meta = if kept.is_empty() && own_rds.is_empty() {
             None
         } else {
             let table_id = self.write.lock().manifest.allocate_table_id();
-            Some(self.build_sstable(table_id, &kept)?)
+            Some(self.build_sstable(table_id, &kept, &own_rds)?)
         };
         let output_id = new_meta.as_ref().map_or(0, |m| m.table_id);
         {
@@ -2238,20 +2619,20 @@ impl LsmInner {
             vec![
                 ("input_table", candidate.table_id),
                 ("output_table", output_id),
-                ("tombstones_dropped", dropped),
+                ("tombstones_dropped", tombstones_dropped),
                 ("predicted_cost", predicted),
             ],
         );
         {
             let mut stats = self.stats.lock();
-            stats.tombstones_dropped += dropped;
+            stats.tombstones_dropped += tombstones_dropped;
             stats.gc_rewrites += 1;
             stats.compaction_predicted_cost += predicted;
             stats.compaction_entries_read += candidate.entry_count;
             stats.compaction_entries_written += kept_count;
         }
         self.maint.progress_signal.notify();
-        Ok(dropped)
+        Ok(tombstones_dropped)
     }
 
     /// Stamps the in-progress-compaction marker for [`Lsm::pressure`];
@@ -2313,10 +2694,19 @@ impl WriteState {
 
 impl ReadView {
     /// Builds the probe-order (newest-first) view of a manifest.
+    ///
+    /// Probe order is by `max_seqno`, descending: live tables hold
+    /// pairwise-disjoint sequence ranges, so the table with the larger
+    /// `max_seqno` holds strictly newer data and a first-hit probe can
+    /// stop there. Manifest position alone is not newest-first — a GC
+    /// rewrite or partial merge re-appends *old* data at the manifest
+    /// tail. The sort is stable and legacy metas all decode
+    /// `max_seqno = 0`, so a pre-v3 table set keeps its historical
+    /// reverse-manifest order exactly.
     fn from_manifest(manifest: &Manifest) -> Self {
-        Self {
-            tables: manifest.tables().iter().rev().cloned().collect(),
-        }
+        let mut tables: Vec<TableMeta> = manifest.tables().iter().rev().cloned().collect();
+        tables.sort_by_key(|t| std::cmp::Reverse(t.max_seqno));
+        Self { tables }
     }
 }
 
@@ -2367,6 +2757,16 @@ fn visible(entry: Entry) -> Option<Value> {
         None
     } else {
         Some(entry.value)
+    }
+}
+
+/// Applies a covering range tombstone to a same-layer point hit: the
+/// version is deleted when the tombstone is strictly newer.
+fn resolve(entry: Entry, shadow: Option<SeqNo>) -> Option<Value> {
+    if shadow.is_some_and(|rd| entry.seqno < rd) {
+        None
+    } else {
+        visible(entry)
     }
 }
 

@@ -8,7 +8,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use crate::types::{Entry, InternalKey};
+use crate::types::{Entry, InternalKey, RangeTombstone, SeqNo};
 
 /// An entry tagged with the index of the source it came from, ordered so
 /// the binary heap pops the smallest internal key first and, on ties,
@@ -59,16 +59,47 @@ pub struct MergingIter {
     heap: BinaryHeap<Reverse<HeapItem>>,
     sources: Vec<std::vec::IntoIter<Entry>>,
     drop_tombstones: bool,
-    last_emitted_key: Option<bytes::Bytes>,
+    /// Smallest pinned sequence number (`u64::MAX` with no pins, which
+    /// collapses history to the newest version — the classic behavior).
+    retain_floor: SeqNo,
+    /// Range tombstones drawn from the merge inputs; point versions they
+    /// shadow below the floor are dropped during the merge.
+    range_dels: Vec<RangeTombstone>,
+    /// The user key currently being merged.
+    current_key: Option<bytes::Bytes>,
+    /// All remaining (older) versions of `current_key` are dropped.
+    key_done: bool,
+    /// Seqno of the last version emitted for `current_key`, so the same
+    /// version arriving from two sources is emitted once.
+    last_emitted_seqno: Option<SeqNo>,
 }
 
 impl MergingIter {
     /// Creates a merging iterator over `sources` (each already sorted).
     /// When `drop_tombstones` is true, tombstone versions are swallowed —
     /// appropriate only for a merge that produces the single final table
-    /// of a major compaction.
+    /// of a major compaction. History collapses to the newest version
+    /// per key; use [`MergingIter::with_visibility`] when snapshots are
+    /// pinned or range tombstones apply.
     #[must_use]
     pub fn new(sources: Vec<Vec<Entry>>, drop_tombstones: bool) -> Self {
+        Self::with_visibility(sources, drop_tombstones, SeqNo::MAX, Vec::new())
+    }
+
+    /// Creates a merging iterator that retains every version a snapshot
+    /// pinned at or above `retain_floor` can still observe: per user
+    /// key, the newest version plus all versions down to — and
+    /// including — the first at or below the floor. Point versions
+    /// shadowed by one of `range_dels` below the floor are dropped, and
+    /// when `drop_tombstones` is set, a point tombstone at or below the
+    /// floor deletes its key (and all older versions) from the output.
+    #[must_use]
+    pub fn with_visibility(
+        sources: Vec<Vec<Entry>>,
+        drop_tombstones: bool,
+        retain_floor: SeqNo,
+        range_dels: Vec<RangeTombstone>,
+    ) -> Self {
         let mut iters: Vec<std::vec::IntoIter<Entry>> =
             sources.into_iter().map(Vec::into_iter).collect();
         let mut heap = BinaryHeap::new();
@@ -85,7 +116,11 @@ impl MergingIter {
             heap,
             sources: iters,
             drop_tombstones,
-            last_emitted_key: None,
+            retain_floor,
+            range_dels,
+            current_key: None,
+            key_done: false,
+            last_emitted_seqno: None,
         }
     }
 
@@ -106,18 +141,47 @@ impl Iterator for MergingIter {
     fn next(&mut self) -> Option<Entry> {
         while let Some(Reverse(item)) = self.heap.pop() {
             self.advance_source(item.source);
-            let user_key = item.entry.key.clone();
             if self
-                .last_emitted_key
+                .current_key
                 .as_ref()
-                .is_some_and(|last| *last == user_key)
+                .is_none_or(|last| *last != item.entry.key)
             {
-                continue; // older version of a key we already emitted (or skipped)
+                self.current_key = Some(item.entry.key.clone());
+                self.key_done = false;
+                self.last_emitted_seqno = None;
+            } else if self.key_done {
+                continue; // an older version no possible reader can see
+            } else if self.last_emitted_seqno == Some(item.entry.seqno) {
+                continue; // the same version supplied by two sources
             }
-            self.last_emitted_key = Some(user_key);
-            if self.drop_tombstones && item.entry.is_tombstone() {
+            // A range tombstone at or below the floor shadows this
+            // version — and, having a larger seqno, every older version
+            // of the key too.
+            if self
+                .range_dels
+                .iter()
+                .any(|rd| rd.seqno <= self.retain_floor && rd.shadows(&item.entry.key, item.entry.seqno))
+            {
+                self.key_done = true;
                 continue;
             }
+            // On a final merge, a point tombstone at or below the floor
+            // deletes the key outright: every older version is among the
+            // inputs, so nothing can resurrect.
+            if self.drop_tombstones
+                && item.entry.is_tombstone()
+                && item.entry.seqno <= self.retain_floor
+            {
+                self.key_done = true;
+                continue;
+            }
+            // Retention: keep versions newest-first until one at or
+            // below the floor has been kept; everything older is
+            // unobservable by any pin.
+            if item.entry.seqno <= self.retain_floor {
+                self.key_done = true;
+            }
+            self.last_emitted_seqno = Some(item.entry.seqno);
             return Some(item.entry);
         }
         None
@@ -191,6 +255,71 @@ mod tests {
     fn empty_sources_and_no_sources() {
         assert_eq!(MergingIter::new(vec![], false).count(), 0);
         assert_eq!(MergingIter::new(vec![vec![], vec![]], false).count(), 0);
+    }
+
+    #[test]
+    fn retain_floor_keeps_pinned_history() {
+        // Versions of key 1 at seqnos 9, 6, 3, 1; floor (oldest pin) 5.
+        // A pin P ≥ 5 reads the newest version ≤ P, so 9 and 6 are
+        // reachable, 3 is the newest version a pin at exactly 5 sees,
+        // and 1 is unobservable by every possible pin.
+        let src = vec![vec![
+            put(1, "v9", 9),
+            put(1, "v6", 6),
+            put(1, "v3", 3),
+            put(1, "v1", 1),
+        ]];
+        let merged: Vec<u64> = MergingIter::with_visibility(src, false, 5, Vec::new())
+            .map(|e| e.seqno)
+            .collect();
+        assert_eq!(merged, vec![9, 6, 3], "3 is the newest version a pin at 5 sees");
+    }
+
+    #[test]
+    fn range_del_below_floor_drops_covered_versions() {
+        let rd = RangeTombstone::new(key_from_u64(0), key_from_u64(10), 5);
+        let src = vec![vec![put(1, "new", 8), put(1, "old", 2), put(20, "out", 2)]];
+        let merged: Vec<Entry> =
+            MergingIter::with_visibility(src, false, SeqNo::MAX, vec![rd.clone()]).collect();
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].seqno, 8, "version newer than the range del survives");
+        assert_eq!(key_to_u64(&merged[1].key), Some(20), "outside the interval");
+
+        // With the floor below the range del's seqno, nothing may drop:
+        // a pin between the two could still read the old version.
+        let src = vec![vec![put(1, "new", 8), put(1, "old", 2)]];
+        let merged: Vec<Entry> = MergingIter::with_visibility(src, false, 3, vec![rd]).collect();
+        assert_eq!(merged.len(), 2, "floor 3 < rd seqno 5: covered version retained");
+    }
+
+    #[test]
+    fn tombstone_above_floor_survives_final_merge() {
+        let src = vec![vec![
+            Entry::tombstone(key_from_u64(1), 8),
+            put(1, "pinned", 4),
+        ]];
+        let merged: Vec<Entry> = MergingIter::with_visibility(src, true, 5, Vec::new()).collect();
+        assert_eq!(merged.len(), 2, "pin at 5 still reads seqno-4 value");
+        assert!(merged[0].is_tombstone());
+
+        // Once the floor passes the tombstone, the whole key vanishes.
+        let src = vec![vec![
+            Entry::tombstone(key_from_u64(1), 8),
+            put(1, "dead", 4),
+        ]];
+        let merged: Vec<Entry> =
+            MergingIter::with_visibility(src, true, SeqNo::MAX, Vec::new()).collect();
+        assert!(merged.is_empty());
+    }
+
+    #[test]
+    fn duplicate_version_from_two_sources_emits_once() {
+        let s0 = vec![put(1, "copy", 7), put(1, "older", 2)];
+        let s1 = vec![put(1, "copy", 7)];
+        let merged: Vec<Entry> =
+            MergingIter::with_visibility(vec![s0, s1], false, 0, Vec::new()).collect();
+        let seqnos: Vec<u64> = merged.iter().map(|e| e.seqno).collect();
+        assert_eq!(seqnos, vec![7, 2]);
     }
 
     #[test]

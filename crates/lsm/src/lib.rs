@@ -35,10 +35,14 @@
 //!   keys before any bloom or block is touched (see the [`scan`]
 //!   module);
 //! * [`Lsm`] — the database facade: `put`/`get`/`delete`/`flush`, plus
-//!   [`Lsm::major_compact`], which physically executes a merge schedule
-//!   produced by the `compaction-core` crate. Every method takes
-//!   `&self`; reads are lock-free against writers via an
-//!   atomically-swapped snapshot of the live table list.
+//!   [`Lsm::delete_range`] (one [`RangeTombstone`] record erases a whole
+//!   interval), [`Lsm::snapshot`] (a pinned-LSN [`Snapshot`] read view
+//!   whose contents are immune to concurrent flush, compaction and
+//!   tombstone GC), and [`Lsm::major_compact`], which physically
+//!   executes a merge schedule produced by the `compaction-core` crate.
+//!   Keys are anything implementing [`IntoKey`] (`&[u8]`, `&str`,
+//!   `u64`, …). Every method takes `&self`; reads are lock-free against
+//!   writers via an atomically-swapped snapshot of the live table list.
 //!
 //! On top of the substrate, the engine **compacts itself** with the
 //! paper's heuristics:
@@ -119,7 +123,7 @@ pub use bloom::BloomFilter;
 pub use cache::{BlockCache, CacheCounters, TableCache};
 pub use compaction::{CompactionExecutor, CompactionOutcome, CompactionStep};
 pub use compress::CompressionType;
-pub use db::{AutoCompaction, Lsm, LsmPressure, LsmStats, StallTier};
+pub use db::{AutoCompaction, Lsm, LsmPressure, LsmStats, Snapshot, StallTier};
 pub use error::Error;
 pub use iter::MergingIter;
 pub use manifest::{Manifest, ManifestEdit, TableMeta};
@@ -133,7 +137,10 @@ pub use reader::{ReadContext, ReadPathCounters, SstableReader, SstableReaderIter
 pub use scan::RangeIter;
 pub use sstable::{Sstable, SstableBuilder, SstableIter, SstableMeta};
 pub use storage::{FileStorage, MemoryStorage, Storage};
-pub use types::{key_from_u64, key_to_u64, Entry, InternalKey, Key, SeqNo, Value, ValueKind};
+pub use types::{
+    key_from_u64, key_to_u64, Entry, InternalKey, IntoKey, Key, RangeTombstone, SeqNo, Value,
+    ValueKind,
+};
 pub use wal::{RecoveryReport, SegmentReplay, Wal, WalRecord};
 
 // Re-exported so engine users can configure policies without adding a

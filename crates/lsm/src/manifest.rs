@@ -42,6 +42,10 @@ pub const CURRENT_BLOB: &str = "CURRENT";
 /// Magic prefix of a v2 (checkpoint-format) manifest blob.
 const MANIFEST_V2_MAGIC: &[u8; 8] = b"LSMMAN02";
 
+/// Magic prefix of a v3 manifest blob (adds per-table range-tombstone
+/// counts for MVCC range deletes).
+const MANIFEST_V3_MAGIC: &[u8; 8] = b"LSMMAN03";
+
 /// Magic prefix of the `CURRENT` pointer blob.
 const CURRENT_MAGIC: &[u8; 8] = b"LSMCURR1";
 
@@ -58,6 +62,19 @@ pub struct TableMeta {
     /// schedules rewrites by. Legacy manifests decode as 0 (unknown);
     /// the count refreshes when the table is next rewritten.
     pub tombstone_count: u64,
+    /// How many range tombstones the table's v4 range-del section
+    /// carries. Non-zero flags the table for the read path's global
+    /// range-delete consultation; pre-v3 manifests decode as 0 and the
+    /// count refreshes when the table is next rewritten (pre-v4 tables
+    /// cannot carry range tombstones, so 0 is exact for them).
+    pub range_tombstone_count: u64,
+    /// Largest sequence number stored in the table (point entries and
+    /// range tombstones). Live tables hold pairwise-disjoint seqno
+    /// ranges, so the read path orders probes newest-first by this
+    /// value instead of trusting manifest position (which compaction
+    /// and GC rewrites reshuffle). Pre-v3 manifests decode as 0; ties
+    /// fall back to manifest order.
+    pub max_seqno: u64,
 }
 
 /// A logical manifest edit.
@@ -135,6 +152,16 @@ impl Manifest {
         self.next_seqno
     }
 
+    /// Records that `seqno` has been used, bumping the allocator past
+    /// it. WAL recovery calls this with the largest replayed sequence
+    /// number: replayed records were sequenced by a previous process
+    /// whose allocations the persisted manifest may not reflect, and a
+    /// fresh allocation colliding with a replayed seqno would corrupt
+    /// version ordering.
+    pub fn observe_seqno(&mut self, seqno: u64) {
+        self.next_seqno = self.next_seqno.max(seqno + 1);
+    }
+
     /// The canonical blob name of checkpoint `seq`. Zero-padded so the
     /// lexicographic order of checkpoint names is their numeric order.
     #[must_use]
@@ -179,11 +206,11 @@ impl Manifest {
         }
     }
 
-    /// Serializes the manifest in checkpoint (v2) format.
+    /// Serializes the manifest in checkpoint (v3) format.
     #[must_use]
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::new();
-        buf.put_slice(MANIFEST_V2_MAGIC);
+        buf.put_slice(MANIFEST_V3_MAGIC);
         buf.put_u64_le(self.next_table_id);
         buf.put_u64_le(self.next_seqno);
         buf.put_u32_le(self.tables.len() as u32);
@@ -192,22 +219,33 @@ impl Manifest {
             buf.put_u64_le(t.entry_count);
             buf.put_u64_le(t.encoded_len);
             buf.put_u64_le(t.tombstone_count);
+            buf.put_u64_le(t.range_tombstone_count);
+            buf.put_u64_le(t.max_seqno);
         }
         let crc = crc32(&buf);
         buf.put_u32_le(crc);
         buf.freeze()
     }
 
-    /// Deserializes a manifest produced by [`Manifest::encode`] — either
-    /// the checkpoint (v2) format or the legacy headerless layout, which
-    /// lacks per-table tombstone counts (they decode as 0).
+    /// Deserializes a manifest produced by [`Manifest::encode`] — the
+    /// checkpoint v3 format, the v2 format (no per-table range-tombstone
+    /// counts — they decode as 0), or the legacy headerless layout
+    /// (which also lacks per-table tombstone counts).
     ///
     /// # Errors
     ///
     /// Returns [`Error::Corruption`] on checksum or framing failures.
     pub fn decode(data: &[u8]) -> Result<Self, Error> {
+        let v3 = data.starts_with(MANIFEST_V3_MAGIC);
         let v2 = data.starts_with(MANIFEST_V2_MAGIC);
-        let min_len = if v2 { 32 } else { 24 };
+        let record_len = if v3 {
+            48
+        } else if v2 {
+            32
+        } else {
+            24
+        };
+        let min_len = if v3 || v2 { 32 } else { 24 };
         if data.len() < min_len {
             return Err(Error::corruption("manifest too short"));
         }
@@ -217,13 +255,12 @@ impl Manifest {
             return Err(Error::corruption("manifest checksum mismatch"));
         }
         let mut cursor = payload;
-        if v2 {
-            cursor.advance(MANIFEST_V2_MAGIC.len());
+        if v3 || v2 {
+            cursor.advance(MANIFEST_V3_MAGIC.len());
         }
         let next_table_id = cursor.get_u64_le();
         let next_seqno = cursor.get_u64_le();
         let count = cursor.get_u32_le();
-        let record_len = if v2 { 32 } else { 24 };
         let mut tables = Vec::with_capacity(count as usize);
         for _ in 0..count {
             if cursor.remaining() < record_len {
@@ -233,7 +270,9 @@ impl Manifest {
                 table_id: cursor.get_u64_le(),
                 entry_count: cursor.get_u64_le(),
                 encoded_len: cursor.get_u64_le(),
-                tombstone_count: if v2 { cursor.get_u64_le() } else { 0 },
+                tombstone_count: if v3 || v2 { cursor.get_u64_le() } else { 0 },
+                range_tombstone_count: if v3 { cursor.get_u64_le() } else { 0 },
+                max_seqno: if v3 { cursor.get_u64_le() } else { 0 },
             });
         }
         Ok(Self {
@@ -404,6 +443,8 @@ mod tests {
             entry_count: 10 * id,
             encoded_len: 100 * id,
             tombstone_count: id % 3,
+            range_tombstone_count: id % 2,
+            max_seqno: 1000 + id,
         }
     }
 
@@ -462,6 +503,35 @@ mod tests {
         tampered[10] ^= 0x01;
         assert!(Manifest::decode(&tampered).is_err());
         assert!(Manifest::decode(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn v2_manifest_blob_decodes_without_range_tombstone_counts() {
+        // The pre-v3 checkpoint layout: LSMMAN02 magic, 4 u64s per table.
+        let mut buf = BytesMut::new();
+        buf.put_slice(MANIFEST_V2_MAGIC);
+        buf.put_u64_le(9); // next_table_id
+        buf.put_u64_le(50); // next_seqno
+        buf.put_u32_le(1);
+        buf.put_u64_le(3);
+        buf.put_u64_le(30);
+        buf.put_u64_le(300);
+        buf.put_u64_le(4);
+        let crc = crc32(&buf);
+        buf.put_u32_le(crc);
+        let m = Manifest::decode(&buf).unwrap();
+        let t = m.table(3).unwrap();
+        assert_eq!(
+            (
+                t.entry_count,
+                t.encoded_len,
+                t.tombstone_count,
+                t.range_tombstone_count,
+                t.max_seqno
+            ),
+            (30, 300, 4, 0, 0)
+        );
+        assert_eq!(m.current_seqno(), 50);
     }
 
     #[test]

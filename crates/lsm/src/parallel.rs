@@ -30,7 +30,7 @@ use crate::options::LsmOptions;
 use crate::planner::observed_key;
 use crate::sstable::{Sstable, SstableBuilder};
 use crate::storage::Storage;
-use crate::types::Entry;
+use crate::types::{Entry, RangeTombstone, SeqNo};
 use crate::Error;
 
 /// What one merge step produced, reported back from a worker.
@@ -40,6 +40,8 @@ struct StepResult {
     entry_count: u64,
     encoded_len: u64,
     tombstone_count: u64,
+    range_tombstone_count: u64,
+    max_seqno: u64,
     entries_read: u64,
     bytes_read: u64,
 }
@@ -98,6 +100,11 @@ pub struct ParallelExecutor {
     /// Records each merge step's wall-clock duration when set.
     step_timer: Option<LatencyHistogram>,
     wave_hook: Option<WaveHook>,
+    /// Visibility floor for shadowed-version reclamation: versions are
+    /// only dropped when doing so is invisible to every reader pinned at
+    /// or above this sequence number. `SeqNo::MAX` (the default) means
+    /// no pinned snapshots — classic newest-wins compaction.
+    retain_floor: SeqNo,
 }
 
 impl std::fmt::Debug for ParallelExecutor {
@@ -106,6 +113,7 @@ impl std::fmt::Debug for ParallelExecutor {
             .field("options", &self.options)
             .field("step_timer", &self.step_timer)
             .field("wave_hook", &self.wave_hook.as_ref().map(|_| "Fn"))
+            .field("retain_floor", &self.retain_floor)
             .finish_non_exhaustive()
     }
 }
@@ -119,7 +127,21 @@ impl ParallelExecutor {
             options,
             step_timer: None,
             wave_hook: None,
+            retain_floor: SeqNo::MAX,
         }
+    }
+
+    /// Sets the snapshot retention floor: versions shadowed by newer
+    /// writes or range tombstones are reclaimed only when the shadowing
+    /// record's visibility does not extend below `floor` — i.e. no
+    /// pinned snapshot could still observe the shadowed version. Sample
+    /// the floor *before* capturing the input table set; pins created
+    /// later only raise it, never lower it, so a once-sampled floor
+    /// stays safe for the whole merge.
+    #[must_use]
+    pub fn with_retain_floor(mut self, floor: SeqNo) -> Self {
+        self.retain_floor = floor;
+        self
     }
 
     /// Records every merge step's duration into `histogram` (the
@@ -475,6 +497,8 @@ impl ParallelExecutor {
                 entry_count: result.entry_count,
                 encoded_len: result.encoded_len,
                 tombstone_count: result.tombstone_count,
+                range_tombstone_count: result.range_tombstone_count,
+                max_seqno: result.max_seqno,
             }))?;
         }
         manifest.persist(storage)?;
@@ -514,16 +538,31 @@ impl ParallelExecutor {
         drop_tombstones: bool,
     ) -> Result<StepResult, Error> {
         let mut sources: Vec<Vec<Entry>> = Vec::with_capacity(input_ids.len());
+        let mut range_dels: Vec<RangeTombstone> = Vec::new();
         let mut entries_read = 0u64;
         let mut bytes_read = 0u64;
         for &id in input_ids {
             let table = Sstable::load(self.storage.as_ref(), id)?;
             bytes_read += table.encoded_len();
             entries_read += table.entry_count();
+            range_dels.extend_from_slice(table.range_dels());
             let entries: Result<Vec<Entry>, Error> = table.iter().collect();
             sources.push(entries?);
         }
-        let merged = MergingIter::new(sources, drop_tombstones);
+        // Deterministic output order regardless of which input held each
+        // tombstone: start asc, then newest first.
+        range_dels.sort_by(|a, b| {
+            a.start
+                .cmp(&b.start)
+                .then(b.seqno.cmp(&a.seqno))
+                .then(a.end.cmp(&b.end))
+        });
+        let merged = MergingIter::with_visibility(
+            sources,
+            drop_tombstones,
+            self.retain_floor,
+            range_dels.clone(),
+        );
         let mut builder = SstableBuilder::new(
             output_id,
             self.options.block_size_bytes(),
@@ -534,6 +573,17 @@ impl ParallelExecutor {
         for entry in merged {
             observed.push(observed_key(&entry.key));
             builder.add(&entry);
+        }
+        // Range tombstones ride along into the output so they keep
+        // shadowing older tables outside this merge; a final-step merge
+        // may retire those at or below the floor — everything they could
+        // ever delete was merged here, and no pinned snapshot can still
+        // observe a version they shadow.
+        for rd in range_dels {
+            if drop_tombstones && rd.seqno <= self.retain_floor {
+                continue;
+            }
+            builder.add_range_del(rd);
         }
         let (data, meta) = builder.finish();
         self.storage
@@ -546,6 +596,8 @@ impl ParallelExecutor {
             entry_count: meta.entry_count,
             encoded_len: meta.encoded_len,
             tombstone_count: meta.tombstone_count,
+            range_tombstone_count: meta.range_tombstone_count,
+            max_seqno: meta.max_seqno,
             entries_read,
             bytes_read,
         })
@@ -579,6 +631,8 @@ mod tests {
                 entry_count: meta.entry_count,
                 encoded_len: meta.encoded_len,
                 tombstone_count: meta.tombstone_count,
+                range_tombstone_count: meta.range_tombstone_count,
+                max_seqno: meta.max_seqno,
             }))
             .unwrap();
         id

@@ -134,6 +134,8 @@ mod tests {
             entry_count: built.entry_count,
             encoded_len: built.encoded_len,
             tombstone_count: built.tombstone_count,
+            range_tombstone_count: built.range_tombstone_count,
+            max_seqno: built.max_seqno,
         };
         manifest
             .apply(ManifestEdit::AddTable(meta.clone()))

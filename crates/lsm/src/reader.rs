@@ -28,9 +28,11 @@ use bytes::Bytes;
 use crate::block::Block;
 use crate::bloom::BloomFilter;
 use crate::cache::BlockCache;
-use crate::sstable::{decode_index, decode_meta, decode_table_block, Footer, Sstable};
+use crate::sstable::{
+    decode_index, decode_meta, decode_range_dels, decode_table_block, Footer, Sstable,
+};
 use crate::storage::Storage;
-use crate::types::{Entry, Key};
+use crate::types::{Entry, Key, RangeTombstone, SeqNo};
 use crate::Error;
 
 /// Atomic counters describing the physical work of the lazy read path,
@@ -124,10 +126,13 @@ pub struct SstableReader {
     max_key: Option<Key>,
     /// (last_key, offset, stored_len) per data block, in key order.
     index: Vec<(Key, u64, u64)>,
+    /// Range tombstones (v4 blobs), resident like the rest of the tail
+    /// so coverage checks cost zero block I/O.
+    range_dels: Vec<RangeTombstone>,
     entry_count: u64,
     total_len: u64,
     open_bytes: u64,
-    /// `true` for v3 blobs: data blocks sit inside compression
+    /// `true` for v3+ blobs: data blocks sit inside compression
     /// envelopes and must be unwrapped before [`Block::decode`].
     compressed_blocks: bool,
 }
@@ -152,7 +157,7 @@ impl SstableReader {
             Some(len) => len,
             None => storage.blob_len(&blob_name)?,
         };
-        let probe_len = (total_len as usize).min(Footer::V2_LEN);
+        let probe_len = (total_len as usize).min(Footer::MAX_LEN);
         let probe = storage.read_blob_range(&blob_name, total_len - probe_len as u64, probe_len)?;
         let footer = Footer::parse(&probe, total_len as usize)?;
 
@@ -165,6 +170,10 @@ impl SstableReader {
 
         let bloom = BloomFilter::decode(&tail[..footer.bloom_len])?;
         let index = decode_index(&tail[rel(footer.index_offset)..])?;
+        let range_dels = match footer.range_del_offset {
+            Some(offset) => decode_range_dels(&tail[rel(offset)..rel(footer.index_offset)])?,
+            None => Vec::new(),
+        };
         let (min_key, max_key) = match footer.meta_offset {
             Some(meta_offset) => decode_meta(&tail[rel(meta_offset)..rel(footer.index_offset)])?,
             // Legacy v1 blob: no persisted meta block. The min key is
@@ -185,6 +194,7 @@ impl SstableReader {
             min_key,
             max_key,
             index,
+            range_dels,
             entry_count: footer.entry_count,
             total_len,
             open_bytes,
@@ -243,9 +253,16 @@ impl SstableReader {
     /// Tables whose meta lacks min/max keys (v1-era blobs persisted no
     /// meta block, so the min key is unknown) report `true` — an
     /// unknown range must be probed, never silently skipped.
+    ///
+    /// A table can hold range tombstones and no point entries at all (a
+    /// memtable that absorbed only a `delete_range` flushes to exactly
+    /// that). Its data-block index is empty but its persisted min/max
+    /// are widened over the tombstone bounds, so the min/max test below
+    /// still decides overlap — pruning it on the empty index would
+    /// silently drop the tombstones from every scan.
     #[must_use]
     pub fn may_overlap(&self, start: Bound<&[u8]>, end: Bound<&[u8]>) -> bool {
-        if self.index.is_empty() {
+        if self.index.is_empty() && self.range_dels.is_empty() {
             return false;
         }
         // Each side prunes only if that side's key is actually known: a
@@ -304,6 +321,24 @@ impl SstableReader {
         }
     }
 
+    /// The table's range tombstones (empty for v1–v3 blobs). Resident
+    /// in the tail — reading them costs no block I/O.
+    #[must_use]
+    pub fn range_dels(&self) -> &[RangeTombstone] {
+        &self.range_dels
+    }
+
+    /// The largest range-tombstone seqno at or below `upto` covering
+    /// `key`, or `None`. Zero block I/O — the section is resident.
+    #[must_use]
+    pub fn max_covering_range_del(&self, key: &[u8], upto: SeqNo) -> Option<SeqNo> {
+        self.range_dels
+            .iter()
+            .filter(|rd| rd.seqno <= upto && rd.covers(key))
+            .map(|rd| rd.seqno)
+            .max()
+    }
+
     /// Point lookup: the newest version of `key` in this table (possibly
     /// a tombstone), or `None`. Touches at most one data block; bloom-
     /// and range-negative probes touch none.
@@ -312,6 +347,23 @@ impl SstableReader {
     ///
     /// Propagates storage errors and block corruption.
     pub fn get(&self, key: &[u8], ctx: ReadContext<'_>) -> Result<Option<Entry>, Error> {
+        self.get_visible(key, SeqNo::MAX, ctx)
+    }
+
+    /// Point lookup at a pinned sequence number: the newest version of
+    /// `key` with `seqno <= upto`. Versions of one key never split
+    /// across blocks (builder invariant), so this still touches at most
+    /// one data block.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors and block corruption.
+    pub fn get_visible(
+        &self,
+        key: &[u8],
+        upto: SeqNo,
+        ctx: ReadContext<'_>,
+    ) -> Result<Option<Entry>, Error> {
         if !self.may_contain(key) {
             ctx.counters.record_bloom_negative();
             return Ok(None);
@@ -323,7 +375,7 @@ impl SstableReader {
             return Ok(None);
         }
         let block = self.block(block_idx, ctx)?;
-        Ok(block.get(key).cloned())
+        Ok(block.get_visible(key, upto).cloned())
     }
 
     /// Fetches block `idx` through the cache (or storage on a miss).
@@ -784,6 +836,57 @@ mod tests {
             "starts exclusively at the max key"
         );
         assert!(reader.may_overlap(Bound::Unbounded, Bound::Unbounded));
+    }
+
+    /// Regression: a memtable that absorbed only a `delete_range`
+    /// flushes to a table with range tombstones and **zero** point
+    /// entries — empty data-block index, min/max widened over the
+    /// tombstone bounds. `may_overlap` used to prune any empty-index
+    /// table unconditionally, which dropped the tombstones from every
+    /// scan and resurrected the deleted interval.
+    #[test]
+    fn tombstone_only_table_is_not_pruned_from_overlapping_scans() {
+        let storage = Arc::new(MemoryStorage::new());
+        let mut builder = SstableBuilder::new(6, 4096, 10);
+        builder.add_range_del(crate::types::RangeTombstone::new(
+            key_from_u64(49),
+            key_from_u64(197),
+            9,
+        ));
+        let (data, _meta) = builder.finish();
+        storage.write_blob(&Sstable::blob_name(6), &data).unwrap();
+        let reader = SstableReader::open(storage, 6, None).unwrap();
+
+        assert_eq!(reader.entry_count(), 0);
+        assert_eq!(reader.block_count(), 0);
+        assert_eq!(reader.range_dels().len(), 1);
+        let k = key_from_u64;
+        assert!(
+            reader.may_overlap(Bound::Included(&k(60)), Bound::Excluded(&k(80))),
+            "a scan inside the tombstoned interval must probe this table"
+        );
+        assert!(
+            reader.may_overlap(Bound::Unbounded, Bound::Unbounded),
+            "full scans must probe it too"
+        );
+        assert!(
+            !reader.may_overlap(Bound::Included(&k(300)), Bound::Excluded(&k(400))),
+            "ranges past the tombstone still prune"
+        );
+        assert!(
+            !reader.may_overlap(Bound::Unbounded, Bound::Excluded(&k(10))),
+            "ranges before the tombstone still prune"
+        );
+    }
+
+    /// A table with no entries *and* no range tombstones stays pruned.
+    #[test]
+    fn genuinely_empty_table_is_always_pruned() {
+        let storage = Arc::new(MemoryStorage::new());
+        let (data, _meta) = SstableBuilder::new(11, 4096, 10).finish();
+        storage.write_blob(&Sstable::blob_name(11), &data).unwrap();
+        let reader = SstableReader::open(storage, 11, None).unwrap();
+        assert!(!reader.may_overlap(Bound::Unbounded, Bound::Unbounded));
     }
 
     /// Regression (v1-era meta): a legacy table persists no min/max

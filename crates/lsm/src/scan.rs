@@ -41,7 +41,7 @@ use std::sync::Arc;
 
 use crate::db::{LsmInner, ReadView};
 use crate::reader::{BlockCursor, SstableReader};
-use crate::types::{Entry, InternalKey, Key, Value};
+use crate::types::{Entry, InternalKey, Key, RangeTombstone, SeqNo, Value};
 use crate::Error;
 
 /// Clones a borrowed `Bound<&Key>` into an owned one.
@@ -95,16 +95,28 @@ pub struct RangeIter<'a> {
     /// state continues exactly where the previous one stopped.
     cursor: Bound<Key>,
     end: Bound<Key>,
+    /// Visibility ceiling: records sequenced after this LSN are skipped
+    /// before newest-wins dedup, so a pinned scan resolves each key to
+    /// the newest version *at the snapshot*, not the newest overall.
+    /// `SeqNo::MAX` for plain [`Lsm::range`] scans.
+    upto: SeqNo,
     state: Option<ScanState>,
     done: bool,
 }
 
 impl<'a> RangeIter<'a> {
     pub(crate) fn new(db: &'a LsmInner, range: impl RangeBounds<Key>) -> Self {
+        Self::pinned(db, range, SeqNo::MAX)
+    }
+
+    /// A scan that only observes records with `seqno <= upto` — the
+    /// engine side of [`Snapshot::range`](crate::Snapshot::range).
+    pub(crate) fn pinned(db: &'a LsmInner, range: impl RangeBounds<Key>, upto: SeqNo) -> Self {
         Self {
             db,
             cursor: clone_bound(range.start_bound()),
             end: clone_bound(range.end_bound()),
+            upto,
             state: None,
             done: false,
         }
@@ -131,6 +143,7 @@ impl<'a> RangeIter<'a> {
                 memtable,
                 &self.cursor,
                 &self.end,
+                self.upto,
             ) {
                 Ok(state) => return Ok(state),
                 Err(e) if is_retired_table(&e) && self.db.read_view_changed(&snapshot) => continue,
@@ -311,6 +324,13 @@ struct ScanState {
     sources: Vec<Source>,
     heap: BinaryHeap<Reverse<HeapItem>>,
     end: Bound<Key>,
+    /// Visibility ceiling inherited from the [`RangeIter`].
+    upto: SeqNo,
+    /// Every visible range tombstone (memtable, frozen queue, and all
+    /// probed tables), applied globally: an entry is suppressed when any
+    /// of these shadows it. Correct regardless of which layer holds the
+    /// tombstone, because shadowing is pure seqno arithmetic.
+    range_dels: Vec<RangeTombstone>,
     last_emitted: Option<Key>,
 }
 
@@ -318,6 +338,12 @@ impl ScanState {
     /// Builds the merge over `snapshot`: opens (via the table cache) a
     /// cursor for every live table overlapping `(cursor, end)`, pruning
     /// the rest by their persisted min/max meta, and primes the heap.
+    ///
+    /// Pruning never loses a range tombstone: a table's persisted
+    /// min/max keys are widened over its range-tombstone bounds, so any
+    /// table whose tombstones could touch the scan interval overlaps it
+    /// and is probed.
+    #[allow(clippy::too_many_arguments)]
     fn build(
         db: &LsmInner,
         snapshot: Arc<ReadView>,
@@ -325,6 +351,7 @@ impl ScanState {
         memtable: Vec<Entry>,
         cursor: &Bound<Key>,
         end: &Bound<Key>,
+        upto: SeqNo,
     ) -> Result<Self, Error> {
         let start_ref = as_byte_bound(cursor);
         let end_ref = as_byte_bound(end);
@@ -332,10 +359,18 @@ impl ScanState {
         // queued first), then the active memtable last: on internal-key
         // ties the higher source index (the newer data) wins.
         let mut sources: Vec<Source> = Vec::new();
+        let mut range_dels = db.memtable_range_dels(upto);
         let mut pruned = 0u64;
         for meta in snapshot.tables.iter().rev() {
             let reader = db.open_reader(meta)?;
             if reader.may_overlap(start_ref, end_ref) {
+                range_dels.extend(
+                    reader
+                        .range_dels()
+                        .iter()
+                        .filter(|rd| rd.seqno <= upto)
+                        .cloned(),
+                );
                 sources.push(Source::Table(TableCursor::new(reader, cursor, end)));
             } else {
                 pruned += 1;
@@ -352,6 +387,8 @@ impl ScanState {
             sources,
             heap: BinaryHeap::new(),
             end: end.clone(),
+            upto,
+            range_dels,
             last_emitted: None,
         };
         for idx in 0..state.sources.len() {
@@ -385,6 +422,12 @@ impl ScanState {
                 // reachable for frozen sources, which pre-filter too.
                 continue;
             }
+            if item.entry.seqno > self.upto {
+                // Newer than the pinned LSN. Skipped *before* the dedup
+                // below so an invisible newer version doesn't mask the
+                // snapshot-visible older one behind it.
+                continue;
+            }
             if self
                 .last_emitted
                 .as_ref()
@@ -393,6 +436,17 @@ impl ScanState {
                 continue; // older version of an already-handled key
             }
             self.last_emitted = Some(item.entry.key.clone());
+            if self
+                .range_dels
+                .iter()
+                .any(|rd| rd.shadows(&item.entry.key, item.entry.seqno))
+            {
+                // The newest visible version is range-deleted; every
+                // older version has a smaller seqno and is shadowed by
+                // the same tombstone, so the dedup above retires the
+                // whole key.
+                continue;
+            }
             return Some(Ok(item.entry));
         }
         None

@@ -35,7 +35,7 @@ use crate::block::{crc32, Block, BlockBuilder};
 use crate::bloom::BloomFilter;
 use crate::compress::{decode_block_envelope, encode_block_envelope, CompressionType};
 use crate::storage::Storage;
-use crate::types::{Entry, Key};
+use crate::types::{Entry, Key, RangeTombstone};
 use crate::Error;
 
 /// Magic of the v1 format: no meta block, min key only recoverable by
@@ -43,9 +43,14 @@ use crate::Error;
 pub(crate) const FOOTER_MAGIC_V1: u64 = 0x4C53_4D54_4142_4C45; // "LSMTABLE"
 /// Magic of the v2 format: min/max-key meta block, raw data blocks.
 pub(crate) const FOOTER_MAGIC_V2: u64 = 0x4C53_4D54_4142_4C32; // "LSMTABL2"
-/// Magic of the current format: v2 layout with every data block
-/// wrapped in a per-block compression envelope.
+/// Magic of the v3 format: v2 layout with every data block wrapped in a
+/// per-block compression envelope.
 pub(crate) const FOOTER_MAGIC_V3: u64 = 0x4C53_4D54_4142_4C33; // "LSMTABL3"
+/// Magic of the current format: v3 layout plus a resident range-
+/// tombstone section between the meta and index blocks, so interval
+/// deletes cost one record and readers check coverage with zero block
+/// I/O. v1–v3 blobs keep decoding (they simply carry no range dels).
+pub(crate) const FOOTER_MAGIC_V4: u64 = 0x4C53_4D54_4142_4C34; // "LSMTABL4"
 
 /// Parsed sstable footer, shared between the eager [`Sstable`] decoder
 /// and the lazy [`SstableReader`](crate::SstableReader).
@@ -57,26 +62,32 @@ pub(crate) struct Footer {
     pub bloom_len: usize,
     /// Absolute offset of the meta block (`None` in v1 blobs).
     pub meta_offset: Option<usize>,
+    /// Absolute offset of the range-tombstone section (`None` in
+    /// v1–v3 blobs, which predate range deletes).
+    pub range_del_offset: Option<usize>,
     /// Absolute offset of the index block.
     pub index_offset: usize,
     /// Number of entries in the table.
     pub entry_count: u64,
     /// Encoded footer length (depends on the format version).
     pub footer_len: usize,
-    /// `true` for v3 blobs, whose data blocks are wrapped in the
+    /// `true` for v3+ blobs, whose data blocks are wrapped in the
     /// per-block compression envelope; v1/v2 blocks are raw.
     pub compressed_blocks: bool,
 }
 
 impl Footer {
-    /// v2 footer: 6 u64 fields + CRC32.
+    /// v4 footer: 7 u64 fields + CRC32. Also the longest footer any
+    /// format uses — the size of the tail probe a reader must fetch.
+    pub(crate) const MAX_LEN: usize = 7 * 8 + 4;
+    /// v2/v3 footer: 6 u64 fields + CRC32.
     pub(crate) const V2_LEN: usize = 6 * 8 + 4;
     /// v1 footer: 5 u64 fields + CRC32.
     pub(crate) const V1_LEN: usize = 5 * 8 + 4;
 
     /// Parses the footer from `tail`, the last `tail.len()` bytes of a
     /// blob of `total_len` bytes. `tail` must contain at least the whole
-    /// footer ([`Footer::V2_LEN`] bytes, or the entire blob if shorter).
+    /// footer ([`Footer::MAX_LEN`] bytes, or the entire blob if shorter).
     pub(crate) fn parse(tail: &[u8], total_len: usize) -> Result<Self, Error> {
         if tail.len() < 12 || total_len < Self::V1_LEN {
             return Err(Error::corruption("sstable shorter than footer"));
@@ -84,6 +95,7 @@ impl Footer {
         let magic_probe = &tail[tail.len() - 12..tail.len() - 4];
         let magic = u64::from_le_bytes(magic_probe.try_into().expect("8 bytes"));
         let (footer_len, fields, compressed_blocks) = match magic {
+            FOOTER_MAGIC_V4 => (Self::MAX_LEN, 7, true),
             FOOTER_MAGIC_V3 => (Self::V2_LEN, 6, true),
             FOOTER_MAGIC_V2 => (Self::V2_LEN, 6, false),
             FOOTER_MAGIC_V1 => (Self::V1_LEN, 5, false),
@@ -100,7 +112,8 @@ impl Footer {
         let mut cursor = footer;
         let bloom_offset = cursor.get_u64_le() as usize;
         let bloom_len = cursor.get_u64_le() as usize;
-        let meta_offset = (fields == 6).then(|| cursor.get_u64_le() as usize);
+        let meta_offset = (fields >= 6).then(|| cursor.get_u64_le() as usize);
+        let range_del_offset = (fields >= 7).then(|| cursor.get_u64_le() as usize);
         let index_offset = cursor.get_u64_le() as usize;
         let entry_count = cursor.get_u64_le();
         let body_end = total_len - footer_len;
@@ -111,6 +124,9 @@ impl Footer {
             || index_offset > body_end
             || index_offset < bloom_end
             || meta_offset.is_some_and(|m| m < bloom_end || m > index_offset)
+            || range_del_offset.is_some_and(|r| {
+                r > index_offset || meta_offset.is_some_and(|m| r < m) || r < bloom_end
+            })
         {
             return Err(Error::corruption("sstable footer offsets out of range"));
         }
@@ -118,6 +134,7 @@ impl Footer {
             bloom_offset,
             bloom_len,
             meta_offset,
+            range_del_offset,
             index_offset,
             entry_count,
             footer_len,
@@ -140,6 +157,49 @@ pub(crate) fn decode_table_block(raw: &[u8], enveloped: bool) -> Result<(Block, 
     }
 }
 
+/// Encodes the range-tombstone section: count, per-record bounds +
+/// seqno, and a section CRC.
+pub(crate) fn encode_range_dels(buf: &mut BytesMut, range_dels: &[RangeTombstone]) {
+    let start = buf.len();
+    buf.put_u32_le(range_dels.len() as u32);
+    for rd in range_dels {
+        buf.put_u32_le(rd.start.len() as u32);
+        buf.put_slice(&rd.start);
+        buf.put_u32_le(rd.end.len() as u32);
+        buf.put_slice(&rd.end);
+        buf.put_u64_le(rd.seqno);
+    }
+    let crc = crc32(&buf[start..]);
+    buf.put_u32_le(crc);
+}
+
+/// Decodes a range-tombstone section produced by [`encode_range_dels`].
+/// `section` must span exactly the section bytes (offset to the next
+/// block's offset).
+pub(crate) fn decode_range_dels(section: &[u8]) -> Result<Vec<RangeTombstone>, Error> {
+    if section.len() < 8 {
+        return Err(Error::corruption("truncated range-tombstone section"));
+    }
+    let (payload, crc_bytes) = section.split_at(section.len() - 4);
+    let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+    if crc32(payload) != stored {
+        return Err(Error::corruption("range-tombstone section checksum mismatch"));
+    }
+    let mut cursor = payload;
+    let count = cursor.get_u32_le();
+    let mut range_dels = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let start = decode_meta_key(&mut cursor)?;
+        let end = decode_meta_key(&mut cursor)?;
+        if cursor.remaining() < 8 {
+            return Err(Error::corruption("truncated range-tombstone record"));
+        }
+        let seqno = cursor.get_u64_le();
+        range_dels.push(RangeTombstone::new(start, end, seqno));
+    }
+    Ok(range_dels)
+}
+
 /// Builds an sstable from entries supplied in internal-key order.
 #[derive(Debug)]
 pub struct SstableBuilder {
@@ -150,8 +210,10 @@ pub struct SstableBuilder {
     current: BlockBuilder,
     finished_blocks: Vec<(Key, Bytes)>,
     all_keys: Vec<Key>,
+    range_dels: Vec<RangeTombstone>,
     entry_count: u64,
     tombstone_count: u64,
+    max_seqno: u64,
     min_key: Option<Key>,
     max_key: Option<Key>,
 }
@@ -168,29 +230,45 @@ impl SstableBuilder {
             current: BlockBuilder::new(),
             finished_blocks: Vec::new(),
             all_keys: Vec::new(),
+            range_dels: Vec::new(),
             entry_count: 0,
             tombstone_count: 0,
+            max_seqno: 0,
             min_key: None,
             max_key: None,
         }
     }
 
     /// Appends an entry. Entries must arrive sorted by internal key
-    /// (user key ascending, newest version first).
+    /// (user key ascending, newest version first). All versions of one
+    /// user key always land in the same data block — a full block
+    /// rotates at the next user-key boundary, never mid-key — so a
+    /// visibility walk over a key's versions stays within one block.
     pub fn add(&mut self, entry: &Entry) {
+        if self.current.size_in_bytes() >= self.block_size
+            && self.current.last_key().is_some_and(|last| *last != entry.key)
+        {
+            self.rotate_block();
+        }
         if self.min_key.is_none() {
             self.min_key = Some(entry.key.clone());
         }
         self.max_key = Some(entry.key.clone());
         self.all_keys.push(entry.key.clone());
         self.entry_count += 1;
+        self.max_seqno = self.max_seqno.max(entry.seqno);
         if entry.is_tombstone() {
             self.tombstone_count += 1;
         }
         self.current.add(entry);
-        if self.current.size_in_bytes() >= self.block_size {
-            self.rotate_block();
-        }
+    }
+
+    /// Appends a range tombstone. Range dels live in a dedicated
+    /// resident section, not in data blocks, so one call costs O(1)
+    /// bytes regardless of how many keys `[start, end)` covers.
+    pub fn add_range_del(&mut self, rd: RangeTombstone) {
+        self.max_seqno = self.max_seqno.max(rd.seqno);
+        self.range_dels.push(rd);
     }
 
     fn rotate_block(&mut self) {
@@ -227,6 +305,20 @@ impl SstableBuilder {
             self.bloom_bits_per_key,
         );
 
+        // The table's key range must cover its range tombstones too, so
+        // range pruning never skips a table whose only relevant content
+        // is an interval delete outside its point-key span.
+        let mut min_key = self.min_key;
+        let mut max_key = self.max_key;
+        for rd in &self.range_dels {
+            if min_key.as_ref().is_none_or(|m| rd.start < *m) {
+                min_key = Some(rd.start.clone());
+            }
+            if max_key.as_ref().is_none_or(|m| rd.end > *m) {
+                max_key = Some(rd.end.clone());
+            }
+        }
+
         let mut buf = BytesMut::new();
         let mut index: Vec<(Key, u64, u64)> = Vec::with_capacity(self.finished_blocks.len());
         for (last_key, encoded) in &self.finished_blocks {
@@ -243,7 +335,12 @@ impl SstableBuilder {
         // Meta block: the table's min/max user keys, so key-range checks
         // and `min_key`/`max_key` never have to decode a data block.
         let meta_offset = buf.len() as u64;
-        encode_meta(&mut buf, self.min_key.as_ref(), self.max_key.as_ref());
+        encode_meta(&mut buf, min_key.as_ref(), max_key.as_ref());
+
+        // Range-tombstone section: resident in the tail next to the
+        // meta block, so coverage checks never touch a data block.
+        let range_del_offset = buf.len() as u64;
+        encode_range_dels(&mut buf, &self.range_dels);
 
         let index_offset = buf.len() as u64;
         buf.put_u32_le(index.len() as u32);
@@ -254,15 +351,16 @@ impl SstableBuilder {
             buf.put_u64_le(*len);
         }
 
-        // Footer: bloom_offset, bloom_len, meta_offset, index_offset,
-        // entry_count, magic, crc
+        // Footer: bloom_offset, bloom_len, meta_offset,
+        // range_del_offset, index_offset, entry_count, magic, crc
         let footer_start = buf.len();
         buf.put_u64_le(bloom_offset);
         buf.put_u64_le(bloom_bytes.len() as u64);
         buf.put_u64_le(meta_offset);
+        buf.put_u64_le(range_del_offset);
         buf.put_u64_le(index_offset);
         buf.put_u64_le(self.entry_count);
-        buf.put_u64_le(FOOTER_MAGIC_V3);
+        buf.put_u64_le(FOOTER_MAGIC_V4);
         let crc = crc32(&buf[footer_start..]);
         buf.put_u32_le(crc);
 
@@ -270,9 +368,11 @@ impl SstableBuilder {
             table_id: self.table_id,
             entry_count: self.entry_count,
             tombstone_count: self.tombstone_count,
+            range_tombstone_count: self.range_dels.len() as u64,
+            max_seqno: self.max_seqno,
             encoded_len: buf.len() as u64,
-            min_key: self.min_key,
-            max_key: self.max_key,
+            min_key,
+            max_key,
         };
         (buf.freeze(), meta)
     }
@@ -283,17 +383,27 @@ impl SstableBuilder {
 pub struct SstableMeta {
     /// The table's id.
     pub table_id: u64,
-    /// Number of entries (distinct user keys, since flushes and
-    /// compactions both emit one version per key).
+    /// Number of entries (one per retained *version* — several per user
+    /// key while a pinned snapshot keeps history alive).
     pub entry_count: u64,
     /// How many of the entries are tombstones (tombstone GC's input
     /// signal, carried into the manifest's [`TableMeta`](crate::TableMeta)).
     pub tombstone_count: u64,
+    /// How many range tombstones the table carries in its resident
+    /// section. The read path consults only tables where this is
+    /// non-zero when resolving interval-delete visibility.
+    pub range_tombstone_count: u64,
+    /// Largest sequence number in the table, over point entries and
+    /// range tombstones alike. Live tables hold pairwise-disjoint seqno
+    /// ranges (flush generations; merges union whole tables), so this
+    /// single number totally orders tables newest-first for the read
+    /// path regardless of manifest position.
+    pub max_seqno: u64,
     /// Size of the encoded table in bytes.
     pub encoded_len: u64,
-    /// Smallest user key in the table.
+    /// Smallest user key in the table (range-del bounds included).
     pub min_key: Option<Key>,
-    /// Largest user key in the table.
+    /// Largest user key in the table (range-del bounds included).
     pub max_key: Option<Key>,
 }
 
@@ -393,10 +503,11 @@ pub struct Sstable {
     bloom: BloomFilter,
     /// (last_key, offset, stored_len) per data block, in key order.
     index: Vec<(Key, u64, u64)>,
+    range_dels: Vec<RangeTombstone>,
     entry_count: u64,
     min_key: Option<Key>,
     max_key: Option<Key>,
-    /// `true` for v3 blobs: data blocks sit inside compression envelopes.
+    /// `true` for v3+ blobs: data blocks sit inside compression envelopes.
     compressed_blocks: bool,
 }
 
@@ -431,6 +542,10 @@ impl Sstable {
         )?;
         let body_end = data.len() - footer.footer_len;
         let index = decode_index(&data[footer.index_offset..body_end])?;
+        let range_dels = match footer.range_del_offset {
+            Some(offset) => decode_range_dels(&data[offset..footer.index_offset])?,
+            None => Vec::new(),
+        };
 
         let (min_key, max_key) = match footer.meta_offset {
             Some(meta_offset) => decode_meta(&data[meta_offset..footer.index_offset])?,
@@ -459,6 +574,7 @@ impl Sstable {
             data,
             bloom,
             index,
+            range_dels,
             entry_count: footer.entry_count,
             min_key,
             max_key,
@@ -507,6 +623,13 @@ impl Sstable {
     #[must_use]
     pub fn max_key(&self) -> Option<Key> {
         self.max_key.clone()
+    }
+
+    /// The table's range tombstones (empty for v1–v3 blobs). Resident —
+    /// reading them costs no block I/O.
+    #[must_use]
+    pub fn range_dels(&self) -> &[RangeTombstone] {
+        &self.range_dels
     }
 
     /// Point lookup: returns the newest version of `key` stored in this
@@ -735,5 +858,100 @@ mod tests {
     fn blob_names_are_stable_and_sortable() {
         assert_eq!(Sstable::blob_name(1), "sst-000000000001.sst");
         assert!(Sstable::blob_name(2) < Sstable::blob_name(10));
+    }
+
+    #[test]
+    fn range_tombstones_roundtrip_through_v4() {
+        let mut builder = SstableBuilder::new(3, 256, 10);
+        for i in 10u64..20 {
+            builder.add(&Entry::put(key_from_u64(i), Bytes::from_static(b"v"), i));
+        }
+        builder.add_range_del(RangeTombstone::new(key_from_u64(0), key_from_u64(5), 30));
+        builder.add_range_del(RangeTombstone::new(key_from_u64(12), key_from_u64(40), 31));
+        let (data, meta) = builder.finish();
+        assert_eq!(meta.range_tombstone_count, 2);
+        assert_eq!(
+            meta.min_key,
+            Some(key_from_u64(0)),
+            "min widened to the range-del start"
+        );
+        assert_eq!(
+            meta.max_key,
+            Some(key_from_u64(40)),
+            "max widened to the range-del end"
+        );
+
+        let table = Sstable::decode(3, data).unwrap();
+        assert_eq!(table.range_dels().len(), 2);
+        assert_eq!(table.range_dels()[0].seqno, 30);
+        assert_eq!(table.range_dels()[1].start, key_from_u64(12));
+        // Point entries still resolve normally.
+        assert!(table.get(&key_from_u64(15)).unwrap().is_some());
+    }
+
+    #[test]
+    fn range_del_only_table_roundtrips() {
+        let mut builder = SstableBuilder::new(4, 256, 10);
+        builder.add_range_del(RangeTombstone::new(key_from_u64(5), key_from_u64(9), 77));
+        let (data, meta) = builder.finish();
+        assert_eq!(meta.entry_count, 0);
+        assert_eq!(meta.range_tombstone_count, 1);
+        assert_eq!(meta.min_key, Some(key_from_u64(5)));
+        let table = Sstable::decode(4, data).unwrap();
+        assert_eq!(table.entry_count(), 0);
+        assert_eq!(table.range_dels().len(), 1);
+        assert!(table.range_dels()[0].shadows(&key_from_u64(6), 70));
+    }
+
+    #[test]
+    fn versions_of_one_key_never_split_across_blocks() {
+        // Tiny blocks force rotation; the builder must still keep all
+        // versions of each user key inside a single block so the
+        // visibility walk never crosses a block boundary.
+        let mut builder = SstableBuilder::new(5, 64, 10);
+        for key in 0u64..50 {
+            for version in 0..4u64 {
+                builder.add(&Entry::put(
+                    key_from_u64(key),
+                    Bytes::from(vec![b'x'; 40]),
+                    1_000 + (50 - key) * 10 - version,
+                ));
+            }
+        }
+        let (data, _) = builder.finish();
+        let table = Sstable::decode(5, data).unwrap();
+        assert!(table.block_count() > 5, "rotation still happens");
+        let mut seen_last: Option<Key> = None;
+        for idx in 0..table.block_count() {
+            let block = table.read_block(idx).unwrap();
+            let first = block.entries().first().unwrap().key.clone();
+            if let Some(prev_last) = &seen_last {
+                assert_ne!(
+                    *prev_last, first,
+                    "user key split across adjacent blocks"
+                );
+            }
+            seen_last = Some(block.entries().last().unwrap().key.clone());
+        }
+    }
+
+    #[test]
+    fn corrupt_range_del_section_is_detected() {
+        let mut builder = SstableBuilder::new(6, 256, 10);
+        builder.add(&Entry::put(key_from_u64(1), Bytes::from_static(b"v"), 1));
+        builder.add_range_del(RangeTombstone::new(key_from_u64(2), key_from_u64(9), 5));
+        let (data, _) = builder.finish();
+        let decoded = Sstable::decode(6, data.clone()).unwrap();
+        assert_eq!(decoded.range_dels().len(), 1);
+
+        // Flip a byte inside the range-del section (between meta and
+        // index): locate it via the footer.
+        let footer = Footer::parse(&data, data.len()).unwrap();
+        let mut tampered = data.to_vec();
+        tampered[footer.range_del_offset.unwrap() + 4] ^= 0xFF;
+        assert!(matches!(
+            Sstable::decode(6, Bytes::from(tampered)),
+            Err(Error::Corruption { .. })
+        ));
     }
 }

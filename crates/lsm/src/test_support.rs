@@ -15,7 +15,9 @@ use bytes::{BufMut, Bytes, BytesMut};
 
 use crate::block::{crc32, BlockBuilder};
 use crate::bloom::BloomFilter;
-use crate::sstable::{encode_meta, FOOTER_MAGIC_V1, FOOTER_MAGIC_V2};
+use crate::compress::encode_block_envelope;
+use crate::sstable::{encode_meta, FOOTER_MAGIC_V1, FOOTER_MAGIC_V2, FOOTER_MAGIC_V3};
+use crate::CompressionType;
 use crate::storage::{MemoryStorage, Storage};
 use crate::types::{Entry, Key};
 use crate::Error;
@@ -223,7 +225,7 @@ impl CrashPointStorage {
 /// accepting it; tests use this to stage mixed-version table sets.
 #[must_use]
 pub fn encode_v1_sstable(entries: &[Entry], block_size: usize) -> Bytes {
-    encode_legacy_sstable(entries, block_size, false)
+    encode_legacy_sstable(entries, block_size, 1)
 }
 
 /// Encodes sorted `entries` as a legacy **v2** sstable blob: min/max
@@ -232,10 +234,19 @@ pub fn encode_v1_sstable(entries: &[Entry], block_size: usize) -> Bytes {
 /// envelopes), but decoders must keep accepting it.
 #[must_use]
 pub fn encode_v2_sstable(entries: &[Entry], block_size: usize) -> Bytes {
-    encode_legacy_sstable(entries, block_size, true)
+    encode_legacy_sstable(entries, block_size, 2)
 }
 
-fn encode_legacy_sstable(entries: &[Entry], block_size: usize, v2: bool) -> Bytes {
+/// Encodes sorted `entries` as a legacy **v3** sstable blob: min/max
+/// meta block, LZ-enveloped data blocks, 6-field footer — no
+/// range-tombstone section. The builder stopped emitting this layout
+/// at v4 (range deletes), but decoders must keep accepting it.
+#[must_use]
+pub fn encode_v3_sstable(entries: &[Entry], block_size: usize) -> Bytes {
+    encode_legacy_sstable(entries, block_size, 3)
+}
+
+fn encode_legacy_sstable(entries: &[Entry], block_size: usize, version: u8) -> Bytes {
     let mut finished: Vec<(Key, Bytes)> = Vec::new();
     let mut current = BlockBuilder::new();
     for entry in entries {
@@ -255,14 +266,23 @@ fn encode_legacy_sstable(entries: &[Entry], block_size: usize, v2: bool) -> Byte
     let mut index: Vec<(Key, u64, u64)> = Vec::new();
     for (last_key, encoded) in &finished {
         let offset = buf.len() as u64;
-        buf.put_slice(encoded);
-        index.push((last_key.clone(), offset, encoded.len() as u64));
+        // v3 stores each block inside a compression envelope; the index
+        // records the stored (enveloped) length.
+        let enveloped;
+        let stored: &[u8] = if version >= 3 {
+            enveloped = encode_block_envelope(CompressionType::Lz, encoded);
+            &enveloped
+        } else {
+            encoded
+        };
+        buf.put_slice(stored);
+        index.push((last_key.clone(), offset, stored.len() as u64));
     }
     let bloom_offset = buf.len() as u64;
     let bloom_bytes = bloom.encode();
     buf.put_slice(&bloom_bytes);
     let meta_offset = buf.len() as u64;
-    if v2 {
+    if version >= 2 {
         let min = entries.first().map(|e| e.key.clone());
         let max = entries.last().map(|e| e.key.clone());
         encode_meta(&mut buf, min.as_ref(), max.as_ref());
@@ -278,12 +298,16 @@ fn encode_legacy_sstable(entries: &[Entry], block_size: usize, v2: bool) -> Byte
     let footer_start = buf.len();
     buf.put_u64_le(bloom_offset);
     buf.put_u64_le(bloom_bytes.len() as u64);
-    if v2 {
+    if version >= 2 {
         buf.put_u64_le(meta_offset);
     }
     buf.put_u64_le(index_offset);
     buf.put_u64_le(entries.len() as u64);
-    buf.put_u64_le(if v2 { FOOTER_MAGIC_V2 } else { FOOTER_MAGIC_V1 });
+    buf.put_u64_le(match version {
+        1 => FOOTER_MAGIC_V1,
+        2 => FOOTER_MAGIC_V2,
+        _ => FOOTER_MAGIC_V3,
+    });
     let crc = crc32(&buf[footer_start..]);
     buf.put_u32_le(crc);
     buf.freeze()

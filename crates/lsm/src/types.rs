@@ -44,6 +44,12 @@ pub enum ValueKind {
     Put,
     /// A deletion tombstone.
     Tombstone,
+    /// A range tombstone: deletes every key in `[start, end)` older than
+    /// its sequence number. The record's key holds the start bound and
+    /// its value holds the exclusive end bound. Range deletes travel
+    /// through the WAL and memtable like point writes but are stored in
+    /// a dedicated sstable section, never in data blocks.
+    RangeDelete,
 }
 
 impl ValueKind {
@@ -53,6 +59,7 @@ impl ValueKind {
         match self {
             ValueKind::Put => 0,
             ValueKind::Tombstone => 1,
+            ValueKind::RangeDelete => 2,
         }
     }
 
@@ -62,8 +69,115 @@ impl ValueKind {
         match tag {
             0 => Some(ValueKind::Put),
             1 => Some(ValueKind::Tombstone),
+            2 => Some(ValueKind::RangeDelete),
             _ => None,
         }
+    }
+}
+
+/// A range tombstone: suppresses every version of every key in
+/// `[start, end)` whose sequence number is **below** `seqno`.
+///
+/// One range delete costs O(1) records regardless of how many keys it
+/// covers: the WAL logs a single [`ValueKind::RangeDelete`] record, the
+/// memtable keeps it in a side list, and v4 sstables persist it in a
+/// small resident section (never in data blocks), so readers check
+/// coverage with zero block I/O.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangeTombstone {
+    /// Inclusive start of the deleted interval.
+    pub start: Key,
+    /// Exclusive end of the deleted interval.
+    pub end: Key,
+    /// Sequence number of the range delete; versions written earlier
+    /// (smaller seqno) inside the interval are deleted.
+    pub seqno: SeqNo,
+}
+
+impl RangeTombstone {
+    /// Creates a range tombstone over `[start, end)`.
+    #[must_use]
+    pub fn new(start: Key, end: Key, seqno: SeqNo) -> Self {
+        Self { start, end, seqno }
+    }
+
+    /// Whether `key` lies inside the deleted interval.
+    #[must_use]
+    pub fn covers(&self, key: &[u8]) -> bool {
+        key >= self.start.as_ref() && key < self.end.as_ref()
+    }
+
+    /// Whether a version of `key` written at `seqno` is deleted by this
+    /// range tombstone (covered and strictly older).
+    #[must_use]
+    pub fn shadows(&self, key: &[u8], seqno: SeqNo) -> bool {
+        seqno < self.seqno && self.covers(key)
+    }
+
+    /// Approximate in-memory / on-disk footprint in bytes.
+    #[must_use]
+    pub fn encoded_size(&self) -> usize {
+        self.start.len() + self.end.len() + 8 + 8
+    }
+}
+
+/// Conversion into a [`Key`], the single keyed entry point for
+/// [`Lsm`](crate::Lsm) and [`Snapshot`](crate::Snapshot) operations.
+///
+/// One generic `put`/`get`/`delete` family replaces the parallel
+/// `*_u64` method set: byte-ish types pass through and `u64` keys are
+/// big-endian encoded (via [`key_from_u64`]) so lexicographic order
+/// matches numeric order.
+pub trait IntoKey {
+    /// Converts `self` into a key.
+    fn into_key(self) -> Key;
+}
+
+impl IntoKey for Key {
+    fn into_key(self) -> Key {
+        self
+    }
+}
+
+impl IntoKey for &Key {
+    fn into_key(self) -> Key {
+        self.clone()
+    }
+}
+
+impl IntoKey for Vec<u8> {
+    fn into_key(self) -> Key {
+        Bytes::from(self)
+    }
+}
+
+impl IntoKey for &[u8] {
+    fn into_key(self) -> Key {
+        Bytes::copy_from_slice(self)
+    }
+}
+
+impl<const N: usize> IntoKey for &[u8; N] {
+    fn into_key(self) -> Key {
+        Bytes::copy_from_slice(self)
+    }
+}
+
+impl IntoKey for &str {
+    fn into_key(self) -> Key {
+        Bytes::copy_from_slice(self.as_bytes())
+    }
+}
+
+impl IntoKey for String {
+    fn into_key(self) -> Key {
+        Bytes::from(self.into_bytes())
+    }
+}
+
+impl IntoKey for u64 {
+    fn into_key(self) -> Key {
+        key_from_u64(self)
     }
 }
 
@@ -185,10 +299,36 @@ mod tests {
 
     #[test]
     fn value_kind_wire_roundtrip() {
-        for kind in [ValueKind::Put, ValueKind::Tombstone] {
+        for kind in [ValueKind::Put, ValueKind::Tombstone, ValueKind::RangeDelete] {
             assert_eq!(ValueKind::from_u8(kind.as_u8()), Some(kind));
         }
         assert_eq!(ValueKind::from_u8(7), None);
+    }
+
+    #[test]
+    fn range_tombstone_coverage_is_half_open_and_seqno_strict() {
+        let rd = RangeTombstone::new(key_from_u64(10), key_from_u64(20), 100);
+        assert!(rd.covers(&key_from_u64(10)), "start is inclusive");
+        assert!(rd.covers(&key_from_u64(19)));
+        assert!(!rd.covers(&key_from_u64(20)), "end is exclusive");
+        assert!(!rd.covers(&key_from_u64(9)));
+        assert!(rd.shadows(&key_from_u64(15), 99), "older versions die");
+        assert!(!rd.shadows(&key_from_u64(15), 100), "same seqno survives");
+        assert!(!rd.shadows(&key_from_u64(15), 101), "newer versions survive");
+        assert!(!rd.shadows(&key_from_u64(25), 1), "outside the interval");
+    }
+
+    #[test]
+    fn into_key_accepts_every_keyed_shape() {
+        let canonical = key_from_u64(7);
+        assert_eq!(7u64.into_key(), canonical);
+        assert_eq!(canonical.clone().into_key(), canonical);
+        assert_eq!((&canonical).into_key(), canonical);
+        assert_eq!(canonical.to_vec().into_key(), canonical);
+        assert_eq!(canonical.as_ref().into_key(), canonical);
+        assert_eq!(b"ab".into_key(), Bytes::from_static(b"ab"));
+        assert_eq!("ab".into_key(), Bytes::from_static(b"ab"));
+        assert_eq!(String::from("ab").into_key(), Bytes::from_static(b"ab"));
     }
 
     #[test]

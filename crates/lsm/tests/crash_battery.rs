@@ -151,10 +151,15 @@ proptest! {
         tables.sort();
         prop_assume!(!tables.is_empty());
         let name = &tables[table_pick % tables.len()];
-        let len = survivors.blob_len(name).unwrap() as usize;
-        // Data blocks are the blob's prefix (bloom/meta/index/footer
-        // trail them); the first half is always block payload here.
-        let data_region = (len / 2).max(1);
+        // Data blocks are the blob's prefix; everything from the bloom
+        // filter on trails them. The bloom carries no checksum (a flipped
+        // bloom bit can only cause a false negative), so this property is
+        // about the *block payload* region, whose exact end is the bloom
+        // offset — the first u64 of the v4 footer (7 u64s + CRC32).
+        let blob = survivors.read_blob(name).unwrap();
+        let footer = &blob[blob.len() - 60..];
+        let data_region = u64::from_le_bytes(footer[..8].try_into().unwrap()) as usize;
+        prop_assume!(data_region > 0);
         prop_assert!(corrupt_blob_byte(&survivors, name, offset_pick % data_region));
 
         let db = Lsm::open(Arc::new(survivors), small_opts().wal(false))
@@ -221,6 +226,53 @@ proptest! {
             }
             Err(Error::Corruption { .. }) => {}
             Err(other) => prop_assert!(false, "non-taxonomized reopen failure: {other:?}"),
+        }
+    }
+
+    /// A crash mid-`delete_range` is all-or-nothing: the range tombstone
+    /// is one WAL record, so recovery sees either the whole interval
+    /// deleted or the whole interval intact — never a partially applied
+    /// range. Sweeps the crash point across the record's bytes (and,
+    /// when acked, the interval must always be gone).
+    #[test]
+    fn crash_mid_delete_range_is_all_or_nothing(budget in 0u64..600) {
+        let storage = Arc::new(CrashPointStorage::new());
+        let db = Lsm::open(storage.clone(), small_opts()).unwrap();
+        for k in 0..100u64 {
+            db.put_u64(k, format!("v{k}").into_bytes()).unwrap();
+        }
+        db.flush().unwrap();
+
+        storage.crash_after(budget);
+        let acked = db.delete_range(20u64, 80u64).is_ok();
+        drop(db);
+
+        let recovered = Lsm::open(Arc::new(storage.surviving()), small_opts())
+            .expect("a torn range-delete record must recover, not corrupt");
+        let inside: Vec<u64> = (20..80)
+            .filter(|k| recovered.get_u64(*k).unwrap().is_some())
+            .collect();
+        if acked {
+            prop_assert!(
+                inside.is_empty(),
+                "acked delete_range lost after recovery: {inside:?} survive"
+            );
+        } else {
+            prop_assert!(
+                inside.is_empty() || inside.len() == 60,
+                "partially applied range delete after crash: only {} of 60 keys survive",
+                inside.len()
+            );
+        }
+        // Keys outside the interval are untouched either way.
+        for k in (0..20).chain(80..100) {
+            let got = recovered.get_u64(k).unwrap();
+            let expect = format!("v{k}").into_bytes();
+            prop_assert_eq!(
+                got.as_deref(),
+                Some(expect.as_slice()),
+                "key {} outside the interval damaged", k
+            );
         }
     }
 }

@@ -1,22 +1,24 @@
 //! Cross-version sstable format matrix: one live table set holding a
 //! legacy v1 blob (raw blocks, no meta), a v2 blob (raw blocks, min/max
-//! meta) and a current v3 blob (per-block compression envelopes), all
-//! registered through a hand-persisted manifest and served by a real
-//! `Lsm`. Point reads, range scans and newest-wins shadowing must be
-//! version-blind, and compaction must merge the mix into v3 outputs.
+//! meta), a v3 blob (compression envelopes, no range-del section) and a
+//! current v4 blob (range-tombstone section), all registered through a
+//! hand-persisted manifest and served by a real `Lsm`. Point reads,
+//! range scans, newest-wins shadowing and range-tombstone suppression
+//! must be version-blind, and compaction must merge the mix into v4
+//! outputs.
 
 use std::sync::Arc;
 
 use bytes::Bytes;
-use lsm_engine::test_support::{encode_v1_sstable, encode_v2_sstable};
+use lsm_engine::test_support::{encode_v1_sstable, encode_v2_sstable, encode_v3_sstable};
 use lsm_engine::{
     key_from_u64, key_to_u64, CompressionType, Entry, Lsm, LsmOptions, Manifest, ManifestEdit,
-    MemoryStorage, Sstable, SstableBuilder, Storage, TableMeta,
+    MemoryStorage, RangeTombstone, Sstable, SstableBuilder, Storage, TableMeta,
 };
 
-/// The v3 footer magic (`LSMTABL3` little-endian), asserted against raw
+/// The v4 footer magic (`LSMTABL4` little-endian), asserted against raw
 /// blob bytes so the test cannot drift from what the builder writes.
-const FOOTER_MAGIC_V3: u64 = 0x4C53_4D54_4142_4C33;
+const FOOTER_MAGIC_V4: u64 = 0x4C53_4D54_4142_4C34;
 
 fn footer_magic(blob: &[u8]) -> u64 {
     // The footer ends with [magic u64 LE][crc u32 LE].
@@ -44,6 +46,8 @@ fn stage_table(
             entry_count: entries.len() as u64,
             encoded_len: data.len() as u64,
             tombstone_count: tombstones,
+            range_tombstone_count: 0,
+            max_seqno: entries.iter().map(|e| e.seqno).max().unwrap_or(0),
         }))
         .unwrap();
     id
@@ -51,7 +55,9 @@ fn stage_table(
 
 /// Builds the mixed-version store: keys 0..60 in a v1 table (oldest),
 /// 40..100 in a v2 table shadowing the overlap, 80..140 in a v3 table
-/// shadowing again, plus a v3 tombstone for key 10.
+/// shadowing again plus a point tombstone for key 10, and 120..180 in a
+/// v4 table shadowing once more plus a range tombstone erasing
+/// `[20, 30)` across every older layer.
 fn mixed_store() -> (Lsm, Vec<(u64, String)>) {
     let storage = MemoryStorage::new();
     let mut manifest = Manifest::new();
@@ -75,24 +81,40 @@ fn mixed_store() -> (Lsm, Vec<(u64, String)>) {
         0,
         Entry::tombstone(key_from_u64(10), manifest.allocate_seqno()),
     );
-    let v3_id = manifest.allocate_table_id();
-    let mut builder = SstableBuilder::new(v3_id, 128, 10).compression(CompressionType::Lz);
-    for e in &v3_entries {
+    v3_entries.sort_by(|a, b| a.key.cmp(&b.key));
+    let v3_blob = encode_v3_sstable(&v3_entries, 128);
+    stage_table(&storage, &mut manifest, v3_blob.clone(), &v3_entries);
+
+    let v4_entries: Vec<Entry> = (120..180)
+        .map(|k| put(k, &format!("v4-{k}"), manifest.allocate_seqno()))
+        .collect();
+    let range_del = RangeTombstone {
+        start: key_from_u64(20),
+        end: key_from_u64(30),
+        seqno: manifest.allocate_seqno(),
+    };
+    let v4_id = manifest.allocate_table_id();
+    let mut builder = SstableBuilder::new(v4_id, 128, 10).compression(CompressionType::Lz);
+    for e in &v4_entries {
         builder.add(e);
     }
-    let (v3_blob, v3_meta) = builder.finish();
-    assert_eq!(footer_magic(&v3_blob), FOOTER_MAGIC_V3, "builder emits v3");
-    assert_ne!(footer_magic(&v1_blob), FOOTER_MAGIC_V3);
-    assert_ne!(footer_magic(&v2_blob), FOOTER_MAGIC_V3);
+    builder.add_range_del(range_del);
+    let (v4_blob, v4_meta) = builder.finish();
+    assert_eq!(footer_magic(&v4_blob), FOOTER_MAGIC_V4, "builder emits v4");
+    assert_ne!(footer_magic(&v1_blob), FOOTER_MAGIC_V4);
+    assert_ne!(footer_magic(&v2_blob), FOOTER_MAGIC_V4);
+    assert_ne!(footer_magic(&v3_blob), FOOTER_MAGIC_V4);
     storage
-        .write_blob(&Sstable::blob_name(v3_id), &v3_blob)
+        .write_blob(&Sstable::blob_name(v4_id), &v4_blob)
         .unwrap();
     manifest
         .apply(ManifestEdit::AddTable(TableMeta {
-            table_id: v3_id,
-            entry_count: v3_meta.entry_count,
-            encoded_len: v3_meta.encoded_len,
-            tombstone_count: v3_meta.tombstone_count,
+            table_id: v4_id,
+            entry_count: v4_meta.entry_count,
+            encoded_len: v4_meta.encoded_len,
+            tombstone_count: v4_meta.tombstone_count,
+            range_tombstone_count: v4_meta.range_tombstone_count,
+            max_seqno: v4_meta.max_seqno,
         }))
         .unwrap();
 
@@ -102,15 +124,18 @@ fn mixed_store() -> (Lsm, Vec<(u64, String)>) {
         LsmOptions::default().memtable_capacity(32).wal(false),
     )
     .unwrap();
-    assert_eq!(db.live_tables().len(), 3, "all three versions live");
+    assert_eq!(db.live_tables().len(), 4, "all four versions live");
 
-    // The oracle: newest staging wins per key; key 10 is deleted.
+    // The oracle: newest staging wins per key; key 10 is point-deleted,
+    // keys 20..30 are range-deleted.
     let mut expect: Vec<(u64, String)> = Vec::new();
-    for k in 0..140u64 {
-        if k == 10 {
+    for k in 0..180u64 {
+        if k == 10 || (20..30).contains(&k) {
             continue;
         }
-        let v = if k >= 80 {
+        let v = if k >= 120 {
+            format!("v4-{k}")
+        } else if k >= 80 {
             format!("v3-{k}")
         } else if k >= 40 {
             format!("v2-{k}")
@@ -123,7 +148,7 @@ fn mixed_store() -> (Lsm, Vec<(u64, String)>) {
 }
 
 #[test]
-fn gets_and_scans_are_version_blind_across_v1_v2_v3() {
+fn gets_and_scans_are_version_blind_across_v1_v2_v3_v4() {
     let (db, expect) = mixed_store();
     // Point reads: every key from every layer, shadowing respected.
     for (k, v) in &expect {
@@ -134,9 +159,12 @@ fn gets_and_scans_are_version_blind_across_v1_v2_v3() {
         );
     }
     assert_eq!(db.get_u64(10).unwrap(), None, "v3 tombstone shadows v1");
+    for k in 20..30 {
+        assert_eq!(db.get_u64(k).unwrap(), None, "v4 range delete erases {k}");
+    }
     assert_eq!(db.get_u64(9_999).unwrap(), None);
 
-    // A full scan and a window spanning all three version boundaries.
+    // A full scan and a window spanning all four version boundaries.
     let scanned: Vec<(u64, String)> = db
         .range_u64(0..1_000)
         .map(|r| {
@@ -153,15 +181,22 @@ fn gets_and_scans_are_version_blind_across_v1_v2_v3() {
         .map(|r| key_to_u64(&r.unwrap().0).unwrap())
         .collect();
     assert_eq!(window, (35..85).collect::<Vec<u64>>());
+    // A window straddling the range-deleted interval sees the gap.
+    let gap: Vec<u64> = db
+        .range_u64(15..35)
+        .map(|r| key_to_u64(&r.unwrap().0).unwrap())
+        .collect();
+    let expect_gap: Vec<u64> = (15..35).filter(|k| !(20..30).contains(k)).collect();
+    assert_eq!(gap, expect_gap);
 }
 
 #[test]
-fn compaction_merges_mixed_versions_into_v3_outputs() {
+fn compaction_merges_mixed_versions_into_v4_outputs() {
     let (db, expect) = mixed_store();
-    let run = db.auto_compact().unwrap().expect("three tables to merge");
+    let run = db.auto_compact().unwrap().expect("four tables to merge");
     assert!(run.outcome.merge_ops >= 1);
 
-    // Every surviving table is v3, checked on the raw blob bytes.
+    // Every surviving table is v4, checked on the raw blob bytes.
     let storage = db.storage();
     for meta in db.live_tables() {
         let blob = storage
@@ -169,8 +204,8 @@ fn compaction_merges_mixed_versions_into_v3_outputs() {
             .unwrap();
         assert_eq!(
             footer_magic(&blob),
-            FOOTER_MAGIC_V3,
-            "compaction output table {} is not v3",
+            FOOTER_MAGIC_V4,
+            "compaction output table {} is not v4",
             meta.table_id
         );
     }
@@ -188,4 +223,7 @@ fn compaction_merges_mixed_versions_into_v3_outputs() {
         .collect();
     assert_eq!(scanned, expect, "scan after merging the version mix");
     assert_eq!(db.get_u64(10).unwrap(), None, "tombstone still effective");
+    for k in 20..30 {
+        assert_eq!(db.get_u64(k).unwrap(), None, "range delete survives merge");
+    }
 }

@@ -17,16 +17,20 @@ use proptest::prelude::*;
 enum Op {
     Put(u64, Vec<u8>),
     Delete(u64),
+    /// Range delete with *raw* bounds: inverted or empty intervals are
+    /// generated on purpose (the engine treats them as no-ops).
+    DeleteRange(u64, u64),
     Flush,
 }
 
-/// Key domain 0..240: small enough that overwrites, deletes and range
-/// windows collide constantly.
+/// Key domain 0..240: small enough that overwrites, deletes, range
+/// deletes and range windows collide constantly.
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
         6 => (0u64..240, proptest::collection::vec(any::<u8>(), 0..12))
             .prop_map(|(k, v)| Op::Put(k, v)),
         2 => (0u64..240).prop_map(Op::Delete),
+        1 => (0u64..250, 0u64..250).prop_map(|(a, b)| Op::DeleteRange(a, b)),
         1 => Just(Op::Flush),
     ]
 }
@@ -65,6 +69,10 @@ fn check_strategy(
     )
     .map_err(|e| e.to_string())?;
     let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+    // Pinned at the sequence midpoint: the snapshot handle and the
+    // oracle state it must keep answering with, however the second half
+    // of the sequence (and its flushes/compactions) churns the store.
+    let mut pinned: Option<(lsm_engine::Snapshot, BTreeMap<u64, Vec<u8>>)> = None;
 
     let half = ops.len() / 2;
     for (i, op) in ops.iter().enumerate() {
@@ -77,12 +85,21 @@ fn check_strategy(
                 db.delete_u64(*k).map_err(|e| e.to_string())?;
                 model.remove(k);
             }
+            Op::DeleteRange(a, b) => {
+                // Raw bounds on purpose: when a >= b the engine no-ops
+                // and the oracle must not change either.
+                db.delete_range(*a, *b).map_err(|e| e.to_string())?;
+                if a < b {
+                    model.retain(|k, _| !(*a..*b).contains(k));
+                }
+            }
             Op::Flush => {
                 db.flush().map_err(|e| e.to_string())?;
             }
         }
         // Mid-sequence check: the scan must be right while the store is
         // in whatever half-flushed, half-compacted shape it is in now.
+        // This is also where the snapshot pins its cut.
         if i + 1 == half {
             if let Some(&(a, b)) = windows.first() {
                 let (lo, hi) = (a.min(b), a.max(b));
@@ -91,6 +108,7 @@ fn check_strategy(
                     model.range(lo..hi).map(|(k, v)| (*k, v.clone())).collect();
                 prop_assert_eq!(got, expect, "mid-sequence window {}..{}", lo, hi);
             }
+            pinned = Some((db.snapshot(), model.clone()));
         }
     }
 
@@ -124,6 +142,50 @@ fn check_strategy(
         .collect();
     let streamed: Vec<(u64, Vec<u8>)> = model.iter().map(|(k, v)| (*k, v.clone())).collect();
     prop_assert_eq!(legacy, streamed, "range(..) vs scan_all");
+
+    // The snapshot pinned at the midpoint still answers with the
+    // midpoint oracle — point reads, every window, and the full scan —
+    // after the second half's writes, range deletes, flushes and
+    // compactions all landed.
+    if let Some((snap, frozen)) = pinned {
+        for &(a, b) in windows {
+            let (lo, hi) = (a.min(b), a.max(b));
+            let got: Vec<(u64, Vec<u8>)> = snap
+                .range_u64(lo..hi)
+                .map(|item| {
+                    item.map(|(k, v)| (key_to_u64(&k).unwrap(), v.to_vec()))
+                        .map_err(|e| format!("snapshot scan error in {lo}..{hi}: {e}"))
+                })
+                .collect::<Result<_, _>>()?;
+            let expect: Vec<(u64, Vec<u8>)> =
+                frozen.range(lo..hi).map(|(k, v)| (*k, v.clone())).collect();
+            prop_assert_eq!(got, expect, "snapshot window {}..{}", lo, hi);
+        }
+        let all: Vec<(u64, Vec<u8>)> = snap
+            .scan_all()
+            .map_err(|e| e.to_string())?
+            .into_iter()
+            .map(|(k, v)| (key_to_u64(&k).unwrap(), v.to_vec()))
+            .collect();
+        let expect: Vec<(u64, Vec<u8>)> = frozen.iter().map(|(k, v)| (*k, v.clone())).collect();
+        prop_assert_eq!(all, expect, "snapshot full scan");
+        for (k, v) in frozen.iter().take(8) {
+            let got = snap.get(*k).map_err(|e| e.to_string())?;
+            prop_assert_eq!(got.as_deref(), Some(v.as_slice()), "snapshot get({})", k);
+        }
+        drop(snap);
+    }
+
+    // With every pin released, the live scan still matches the live
+    // oracle (pin release must not have perturbed anything).
+    let after: Vec<(u64, Vec<u8>)> = db
+        .scan_all()
+        .map_err(|e| e.to_string())?
+        .into_iter()
+        .map(|(k, v)| (key_to_u64(&k).unwrap(), v.to_vec()))
+        .collect();
+    let live: Vec<(u64, Vec<u8>)> = model.iter().map(|(k, v)| (*k, v.clone())).collect();
+    prop_assert_eq!(after, live, "live scan after pin release");
     Ok(())
 }
 
@@ -344,3 +406,4 @@ fn scans_include_legacy_tables_with_unknown_ranges() {
         assert_eq!(total as u64, reader.entry_count());
     }
 }
+

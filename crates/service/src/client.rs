@@ -7,7 +7,7 @@ use obs::MetricsSnapshot;
 use crate::protocol::{
     read_frame, write_frame, EventBatch, FrameRead, Request, Response, StatsSummary, WireOp,
 };
-use crate::Error;
+use crate::{wire, Error};
 
 /// A blocking client over one TCP connection.
 ///
@@ -41,12 +41,7 @@ impl KvClient {
     }
 
     fn expect_ok(&mut self, request: &Request) -> Result<(), Error> {
-        match self.roundtrip(request)? {
-            Response::Ok => Ok(()),
-            Response::Busy => Err(Error::Busy),
-            Response::Err(detail) => Err(Error::remote(detail)),
-            other => Err(Error::protocol(format!("unexpected response {other:?}"))),
-        }
+        wire::expect_ok(self.roundtrip(request)?)
     }
 
     /// Point read.
@@ -55,13 +50,7 @@ impl KvClient {
     ///
     /// Propagates transport, protocol and server errors.
     pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, Error> {
-        match self.roundtrip(&Request::Get { key: key.to_vec() })? {
-            Response::Value(value) => Ok(Some(value)),
-            Response::NotFound => Ok(None),
-            Response::Busy => Err(Error::Busy),
-            Response::Err(detail) => Err(Error::remote(detail)),
-            other => Err(Error::protocol(format!("unexpected response {other:?}"))),
-        }
+        wire::expect_value(self.roundtrip(&wire::get(key))?)
     }
 
     /// Insert/overwrite; durable on the server once this returns.
@@ -70,7 +59,7 @@ impl KvClient {
     ///
     /// Propagates transport, protocol and server errors.
     pub fn put(&mut self, key: Vec<u8>, value: Vec<u8>) -> Result<(), Error> {
-        self.expect_ok(&Request::Put { key, value })
+        self.expect_ok(&wire::put(key, value))
     }
 
     /// Delete.
@@ -79,7 +68,76 @@ impl KvClient {
     ///
     /// Propagates transport, protocol and server errors.
     pub fn delete(&mut self, key: Vec<u8>) -> Result<(), Error> {
-        self.expect_ok(&Request::Delete { key })
+        self.expect_ok(&wire::delete(key))
+    }
+
+    /// Deletes every key in `[start, end)` server-side with one range
+    /// tombstone per shard (`DELRANGE`) — O(shards) work however many
+    /// keys the interval covers. Inverted or empty bounds are an `OK`
+    /// no-op.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport, protocol and server errors.
+    pub fn delete_range(&mut self, start: Vec<u8>, end: Vec<u8>) -> Result<(), Error> {
+        self.expect_ok(&wire::delete_range(start, end))
+    }
+
+    /// Convenience: [`KvClient::delete_range`] over big-endian integer
+    /// keys (half-open range).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`KvClient::delete_range`].
+    pub fn delete_range_u64(&mut self, range: std::ops::Range<u64>) -> Result<(), Error> {
+        self.delete_range(wire::u64_key(range.start), wire::u64_key(range.end))
+    }
+
+    /// Pins a server-side snapshot (`SNAP_CREATE`): a consistent cut
+    /// across every shard, addressed by the returned handle id via
+    /// [`KvClient::snap_get`] / [`KvClient::snap_scan`] until released
+    /// with [`KvClient::snap_release`]. The server bounds live handles,
+    /// so an abandoned id may be evicted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport, protocol and server errors.
+    pub fn snap_create(&mut self) -> Result<u64, Error> {
+        wire::expect_snapshot(self.roundtrip(&Request::SnapCreate)?)
+    }
+
+    /// Releases snapshot handle `id` (`SNAP_RELEASE`), letting the
+    /// server reclaim the pinned history.
+    ///
+    /// # Errors
+    ///
+    /// Fails with a remote error if the handle is unknown (already
+    /// released or evicted); propagates transport and protocol errors.
+    pub fn snap_release(&mut self, id: u64) -> Result<(), Error> {
+        match self.roundtrip(&Request::SnapRelease { id })? {
+            Response::NotFound => Err(Error::remote(format!("unknown snapshot handle {id}"))),
+            other => wire::expect_ok(other),
+        }
+    }
+
+    /// Point read at pinned snapshot `id` (`SNAP_GET`): sees exactly
+    /// the state the snapshot captured, regardless of writes since.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport, protocol and server errors (including an
+    /// unknown/evicted handle, reported by the server as `ERR`).
+    pub fn snap_get(&mut self, id: u64, key: &[u8]) -> Result<Option<Vec<u8>>, Error> {
+        wire::expect_value(self.roundtrip(&wire::snap_get(id, key))?)
+    }
+
+    /// Convenience: [`KvClient::snap_get`] with an integer key.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`KvClient::snap_get`].
+    pub fn snap_get_u64(&mut self, id: u64, key: u64) -> Result<Option<Vec<u8>>, Error> {
+        self.snap_get(id, &key.to_be_bytes())
     }
 
     /// Applies `ops` as one wire batch (grouped per shard server-side,
@@ -110,7 +168,7 @@ impl KvClient {
     ///
     /// Same as [`KvClient::put`].
     pub fn put_u64(&mut self, key: u64, value: impl Into<Vec<u8>>) -> Result<(), Error> {
-        self.put(key.to_be_bytes().to_vec(), value.into())
+        self.put(wire::u64_key(key), value.into())
     }
 
     /// Convenience: [`KvClient::delete`] with an integer key.
@@ -119,7 +177,7 @@ impl KvClient {
     ///
     /// Same as [`KvClient::delete`].
     pub fn delete_u64(&mut self, key: u64) -> Result<(), Error> {
-        self.delete(key.to_be_bytes().to_vec())
+        self.delete(wire::u64_key(key))
     }
 
     /// Fetches the service statistics snapshot.
@@ -128,12 +186,7 @@ impl KvClient {
     ///
     /// Propagates transport, protocol and server errors.
     pub fn stats(&mut self) -> Result<StatsSummary, Error> {
-        match self.roundtrip(&Request::Stats)? {
-            Response::Stats(stats) => Ok(stats),
-            Response::Busy => Err(Error::Busy),
-            Response::Err(detail) => Err(Error::remote(detail)),
-            other => Err(Error::protocol(format!("unexpected response {other:?}"))),
-        }
+        wire::expect_stats(self.roundtrip(&Request::Stats)?)
     }
 
     /// Fetches the self-describing metrics snapshot: named counters
@@ -147,12 +200,7 @@ impl KvClient {
     ///
     /// Propagates transport, protocol and server errors.
     pub fn metrics(&mut self) -> Result<MetricsSnapshot, Error> {
-        match self.roundtrip(&Request::Metrics)? {
-            Response::Metrics(snapshot) => Ok(snapshot),
-            Response::Busy => Err(Error::Busy),
-            Response::Err(detail) => Err(Error::remote(detail)),
-            other => Err(Error::protocol(format!("unexpected response {other:?}"))),
-        }
+        wire::expect_metrics(self.roundtrip(&Request::Metrics)?)
     }
 
     /// Drains the server's maintenance event ring from `cursor` (0 =
@@ -165,12 +213,7 @@ impl KvClient {
     ///
     /// Propagates transport, protocol and server errors.
     pub fn events(&mut self, cursor: u64, max: u32) -> Result<EventBatch, Error> {
-        match self.roundtrip(&Request::Events { cursor, max })? {
-            Response::Events(batch) => Ok(batch),
-            Response::Busy => Err(Error::Busy),
-            Response::Err(detail) => Err(Error::remote(detail)),
-            other => Err(Error::protocol(format!("unexpected response {other:?}"))),
-        }
+        wire::expect_events(self.roundtrip(&Request::Events { cursor, max })?)
     }
 
     /// Starts a streaming range scan: every key in `[start, end)` (an
@@ -196,17 +239,7 @@ impl KvClient {
         end: Vec<u8>,
         limit: u32,
     ) -> Result<ScanStream<'_>, Error> {
-        write_frame(
-            &mut self.stream,
-            &Request::Scan { start, end, limit }.encode(),
-        )?;
-        Ok(ScanStream {
-            stream: &mut self.stream,
-            pending: Vec::new().into_iter(),
-            batches: 0,
-            keys: 0,
-            finished: false,
-        })
+        self.start_stream(&wire::scan(start, end, limit))
     }
 
     /// Convenience: [`KvClient::scan`] over big-endian integer keys
@@ -220,11 +253,53 @@ impl KvClient {
         range: std::ops::Range<u64>,
         limit: u32,
     ) -> Result<ScanStream<'_>, Error> {
-        self.scan(
-            range.start.to_be_bytes().to_vec(),
-            range.end.to_be_bytes().to_vec(),
-            limit,
-        )
+        self.scan(wire::u64_key(range.start), wire::u64_key(range.end), limit)
+    }
+
+    /// Streaming range scan at pinned snapshot `id` (`SNAP_SCAN`): the
+    /// same chunked stream as [`KvClient::scan`], read at the cut the
+    /// snapshot captured instead of the live store. An unknown/evicted
+    /// handle ends the stream with a remote error on the first item.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the request cannot be sent; per-item errors surface
+    /// through the iterator.
+    pub fn snap_scan(
+        &mut self,
+        id: u64,
+        start: Vec<u8>,
+        end: Vec<u8>,
+        limit: u32,
+    ) -> Result<ScanStream<'_>, Error> {
+        self.start_stream(&wire::snap_scan(id, start, end, limit))
+    }
+
+    /// Convenience: [`KvClient::snap_scan`] over big-endian integer
+    /// keys (half-open range).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`KvClient::snap_scan`].
+    pub fn snap_scan_u64(
+        &mut self,
+        id: u64,
+        range: std::ops::Range<u64>,
+        limit: u32,
+    ) -> Result<ScanStream<'_>, Error> {
+        self.snap_scan(id, wire::u64_key(range.start), wire::u64_key(range.end), limit)
+    }
+
+    /// Sends one streaming request and wraps the reply stream.
+    fn start_stream(&mut self, request: &Request) -> Result<ScanStream<'_>, Error> {
+        write_frame(&mut self.stream, &request.encode())?;
+        Ok(ScanStream {
+            stream: &mut self.stream,
+            pending: Vec::new().into_iter(),
+            batches: 0,
+            keys: 0,
+            finished: false,
+        })
     }
 }
 

@@ -19,8 +19,14 @@
 //!   one WAL frame + one memtable pass
 //!   ([`Lsm::write_batch`](lsm_engine::Lsm::write_batch));
 //! * [`KvServer`] / [`KvClient`] — a minimal length-prefixed TCP wire
-//!   protocol (`GET` / `PUT` / `DEL` / `BATCH` / `STATS` / `SCAN`,
-//!   `std::net` only) served by a fixed [`ThreadPool`];
+//!   protocol (`GET` / `PUT` / `DEL` / `BATCH` / `STATS` / `SCAN` /
+//!   `DELRANGE` / `SNAP_*`, `std::net` only) served by a fixed
+//!   [`ThreadPool`];
+//! * MVCC over the wire — [`ShardedKv::delete_range`] broadcasts one
+//!   range-tombstone record per shard (`DELRANGE`), and
+//!   [`ShardedKv::snapshot`] pins one LSN per shard into a
+//!   [`ShardedSnapshot`] served remotely through server-held handles
+//!   (`SNAP_CREATE` / `SNAP_GET` / `SNAP_SCAN` / `SNAP_RELEASE`);
 //! * streaming range scans — [`ShardedKv::scan`] lazily k-way merges
 //!   one snapshot-consistent engine scan per shard, and the `SCAN`
 //!   request streams the result back as bounded `BATCH_VALUES` frames
@@ -83,6 +89,7 @@ pub mod protocol;
 mod router;
 mod server;
 mod store;
+mod wire;
 
 pub use admission::{AdmissionConfig, AdmissionController, AdmissionCounters};
 pub use client::{KvClient, ScanStream};
@@ -92,4 +99,4 @@ pub use pipeline::PipelinedClient;
 pub use protocol::{EventBatch, Request, Response, StatsSummary, WireEvent, WireOp};
 pub use router::ShardRouter;
 pub use server::{KvServer, ServerHandle, ServerOptions};
-pub use store::{ServiceStats, ShardScan, ShardStats, ShardedKv};
+pub use store::{ServiceStats, ShardScan, ShardStats, ShardedKv, ShardedSnapshot};

@@ -29,7 +29,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::protocol::{read_frame, write_frame, FrameRead, Request, Response};
-use crate::Error;
+use crate::{wire, Error};
 
 /// How long a window-full [`PipelinedClient::submit`] waits between
 /// re-checks of the connection-failure flag.
@@ -187,6 +187,55 @@ impl PipelinedClient {
         self.send_claimed(request).map(Some)
     }
 
+    /// Typed [`PipelinedClient::submit`]: `PUT key value`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PipelinedClient::submit`].
+    pub fn submit_put(&mut self, key: Vec<u8>, value: Vec<u8>) -> Result<u64, Error> {
+        self.submit(&wire::put(key, value))
+    }
+
+    /// Typed [`PipelinedClient::submit`]: `GET key`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PipelinedClient::submit`].
+    pub fn submit_get(&mut self, key: &[u8]) -> Result<u64, Error> {
+        self.submit(&wire::get(key))
+    }
+
+    /// Typed [`PipelinedClient::submit`]: `DEL key`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PipelinedClient::submit`].
+    pub fn submit_delete(&mut self, key: Vec<u8>) -> Result<u64, Error> {
+        self.submit(&wire::delete(key))
+    }
+
+    /// Typed [`PipelinedClient::submit`]: `DELRANGE [start, end)` — one
+    /// range tombstone per shard, pipelinable like any single-response
+    /// write.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PipelinedClient::submit`].
+    pub fn submit_delete_range(&mut self, start: Vec<u8>, end: Vec<u8>) -> Result<u64, Error> {
+        self.submit(&wire::delete_range(start, end))
+    }
+
+    /// Typed [`PipelinedClient::submit`]: `SNAP_GET id key` — a
+    /// snapshot-scoped point read is single-response and rides the
+    /// pipeline like a live `GET`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PipelinedClient::submit`].
+    pub fn submit_snap_get(&mut self, id: u64, key: &[u8]) -> Result<u64, Error> {
+        self.submit(&wire::snap_get(id, key))
+    }
+
     /// Claims a window slot; with `block`, waits for one.
     fn claim_slot(&mut self, block: bool) -> Result<bool, Error> {
         let mut inflight = self
@@ -220,7 +269,7 @@ impl PipelinedClient {
     /// Sends `request` on the slot just claimed, releasing the slot on
     /// failure.
     fn send_claimed(&mut self, request: &Request) -> Result<u64, Error> {
-        if matches!(request, Request::Scan { .. }) {
+        if wire::is_streaming(request) {
             self.release_slot();
             return Err(Error::protocol(
                 "scan streams multiple frames and cannot be pipelined",

@@ -19,6 +19,21 @@
 //! | `SCAN` | start, end, limit    | stream: 0+ × `BATCH_VALUES`, then `SCAN_END` (or `ERR`) |
 //! | `METRICS`| —                  | `METRICS(snapshot)`           |
 //! | `EVENTS` | cursor, max        | `EVENTS(batch)`               |
+//! | `DELRANGE` | start, end       | `OK` (one range tombstone per shard) |
+//! | `SNAP_CREATE` | —             | `SNAPSHOT(id)`                |
+//! | `SNAP_RELEASE` | id           | `OK` or `NOT_FOUND`           |
+//! | `SNAP_GET` | id, key          | `VALUE(v)` / `NOT_FOUND` / `ERR` |
+//! | `SNAP_SCAN` | id, start, end, limit | same stream as `SCAN`   |
+//!
+//! # Snapshots over the wire (`SNAP_*`)
+//!
+//! `SNAP_CREATE` pins one LSN per shard — a consistent cut across the
+//! whole sharded store — and answers with a server-assigned handle id.
+//! `SNAP_GET` and `SNAP_SCAN` read *at* that cut: writes, flushes,
+//! compactions and tombstone GC that happen after the pin are invisible
+//! through the handle. `SNAP_RELEASE` drops the pin; the server also
+//! bounds abandoned handles, so a crashed client cannot pin history
+//! forever. Snapshot ids are per-server ephemeral state, not durable.
 //!
 //! # Self-describing metrics (`METRICS` / `EVENTS`)
 //!
@@ -102,6 +117,11 @@ const OP_STATS: u8 = 5;
 const OP_SCAN: u8 = 6;
 const OP_METRICS: u8 = 7;
 const OP_EVENTS: u8 = 8;
+const OP_DELRANGE: u8 = 9;
+const OP_SNAP_CREATE: u8 = 10;
+const OP_SNAP_RELEASE: u8 = 11;
+const OP_SNAP_GET: u8 = 12;
+const OP_SNAP_SCAN: u8 = 13;
 
 const ST_OK: u8 = 0;
 const ST_VALUE: u8 = 1;
@@ -113,6 +133,7 @@ const ST_SCAN_END: u8 = 6;
 const ST_BUSY: u8 = 7;
 const ST_METRICS: u8 = 8;
 const ST_EVENTS: u8 = 9;
+const ST_SNAPSHOT: u8 = 10;
 
 /// Hard cap on element counts decoded from untrusted METRICS/EVENTS
 /// frames (counters, histograms, events, fields per event). The frame
@@ -203,6 +224,45 @@ pub enum Request {
         /// Most events to return in one batch; 0 means "server's cap".
         max: u32,
     },
+    /// Range delete: erase every key in `[start, end)` with one range
+    /// tombstone per shard. Inverted or empty bounds are an `OK` no-op.
+    DeleteRange {
+        /// Inclusive start key of the interval.
+        start: Vec<u8>,
+        /// Exclusive end key of the interval.
+        end: Vec<u8>,
+    },
+    /// Pin a consistent point-in-time snapshot across every shard.
+    /// Answered by [`Response::Snapshot`] carrying the handle id that
+    /// snapshot-scoped reads pass back.
+    SnapCreate,
+    /// Release a snapshot handle created by [`Request::SnapCreate`],
+    /// letting the engines reclaim the history it pinned. Unknown ids
+    /// answer `NOT_FOUND`.
+    SnapRelease {
+        /// The handle id being released.
+        id: u64,
+    },
+    /// Point read *at* a pinned snapshot: sees exactly the state the
+    /// snapshot captured, regardless of later writes.
+    SnapGet {
+        /// The snapshot handle id.
+        id: u64,
+        /// The key to read.
+        key: Vec<u8>,
+    },
+    /// Streaming range scan at a pinned snapshot — same response stream
+    /// as [`Request::Scan`].
+    SnapScan {
+        /// The snapshot handle id.
+        id: u64,
+        /// Inclusive start key of the range.
+        start: Vec<u8>,
+        /// Exclusive end key; empty means "to the end of the keyspace".
+        end: Vec<u8>,
+        /// Most keys to return; 0 means unlimited.
+        limit: u32,
+    },
 }
 
 /// A server response.
@@ -244,6 +304,12 @@ pub enum Response {
     Metrics(MetricsSnapshot),
     /// An `EVENTS` batch: a drained slice of the maintenance trace.
     Events(EventBatch),
+    /// A snapshot handle minted by `SNAP_CREATE`; pass the id to
+    /// `SNAP_GET` / `SNAP_SCAN` / `SNAP_RELEASE`.
+    Snapshot(
+        /// The server-assigned handle id.
+        u64,
+    ),
 }
 
 /// One traced maintenance event carried over the wire. The kind is a
@@ -597,6 +663,11 @@ impl Request {
             Request::Scan { .. } => OP_SCAN,
             Request::Metrics => OP_METRICS,
             Request::Events { .. } => OP_EVENTS,
+            Request::DeleteRange { .. } => OP_DELRANGE,
+            Request::SnapCreate => OP_SNAP_CREATE,
+            Request::SnapRelease { .. } => OP_SNAP_RELEASE,
+            Request::SnapGet { .. } => OP_SNAP_GET,
+            Request::SnapScan { .. } => OP_SNAP_SCAN,
         };
         match seq {
             None => buf.put_u8(opcode),
@@ -632,6 +703,27 @@ impl Request {
             Request::Events { cursor, max } => {
                 buf.put_u64_le(*cursor);
                 buf.put_u32_le(*max);
+            }
+            Request::DeleteRange { start, end } => {
+                put_bytes(&mut buf, start);
+                put_bytes(&mut buf, end);
+            }
+            Request::SnapCreate => {}
+            Request::SnapRelease { id } => buf.put_u64_le(*id),
+            Request::SnapGet { id, key } => {
+                buf.put_u64_le(*id);
+                put_bytes(&mut buf, key);
+            }
+            Request::SnapScan {
+                id,
+                start,
+                end,
+                limit,
+            } => {
+                buf.put_u64_le(*id);
+                put_bytes(&mut buf, start);
+                put_bytes(&mut buf, end);
+                buf.put_u32_le(*limit);
             }
         }
         buf.to_vec()
@@ -734,6 +826,32 @@ impl Request {
                     max: cursor.get_u32_le(),
                 }
             }
+            OP_DELRANGE => Request::DeleteRange {
+                start: get_bytes(&mut cursor)?,
+                end: get_bytes(&mut cursor)?,
+            },
+            OP_SNAP_CREATE => Request::SnapCreate,
+            OP_SNAP_RELEASE => Request::SnapRelease {
+                id: get_u64(&mut cursor)?,
+            },
+            OP_SNAP_GET => Request::SnapGet {
+                id: get_u64(&mut cursor)?,
+                key: get_bytes(&mut cursor)?,
+            },
+            OP_SNAP_SCAN => {
+                let id = get_u64(&mut cursor)?;
+                let start = get_bytes(&mut cursor)?;
+                let end = get_bytes(&mut cursor)?;
+                if cursor.remaining() < 4 {
+                    return Err(Error::protocol("truncated snapshot-scan limit"));
+                }
+                Request::SnapScan {
+                    id,
+                    start,
+                    end,
+                    limit: cursor.get_u32_le(),
+                }
+            }
             other => return Err(Error::protocol(format!("unknown opcode {other}"))),
         };
         if !cursor.is_empty() {
@@ -771,6 +889,7 @@ impl Response {
             Response::Err(_) => ST_ERR,
             Response::Metrics(_) => ST_METRICS,
             Response::Events(_) => ST_EVENTS,
+            Response::Snapshot(_) => ST_SNAPSHOT,
         };
         match seq {
             None => buf.put_u8(status),
@@ -793,6 +912,7 @@ impl Response {
             Response::Err(message) => put_bytes(&mut buf, message.as_bytes()),
             Response::Metrics(snapshot) => encode_metrics(snapshot, &mut buf),
             Response::Events(batch) => encode_events(batch, &mut buf),
+            Response::Snapshot(id) => buf.put_u64_le(*id),
         }
         buf.to_vec()
     }
@@ -861,6 +981,7 @@ impl Response {
             ),
             ST_METRICS => Response::Metrics(decode_metrics(&mut cursor)?),
             ST_EVENTS => Response::Events(decode_events(&mut cursor)?),
+            ST_SNAPSHOT => Response::Snapshot(get_u64(&mut cursor)?),
             other => return Err(Error::protocol(format!("unknown status {other}"))),
         };
         if !cursor.is_empty() {
@@ -1007,6 +1128,26 @@ mod tests {
                 end: Vec::new(),
                 limit: 0,
             },
+            Request::DeleteRange {
+                start: b"a".to_vec(),
+                end: b"m".to_vec(),
+            },
+            Request::DeleteRange {
+                start: Vec::new(),
+                end: Vec::new(),
+            },
+            Request::SnapCreate,
+            Request::SnapRelease { id: u64::MAX },
+            Request::SnapGet {
+                id: 7,
+                key: b"k".to_vec(),
+            },
+            Request::SnapScan {
+                id: 9,
+                start: b"a".to_vec(),
+                end: Vec::new(),
+                limit: 128,
+            },
         ];
         for request in requests {
             let decoded = Request::decode(&request.encode()).unwrap();
@@ -1035,11 +1176,57 @@ mod tests {
             ]),
             Response::BatchValues(Vec::new()),
             Response::ScanEnd,
+            Response::Snapshot(0),
+            Response::Snapshot(u64::MAX),
         ];
         for response in responses {
             let decoded = Response::decode(&response.encode()).unwrap();
             assert_eq!(decoded, response);
         }
+    }
+
+    #[test]
+    fn snapshot_and_delrange_frames_reject_truncation_and_sequence() {
+        let requests = [
+            Request::DeleteRange {
+                start: b"aa".to_vec(),
+                end: b"zz".to_vec(),
+            },
+            Request::SnapRelease { id: 3 },
+            Request::SnapGet {
+                id: 3,
+                key: b"key".to_vec(),
+            },
+            Request::SnapScan {
+                id: 3,
+                start: b"a".to_vec(),
+                end: b"z".to_vec(),
+                limit: 5,
+            },
+        ];
+        for request in &requests {
+            let encoded = request.encode();
+            for cut in 0..encoded.len() {
+                assert!(
+                    Request::decode(&encoded[..cut]).is_err(),
+                    "prefix of {cut} bytes decoded"
+                );
+            }
+            let mut long = encoded.clone();
+            long.push(0);
+            assert!(Request::decode(&long).is_err());
+            // Sequenced framing carries the id through.
+            let (seq, decoded) = Request::decode_any(&request.encode_sequenced(11)).unwrap();
+            assert_eq!(seq, Some(11));
+            assert_eq!(&decoded, request);
+        }
+        let encoded = Response::Snapshot(42).encode();
+        for cut in 0..encoded.len() {
+            assert!(Response::decode(&encoded[..cut]).is_err());
+        }
+        let (seq, decoded) = Response::decode_any(&Response::Snapshot(42).encode_sequenced(8)).unwrap();
+        assert_eq!(seq, Some(8));
+        assert_eq!(decoded, Response::Snapshot(42));
     }
 
     #[test]

@@ -12,10 +12,11 @@
 //! (connections carry a short read timeout), the accept thread polls it
 //! between accepts, and [`ServerHandle::shutdown`] joins everything.
 
+use std::collections::BTreeMap;
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -58,6 +59,7 @@ struct ServerMetrics {
     get: LatencyHistogram,
     put: LatencyHistogram,
     delete: LatencyHistogram,
+    delete_range: LatencyHistogram,
     batch: LatencyHistogram,
     scan: LatencyHistogram,
 }
@@ -70,12 +72,19 @@ impl ServerMetrics {
             Request::Get { .. } => Some(self.get.clone()),
             Request::Put { .. } => Some(self.put.clone()),
             Request::Delete { .. } => Some(self.delete.clone()),
+            Request::DeleteRange { .. } => Some(self.delete_range.clone()),
             Request::Batch { .. } => Some(self.batch.clone()),
-            // Scans are timed at the stream site; introspection
-            // requests are not worth a histogram each.
-            Request::Scan { .. } | Request::Stats | Request::Metrics | Request::Events { .. } => {
-                None
-            }
+            // Scans (live and snapshot-scoped) are timed at the stream
+            // site; introspection and snapshot-lifecycle requests are
+            // not worth a histogram each.
+            Request::Scan { .. }
+            | Request::SnapScan { .. }
+            | Request::Stats
+            | Request::Metrics
+            | Request::Events { .. }
+            | Request::SnapCreate
+            | Request::SnapRelease { .. }
+            | Request::SnapGet { .. } => None,
         }
     }
 
@@ -85,6 +94,7 @@ impl ServerMetrics {
             ("server_get_us", self.get.snapshot()),
             ("server_put_us", self.put.snapshot()),
             ("server_delete_us", self.delete.snapshot()),
+            ("server_delete_range_us", self.delete_range.snapshot()),
             ("server_batch_us", self.batch.snapshot()),
             ("server_scan_us", self.scan.snapshot()),
         ]
@@ -264,6 +274,7 @@ impl KvServer {
         let accept_shutdown = Arc::clone(&shutdown);
         let controller = Arc::new(AdmissionController::new(self.options.admission_policy()));
         let metrics = Arc::new(ServerMetrics::default());
+        let snapshots = Arc::new(SnapshotRegistry::default());
         let max_sessions = self.options.session_cap();
         let workers = self.options.worker_count();
         let accept = std::thread::Builder::new()
@@ -284,9 +295,17 @@ impl KvServer {
                             let shutdown = Arc::clone(&accept_shutdown);
                             let controller = Arc::clone(&controller);
                             let metrics = Arc::clone(&metrics);
+                            let snapshots = Arc::clone(&snapshots);
                             pool.execute(move || {
                                 let _session = session;
-                                serve_connection(&store, &controller, &metrics, stream, &shutdown);
+                                serve_connection(
+                                    &store,
+                                    &controller,
+                                    &metrics,
+                                    &snapshots,
+                                    stream,
+                                    &shutdown,
+                                );
                             });
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -322,6 +341,62 @@ impl SessionGuard {
 impl Drop for SessionGuard {
     fn drop(&mut self) {
         self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Most snapshot handles the server keeps alive at once. A pinned
+/// snapshot blocks tombstone GC and bounds what compaction may drop on
+/// every shard, so handles a client abandoned (crashed, never sent
+/// `SNAP_RELEASE`) must not accumulate and pin history forever: at the
+/// cap, creating a new handle evicts the *oldest* live one.
+const MAX_SNAPSHOT_HANDLES: usize = 64;
+
+/// The server's snapshot-handle table, shared by every connection: a
+/// `SNAP_CREATE` on one connection is readable via `SNAP_GET` /
+/// `SNAP_SCAN` on any other. Ids are per-process ephemeral state —
+/// they do not survive a restart (the pins they name don't either).
+#[derive(Debug, Default)]
+struct SnapshotRegistry {
+    inner: Mutex<SnapshotTable>,
+}
+
+#[derive(Debug, Default)]
+struct SnapshotTable {
+    next_id: u64,
+    /// Live handles, keyed by id. Ids are allocated monotonically, so
+    /// the map's smallest key is the oldest handle — the eviction
+    /// victim at the cap.
+    live: BTreeMap<u64, Arc<crate::ShardedSnapshot>>,
+}
+
+impl SnapshotRegistry {
+    /// Pins a store-wide snapshot and registers it, evicting the
+    /// oldest live handle if the table is full.
+    fn create(&self, store: &ShardedKv) -> u64 {
+        let mut table = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if table.live.len() >= MAX_SNAPSHOT_HANDLES {
+            let oldest = *table.live.keys().next().expect("non-empty at the cap");
+            table.live.remove(&oldest);
+        }
+        let id = table.next_id;
+        table.next_id += 1;
+        table.live.insert(id, Arc::new(store.snapshot()));
+        id
+    }
+
+    /// Releases handle `id`; reports whether it was live. Dropping the
+    /// last `Arc` releases every shard's pin.
+    fn release(&self, id: u64) -> bool {
+        let mut table = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        table.live.remove(&id).is_some()
+    }
+
+    /// The snapshot behind handle `id`, if still live. The clone keeps
+    /// the pin alive for the duration of the read even if the handle is
+    /// released or evicted mid-request.
+    fn get(&self, id: u64) -> Option<Arc<crate::ShardedSnapshot>> {
+        let table = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        table.live.get(&id).cloned()
     }
 }
 
@@ -401,6 +476,7 @@ fn serve_connection(
     store: &ShardedKv,
     controller: &AdmissionController,
     metrics: &ServerMetrics,
+    snapshots: &SnapshotRegistry,
     mut stream: TcpStream,
     shutdown: &AtomicBool,
 ) {
@@ -423,26 +499,61 @@ fn serve_connection(
             Ok(FrameRead::Eof) | Err(_) => return,
         };
         let (seq, response) = match Request::decode_any(&payload) {
-            // SCAN is the one request answered by a stream of frames,
-            // not a single response — it cannot interleave with other
-            // in-flight replies, so it is closed-loop only.
+            // SCAN / SNAP_SCAN are answered by a stream of frames, not
+            // a single response — they cannot interleave with other
+            // in-flight replies, so they are closed-loop only.
             Ok((None, Request::Scan { start, end, limit })) => {
                 let started = Instant::now();
-                let result = stream_scan(store, &mut stream, start, &end, limit, shutdown);
+                let result = stream_pairs(
+                    &mut stream,
+                    store.scan(scan_bounds(start, &end)),
+                    limit,
+                    shutdown,
+                );
                 metrics.scan.record_duration(started.elapsed());
                 if result.is_err() {
                     return;
                 }
                 continue;
             }
-            Ok((seq @ Some(_), Request::Scan { .. })) => (
+            Ok((
+                None,
+                Request::SnapScan {
+                    id,
+                    start,
+                    end,
+                    limit,
+                },
+            )) => {
+                let started = Instant::now();
+                let result = match snapshots.get(id) {
+                    // The Arc keeps the pin alive for the whole stream
+                    // even if the handle is released concurrently.
+                    Some(snap) => stream_pairs(
+                        &mut stream,
+                        snap.scan(scan_bounds(start, &end)),
+                        limit,
+                        shutdown,
+                    ),
+                    None => {
+                        let detail = format!("unknown snapshot handle {id}");
+                        write_frame(&mut stream, &Response::Err(detail).encode())
+                    }
+                };
+                metrics.scan.record_duration(started.elapsed());
+                if result.is_err() {
+                    return;
+                }
+                continue;
+            }
+            Ok((seq @ Some(_), Request::Scan { .. } | Request::SnapScan { .. })) => (
                 seq,
                 Response::Err("scan requires an unsequenced frame".to_owned()),
             ),
             Ok((seq, request)) => {
                 let timer = metrics.timer_for(&request);
                 let started = Instant::now();
-                let response = execute(store, controller, metrics, request);
+                let response = execute(store, controller, metrics, snapshots, request);
                 if let Some(timer) = timer {
                     timer.record_duration(started.elapsed());
                 }
@@ -464,14 +575,35 @@ fn serve_connection(
 /// byte + pair count + the two per-pair length prefixes.
 const BATCH_SINGLETON_OVERHEAD: usize = 1 + 4 + 4 + 4;
 
+/// Lowers wire scan bounds (`start` bytes, empty `end` = unbounded)
+/// into the engine's key-range bounds.
+fn scan_bounds(
+    start: Vec<u8>,
+    end: &[u8],
+) -> (
+    std::ops::Bound<lsm_engine::Key>,
+    std::ops::Bound<lsm_engine::Key>,
+) {
+    use std::ops::Bound;
+    let start = Bound::Included(Bytes::from(start));
+    let end = if end.is_empty() {
+        Bound::Unbounded
+    } else {
+        Bound::Excluded(Bytes::copy_from_slice(end))
+    };
+    (start, end)
+}
+
 /// Streams one range scan back as bounded `BATCH_VALUES` frames
-/// terminated by `SCAN_END`. The scan itself is lazy
-/// ([`ShardedKv::scan`]), so only one chunk is ever materialized —
-/// a scan over the whole keyspace runs in constant server memory. A
-/// chunk closes *before* a pair would cross either bound, so no frame
-/// exceeds the byte bound unless a single pair alone does (an
-/// oversized-beyond-`MAX_FRAME_LEN` entry ends the stream with an
-/// `ERR` frame rather than a dropped connection).
+/// terminated by `SCAN_END`. The pair source is lazy
+/// ([`ShardedKv::scan`] or a pinned
+/// [`ShardedSnapshot::scan`](crate::ShardedSnapshot::scan) — `SCAN`
+/// and `SNAP_SCAN` share this path), so only one chunk is ever
+/// materialized — a scan over the whole keyspace runs in constant
+/// server memory. A chunk closes *before* a pair would cross either
+/// bound, so no frame exceeds the byte bound unless a single pair
+/// alone does (an oversized-beyond-`MAX_FRAME_LEN` entry ends the
+/// stream with an `ERR` frame rather than a dropped connection).
 ///
 /// Checks the shutdown flag between frames: a server shutting down
 /// mid-scan terminates the stream with an `ERR` frame instead of
@@ -480,21 +612,12 @@ const BATCH_SINGLETON_OVERHEAD: usize = 1 + 4 + 4 + 4;
 /// Returns `Err` only for transport failures (the connection is dead);
 /// store-side scan errors are reported to the client as an `ERR` frame
 /// terminating the stream.
-fn stream_scan(
-    store: &ShardedKv,
+fn stream_pairs(
     stream: &mut TcpStream,
-    start: Vec<u8>,
-    end: &[u8],
+    pairs: impl Iterator<Item = Result<(lsm_engine::Key, lsm_engine::Value), Error>>,
     limit: u32,
     shutdown: &AtomicBool,
 ) -> Result<(), Error> {
-    use std::ops::Bound;
-    let start = Bound::Included(Bytes::from(start));
-    let end = if end.is_empty() {
-        Bound::Unbounded
-    } else {
-        Bound::Excluded(Bytes::copy_from_slice(end))
-    };
     let mut remaining: u64 = if limit == 0 {
         u64::MAX
     } else {
@@ -502,7 +625,7 @@ fn stream_scan(
     };
     let mut chunk: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
     let mut chunk_bytes = 0usize;
-    for item in store.scan((start, end)) {
+    for item in pairs {
         if remaining == 0 {
             break;
         }
@@ -562,18 +685,22 @@ fn stream_scan(
     write_frame(stream, &Response::ScanEnd.encode())
 }
 
-/// Applies one single-response request to the store (`SCAN` streams and
-/// never reaches here — see [`stream_scan`]). Writes pass through the
-/// admission controller first: a write to a shard past its budgets is
-/// answered `BUSY` without touching the engine (reads never are).
+/// Applies one single-response request to the store (`SCAN` and
+/// `SNAP_SCAN` stream and never reach here — see [`stream_pairs`]).
+/// Writes pass through the admission controller first: a write to a
+/// shard past its budgets is answered `BUSY` without touching the
+/// engine (reads never are).
 fn execute(
     store: &ShardedKv,
     controller: &AdmissionController,
     metrics: &ServerMetrics,
+    snapshots: &SnapshotRegistry,
     request: Request,
 ) -> Response {
     match request {
-        Request::Scan { .. } => Response::Err("scan must be streamed".to_owned()),
+        Request::Scan { .. } | Request::SnapScan { .. } => {
+            Response::Err("scan must be streamed".to_owned())
+        }
         Request::Get { key } => match store.get(&key) {
             Ok(Some(value)) => Response::Value(value.to_vec()),
             Ok(None) => Response::NotFound,
@@ -600,6 +727,36 @@ fn execute(
                 Err(e) => Response::Err(e.to_string()),
             }
         }
+        Request::DeleteRange { start, end } => {
+            // The tombstone is broadcast to every shard, so the
+            // admission decision spans every shard's pressure — like a
+            // batch that touches all of them.
+            if !controller.admit_write((0..store.shard_count()).map(|s| store.shard_pressure(s))) {
+                return Response::Busy;
+            }
+            match store.delete_range(&start, &end) {
+                Ok(()) => Response::Ok,
+                Err(e) => Response::Err(e.to_string()),
+            }
+        }
+        Request::SnapCreate => Response::Snapshot(snapshots.create(store)),
+        Request::SnapRelease { id } => {
+            if snapshots.release(id) {
+                Response::Ok
+            } else {
+                Response::NotFound
+            }
+        }
+        Request::SnapGet { id, key } => match snapshots.get(id) {
+            // `NOT_FOUND` is reserved for "key absent at the cut":
+            // a dead handle is an error, not an empty read.
+            None => Response::Err(format!("unknown snapshot handle {id}")),
+            Some(snap) => match snap.get(&key) {
+                Ok(Some(value)) => Response::Value(value.to_vec()),
+                Ok(None) => Response::NotFound,
+                Err(e) => Response::Err(e.to_string()),
+            },
+        },
         Request::Batch { ops } => {
             // One admission decision for the whole batch, over the
             // distinct shards it touches: a batch is all-or-nothing at

@@ -314,6 +314,59 @@ impl ShardedKv {
         self.delete(lsm_engine::key_from_u64(key))
     }
 
+    /// Deletes every key in `[start, end)` across the store with **one
+    /// range-tombstone record per shard** — O(shards), independent of
+    /// how many keys the interval covers. Hash routing scatters any key
+    /// interval over *all* shards, so the tombstone is broadcast rather
+    /// than routed; each shard's copy suppresses its own slice of the
+    /// interval in reads, scans and compaction.
+    ///
+    /// An empty or inverted interval (`start >= end`) is a no-op `Ok`,
+    /// same as the engine's contract ([`Lsm::delete_range`]).
+    ///
+    /// Atomicity is per shard, exactly like [`ShardedKv::apply_batch`]:
+    /// a crash mid-broadcast can leave the tombstone on a prefix of the
+    /// shards; each shard's copy is itself durable-or-absent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors; earlier shards may already carry the
+    /// tombstone when a later shard fails.
+    pub fn delete_range(&self, start: &[u8], end: &[u8]) -> Result<(), Error> {
+        for shard in &self.shards {
+            shard.delete_range(start, end)?;
+        }
+        Ok(())
+    }
+
+    /// Convenience: [`ShardedKv::delete_range`] over an integer key
+    /// interval.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShardedKv::delete_range`].
+    pub fn delete_range_u64(&self, range: std::ops::Range<u64>) -> Result<(), Error> {
+        self.delete_range(&range.start.to_be_bytes(), &range.end.to_be_bytes())
+    }
+
+    /// Pins a point-in-time view of the whole store: one engine
+    /// [`Snapshot`](lsm_engine::Snapshot) — one pinned LSN — per shard.
+    /// Reads through the handle see exactly the writes each shard had
+    /// sequenced at pin time, regardless of concurrent writes, flushes,
+    /// compactions or tombstone GC, until the handle is dropped.
+    ///
+    /// The cut is taken shard by shard, so its consistency guarantee
+    /// matches the store's write atomicity ([`ShardedKv::apply_batch`]):
+    /// per-shard consistent, with cross-shard operations racing the pin
+    /// loop possibly landing in some shards' cut and not others'.
+    #[must_use]
+    pub fn snapshot(&self) -> ShardedSnapshot {
+        ShardedSnapshot {
+            router: self.router,
+            shards: self.shards.iter().map(Lsm::snapshot).collect(),
+        }
+    }
+
     /// Applies a batch: operations are re-grouped by owning shard and
     /// each shard's sub-batch is applied with one WAL frame and one
     /// memtable pass ([`Lsm::write_batch`]). Sub-batches preserve the
@@ -650,6 +703,69 @@ impl Iterator for ShardScan<'_> {
     }
 }
 
+/// A pinned point-in-time view of a [`ShardedKv`]: one engine snapshot
+/// per shard, produced by [`ShardedKv::snapshot`]. Dropping the handle
+/// releases every shard's pin, letting tombstone GC and compaction
+/// reclaim history past the cut.
+#[derive(Debug)]
+pub struct ShardedSnapshot {
+    router: ShardRouter,
+    shards: Vec<lsm_engine::Snapshot>,
+}
+
+impl ShardedSnapshot {
+    /// The pinned LSN of each shard, in shard order — the cut this
+    /// handle reads at.
+    #[must_use]
+    pub fn lsns(&self) -> Vec<u64> {
+        self.shards.iter().map(lsm_engine::Snapshot::lsn).collect()
+    }
+
+    /// Point read of `key` at the pinned cut, routed to the owning
+    /// shard's snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Value>, Error> {
+        Ok(self.shards[self.router.shard_for(key)].get(key)?)
+    }
+
+    /// Convenience: [`ShardedSnapshot::get`] with an integer key.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShardedSnapshot::get`].
+    pub fn get_u64(&self, key: u64) -> Result<Option<Vec<u8>>, Error> {
+        Ok(self.get(&key.to_be_bytes())?.map(|v| v.to_vec()))
+    }
+
+    /// Streams every pair inside `range` *at the pinned cut*, in
+    /// ascending key order: the same lazy k-way shard merge as
+    /// [`ShardedKv::scan`], fed by each shard's snapshot-scoped range
+    /// iterator instead of its live one.
+    pub fn scan(&self, range: impl RangeBounds<Key>) -> ShardScan<'_> {
+        let start = range.start_bound().cloned();
+        let end = range.end_bound().cloned();
+        let scans = self
+            .shards
+            .iter()
+            .map(|snap| snap.range((start.clone(), end.clone())))
+            .collect();
+        ShardScan::new(scans)
+    }
+
+    /// Every pair across all shards at the pinned cut, in key order
+    /// (verification / small stores only).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn scan_all(&self) -> Result<Vec<(Key, Value)>, Error> {
+        self.scan(..).collect()
+    }
+}
+
 /// A single shard's statistics snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardStats {
@@ -821,6 +937,93 @@ mod tests {
         let all = kv.scan_all().unwrap();
         assert_eq!(all.len(), 50);
         assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn delete_range_broadcasts_one_tombstone_per_shard() {
+        let kv = store(4);
+        for i in 0..300u64 {
+            kv.put_u64(i, format!("v{i}").into_bytes()).unwrap();
+        }
+        // One logical range delete = exactly one record per shard,
+        // however many keys the interval covers.
+        kv.delete_range_u64(50..250).unwrap();
+        let stats = kv.stats();
+        for shard in &stats.per_shard {
+            assert_eq!(shard.stats.range_deletes, 1);
+        }
+        for i in 0..300u64 {
+            let got = kv.get_u64(i).unwrap();
+            if (50..250).contains(&i) {
+                assert_eq!(got, None, "key {i} inside the erased interval");
+            } else {
+                assert_eq!(got, Some(format!("v{i}").into_bytes()), "key {i}");
+            }
+        }
+        // The merged scan sees the gap too.
+        let keys: Vec<u64> = kv
+            .scan(..)
+            .map(|r| lsm_engine::key_to_u64(&r.unwrap().0).unwrap())
+            .collect();
+        let expect: Vec<u64> = (0..300).filter(|k| !(50..250).contains(k)).collect();
+        assert_eq!(keys, expect);
+    }
+
+    #[test]
+    fn inverted_or_empty_delete_range_is_a_noop() {
+        let kv = store(2);
+        kv.put_u64(5, b"v".to_vec()).unwrap();
+        #[allow(clippy::reversed_empty_ranges)]
+        kv.delete_range_u64(9..3).unwrap();
+        kv.delete_range_u64(7..7).unwrap();
+        assert_eq!(kv.get_u64(5).unwrap(), Some(b"v".to_vec()));
+        let agg = kv.stats().aggregate();
+        assert_eq!(agg.range_deletes, 0, "no-ops consume nothing");
+    }
+
+    #[test]
+    fn snapshot_pins_a_cut_across_every_shard() {
+        let kv = store(4);
+        for i in 0..200u64 {
+            kv.put_u64(i, format!("old{i}").into_bytes()).unwrap();
+        }
+        let snap = kv.snapshot();
+        assert_eq!(snap.lsns().len(), 4);
+
+        // Overwrite, delete, range-delete and churn the live store.
+        for i in 0..200u64 {
+            kv.put_u64(i, format!("new{i}").into_bytes()).unwrap();
+        }
+        kv.delete_u64(3).unwrap();
+        kv.delete_range_u64(100..180).unwrap();
+        kv.flush_all().unwrap();
+        kv.compact_all().unwrap();
+
+        // The snapshot still reads the pinned cut, point and scan.
+        for i in 0..200u64 {
+            assert_eq!(
+                snap.get_u64(i).unwrap(),
+                Some(format!("old{i}").into_bytes()),
+                "snapshot get({i}) after churn"
+            );
+        }
+        let snap_scan: Vec<(u64, Vec<u8>)> = snap
+            .scan(..)
+            .map(|r| {
+                let (k, v) = r.unwrap();
+                (lsm_engine::key_to_u64(&k).unwrap(), v.to_vec())
+            })
+            .collect();
+        assert_eq!(snap_scan.len(), 200);
+        assert!(snap_scan
+            .iter()
+            .all(|(k, v)| v == format!("old{k}").as_bytes().to_vec().as_slice()));
+
+        // The live store sees the new world.
+        assert_eq!(kv.get_u64(3).unwrap(), None);
+        assert_eq!(kv.get_u64(150).unwrap(), None);
+        assert_eq!(kv.get_u64(0).unwrap(), Some(b"new0".to_vec()));
+        drop(snap);
     }
 
     #[test]

@@ -177,6 +177,51 @@ proptest! {
         }
     }
 
+    /// The MVCC frames — DELRANGE and the SNAP_* family — round-trip
+    /// for arbitrary bounds, keys, ids and limits (empty bounds
+    /// included), and every strict prefix is rejected, in both the
+    /// legacy and the sequenced framing.
+    #[test]
+    fn mvcc_frames_roundtrip_and_tear_safely(
+        start in arb_bytes(32),
+        end in arb_bytes(32),
+        key in arb_bytes(32),
+        id in any::<u64>(),
+        limit in any::<u32>(),
+        seq in any::<u64>(),
+        cut_seed in any::<u32>(),
+    ) {
+        let requests = [
+            Request::DeleteRange { start: start.clone(), end: end.clone() },
+            Request::SnapCreate,
+            Request::SnapRelease { id },
+            Request::SnapGet { id, key },
+            Request::SnapScan { id, start, end, limit },
+        ];
+        for request in requests {
+            let encoded = request.encode();
+            prop_assert_eq!(&Request::decode(&encoded).unwrap(), &request);
+            let cut = cut_seed as usize % encoded.len();
+            prop_assert!(
+                Request::decode(&encoded[..cut]).is_err(),
+                "{:?} prefix of {} / {} bytes decoded",
+                request,
+                cut,
+                encoded.len()
+            );
+            let sequenced = request.encode_sequenced(seq);
+            let (got_seq, decoded) = Request::decode_any(&sequenced).unwrap();
+            prop_assert_eq!(got_seq, Some(seq));
+            prop_assert_eq!(&decoded, &request);
+        }
+
+        let response = Response::Snapshot(id);
+        let encoded = response.encode();
+        prop_assert_eq!(&Response::decode(&encoded).unwrap(), &response);
+        let cut = cut_seed as usize % encoded.len();
+        prop_assert!(Response::decode(&encoded[..cut]).is_err());
+    }
+
     /// Sequenced frames round-trip for arbitrary ids and bodies, the
     /// legacy decoder rejects them, and every strict prefix (torn
     /// frame) is rejected — the id is length-checked like everything
@@ -359,6 +404,22 @@ fn whole_palette_roundtrips() {
         },
         Request::Metrics,
         Request::Events { cursor: 42, max: 8 },
+        Request::DeleteRange {
+            start: b"a".to_vec(),
+            end: b"b".to_vec(),
+        },
+        Request::SnapCreate,
+        Request::SnapRelease { id: 7 },
+        Request::SnapGet {
+            id: 7,
+            key: b"k".to_vec(),
+        },
+        Request::SnapScan {
+            id: 7,
+            start: b"a".to_vec(),
+            end: b"b".to_vec(),
+            limit: 3,
+        },
     ];
     let mut encoded_requests: Vec<Vec<u8>> = Vec::new();
     for request in &requests {
@@ -387,6 +448,7 @@ fn whole_palette_roundtrips() {
         Response::BatchValues(vec![(b"k".to_vec(), b"v".to_vec())]),
         Response::ScanEnd,
         Response::Err("boom".to_owned()),
+        Response::Snapshot(u64::MAX),
         Response::Metrics(MetricsSnapshot {
             counters: vec![("stats_puts".to_owned(), 9)],
             histograms: vec![("server_get_us".to_owned(), HistogramSnapshot::default())],

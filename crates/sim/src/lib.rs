@@ -50,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod bulk_expiry;
 pub mod churn;
 pub mod experiment;
 pub mod live_engine;
@@ -60,6 +61,7 @@ pub mod runner;
 pub mod service_throughput;
 pub mod stats;
 
+pub use bulk_expiry::{BulkExpiryConfig, BulkExpiryRow};
 pub use churn::{ChurnConfig, ChurnRow};
 pub use experiment::{Fig7Config, Fig7Row, Fig8Config, Fig8Row, Fig9Config, Fig9Row, Fig9Sweep};
 pub use live_engine::{LiveEngineConfig, LiveEngineRow};

@@ -3,6 +3,7 @@
 //! The `fig7`/`fig8`/`fig9` binaries in the `compaction-bench` crate call
 //! these to print the same rows/series the paper's figures plot.
 
+use crate::bulk_expiry::BulkExpiryRow;
 use crate::churn::ChurnRow;
 use crate::experiment::{Fig7Row, Fig8Row, Fig9Row, Fig9Sweep};
 use crate::live_engine::LiveEngineRow;
@@ -98,6 +99,100 @@ pub fn churn_json(rows: &[ChurnRow]) -> String {
             row.reopen_ms,
             row.tombstones_dropped,
             row.gc_rewrites,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Renders the bulk-expiry comparison (point tombstone storm vs a single
+/// range-tombstone record) as a fixed-width text table.
+#[must_use]
+pub fn bulk_expiry_table(rows: &[BulkExpiryRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>14}  {:>8}  {:>8}  {:>9}  {:>10}  {:>11}  {:>11}  {:>9}  {:>10}  {:>11}\n",
+        "mode",
+        "keys",
+        "expired",
+        "records",
+        "expiry_us",
+        "pre_bytes",
+        "post_bytes",
+        "reclaimed",
+        "entry_cost",
+        "scankeys/s"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:>14}  {:>8}  {:>8}  {:>9}  {:>10.0}  {:>11}  {:>11}  {:>8.1}%  {:>10}  {:>11.0}\n",
+            row.label,
+            row.keys,
+            row.expired,
+            row.expiry_records,
+            row.expiry_us,
+            row.pre_expiry_blob_bytes,
+            row.post_compact_blob_bytes,
+            row.reclaimed_fraction * 100.0,
+            row.compaction_entry_cost,
+            row.scan_keys_per_sec,
+        ));
+    }
+    out
+}
+
+/// Renders the bulk-expiry comparison as CSV.
+#[must_use]
+pub fn bulk_expiry_csv(rows: &[BulkExpiryRow]) -> String {
+    let mut out = String::from(
+        "label,keys,expired,expiry_records,expiry_us,pre_expiry_blob_bytes,\
+         post_compact_blob_bytes,reclaimed_fraction,compaction_entry_cost,scan_keys_per_sec\n",
+    );
+    for row in rows {
+        out.push_str(&format!(
+            "{},{},{},{},{:.1},{},{},{:.4},{},{:.1}\n",
+            row.label,
+            row.keys,
+            row.expired,
+            row.expiry_records,
+            row.expiry_us,
+            row.pre_expiry_blob_bytes,
+            row.post_compact_blob_bytes,
+            row.reclaimed_fraction,
+            row.compaction_entry_cost,
+            row.scan_keys_per_sec,
+        ));
+    }
+    out
+}
+
+/// Renders the bulk-expiry comparison as a JSON array (hand-rolled: the
+/// workspace is offline, no serde). Only `scan_keys_per_sec` carries a
+/// gated suffix; the record counts, footprints and reclaimed fraction
+/// are recorded without budget-checking — the committed baseline
+/// documents the one-record-vs-sixty-thousand contrast and flags
+/// structural drift in review.
+#[must_use]
+pub fn bulk_expiry_json(rows: &[BulkExpiryRow]) -> String {
+    let mut out = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"label\": \"{}\", \"keys\": {}, \"expired\": {}, \
+             \"expiry_records\": {}, \"expiry_us\": {:.1}, \
+             \"pre_expiry_blob_bytes\": {}, \"post_compact_blob_bytes\": {}, \
+             \"reclaimed_fraction\": {:.4}, \"compaction_entry_cost\": {}, \
+             \"scan_keys_per_sec\": {:.1}}}{}\n",
+            row.label,
+            row.keys,
+            row.expired,
+            row.expiry_records,
+            row.expiry_us,
+            row.pre_expiry_blob_bytes,
+            row.post_compact_blob_bytes,
+            row.reclaimed_fraction,
+            row.compaction_entry_cost,
+            row.scan_keys_per_sec,
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }
